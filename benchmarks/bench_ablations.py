@@ -1,0 +1,191 @@
+"""Design-choice ablations (the knobs DESIGN.md calls out).
+
+* **cluster radius** — the Cluster Matching module's leader radius trades
+  KB consultations (expensive breach inference) against technique
+  precision: radius 0 degenerates to per-query KB calls, a huge radius to
+  one cluster for everything.
+* **Bloom encoding parameters** — filter size trades linkage accuracy
+  against privacy (bits-per-item; smaller filters leak less structure but
+  collide more).
+* **bound-solver multistarts** — the inference guard's SLSQP restarts
+  trade interval tightness (soundness of the guard) against cost.
+"""
+
+import random
+
+import pytest
+
+from repro.data import FIGURE1
+from repro.inference import PublishedAggregates, SnoopingSource
+from repro.linkage import BloomRecordEncoder, bloom_link
+from repro.data.names import introduce_typo, person_names
+from repro.policy import DisclosureForm, PrivacyView
+from repro.query import extract_features, parse_piql
+from repro.source import QueryClusterer
+
+
+# --- cluster radius -----------------------------------------------------------
+
+RADII = [0.05, 0.4, 0.8, 2.0]
+
+
+def query_stream(n=60, seed=17):
+    rng = random.Random(seed)
+    texts = []
+    for _ in range(n):
+        kind = rng.random()
+        if kind < 0.4:
+            texts.append(
+                f"SELECT AVG(//patient/hba1c) WHERE //patient/age > {rng.randint(20, 70)} "
+                "PURPOSE research"
+            )
+        elif kind < 0.6:
+            texts.append("SELECT COUNT(*) PURPOSE research")
+        elif kind < 0.8:
+            texts.append("SELECT //patient/age, //patient/zip PURPOSE research")
+        else:
+            texts.append("SELECT //patient/id, //patient/hba1c PURPOSE research")
+    return texts
+
+
+def run_clusterer(radius, texts):
+    view = PrivacyView("v", [("//hba1c", DisclosureForm.AGGREGATE)])
+    clusterer = QueryClusterer(radius=radius)
+    for text in texts:
+        clusterer.match(extract_features(parse_piql(text), view))
+    return clusterer
+
+
+@pytest.mark.parametrize("radius", RADII)
+def test_cluster_radius_cost(benchmark, radius):
+    texts = query_stream()
+    benchmark.pedantic(run_clusterer, args=(radius, texts),
+                       rounds=2, iterations=1)
+
+
+def test_cluster_radius_report(benchmark, report):
+    texts = query_stream()
+    results = benchmark.pedantic(
+        lambda: {r: run_clusterer(r, texts) for r in RADII},
+        rounds=1, iterations=1,
+    )
+    report(
+        f"=== ablation: cluster radius over {len(texts)} queries ===",
+        f"{'radius':>7s} {'clusters':>9s} {'KB consultations':>17s}",
+    )
+    for radius, clusterer in results.items():
+        report(f"{radius:7.2f} {len(clusterer.clusters):9d} "
+               f"{clusterer.kb_derivations:17d}")
+    consultations = [results[r].kb_derivations for r in RADII]
+    assert consultations == sorted(consultations, reverse=True)
+    assert results[RADII[-1]].kb_derivations <= 3  # coarse: few clusters
+    assert results[RADII[0]].kb_derivations >= len(
+        results[RADII[-1]].clusters
+    )
+
+
+# --- Bloom parameters ---------------------------------------------------------
+
+BLOOM_SIZES = [64, 128, 256, 1024]
+
+
+def linkage_workload(seed=23, n=40, typo_rate=0.4):
+    rng = random.Random(seed)
+    names = person_names(2 * n, seed=seed)
+    left = [
+        {"first": f, "last": l, "dob": f"19{40 + i % 55:02d}-01-01"}
+        for i, (f, l) in enumerate(names[:n])
+    ]
+    right = [dict(r) for r in left]
+    for record in right:
+        if rng.random() < typo_rate:
+            record["last"] = introduce_typo(record["last"], rng)
+    distractors = [
+        {"first": f, "last": l, "dob": "1999-09-09"}
+        for f, l in names[n:]
+    ]
+    return left, right + distractors
+
+
+def bloom_accuracy(size):
+    left, right = linkage_workload()
+    encoder = BloomRecordEncoder(
+        ["first", "last", "dob"], size=size, num_hashes=4, secret="abl"
+    )
+    links = bloom_link(left, right, encoder, threshold=0.8)
+    true_pairs = {
+        (a["first"], a["dob"]) for a in left
+    }
+    found_true = sum(
+        1 for a, b, _s in links
+        if (a["first"], a["dob"]) == (b["first"], b["dob"])
+    )
+    precision = found_true / len(links) if links else 0.0
+    recall = found_true / len(true_pairs)
+    return precision, recall
+
+
+@pytest.mark.parametrize("size", BLOOM_SIZES)
+def test_bloom_size_cost(benchmark, size):
+    benchmark.pedantic(bloom_accuracy, args=(size,), rounds=1, iterations=1)
+
+
+def test_bloom_size_report(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: [(s, *bloom_accuracy(s)) for s in BLOOM_SIZES],
+        rounds=1, iterations=1,
+    )
+    report(
+        "=== ablation: Bloom filter size (linkage accuracy) ===",
+        f"{'bits':>6s} {'precision':>10s} {'recall':>8s}",
+    )
+    for size, precision, recall in rows:
+        report(f"{size:>6d} {precision:10.2f} {recall:8.2f}")
+    recalls = {size: recall for size, _p, recall in rows}
+    assert recalls[1024] >= recalls[64]  # bigger filters collide less
+    precisions = {size: p for size, p, _r in rows}
+    assert precisions[1024] >= 0.9
+
+
+# --- inference-guard multistarts ---------------------------------------------
+
+START_COUNTS = [1, 2, 4, 8]
+
+
+def interval_width_sum(starts):
+    published = PublishedAggregates(
+        FIGURE1.measures, FIGURE1.sources, FIGURE1.row_means,
+        FIGURE1.row_stds, FIGURE1.source_means, precision=1,
+    )
+    snooper = SnoopingSource(published, "HMO1", FIGURE1.hmo1_values)
+    intervals = snooper.infer(starts=starts, seed=1)
+    return sum(high - low for low, high in intervals.values())
+
+
+@pytest.mark.parametrize("starts", [1, 4])
+def test_guard_starts_cost(benchmark, starts):
+    benchmark.pedantic(interval_width_sum, args=(starts,),
+                       rounds=1, iterations=1)
+
+
+def test_guard_starts_report(benchmark, report):
+    import time
+
+    def sweep():
+        rows = []
+        for starts in START_COUNTS:
+            begin = time.perf_counter()
+            width = interval_width_sum(starts)
+            rows.append((starts, width, time.perf_counter() - begin))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        "=== ablation: bound-solver multistarts (Figure 1 problem) ===",
+        f"{'starts':>7s} {'total interval width':>21s} {'time (s)':>9s}",
+    )
+    for starts, width, elapsed in rows:
+        report(f"{starts:>7d} {width:21.2f} {elapsed:9.2f}")
+    widths = [width for _s, width, _t in rows]
+    # More restarts can only widen (i.e. improve) the recovered intervals.
+    assert all(b >= a - 0.5 for a, b in zip(widths, widths[1:]))

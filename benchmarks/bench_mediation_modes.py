@@ -1,0 +1,90 @@
+"""Experiment A4: virtual vs warehouse vs hybrid mediation (paper §5).
+
+"We take the hybrid approach due to the quick-response needed during
+emergency situations."  A surveillance workload runs 60 logical days: a
+daily situation report (repeated query), occasional novel analyst queries,
+and emergency checks during the outbreak peak.  We report total source
+calls (cost/latency proxy), mean answer staleness, and the staleness of
+the *emergency* answers specifically.
+
+Expected shape: virtual is freshest but most expensive; warehouse is cheap
+but serves stale emergency answers; hybrid matches warehouse cost closely
+while keeping emergency answers fresh.
+"""
+
+import random
+
+import pytest
+
+from repro.mediator import Warehouse
+
+DAYS = 60
+EMERGENCY_DAYS = {30, 31, 32, 40, 41}
+
+
+def run_workload(mode, seed=5):
+    rng = random.Random(seed)
+    warehouse = Warehouse(mode=mode, refresh_interval=7, max_staleness=3)
+    compute_calls = {"n": 0}
+
+    def compute():
+        compute_calls["n"] += 1
+        return f"snapshot@{warehouse.clock}"
+
+    staleness_all = []
+    staleness_emergency = []
+    for day in range(DAYS):
+        warehouse.tick()
+        emergency = day in EMERGENCY_DAYS
+        _result, stats = warehouse.answer(
+            "daily-situation-report", compute, n_sources=5,
+            emergency=emergency,
+        )
+        staleness_all.append(stats.staleness)
+        if emergency:
+            staleness_emergency.append(stats.staleness)
+        if rng.random() < 0.2:  # a novel analyst query
+            warehouse.answer(
+                f"analyst-{day}", compute, n_sources=5, emergency=False
+            )
+    mean_staleness = sum(staleness_all) / len(staleness_all)
+    mean_emergency = (
+        sum(staleness_emergency) / len(staleness_emergency)
+        if staleness_emergency else 0.0
+    )
+    return {
+        "source_calls": warehouse.total_source_calls,
+        "mean_staleness": mean_staleness,
+        "emergency_staleness": mean_emergency,
+    }
+
+
+@pytest.mark.parametrize("mode", ["virtual", "warehouse", "hybrid"])
+def test_mode_workload_cost(benchmark, mode):
+    benchmark(run_workload, mode)
+
+
+def test_modes_report(benchmark, report):
+    results = benchmark.pedantic(
+        lambda: {m: run_workload(m) for m in ("virtual", "warehouse", "hybrid")},
+        rounds=1, iterations=1,
+    )
+    report(
+        f"=== A4: mediation modes over a {DAYS}-day surveillance workload ===",
+        f"{'mode':>10s} {'source calls':>13s} {'mean staleness':>15s} "
+        f"{'emergency staleness':>20s}",
+    )
+    for mode, stats in results.items():
+        report(
+            f"{mode:>10s} {stats['source_calls']:>13d} "
+            f"{stats['mean_staleness']:>15.2f} "
+            f"{stats['emergency_staleness']:>20.2f}"
+        )
+    virtual, warehouse, hybrid = (
+        results["virtual"], results["warehouse"], results["hybrid"],
+    )
+    assert virtual["source_calls"] > hybrid["source_calls"]
+    assert virtual["mean_staleness"] == 0.0
+    assert warehouse["emergency_staleness"] > 0.0
+    assert hybrid["emergency_staleness"] == 0.0  # the paper's requirement
+    assert hybrid["source_calls"] < virtual["source_calls"]

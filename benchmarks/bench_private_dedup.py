@@ -1,0 +1,144 @@
+"""Experiment A7: private deduplication in the result integrator (paper §5).
+
+Duplicate-laden two-source patient records (with typos) are linked three
+ways: plaintext Fellegi–Sunter (the non-private baseline), Bloom-filter
+encodings, and exact PSI.  We report precision/recall and cost.
+
+Expected shape: Bloom linkage matches plaintext accuracy (both tolerate
+typos) at modest extra cost; PSI is exact-only (misses typos, perfect
+precision) and costs the most; the private methods never expose plaintext
+identifiers to the matcher.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import TEST_GROUP
+from repro.data.names import introduce_typo, person_names
+from repro.linkage import (
+    BloomRecordEncoder,
+    FellegiSunter,
+    FieldComparison,
+    bloom_link,
+    link_tables,
+    psi_link_exact,
+)
+
+N_SHARED = 30
+N_UNIQUE = 40
+TYPO_RATE = 0.3
+
+
+def rosters(seed=21):
+    rng = random.Random(seed)
+    names = person_names(N_SHARED + 2 * N_UNIQUE, seed=seed)
+    shared = [
+        {"pid": i, "first": f, "last": l,
+         "dob": f"19{40 + i % 60:02d}-0{1 + i % 9}-15"}
+        for i, (f, l) in enumerate(names[:N_SHARED])
+    ]
+    a_only = [
+        {"pid": 1000 + i, "first": f, "last": l, "dob": "1960-01-01"}
+        for i, (f, l) in enumerate(names[N_SHARED:N_SHARED + N_UNIQUE])
+    ]
+    b_only = [
+        {"pid": 2000 + i, "first": f, "last": l, "dob": "1970-02-02"}
+        for i, (f, l) in enumerate(names[N_SHARED + N_UNIQUE:])
+    ]
+    side_a = shared + a_only
+    side_b = [dict(p) for p in shared] + b_only
+    n_typos = 0
+    for record in side_b[:N_SHARED]:
+        if rng.random() < TYPO_RATE:
+            record["last"] = introduce_typo(record["last"], rng)
+            n_typos += 1
+    return side_a, side_b, n_typos
+
+
+def truth_pairs(side_a, side_b):
+    return {
+        (a["pid"], b["pid"])
+        for a in side_a for b in side_b if a["pid"] == b["pid"]
+    }
+
+
+def plaintext_links(side_a, side_b):
+    classifier = FellegiSunter(
+        [FieldComparison("first", m=0.95, u=0.03),
+         FieldComparison("last", m=0.95, u=0.03),
+         FieldComparison("dob", m=0.98, u=0.01,
+                         similarity=lambda a, b: float(a == b), threshold=1.0)],
+        upper=4.0,
+    )
+    return {
+        (a["pid"], b["pid"]) for a, b, _s in link_tables(side_a, side_b, classifier)
+    }
+
+
+def bloom_links(side_a, side_b):
+    encoder = BloomRecordEncoder(
+        ["first", "last", "dob"], size=512, num_hashes=4, secret="a7"
+    )
+    return {
+        (a["pid"], b["pid"])
+        for a, b, _s in bloom_link(side_a, side_b, encoder, threshold=0.8)
+    }
+
+
+def psi_links(side_a, side_b):
+    digests_a = {}
+    shared, matched_a, matched_b = psi_link_exact(
+        side_a, side_b, ["first", "last", "dob"],
+        group=TEST_GROUP, rng=random.Random(9),
+    )
+    del digests_a, shared
+    return {(a["pid"], b["pid"]) for a, b in zip(matched_a, matched_b)}
+
+
+def precision_recall(found, truth):
+    if not found:
+        return 0.0, 0.0
+    true_positives = len(found & truth)
+    return true_positives / len(found), true_positives / len(truth)
+
+
+METHODS = {
+    "plaintext-FS": plaintext_links,
+    "bloom": bloom_links,
+    "psi-exact": psi_links,
+}
+
+
+@pytest.mark.parametrize("name", list(METHODS))
+def test_dedup_method_cost(benchmark, name):
+    side_a, side_b, _typos = rosters()
+    benchmark.pedantic(
+        METHODS[name], args=(side_a, side_b), rounds=1, iterations=1
+    )
+
+
+def test_accuracy_report(benchmark, report):
+    side_a, side_b, n_typos = rosters()
+    truth = truth_pairs(side_a, side_b)
+
+    def run_all():
+        return {name: fn(side_a, side_b) for name, fn in METHODS.items()}
+
+    found = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    report(
+        f"=== A7: private dedup ({N_SHARED} true duplicates, "
+        f"{n_typos} with typos) ===",
+        f"{'method':>14s} {'precision':>10s} {'recall':>8s}",
+    )
+    scores = {}
+    for name, pairs in found.items():
+        precision, recall = precision_recall(pairs, truth)
+        scores[name] = (precision, recall)
+        report(f"{name:>14s} {precision:10.2f} {recall:8.2f}")
+
+    assert scores["plaintext-FS"][1] >= 0.95   # near-perfect baseline
+    assert scores["bloom"][1] >= scores["plaintext-FS"][1] - 0.1
+    assert scores["psi-exact"][0] == 1.0       # exact: no false positives
+    expected_psi_recall = (N_SHARED - n_typos) / N_SHARED
+    assert scores["psi-exact"][1] == pytest.approx(expected_psi_recall, abs=0.01)

@@ -1,0 +1,81 @@
+"""Experiment A5: the R-U confidentiality map of the perturbation substrate.
+
+Paper §2 cites Duncan's Risk-Utility map as the way to reason about
+perturbation trade-offs.  We sweep the additive-noise scale sigma:
+
+* **risk** — probability an adversary seeing the perturbed value pins the
+  true value within ±2.5 units (measured empirically);
+* **utility** — how well the Agrawal–Srikant reconstruction recovers the
+  original distribution (1 − L1 histogram error).
+
+Expected shape: a monotone frontier — risk falls and utility falls as
+sigma grows; the map makes the operating-point choice explicit.
+"""
+
+import random
+
+import pytest
+
+from repro.metrics import RUPoint, ru_frontier
+from repro.metrics.ru_map import pick_operating_point
+from repro.mining import reconstruct_distribution
+from repro.statdb import additive_noise
+
+SIGMAS = [0.5, 1.0, 2.0, 4.0, 8.0, 16.0]
+N_VALUES = 3000
+
+
+def true_values(seed=3):
+    rng = random.Random(seed)
+    return [rng.gauss(60.0, 8.0) for _ in range(N_VALUES)]
+
+
+def measure_point(sigma, values, seed=4):
+    rng = random.Random(seed)
+    noisy = additive_noise(values, sigma, rng)
+    within = sum(
+        1 for original, observed in zip(values, noisy)
+        if abs(observed - original) <= 2.5
+    )
+    risk = within / len(values)
+    reconstructed = reconstruct_distribution(
+        noisy, sigma, bins=40, value_range=(20.0, 100.0)
+    )
+    utility = max(0.0, 1.0 - reconstructed.l1_error(values))
+    return RUPoint(sigma, risk, utility)
+
+
+@pytest.mark.parametrize("sigma", SIGMAS)
+def test_ru_point_cost(benchmark, sigma):
+    values = true_values()
+    benchmark.pedantic(
+        measure_point, args=(sigma, values), rounds=1, iterations=1
+    )
+
+
+def test_ru_map_report(benchmark, report):
+    values = true_values()
+    points = benchmark.pedantic(
+        lambda: [measure_point(s, values) for s in SIGMAS],
+        rounds=1, iterations=1,
+    )
+    report(
+        f"=== A5: R-U confidentiality map (additive noise, "
+        f"{N_VALUES} values) ===",
+        f"{'sigma':>6s} {'risk':>7s} {'utility':>8s}",
+    )
+    for point in points:
+        report(f"{point.parameter:6.1f} {point.risk:7.3f} {point.utility:8.3f}")
+
+    risks = [p.risk for p in points]
+    assert risks == sorted(risks, reverse=True)  # risk falls with sigma
+    assert points[0].utility > points[-1].utility  # so does utility
+
+    frontier = ru_frontier(points)
+    chosen = pick_operating_point(points, max_risk=0.5)
+    report(
+        f"frontier size: {len(frontier)}/{len(points)}",
+        f"steward's pick at max risk 0.5: sigma={chosen.parameter} "
+        f"(risk {chosen.risk:.3f}, utility {chosen.utility:.3f})",
+    )
+    assert chosen.risk <= 0.5

@@ -1,0 +1,144 @@
+"""Experiment A8: privacy-preserving vs open schema matching (paper §5).
+
+Synthetic schema pairs: a canonical clinical schema vs a renamed variant
+(synonyms, camelCase/snake flips, abbreviations), with instance data.  We
+compare the open baseline (raw names through the loose matcher) against
+the private matcher (hashed tokens + coarse instance profiles only).
+
+Expected shape: the private matcher recovers at least the open matcher's
+accuracy — hashed synonym tokens plus coarse instance profiles carry the
+same (or more) signal than raw-name similarity, so privacy costs little to
+nothing on this workload.
+"""
+
+import random
+
+import pytest
+
+from repro.mediator import PrivateSchemaMatcher, open_name_matcher_score
+from repro.mediator.schema_matching import describe_attribute
+from repro.xmlkit.loose import LoosePathMatcher
+
+SECRET = "a8-secret"
+
+# canonical name → (variant name, value generator kind)
+SCHEMA_PAIRS = {
+    "dob": ("dateOfBirth", "date"),
+    "ssn": ("socialSecurityNumber", "ssn"),
+    "zip": ("postal_code", "zip"),
+    "hba1c": ("HbA1cResult", "percent"),
+    "ldl": ("cholesterol_ldl", "number"),
+    "first_name": ("givenName", "name"),
+    "last_name": ("surname", "name"),
+    "phone": ("telephoneNumber", "phone"),
+    "weight": ("body_weight_kg", "number"),
+    "diagnosis": ("dx_code", "code"),
+}
+
+
+def values_of(kind, rng, n=60):
+    if kind == "date":
+        return [f"19{rng.randint(30, 99)}-0{rng.randint(1, 9)}-1{rng.randint(0, 9)}"
+                for _ in range(n)]
+    if kind == "ssn":
+        return [f"{rng.randint(100, 999)}-{rng.randint(10, 99)}-{rng.randint(1000, 9999)}"
+                for _ in range(n)]
+    if kind == "zip":
+        return [f"{rng.randint(10000, 99999)}" for _ in range(n)]
+    if kind == "percent":
+        return [round(rng.uniform(40, 95), 1) for _ in range(n)]
+    if kind == "number":
+        return [round(rng.uniform(50, 250), 1) for _ in range(n)]
+    if kind == "name":
+        return [rng.choice(["smith", "jones", "garcia", "chen", "patel"])
+                for _ in range(n)]
+    if kind == "phone":
+        return [f"{rng.randint(200, 999)}-555-{rng.randint(1000, 9999)}"
+                for _ in range(n)]
+    return [f"ICD{rng.randint(100, 999)}" for _ in range(n)]
+
+
+def build_sides(seed=31):
+    rng = random.Random(seed)
+    left_names = {}
+    right_descriptors = {}
+    left_descriptors = {}
+    for canonical, (variant, kind) in SCHEMA_PAIRS.items():
+        left_values = values_of(kind, rng)
+        right_values = values_of(kind, rng)
+        left_names[canonical] = variant
+        left_descriptors[canonical] = describe_attribute(
+            canonical, left_values, SECRET
+        )
+        right_descriptors[variant] = describe_attribute(
+            variant, right_values, SECRET
+        )
+    return left_names, left_descriptors, right_descriptors
+
+
+def open_match(left_names):
+    matcher = LoosePathMatcher(threshold=0.4)
+    found = {}
+    candidates = list(left_names.values())
+    for canonical in left_names:
+        best, _score = matcher.best_match(canonical, candidates)
+        if best is not None:
+            found[canonical] = best
+    return found
+
+
+def private_match(left_descriptors, right_descriptors):
+    matcher = PrivateSchemaMatcher(threshold=0.4)
+    correspondences = matcher.match(left_descriptors, right_descriptors)
+    return {canonical: match for canonical, (match, _s) in correspondences.items()}
+
+
+def accuracy(found, truth):
+    correct = sum(1 for k, v in found.items() if truth.get(k) == v)
+    return correct / len(truth)
+
+
+def test_open_matcher_cost(benchmark):
+    left_names, _ld, _rd = build_sides()
+    benchmark(open_match, left_names)
+
+
+def test_private_matcher_cost(benchmark):
+    _ln, left_descriptors, right_descriptors = build_sides()
+    benchmark(private_match, left_descriptors, right_descriptors)
+
+
+def test_accuracy_report(benchmark, report):
+    left_names, left_descriptors, right_descriptors = build_sides()
+
+    def run_both():
+        return (
+            open_match(left_names),
+            private_match(left_descriptors, right_descriptors),
+        )
+
+    open_found, private_found = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+    open_accuracy = accuracy(open_found, left_names)
+    private_accuracy = accuracy(private_found, left_names)
+    report(
+        f"=== A8: schema matching accuracy over "
+        f"{len(SCHEMA_PAIRS)} attribute pairs ===",
+        f"open (raw names):        {open_accuracy:5.0%}",
+        f"private (hashed+stats):  {private_accuracy:5.0%}",
+    )
+    for canonical, variant in sorted(left_names.items()):
+        open_hit = "Y" if open_found.get(canonical) == variant else "-"
+        private_hit = "Y" if private_found.get(canonical) == variant else "-"
+        report(f"   {canonical:12s} → {variant:22s} "
+               f"open:{open_hit} private:{private_hit}")
+    # Measured shape: the private matcher is NOT the weaker one here —
+    # its coarse instance profiles recover semantic pairs (givenName ↔
+    # first_name) that raw-name similarity misses, so privacy costs
+    # nothing on this workload.
+    assert open_accuracy >= 0.4
+    assert private_accuracy >= 0.7
+    assert private_accuracy >= open_accuracy - 0.1
+    # sanity: the open score function behaves
+    assert open_name_matcher_score("dob", "dateOfBirth") == 1.0

@@ -1,0 +1,120 @@
+"""Experiment A3: sequence-of-queries defenses vs the tracker attack.
+
+Paper §4 poses the open problem: "how do we ensure that a set of query
+results … cannot be combined together to violate data privacy?"  We run
+the classic individual-tracker attack against four defense stacks and
+report breach rate, legitimate-query overhead, and per-query cost.
+
+Expected shape: the bare size control is fully breached; audit and overlap
+control drive the breach rate to zero; audit costs the most per query.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import PrivacyViolation
+from repro.relational import Comparison, Table
+from repro.statdb import ProtectedStatDB, StatQuery, individual_tracker_attack
+from repro.statdb.tracker import true_value
+
+N_ROWS = 120
+N_VICTIMS = 12
+
+DEFENSES = {
+    "size-only": dict(min_set_size=3, restrict_complement=False),
+    "size+complement": dict(min_set_size=3, restrict_complement=True),
+    "size+audit": dict(min_set_size=3, restrict_complement=False, audit=True),
+    "size+overlap": dict(min_set_size=3, restrict_complement=False,
+                         max_overlap=3),
+}
+
+
+def salaries_table():
+    rows = [
+        {"id": i, "dept": ["sales", "eng", "hr"][i % 3],
+         "salary": 1000.0 + 37.0 * i}
+        for i in range(N_ROWS)
+    ]
+    return Table.from_dicts("salaries", rows)
+
+
+def run_attacks(defense_kwargs):
+    db = ProtectedStatDB(salaries_table(), **defense_kwargs)
+    breaches = 0
+    refused = 0
+    for victim in range(N_VICTIMS):
+        result = individual_tracker_attack(
+            db,
+            Comparison("id", "=", victim),
+            Comparison("dept", "=", "sales"),
+            func="sum",
+            column="salary",
+        )
+        if not result.succeeded:
+            refused += 1
+            continue
+        truth = true_value(
+            db, Comparison("id", "=", victim), func="sum", column="salary"
+        )
+        if abs(result.inferred_value - truth) < 1e-6:
+            breaches += 1
+    return breaches, refused, db
+
+
+def legitimate_throughput(defense_kwargs):
+    """How many disjoint departmental aggregates still get answered."""
+    db = ProtectedStatDB(salaries_table(), **defense_kwargs)
+    answered = 0
+    for dept in ("sales", "eng", "hr"):
+        try:
+            db.answer(StatQuery("avg", "salary", Comparison("dept", "=", dept)))
+            answered += 1
+        except PrivacyViolation:
+            pass
+    return answered
+
+
+@pytest.mark.parametrize("name", list(DEFENSES))
+def test_defense_query_cost(benchmark, name):
+    kwargs = DEFENSES[name]
+
+    def answer_one():
+        db = ProtectedStatDB(salaries_table(), **kwargs)
+        return db.answer(
+            StatQuery("avg", "salary", Comparison("dept", "=", "sales"))
+        )
+
+    benchmark(answer_one)
+
+
+def test_breach_rates_and_report(benchmark, report):
+    def sweep():
+        rows = []
+        for name, kwargs in DEFENSES.items():
+            start = time.perf_counter()
+            breaches, refused, _db = run_attacks(kwargs)
+            elapsed = time.perf_counter() - start
+            answered = legitimate_throughput(kwargs)
+            rows.append((name, breaches, refused, answered, elapsed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report(
+        f"=== A3: tracker attack vs defenses ({N_VICTIMS} victims, "
+        f"{N_ROWS} records) ===",
+        f"{'defense':>16s} {'breaches':>9s} {'attacks blocked':>16s} "
+        f"{'legit answered':>15s}",
+    )
+    results = {}
+    for name, breaches, refused, answered, _elapsed in rows:
+        results[name] = (breaches, refused, answered)
+        report(
+            f"{name:>16s} {breaches:>4d}/{N_VICTIMS:<4d} "
+            f"{refused:>16d} {answered:>12d}/3"
+        )
+    assert results["size-only"][0] == N_VICTIMS       # fully breached
+    assert results["size+audit"][0] == 0              # audit stops it
+    assert results["size+overlap"][0] == 0            # overlap stops it
+    assert results["size+audit"][2] == 3              # legit queries survive
+    assert results["size+overlap"][2] == 3

@@ -1,0 +1,21 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the table/series it reproduces through the
+``report`` fixture, which bypasses pytest's output capture so the rows
+appear in ``bench_output.txt`` next to pytest-benchmark's timing table.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def report(capsys):
+    """A print function that writes straight to the terminal."""
+
+    def emit(*lines):
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    emit("")
+    return emit

@@ -1,0 +1,120 @@
+"""Example 2 of the paper: SARS-like disease outbreak control.
+
+Five regional health authorities hold confidential case registries.  None
+will share patient-level data, but all allow aggregate queries for the
+purpose ``outbreak-surveillance``.  PRIVATE-IYE integrates them:
+
+* epidemic curves per region (revealing the travel-lagged spread the paper
+  says surveillance must detect);
+* age-stratified case-fatality (the elderly-risk signal);
+* hybrid warehousing: the routine daily situation report is served from
+  the materialized store, while an *emergency* query bypasses it for fresh
+  data — the paper's stated reason for the hybrid design.
+
+Run:  python examples/outbreak_surveillance.py
+"""
+
+from repro import PrivateIye
+from repro.data import OutbreakGenerator
+from repro.relational import Table
+
+POLICY_TEMPLATE = """
+VIEW {region}_private {{
+    PRIVATE //case/case_id;
+    PRIVATE //case/sex;
+    PRIVATE //case/age FORM aggregate;
+    PRIVATE //case/outcome FORM aggregate;
+}}
+
+POLICY {region} DEFAULT deny {{
+    DENY //case/case_id FOR *;
+    ALLOW //case/onset_day FOR outbreak-surveillance FORM exact;
+    ALLOW //case/region FOR outbreak-surveillance FORM exact;
+    ALLOW //case/age FOR outbreak-surveillance FORM aggregate MAXLOSS 0.5;
+    ALLOW //case/outcome FOR outbreak-surveillance FORM aggregate MAXLOSS 0.5;
+    ALLOW //case/healthcare_worker FOR outbreak-surveillance FORM aggregate MAXLOSS 0.5;
+}}
+"""
+
+
+def build_system(generator):
+    system = PrivateIye(warehouse_mode="hybrid")
+    records = generator.case_records()
+    for region in generator.regions:
+        system.load_policies(
+            POLICY_TEMPLATE.format(region=region),
+            view_source={f"{region}_private": region},
+        )
+        system.add_relational_source(
+            region, Table.from_dicts("cases", records[region])
+        )
+    return system
+
+
+def epidemic_curves(system, requester="who-analyst"):
+    result = system.query(
+        "SELECT //case/onset_day, COUNT(*) AS cases "
+        "GROUP BY //case/onset_day PURPOSE outbreak-surveillance",
+        requester=requester,
+    )
+    curves = {}
+    for row in result.rows:
+        # mediated attribute names are normalized: onset_day → onsetday
+        curves.setdefault(row["_source"], {})[row["onsetday"]] = row["cases"]
+    return curves
+
+
+def main():
+    generator = OutbreakGenerator(days=110, seed=2003)
+    system = build_system(generator)
+    print(f"integrated {len(generator.regions)} regional case registries")
+    print("mediated vocabulary:", system.vocabulary())
+    print("(case_id and sex are suppressed by every region)\n")
+
+    print("=== epidemic curves (aggregate-only access) ===")
+    curves = epidemic_curves(system)
+    for region in generator.regions:
+        series = curves.get(region, {})
+        if not series:
+            continue
+        peak_day = max(series, key=series.get)
+        total = sum(series.values())
+        bar = "#" * min(40, series[peak_day] // 5)
+        print(f"   {region:10s} total={total:5d}  peak day {peak_day:3d} {bar}")
+    print("   → peaks are ordered by travel lag: the outbreak spread\n")
+
+    print("=== age-stratified case fatality ===")
+    for label, predicate in [("under 65", "//case/age < 65"),
+                             ("65 and up", "//case/age >= 65")]:
+        result = system.query(
+            f"SELECT COUNT(*) AS n WHERE {predicate} "
+            "AND //case/outcome = 'died' PURPOSE outbreak-surveillance",
+            requester="who-analyst-2",
+        )
+        deaths = sum(row["n"] for row in result.rows)
+        result_all = system.query(
+            f"SELECT COUNT(*) AS n WHERE {predicate} "
+            "PURPOSE outbreak-surveillance",
+            requester="who-analyst-2",
+        )
+        cases = sum(row["n"] for row in result_all.rows)
+        print(f"   {label}: {deaths}/{cases} = {deaths / cases:5.1%} fatality")
+    print()
+
+    print("=== hybrid warehousing: routine vs emergency ===")
+    warehouse = system.engine.warehouse
+    report = ("SELECT COUNT(*) AS cases GROUP BY //case/region "
+              "PURPOSE outbreak-surveillance")
+    system.query(report, requester="minister")  # cold: hits all sources
+    calls_after_first = warehouse.total_source_calls
+    system.query(report, requester="minister")  # routine repeat: cached
+    calls_after_second = warehouse.total_source_calls
+    print(f"   source calls — first run: {calls_after_first}, "
+          f"after cached repeat: {calls_after_second} (no new calls)")
+    system.query(report, requester="minister", emergency=True)
+    print(f"   after EMERGENCY re-query: {warehouse.total_source_calls} "
+          "(fresh data pulled from every region)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+"""Private record linkage and distributed mining across suspicious partners.
+
+Two hospitals want to coordinate care for shared patients and mine
+treatment patterns together — without handing each other (or the mediator)
+their patient rosters.  This example exercises the secure-computation
+substrate directly:
+
+1. **PSI**: the hospitals learn exactly which patients they share, and
+   nothing about the rest of each other's rosters.
+2. **Bloom linkage**: typo-tolerant matching on encoded identifiers — the
+   comparing party sees only bit vectors.
+3. **Secure-union distributed mining**: globally frequent prescription
+   combinations are found without attributing any itemset to a hospital.
+
+Run:  python examples/private_linkage_demo.py
+"""
+
+import random
+
+from repro.crypto import TEST_GROUP
+from repro.data.names import introduce_typo, person_names
+from repro.linkage import BloomRecordEncoder, bloom_link, psi_link_exact
+from repro.mining import PartitionedMiner, apriori
+
+
+def build_rosters(seed=42):
+    rng = random.Random(seed)
+    names = person_names(60, seed=seed)
+    shared = [
+        {"first": f, "last": l, "dob": f"19{50 + i}-01-0{1 + i % 9}"}
+        for i, (f, l) in enumerate(names[:12])
+    ]
+    hospital_a = shared + [
+        {"first": f, "last": l, "dob": "1960-06-06"}
+        for f, l in names[12:35]
+    ]
+    hospital_b = [dict(p) for p in shared] + [
+        {"first": f, "last": l, "dob": "1970-07-07"}
+        for f, l in names[35:]
+    ]
+    # hospital B's clerks made typos in three shared records
+    for record in hospital_b[:3]:
+        record["last"] = introduce_typo(record["last"], rng)
+    return hospital_a, hospital_b, shared
+
+
+def main():
+    hospital_a, hospital_b, shared = build_rosters()
+    print(f"hospital A roster: {len(hospital_a)} patients")
+    print(f"hospital B roster: {len(hospital_b)} patients "
+          f"({len(shared)} truly shared, 3 with typos at B)\n")
+
+    print("=== 1) exact private set intersection ===")
+    digests, matched_a, _matched_b = psi_link_exact(
+        hospital_a, hospital_b, ["first", "last", "dob"],
+        group=TEST_GROUP, rng=random.Random(7),
+    )
+    print(f"   PSI finds {len(digests)} exact matches "
+          "(typo'd records cannot match exactly)")
+    print(f"   e.g. shared patient: {matched_a[0]['first']} "
+          f"{matched_a[0]['last']}\n")
+
+    print("=== 2) typo-tolerant Bloom linkage ===")
+    encoder = BloomRecordEncoder(["first", "last", "dob"], size=512,
+                                 num_hashes=4, secret="hospitals-ab")
+    links = bloom_link(hospital_a, hospital_b, encoder, threshold=0.8)
+    print(f"   Bloom linkage finds {len(links)} matches "
+          "(including the typo'd records)")
+    fuzzy = [
+        (a, b, s) for a, b, s in links
+        if a["last"] != b["last"]
+    ]
+    for a, b, score in fuzzy[:3]:
+        print(f"   fuzzy: {a['last']!r} ~ {b['last']!r} "
+              f"(similarity {score:.2f})")
+    print()
+
+    print("=== 3) distributed prescription mining with secure union ===")
+    rng = random.Random(11)
+    drugs = ["metformin", "insulin", "statin", "aspirin", "lisinopril"]
+
+    def baskets(n, bias):
+        out = []
+        for _ in range(n):
+            basket = {d for d in drugs if rng.random() < 0.3}
+            if rng.random() < bias:
+                basket |= {"metformin", "statin"}  # the pattern to find
+            out.append(basket or {"aspirin"})
+        return out
+
+    site_a, site_b = baskets(120, 0.5), baskets(100, 0.55)
+    miner = PartitionedMiner([site_a, site_b], min_support=0.3,
+                             group=TEST_GROUP, rng=random.Random(13))
+    frequent = miner.globally_frequent()
+    central = apriori(site_a + site_b, 0.3)
+    print(f"   globally frequent itemsets: {len(frequent)} "
+          f"(centralized baseline finds {len(central)} — identical: "
+          f"{set(frequent) == set(central)})")
+    pair = frozenset(["metformin", "statin"])
+    print(f"   {{metformin, statin}} support: {frequent[pair]:.2f}")
+    print(f"   ciphertexts exchanged for the union: "
+          f"{miner.union_wire_messages}; secure sums run: "
+          f"{miner.secure_sums_run}")
+    print("   (no site learned which itemsets the other contributed)")
+
+
+if __name__ == "__main__":
+    main()

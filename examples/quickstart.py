@@ -1,0 +1,98 @@
+"""Quickstart: a two-source PRIVATE-IYE deployment in ~60 lines.
+
+Builds two clinical sources with privacy policies, integrates them through
+the mediation engine, and shows the three behaviours that make the system
+*privacy preserving*: policy-gated disclosure, form downgrading
+(exact → range → aggregate), and refusal with an explanation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import PrivateIye, PrivacyViolation
+from repro.relational import Table
+
+POLICIES = """
+VIEW clinic_private {
+    PRIVATE //patient/ssn;
+    PRIVATE //patient/age FORM range;
+    PRIVATE //patient/hba1c FORM aggregate;
+}
+VIEW lab_private {
+    PRIVATE //patient/ssn;
+    PRIVATE //patient/hba1c FORM aggregate;
+}
+
+POLICY clinic DEFAULT deny {
+    DENY //patient/ssn FOR *;
+    ALLOW //patient/age FOR research FORM range;
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.6;
+    ALLOW //patient/city FOR research;
+}
+
+POLICY lab DEFAULT deny {
+    DENY //patient/ssn FOR *;
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.6;
+    ALLOW //patient/city FOR research;
+}
+"""
+
+
+def build_tables():
+    clinic_rows = [
+        {"ssn": f"111-{i:03d}", "age": 25 + i % 50, "hba1c": 60.0 + i % 25,
+         "city": ["pittsburgh", "butler"][i % 2]}
+        for i in range(40)
+    ]
+    lab_rows = [
+        {"ssn": f"222-{i:03d}", "hba1c": 65.0 + i % 20,
+         "city": ["pittsburgh", "erie"][i % 2]}
+        for i in range(30)
+    ]
+    return (Table.from_dicts("patients", clinic_rows),
+            Table.from_dicts("patients", lab_rows))
+
+
+def main():
+    system = PrivateIye()
+    system.load_policies(
+        POLICIES, view_source={"clinic_private": "clinic",
+                               "lab_private": "lab"},
+    )
+    clinic_table, lab_table = build_tables()
+    system.add_relational_source("clinic", clinic_table)
+    system.add_relational_source("lab", lab_table)
+
+    print("mediated vocabulary:", system.vocabulary())
+    print("(note: ssn is absent — every source suppresses it)\n")
+
+    print("1) cross-source aggregate (allowed for public-health research):")
+    result = system.query(
+        "SELECT AVG(//patient/hba1c) AS mean_hba1c "
+        "PURPOSE outbreak-surveillance MAXLOSS 0.6",
+        requester="epidemiologist",
+    )
+    for row in result.rows:
+        print(f"   {row['_source']}: mean HbA1c = {row['mean_hba1c']:.2f}")
+    print(f"   aggregated privacy loss: {result.aggregated_loss:.3f}\n")
+
+    print("2) record-level ages come back generalized (RANGE form):")
+    result = system.query(
+        "SELECT //patient/age, //patient/city PURPOSE research",
+        requester="researcher",
+    )
+    for row in result.rows[:3]:
+        print(f"   age={row['age']}  city={row['city']}  from {row['_source']}")
+    print(f"   ... {len(result.rows)} rows total\n")
+
+    print("3) disallowed purposes are refused with an explanation:")
+    try:
+        system.query(
+            "SELECT AVG(//patient/hba1c) PURPOSE marketing",
+            requester="advertiser",
+        )
+    except PrivacyViolation as refusal:
+        print(f"   refused: {refusal}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setup shim: enables legacy editable installs where ``wheel`` is absent.
+
+All project metadata lives in ``pyproject.toml``; this file only exists so
+``pip install -e . --no-build-isolation --no-use-pep517`` works offline.
+"""
+
+from setuptools import setup
+
+setup()

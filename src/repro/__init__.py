@@ -1,0 +1,54 @@
+"""PRIVATE-IYE: a privacy preserving data integration framework.
+
+Reproduction of S. S. Bhowmick, L. Gruenwald, M. Iwaihara and
+S. Chatvichienchai, "PRIVATE-IYE: A Framework for Privacy Preserving Data
+Integration" (ICDE Workshops 2006).
+
+Quick start::
+
+    from repro import PrivateIye
+
+    system = PrivateIye()
+    system.load_policies(POLICY_DSL)
+    system.add_relational_source("HMO1", table)
+    result = system.query(
+        "SELECT AVG(//patient/hba1c) PURPOSE outbreak-surveillance",
+        requester="epi-1",
+    )
+
+Subpackages: :mod:`repro.core` (system facade), :mod:`repro.policy`
+(the three policy languages of paper section 3), :mod:`repro.query` (PIQL),
+:mod:`repro.source` (the section-4 per-source framework), :mod:`repro.mediator`
+(the section-5 mediation engine), plus the substrates :mod:`repro.xmlkit`,
+:mod:`repro.relational`, :mod:`repro.crypto`, :mod:`repro.linkage`,
+:mod:`repro.statdb`, :mod:`repro.anonymity`, :mod:`repro.mining`,
+:mod:`repro.inference`, :mod:`repro.metrics`, and :mod:`repro.data`.
+"""
+
+from repro.core import PrivateIye, Session
+from repro.errors import (
+    AccessDenied,
+    AuditRefusal,
+    IntegrationError,
+    PolicyError,
+    PrivacyViolation,
+    QueryError,
+    ReproError,
+)
+from repro.query import parse_piql
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PrivateIye",
+    "Session",
+    "parse_piql",
+    "ReproError",
+    "PrivacyViolation",
+    "AuditRefusal",
+    "AccessDenied",
+    "PolicyError",
+    "QueryError",
+    "IntegrationError",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Access control: RBAC and multilevel security.
+
+Section 2 positions these as necessary-but-insufficient building blocks —
+they gate *who* reads *what*, while the privacy framework limits what can
+be inferred afterwards.  The source-side query rewriter consults both.
+
+* :mod:`repro.access.rbac` — roles, permissions, role hierarchy.
+* :mod:`repro.access.mls` — Bell–LaPadula multilevel labels.
+"""
+
+from repro.access.rbac import Permission, RbacPolicy, Role
+from repro.access.mls import Level, SecurityLabel, can_read, can_write
+
+__all__ = [
+    "Permission",
+    "Role",
+    "RbacPolicy",
+    "Level",
+    "SecurityLabel",
+    "can_read",
+    "can_write",
+]

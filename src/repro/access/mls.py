@@ -1,0 +1,86 @@
+"""Multilevel security (Bell–LaPadula).
+
+Labels combine a linear classification level with a compartment set; label
+A *dominates* B when A's level is at least B's and A's compartments contain
+B's.  The two BLP rules:
+
+* **no read up** — a subject may read an object only if the subject's
+  label dominates the object's;
+* **no write down** — a subject may write an object only if the object's
+  label dominates the subject's.
+
+The paper notes (§2) that two queries at different levels may legitimately
+get different answers over the same database; the source-side rewriter
+realizes that by filtering rows/columns whose label the requester does not
+dominate.
+"""
+
+from __future__ import annotations
+
+import enum
+from functools import total_ordering
+
+from repro.errors import ReproError
+
+
+@total_ordering
+class Level(enum.Enum):
+    """Linear classification levels."""
+
+    UNCLASSIFIED = 0
+    CONFIDENTIAL = 1
+    SECRET = 2
+    TOP_SECRET = 3
+
+    def __lt__(self, other):
+        if not isinstance(other, Level):
+            return NotImplemented
+        return self.value < other.value
+
+
+class SecurityLabel:
+    """A classification level plus a compartment set."""
+
+    __slots__ = ("level", "compartments")
+
+    def __init__(self, level, compartments=()):
+        if isinstance(level, str):
+            try:
+                level = Level[level.upper().replace("-", "_")]
+            except KeyError as exc:
+                raise ReproError(f"unknown security level {level!r}") from exc
+        if not isinstance(level, Level):
+            raise ReproError("level must be a Level or its name")
+        self.level = level
+        self.compartments = frozenset(compartments)
+
+    def dominates(self, other):
+        """Whether this label dominates ``other``."""
+        return (
+            self.level >= other.level
+            and self.compartments >= other.compartments
+        )
+
+    def __repr__(self):
+        tags = f" {sorted(self.compartments)}" if self.compartments else ""
+        return f"SecurityLabel({self.level.name}{tags})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, SecurityLabel)
+            and (self.level, self.compartments)
+            == (other.level, other.compartments)
+        )
+
+    def __hash__(self):
+        return hash((self.level, self.compartments))
+
+
+def can_read(subject_label, object_label):
+    """BLP simple security: no read up."""
+    return subject_label.dominates(object_label)
+
+
+def can_write(subject_label, object_label):
+    """BLP star property: no write down."""
+    return object_label.dominates(subject_label)

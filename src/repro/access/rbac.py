@@ -1,0 +1,128 @@
+"""Role-based access control.
+
+Permissions pair an action with a resource pattern; resources are
+dot-separated names (``patients.dob``) and patterns may end in ``.*`` or be
+the global ``*``.  Roles may inherit from other roles (a senior role holds
+every permission of its juniors).  :class:`RbacPolicy` assigns roles to
+subjects and answers access checks, raising
+:class:`~repro.errors.AccessDenied` from :meth:`RbacPolicy.require`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AccessDenied, ReproError
+
+ACTIONS = ("read", "write", "aggregate")
+
+
+class Permission:
+    """``action`` on resources matching ``pattern``."""
+
+    __slots__ = ("action", "pattern")
+
+    def __init__(self, action, pattern):
+        if action not in ACTIONS:
+            raise ReproError(f"unknown action {action!r} (use {ACTIONS})")
+        if not pattern:
+            raise ReproError("empty resource pattern")
+        self.action = action
+        self.pattern = pattern
+
+    def matches(self, action, resource):
+        """Whether this permission grants ``action`` on ``resource``."""
+        if action != self.action:
+            return False
+        if self.pattern == "*":
+            return True
+        if self.pattern.endswith(".*"):
+            prefix = self.pattern[:-2]
+            return resource == prefix or resource.startswith(prefix + ".")
+        return resource == self.pattern
+
+    def __repr__(self):
+        return f"Permission({self.action} {self.pattern})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Permission)
+            and (self.action, self.pattern) == (other.action, other.pattern)
+        )
+
+    def __hash__(self):
+        return hash((self.action, self.pattern))
+
+
+class Role:
+    """A named bundle of permissions, optionally inheriting other roles."""
+
+    def __init__(self, name, permissions=(), parents=()):
+        if not name:
+            raise ReproError("role needs a name")
+        self.name = name
+        self.permissions = set(permissions)
+        self.parents = list(parents)
+
+    def all_permissions(self):
+        """This role's permissions including everything inherited."""
+        collected = set()
+        stack, seen = [self], set()
+        while stack:
+            role = stack.pop()
+            if role.name in seen:
+                continue
+            seen.add(role.name)
+            collected |= role.permissions
+            stack.extend(role.parents)
+        return collected
+
+    def grants(self, action, resource):
+        """Whether this role (or an ancestor) permits the access."""
+        return any(p.matches(action, resource) for p in self.all_permissions())
+
+    def __repr__(self):
+        return f"Role({self.name!r}, {len(self.permissions)} perms)"
+
+
+class RbacPolicy:
+    """Subject → roles assignment with access checks."""
+
+    def __init__(self):
+        self._roles = {}
+        self._assignments = {}
+
+    def add_role(self, role):
+        """Register a role (names must be unique)."""
+        if role.name in self._roles:
+            raise ReproError(f"role {role.name!r} already registered")
+        self._roles[role.name] = role
+        return role
+
+    def role(self, name):
+        """Look up a registered role."""
+        if name not in self._roles:
+            raise ReproError(f"unknown role {name!r}")
+        return self._roles[name]
+
+    def assign(self, subject, role_name):
+        """Give ``subject`` the role named ``role_name``."""
+        role = self.role(role_name)
+        self._assignments.setdefault(subject, set()).add(role.name)
+
+    def roles_of(self, subject):
+        """Names of the roles assigned to ``subject``."""
+        return sorted(self._assignments.get(subject, ()))
+
+    def check(self, subject, action, resource):
+        """True when any assigned role grants the access."""
+        return any(
+            self._roles[name].grants(action, resource)
+            for name in self._assignments.get(subject, ())
+        )
+
+    def require(self, subject, action, resource):
+        """Raise :class:`AccessDenied` unless the access is granted."""
+        if not self.check(subject, action, resource):
+            raise AccessDenied(
+                f"{subject!r} may not {action} {resource!r} "
+                f"(roles: {self.roles_of(subject) or 'none'})"
+            )

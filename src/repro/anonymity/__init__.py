@@ -1,0 +1,44 @@
+"""k-anonymity and friends.
+
+The paper names k-anonymity (Samarati–Sweeney, refs [37, 28]) as an
+established privacy measure for the loss-computation module.  This package
+implements value generalization hierarchies
+(:mod:`repro.anonymity.hierarchy`), the full-domain generalization lattice
+and Samarati-style minimal search (:mod:`repro.anonymity.lattice`,
+:mod:`repro.anonymity.kanonymity`), greedy multidimensional Mondrian
+partitioning (:mod:`repro.anonymity.mondrian`), and l-diversity checks
+(:mod:`repro.anonymity.ldiversity`).
+"""
+
+from repro.anonymity.hierarchy import (
+    GeneralizationHierarchy,
+    interval_hierarchy,
+    taxonomy_hierarchy,
+)
+from repro.anonymity.lattice import GeneralizationLattice
+from repro.anonymity.kanonymity import (
+    FullDomainGeneralizer,
+    equivalence_classes,
+    is_k_anonymous,
+)
+from repro.anonymity.mondrian import mondrian_partition
+from repro.anonymity.microaggregation import (
+    mdav_microaggregate,
+    sse_information_loss,
+)
+from repro.anonymity.ldiversity import distinct_l_diversity, entropy_l_diversity
+
+__all__ = [
+    "mdav_microaggregate",
+    "sse_information_loss",
+    "GeneralizationHierarchy",
+    "interval_hierarchy",
+    "taxonomy_hierarchy",
+    "GeneralizationLattice",
+    "FullDomainGeneralizer",
+    "equivalence_classes",
+    "is_k_anonymous",
+    "mondrian_partition",
+    "distinct_l_diversity",
+    "entropy_l_diversity",
+]

@@ -1,0 +1,111 @@
+"""Value generalization hierarchies.
+
+A hierarchy maps a ground value through successively coarser levels; the
+top level is always full suppression (``'*'``).  Two constructors cover the
+common quasi-identifier shapes: :func:`interval_hierarchy` for numbers
+(age → 5-year band → 10-year band → … → '*') and
+:func:`taxonomy_hierarchy` for categorical trees (city → county → state →
+'*').
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+SUPPRESSED = "*"
+
+
+class GeneralizationHierarchy:
+    """A per-attribute generalization function with discrete levels.
+
+    ``levels`` is a list of callables; ``levels[i]`` maps a ground value to
+    its level-i generalization.  Level 0 is the identity; the constructor
+    appends the suppression level automatically.
+    """
+
+    def __init__(self, attribute, levels):
+        self.attribute = attribute
+        self._levels = [lambda value: value] + list(levels) + [lambda value: SUPPRESSED]
+
+    @property
+    def height(self):
+        """Index of the top (suppression) level."""
+        return len(self._levels) - 1
+
+    def generalize(self, value, level):
+        """Generalize ``value`` to ``level`` (0 = identity, height = '*')."""
+        if not 0 <= level <= self.height:
+            raise ReproError(
+                f"level {level} out of range [0, {self.height}] "
+                f"for attribute {self.attribute!r}"
+            )
+        if value is None:
+            return SUPPRESSED
+        return self._levels[level](value)
+
+
+def interval_hierarchy(attribute, widths, low=0):
+    """A numeric hierarchy with one level per interval width.
+
+    ``widths`` must be increasing (e.g. ``[5, 10, 20]`` gives levels
+    age → [60-65) → [60-70) → [60-80) → '*').  Values are labelled
+    ``'[a-b)'``.
+    """
+    if not widths:
+        raise ReproError("interval hierarchy needs at least one width")
+    if any(w <= 0 for w in widths):
+        raise ReproError("interval widths must be positive")
+    if list(widths) != sorted(widths):
+        raise ReproError("interval widths must be increasing")
+
+    def make_level(width):
+        def level(value):
+            value = float(value)
+            start = low + ((value - low) // width) * width
+            return f"[{_fmt(start)}-{_fmt(start + width)})"
+
+        return level
+
+    return GeneralizationHierarchy(attribute, [make_level(w) for w in widths])
+
+
+def taxonomy_hierarchy(attribute, parents):
+    """A categorical hierarchy from a child → parent mapping.
+
+    The mapping's transitive chains define the levels: level i maps a value
+    i steps up the tree (staying at the root once reached).  The hierarchy
+    height is the longest chain in ``parents``.
+    """
+    if not parents:
+        raise ReproError("taxonomy hierarchy needs a parent mapping")
+
+    def climb(value, steps):
+        current = str(value)
+        for _ in range(steps):
+            if current in parents:
+                current = parents[current]
+        return current
+
+    max_depth = 0
+    for value in parents:
+        depth, current = 0, value
+        seen = set()
+        while current in parents:
+            if current in seen:
+                raise ReproError(f"cycle in taxonomy at {current!r}")
+            seen.add(current)
+            current = parents[current]
+            depth += 1
+        max_depth = max(max_depth, depth)
+
+    levels = [
+        (lambda steps: (lambda value: climb(value, steps)))(i)
+        for i in range(1, max_depth + 1)
+    ]
+    return GeneralizationHierarchy(attribute, levels)
+
+
+def _fmt(number):
+    if float(number).is_integer():
+        return str(int(number))
+    return f"{number:g}"

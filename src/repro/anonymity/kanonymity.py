@@ -1,0 +1,136 @@
+"""k-anonymity checks and Samarati-style full-domain generalization.
+
+A release is k-anonymous when every combination of quasi-identifier values
+it contains occurs at least k times.  :class:`FullDomainGeneralizer`
+searches the generalization lattice bottom-up for the minimal node(s)
+achieving k-anonymity, optionally allowing up to ``max_suppressed`` outlier
+rows to be dropped (Samarati's suppression allowance).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.anonymity.lattice import GeneralizationLattice
+
+
+def equivalence_classes(records, quasi_identifiers):
+    """Group records by their quasi-identifier tuple.
+
+    Returns ``{qi_tuple: [records]}``.
+    """
+    classes = {}
+    for record in records:
+        key = tuple(record.get(a) for a in quasi_identifiers)
+        classes.setdefault(key, []).append(record)
+    return classes
+
+
+def is_k_anonymous(records, quasi_identifiers, k):
+    """True when every equivalence class has at least k members."""
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    records = list(records)
+    if not records:
+        return True
+    classes = equivalence_classes(records, quasi_identifiers)
+    return min(len(members) for members in classes.values()) >= k
+
+
+def measured_k(records, quasi_identifiers):
+    """The k actually achieved (smallest equivalence-class size)."""
+    records = list(records)
+    if not records:
+        return 0
+    classes = equivalence_classes(records, quasi_identifiers)
+    return min(len(members) for members in classes.values())
+
+
+class AnonymizationResult:
+    """Outcome of a generalization search."""
+
+    def __init__(self, node, records, suppressed):
+        self.node = node
+        self.records = records
+        self.suppressed = suppressed  # rows dropped under the allowance
+
+    def __repr__(self):
+        return (
+            f"AnonymizationResult(node={self.node}, rows={len(self.records)}, "
+            f"suppressed={len(self.suppressed)})"
+        )
+
+
+class FullDomainGeneralizer:
+    """Minimal full-domain generalization to k-anonymity."""
+
+    def __init__(self, hierarchies):
+        self.lattice = GeneralizationLattice(hierarchies)
+        self.quasi_identifiers = self.lattice.attributes
+
+    def anonymize(self, records, k, max_suppressed=0, l=None, sensitive=None):
+        """Return the minimal-height :class:`AnonymizationResult`.
+
+        Searches lattice heights bottom-up; at each height every node is
+        tried (ties broken lexicographically).  With ``l`` and
+        ``sensitive`` given, every released equivalence class must also
+        contain at least ``l`` distinct sensitive values (classes failing
+        only diversity are suppressed under the same allowance).  Raises
+        :class:`~repro.errors.ReproError` when even the top node fails —
+        which can only happen if ``max_suppressed`` < ``len(records)`` and
+        ``k > len(records)``.
+        """
+        records = list(records)
+        if k < 1:
+            raise ReproError("k must be >= 1")
+        if max_suppressed < 0:
+            raise ReproError("max_suppressed must be >= 0")
+        if (l is None) != (sensitive is None):
+            raise ReproError("l and sensitive must be given together")
+        if l is not None and l < 1:
+            raise ReproError("l must be >= 1")
+        max_height = self.lattice.height_of(self.lattice.top)
+        for height in range(max_height + 1):
+            for node in self.lattice.nodes_at_height(height):
+                result = self._try_node(
+                    records, node, k, max_suppressed, l, sensitive
+                )
+                if result is not None:
+                    return result
+        requirement = f"{k}-anonymity"
+        if l is not None:
+            requirement += f" with {l}-diversity on {sensitive!r}"
+        raise ReproError(
+            f"no generalization achieves {requirement} for "
+            f"{len(records)} records (allowance {max_suppressed})"
+        )
+
+    def satisfying_nodes(self, records, k, max_suppressed=0, l=None,
+                         sensitive=None):
+        """Every lattice node satisfying the requirements (for analysis)."""
+        records = list(records)
+        return [
+            node
+            for node in self.lattice.all_nodes()
+            if self._try_node(records, node, k, max_suppressed, l, sensitive)
+            is not None
+        ]
+
+    def _try_node(self, records, node, k, max_suppressed, l=None,
+                  sensitive=None):
+        generalized = self.lattice.generalize_records(records, node)
+        classes = equivalence_classes(generalized, self.quasi_identifiers)
+        keep, suppressed = [], []
+        for members in classes.values():
+            diverse = (
+                l is None
+                or len({m.get(sensitive) for m in members}) >= l
+            )
+            if len(members) >= k and diverse:
+                keep.extend(members)
+            else:
+                suppressed.extend(members)
+        if len(suppressed) > max_suppressed:
+            return None
+        if not keep and records:
+            return None  # suppressing everything is not a release
+        return AnonymizationResult(node, keep, suppressed)

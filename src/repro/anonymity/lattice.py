@@ -1,0 +1,93 @@
+"""The full-domain generalization lattice.
+
+A lattice node assigns one generalization level to each quasi-identifier;
+``(0, ..., 0)`` is the raw data and the top node suppresses everything.
+Samarati's search walks the lattice by height (sum of levels), returning
+the lowest nodes that satisfy a predicate (e.g. "is k-anonymous") —
+monotonicity of k-anonymity under generalization makes the first hit per
+height minimal.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import ReproError
+
+
+class GeneralizationLattice:
+    """The product lattice of per-attribute level ranges."""
+
+    def __init__(self, hierarchies):
+        if not hierarchies:
+            raise ReproError("lattice needs at least one hierarchy")
+        self.hierarchies = list(hierarchies)
+        self.attributes = [h.attribute for h in self.hierarchies]
+
+    @property
+    def bottom(self):
+        """The identity node (no generalization)."""
+        return tuple(0 for _ in self.hierarchies)
+
+    @property
+    def top(self):
+        """The full-suppression node."""
+        return tuple(h.height for h in self.hierarchies)
+
+    def height_of(self, node):
+        """Sum of levels (the node's height in the lattice)."""
+        return sum(node)
+
+    def nodes_at_height(self, height):
+        """All valid nodes whose levels sum to ``height``, sorted."""
+        ranges = [range(h.height + 1) for h in self.hierarchies]
+        return sorted(
+            node
+            for node in itertools.product(*ranges)
+            if sum(node) == height
+        )
+
+    def all_nodes(self):
+        """Every node, in increasing height order (then lexicographic)."""
+        max_height = self.height_of(self.top)
+        for height in range(max_height + 1):
+            yield from self.nodes_at_height(height)
+
+    def successors(self, node):
+        """Nodes one level above ``node`` in exactly one attribute."""
+        self._validate(node)
+        out = []
+        for i, hierarchy in enumerate(self.hierarchies):
+            if node[i] < hierarchy.height:
+                out.append(node[:i] + (node[i] + 1,) + node[i + 1:])
+        return out
+
+    def generalize_record(self, record, node):
+        """Apply ``node``'s levels to the QI attributes of ``record``.
+
+        Non-QI attributes pass through untouched.
+        """
+        self._validate(node)
+        generalized = dict(record)
+        for level, hierarchy in zip(node, self.hierarchies):
+            attribute = hierarchy.attribute
+            if attribute in generalized:
+                generalized[attribute] = hierarchy.generalize(
+                    generalized[attribute], level
+                )
+        return generalized
+
+    def generalize_records(self, records, node):
+        """Apply ``node`` to every record."""
+        return [self.generalize_record(record, node) for record in records]
+
+    def _validate(self, node):
+        if len(node) != len(self.hierarchies):
+            raise ReproError(
+                f"node arity {len(node)} != {len(self.hierarchies)} hierarchies"
+            )
+        for level, hierarchy in zip(node, self.hierarchies):
+            if not 0 <= level <= hierarchy.height:
+                raise ReproError(
+                    f"level {level} out of range for {hierarchy.attribute!r}"
+                )

@@ -1,0 +1,68 @@
+"""l-diversity checks on released tables.
+
+k-anonymity bounds re-identification but not attribute disclosure: a
+k-anonymous class whose members all share one sensitive value reveals it
+anyway.  Distinct l-diversity requires ≥ l distinct sensitive values per
+equivalence class; entropy l-diversity requires the class's sensitive-value
+entropy to be at least ``log(l)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.anonymity.kanonymity import equivalence_classes
+
+
+def distinct_l_diversity(records, quasi_identifiers, sensitive, l):
+    """True when every equivalence class has ≥ l distinct sensitive values."""
+    _check_l(l)
+    records = list(records)
+    if not records:
+        return True
+    for members in equivalence_classes(records, quasi_identifiers).values():
+        values = {m.get(sensitive) for m in members}
+        if len(values) < l:
+            return False
+    return True
+
+
+def entropy_l_diversity(records, quasi_identifiers, sensitive, l):
+    """True when every class's sensitive-value entropy is ≥ log(l)."""
+    _check_l(l)
+    records = list(records)
+    if not records:
+        return True
+    threshold = math.log(l)
+    for members in equivalence_classes(records, quasi_identifiers).values():
+        if _entropy(members, sensitive) < threshold - 1e-12:
+            return False
+    return True
+
+
+def measured_l(records, quasi_identifiers, sensitive):
+    """Smallest distinct sensitive-value count over all classes."""
+    records = list(records)
+    if not records:
+        return 0
+    return min(
+        len({m.get(sensitive) for m in members})
+        for members in equivalence_classes(records, quasi_identifiers).values()
+    )
+
+
+def _entropy(members, sensitive):
+    counts = {}
+    for member in members:
+        value = member.get(sensitive)
+        counts[value] = counts.get(value, 0) + 1
+    total = len(members)
+    return -sum(
+        (count / total) * math.log(count / total) for count in counts.values()
+    )
+
+
+def _check_l(l):
+    if l < 1:
+        raise ReproError("l must be >= 1")

@@ -1,0 +1,105 @@
+"""Greedy multidimensional partitioning (Mondrian) for numeric QIs.
+
+Instead of one global generalization level, Mondrian recursively splits the
+record set on the median of the widest-normalized-range quasi-identifier,
+stopping when a split would leave a side with fewer than k records.  Each
+final partition is released with its QI values replaced by the partition's
+ranges.  Typically loses far less information than full-domain
+generalization — benchmark A6 quantifies the difference.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def mondrian_partition(records, quasi_identifiers, k):
+    """Partition ``records`` into k-anonymous groups.
+
+    All quasi-identifiers must be numeric.  Returns a list of partitions;
+    each partition is ``(ranges, members)`` with ``ranges`` a
+    ``{attribute: (low, high)}`` mapping.
+    """
+    records = list(records)
+    if k < 1:
+        raise ReproError("k must be >= 1")
+    if not quasi_identifiers:
+        raise ReproError("Mondrian needs at least one quasi-identifier")
+    if len(records) < k:
+        raise ReproError(f"{len(records)} records cannot be {k}-anonymous")
+    for record in records:
+        for attribute in quasi_identifiers:
+            value = record.get(attribute)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                raise ReproError(
+                    f"Mondrian requires numeric QIs; {attribute!r}={value!r}"
+                )
+
+    # Global ranges for normalization, so one wide attribute does not
+    # dominate the split choice.
+    spans = {}
+    for attribute in quasi_identifiers:
+        values = [r[attribute] for r in records]
+        spans[attribute] = (min(values), max(values))
+
+    partitions = []
+    _split(records, quasi_identifiers, k, spans, partitions)
+    return partitions
+
+
+def anonymized_records(partitions, quasi_identifiers):
+    """Flatten partitions into released records with range-valued QIs."""
+    released = []
+    for ranges, members in partitions:
+        for record in members:
+            out = dict(record)
+            for attribute in quasi_identifiers:
+                low, high = ranges[attribute]
+                if low == high:
+                    out[attribute] = low
+                else:
+                    out[attribute] = f"[{low}-{high}]"
+            released.append(out)
+    return released
+
+
+def _split(records, quasi_identifiers, k, spans, partitions):
+    best_attribute = _choose_attribute(records, quasi_identifiers, spans)
+    if best_attribute is not None:
+        values = sorted(r[best_attribute] for r in records)
+        median = values[len(values) // 2]
+        left = [r for r in records if r[best_attribute] < median]
+        right = [r for r in records if r[best_attribute] >= median]
+        if len(left) >= k and len(right) >= k:
+            _split(left, quasi_identifiers, k, spans, partitions)
+            _split(right, quasi_identifiers, k, spans, partitions)
+            return
+        # Median split failed; try the strict split the other way around.
+        left = [r for r in records if r[best_attribute] <= median]
+        right = [r for r in records if r[best_attribute] > median]
+        if len(left) >= k and len(right) >= k:
+            _split(left, quasi_identifiers, k, spans, partitions)
+            _split(right, quasi_identifiers, k, spans, partitions)
+            return
+    ranges = {
+        attribute: (
+            min(r[attribute] for r in records),
+            max(r[attribute] for r in records),
+        )
+        for attribute in quasi_identifiers
+    }
+    partitions.append((ranges, records))
+
+
+def _choose_attribute(records, quasi_identifiers, spans):
+    """The attribute with the widest normalized range (ties: name order)."""
+    best, best_width = None, 0.0
+    for attribute in sorted(quasi_identifiers):
+        low = min(r[attribute] for r in records)
+        high = max(r[attribute] for r in records)
+        global_low, global_high = spans[attribute]
+        denominator = global_high - global_low
+        width = (high - low) / denominator if denominator else 0.0
+        if width > best_width:
+            best, best_width = attribute, width
+    return best

@@ -1,0 +1,23 @@
+"""PRIVATE-IYE — the public API.
+
+:class:`~repro.core.system.PrivateIye` glues the policy formulation
+framework (§3), the per-source privacy-preserving query processing
+framework (§4), and the privacy-preserving mediation engine (§5) into one
+deployable system object::
+
+    from repro.core import PrivateIye
+
+    system = PrivateIye()
+    system.load_policies(POLICY_DSL_TEXT)
+    system.add_relational_source("HMO1", table)
+    result = system.query(
+        "SELECT AVG(//patient/hba1c) GROUP BY //patient/hmo "
+        "PURPOSE outbreak-surveillance MAXLOSS 0.5",
+        requester="epidemiologist-1",
+    )
+"""
+
+from repro.core.system import PrivateIye
+from repro.core.session import Session
+
+__all__ = ["PrivateIye", "Session"]

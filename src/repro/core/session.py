@@ -1,0 +1,29 @@
+"""Requester sessions.
+
+A session binds the requester's identity, role, default purpose, and
+default loss tolerance, so applications do not repeat them on every query.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class Session:
+    """One requester's interaction context."""
+
+    def __init__(self, requester, role=None, default_purpose="research",
+                 default_max_loss=1.0, subjects=()):
+        if not requester:
+            raise ReproError("session needs a requester identity")
+        if not 0.0 <= default_max_loss <= 1.0:
+            raise ReproError("default_max_loss must be in [0, 1]")
+        self.requester = requester
+        self.role = role
+        self.default_purpose = default_purpose
+        self.default_max_loss = default_max_loss
+        self.subjects = tuple(subjects)
+        self.queries_posed = 0
+
+    def __repr__(self):
+        return f"Session({self.requester!r}, role={self.role!r})"

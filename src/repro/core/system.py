@@ -1,0 +1,190 @@
+"""The PrivateIye system facade.
+
+Owns the authoritative policy store, builds per-source privacy-preserving
+query processors around registered data, replicates policies into the
+mediation engine (paper §3: policies live at sources *and* mediator), and
+exposes querying, schema inspection, and violation notifications.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrationError, ReproError
+from repro.core.session import Session
+from repro.mediator.engine import MediationEngine
+from repro.mediator.warehouse import Warehouse
+from repro.policy.store import PolicyStore
+from repro.query.language import parse_piql
+from repro.relational.catalog import Catalog
+from repro.relational.table import Table
+from repro.source.server import RemoteSource
+
+
+class PrivateIye:
+    """A deployable privacy-preserving data integration system."""
+
+    def __init__(self, policy_store=None, linkage_attributes=(),
+                 warehouse_mode="hybrid", shared_secret="private-iye",
+                 synonyms=None):
+        self.policy_store = policy_store or PolicyStore()
+        self.engine = MediationEngine(
+            shared_secret=shared_secret,
+            linkage_attributes=linkage_attributes,
+            synonyms=synonyms,
+            warehouse=Warehouse(mode=warehouse_mode),
+        )
+        self._sessions = {}
+
+    # -- policy management -------------------------------------------------
+
+    def load_policies(self, dsl_text, view_source=None):
+        """Load a policy DSL document into the authoritative store."""
+        return self.policy_store.load_document(dsl_text, view_source)
+
+    # -- source management ---------------------------------------------------
+
+    def add_relational_source(self, name, table, rbac=None,
+                              consent_predicate=None, hierarchies=None,
+                              qi_columns=()):
+        """Wrap ``table`` in a privacy-preserving remote source.
+
+        The source receives a *replica* of the policy store, mirroring the
+        paper's two-level enforcement: the source enforces before data
+        leaves; the mediator re-verifies after integration.
+        """
+        if not isinstance(table, Table):
+            raise ReproError("add_relational_source needs a Table")
+        catalog = Catalog(name)
+        catalog.add(table)
+        remote = RemoteSource(
+            name, catalog, table.name, self.policy_store.replicate(),
+            rbac=rbac, consent_predicate=consent_predicate,
+            hierarchies=hierarchies, qi_columns=qi_columns,
+            # Shared pseudonym secret: sources emit identical (still
+            # irreversible) pseudonyms for identical identities, which is
+            # what lets the integrator deduplicate without plaintext.
+            pseudonym_secret=self.engine.shared_secret,
+        )
+        self.engine.register_source(remote)
+        return remote
+
+    def add_xml_source(self, name, document, record_path, **kwargs):
+        """Wrap a hierarchical (XML) store in a privacy-preserving source.
+
+        ``document`` is an :class:`~repro.xmlkit.node.Element` (or XML
+        text); ``record_path`` selects the record nodes (e.g.
+        ``//patient``).  Flattening happens once at registration; the §4
+        pipeline then treats the source exactly like a relational one.
+        """
+        from repro.xmlkit.parser import parse_xml
+
+        if isinstance(document, str):
+            document = parse_xml(document)
+        remote = RemoteSource.from_xml(
+            name, document, record_path, self.policy_store.replicate(),
+            pseudonym_secret=self.engine.shared_secret, **kwargs,
+        )
+        self.engine.register_source(remote)
+        return remote
+
+    def add_source(self, remote):
+        """Register a pre-built :class:`RemoteSource`."""
+        if not isinstance(remote, RemoteSource):
+            raise ReproError("add_source needs a RemoteSource")
+        self.engine.register_source(remote)
+        return remote
+
+    def source(self, name):
+        """Look up a registered source."""
+        if name not in self.engine.sources:
+            raise IntegrationError(f"unknown source {name!r}")
+        return self.engine.sources[name]
+
+    # -- querying -----------------------------------------------------------
+
+    def session(self, requester, **kwargs):
+        """Get or create the requester's :class:`Session`."""
+        if requester not in self._sessions:
+            self._sessions[requester] = Session(requester, **kwargs)
+        return self._sessions[requester]
+
+    def query(self, text, requester="anonymous", role=None, subjects=(),
+              emergency=False):
+        """Pose a PIQL query and return the integrated result."""
+        session = self.session(requester, role=role)
+        query = parse_piql(text) if isinstance(text, str) else text
+        if query.purpose is None:
+            query.purpose = session.default_purpose
+        session.queries_posed += 1
+        return self.engine.pose(
+            query,
+            requester=requester,
+            role=role or session.role,
+            subjects=subjects or session.subjects,
+            emergency=emergency,
+        )
+
+    # -- aggregate publication ---------------------------------------------
+
+    def plan_release(self, measure_paths, purpose, requester="_steward",
+                     guard=None):
+        """Plan the safest informative publication of per-source averages.
+
+        Computes, through the normal privacy-preserving pipeline, the
+        average of each ``measure_paths`` entry at every source, then asks
+        the :class:`~repro.inference.planner.ReleasePlanner` for the most
+        informative release of the measures × sources matrix that no
+        participating source can exploit (Figure 1 run defensively).
+
+        Returns ``(chosen ReleasePlan or None, rejected plans)``.
+        """
+        from repro.errors import PrivacyViolation
+        from repro.inference.guard import InferenceGuard
+        from repro.inference.planner import ReleasePlanner
+
+        sources = sorted(self.engine.sources)
+        measures = [str(path) for path in measure_paths]
+        matrix = []
+        for path in measure_paths:
+            row = {}
+            result = self.engine.pose(
+                parse_piql(
+                    f"SELECT AVG({path}) AS value PURPOSE {purpose}"
+                ),
+                requester=requester,
+                use_warehouse=False,
+            )
+            for item in result.rows:
+                row[item["_source"]] = float(item["value"])
+            missing = [s for s in sources if s not in row]
+            if missing:
+                raise PrivacyViolation(
+                    f"sources {missing} refused the measure {path!r}; "
+                    "cannot plan a release over all participants"
+                )
+            matrix.append([row[s] for s in sources])
+        planner = ReleasePlanner(
+            guard or InferenceGuard(min_interval_width=5.0, starts=2)
+        )
+        return planner.plan(measures, sources, matrix)
+
+    # -- inspection ------------------------------------------------------------
+
+    def mediated_schema(self):
+        """The mediated schema (built lazily)."""
+        self.engine._ensure_schema()
+        return self.engine.schema
+
+    def vocabulary(self):
+        """Mediated attribute names available to requesters."""
+        return self.engine.mediated_vocabulary()
+
+    def notifications(self):
+        """Violation notices the privacy control has sent to sources."""
+        return list(self.engine.control.notices_sent)
+
+    def history(self, requester=None):
+        """The mediator's query history."""
+        return self.engine.history.entries(requester)
+
+    def __repr__(self):
+        return f"PrivateIye(sources={sorted(self.engine.sources)})"

@@ -1,0 +1,48 @@
+"""From-scratch cryptographic primitives for secure computation.
+
+The paper's mediation layer needs secure multi-party building blocks
+(Section 2 cites Du–Atallah and Lindell–Pinkas; Section 5 needs private
+record matching "without revealing the origins of the sources").  This
+package implements them over plain Python big integers:
+
+* :mod:`repro.crypto.modmath` — Miller–Rabin, safe-prime groups,
+  hash-into-group.
+* :mod:`repro.crypto.commutative` — Pohlig–Hellman/SRA commutative
+  exponentiation cipher.
+* :mod:`repro.crypto.psi` — Diffie–Hellman-style private set intersection
+  built on the commutative cipher.
+* :mod:`repro.crypto.secure_sum` — additive-masking ring secure sum.
+* :mod:`repro.crypto.bloom` — Bloom filters (private linkage encodings).
+* :mod:`repro.crypto.keyed_hash` — HMAC-SHA256 keyed hashing.
+
+These are research-grade reimplementations meant to exercise the same
+protocol structure as production libraries, not to be deployed as-is.
+"""
+
+from repro.crypto.modmath import (
+    DhGroup,
+    MODP_1024,
+    TEST_GROUP,
+    generate_safe_prime,
+    is_probable_prime,
+)
+from repro.crypto.commutative import CommutativeKey
+from repro.crypto.psi import PsiParty, private_set_intersection
+from repro.crypto.secure_sum import secure_sum
+from repro.crypto.bloom import BloomFilter
+from repro.crypto.keyed_hash import keyed_hash, keyed_hash_int
+
+__all__ = [
+    "DhGroup",
+    "MODP_1024",
+    "TEST_GROUP",
+    "generate_safe_prime",
+    "is_probable_prime",
+    "CommutativeKey",
+    "PsiParty",
+    "private_set_intersection",
+    "secure_sum",
+    "BloomFilter",
+    "keyed_hash",
+    "keyed_hash_int",
+]

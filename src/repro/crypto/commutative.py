@@ -1,0 +1,55 @@
+"""Pohlig–Hellman / SRA commutative encryption.
+
+Encryption is exponentiation in the quadratic-residue subgroup of a safe
+prime: ``E_k(x) = x^k mod p``.  Because exponents commute,
+``E_a(E_b(x)) = E_b(E_a(x))`` — the property the PSI protocol and the
+private schema matcher rely on.  Decryption raises to ``k^-1 mod q``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+from repro.crypto.modmath import DhGroup, MODP_1024
+
+
+class CommutativeKey:
+    """One party's commutative-cipher key over a shared group."""
+
+    def __init__(self, group=None, exponent=None, rng=None):
+        self.group = group or MODP_1024
+        if not isinstance(self.group, DhGroup):
+            raise CryptoError("CommutativeKey requires a DhGroup")
+        if exponent is None:
+            rng = rng or random.Random()
+            exponent = self.group.random_exponent(rng)
+        if not 1 <= exponent < self.group.q:
+            raise CryptoError("exponent out of range [1, q)")
+        self.exponent = exponent
+        self._inverse = self.group.invert_exponent(exponent)
+
+    def encrypt(self, element):
+        """Encrypt a group element (an int already inside the subgroup)."""
+        self._check_element(element)
+        return pow(element, self.exponent, self.group.p)
+
+    def decrypt(self, element):
+        """Invert :meth:`encrypt` (only for this key's layer)."""
+        self._check_element(element)
+        return pow(element, self._inverse, self.group.p)
+
+    def encrypt_item(self, item):
+        """Hash an arbitrary item into the group, then encrypt it."""
+        return self.encrypt(self.group.hash_into(item))
+
+    def encrypt_many(self, elements):
+        """Encrypt a list of group elements."""
+        return [self.encrypt(e) for e in elements]
+
+    def _check_element(self, element):
+        if not isinstance(element, int) or not 0 < element < self.group.p:
+            raise CryptoError(f"not a group element: {element!r}")
+
+    def __repr__(self):
+        return f"CommutativeKey(group={self.group!r})"

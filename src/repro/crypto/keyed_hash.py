@@ -1,0 +1,37 @@
+"""Keyed hashing (HMAC-SHA256) helpers.
+
+Keyed hashes appear wherever two sources must agree on opaque tokens
+without revealing plaintext to the mediator: hashed schema tokens in the
+private schema matcher and the hash functions of Bloom-filter record
+encodings.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+
+from repro.errors import CryptoError
+
+
+def keyed_hash(key, item):
+    """HMAC-SHA256 of ``item`` under ``key`` (both str or bytes) → bytes."""
+    return hmac.new(_to_bytes(key, "key"), _to_bytes(item, "item"), hashlib.sha256).digest()
+
+
+def keyed_hash_int(key, item, bits=64):
+    """Keyed hash truncated to a non-negative int of ``bits`` bits."""
+    if not 1 <= bits <= 256:
+        raise CryptoError("bits must be in [1, 256]")
+    digest = keyed_hash(key, item)
+    return int.from_bytes(digest, "big") >> (256 - bits)
+
+
+def _to_bytes(value, what):
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    if isinstance(value, int):
+        return str(value).encode("ascii")
+    raise CryptoError(f"{what} must be str, bytes, or int")

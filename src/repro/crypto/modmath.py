@@ -1,0 +1,144 @@
+"""Modular arithmetic: primality testing, safe-prime groups, hashing into groups.
+
+A *safe prime* is ``p = 2q + 1`` with ``q`` prime.  Working in the order-q
+subgroup of quadratic residues mod p makes the Pohlig–Hellman cipher
+commutative and keeps every hashed element in a prime-order group, which is
+what the PSI protocol requires.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.errors import CryptoError
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47)
+
+
+def is_probable_prime(n, rounds=40, rng=None):
+    """Miller–Rabin primality test (error < 4^-rounds)."""
+    if not isinstance(n, int):
+        raise CryptoError("primality test requires an int")
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    rng = rng or random.Random(0xC0FFEE ^ (n & 0xFFFFFFFF))
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = pow(x, 2, n)
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def generate_safe_prime(bits, rng):
+    """Generate a safe prime ``p = 2q + 1`` with ``p`` of ``bits`` bits.
+
+    Deterministic given ``rng``; intended for tests and experiments — use
+    the precomputed groups for anything repeated.
+    """
+    if bits < 16:
+        raise CryptoError("safe primes below 16 bits are not supported")
+    while True:
+        q = rng.getrandbits(bits - 1) | (1 << (bits - 2)) | 1
+        if is_probable_prime(q):
+            p = 2 * q + 1
+            if is_probable_prime(p):
+                return p
+
+
+class DhGroup:
+    """The quadratic-residue subgroup of Z_p* for a safe prime p.
+
+    The subgroup has prime order ``q = (p - 1) // 2``.  Elements are
+    produced by :meth:`hash_into` (hash-then-square), exponents are drawn
+    from ``[1, q)`` by :meth:`random_exponent`.
+    """
+
+    def __init__(self, p, check=True):
+        if check and not is_probable_prime(p):
+            raise CryptoError("group modulus is not prime")
+        q = (p - 1) // 2
+        if check and not is_probable_prime(q):
+            raise CryptoError("modulus is not a safe prime (p != 2q+1)")
+        self.p = p
+        self.q = q
+
+    def hash_into(self, item):
+        """Map an arbitrary item (str/bytes/int) to a subgroup element.
+
+        Hash to an integer mod p, then square: squares mod a safe prime are
+        exactly the order-q subgroup, so every output is a valid element.
+        """
+        data = _to_bytes(item)
+        counter = 0
+        while True:
+            digest = hashlib.sha256(data + counter.to_bytes(4, "big")).digest()
+            needed = (self.p.bit_length() + 7) // 8 + 8
+            while len(digest) < needed:
+                digest += hashlib.sha256(digest).digest()
+            value = int.from_bytes(digest[:needed], "big") % self.p
+            if value > 1:
+                return pow(value, 2, self.p)
+            counter += 1
+
+    def random_exponent(self, rng):
+        """A uniformly random exponent in ``[1, q)``."""
+        return rng.randrange(1, self.q)
+
+    def invert_exponent(self, e):
+        """The multiplicative inverse of ``e`` modulo the group order q."""
+        if e % self.q == 0:
+            raise CryptoError("exponent has no inverse (multiple of q)")
+        return pow(e, -1, self.q)
+
+    def is_element(self, x):
+        """True when ``x`` lies in the order-q subgroup."""
+        return 0 < x < self.p and pow(x, self.q, self.p) == 1
+
+    def __repr__(self):
+        return f"DhGroup(p~2^{self.p.bit_length()})"
+
+    def __eq__(self, other):
+        return isinstance(other, DhGroup) and self.p == other.p
+
+
+def _to_bytes(item):
+    if isinstance(item, bytes):
+        return item
+    if isinstance(item, str):
+        return item.encode("utf-8")
+    if isinstance(item, int):
+        return str(item).encode("ascii")
+    raise CryptoError(f"cannot hash {type(item).__name__} into group")
+
+
+# 1024-bit MODP group from RFC 2409 (Oakley group 2) — a known safe prime.
+_MODP_1024_P = int(
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF",
+    16,
+)
+MODP_1024 = DhGroup(_MODP_1024_P, check=False)
+
+# Precomputed 256-bit safe prime (seeded search, see DESIGN.md) — fast
+# enough for unit tests and benchmark sweeps.
+_TEST_P = int(
+    "87B042F2D0C635094E002220B503ABB2F592D3F11EC7E5580C959D1040F8C3C7", 16
+)
+TEST_GROUP = DhGroup(_TEST_P, check=False)

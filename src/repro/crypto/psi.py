@@ -1,0 +1,111 @@
+"""Diffie–Hellman-style private set intersection (PSI).
+
+Protocol (after Agrawal–Evfimievski–Srikant, "Information Sharing Across
+Private Databases", SIGMOD 2003 — reference [8] of the paper):
+
+1. Each party hashes its items into the shared group and sends its set
+   encrypted under its own commutative key, shuffled.
+2. Each party re-encrypts ("doubles") the peer's received set under its own
+   key, **preserving order**, and sends it back.
+3. A party now holds (a) its own items double-encrypted — aligned with its
+   recorded shuffle — and (b) the peer's double-encrypted set.  Equal double
+   encryptions ⇔ equal plaintexts, so set membership yields exactly the
+   intersection; nothing else about the peer's set is revealed beyond its
+   size.
+
+:class:`PsiParty` exposes the individual protocol messages (so tests can
+assert what actually crosses the wire); :func:`private_set_intersection`
+drives a complete two-party execution in-process.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import CryptoError
+from repro.crypto.commutative import CommutativeKey
+from repro.crypto.modmath import MODP_1024
+
+
+class PsiParty:
+    """One participant in the two-party PSI protocol."""
+
+    def __init__(self, items, group=None, rng=None):
+        self.items = list(items)
+        if len(set(self.items)) != len(self.items):
+            raise CryptoError("PSI input sets must not contain duplicates")
+        self.group = group or MODP_1024
+        self.rng = rng or random.Random()
+        self.key = CommutativeKey(self.group, rng=self.rng)
+        self._hashed = [self.group.hash_into(item) for item in self.items]
+        self._permutation = None
+        self._own_doubled = None
+
+    def send_encrypted_set(self):
+        """Round 1: this party's single-encrypted set, shuffled.
+
+        The shuffle permutation is recorded so the doubled values the peer
+        returns (order-preserving) can be realigned with our items.
+        """
+        order = list(range(len(self.items)))
+        self.rng.shuffle(order)
+        self._permutation = order
+        return [self.key.encrypt(self._hashed[i]) for i in order]
+
+    def double_peer_set(self, peer_encrypted):
+        """Round 2: encrypt the peer's set under our key, preserving order."""
+        return [self.key.encrypt(e) for e in peer_encrypted]
+
+    def receive_own_doubled(self, doubled):
+        """Accept the peer's doubling of our round-1 message."""
+        if self._permutation is None:
+            raise CryptoError("send_encrypted_set must be called first")
+        if len(doubled) != len(self.items):
+            raise CryptoError(
+                f"doubled set has {len(doubled)} values, expected {len(self.items)}"
+            )
+        self._own_doubled = list(doubled)
+
+    def intersect(self, peer_doubled):
+        """Compute the intersection from the two double-encrypted sets.
+
+        ``peer_doubled`` is the peer's set under both keys (our round-2
+        output for them, or equivalently theirs for us — the cipher
+        commutes, so the values coincide).
+        """
+        if self._own_doubled is None:
+            raise CryptoError("receive_own_doubled must be called before intersect")
+        peer_values = set(peer_doubled)
+        matches = []
+        for position, item_index in enumerate(self._permutation):
+            if self._own_doubled[position] in peer_values:
+                matches.append(self.items[item_index])
+        return matches
+
+
+def private_set_intersection(items_a, items_b, group=None, rng=None):
+    """Run the full two-party PSI protocol in-process.
+
+    Returns ``(intersection_as_seen_by_a, transcript)``; the transcript
+    records every message that crossed the wire so callers (and tests) can
+    verify no plaintext leaks.
+    """
+    rng = rng or random.Random()
+    group = group or MODP_1024
+    alice = PsiParty(items_a, group, random.Random(rng.getrandbits(64)))
+    bob = PsiParty(items_b, group, random.Random(rng.getrandbits(64)))
+
+    msg_a1 = alice.send_encrypted_set()
+    msg_b1 = bob.send_encrypted_set()
+    doubled_a = bob.double_peer_set(msg_a1)  # Alice's set under both keys
+    doubled_b = alice.double_peer_set(msg_b1)  # Bob's set under both keys
+    alice.receive_own_doubled(doubled_a)
+    intersection = alice.intersect(doubled_b)
+
+    transcript = {
+        "a_round1": msg_a1,
+        "b_round1": msg_b1,
+        "a_doubled": doubled_a,
+        "b_doubled": doubled_b,
+    }
+    return intersection, transcript

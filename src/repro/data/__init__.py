@@ -1,0 +1,26 @@
+"""Synthetic data generators.
+
+The paper's motivating workloads are clinical data integration (Example 1)
+and multi-source disease-outbreak surveillance (Example 2).  Neither
+dataset is public, so we generate statistically equivalent synthetic data
+(see DESIGN.md, substitutions):
+
+* :mod:`repro.data.figure1` — the literal numbers of Figure 1 plus a
+  calibrated full matrix consistent with them;
+* :mod:`repro.data.healthcare` — HMOs, patients, tests, compliance;
+* :mod:`repro.data.outbreak` — a SARS-like epidemic across regions;
+* :mod:`repro.data.names` — name pools for record-linkage workloads;
+* :mod:`repro.data.rng` — seeded determinism helpers.
+"""
+
+from repro.data.figure1 import FIGURE1
+from repro.data.healthcare import HealthcareGenerator
+from repro.data.outbreak import OutbreakGenerator
+from repro.data.names import person_names
+
+__all__ = [
+    "FIGURE1",
+    "HealthcareGenerator",
+    "OutbreakGenerator",
+    "person_names",
+]

@@ -1,0 +1,58 @@
+"""The literal numbers of the paper's Figure 1.
+
+Figure 1 publishes 2001 diabetes test-compliance aggregates over four HMOs
+(PHC4 data via Boyens–Krishnan–Padman): table (a) per-test mean and
+standard deviation, table (b) per-HMO average performance, table (c) the
+snooping HMO1's knowledge, and table (d) the intervals HMO1 infers.
+
+``CONSISTENT_MATRIX`` is a full measures × HMOs matrix that reproduces
+every published aggregate within its rounding interval (found by
+constrained optimization; the paper never reveals the true values, so any
+consistent matrix is an equally valid ground truth for experiments).
+"""
+
+from __future__ import annotations
+
+
+class _Figure1:
+    """Immutable bundle of Figure 1 constants."""
+
+    measures = ("HbA1c", "Lipid Profile", "Eye Exam")
+    sources = ("HMO1", "HMO2", "HMO3", "HMO4")
+
+    # Figure 1(a)/(c): per-test mean and *sample* standard deviation over
+    # the four HMOs, published to one decimal.
+    row_means = (83.0, 54.1, 45.4)
+    row_stds = (5.7, 4.7, 2.0)
+
+    # Figure 1(b)/(c): per-HMO average over the three tests.
+    source_means = (58.0, 65.0, 60.0, 60.3)
+
+    # Figure 1(c): the snooping HMO1's own compliance rates.
+    hmo1_values = (75.0, 56.0, 43.0)
+
+    # Figure 1(d): the intervals the paper reports HMO1 infers.
+    paper_intervals = {
+        ("HbA1c", "HMO2"): (87.2, 88.5),
+        ("HbA1c", "HMO3"): (82.8, 86.4),
+        ("HbA1c", "HMO4"): (82.9, 86.7),
+        ("Lipid Profile", "HMO2"): (58.6, 59.8),
+        ("Lipid Profile", "HMO3"): (48.1, 52.3),
+        ("Lipid Profile", "HMO4"): (48.6, 53.1),
+        ("Eye Exam", "HMO2"): (46.8, 47.9),
+        ("Eye Exam", "HMO3"): (44.5, 47.2),
+        ("Eye Exam", "HMO4"): (44.5, 47.4),
+    }
+
+    # A full matrix (measures × HMOs) consistent with every published
+    # aggregate within one-decimal rounding — synthetic ground truth.
+    consistent_matrix = (
+        (75.0, 88.1874, 85.8624, 82.7544),
+        (56.0, 59.0041, 47.7814, 53.8104),
+        (43.0, 47.6615, 46.3271, 44.4691),
+    )
+
+    precision = 1  # published numbers have one decimal place
+
+
+FIGURE1 = _Figure1()

@@ -1,0 +1,144 @@
+"""Synthetic clinical data calibrated to the paper's Example 1.
+
+Generates per-HMO patient populations whose test-compliance rates hit a
+target measures × HMOs matrix (default: the Figure-1-consistent matrix), so
+publishing aggregates over the synthetic microdata reproduces Figure 1(a)
+and 1(b) up to sampling error.  Also plants cross-HMO duplicate patients
+(with optional typos) for the record-linkage and result-integration
+workloads.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.data.figure1 import FIGURE1
+from repro.data.names import introduce_typo, person_names
+from repro.data.rng import child_rng, make_rng
+from repro.relational import Catalog, Table
+
+
+class HealthcareGenerator:
+    """Deterministic generator of multi-HMO clinical microdata."""
+
+    def __init__(
+        self,
+        patients_per_hmo=200,
+        measures=FIGURE1.measures,
+        sources=FIGURE1.sources,
+        target_matrix=FIGURE1.consistent_matrix,
+        overlap_fraction=0.1,
+        typo_rate=0.3,
+        seed=2006,
+    ):
+        if len(target_matrix) != len(measures):
+            raise ReproError("target matrix must have one row per measure")
+        if any(len(row) != len(sources) for row in target_matrix):
+            raise ReproError("target matrix must have one column per source")
+        if not 0.0 <= overlap_fraction < 1.0:
+            raise ReproError("overlap_fraction must be in [0, 1)")
+        self.patients_per_hmo = patients_per_hmo
+        self.measures = list(measures)
+        self.sources = list(sources)
+        self.target_matrix = [list(row) for row in target_matrix]
+        self.overlap_fraction = overlap_fraction
+        self.typo_rate = typo_rate
+        self.seed = seed
+
+    # -- patient-level data -----------------------------------------------
+
+    def patients(self):
+        """``{hmo: [patient records]}`` with planted cross-HMO duplicates.
+
+        Each record has ``id, first, last, dob, zip, age`` plus one boolean
+        per measure (``compliant_<i>``); compliance frequencies match the
+        target matrix *exactly* (quota sampling, not Bernoulli, so the
+        published aggregates land on the calibrated values).
+        """
+        rng = make_rng(self.seed)
+        names = person_names(
+            len(self.sources) * self.patients_per_hmo, seed=self.seed + 1
+        )
+        name_iter = iter(names)
+        by_hmo = {}
+        roster = []  # (hmo, record) for duplicate planting
+        for j, hmo in enumerate(self.sources):
+            hmo_rng = child_rng(rng, f"hmo-{j}")
+            records = []
+            for p in range(self.patients_per_hmo):
+                first, last = next(name_iter)
+                record = {
+                    "id": f"{hmo}-p{p:04d}",
+                    "first": first,
+                    "last": last,
+                    "dob": self._dob(hmo_rng),
+                    "zip": hmo_rng.choice(("15213", "15217", "15090", "15108")),
+                    "age": hmo_rng.randint(18, 90),
+                    "hmo": hmo,
+                }
+                records.append(record)
+            for i, _measure in enumerate(self.measures):
+                quota = round(self.target_matrix[i][j] / 100.0 * len(records))
+                order = list(range(len(records)))
+                hmo_rng.shuffle(order)
+                compliant = set(order[:quota])
+                for index, record in enumerate(records):
+                    record[f"compliant_{i}"] = index in compliant
+            by_hmo[hmo] = records
+            roster.extend((hmo, record) for record in records)
+
+        self._plant_duplicates(by_hmo, roster, rng)
+        return by_hmo
+
+    def _plant_duplicates(self, by_hmo, roster, rng):
+        """Copy a fraction of patients into another HMO, possibly with typos."""
+        dup_rng = child_rng(rng, "duplicates")
+        n_duplicates = int(self.overlap_fraction * len(roster))
+        for _ in range(n_duplicates):
+            source_hmo, original = dup_rng.choice(roster)
+            target_hmo = dup_rng.choice(
+                [h for h in self.sources if h != source_hmo]
+            )
+            clone = dict(original)
+            clone["id"] = f"{target_hmo}-dup-{original['id']}"
+            clone["hmo"] = target_hmo
+            if dup_rng.random() < self.typo_rate:
+                field = dup_rng.choice(("first", "last"))
+                clone[field] = introduce_typo(clone[field], dup_rng)
+            by_hmo[target_hmo].append(clone)
+
+    def _dob(self, rng):
+        year = rng.randint(1920, 2000)
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+
+    # -- aggregate / relational views ---------------------------------------
+
+    def compliance_matrix(self, patients=None):
+        """Measured measures × HMOs compliance percentages.
+
+        Computed over the *original* (non-duplicate) patients so the quota
+        calibration is exact.
+        """
+        patients = patients or self.patients()
+        matrix = []
+        for i in range(len(self.measures)):
+            row = []
+            for hmo in self.sources:
+                originals = [
+                    p for p in patients[hmo] if not p["id"].startswith(f"{hmo}-dup")
+                ]
+                compliant = sum(1 for p in originals if p[f"compliant_{i}"])
+                row.append(100.0 * compliant / len(originals))
+            matrix.append(row)
+        return matrix
+
+    def catalogs(self, patients=None):
+        """One relational :class:`~repro.relational.Catalog` per HMO."""
+        patients = patients or self.patients()
+        catalogs = {}
+        for hmo, records in patients.items():
+            catalog = Catalog(hmo)
+            catalog.add(Table.from_dicts("patients", records))
+            catalogs[hmo] = catalog
+        return catalogs

@@ -1,0 +1,49 @@
+"""Name pools for record-linkage workloads."""
+
+from __future__ import annotations
+
+from repro.data.rng import make_rng
+
+FIRST_NAMES = (
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "wei",
+    "mei", "hiroshi", "yuki", "raj", "priya", "ahmed", "fatima", "carlos",
+    "maria", "ivan", "olga", "kwame", "amara", "lars", "ingrid",
+)
+
+LAST_NAMES = (
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "tanaka", "suzuki", "chen", "wang", "patel", "singh", "khan",
+    "ali", "nguyen", "kim", "park", "ivanov", "petrov", "larsen", "berg",
+)
+
+_TYPO_OPS = ("swap", "drop", "double", "replace")
+
+
+def person_names(count, seed=0):
+    """``count`` deterministic (first, last) name pairs."""
+    rng = make_rng(seed)
+    return [
+        (rng.choice(FIRST_NAMES), rng.choice(LAST_NAMES)) for _ in range(count)
+    ]
+
+
+def introduce_typo(text, rng):
+    """One realistic typo: swap, drop, double, or replace a character."""
+    if len(text) < 2:
+        return text + "x"
+    position = rng.randrange(len(text) - 1)
+    operation = rng.choice(_TYPO_OPS)
+    if operation == "swap":
+        chars = list(text)
+        chars[position], chars[position + 1] = chars[position + 1], chars[position]
+        return "".join(chars)
+    if operation == "drop":
+        return text[:position] + text[position + 1:]
+    if operation == "double":
+        return text[:position] + text[position] + text[position:]
+    replacement = rng.choice("abcdefghijklmnopqrstuvwxyz")
+    return text[:position] + replacement + text[position + 1:]

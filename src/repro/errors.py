@@ -1,0 +1,66 @@
+"""Exception hierarchy for the PRIVATE-IYE reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems raise the most specific
+subclass that applies; messages always name the offending object (query,
+policy, table, ...) to keep failures diagnosable.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class XmlError(ReproError):
+    """Malformed XML document or serialization failure."""
+
+
+class PathError(XmlError):
+    """Malformed or unsupported path expression."""
+
+
+class RelationalError(ReproError):
+    """Errors raised by the mini relational engine."""
+
+
+class SchemaError(RelationalError):
+    """Schema definition or validation failure."""
+
+
+class SqlError(RelationalError):
+    """Malformed SQL text or unsupported SQL construct."""
+
+
+class QueryError(ReproError):
+    """Malformed PIQL query or query-processing failure."""
+
+
+class PolicyError(ReproError):
+    """Malformed policy/preference or policy-store failure."""
+
+
+class AccessDenied(ReproError):
+    """An access-control rule (RBAC or MLS) denied the request."""
+
+
+class PrivacyViolation(ReproError):
+    """A release would violate a privacy constraint.
+
+    Raised by the statistical-database guards, the privacy control module,
+    and the source-side rewriter when a query cannot be answered at all
+    within the applicable policies.
+    """
+
+
+class AuditRefusal(PrivacyViolation):
+    """A query was refused by the sequence-of-queries auditor."""
+
+
+class CryptoError(ReproError):
+    """Cryptographic-primitive misuse (bad key, wrong group, ...)."""
+
+
+class IntegrationError(ReproError):
+    """Mediation-engine failure (fragmentation, integration, matching)."""

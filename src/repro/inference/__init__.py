@@ -1,0 +1,32 @@
+"""Inference attacks on published aggregates, and the defensive guard.
+
+This is the machinery behind the paper's Figure 1: an integrator publishes
+aggregate tables (row means, row standard deviations, per-source column
+averages), and a snooping source combines them with its own values to infer
+tight intervals on every other source's confidential cells via non-linear
+programming.
+
+* :mod:`repro.inference.bounds` — the constrained min/max solver (scipy
+  SLSQP) computing per-cell feasibility intervals.
+* :mod:`repro.inference.snooper` — the adversary: builds the bound problem
+  from published tables plus its own column.
+* :mod:`repro.inference.guard` — the defender: the mediator's privacy
+  control runs the same attack *before* releasing aggregates and blocks
+  releases whose inferred intervals are too tight.
+"""
+
+from repro.inference.bounds import AggregateConstraints, cell_bounds
+from repro.inference.snooper import SnoopingSource, PublishedAggregates
+from repro.inference.guard import InferenceGuard, ReleaseDecision
+from repro.inference.planner import ReleasePlan, ReleasePlanner
+
+__all__ = [
+    "ReleasePlanner",
+    "ReleasePlan",
+    "AggregateConstraints",
+    "cell_bounds",
+    "SnoopingSource",
+    "PublishedAggregates",
+    "InferenceGuard",
+    "ReleaseDecision",
+]

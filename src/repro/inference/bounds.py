@@ -1,0 +1,199 @@
+"""Per-cell feasibility intervals under aggregate constraints.
+
+The matrix view matches Figure 1: rows are measures (tests), columns are
+sources (HMOs).  Published knowledge constrains the hidden cells:
+
+* each row's mean over **all** columns equals the published mean (within
+  the rounding tolerance of the published precision);
+* each row's **sample** standard deviation equals the published sigma
+  (Figure 1's sigmas are sample standard deviations — the reproduced
+  intervals match the paper's only under ddof=1);
+* each hidden column's mean equals that source's published average
+  performance;
+* every cell lies in the legal value range (percentages: [0, 100]).
+
+For each hidden cell we minimize and maximize its value over the feasible
+set with SLSQP from several deterministic starts.  The interval
+``[min, max]`` is what a snooper provably learns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import minimize
+
+from repro.errors import ReproError
+
+DEFAULT_TOLERANCE = 0.05  # published to one decimal place
+
+
+class AggregateConstraints:
+    """The published aggregates + adversary knowledge for one bound problem.
+
+    Parameters
+    ----------
+    known_columns:
+        ``{column_index: [values per row]}`` — columns the adversary knows
+        exactly (its own data).
+    row_means, row_stds:
+        Published per-row mean and *sample* standard deviation over all
+        ``n_cols`` columns.
+    column_means:
+        ``{column_index: published average}`` for hidden columns (from the
+        per-source performance table).  Columns absent from both mappings
+        are unconstrained except by the value range.
+    tolerance / column_tolerance:
+        Half-width of the rounding interval of published numbers (0.05 for
+        one-decimal publication).  ``column_tolerance`` may be a mapping
+        per column for mixed precision.
+    """
+
+    def __init__(
+        self,
+        n_rows,
+        n_cols,
+        known_columns,
+        row_means,
+        row_stds=None,
+        column_means=None,
+        value_range=(0.0, 100.0),
+        tolerance=DEFAULT_TOLERANCE,
+        column_tolerance=None,
+    ):
+        if n_rows < 1 or n_cols < 2:
+            raise ReproError("need at least 1 row and 2 columns")
+        if len(row_means) != n_rows:
+            raise ReproError("row_means length must equal n_rows")
+        if row_stds is not None and len(row_stds) != n_rows:
+            raise ReproError("row_stds length must equal n_rows")
+        for j, column in known_columns.items():
+            if not 0 <= j < n_cols:
+                raise ReproError(f"known column index {j} out of range")
+            if len(column) != n_rows:
+                raise ReproError(f"known column {j} has wrong length")
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.known_columns = {j: list(v) for j, v in known_columns.items()}
+        self.row_means = list(row_means)
+        self.row_stds = list(row_stds) if row_stds is not None else None
+        self.column_means = dict(column_means or {})
+        self.value_range = value_range
+        self.tolerance = tolerance
+        self.column_tolerance = dict(column_tolerance or {})
+
+    @property
+    def hidden_cells(self):
+        """(row, col) pairs the adversary does not know."""
+        return [
+            (i, j)
+            for i in range(self.n_rows)
+            for j in range(self.n_cols)
+            if j not in self.known_columns
+        ]
+
+    def column_tol(self, j):
+        """Rounding tolerance of column j's published mean."""
+        return self.column_tolerance.get(j, self.tolerance)
+
+
+def cell_bounds(constraints, starts=6, seed=0):
+    """Feasibility interval of every hidden cell.
+
+    Returns ``{(row, col): (low, high)}``.  Each bound is the best of
+    ``starts`` SLSQP runs from deterministic random interior points;
+    infeasible problems raise :class:`~repro.errors.ReproError`.
+    """
+    hidden = constraints.hidden_cells
+    if not hidden:
+        return {}
+    index_of = {cell: k for k, cell in enumerate(hidden)}
+    n_vars = len(hidden)
+    lo, hi = constraints.value_range
+    scipy_constraints = _build_constraints(constraints, index_of)
+    bounds = [(lo, hi)] * n_vars
+    rng = np.random.default_rng(seed)
+
+    intervals = {}
+    for cell in hidden:
+        k = index_of[cell]
+        low = _optimize(k, +1.0, scipy_constraints, bounds, rng, starts)
+        high = _optimize(k, -1.0, scipy_constraints, bounds, rng, starts)
+        if low is None or high is None:
+            raise ReproError(
+                f"bound problem infeasible for cell {cell} "
+                "(published aggregates are inconsistent)"
+            )
+        # Multistart SLSQP can leave local optima crossed on very loose
+        # problems; the ordered pair is a conservative sub-interval.
+        intervals[cell] = (min(low, high), max(low, high))
+    return intervals
+
+
+def _optimize(var_index, sign, scipy_constraints, bounds, rng, starts):
+    lo, hi = bounds[0]
+    best = None
+    for _ in range(starts):
+        x0 = rng.uniform(lo + 0.05 * (hi - lo), hi - 0.05 * (hi - lo), len(bounds))
+        result = minimize(
+            lambda v: sign * v[var_index],
+            x0,
+            method="SLSQP",
+            bounds=bounds,
+            constraints=scipy_constraints,
+            options={"maxiter": 300, "ftol": 1e-9},
+        )
+        if result.success:
+            value = result.x[var_index]
+            if best is None or sign * value < sign * best:
+                best = value
+    return best
+
+
+def _build_constraints(constraints, index_of):
+    """SLSQP inequality constraints encoding the published aggregates."""
+    cons = []
+    n_rows, n_cols = constraints.n_rows, constraints.n_cols
+
+    def row_values(v, i):
+        values = np.empty(n_cols)
+        for j in range(n_cols):
+            if j in constraints.known_columns:
+                values[j] = constraints.known_columns[j][i]
+            else:
+                values[j] = v[index_of[(i, j)]]
+        return values
+
+    tol = constraints.tolerance
+    for i in range(n_rows):
+        mu = constraints.row_means[i]
+        cons.append({"type": "ineq", "fun": (
+            lambda v, i=i, mu=mu: tol - (np.mean(row_values(v, i)) - mu)
+        )})
+        cons.append({"type": "ineq", "fun": (
+            lambda v, i=i, mu=mu: tol - (mu - np.mean(row_values(v, i)))
+        )})
+        if constraints.row_stds is not None:
+            sigma = constraints.row_stds[i]
+            cons.append({"type": "ineq", "fun": (
+                lambda v, i=i, sigma=sigma: tol
+                - (np.std(row_values(v, i), ddof=1) - sigma)
+            )})
+            cons.append({"type": "ineq", "fun": (
+                lambda v, i=i, sigma=sigma: tol
+                - (sigma - np.std(row_values(v, i), ddof=1))
+            )})
+
+    for j, mean in constraints.column_means.items():
+        if j in constraints.known_columns:
+            continue
+        col_tol = constraints.column_tol(j)
+        indices = [index_of[(i, j)] for i in range(n_rows)]
+        cons.append({"type": "ineq", "fun": (
+            lambda v, idx=tuple(indices), m=mean, t=col_tol: t
+            - (np.mean(v[list(idx)]) - m)
+        )})
+        cons.append({"type": "ineq", "fun": (
+            lambda v, idx=tuple(indices), m=mean, t=col_tol: t
+            - (m - np.mean(v[list(idx)]))
+        )})
+    return cons

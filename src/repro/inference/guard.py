@@ -1,0 +1,69 @@
+"""The defensive inference guard.
+
+The paper's requirement: "a data integration system should be able to
+detect and limit that type of privacy breach" (Example 1).  The mediator's
+privacy control therefore runs the *same* bound inference a snooper would,
+once per participating source (each source is modelled as knowing its own
+column), before publishing aggregates.  A release is blocked when any
+inferred interval is narrower than the protected width — i.e. when
+publication would let some participant pin a confidential value down too
+tightly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.inference.snooper import SnoopingSource
+
+
+class ReleaseDecision:
+    """Outcome of an inference-guard check."""
+
+    def __init__(self, safe, violations, intervals):
+        self.safe = safe
+        self.violations = violations  # list of (snooper, measure, source, width)
+        self.intervals = intervals  # worst-case (narrowest) interval per cell
+
+    def narrowest_width(self):
+        """The tightest interval width any snooper achieves."""
+        if not self.intervals:
+            return float("inf")
+        return min(high - low for low, high in self.intervals.values())
+
+    def __repr__(self):
+        status = "SAFE" if self.safe else f"BLOCKED ({len(self.violations)} cells)"
+        return f"ReleaseDecision({status})"
+
+
+class InferenceGuard:
+    """Checks a proposed aggregate release against snooping inference."""
+
+    def __init__(self, min_interval_width=5.0, starts=4, seed=0):
+        if min_interval_width <= 0:
+            raise ReproError("min_interval_width must be positive")
+        self.min_interval_width = min_interval_width
+        self.starts = starts
+        self.seed = seed
+
+    def check(self, published, true_matrix):
+        """Simulate every source snooping on ``published``.
+
+        ``true_matrix[i][j]`` is the confidential value of measure i at
+        source j — the guard (run by the mediator, which integrates all
+        sources' data) knows it and uses it to instantiate each would-be
+        snooper's own column.
+        """
+        violations = []
+        worst = {}
+        for j, source in enumerate(published.sources):
+            own_values = [true_matrix[i][j] for i in range(len(published.measures))]
+            snooper = SnoopingSource(published, source, own_values)
+            intervals = snooper.infer(starts=self.starts, seed=self.seed)
+            for (measure, target), (low, high) in intervals.items():
+                width = high - low
+                key = (measure, target)
+                if key not in worst or width < worst[key][1] - worst[key][0]:
+                    worst[key] = (low, high)
+                if width < self.min_interval_width:
+                    violations.append((source, measure, target, width))
+        return ReleaseDecision(not violations, violations, worst)

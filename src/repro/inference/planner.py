@@ -1,0 +1,91 @@
+"""The release planner: find the most informative *safe* publication.
+
+Example 1's moral is that the integrator should not have published the
+tables it did.  The planner answers the constructive question: *what may
+it publish instead?*  It walks a ladder of candidate releases in
+decreasing utility — full precision with sigmas, then rounded sigmas, then
+no sigmas, then rounded means, then base-5 rounding — running the
+defensive inference guard on each, and returns the first candidate every
+participant's snooping attempt fails against.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.inference.guard import InferenceGuard
+from repro.inference.snooper import PublishedAggregates
+
+
+class ReleasePlan:
+    """A planned release: the aggregates, the decision, a utility score."""
+
+    def __init__(self, label, published, decision, utility):
+        self.label = label
+        self.published = published
+        self.decision = decision
+        self.utility = utility
+
+    @property
+    def safe(self):
+        """Whether the guard approved this release."""
+        return self.decision.safe
+
+    def __repr__(self):
+        status = "SAFE" if self.safe else "unsafe"
+        return f"ReleasePlan({self.label!r}, {status}, utility={self.utility:.2f})"
+
+
+class ReleasePlanner:
+    """Plans the most informative release that survives the guard."""
+
+    def __init__(self, guard=None):
+        self.guard = guard or InferenceGuard(min_interval_width=5.0, starts=2)
+
+    def candidates(self, measures, sources, matrix):
+        """The utility-ordered ladder of candidate releases."""
+        full = PublishedAggregates.from_matrix(measures, sources, matrix,
+                                               precision=1)
+
+        def rounded(values, base):
+            return [round(v / base) * base for v in values]
+
+        ladder = [
+            ("full-precision+sigma", PublishedAggregates(
+                measures, sources, full.row_means, full.row_stds,
+                full.source_means, precision=1), 1.0),
+            ("integer+sigma", PublishedAggregates(
+                measures, sources, [round(m) for m in full.row_means],
+                [round(s) for s in full.row_stds],
+                [round(m) for m in full.source_means], precision=0), 0.8),
+            ("full-precision-no-sigma", PublishedAggregates(
+                measures, sources, full.row_means, None,
+                full.source_means, precision=1), 0.6),
+            ("integer-no-sigma", PublishedAggregates(
+                measures, sources, [round(m) for m in full.row_means], None,
+                [round(m) for m in full.source_means], precision=0), 0.5),
+            ("base5-no-sigma", PublishedAggregates(
+                measures, sources, rounded(full.row_means, 5), None,
+                rounded(full.source_means, 5), precision=0,
+                tolerance=2.5), 0.3),
+        ]
+        return ladder
+
+    def plan(self, measures, sources, matrix):
+        """The highest-utility safe release (plus everything it rejected).
+
+        Returns ``(chosen ReleasePlan or None, [rejected ReleasePlan])``.
+        ``None`` means even base-5 means are unsafe — the data must not be
+        published at all at this granularity.
+        """
+        if not matrix or len(matrix) != len(measures):
+            raise ReproError("matrix must have one row per measure")
+        rejected = []
+        for label, published, utility in self.candidates(
+            measures, sources, matrix
+        ):
+            decision = self.guard.check(published, matrix)
+            plan = ReleasePlan(label, published, decision, utility)
+            if plan.safe:
+                return plan, rejected
+            rejected.append(plan)
+        return None, rejected

@@ -1,0 +1,131 @@
+"""The snooping adversary of Figure 1.
+
+:class:`PublishedAggregates` is exactly what the integrator publishes
+(Figures 1(a) and 1(b)): per-measure means and standard deviations across
+sources, and per-source average performance.  :class:`SnoopingSource` is a
+participating source that knows its own column; :meth:`SnoopingSource.infer`
+reproduces Figure 1(d) — the intervals the snooper derives for every other
+source's confidential cells.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.inference.bounds import AggregateConstraints, cell_bounds
+
+
+class PublishedAggregates:
+    """What the integrator releases about a measures × sources matrix."""
+
+    def __init__(self, measures, sources, row_means, row_stds, source_means,
+                 precision=1, tolerance=None):
+        if len(row_means) != len(measures):
+            raise ReproError("one row mean per measure required")
+        if row_stds is not None and len(row_stds) != len(measures):
+            raise ReproError("one row std per measure required")
+        if len(source_means) != len(sources):
+            raise ReproError("one average per source required")
+        self.measures = list(measures)
+        self.sources = list(sources)
+        self.row_means = list(row_means)
+        # row_stds may be None: a release that withholds the sigmas.
+        self.row_stds = list(row_stds) if row_stds is not None else None
+        self.source_means = list(source_means)
+        self.precision = precision
+        self._tolerance = tolerance
+
+    @property
+    def tolerance(self):
+        """Half-width of the rounding interval of published numbers.
+
+        Derived from ``precision`` unless an explicit ``tolerance`` was
+        given (needed when values were rounded to a non-decimal base,
+        e.g. nearest 5).
+        """
+        if self._tolerance is not None:
+            return self._tolerance
+        return 0.5 * 10 ** (-self.precision)
+
+    @classmethod
+    def from_matrix(cls, measures, sources, matrix, precision=1):
+        """Publish (rounded) aggregates of a full data matrix.
+
+        ``matrix[i][j]`` is measure i at source j.  Row standard deviations
+        are *sample* standard deviations (ddof=1), matching Figure 1.
+        """
+        import math
+
+        n_cols = len(sources)
+        row_means, row_stds = [], []
+        for row in matrix:
+            if len(row) != n_cols:
+                raise ReproError("matrix row width must match sources")
+            mean = sum(row) / n_cols
+            variance = sum((v - mean) ** 2 for v in row) / (n_cols - 1)
+            row_means.append(round(mean, precision))
+            row_stds.append(round(math.sqrt(variance), precision))
+        source_means = [
+            round(sum(matrix[i][j] for i in range(len(measures))) / len(measures),
+                  precision)
+            for j in range(n_cols)
+        ]
+        return cls(measures, sources, row_means, row_stds, source_means, precision)
+
+    def table_a(self):
+        """Figure 1(a): measure → (published mean, published std or None)."""
+        return {
+            measure: (
+                self.row_means[i],
+                self.row_stds[i] if self.row_stds is not None else None,
+            )
+            for i, measure in enumerate(self.measures)
+        }
+
+    def table_b(self):
+        """Figure 1(b): source → published average performance."""
+        return dict(zip(self.sources, self.source_means))
+
+
+class SnoopingSource:
+    """A source that knows its own column and snoops on the rest."""
+
+    def __init__(self, published, own_source, own_values):
+        if own_source not in published.sources:
+            raise ReproError(f"{own_source!r} is not a published source")
+        if len(own_values) != len(published.measures):
+            raise ReproError("own_values must cover every measure")
+        self.published = published
+        self.own_source = own_source
+        self.own_index = published.sources.index(own_source)
+        self.own_values = list(own_values)
+
+    def constraints(self, value_range=(0.0, 100.0)):
+        """The bound problem this snooper can pose."""
+        published = self.published
+        column_means = {
+            j: published.source_means[j]
+            for j in range(len(published.sources))
+            if j != self.own_index
+        }
+        return AggregateConstraints(
+            n_rows=len(published.measures),
+            n_cols=len(published.sources),
+            known_columns={self.own_index: self.own_values},
+            row_means=published.row_means,
+            row_stds=published.row_stds,
+            column_means=column_means,
+            value_range=value_range,
+            tolerance=published.tolerance,
+        )
+
+    def infer(self, starts=6, seed=0, value_range=(0.0, 100.0)):
+        """Figure 1(d): inferred intervals per (measure, source).
+
+        Returns ``{(measure_name, source_name): (low, high)}``.
+        """
+        intervals = cell_bounds(self.constraints(value_range), starts, seed)
+        published = self.published
+        return {
+            (published.measures[i], published.sources[j]): bounds
+            for (i, j), bounds in intervals.items()
+        }

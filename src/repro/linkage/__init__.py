@@ -1,0 +1,43 @@
+"""Record linkage and duplicate detection.
+
+The mediation engine's result integrator must discover "records that
+represent the same real world entity from two integrated databases, each of
+which is protected" (paper §2 and §5).  This package supplies the
+machinery: string similarity (:mod:`repro.linkage.similarity`), blocking
+(:mod:`repro.linkage.blocking`), Fellegi–Sunter match classification
+(:mod:`repro.linkage.fellegi_sunter`), privacy-preserving comparison via
+Bloom encodings or PSI (:mod:`repro.linkage.private`), and multi-source
+deduplication (:mod:`repro.linkage.dedup`).
+"""
+
+from repro.linkage.similarity import (
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein,
+    ngram_dice,
+    normalized_levenshtein,
+)
+from repro.linkage.blocking import block_records
+from repro.linkage.fellegi_sunter import FellegiSunter, FieldComparison
+from repro.linkage.private import (
+    BloomRecordEncoder,
+    bloom_link,
+    psi_link_exact,
+)
+from repro.linkage.dedup import deduplicate, link_tables
+
+__all__ = [
+    "levenshtein",
+    "normalized_levenshtein",
+    "jaro_similarity",
+    "jaro_winkler",
+    "ngram_dice",
+    "block_records",
+    "FellegiSunter",
+    "FieldComparison",
+    "BloomRecordEncoder",
+    "bloom_link",
+    "psi_link_exact",
+    "deduplicate",
+    "link_tables",
+]

@@ -1,0 +1,76 @@
+"""Blocking: cheap partitioning of records before pairwise comparison.
+
+Comparing every pair is quadratic; standard practice groups records by a
+blocking key (e.g. soundex of the surname, first letter + year) and only
+compares within blocks.  The dedup and private-linkage drivers both use
+this module.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+def soundex(name):
+    """American Soundex code of ``name`` (e.g. 'Robert' → 'R163')."""
+    name = "".join(ch for ch in str(name).upper() if ch.isalpha())
+    if not name:
+        return "0000"
+    codes = {
+        **dict.fromkeys("BFPV", "1"),
+        **dict.fromkeys("CGJKQSXZ", "2"),
+        **dict.fromkeys("DT", "3"),
+        "L": "4",
+        **dict.fromkeys("MN", "5"),
+        "R": "6",
+    }
+    first = name[0]
+    digits = []
+    previous = codes.get(first, "")
+    for ch in name[1:]:
+        code = codes.get(ch, "")
+        if code and code != previous:
+            digits.append(code)
+        if ch not in "HW":  # H and W do not reset the previous code
+            previous = code
+    return (first + "".join(digits) + "000")[:4]
+
+
+def block_records(records, key):
+    """Group ``records`` into blocks.
+
+    ``key`` is either a field name (records are mappings) or a callable
+    ``record → blocking key``.  Returns ``{block_key: [records]}``;
+    records whose key is ``None`` are dropped (they can never match
+    safely) — callers that need them must use a total key function.
+    """
+    if isinstance(key, str):
+        field = key
+        key = lambda record: record.get(field)  # noqa: E731 — tiny adapter
+    elif not callable(key):
+        raise ReproError("blocking key must be a field name or a callable")
+    blocks = {}
+    for record in records:
+        block_key = key(record)
+        if block_key is None:
+            continue
+        blocks.setdefault(block_key, []).append(record)
+    return blocks
+
+
+def candidate_pairs(records_a, records_b, key):
+    """Yield cross-source candidate pairs that share a blocking key."""
+    blocks_a = block_records(records_a, key)
+    blocks_b = block_records(records_b, key)
+    for block_key in sorted(set(blocks_a) & set(blocks_b), key=str):
+        for record_a in blocks_a[block_key]:
+            for record_b in blocks_b[block_key]:
+                yield record_a, record_b
+
+
+def reduction_ratio(n_a, n_b, n_pairs):
+    """Fraction of the full cross product avoided by blocking."""
+    total = n_a * n_b
+    if total == 0:
+        return 0.0
+    return 1.0 - n_pairs / total

@@ -1,0 +1,96 @@
+"""Duplicate removal across integrated sources.
+
+The result integrator receives row sets from several sources that may
+describe the same real-world entities.  :func:`link_tables` finds
+cross-source matches with blocking + Fellegi–Sunter; :func:`deduplicate`
+clusters all matching records (union–find over pairwise matches) and keeps
+one representative per cluster, merging fields so no information is lost.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.linkage.blocking import candidate_pairs
+
+
+def link_tables(records_a, records_b, classifier, blocking_key=None):
+    """All cross-source pairs classified as matches.
+
+    With ``blocking_key`` (field name or callable) only pairs sharing a
+    block are compared; without it, all |A|·|B| pairs are scored.
+    """
+    if blocking_key is not None:
+        pairs = candidate_pairs(records_a, records_b, blocking_key)
+    else:
+        pairs = ((a, b) for a in records_a for b in records_b)
+    return [
+        (a, b, classifier.score(a, b))
+        for a, b in pairs
+        if classifier.is_match(a, b)
+    ]
+
+
+def deduplicate(records, classifier, blocking_key=None, merge=None):
+    """Cluster duplicate records and return one merged record per cluster.
+
+    ``records`` is a list of mappings; ``classifier`` a
+    :class:`~repro.linkage.fellegi_sunter.FellegiSunter`.  ``merge`` is an
+    optional ``(list_of_records) → record`` reducer; the default keeps the
+    first record's values, filling its missing (None/'') fields from the
+    other cluster members.
+
+    Returns ``(deduplicated_records, clusters)`` where ``clusters`` lists
+    the index groups that were merged.
+    """
+    records = list(records)
+    n = len(records)
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(x, y):
+        root_x, root_y = find(x), find(y)
+        if root_x != root_y:
+            parent[max(root_x, root_y)] = min(root_x, root_y)
+
+    indexed = [dict(record, _index=i) for i, record in enumerate(records)]
+    if blocking_key is not None:
+        pair_iter = candidate_pairs(indexed, indexed, blocking_key)
+        seen = set()
+        pairs = []
+        for a, b in pair_iter:
+            i, j = a["_index"], b["_index"]
+            if i >= j or (i, j) in seen:
+                continue
+            seen.add((i, j))
+            pairs.append((i, j))
+    else:
+        pairs = [(i, j) for i in range(n) for j in range(i + 1, n)]
+
+    for i, j in pairs:
+        if classifier.is_match(records[i], records[j]):
+            union(i, j)
+
+    clusters = {}
+    for i in range(n):
+        clusters.setdefault(find(i), []).append(i)
+    cluster_list = [sorted(members) for _root, members in sorted(clusters.items())]
+
+    merge = merge or _default_merge
+    deduplicated = [merge([records[i] for i in members]) for members in cluster_list]
+    return deduplicated, cluster_list
+
+
+def _default_merge(cluster):
+    if not cluster:
+        raise ReproError("cannot merge an empty cluster")
+    merged = dict(cluster[0])
+    for record in cluster[1:]:
+        for key, value in record.items():
+            if merged.get(key) in (None, "") and value not in (None, ""):
+                merged[key] = value
+    return merged

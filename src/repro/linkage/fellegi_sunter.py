@@ -1,0 +1,95 @@
+"""Fellegi–Sunter probabilistic match classification.
+
+Each field comparison contributes a log-likelihood weight: ``log2(m/u)``
+when the field agrees and ``log2((1-m)/(1-u))`` when it disagrees, where
+``m`` is the probability of agreement among true matches and ``u`` among
+non-matches.  Pair scores above the upper threshold are matches, below the
+lower threshold non-matches, and in between "possible" (clerical review in
+the classic formulation; the integrator treats possibles as non-matches
+unless configured otherwise).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.linkage.similarity import jaro_winkler
+
+
+class FieldComparison:
+    """How to compare one field, and its m/u probabilities."""
+
+    def __init__(self, field, m=0.95, u=0.05, similarity=None, threshold=0.88):
+        if not 0.0 < u < m < 1.0:
+            raise ReproError(
+                f"field {field!r} needs 0 < u < m < 1 (got m={m}, u={u})"
+            )
+        self.field = field
+        self.m = m
+        self.u = u
+        self.similarity = similarity or (
+            lambda a, b: jaro_winkler(str(a).lower(), str(b).lower())
+        )
+        self.threshold = threshold
+
+    @property
+    def agreement_weight(self):
+        """log2(m/u) — contributed when the field agrees."""
+        return math.log2(self.m / self.u)
+
+    @property
+    def disagreement_weight(self):
+        """log2((1-m)/(1-u)) — contributed when the field disagrees."""
+        return math.log2((1.0 - self.m) / (1.0 - self.u))
+
+    def agrees(self, value_a, value_b):
+        """Whether two field values count as agreeing.
+
+        Missing values (None) are treated as non-informative: neither
+        agreement nor disagreement (weight 0).
+        """
+        if value_a is None or value_b is None:
+            return None
+        return self.similarity(value_a, value_b) >= self.threshold
+
+    def weight(self, value_a, value_b):
+        """The log-likelihood contribution for this field pair."""
+        agreement = self.agrees(value_a, value_b)
+        if agreement is None:
+            return 0.0
+        return self.agreement_weight if agreement else self.disagreement_weight
+
+
+class FellegiSunter:
+    """A configured Fellegi–Sunter classifier over several fields."""
+
+    def __init__(self, comparisons, upper=3.0, lower=0.0):
+        if not comparisons:
+            raise ReproError("need at least one field comparison")
+        if lower > upper:
+            raise ReproError("lower threshold must not exceed upper")
+        self.comparisons = list(comparisons)
+        self.upper = upper
+        self.lower = lower
+
+    def score(self, record_a, record_b):
+        """Total log-likelihood weight of a record pair."""
+        return sum(
+            c.weight(record_a.get(c.field), record_b.get(c.field))
+            for c in self.comparisons
+        )
+
+    def classify(self, record_a, record_b):
+        """'match', 'possible', or 'non-match' for a record pair."""
+        score = self.score(record_a, record_b)
+        if score >= self.upper:
+            return "match"
+        if score <= self.lower:
+            return "non-match"
+        return "possible"
+
+    def is_match(self, record_a, record_b, accept_possible=False):
+        """Boolean decision (possibles count as matches only if asked)."""
+        label = self.classify(record_a, record_b)
+        return label == "match" or (accept_possible and label == "possible")

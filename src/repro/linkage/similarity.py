@@ -1,0 +1,122 @@
+"""String similarity measures (all from scratch).
+
+These are the classic record-linkage comparators: Levenshtein edit distance
+(dynamic programming, two-row), Jaro and Jaro–Winkler (transposition-aware,
+favoured for person names), and q-gram Dice.
+"""
+
+from __future__ import annotations
+
+
+def levenshtein(a, b):
+    """Edit distance between two strings (insert/delete/substitute = 1)."""
+    if a == b:
+        return 0
+    if not a:
+        return len(b)
+    if not b:
+        return len(a)
+    if len(a) < len(b):
+        a, b = b, a  # keep the inner row short
+    previous = list(range(len(b) + 1))
+    for i, ch_a in enumerate(a, start=1):
+        current = [i]
+        for j, ch_b in enumerate(b, start=1):
+            cost = 0 if ch_a == ch_b else 1
+            current.append(
+                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+            )
+        previous = current
+    return previous[-1]
+
+
+def normalized_levenshtein(a, b):
+    """Levenshtein similarity in [0, 1]: 1 - distance / max length."""
+    if not a and not b:
+        return 1.0
+    return 1.0 - levenshtein(a, b) / max(len(a), len(b))
+
+
+def jaro_similarity(a, b):
+    """Jaro similarity in [0, 1]."""
+    if a == b:
+        return 1.0
+    if not a or not b:
+        return 0.0
+    window = max(len(a), len(b)) // 2 - 1
+    window = max(window, 0)
+    a_flags = [False] * len(a)
+    b_flags = [False] * len(b)
+
+    matches = 0
+    for i, ch in enumerate(a):
+        start = max(0, i - window)
+        end = min(i + window + 1, len(b))
+        for j in range(start, end):
+            if not b_flags[j] and b[j] == ch:
+                a_flags[i] = b_flags[j] = True
+                matches += 1
+                break
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, flagged in enumerate(a_flags):
+        if not flagged:
+            continue
+        while not b_flags[j]:
+            j += 1
+        if a[i] != b[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(a) + matches / len(b) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler(a, b, prefix_scale=0.1, max_prefix=4):
+    """Jaro–Winkler similarity: Jaro boosted by the common prefix length."""
+    jaro = jaro_similarity(a, b)
+    prefix = 0
+    for ch_a, ch_b in zip(a[:max_prefix], b[:max_prefix]):
+        if ch_a != ch_b:
+            break
+        prefix += 1
+    return jaro + prefix * prefix_scale * (1.0 - jaro)
+
+
+def ngram_dice(a, b, n=2):
+    """Dice coefficient over padded character n-grams."""
+    grams_a = _ngrams(a, n)
+    grams_b = _ngrams(b, n)
+    if not grams_a and not grams_b:
+        return 1.0
+    if not grams_a or not grams_b:
+        return 0.0
+    overlap = len(grams_a & grams_b)
+    return 2.0 * overlap / (len(grams_a) + len(grams_b))
+
+
+def record_qgrams(values, n=2):
+    """The set of field-tagged q-grams of a record's identifying values.
+
+    Tagging each gram with its field index keeps 'john smith' and
+    'smith john' from encoding identically, which is what the Bloom
+    record encodings hash.
+    """
+    grams = set()
+    for index, value in enumerate(values):
+        text = str(value).strip().lower()
+        for gram in _ngrams(text, n):
+            grams.add(f"{index}:{gram}")
+    return grams
+
+
+def _ngrams(text, n):
+    padded = f"{'#' * (n - 1)}{text.lower()}{'#' * (n - 1)}"
+    if len(padded) < n:
+        return set()
+    return {padded[i:i + n] for i in range(len(padded) - n + 1)}

@@ -1,0 +1,50 @@
+"""The privacy-preserving mediation engine (paper §5, Figure 2b).
+
+* :mod:`repro.mediator.schema_matching` — *Privacy Preserving Schema
+  Matching*: correspondences between source schemas from hashed name
+  tokens and privacy-safe instance statistics (plus the open baseline).
+* :mod:`repro.mediator.mediated_schema` — *Mediated Schema Generation*:
+  the partial structural summary honoring each source's privacy view.
+* :mod:`repro.mediator.fragmenter` — *Query Fragmenter*: source selection
+  and per-source PIQL fragments.
+* :mod:`repro.mediator.integrator` — *Result Integrator*: merge + private
+  deduplication of source results.
+* :mod:`repro.mediator.control` — *Privacy Control*: aggregated privacy
+  loss of the integrated result, inference-guard checks, violation
+  notifications to sources.
+* :mod:`repro.mediator.history` — query history and the mediator-side
+  sequence guard.
+* :mod:`repro.mediator.warehouse` — hybrid virtual/warehouse answering.
+* :mod:`repro.mediator.engine` — the :class:`MediationEngine` facade.
+"""
+
+from repro.mediator.schema_matching import (
+    InstanceProfile,
+    PrivateSchemaMatcher,
+    open_name_matcher_score,
+)
+from repro.mediator.mediated_schema import MediatedSchema, SourceExport
+from repro.mediator.fragmenter import FragmentPlan, QueryFragmenter
+from repro.mediator.integrator import IntegratedResult, ResultIntegrator
+from repro.mediator.control import PrivacyControl, ViolationNotice
+from repro.mediator.history import MediatorHistory, SequenceGuard
+from repro.mediator.warehouse import Warehouse
+from repro.mediator.engine import MediationEngine
+
+__all__ = [
+    "PrivateSchemaMatcher",
+    "InstanceProfile",
+    "open_name_matcher_score",
+    "MediatedSchema",
+    "SourceExport",
+    "QueryFragmenter",
+    "FragmentPlan",
+    "ResultIntegrator",
+    "IntegratedResult",
+    "PrivacyControl",
+    "ViolationNotice",
+    "MediatorHistory",
+    "SequenceGuard",
+    "Warehouse",
+    "MediationEngine",
+]

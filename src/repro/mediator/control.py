@@ -1,0 +1,109 @@
+"""The Privacy Control module (paper §5).
+
+After integration the mediator re-verifies privacy: "the computed value of
+privacy loss in a source may not hold after the results are integrated with
+other sources."  Two mechanisms:
+
+* **aggregated loss** — integrating overlapping releases compounds
+  exposure; the combined loss is ``1 - Π(1 - loss_i)`` over the
+  contributing sources (independent-evidence model).  When the aggregate
+  exceeds a source's granted budget, that source's rows are withheld and
+  the source is notified (a :class:`ViolationNotice`), exactly as §5
+  prescribes.
+* **inference-guard checks** — before the mediator *publishes* an
+  aggregate table it runs the Figure-1 snooping inference defensively via
+  :class:`repro.inference.guard.InferenceGuard` (see
+  :meth:`PrivacyControl.check_publication`).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.inference.guard import InferenceGuard
+
+
+class ViolationNotice:
+    """Notification sent to a source whose constraint would be violated."""
+
+    def __init__(self, source, aggregated_loss, budget, detail):
+        self.source = source
+        self.aggregated_loss = aggregated_loss
+        self.budget = budget
+        self.detail = detail
+
+    def __repr__(self):
+        return (
+            f"ViolationNotice({self.source!r}: aggregated "
+            f"{self.aggregated_loss:.3f} > budget {self.budget:.3f})"
+        )
+
+
+class PrivacyControl:
+    """Aggregated-loss verification + defensive inference checks."""
+
+    def __init__(self, guard=None):
+        self.guard = guard or InferenceGuard(min_interval_width=5.0, starts=2)
+        self.notices_sent = []
+
+    def aggregated_loss(self, per_source_loss):
+        """Combined privacy loss of integrating several releases."""
+        combined = 1.0
+        for loss in per_source_loss.values():
+            if not 0.0 <= loss <= 1.0:
+                raise ReproError(f"per-source loss out of range: {loss}")
+            combined *= 1.0 - loss
+        return 1.0 - combined
+
+    def verify(self, rows, per_source_loss, budgets):
+        """Enforce every source's budget against the aggregated loss.
+
+        ``budgets`` maps source → the loss budget that source granted for
+        its fragment (from its rewrite).  Sources whose budget is exceeded
+        by the aggregate have their rows withheld and receive a notice.
+        Returns ``(kept_rows, aggregated_loss, notices)``.
+        """
+        notices = []
+        participating = dict(per_source_loss)
+        while True:
+            aggregated = self.aggregated_loss(participating)
+            violated = [
+                source
+                for source in sorted(participating)
+                if aggregated > budgets.get(source, 1.0) + 1e-9
+            ]
+            if not violated:
+                break
+            # Withhold the highest-loss violating source first and recheck:
+            # removing one release may bring the aggregate within the
+            # remaining sources' budgets.
+            worst = max(violated, key=lambda s: (participating[s], s))
+            notices.append(
+                ViolationNotice(
+                    worst,
+                    aggregated,
+                    budgets.get(worst, 1.0),
+                    "aggregated loss of integrated result exceeds the "
+                    "budget granted by this source",
+                )
+            )
+            del participating[worst]
+            if not participating:
+                break
+
+        kept_sources = set(participating)
+        kept_rows = [
+            row for row in rows
+            if _row_sources(row) & kept_sources == _row_sources(row)
+        ]
+        self.notices_sent.extend(notices)
+        aggregated = self.aggregated_loss(participating) if participating else 0.0
+        return kept_rows, aggregated, notices
+
+    def check_publication(self, published, true_matrix):
+        """Defensive Figure-1 inference check before releasing aggregates."""
+        return self.guard.check(published, true_matrix)
+
+
+def _row_sources(row):
+    source = row.get("_source", "")
+    return set(source.split("+")) if source else set()

@@ -1,0 +1,185 @@
+"""The MediationEngine facade — Figure 2(b) end to end.
+
+Wires mediated-schema generation, fragmentation, per-source answering,
+result integration, privacy control, history/sequence guarding, and the
+hybrid warehouse into one ``pose()`` call.
+"""
+
+from __future__ import annotations
+
+from repro.errors import (
+    AuditRefusal,
+    IntegrationError,
+    PathError,
+    PrivacyViolation,
+)
+from repro.mediator.control import PrivacyControl
+from repro.mediator.fragmenter import QueryFragmenter
+from repro.mediator.history import MediatorHistory, SequenceGuard
+from repro.mediator.integrator import IntegratedResult, ResultIntegrator
+from repro.mediator.mediated_schema import MediatedSchema, SourceExport
+from repro.mediator.warehouse import Warehouse
+from repro.policy.model import DisclosureForm
+from repro.query.language import parse_piql, to_piql
+from repro.query.model import PiqlQuery
+
+
+class MediationEngine:
+    """The privacy-preserving mediation engine."""
+
+    def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
+                 synonyms=None, warehouse=None, max_distinct_probes=4):
+        self.shared_secret = shared_secret
+        self.linkage_attributes = list(linkage_attributes)
+        self.synonyms = synonyms
+        self.warehouse = warehouse or Warehouse(mode="hybrid")
+        self.max_distinct_probes = max_distinct_probes
+
+        self.sources = {}
+        self.schema = None
+        self.fragmenter = None
+        self.integrator = None
+        self.control = PrivacyControl()
+        self.history = MediatorHistory()
+        self._sequence_guard = None
+
+    # -- setup ----------------------------------------------------------------
+
+    def register_source(self, remote):
+        """Register a :class:`~repro.source.server.RemoteSource`."""
+        if remote.name in self.sources:
+            raise IntegrationError(f"source {remote.name!r} already registered")
+        self.sources[remote.name] = remote
+        self.schema = None  # invalidate; rebuilt lazily
+
+    def build_schema(self):
+        """(Re)build the mediated schema from the registered sources."""
+        if not self.sources:
+            raise IntegrationError("no sources registered")
+        exports = [
+            SourceExport.from_remote_source(
+                self.sources[name], self.shared_secret, self.synonyms
+            )
+            for name in sorted(self.sources)
+        ]
+        self.schema = MediatedSchema.build(exports)
+        self.fragmenter = QueryFragmenter(self.schema)
+        self.integrator = ResultIntegrator(
+            self.schema, self.linkage_attributes
+        )
+        private = {
+            name for name, attribute in self.schema.attributes.items()
+            if attribute.form < DisclosureForm.EXACT
+        }
+        self._sequence_guard = SequenceGuard(
+            self.history, private, self.max_distinct_probes
+        )
+        return self.schema
+
+    def mediated_vocabulary(self):
+        """The attribute names requesters may use in queries."""
+        self._ensure_schema()
+        return self.schema.vocabulary()
+
+    # -- querying ---------------------------------------------------------------
+
+    def pose(self, query, requester="anonymous", role=None, subjects=(),
+             emergency=False, use_warehouse=True):
+        """Answer a PIQL query (text or :class:`PiqlQuery`).
+
+        Returns an :class:`~repro.mediator.integrator.IntegratedResult`.
+        Raises :class:`AuditRefusal` when the sequence guard blocks the
+        requester, :class:`IntegrationError` when no source can answer,
+        and :class:`PrivacyViolation` when every relevant source refused.
+        """
+        self._ensure_schema()
+        if isinstance(query, str):
+            query = parse_piql(query)
+        if not isinstance(query, PiqlQuery):
+            raise IntegrationError("pose needs PIQL text or a PiqlQuery")
+
+        plan = self.fragmenter.fragment(query)
+        attributes = sorted(set(plan.mediated_names.values()))
+        signature = self._predicate_signature(query)
+
+        try:
+            self._sequence_guard.check(
+                requester, attributes, signature, query.is_aggregate
+            )
+        except AuditRefusal:
+            self.history.record(
+                requester, attributes, signature, query.is_aggregate,
+                refused=True,
+            )
+            raise
+
+        # Cache per requester/role: two requesters may legitimately see
+        # different answers to the same text under RBAC or preferences.
+        key = f"{requester}|{role}|{to_piql(query)}"
+        if use_warehouse:
+            result, _stats = self.warehouse.answer(
+                key,
+                lambda: self._compute(query, plan, requester, role, subjects),
+                n_sources=len(plan.sources),
+                emergency=emergency,
+            )
+        else:
+            result = self._compute(query, plan, requester, role, subjects)
+
+        self.history.record(
+            requester, attributes, signature, query.is_aggregate
+        )
+        return result
+
+    # -- internals -----------------------------------------------------------
+
+    def _compute(self, query, plan, requester, role, subjects):
+        responses = {}
+        refused = {}
+        budgets = {}
+        for source_name in plan.sources:
+            remote = self.sources[source_name]
+            fragment = plan.fragments[source_name]
+            try:
+                response = remote.answer(
+                    fragment, requester=requester, role=role, subjects=subjects
+                )
+            except (PrivacyViolation, PathError) as refusal:
+                refused[source_name] = str(refusal)
+                continue
+            responses[source_name] = response
+            budgets[source_name] = response.rewrite.loss_budget
+
+        if not responses:
+            raise PrivacyViolation(
+                "every relevant source refused the query: "
+                + "; ".join(f"{s}: {r}" for s, r in sorted(refused.items()))
+            )
+
+        rows, per_source_loss, duplicates = self.integrator.integrate(
+            responses, plan, query.is_aggregate
+        )
+        kept_rows, aggregated, notices = self.control.verify(
+            rows, per_source_loss, budgets
+        )
+        if aggregated > query.max_loss + 1e-9:
+            raise PrivacyViolation(
+                f"aggregated privacy loss {aggregated:.3f} exceeds the "
+                f"requester's MAXLOSS {query.max_loss:.3f}"
+            )
+        return IntegratedResult(
+            kept_rows, per_source_loss, aggregated, notices, refused,
+            duplicates,
+        )
+
+    def _predicate_signature(self, query):
+        return " AND ".join(
+            sorted(repr(p) for p in query.where)
+        ) or "<none>"
+
+    def _ensure_schema(self):
+        if self.schema is None:
+            self.build_schema()
+
+    def __repr__(self):
+        return f"MediationEngine(sources={sorted(self.sources)})"

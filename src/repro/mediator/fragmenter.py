@@ -1,0 +1,128 @@
+"""The Query Fragmenter (paper §5).
+
+Parses the requester's PIQL query against the mediated schema, determines
+which sources are *relevant* (export every attribute the query needs —
+"sending queries to irrelevant sources affects adversely the efficiency"),
+and emits one PIQL fragment per relevant source with paths translated to
+that source's local attribute names.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrationError
+from repro.query.model import PiqlAggregate, PiqlPredicate, PiqlQuery
+from repro.xmlkit.loose import LoosePathMatcher
+from repro.xmlkit.path import PathExpr, Step
+
+
+class FragmentPlan:
+    """The fragmenter's output: per-source fragments plus bookkeeping."""
+
+    def __init__(self, fragments, mediated_names, skipped_sources):
+        self.fragments = dict(fragments)  # source → PiqlQuery
+        self.mediated_names = dict(mediated_names)  # path repr → mediated name
+        self.skipped_sources = dict(skipped_sources)  # source → reason
+
+    @property
+    def sources(self):
+        """The relevant sources, sorted."""
+        return sorted(self.fragments)
+
+    def __repr__(self):
+        return f"FragmentPlan(sources={self.sources})"
+
+
+class QueryFragmenter:
+    """Source selection + per-source fragment construction."""
+
+    def __init__(self, schema, matcher=None):
+        self.schema = schema
+        self.matcher = matcher or LoosePathMatcher()
+
+    def fragment(self, query):
+        """Build the :class:`FragmentPlan` for ``query``.
+
+        Raises :class:`IntegrationError` when a path cannot be resolved
+        against the mediated schema or no source can answer.
+        """
+        if not isinstance(query, PiqlQuery):
+            raise IntegrationError("fragment needs a PiqlQuery")
+        vocabulary = set(self.schema.vocabulary())
+
+        mediated_names = {}
+        for path in query.paths_touched():
+            leaf = path.steps[-1].name
+            if leaf == "*":
+                raise IntegrationError("wildcard leaves cannot be fragmented")
+            match, score = self.matcher.best_match(leaf, vocabulary)
+            if match is None:
+                raise IntegrationError(
+                    f"no mediated attribute matches {leaf!r} "
+                    f"(best score {score:.2f}); the attribute may be "
+                    "suppressed by every source's privacy view"
+                )
+            mediated_names[repr(path)] = match
+
+        needed = sorted(set(mediated_names.values()))
+        candidates = self.schema.sources_for(needed)
+        if query.source_hint:
+            if query.source_hint not in candidates:
+                raise IntegrationError(
+                    f"hinted source {query.source_hint!r} cannot answer "
+                    f"(needs {needed})"
+                )
+            candidates = [query.source_hint]
+
+        skipped = {}
+        all_sources = self.schema.sources_for([])
+        for source in all_sources:
+            if source not in candidates:
+                missing = [
+                    n for n in needed
+                    if source not in self.schema.attribute(n).local_names
+                ]
+                skipped[source] = f"missing attributes {missing}"
+
+        if not candidates:
+            raise IntegrationError(
+                f"no source exports all of {needed}; "
+                f"skipped: {skipped}"
+            )
+
+        fragments = {
+            source: self._fragment_for(query, mediated_names, source)
+            for source in candidates
+        }
+        return FragmentPlan(fragments, mediated_names, skipped)
+
+    def _fragment_for(self, query, mediated_names, source):
+        def translate(path):
+            mediated = mediated_names[repr(path)]
+            local = self.schema.local_name(mediated, source)
+            steps = list(path.steps[:-1])
+            last = path.steps[-1]
+            steps.append(Step(last.axis, local, last.predicates,
+                              last.is_attribute))
+            return PathExpr(steps)
+
+        select = []
+        for item in query.select:
+            if isinstance(item, PiqlAggregate):
+                select.append(
+                    PiqlAggregate(
+                        item.func,
+                        "*" if item.path is None else translate(item.path),
+                        item.alias,
+                    )
+                )
+            else:
+                select.append(translate(item))
+        where = [
+            PiqlPredicate(translate(p.path), p.op, p.value)
+            for p in query.where
+        ]
+        group_by = [translate(p) for p in query.group_by]
+        return PiqlQuery(
+            select, where, group_by,
+            purpose=query.purpose, max_loss=query.max_loss,
+        )

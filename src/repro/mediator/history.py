@@ -1,0 +1,100 @@
+"""Query history and the mediator-side sequence guard (paper §4/§5).
+
+Source-side auditing sees only its own queries; a snooper can spread a
+tracker sequence across sources.  The mediator therefore keeps a global
+:class:`MediatorHistory` per requester, and :class:`SequenceGuard` refuses
+a request when the same requester has already aggregated the same private
+mediated attribute under too many *distinct* predicates within the sliding
+window — the cross-source analogue of overlap control.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AuditRefusal, ReproError
+
+
+class HistoryEntry:
+    """One answered (or refused) query in the history."""
+
+    def __init__(self, sequence, requester, attributes, predicate_signature,
+                 is_aggregate, refused):
+        self.sequence = sequence
+        self.requester = requester
+        self.attributes = frozenset(attributes)
+        self.predicate_signature = predicate_signature
+        self.is_aggregate = is_aggregate
+        self.refused = refused
+
+    def __repr__(self):
+        status = "refused" if self.refused else "ok"
+        return f"HistoryEntry(#{self.sequence} {self.requester} {status})"
+
+
+class MediatorHistory:
+    """Append-only per-requester query log."""
+
+    def __init__(self):
+        self._entries = []
+        self._sequence = 0
+
+    def record(self, requester, attributes, predicate_signature,
+               is_aggregate, refused=False):
+        """Append one entry and return it."""
+        self._sequence += 1
+        entry = HistoryEntry(
+            self._sequence, requester, attributes, predicate_signature,
+            is_aggregate, refused,
+        )
+        self._entries.append(entry)
+        return entry
+
+    def entries(self, requester=None):
+        """All entries, optionally filtered by requester."""
+        if requester is None:
+            return list(self._entries)
+        return [e for e in self._entries if e.requester == requester]
+
+    def __len__(self):
+        return len(self._entries)
+
+
+class SequenceGuard:
+    """Refuses over-repeated aggregate probing of a private attribute."""
+
+    def __init__(self, history, private_attributes, max_distinct_probes=3,
+                 window=20):
+        if max_distinct_probes < 1:
+            raise ReproError("max_distinct_probes must be >= 1")
+        self.history = history
+        self.private_attributes = set(private_attributes)
+        self.max_distinct_probes = max_distinct_probes
+        self.window = window
+
+    def check(self, requester, attributes, predicate_signature, is_aggregate):
+        """Raise :class:`AuditRefusal` when the request over-probes.
+
+        Repeating an *identical* query is harmless (same answer); what the
+        guard counts is distinct predicate signatures against the same
+        private attribute within the window.
+        """
+        if not is_aggregate:
+            return
+        probed = set(attributes) & self.private_attributes
+        if not probed:
+            return
+        recent = self.history.entries(requester)[-self.window:]
+        for attribute in probed:
+            signatures = {
+                entry.predicate_signature
+                for entry in recent
+                if entry.is_aggregate
+                and not entry.refused
+                and attribute in entry.attributes
+            }
+            signatures.add(predicate_signature)
+            if len(signatures) > self.max_distinct_probes:
+                raise AuditRefusal(
+                    f"requester {requester!r} has probed private attribute "
+                    f"{attribute!r} with {len(signatures)} distinct "
+                    f"predicates (limit {self.max_distinct_probes})"
+                )

@@ -1,0 +1,167 @@
+"""Mediated schema generation (paper §5).
+
+Each source exports a :class:`SourceExport`: the attributes its privacy
+view permits it to advertise (suppressed attributes are simply absent —
+"the mediated schema may not be aware of the attribute dob"), each with a
+descriptor for private matching.  :class:`MediatedSchema` merges exports
+into mediated attributes via pairwise correspondences, recording per-source
+local names so the fragmenter can translate queries.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IntegrationError
+from repro.mediator.schema_matching import (
+    PrivateSchemaMatcher,
+    describe_attribute,
+)
+from repro.policy.model import DisclosureForm
+from repro.xmlkit.loose import normalize_name
+
+
+class SourceExport:
+    """One source's advertised (privacy-pruned) vocabulary."""
+
+    def __init__(self, source, descriptors, forms):
+        self.source = source
+        self.descriptors = dict(descriptors)  # local name → descriptor
+        self.forms = dict(forms)  # local name → DisclosureForm cap
+
+    @classmethod
+    def from_remote_source(cls, remote, shared_secret, synonyms=None):
+        """Build the export a :class:`~repro.source.server.RemoteSource`
+        is willing to publish.
+
+        Attributes whose privacy view caps them at SUPPRESSED are not
+        advertised at all; others carry their form cap so the requester
+        knows what to expect.
+        """
+        view = remote.policy_store.view_for(remote.name)
+        descriptors, forms = {}, {}
+        for column in remote.table.schema.column_names():
+            form = (
+                view.form_for(f"//{column}") if view is not None
+                else DisclosureForm.EXACT
+            )
+            if form is DisclosureForm.SUPPRESSED:
+                continue
+            values = remote.table.column_values(column)
+            descriptors[column] = describe_attribute(
+                column, values, shared_secret, synonyms
+            )
+            forms[column] = form
+        return cls(remote.name, descriptors, forms)
+
+    def __repr__(self):
+        return f"SourceExport({self.source!r}, attrs={sorted(self.descriptors)})"
+
+
+class MediatedAttribute:
+    """One attribute of the mediated schema."""
+
+    def __init__(self, name, form):
+        self.name = name
+        self.form = form  # most restrictive cap across sources
+        self.local_names = {}  # source → local attribute name
+
+    def __repr__(self):
+        return (
+            f"MediatedAttribute({self.name!r}, form={self.form.name.lower()}, "
+            f"sources={sorted(self.local_names)})"
+        )
+
+
+class MediatedSchema:
+    """The partial structural summary requesters formulate queries over."""
+
+    def __init__(self, attributes):
+        self.attributes = {a.name: a for a in attributes}
+
+    @classmethod
+    def build(cls, exports, matcher=None):
+        """Merge source exports into a mediated schema.
+
+        The first export seeds the mediated attributes; every further
+        export is matched (privately) against the current mediated
+        descriptors and either joins an existing attribute or adds a new
+        one.  Mediated attribute names are the normalized form of the
+        first local name seen.
+        """
+        exports = list(exports)
+        if not exports:
+            raise IntegrationError("cannot build a schema from zero exports")
+        matcher = matcher or PrivateSchemaMatcher()
+
+        attributes = []
+        mediated_descriptors = {}  # mediated name → representative descriptor
+        for export in exports:
+            correspondences = matcher.match(
+                export.descriptors, mediated_descriptors
+            )
+            for local_name, descriptor in sorted(export.descriptors.items()):
+                form = export.forms[local_name]
+                if local_name in correspondences:
+                    mediated_name, _score = correspondences[local_name]
+                    attribute = next(
+                        a for a in attributes if a.name == mediated_name
+                    )
+                    attribute.local_names[export.source] = local_name
+                    attribute.form = min(attribute.form, form)
+                else:
+                    mediated_name = _fresh_name(
+                        normalize_name(local_name),
+                        {a.name for a in attributes},
+                    )
+                    attribute = MediatedAttribute(mediated_name, form)
+                    attribute.local_names[export.source] = local_name
+                    attributes.append(attribute)
+                    mediated_descriptors[mediated_name] = descriptor
+        return cls(attributes)
+
+    def vocabulary(self):
+        """The mediated attribute names (what PIQL paths resolve against)."""
+        return sorted(self.attributes)
+
+    def attribute(self, name):
+        """Look up a mediated attribute."""
+        if name not in self.attributes:
+            raise IntegrationError(
+                f"mediated schema has no attribute {name!r} "
+                f"(has {self.vocabulary()})"
+            )
+        return self.attributes[name]
+
+    def sources_for(self, names):
+        """Sources exporting *all* of the mediated attributes ``names``."""
+        if not names:
+            return sorted({
+                source
+                for attribute in self.attributes.values()
+                for source in attribute.local_names
+            })
+        source_sets = [
+            set(self.attribute(n).local_names) for n in names
+        ]
+        shared = set.intersection(*source_sets)
+        return sorted(shared)
+
+    def local_name(self, mediated_name, source):
+        """The source-local name of a mediated attribute."""
+        attribute = self.attribute(mediated_name)
+        if source not in attribute.local_names:
+            raise IntegrationError(
+                f"source {source!r} does not export {mediated_name!r}"
+            )
+        return attribute.local_names[source]
+
+    def __repr__(self):
+        return f"MediatedSchema({self.vocabulary()})"
+
+
+def _fresh_name(base, taken):
+    if base not in taken:
+        return base
+    suffix = 2
+    while f"{base}_{suffix}" in taken:
+        suffix += 1
+    return f"{base}_{suffix}"

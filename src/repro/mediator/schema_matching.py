@@ -1,0 +1,183 @@
+"""Privacy-preserving schema matching (paper §5).
+
+"The schemas of some sources may not be available freely due to privacy
+constraints" — so the matcher never sees raw names or values.  Each source
+locally prepares a *disclosure-safe* description of every exported
+attribute:
+
+* **hashed name tokens** — the attribute name is split into word tokens,
+  each token (plus its local synonym expansions) is HMAC-hashed under a
+  secret shared by the sources but *not* derivable by the mediator from
+  the names themselves;
+* an **instance profile** — coarse, k-safe statistics of the column's
+  values (type, rounded mean/std, distinct ratio, mean length, character
+  classes) that reveal distributional shape, not values.
+
+The matcher scores attribute pairs by hashed-token Jaccard blended with
+profile similarity.  ``open_name_matcher_score`` is the non-private
+baseline (raw names through the loose matcher) used by benchmark A8.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import IntegrationError
+from repro.crypto.keyed_hash import keyed_hash
+from repro.xmlkit.loose import LoosePathMatcher, SynonymTable, name_tokens
+
+
+class InstanceProfile:
+    """Privacy-safe statistics of one attribute's values."""
+
+    __slots__ = ("kind", "mean", "std", "distinct_ratio", "mean_length",
+                 "digit_ratio", "alpha_ratio")
+
+    def __init__(self, kind, mean=0.0, std=0.0, distinct_ratio=0.0,
+                 mean_length=0.0, digit_ratio=0.0, alpha_ratio=0.0):
+        self.kind = kind  # "numeric" | "text" | "bool"
+        self.mean = mean
+        self.std = std
+        self.distinct_ratio = distinct_ratio
+        self.mean_length = mean_length
+        self.digit_ratio = digit_ratio
+        self.alpha_ratio = alpha_ratio
+
+    @classmethod
+    def of_values(cls, values, round_digits=1):
+        """Profile a column, rounding moments so exact values never leak."""
+        values = [v for v in values if v is not None]
+        if not values:
+            return cls("text")
+        if all(isinstance(v, bool) for v in values):
+            mean = sum(1.0 for v in values if v) / len(values)
+            return cls("bool", mean=round(mean, round_digits),
+                       distinct_ratio=len(set(values)) / len(values))
+        if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+               for v in values):
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / len(values)
+            return cls(
+                "numeric",
+                mean=round(mean, round_digits),
+                std=round(math.sqrt(variance), round_digits),
+                distinct_ratio=round(len(set(values)) / len(values), 2),
+            )
+        texts = [str(v) for v in values]
+        total_chars = sum(len(t) for t in texts) or 1
+        digits = sum(sum(c.isdigit() for c in t) for t in texts)
+        alphas = sum(sum(c.isalpha() for c in t) for t in texts)
+        return cls(
+            "text",
+            distinct_ratio=round(len(set(texts)) / len(texts), 2),
+            mean_length=round(total_chars / len(texts), 1),
+            digit_ratio=round(digits / total_chars, 2),
+            alpha_ratio=round(alphas / total_chars, 2),
+        )
+
+    def similarity(self, other):
+        """Similarity in [0, 1] between two profiles."""
+        if self.kind != other.kind:
+            return 0.0
+        if self.kind == "numeric":
+            return (
+                0.4 * _ratio_closeness(self.mean, other.mean)
+                + 0.3 * _ratio_closeness(self.std, other.std)
+                + 0.3 * (1.0 - abs(self.distinct_ratio - other.distinct_ratio))
+            )
+        if self.kind == "bool":
+            return 1.0 - abs(self.mean - other.mean)
+        return (
+            0.4 * _ratio_closeness(self.mean_length, other.mean_length)
+            + 0.2 * (1.0 - abs(self.distinct_ratio - other.distinct_ratio))
+            + 0.2 * (1.0 - abs(self.digit_ratio - other.digit_ratio))
+            + 0.2 * (1.0 - abs(self.alpha_ratio - other.alpha_ratio))
+        )
+
+    def __repr__(self):
+        return f"InstanceProfile({self.kind})"
+
+
+class AttributeDescriptor:
+    """What one source discloses about one exported attribute."""
+
+    def __init__(self, hashed_tokens, profile):
+        self.hashed_tokens = frozenset(hashed_tokens)
+        self.profile = profile
+
+
+def describe_attribute(name, values, shared_secret, synonyms=None):
+    """Build a source-local :class:`AttributeDescriptor` for ``name``.
+
+    Token hashing uses ``shared_secret`` (known to sources, not chosen by
+    the mediator); synonyms are expanded *before* hashing so dob and
+    dateOfBirth collide in hash space.
+    """
+    synonyms = synonyms or SynonymTable()
+    tokens = set(name_tokens(name))
+    tokens |= synonyms.group_of(name)
+    for token in list(tokens):
+        tokens |= synonyms.group_of(token)
+    hashed = {keyed_hash(shared_secret, token).hex() for token in tokens}
+    return AttributeDescriptor(hashed, InstanceProfile.of_values(values))
+
+
+class PrivateSchemaMatcher:
+    """Scores attribute correspondences from descriptors only."""
+
+    def __init__(self, name_weight=0.6, threshold=0.45):
+        if not 0.0 <= name_weight <= 1.0:
+            raise IntegrationError("name_weight must be in [0, 1]")
+        self.name_weight = name_weight
+        self.threshold = threshold
+
+    def score(self, descriptor_a, descriptor_b):
+        """Blended similarity of two attribute descriptors."""
+        union = descriptor_a.hashed_tokens | descriptor_b.hashed_tokens
+        if union:
+            name_score = len(
+                descriptor_a.hashed_tokens & descriptor_b.hashed_tokens
+            ) / len(union)
+        else:
+            name_score = 0.0
+        profile_score = descriptor_a.profile.similarity(descriptor_b.profile)
+        return (
+            self.name_weight * name_score
+            + (1.0 - self.name_weight) * profile_score
+        )
+
+    def match(self, descriptors_a, descriptors_b):
+        """Greedy 1:1 correspondences between two descriptor maps.
+
+        Inputs map attribute name → descriptor (names are local to each
+        source; the mediator sees them only because the *sources* chose to
+        export those attributes).  Returns ``{name_a: (name_b, score)}``.
+        """
+        candidates = []
+        for name_a, descriptor_a in descriptors_a.items():
+            for name_b, descriptor_b in descriptors_b.items():
+                score = self.score(descriptor_a, descriptor_b)
+                if score >= self.threshold:
+                    candidates.append((score, name_a, name_b))
+        candidates.sort(key=lambda c: (-c[0], c[1], c[2]))
+        matched_a, matched_b, correspondences = set(), set(), {}
+        for score, name_a, name_b in candidates:
+            if name_a in matched_a or name_b in matched_b:
+                continue
+            matched_a.add(name_a)
+            matched_b.add(name_b)
+            correspondences[name_a] = (name_b, score)
+        return correspondences
+
+
+def open_name_matcher_score(name_a, name_b, matcher=None):
+    """The non-private baseline: loose matching on raw names (bench A8)."""
+    matcher = matcher or LoosePathMatcher()
+    return matcher.score_name(name_a, name_b)
+
+
+def _ratio_closeness(a, b):
+    largest = max(abs(a), abs(b))
+    if largest == 0:
+        return 1.0
+    return max(0.0, 1.0 - abs(a - b) / largest)

@@ -1,0 +1,110 @@
+"""Hybrid virtual/warehouse answering (paper §5).
+
+"A cornerstone of our architecture is that our Mediation Engine allows us
+to query on demand (virtual querying) as well as materialize some data
+locally (warehousing).  We take the hybrid approach due to the
+quick-response needed during emergency situations."
+
+The warehouse stores integrated results keyed by canonical query text with
+a logical timestamp.  Three answering modes:
+
+* ``virtual`` — always recompute from the sources (fresh, slow);
+* ``warehouse`` — serve the materialized copy, refreshing only when older
+  than ``refresh_interval`` (fast, possibly stale);
+* ``hybrid`` — serve the copy when it is fresh enough, recompute
+  otherwise; queries flagged as emergencies always get a fresh answer
+  *and* update the store.
+
+Cost accounting is explicit (``source_calls``) so benchmark A4 can report
+latency/staleness trade-offs without wall-clock noise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+MODES = ("virtual", "warehouse", "hybrid")
+
+
+class WarehouseEntry:
+    """One materialized result."""
+
+    def __init__(self, key, result, stored_at):
+        self.key = key
+        self.result = result
+        self.stored_at = stored_at
+        self.hits = 0
+
+
+class AnswerStats:
+    """How an answer was produced."""
+
+    def __init__(self, mode, from_cache, source_calls, staleness):
+        self.mode = mode
+        self.from_cache = from_cache
+        self.source_calls = source_calls
+        self.staleness = staleness
+
+    def __repr__(self):
+        origin = "cache" if self.from_cache else "sources"
+        return (
+            f"AnswerStats({self.mode}, {origin}, calls={self.source_calls}, "
+            f"staleness={self.staleness})"
+        )
+
+
+class Warehouse:
+    """Materialized integrated results with a logical clock."""
+
+    def __init__(self, mode="hybrid", refresh_interval=10, max_staleness=5):
+        if mode not in MODES:
+            raise ReproError(f"unknown warehouse mode {mode!r} (use {MODES})")
+        self.mode = mode
+        self.refresh_interval = refresh_interval
+        self.max_staleness = max_staleness
+        self.clock = 0
+        self._store = {}
+        self.total_source_calls = 0
+
+    def tick(self, steps=1):
+        """Advance logical time (sources drift; caches age)."""
+        self.clock += steps
+
+    def answer(self, key, compute, n_sources, emergency=False):
+        """Answer the query ``key`` under the configured mode.
+
+        ``compute`` is a zero-argument callable producing a fresh
+        integrated result (invoked only when needed); ``n_sources`` is the
+        cost of one recomputation.  Returns ``(result, AnswerStats)``.
+        """
+        entry = self._store.get(key)
+        age = self.clock - entry.stored_at if entry is not None else None
+
+        if self.mode == "virtual" or (emergency and self.mode == "hybrid"):
+            return self._fresh(key, compute, n_sources)
+
+        if self.mode == "warehouse":
+            if entry is None or age > self.refresh_interval:
+                return self._fresh(key, compute, n_sources)
+            entry.hits += 1
+            return entry.result, AnswerStats(self.mode, True, 0, age)
+
+        # hybrid: serve cache while fresh enough, else recompute
+        if entry is not None and age <= self.max_staleness:
+            entry.hits += 1
+            return entry.result, AnswerStats(self.mode, True, 0, age)
+        return self._fresh(key, compute, n_sources)
+
+    def _fresh(self, key, compute, n_sources):
+        result = compute()
+        self._store[key] = WarehouseEntry(key, result, self.clock)
+        self.total_source_calls += n_sources
+        return result, AnswerStats(self.mode, False, n_sources, 0)
+
+    def materialized_keys(self):
+        """Keys currently materialized."""
+        return sorted(self._store)
+
+    def entry(self, key):
+        """The warehouse entry for ``key`` (or None)."""
+        return self._store.get(key)

@@ -1,0 +1,38 @@
+"""Privacy and utility metrics.
+
+Section 4 calls for "reliable metrics for quantifying privacy loss …
+probabilistic notions of conditional loss, such as decreasing the range of
+values an item could have", plus established anonymity measures, and
+Section 2 cites Duncan's R-U confidentiality map.  This package provides:
+
+* :mod:`repro.metrics.privacy_loss` — interval-shrink loss, entropy loss,
+  disclosure risk;
+* :mod:`repro.metrics.information_loss` — generalization precision loss,
+  discernibility, suppression ratio, perturbation distortion;
+* :mod:`repro.metrics.ru_map` — risk–utility points and frontier.
+"""
+
+from repro.metrics.privacy_loss import (
+    disclosure_risk,
+    entropy_loss,
+    interval_shrink_loss,
+)
+from repro.metrics.information_loss import (
+    discernibility,
+    distortion,
+    generalization_precision_loss,
+    suppression_ratio,
+)
+from repro.metrics.ru_map import RUPoint, ru_frontier
+
+__all__ = [
+    "interval_shrink_loss",
+    "entropy_loss",
+    "disclosure_risk",
+    "generalization_precision_loss",
+    "discernibility",
+    "suppression_ratio",
+    "distortion",
+    "RUPoint",
+    "ru_frontier",
+]

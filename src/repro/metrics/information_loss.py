@@ -1,0 +1,75 @@
+"""Information-loss (utility) metrics for privacy transformations."""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+
+def generalization_precision_loss(node, hierarchies):
+    """Sweeney's Prec loss of a lattice node: mean of level/height.
+
+    0 for raw data, 1 for full suppression of every quasi-identifier.
+    """
+    if len(node) != len(hierarchies):
+        raise ReproError("node arity must match hierarchies")
+    ratios = []
+    for level, hierarchy in zip(node, hierarchies):
+        if hierarchy.height == 0:
+            ratios.append(0.0)
+        else:
+            ratios.append(level / hierarchy.height)
+    return sum(ratios) / len(ratios)
+
+
+def discernibility(released_records, quasi_identifiers, suppressed=0, total=None):
+    """The discernibility metric DM.
+
+    Each released record costs the size of its equivalence class; each
+    suppressed record costs the full table size.  Lower is better.
+    """
+    from repro.anonymity.kanonymity import equivalence_classes
+
+    released_records = list(released_records)
+    total = total if total is not None else len(released_records) + suppressed
+    cost = sum(
+        len(members) ** 2
+        for members in equivalence_classes(
+            released_records, quasi_identifiers
+        ).values()
+    )
+    return cost + suppressed * total
+
+
+def suppression_ratio(n_suppressed, n_total):
+    """Fraction of records suppressed by a release."""
+    if n_total <= 0:
+        raise ReproError("total record count must be positive")
+    if not 0 <= n_suppressed <= n_total:
+        raise ReproError("suppressed count out of range")
+    return n_suppressed / n_total
+
+
+def distortion(original_values, perturbed_values, relative=True):
+    """Root-mean-square distortion between two value sequences.
+
+    With ``relative=True`` the RMSE is normalized by the original values'
+    standard deviation, making results comparable across columns.
+    """
+    original = list(original_values)
+    perturbed = list(perturbed_values)
+    if len(original) != len(perturbed):
+        raise ReproError("value sequences must have equal length")
+    if not original:
+        raise ReproError("cannot compute distortion of empty sequences")
+    mse = sum((o - p) ** 2 for o, p in zip(original, perturbed)) / len(original)
+    rmse = math.sqrt(mse)
+    if not relative:
+        return rmse
+    mean = sum(original) / len(original)
+    variance = sum((o - mean) ** 2 for o in original) / len(original)
+    sigma = math.sqrt(variance)
+    if sigma == 0:
+        return 0.0 if rmse == 0 else float("inf")
+    return rmse / sigma

@@ -1,0 +1,88 @@
+"""Privacy-loss metrics.
+
+The paper asks for probabilistic, non-boolean loss notions: the canonical
+one here is *interval shrink* — how much a release narrows the range an
+adversary can place a confidential value in.  Loss 0 means the adversary
+learned nothing beyond the prior; loss 1 means the value is pinned exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+
+
+def interval_shrink_loss(prior_interval, posterior_interval):
+    """1 - posterior width / prior width, clipped to [0, 1].
+
+    ``prior_interval`` is the range the adversary could assume before the
+    release (e.g. (0, 100) for a percentage); ``posterior_interval`` the
+    inferred feasibility interval afterwards.
+    """
+    prior_low, prior_high = prior_interval
+    post_low, post_high = posterior_interval
+    prior_width = prior_high - prior_low
+    post_width = post_high - post_low
+    if prior_width <= 0:
+        raise ReproError("prior interval must have positive width")
+    if post_width < 0:
+        raise ReproError("posterior interval is inverted")
+    return min(1.0, max(0.0, 1.0 - post_width / prior_width))
+
+
+def aggregate_interval_loss(prior_interval, posterior_intervals):
+    """Worst-case (max) interval-shrink loss over many cells.
+
+    This is the mediator's aggregated privacy loss for a release: the
+    privacy of the release is only as good as its most-exposed cell.
+    """
+    if not posterior_intervals:
+        return 0.0
+    return max(
+        interval_shrink_loss(prior_interval, interval)
+        for interval in posterior_intervals
+    )
+
+
+def entropy_loss(prior_probabilities, posterior_probabilities):
+    """Normalized entropy reduction between two belief distributions.
+
+    Both arguments are probability vectors over the same candidate values.
+    Returns ``(H_prior - H_post) / H_prior`` in [0, 1]; 1 when the
+    posterior is a point mass.  A uniform prior gives the classic
+    "bits revealed / bits available" reading.
+    """
+    h_prior = _entropy(prior_probabilities)
+    h_post = _entropy(posterior_probabilities)
+    if h_prior <= 0:
+        raise ReproError("prior distribution has zero entropy")
+    return min(1.0, max(0.0, (h_prior - h_post) / h_prior))
+
+
+def disclosure_risk(released_records, quasi_identifiers):
+    """Expected re-identification risk of a release: mean of 1/|class|.
+
+    The standard prosecutor-model risk: a record in an equivalence class of
+    size ``s`` is re-identified with probability ``1/s``.
+    """
+    from repro.anonymity.kanonymity import equivalence_classes
+
+    released_records = list(released_records)
+    if not released_records:
+        return 0.0
+    classes = equivalence_classes(released_records, quasi_identifiers)
+    total = sum(len(members) * (1.0 / len(members)) for members in classes.values())
+    return total / len(released_records)
+
+
+def _entropy(probabilities):
+    probabilities = list(probabilities)
+    if not probabilities:
+        raise ReproError("empty distribution")
+    total = sum(probabilities)
+    if total <= 0 or any(p < 0 for p in probabilities):
+        raise ReproError("probabilities must be non-negative and sum > 0")
+    return -sum(
+        (p / total) * math.log2(p / total) for p in probabilities if p > 0
+    )

@@ -1,0 +1,68 @@
+"""The R-U confidentiality map (Duncan et al.).
+
+A release strategy (e.g. "add noise with scale σ") traces a curve of
+(disclosure Risk, data Utility) points as its parameter sweeps; the map
+makes the privacy/utility trade-off explicit and lets a data steward pick
+an operating point.  Benchmark A5 regenerates this map for the
+perturbation substrate.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+
+class RUPoint:
+    """One (risk, utility) operating point, tagged with its parameter."""
+
+    __slots__ = ("parameter", "risk", "utility")
+
+    def __init__(self, parameter, risk, utility):
+        if not 0.0 <= risk <= 1.0:
+            raise ReproError(f"risk must be in [0, 1], got {risk}")
+        self.parameter = parameter
+        self.risk = risk
+        self.utility = utility
+
+    def __repr__(self):
+        return f"RUPoint(param={self.parameter}, R={self.risk:.3f}, U={self.utility:.3f})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, RUPoint)
+            and (self.parameter, self.risk, self.utility)
+            == (other.parameter, other.risk, other.utility)
+        )
+
+
+def ru_frontier(points):
+    """The Pareto frontier of an R-U sweep.
+
+    A point is on the frontier when no other point has both lower risk and
+    higher (or equal) utility.  Returned sorted by increasing risk.
+    """
+    points = list(points)
+    frontier = []
+    for candidate in points:
+        dominated = any(
+            other.risk < candidate.risk and other.utility >= candidate.utility
+            for other in points
+        ) or any(
+            other.risk <= candidate.risk and other.utility > candidate.utility
+            for other in points
+        )
+        if not dominated:
+            frontier.append(candidate)
+    return sorted(frontier, key=lambda p: (p.risk, -p.utility))
+
+
+def pick_operating_point(points, max_risk):
+    """Highest-utility point whose risk is within ``max_risk``.
+
+    Returns ``None`` when no point qualifies — the steward must then
+    coarsen the release rather than publish.
+    """
+    eligible = [p for p in points if p.risk <= max_risk]
+    if not eligible:
+        return None
+    return max(eligible, key=lambda p: p.utility)

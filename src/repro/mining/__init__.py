@@ -1,0 +1,36 @@
+"""Privacy-preserving data-mining substrate.
+
+Section 2 groups PPDM into two families the framework must support:
+distributed protocols and randomization.  This package implements both:
+
+* :mod:`repro.mining.randomized_response` — Warner's randomized response
+  and its unbiased estimators (Du–Zhan, ref [19]);
+* :mod:`repro.mining.reconstruction` — Agrawal–Srikant Bayesian/EM
+  distribution reconstruction from additively perturbed values (ref [5]);
+* :mod:`repro.mining.apriori` — frequent itemsets and association rules
+  (the mining workload itself);
+* :mod:`repro.mining.distributed` — Kantarcioglu–Clifton association-rule
+  mining over horizontally partitioned sources using commutative-cipher
+  secure union and secure sum (ref [30]);
+* :mod:`repro.mining.naive_bayes` — classification over
+  randomized-response data with corrected class statistics.
+"""
+
+from repro.mining.randomized_response import RandomizedResponse
+from repro.mining.reconstruction import reconstruct_distribution
+from repro.mining.apriori import apriori, association_rules
+from repro.mining.distributed import (
+    PartitionedMiner,
+    secure_union,
+)
+from repro.mining.naive_bayes import RRNaiveBayes
+
+__all__ = [
+    "RandomizedResponse",
+    "reconstruct_distribution",
+    "apriori",
+    "association_rules",
+    "PartitionedMiner",
+    "secure_union",
+    "RRNaiveBayes",
+]

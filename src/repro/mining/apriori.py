@@ -1,0 +1,110 @@
+"""Apriori frequent-itemset mining and association rules.
+
+The mining workload the distributed protocol (and the warehouse analytics
+examples) run.  Transactions are iterables of hashable items; supports are
+fractions of the transaction count.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.errors import ReproError
+
+
+def apriori(transactions, min_support):
+    """All itemsets with support ≥ ``min_support``.
+
+    Returns ``{frozenset: support}`` with support as a fraction.
+    """
+    if not 0.0 < min_support <= 1.0:
+        raise ReproError("min_support must be in (0, 1]")
+    transactions = [frozenset(t) for t in transactions]
+    if not transactions:
+        raise ReproError("no transactions to mine")
+    n = len(transactions)
+    threshold = min_support * n
+
+    counts = {}
+    for transaction in transactions:
+        for item in transaction:
+            key = frozenset([item])
+            counts[key] = counts.get(key, 0) + 1
+    current = {k for k, c in counts.items() if c >= threshold}
+    frequent = {k: counts[k] / n for k in current}
+
+    size = 1
+    while current:
+        size += 1
+        candidates = _generate_candidates(current, size)
+        if not candidates:
+            break
+        counts = dict.fromkeys(candidates, 0)
+        for transaction in transactions:
+            if len(transaction) < size:
+                continue
+            for candidate in candidates:
+                if candidate <= transaction:
+                    counts[candidate] += 1
+        current = {k for k, c in counts.items() if c >= threshold}
+        frequent.update({k: counts[k] / n for k in current})
+    return frequent
+
+
+def _generate_candidates(frequent_prev, size):
+    """Apriori join + prune: candidates of ``size`` from (size-1)-itemsets."""
+    frequent_prev = list(frequent_prev)
+    candidates = set()
+    for i, a in enumerate(frequent_prev):
+        for b in frequent_prev[i + 1:]:
+            union = a | b
+            if len(union) != size:
+                continue
+            prev_set = set(frequent_prev)
+            if all(
+                frozenset(subset) in prev_set
+                for subset in combinations(union, size - 1)
+            ):
+                candidates.add(union)
+    return candidates
+
+
+def itemset_support(transactions, itemset):
+    """Support fraction of one itemset."""
+    transactions = [frozenset(t) for t in transactions]
+    if not transactions:
+        raise ReproError("no transactions")
+    itemset = frozenset(itemset)
+    hits = sum(1 for t in transactions if itemset <= t)
+    return hits / len(transactions)
+
+
+def association_rules(frequent, min_confidence):
+    """Rules ``antecedent → consequent`` meeting ``min_confidence``.
+
+    ``frequent`` is the output of :func:`apriori`.  Returns a list of
+    ``(antecedent, consequent, support, confidence, lift)`` sorted by
+    descending confidence then lexicographically (deterministic).
+    """
+    if not 0.0 < min_confidence <= 1.0:
+        raise ReproError("min_confidence must be in (0, 1]")
+    rules = []
+    for itemset, support in frequent.items():
+        if len(itemset) < 2:
+            continue
+        for r in range(1, len(itemset)):
+            for antecedent in combinations(sorted(itemset), r):
+                antecedent = frozenset(antecedent)
+                consequent = itemset - antecedent
+                if antecedent not in frequent or consequent not in frequent:
+                    continue  # (possible when called with a partial map)
+                confidence = support / frequent[antecedent]
+                if confidence >= min_confidence:
+                    lift = confidence / frequent[consequent]
+                    rules.append(
+                        (antecedent, consequent, support, confidence, lift)
+                    )
+    rules.sort(
+        key=lambda rule: (-rule[3], sorted(rule[0]), sorted(rule[1]))
+    )
+    return rules

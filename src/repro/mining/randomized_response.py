@@ -1,0 +1,96 @@
+"""Warner's randomized response.
+
+Each respondent reports the truth with probability ``p`` and the opposite
+with probability ``1 - p`` (``p != 0.5``).  Individual reports are
+deniable, yet the population proportion is recoverable without bias:
+
+    pi_hat = (lambda + p - 1) / (2p - 1)
+
+where ``lambda`` is the observed "yes" proportion.  The categorical variant
+keeps a value with probability ``p`` and otherwise replaces it with a
+uniform draw from the domain.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ReproError
+
+
+class RandomizedResponse:
+    """A configured randomized-response mechanism."""
+
+    def __init__(self, p=0.8, rng=None):
+        if not 0.0 < p < 1.0 or abs(p - 0.5) < 1e-9:
+            raise ReproError("p must be in (0, 1) and != 0.5")
+        self.p = p
+        self.rng = rng or random.Random()
+
+    # -- binary -----------------------------------------------------------
+
+    def randomize_bool(self, value):
+        """Report ``value`` truthfully with probability p, else flipped."""
+        if not isinstance(value, bool):
+            raise ReproError("randomize_bool needs a bool")
+        return value if self.rng.random() < self.p else not value
+
+    def randomize_bools(self, values):
+        """Randomize a sequence of booleans."""
+        return [self.randomize_bool(v) for v in values]
+
+    def estimate_proportion(self, reported):
+        """Unbiased estimate of the true 'True' proportion.
+
+        May fall outside [0, 1] on small samples — callers that need a
+        proportion should clip; we return the raw unbiased value so
+        downstream corrections stay unbiased.
+        """
+        reported = list(reported)
+        if not reported:
+            raise ReproError("cannot estimate from zero reports")
+        observed = sum(1 for r in reported if r) / len(reported)
+        return (observed + self.p - 1.0) / (2.0 * self.p - 1.0)
+
+    def estimate_count(self, reported):
+        """Unbiased estimate of the true 'True' count."""
+        reported = list(reported)
+        return self.estimate_proportion(reported) * len(reported)
+
+    # -- categorical ---------------------------------------------------------
+
+    def randomize_category(self, value, domain):
+        """Keep ``value`` with probability p, else uniform over ``domain``."""
+        domain = list(domain)
+        if value not in domain:
+            raise ReproError(f"value {value!r} not in domain")
+        if self.rng.random() < self.p:
+            return value
+        return self.rng.choice(domain)
+
+    def estimate_category_counts(self, reported, domain):
+        """Unbiased per-category count estimates from randomized reports.
+
+        With keep-probability p and uniform replacement, a report of
+        category c arises from a true c with probability
+        ``p + (1-p)/|D|`` and from any other true value with probability
+        ``(1-p)/|D|``; inverting the linear system gives the estimator.
+        """
+        domain = list(domain)
+        if not domain:
+            raise ReproError("empty category domain")
+        reported = list(reported)
+        n = len(reported)
+        if n == 0:
+            raise ReproError("cannot estimate from zero reports")
+        d = len(domain)
+        noise = (1.0 - self.p) / d
+        observed = {c: 0 for c in domain}
+        for report in reported:
+            if report not in observed:
+                raise ReproError(f"report {report!r} outside domain")
+            observed[report] += 1
+        estimates = {}
+        for category in domain:
+            estimates[category] = (observed[category] - n * noise) / self.p
+        return estimates

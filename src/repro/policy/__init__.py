@@ -1,0 +1,46 @@
+"""The privacy policy formulation framework (paper §3).
+
+Three declarative languages, exactly as the paper prescribes, sharing one
+DSL parser (:mod:`repro.policy.language`):
+
+1. **user preferences** — how a person's data items may be shared, under
+   which purpose and in which form (exact / range / aggregate / suppressed);
+2. **privacy views** — what data in a source is private, and the most
+   revealing form it may ever take;
+3. **source policies** — purpose- and role-conditioned disclosure rules a
+   requester's purpose statement is matched against.
+
+:mod:`repro.policy.matching` performs the APPEL/P3P-style evaluation that
+combines all three into one effective disclosure decision, and
+:mod:`repro.policy.store` is the policy store kept both at sources and at
+the mediation engine (paper §3 requires both copies).
+"""
+
+from repro.policy.model import (
+    Decision,
+    DisclosureForm,
+    PolicyRule,
+    PurposeTree,
+    paths_overlap,
+)
+from repro.policy.views import PrivacyView
+from repro.policy.source_policy import SourcePolicy
+from repro.policy.preferences import UserPreferences
+from repro.policy.language import parse_policy_document
+from repro.policy.matching import combine, evaluate_request
+from repro.policy.store import PolicyStore
+
+__all__ = [
+    "DisclosureForm",
+    "PurposeTree",
+    "PolicyRule",
+    "Decision",
+    "paths_overlap",
+    "PrivacyView",
+    "SourcePolicy",
+    "UserPreferences",
+    "parse_policy_document",
+    "combine",
+    "evaluate_request",
+    "PolicyStore",
+]

@@ -1,0 +1,249 @@
+"""The declarative policy DSL shared by the three §3 languages.
+
+One document may define any mix of privacy views, source policies, and
+user preferences::
+
+    VIEW clinical_private {
+        PRIVATE //patient/ssn;
+        PRIVATE //patient/dob FORM range;
+        PRIVATE //test/result FORM aggregate;
+    }
+
+    POLICY HMO1 DEFAULT deny {
+        DENY //patient/ssn FOR *;
+        ALLOW //patient/dob FOR treatment FORM exact;
+        ALLOW //test/result FOR public-health-research
+              FORM aggregate MAXLOSS 0.3;
+        ALLOW //patient/zip FOR research FORM range ROLES epidemiologist;
+    }
+
+    PREFERENCE alice {
+        DENY //dob FOR marketing;
+        ALLOW //dob FOR research FORM range MAXLOSS 0.5;
+    }
+
+Keywords are case-insensitive; paths start with ``/``; ``#`` begins a
+comment to end of line; every entry ends with ``;``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policy.model import ANY_PURPOSE, DisclosureForm, PolicyRule
+from repro.policy.preferences import UserPreferences
+from repro.policy.source_policy import SourcePolicy
+from repro.policy.views import PrivacyView
+from repro.xmlkit.path import parse_path
+
+_KEYWORDS = {
+    "view", "policy", "preference", "private", "allow", "deny", "for",
+    "form", "maxloss", "roles", "default",
+}
+
+
+class PolicyDocument:
+    """Everything one DSL document defines."""
+
+    def __init__(self):
+        self.views = {}
+        self.policies = {}
+        self.preferences = {}
+
+    def __repr__(self):
+        return (
+            f"PolicyDocument(views={sorted(self.views)}, "
+            f"policies={sorted(self.policies)}, "
+            f"preferences={sorted(self.preferences)})"
+        )
+
+
+def parse_policy_document(text):
+    """Parse a DSL document into a :class:`PolicyDocument`."""
+    tokens = _tokenize(text)
+    parser = _Parser(tokens)
+    document = PolicyDocument()
+    while not parser.at_end():
+        keyword = parser.expect_keyword("view", "policy", "preference")
+        name = parser.expect_word()
+        if keyword == "view":
+            if name in document.views:
+                raise PolicyError(f"duplicate view {name!r}")
+            document.views[name] = _parse_view(parser, name)
+        else:
+            default = "deny"
+            if parser.accept_keyword("default"):
+                default = parser.expect_keyword("allow", "deny")
+            container = _parse_rules_block(parser)
+            if keyword == "policy":
+                if name in document.policies:
+                    raise PolicyError(f"duplicate policy {name!r}")
+                document.policies[name] = SourcePolicy(name, container, default)
+            else:
+                if name in document.preferences:
+                    raise PolicyError(f"duplicate preference {name!r}")
+                document.preferences[name] = UserPreferences(
+                    name, container, default
+                )
+    return document
+
+
+# -- block parsers ------------------------------------------------------------
+
+
+def _parse_view(parser, name):
+    parser.expect_punct("{")
+    view = PrivacyView(name)
+    while not parser.accept_punct("}"):
+        parser.expect_keyword("private")
+        path = parser.expect_path()
+        form = DisclosureForm.SUPPRESSED
+        if parser.accept_keyword("form"):
+            form = DisclosureForm.parse(parser.expect_word())
+        parser.expect_punct(";")
+        view.add(path, form)
+    return view
+
+
+def _parse_rules_block(parser):
+    parser.expect_punct("{")
+    rules = []
+    while not parser.accept_punct("}"):
+        effect = parser.expect_keyword("allow", "deny")
+        path = parser.expect_path()
+        purpose = ANY_PURPOSE
+        form = DisclosureForm.EXACT
+        max_loss = 1.0
+        roles = None
+        while True:
+            if parser.accept_keyword("for"):
+                purpose = parser.expect_word_or_star()
+            elif parser.accept_keyword("form"):
+                form = DisclosureForm.parse(parser.expect_word())
+            elif parser.accept_keyword("maxloss"):
+                max_loss = parser.expect_number()
+            elif parser.accept_keyword("roles"):
+                roles = [parser.expect_word()]
+                while parser.accept_punct(","):
+                    roles.append(parser.expect_word())
+            else:
+                break
+        parser.expect_punct(";")
+        rules.append(
+            PolicyRule(effect, path, purpose, form, max_loss, roles)
+        )
+    return rules
+
+
+# -- lexer / token cursor -----------------------------------------------------
+
+
+def _tokenize(text):
+    if not isinstance(text, str):
+        raise PolicyError("policy document must be a string")
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "#":
+            while i < n and text[i] != "\n":
+                i += 1
+        elif ch in "{};,":
+            tokens.append(("punct", ch))
+            i += 1
+        elif ch == "/":
+            j = i
+            while j < n and not text[j].isspace() and text[j] not in "{};,":
+                j += 1
+            tokens.append(("path", text[i:j]))
+            i = j
+        elif ch == "*":
+            tokens.append(("word", "*"))
+            i += 1
+        elif ch.isdigit() or ch == ".":
+            j = i
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(("number", text[i:j]))
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.lower() in _KEYWORDS else "word"
+            tokens.append((kind, word.lower() if kind == "keyword" else word))
+            i = j
+        else:
+            raise PolicyError(f"unexpected character {ch!r} at offset {i}")
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    def at_end(self):
+        return self.pos >= len(self.tokens)
+
+    def _peek(self):
+        return self.tokens[self.pos] if not self.at_end() else (None, None)
+
+    def _next(self):
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def expect_keyword(self, *choices):
+        kind, value = self._next()
+        if kind != "keyword" or value not in choices:
+            raise PolicyError(
+                f"expected {'/'.join(c.upper() for c in choices)}, "
+                f"got {value!r}"
+            )
+        return value
+
+    def accept_keyword(self, word):
+        kind, value = self._peek()
+        if kind == "keyword" and value == word:
+            self.pos += 1
+            return True
+        return False
+
+    def expect_word(self):
+        kind, value = self._next()
+        if kind not in ("word", "keyword") or value == "*":
+            raise PolicyError(f"expected a name, got {value!r}")
+        return value
+
+    def expect_word_or_star(self):
+        kind, value = self._next()
+        if kind not in ("word", "keyword"):
+            raise PolicyError(f"expected a purpose, got {value!r}")
+        return value
+
+    def expect_number(self):
+        kind, value = self._next()
+        if kind != "number":
+            raise PolicyError(f"expected a number, got {value!r}")
+        return float(value)
+
+    def expect_path(self):
+        kind, value = self._next()
+        if kind != "path":
+            raise PolicyError(f"expected a path, got {value!r}")
+        return parse_path(value)
+
+    def expect_punct(self, char):
+        kind, value = self._next()
+        if kind != "punct" or value != char:
+            raise PolicyError(f"expected {char!r}, got {value!r}")
+
+    def accept_punct(self, char):
+        kind, value = self._peek()
+        if kind == "punct" and value == char:
+            self.pos += 1
+            return True
+        return False

@@ -1,0 +1,68 @@
+"""APPEL/P3P-style evaluation: combining the three languages.
+
+The effective disclosure decision for a request is the **most restrictive
+combination** of everything that applies: the source's privacy view caps
+the form, the source policy and the data subject's preferences must both
+allow, and the granted loss budget is the minimum of all budgets.
+"""
+
+from __future__ import annotations
+
+from repro.policy.model import Decision, DisclosureForm
+
+
+def combine(*decisions):
+    """Meet (most-restrictive combination) of several decisions.
+
+    Any denial wins; otherwise form = min, max_loss = min, reasons
+    concatenated.
+    """
+    decisions = [d for d in decisions if d is not None]
+    if not decisions:
+        return Decision.deny("no applicable policy")
+    reasons = []
+    for decision in decisions:
+        if not decision.allowed:
+            return Decision(False, DisclosureForm.SUPPRESSED, 0.0,
+                            decision.reasons)
+        reasons.extend(decision.reasons)
+    form = min(d.form for d in decisions)
+    max_loss = min(d.max_loss for d in decisions)
+    if form is DisclosureForm.SUPPRESSED:
+        return Decision(False, form, 0.0,
+                        reasons + ["combined form is suppression"])
+    return Decision(True, form, max_loss, reasons)
+
+
+def evaluate_request(store, source, path, purpose, role=None, subjects=()):
+    """Effective decision for one path requested from one source.
+
+    ``store`` is a :class:`~repro.policy.store.PolicyStore`.  ``subjects``
+    names the data subjects whose records the path touches (when known);
+    each subject's preferences must also allow the disclosure.
+    """
+    parts = []
+
+    policy = store.policy_for(source)
+    if policy is not None:
+        parts.append(policy.decide(path, purpose, store.purposes, role))
+
+    view = store.view_for(source)
+    if view is not None:
+        form_cap = view.form_for(path)
+        if form_cap is DisclosureForm.SUPPRESSED:
+            parts.append(
+                Decision.deny(f"{source}: privacy view suppresses {path!r}")
+            )
+        else:
+            parts.append(
+                Decision(True, form_cap, 1.0,
+                         [f"{source}: view caps form at {form_cap.name.lower()}"])
+            )
+
+    for subject in subjects:
+        preferences = store.preferences_for(subject)
+        if preferences is not None:
+            parts.append(preferences.decide(path, purpose, store.purposes))
+
+    return combine(*parts)

@@ -1,0 +1,238 @@
+"""Server-centric P3P: policies shredded into tables, APPEL as SQL.
+
+Reference [7] of the paper (Agrawal, Kiernan, Srikant, Xu — ICDE 2005)
+implements W3C's Platform for Privacy Preferences by **shredding P3P
+policies into a relational database** and **translating APPEL preferences
+into SQL** executed against it.  This module reproduces that design on top
+of our own relational engine:
+
+* :class:`P3pPolicy` — a site's policy: statements of (data group,
+  purposes, recipients, retention);
+* :func:`shred_policies` — normalizes policies into a ``statements``
+  table, one row per (policy, data group, purpose, recipient);
+* :class:`AppelRule` / :class:`AppelPreferences` — a user's ordered
+  accept/reject rules; evaluation compiles each rule to a
+  :class:`~repro.relational.engine.SelectQuery` (inspectable via
+  :meth:`AppelRule.to_query`) and runs it against the shredded store —
+  matching the cited paper's architecture, not merely its outcome.
+
+The mediation engine uses this when a *requester-side* service (not a data
+subject) must check a source's published practices before sending data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.relational.catalog import Catalog
+from repro.relational.engine import Aggregate, SelectQuery, execute
+from repro.relational.expr import And, Comparison, InList, Not, TRUE
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+
+PURPOSES = (
+    "current", "admin", "develop", "tailoring", "pseudo-analysis",
+    "pseudo-decision", "individual-analysis", "individual-decision",
+    "contact", "historical", "telemarketing",
+)
+RECIPIENTS = ("ours", "delivery", "same", "other-recipient", "unrelated", "public")
+RETENTIONS = (
+    "no-retention", "stated-purpose", "legal-requirement",
+    "business-practices", "indefinitely",
+)
+
+STATEMENTS_TABLE = "statements"
+
+
+class P3pStatement:
+    """One P3P statement: a data group with its use practices."""
+
+    def __init__(self, data_group, purposes, recipients=("ours",),
+                 retention="stated-purpose"):
+        if not data_group:
+            raise PolicyError("statement needs a data group")
+        purposes = tuple(purposes)
+        recipients = tuple(recipients)
+        for purpose in purposes:
+            if purpose not in PURPOSES:
+                raise PolicyError(f"unknown P3P purpose {purpose!r}")
+        for recipient in recipients:
+            if recipient not in RECIPIENTS:
+                raise PolicyError(f"unknown P3P recipient {recipient!r}")
+        if retention not in RETENTIONS:
+            raise PolicyError(f"unknown P3P retention {retention!r}")
+        if not purposes or not recipients:
+            raise PolicyError("statement needs ≥1 purpose and recipient")
+        self.data_group = data_group
+        self.purposes = purposes
+        self.recipients = recipients
+        self.retention = retention
+
+    def __repr__(self):
+        return (
+            f"P3pStatement({self.data_group!r}, purposes={self.purposes}, "
+            f"recipients={self.recipients}, retention={self.retention!r})"
+        )
+
+
+class P3pPolicy:
+    """A site's P3P policy: a named bundle of statements."""
+
+    def __init__(self, name, statements=()):
+        if not name:
+            raise PolicyError("policy needs a name")
+        self.name = name
+        self.statements = list(statements)
+
+    def add(self, statement):
+        """Append a :class:`P3pStatement`."""
+        if not isinstance(statement, P3pStatement):
+            raise PolicyError("expected a P3pStatement")
+        self.statements.append(statement)
+        return statement
+
+    def __repr__(self):
+        return f"P3pPolicy({self.name!r}, statements={len(self.statements)})"
+
+
+def shred_policies(policies, catalog=None):
+    """Shred policies into a normalized ``statements`` table.
+
+    One row per (policy, data group, purpose, recipient) — the
+    server-centric representation of the cited implementation.  Returns
+    the catalog holding the table.
+    """
+    catalog = catalog or Catalog("p3p")
+    schema = TableSchema(
+        STATEMENTS_TABLE,
+        [
+            Column("policy", "text", nullable=False),
+            Column("data_group", "text", nullable=False),
+            Column("purpose", "text", nullable=False),
+            Column("recipient", "text", nullable=False),
+            Column("retention", "text", nullable=False),
+        ],
+    )
+    table = Table(schema)
+    for policy in policies:
+        for statement in policy.statements:
+            for purpose in statement.purposes:
+                for recipient in statement.recipients:
+                    table.insert({
+                        "policy": policy.name,
+                        "data_group": statement.data_group,
+                        "purpose": purpose,
+                        "recipient": recipient,
+                        "retention": statement.retention,
+                    })
+    catalog.add(table)
+    return catalog
+
+
+class AppelRule:
+    """One APPEL rule: reject (or accept) policies with bad practices.
+
+    A *reject* rule fires when the policy contains **any** statement row
+    about ``data_group`` (or any group, when None) whose purpose,
+    recipient, or retention falls outside the allowed sets.  An *accept*
+    rule fires when **no** such row exists.
+    """
+
+    def __init__(self, behavior, data_group=None, allowed_purposes=None,
+                 allowed_recipients=None, allowed_retentions=None):
+        if behavior not in ("accept", "reject"):
+            raise PolicyError("rule behavior must be accept or reject")
+        self.behavior = behavior
+        self.data_group = data_group
+        self.allowed_purposes = (
+            tuple(allowed_purposes) if allowed_purposes is not None else None
+        )
+        self.allowed_recipients = (
+            tuple(allowed_recipients) if allowed_recipients is not None else None
+        )
+        self.allowed_retentions = (
+            tuple(allowed_retentions) if allowed_retentions is not None else None
+        )
+        if (
+            self.allowed_purposes is None
+            and self.allowed_recipients is None
+            and self.allowed_retentions is None
+        ):
+            raise PolicyError("rule must constrain something")
+
+    def to_query(self, policy_name):
+        """The SQL (SelectQuery) counting this rule's violating rows.
+
+        This is the "APPEL → SQL" translation of the cited paper: the
+        rule matches iff the count is positive (reject) / zero (accept).
+        """
+        conditions = [Comparison("policy", "=", policy_name)]
+        if self.data_group is not None:
+            conditions.append(Comparison("data_group", "=", self.data_group))
+        violation_parts = []
+        if self.allowed_purposes is not None:
+            violation_parts.append(Not(InList("purpose", self.allowed_purposes)))
+        if self.allowed_recipients is not None:
+            violation_parts.append(
+                Not(InList("recipient", self.allowed_recipients))
+            )
+        if self.allowed_retentions is not None:
+            violation_parts.append(
+                Not(InList("retention", self.allowed_retentions))
+            )
+        from repro.relational.expr import Or
+
+        violates = violation_parts[0] if len(violation_parts) == 1 else Or(
+            violation_parts
+        )
+        where = And(conditions + [violates]) if conditions else violates
+        return SelectQuery(
+            STATEMENTS_TABLE,
+            aggregates=[Aggregate("count", "*", alias="violations")],
+            where=where,
+        )
+
+    def matches(self, catalog, policy_name):
+        """Whether this rule fires for ``policy_name``."""
+        result = execute(self.to_query(policy_name), catalog)
+        violations = result.rows[0][0]
+        return violations > 0 if self.behavior == "reject" else violations == 0
+
+    def __repr__(self):
+        return f"AppelRule({self.behavior}, group={self.data_group!r})"
+
+
+class AppelPreferences:
+    """A user's ordered APPEL ruleset (first match wins)."""
+
+    def __init__(self, rules, default="reject"):
+        if default not in ("accept", "reject"):
+            raise PolicyError("default must be accept or reject")
+        self.rules = list(rules)
+        self.default = default
+
+    def evaluate(self, catalog, policy_name):
+        """``('accept'|'reject', matching rule or None)``.
+
+        ``catalog`` is the shredded policy store.  Raises
+        :class:`PolicyError` for unknown policies (no statements at all) —
+        silence about practices is not acceptance.
+        """
+        known = execute(
+            SelectQuery(
+                STATEMENTS_TABLE,
+                aggregates=[Aggregate("count", "*")],
+                where=Comparison("policy", "=", policy_name),
+            ),
+            catalog,
+        ).rows[0][0]
+        if known == 0:
+            raise PolicyError(f"no shredded statements for {policy_name!r}")
+        for rule in self.rules:
+            if rule.matches(catalog, policy_name):
+                return rule.behavior, rule
+        return self.default, None
+
+    def acceptable(self, catalog, policy_name):
+        """Boolean convenience wrapper over :meth:`evaluate`."""
+        behavior, _rule = self.evaluate(catalog, policy_name)
+        return behavior == "accept"

@@ -1,0 +1,62 @@
+"""User preferences: the first language of §3.
+
+A data subject states how each of their data items may be shared: under
+which purpose, in which form, and how much privacy loss they tolerate.
+Evaluation mirrors source policies (ordered rules, default deny), but the
+subject's rules speak about *their* data wherever it is stored.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policy.model import Decision, PolicyRule
+from repro.xmlkit.path import parse_path
+
+
+class UserPreferences:
+    """One subject's ordered sharing preferences."""
+
+    def __init__(self, subject, rules=(), default_effect="deny"):
+        if default_effect not in ("allow", "deny"):
+            raise PolicyError("default effect must be allow or deny")
+        self.subject = subject
+        self.rules = list(rules)
+        self.default_effect = default_effect
+
+    def add_rule(self, rule):
+        """Append a :class:`~repro.policy.model.PolicyRule`."""
+        if not isinstance(rule, PolicyRule):
+            raise PolicyError("expected a PolicyRule")
+        self.rules.append(rule)
+        return rule
+
+    def decide(self, path, purpose, purposes):
+        """The subject's decision for one of their data paths."""
+        if isinstance(path, str):
+            path = parse_path(path)
+        for rule in self.rules:
+            if rule.applies_to(path, purpose, purposes):
+                if rule.effect == "deny":
+                    return Decision.deny(
+                        f"{self.subject}: preference denies {path!r} "
+                        f"for {purpose}"
+                    )
+                return Decision(
+                    True, rule.form, rule.max_loss, [f"{self.subject}: {rule!r}"]
+                )
+        if self.default_effect == "allow":
+            from repro.policy.model import DisclosureForm
+
+            return Decision(
+                True, DisclosureForm.EXACT, 1.0,
+                [f"{self.subject}: default allow"],
+            )
+        return Decision.deny(
+            f"{self.subject}: no preference matches (default deny)"
+        )
+
+    def __repr__(self):
+        return (
+            f"UserPreferences({self.subject!r}, rules={len(self.rules)}, "
+            f"default={self.default_effect})"
+        )

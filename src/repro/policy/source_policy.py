@@ -1,0 +1,64 @@
+"""Source policies: the third language of §3.
+
+An ordered rule list evaluated first-match-wins, with a configurable
+default effect (deny, per least privilege).  "Data items in a source can be
+shared only if the purpose statement of the requester satisfies the
+policy."
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policy.model import Decision, PolicyRule
+from repro.xmlkit.path import parse_path
+
+
+class SourcePolicy:
+    """A source's ordered disclosure rules."""
+
+    def __init__(self, source, rules=(), default_effect="deny"):
+        if default_effect not in ("allow", "deny"):
+            raise PolicyError("default effect must be allow or deny")
+        self.source = source
+        self.rules = list(rules)
+        self.default_effect = default_effect
+
+    def add_rule(self, rule):
+        """Append a :class:`~repro.policy.model.PolicyRule`."""
+        if not isinstance(rule, PolicyRule):
+            raise PolicyError("expected a PolicyRule")
+        self.rules.append(rule)
+        return rule
+
+    def decide(self, path, purpose, purposes, role=None):
+        """First-match-wins decision for one requested path."""
+        if isinstance(path, str):
+            path = parse_path(path)
+        for rule in self.rules:
+            if rule.applies_to(path, purpose, purposes, role):
+                if rule.effect == "deny":
+                    return Decision.deny(
+                        f"{self.source}: rule denies {path!r} for {purpose}"
+                    )
+                return Decision(
+                    True,
+                    rule.form,
+                    rule.max_loss,
+                    [f"{self.source}: {rule!r}"],
+                )
+        if self.default_effect == "allow":
+            return Decision(True, reasons=[f"{self.source}: default allow"],
+                            form=_exact(), max_loss=1.0)
+        return Decision.deny(f"{self.source}: no rule matches (default deny)")
+
+    def __repr__(self):
+        return (
+            f"SourcePolicy({self.source!r}, rules={len(self.rules)}, "
+            f"default={self.default_effect})"
+        )
+
+
+def _exact():
+    from repro.policy.model import DisclosureForm
+
+    return DisclosureForm.EXACT

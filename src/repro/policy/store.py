@@ -1,0 +1,96 @@
+"""The policy store.
+
+Section 3: policies live *both* at each remote source and at the mediation
+engine — the source enforces before data leaves, the mediator re-verifies
+the integrated result.  The store is therefore a plain registry that both
+sides instantiate; :meth:`PolicyStore.replicate` produces the mediator's
+copy.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policy.language import parse_policy_document
+from repro.policy.model import PurposeTree
+from repro.policy.preferences import UserPreferences
+from repro.policy.source_policy import SourcePolicy
+from repro.policy.views import PrivacyView
+
+
+class PolicyStore:
+    """Views, policies, and preferences indexed by owner."""
+
+    def __init__(self, purposes=None):
+        self.purposes = purposes or PurposeTree()
+        self._views = {}          # source → PrivacyView
+        self._policies = {}       # source → SourcePolicy
+        self._preferences = {}    # subject → UserPreferences
+
+    # -- registration -------------------------------------------------------
+
+    def register_view(self, source, view):
+        """Attach a privacy view to ``source``."""
+        if not isinstance(view, PrivacyView):
+            raise PolicyError("expected a PrivacyView")
+        self._views[source] = view
+
+    def register_policy(self, policy):
+        """Attach a source policy (keyed by its ``source``)."""
+        if not isinstance(policy, SourcePolicy):
+            raise PolicyError("expected a SourcePolicy")
+        self._policies[policy.source] = policy
+
+    def register_preferences(self, preferences):
+        """Attach a subject's preferences (keyed by ``subject``)."""
+        if not isinstance(preferences, UserPreferences):
+            raise PolicyError("expected UserPreferences")
+        self._preferences[preferences.subject] = preferences
+
+    def load_document(self, text, view_source=None):
+        """Parse a DSL document and register everything it defines.
+
+        Views are keyed by their own name unless ``view_source`` maps a
+        view name to the source it belongs to.
+        """
+        document = parse_policy_document(text)
+        mapping = view_source or {}
+        for name, view in document.views.items():
+            self.register_view(mapping.get(name, name), view)
+        for policy in document.policies.values():
+            self.register_policy(policy)
+        for preferences in document.preferences.values():
+            self.register_preferences(preferences)
+        return document
+
+    # -- lookup ---------------------------------------------------------------
+
+    def view_for(self, source):
+        """The source's privacy view, or None."""
+        return self._views.get(source)
+
+    def policy_for(self, source):
+        """The source's policy, or None."""
+        return self._policies.get(source)
+
+    def preferences_for(self, subject):
+        """The subject's preferences, or None."""
+        return self._preferences.get(subject)
+
+    def sources(self):
+        """Sources that have a view or a policy registered."""
+        return sorted(set(self._views) | set(self._policies))
+
+    def replicate(self):
+        """The mediator's copy (shares immutable purpose tree and objects)."""
+        clone = PolicyStore(self.purposes)
+        clone._views = dict(self._views)
+        clone._policies = dict(self._policies)
+        clone._preferences = dict(self._preferences)
+        return clone
+
+    def __repr__(self):
+        return (
+            f"PolicyStore(views={len(self._views)}, "
+            f"policies={len(self._policies)}, "
+            f"preferences={len(self._preferences)})"
+        )

@@ -1,0 +1,61 @@
+"""Privacy views: the second language of §3 — what in a source is private.
+
+A view lists path expressions marking private data, each with the most
+revealing form the source will ever disclose it in.  Data not matched by
+any view entry is public (EXACT).
+"""
+
+from __future__ import annotations
+
+from repro.errors import PolicyError
+from repro.policy.model import DisclosureForm, paths_overlap
+from repro.xmlkit.path import PathExpr, parse_path
+
+
+class PrivacyView:
+    """A named set of (private path, maximum disclosure form) entries."""
+
+    def __init__(self, name, entries=()):
+        if not name:
+            raise PolicyError("privacy view needs a name")
+        self.name = name
+        self.entries = []
+        for path, form in entries:
+            self.add(path, form)
+
+    def add(self, path, form=DisclosureForm.SUPPRESSED):
+        """Mark ``path`` private, disclosable at most as ``form``."""
+        if isinstance(path, str):
+            path = parse_path(path)
+        if not isinstance(path, PathExpr):
+            raise PolicyError("view entries need a PathExpr or path string")
+        if not isinstance(form, DisclosureForm):
+            raise PolicyError("view entries need a DisclosureForm")
+        self.entries.append((path, form))
+
+    def form_for(self, path):
+        """Most revealing form ``path`` may take under this view.
+
+        Data matched by several entries gets the most restrictive one;
+        unmatched data is public (EXACT).
+        """
+        if isinstance(path, str):
+            path = parse_path(path)
+        matching = [
+            form for view_path, form in self.entries
+            if paths_overlap(view_path, path)
+        ]
+        if not matching:
+            return DisclosureForm.EXACT
+        return min(matching)
+
+    def is_private(self, path):
+        """Whether ``path`` touches any private entry."""
+        return self.form_for(path) is not DisclosureForm.EXACT
+
+    def private_paths(self):
+        """The view's private paths (for mediated-schema pruning)."""
+        return [path for path, _form in self.entries]
+
+    def __repr__(self):
+        return f"PrivacyView({self.name!r}, entries={len(self.entries)})"

@@ -1,0 +1,35 @@
+"""PIQL — the privacy-conscious declarative query language (paper §5).
+
+The paper requires a language that (a) poses loosely-structured path
+queries over the mediated schema, (b) carries the requester's stated
+purpose, and (c) carries the maximum information/privacy loss the requester
+will tolerate.  PIQL is that language::
+
+    SELECT AVG(//test/result)
+    WHERE //patient/age > 65 AND //patient/hmo = 'HMO1'
+    GROUP BY //patient/hmo
+    PURPOSE outbreak-surveillance
+    MAXLOSS 0.4
+
+* :mod:`repro.query.model` — the query AST;
+* :mod:`repro.query.language` — the PIQL parser;
+* :mod:`repro.query.features` — query feature extraction for the
+  privacy-conscious query clustering of §4.
+"""
+
+from repro.query.model import (
+    PiqlAggregate,
+    PiqlPredicate,
+    PiqlQuery,
+)
+from repro.query.language import parse_piql
+from repro.query.features import QueryFeatures, extract_features
+
+__all__ = [
+    "PiqlQuery",
+    "PiqlAggregate",
+    "PiqlPredicate",
+    "parse_piql",
+    "QueryFeatures",
+    "extract_features",
+]

@@ -1,0 +1,274 @@
+"""PIQL parsing and rendering.
+
+Grammar::
+
+    query    := SELECT items [FROM name] [WHERE pred (AND pred)*]
+                [GROUP BY path (, path)*] [PURPOSE name] [MAXLOSS number]
+    items    := item (, item)*
+    item     := path | FUNC '(' (path | '*') ')' [AS name]
+    pred     := path op literal
+    op       := = | != | <> | < | <= | > | >=
+    literal  := number | 'string' | true | false
+
+Keywords are case-insensitive; paths start with ``/``.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.query.model import (
+    AGGREGATE_FUNCS,
+    PiqlAggregate,
+    PiqlPredicate,
+    PiqlQuery,
+)
+from repro.xmlkit.path import PathExpr, parse_path
+
+_KEYWORDS = {
+    "select", "from", "where", "and", "group", "by", "purpose", "maxloss",
+    "as", "true", "false",
+}
+
+
+def to_piql(query):
+    """Render a :class:`~repro.query.model.PiqlQuery` as PIQL text."""
+    items = []
+    for item in query.select:
+        if isinstance(item, PathExpr):
+            items.append(repr(item))
+        else:
+            target = "*" if item.path is None else repr(item.path)
+            items.append(f"{item.func.upper()}({target}) AS {item.alias}")
+    parts = [f"SELECT {', '.join(items)}"]
+    if query.source_hint:
+        parts.append(f"FROM {query.source_hint}")
+    if query.where:
+        rendered = " AND ".join(
+            f"{p.path!r} {p.op} {_render_literal(p.value)}" for p in query.where
+        )
+        parts.append(f"WHERE {rendered}")
+    if query.group_by:
+        parts.append(f"GROUP BY {', '.join(repr(p) for p in query.group_by)}")
+    if query.purpose:
+        parts.append(f"PURPOSE {query.purpose}")
+    if query.max_loss < 1.0:
+        parts.append(f"MAXLOSS {query.max_loss:g}")
+    return " ".join(parts)
+
+
+def parse_piql(text):
+    """Parse PIQL text into a :class:`~repro.query.model.PiqlQuery`."""
+    parser = _PiqlParser(_tokenize(text), text)
+    query = parser.parse_query()
+    parser.expect_end()
+    return query
+
+
+def _render_literal(value):
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _tokenize(text):
+    if not isinstance(text, str) or not text.strip():
+        raise QueryError("PIQL input must be a non-empty string")
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "/":
+            j = i
+            depth = 0
+            while j < n:
+                c = text[j]
+                if c == "[":
+                    depth += 1
+                elif c == "]":
+                    depth -= 1
+                elif depth == 0 and (c.isspace() or c in "(),"):
+                    break
+                j += 1
+            tokens.append(("path", text[i:j]))
+            i = j
+        elif ch == "'":
+            j = i + 1
+            buffer = []
+            while True:
+                if j >= n:
+                    raise QueryError(f"unterminated string in {text!r}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        buffer.append("'")
+                        j += 2
+                        continue
+                    break
+                buffer.append(text[j])
+                j += 1
+            tokens.append(("string", "".join(buffer)))
+            i = j + 1
+        elif ch.isdigit() or (ch in "+-." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in "."):
+                j += 1
+            tokens.append(("number", text[i:j]))
+            i = j
+        elif text.startswith(("<=", ">=", "!=", "<>"), i):
+            op = text[i:i + 2]
+            tokens.append(("op", "!=" if op == "<>" else op))
+            i += 2
+        elif ch in "=<>":
+            tokens.append(("op", ch))
+            i += 1
+        elif ch in "(),*":
+            tokens.append(("punct", ch))
+            i += 1
+        elif ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_-"):
+                j += 1
+            word = text[i:j]
+            kind = "keyword" if word.lower() in _KEYWORDS else "word"
+            tokens.append((kind, word.lower() if kind == "keyword" else word))
+            i = j
+        else:
+            raise QueryError(f"unexpected character {ch!r} at offset {i}")
+    return tokens
+
+
+class _PiqlParser:
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    def parse_query(self):
+        self._expect_keyword("select")
+        select = [self._parse_item()]
+        while self._accept_punct(","):
+            select.append(self._parse_item())
+        source_hint = None
+        if self._accept_keyword("from"):
+            source_hint = self._expect_word()
+        where = []
+        if self._accept_keyword("where"):
+            where.append(self._parse_predicate())
+            while self._accept_keyword("and"):
+                where.append(self._parse_predicate())
+        group_by = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._expect_path())
+            while self._accept_punct(","):
+                group_by.append(self._expect_path())
+        purpose = None
+        if self._accept_keyword("purpose"):
+            purpose = self._expect_word()
+        max_loss = 1.0
+        if self._accept_keyword("maxloss"):
+            kind, value = self._next()
+            if kind != "number":
+                raise self._error("MAXLOSS needs a number")
+            max_loss = float(value)
+        return PiqlQuery(select, where, group_by, purpose, max_loss, source_hint)
+
+    def expect_end(self):
+        if self.pos != len(self.tokens):
+            raise self._error(f"trailing tokens {self.tokens[self.pos:]}")
+
+    def _parse_item(self):
+        kind, value = self._peek()
+        if kind == "path":
+            self.pos += 1
+            return parse_path(value)
+        if kind == "word" and value.lower() in AGGREGATE_FUNCS:
+            self.pos += 1
+            self._expect_punct("(")
+            inner_kind, inner_value = self._next()
+            if inner_kind == "punct" and inner_value == "*":
+                target = "*"
+            elif inner_kind == "path":
+                target = inner_value
+            else:
+                raise self._error(f"bad aggregate argument {inner_value!r}")
+            self._expect_punct(")")
+            alias = None
+            if self._accept_keyword("as"):
+                alias = self._expect_word()
+            return PiqlAggregate(value.lower(), target, alias)
+        raise self._error(f"bad select item {value!r}")
+
+    def _parse_predicate(self):
+        path = self._expect_path()
+        kind, op = self._next()
+        if kind != "op":
+            raise self._error(f"expected a comparison operator, got {op!r}")
+        literal = self._parse_literal()
+        return PiqlPredicate(path, op, literal)
+
+    def _parse_literal(self):
+        kind, value = self._next()
+        if kind == "string":
+            return value
+        if kind == "number":
+            number = float(value)
+            if number.is_integer() and "." not in value:
+                return int(number)
+            return number
+        if kind == "keyword" and value in ("true", "false"):
+            return value == "true"
+        raise self._error(f"bad literal {value!r}")
+
+    # -- cursor helpers ------------------------------------------------------
+
+    def _peek(self):
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else (None, None)
+
+    def _next(self):
+        token = self._peek()
+        self.pos += 1
+        return token
+
+    def _expect_keyword(self, word):
+        kind, value = self._next()
+        if kind != "keyword" or value != word:
+            raise self._error(f"expected {word.upper()}, got {value!r}")
+
+    def _accept_keyword(self, word):
+        kind, value = self._peek()
+        if kind == "keyword" and value == word:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect_word(self):
+        kind, value = self._next()
+        if kind not in ("word", "keyword"):
+            raise self._error(f"expected a name, got {value!r}")
+        return value
+
+    def _expect_path(self):
+        kind, value = self._next()
+        if kind != "path":
+            raise self._error(f"expected a path, got {value!r}")
+        return parse_path(value)
+
+    def _expect_punct(self, char):
+        kind, value = self._next()
+        if kind != "punct" or value != char:
+            raise self._error(f"expected {char!r}, got {value!r}")
+
+    def _accept_punct(self, char):
+        kind, value = self._peek()
+        if kind == "punct" and value == char:
+            self.pos += 1
+            return True
+        return False
+
+    def _error(self, message):
+        return QueryError(f"{message} (near token {self.pos} in {self.text!r})")

@@ -1,0 +1,143 @@
+"""The PIQL query AST."""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+from repro.xmlkit.path import PathExpr, parse_path
+
+AGGREGATE_FUNCS = ("count", "sum", "avg", "min", "max", "stddev")
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def _as_path(path):
+    if isinstance(path, str):
+        return parse_path(path)
+    if isinstance(path, PathExpr):
+        return path
+    raise QueryError(f"expected a path, got {type(path).__name__}")
+
+
+class PiqlAggregate:
+    """``FUNC(path) [AS alias]`` in a PIQL select list."""
+
+    __slots__ = ("func", "path", "alias")
+
+    def __init__(self, func, path, alias=None):
+        func = func.lower()
+        if func not in AGGREGATE_FUNCS:
+            raise QueryError(f"unknown aggregate {func!r}")
+        if path == "*":
+            if func != "count":
+                raise QueryError("only COUNT may aggregate *")
+            self.path = None
+        else:
+            self.path = _as_path(path)
+        self.func = func
+        self.alias = alias or (
+            "count" if self.path is None
+            else f"{func}_{self.path.steps[-1].name}"
+        )
+
+    def __repr__(self):
+        target = "*" if self.path is None else repr(self.path)
+        return f"{self.func.upper()}({target}) AS {self.alias}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PiqlAggregate)
+            and (self.func, repr(self.path), self.alias)
+            == (other.func, repr(other.path), other.alias)
+        )
+
+
+class PiqlPredicate:
+    """``path <op> literal`` in a PIQL WHERE clause (conjunctive only)."""
+
+    __slots__ = ("path", "op", "value")
+
+    def __init__(self, path, op, value):
+        if op not in COMPARISON_OPS:
+            raise QueryError(f"unknown comparison operator {op!r}")
+        self.path = _as_path(path)
+        self.op = op
+        self.value = value
+
+    @property
+    def is_equality(self):
+        """Whether this is an equality predicate (high selectivity)."""
+        return self.op == "="
+
+    def __repr__(self):
+        return f"{self.path!r} {self.op} {self.value!r}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, PiqlPredicate)
+            and (repr(self.path), self.op, self.value)
+            == (repr(other.path), other.op, other.value)
+        )
+
+
+class PiqlQuery:
+    """One privacy-conscious query.
+
+    ``select`` mixes :class:`~repro.xmlkit.path.PathExpr` items (plain
+    projections) and :class:`PiqlAggregate` items; plain paths alongside
+    aggregates require a GROUP BY on those paths.  ``purpose`` and
+    ``max_loss`` are the §5 privacy clauses: the stated purpose is matched
+    against policies, and ``max_loss`` is the information-loss bound the
+    requester tolerates in the integrated result.
+    """
+
+    def __init__(self, select, where=(), group_by=(), purpose=None,
+                 max_loss=1.0, source_hint=None):
+        if not select:
+            raise QueryError("SELECT list must not be empty")
+        self.select = [
+            item if isinstance(item, PiqlAggregate) else _as_path(item)
+            for item in select
+        ]
+        self.where = list(where)
+        for predicate in self.where:
+            if not isinstance(predicate, PiqlPredicate):
+                raise QueryError("WHERE items must be PiqlPredicate")
+        self.group_by = [_as_path(p) for p in group_by]
+        self.purpose = purpose
+        if not 0.0 <= max_loss <= 1.0:
+            raise QueryError("MAXLOSS must be in [0, 1]")
+        self.max_loss = max_loss
+        self.source_hint = source_hint
+
+        plain = [i for i in self.select if isinstance(i, PathExpr)]
+        if self.aggregates and plain and not self.group_by:
+            raise QueryError(
+                "plain paths beside aggregates require GROUP BY"
+            )
+
+    @property
+    def aggregates(self):
+        """The aggregate select items."""
+        return [i for i in self.select if isinstance(i, PiqlAggregate)]
+
+    @property
+    def projections(self):
+        """The plain path select items."""
+        return [i for i in self.select if isinstance(i, PathExpr)]
+
+    @property
+    def is_aggregate(self):
+        """Whether the query computes aggregates."""
+        return bool(self.aggregates)
+
+    def paths_touched(self):
+        """Every path the query references (select + where + group by)."""
+        paths = list(self.projections)
+        paths.extend(a.path for a in self.aggregates if a.path is not None)
+        paths.extend(p.path for p in self.where)
+        paths.extend(self.group_by)
+        return paths
+
+    def __repr__(self):
+        from repro.query.language import to_piql
+
+        return f"PiqlQuery({to_piql(self)!r})"

@@ -1,0 +1,50 @@
+"""Mini relational engine.
+
+The paper's remote sources include relational databases: the per-source
+query transformer emits SQL and the rewriter/optimizer reason over
+relational plans.  This package provides the substrate: typed schemas
+(:mod:`repro.relational.schema`), in-memory tables
+(:mod:`repro.relational.table`), a predicate/expression AST
+(:mod:`repro.relational.expr`), a logical-query model plus executor
+(:mod:`repro.relational.engine`), SQL generation and a small SQL parser
+(:mod:`repro.relational.sql`), and a named-table catalog
+(:mod:`repro.relational.catalog`).
+"""
+
+from repro.relational.types import ColumnType
+from repro.relational.schema import Column, TableSchema
+from repro.relational.table import Table
+from repro.relational.expr import (
+    And,
+    Comparison,
+    Expr,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    TRUE,
+)
+from repro.relational.engine import Aggregate, SelectQuery, execute
+from repro.relational.sql import parse_sql, to_sql
+from repro.relational.catalog import Catalog
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "TableSchema",
+    "Table",
+    "Expr",
+    "Comparison",
+    "And",
+    "Or",
+    "Not",
+    "IsNull",
+    "InList",
+    "TRUE",
+    "Aggregate",
+    "SelectQuery",
+    "execute",
+    "parse_sql",
+    "to_sql",
+    "Catalog",
+]

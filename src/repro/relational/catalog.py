@@ -1,0 +1,57 @@
+"""Named-table catalogs (one per source database)."""
+
+from __future__ import annotations
+
+from repro.errors import RelationalError
+from repro.relational.table import Table
+
+
+class Catalog:
+    """A collection of named tables — one remote source's database."""
+
+    def __init__(self, name="db"):
+        self.name = name
+        self._tables = {}
+
+    def add(self, table):
+        """Register ``table`` under its schema name."""
+        if not isinstance(table, Table):
+            raise RelationalError("catalog entries must be Table instances")
+        if table.name in self._tables:
+            raise RelationalError(
+                f"catalog {self.name!r} already has a table {table.name!r}"
+            )
+        self._tables[table.name] = table
+        return table
+
+    def table(self, name):
+        """Look up a table by name."""
+        if name not in self._tables:
+            raise RelationalError(
+                f"catalog {self.name!r} has no table {name!r} "
+                f"(has {sorted(self._tables)})"
+            )
+        return self._tables[name]
+
+    def has_table(self, name):
+        """True when a table named ``name`` is registered."""
+        return name in self._tables
+
+    def table_names(self):
+        """Sorted names of all registered tables."""
+        return sorted(self._tables)
+
+    def drop(self, name):
+        """Remove the table named ``name``."""
+        if name not in self._tables:
+            raise RelationalError(f"cannot drop unknown table {name!r}")
+        del self._tables[name]
+
+    def __contains__(self, name):
+        return name in self._tables
+
+    def __len__(self):
+        return len(self._tables)
+
+    def __repr__(self):
+        return f"Catalog({self.name!r}, tables={self.table_names()})"

@@ -1,0 +1,308 @@
+"""Predicate expression AST.
+
+Predicates are built from comparisons over columns and combined with
+AND/OR/NOT.  The same AST is shared by the engine's WHERE evaluation, the
+SQL generator, the privacy rewriter (which conjoins policy predicates onto
+requester queries), and the query-feature extractor (which inspects
+predicate structure to cluster queries).
+
+NULL semantics follow SQL: a comparison involving NULL is false (not an
+error), and ``IsNull`` is the explicit test.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RelationalError
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class Expr:
+    """Base class for predicate expressions."""
+
+    def evaluate(self, row):
+        """Evaluate against ``row`` (a column → value mapping)."""
+        raise NotImplementedError
+
+    def columns_used(self):
+        """The set of column names this expression references."""
+        raise NotImplementedError
+
+    def to_sql(self):
+        """Render as a SQL text fragment."""
+        raise NotImplementedError
+
+    # Combinators ----------------------------------------------------------
+
+    def and_(self, other):
+        """``self AND other`` (flattens nested ANDs)."""
+        if other is TRUE:
+            return self
+        if self is TRUE:
+            return other
+        parts = []
+        for expr in (self, other):
+            parts.extend(expr.parts if isinstance(expr, And) else [expr])
+        return And(parts)
+
+    def or_(self, other):
+        """``self OR other``."""
+        parts = []
+        for expr in (self, other):
+            parts.extend(expr.parts if isinstance(expr, Or) else [expr])
+        return Or(parts)
+
+    def negate(self):
+        """``NOT self``."""
+        return Not(self)
+
+
+class _True(Expr):
+    """The always-true predicate (an empty WHERE clause)."""
+
+    def evaluate(self, row):
+        return True
+
+    def columns_used(self):
+        return set()
+
+    def to_sql(self):
+        return "TRUE"
+
+    def __repr__(self):
+        return "TRUE"
+
+    def __eq__(self, other):
+        return isinstance(other, _True)
+
+
+TRUE = _True()
+
+
+class Comparison(Expr):
+    """``column <op> literal``."""
+
+    __slots__ = ("column", "op", "value")
+
+    def __init__(self, column, op, value):
+        if op not in _COMPARISON_OPS:
+            raise RelationalError(f"unknown comparison operator {op!r}")
+        self.column = column
+        self.op = op
+        self.value = value
+
+    def evaluate(self, row):
+        if self.column not in row:
+            raise RelationalError(f"row has no column {self.column!r}")
+        left = row[self.column]
+        if left is None or self.value is None:
+            return False
+        return _apply_op(left, self.op, self.value)
+
+    def columns_used(self):
+        return {self.column}
+
+    def to_sql(self):
+        op = "<>" if self.op == "!=" else self.op
+        return f"{self.column} {op} {sql_literal(self.value)}"
+
+    def __repr__(self):
+        return f"({self.column} {self.op} {self.value!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Comparison)
+            and (self.column, self.op, self.value)
+            == (other.column, other.op, other.value)
+        )
+
+
+class IsNull(Expr):
+    """``column IS [NOT] NULL``."""
+
+    __slots__ = ("column", "negated")
+
+    def __init__(self, column, negated=False):
+        self.column = column
+        self.negated = negated
+
+    def evaluate(self, row):
+        if self.column not in row:
+            raise RelationalError(f"row has no column {self.column!r}")
+        result = row[self.column] is None
+        return not result if self.negated else result
+
+    def columns_used(self):
+        return {self.column}
+
+    def to_sql(self):
+        suffix = "IS NOT NULL" if self.negated else "IS NULL"
+        return f"{self.column} {suffix}"
+
+    def __repr__(self):
+        return f"({self.column} {'IS NOT NULL' if self.negated else 'IS NULL'})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, IsNull)
+            and (self.column, self.negated) == (other.column, other.negated)
+        )
+
+
+class InList(Expr):
+    """``column IN (v1, v2, ...)``."""
+
+    __slots__ = ("column", "values")
+
+    def __init__(self, column, values):
+        values = list(values)
+        if not values:
+            raise RelationalError("IN list must not be empty")
+        self.column = column
+        self.values = values
+
+    def evaluate(self, row):
+        if self.column not in row:
+            raise RelationalError(f"row has no column {self.column!r}")
+        left = row[self.column]
+        if left is None:
+            return False
+        return left in self.values
+
+    def columns_used(self):
+        return {self.column}
+
+    def to_sql(self):
+        rendered = ", ".join(sql_literal(v) for v in self.values)
+        return f"{self.column} IN ({rendered})"
+
+    def __repr__(self):
+        return f"({self.column} IN {self.values!r})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, InList)
+            and (self.column, self.values) == (other.column, other.values)
+        )
+
+
+class And(Expr):
+    """Conjunction of sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = [p for p in parts if p is not TRUE]
+        if not self.parts:
+            self.parts = [TRUE]
+
+    def evaluate(self, row):
+        return all(p.evaluate(row) for p in self.parts)
+
+    def columns_used(self):
+        used = set()
+        for part in self.parts:
+            used |= part.columns_used()
+        return used
+
+    def to_sql(self):
+        return " AND ".join(_parenthesize(p) for p in self.parts)
+
+    def __repr__(self):
+        return "(" + " AND ".join(repr(p) for p in self.parts) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, And) and self.parts == other.parts
+
+
+class Or(Expr):
+    """Disjunction of sub-expressions."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+        if not self.parts:
+            raise RelationalError("OR requires at least one part")
+
+    def evaluate(self, row):
+        return any(p.evaluate(row) for p in self.parts)
+
+    def columns_used(self):
+        used = set()
+        for part in self.parts:
+            used |= part.columns_used()
+        return used
+
+    def to_sql(self):
+        return " OR ".join(_parenthesize(p) for p in self.parts)
+
+    def __repr__(self):
+        return "(" + " OR ".join(repr(p) for p in self.parts) + ")"
+
+    def __eq__(self, other):
+        return isinstance(other, Or) and self.parts == other.parts
+
+
+class Not(Expr):
+    """Negation of a sub-expression."""
+
+    __slots__ = ("part",)
+
+    def __init__(self, part):
+        self.part = part
+
+    def evaluate(self, row):
+        return not self.part.evaluate(row)
+
+    def columns_used(self):
+        return self.part.columns_used()
+
+    def to_sql(self):
+        return f"NOT ({self.part.to_sql()})"
+
+    def __repr__(self):
+        return f"NOT {self.part!r}"
+
+    def __eq__(self, other):
+        return isinstance(other, Not) and self.part == other.part
+
+
+def sql_literal(value):
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace("'", "''")
+    return f"'{escaped}'"
+
+
+def _parenthesize(expr):
+    sql = expr.to_sql()
+    if isinstance(expr, (And, Or)):
+        return f"({sql})"
+    return sql
+
+
+def _apply_op(left, op, right):
+    try:
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError:
+        # SQL-style: incomparable types compare false rather than raising,
+        # so privacy predicates conjoined by the rewriter never crash a scan.
+        return False
+    raise RelationalError(f"unknown comparison operator {op!r}")

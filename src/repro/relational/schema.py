@@ -1,0 +1,115 @@
+"""Table schemas for the mini relational engine."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.relational.types import ColumnType
+
+
+class Column:
+    """A named, typed column with optional NOT NULL constraint."""
+
+    __slots__ = ("name", "type", "nullable")
+
+    def __init__(self, name, type, nullable=True):
+        if not name or not isinstance(name, str) or not name.isidentifier():
+            raise SchemaError(f"invalid column name: {name!r}")
+        if isinstance(type, str):
+            try:
+                type = ColumnType(type.lower())
+            except ValueError as exc:
+                raise SchemaError(f"unknown column type {type!r}") from exc
+        if not isinstance(type, ColumnType):
+            raise SchemaError(f"column type must be ColumnType, got {type!r}")
+        self.name = name
+        self.type = type
+        self.nullable = bool(nullable)
+
+    def __repr__(self):
+        null = "" if self.nullable else " NOT NULL"
+        return f"{self.name} {self.type.value.upper()}{null}"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Column)
+            and (self.name, self.type, self.nullable)
+            == (other.name, other.type, other.nullable)
+        )
+
+
+class TableSchema:
+    """An ordered collection of uniquely-named columns."""
+
+    def __init__(self, name, columns):
+        if not name or not isinstance(name, str) or not name.isidentifier():
+            raise SchemaError(f"invalid table name: {name!r}")
+        columns = [c if isinstance(c, Column) else Column(*c) for c in columns]
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        duplicates = {n for n in names if names.count(n) > 1}
+        if duplicates:
+            raise SchemaError(f"duplicate columns in {name!r}: {sorted(duplicates)}")
+        self.name = name
+        self.columns = columns
+        self._by_name = {c.name: i for i, c in enumerate(columns)}
+
+    def column_names(self):
+        """Column names in declaration order."""
+        return [c.name for c in self.columns]
+
+    def column(self, name):
+        """Return the :class:`Column` named ``name``."""
+        index = self.index_of(name)
+        return self.columns[index]
+
+    def index_of(self, name):
+        """Return the positional index of column ``name``."""
+        if name not in self._by_name:
+            raise SchemaError(f"table {self.name!r} has no column {name!r}")
+        return self._by_name[name]
+
+    def has_column(self, name):
+        """True when a column named ``name`` exists."""
+        return name in self._by_name
+
+    def coerce_row(self, values):
+        """Validate and coerce one row (sequence or mapping) into a tuple."""
+        if isinstance(values, dict):
+            unknown = set(values) - set(self._by_name)
+            if unknown:
+                raise SchemaError(
+                    f"unknown columns for {self.name!r}: {sorted(unknown)}"
+                )
+            values = [values.get(c.name) for c in self.columns]
+        values = list(values)
+        if len(values) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(values)} values, table {self.name!r} "
+                f"has {len(self.columns)} columns"
+            )
+        row = []
+        for column, value in zip(self.columns, values):
+            coerced = column.type.coerce(value)
+            if coerced is None and not column.nullable:
+                raise SchemaError(
+                    f"column {column.name!r} of {self.name!r} is NOT NULL"
+                )
+            row.append(coerced)
+        return tuple(row)
+
+    def subset(self, names, new_name=None):
+        """A new schema keeping only ``names`` (projection)."""
+        columns = [self.column(n) for n in names]
+        return TableSchema(new_name or self.name, columns)
+
+    def __repr__(self):
+        cols = ", ".join(repr(c) for c in self.columns)
+        return f"TableSchema({self.name!r}: {cols})"
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, TableSchema)
+            and self.name == other.name
+            and self.columns == other.columns
+        )

@@ -1,0 +1,357 @@
+"""SQL text generation and parsing for the engine's SELECT subset.
+
+The per-source query transformer (paper §4) turns mediated XML queries into
+SQL for relational sources; round-tripping through text keeps that interface
+honest.  Supported grammar::
+
+    SELECT [DISTINCT] select_list
+    FROM table [JOIN table2 ON left_col = right_col]
+    [WHERE predicate] [GROUP BY cols] [ORDER BY col [ASC|DESC], ...]
+    [LIMIT n]
+
+with predicates over comparisons, IS [NOT] NULL, IN lists, AND/OR/NOT, and
+parentheses.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.relational.engine import AGGREGATE_FUNCS, Aggregate, Join, SelectQuery
+from repro.relational.expr import (
+    And,
+    Comparison,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    TRUE,
+    sql_literal,
+)
+
+_KEYWORDS = {
+    "select", "distinct", "from", "join", "on", "where", "group", "by",
+    "order", "limit", "and", "or", "not", "is", "null", "in", "as",
+    "asc", "desc", "true", "false",
+}
+
+
+def to_sql(query):
+    """Render a :class:`SelectQuery` as SQL text."""
+    items = []
+    items.extend(query.columns)
+    for aggregate in query.aggregates:
+        items.append(f"{aggregate.func.upper()}({aggregate.column}) AS {aggregate.alias}")
+    distinct = "DISTINCT " if query.distinct else ""
+    parts = [f"SELECT {distinct}{', '.join(items)}", f"FROM {query.table}"]
+    if query.join is not None:
+        parts.append(
+            f"JOIN {query.join.right_table} ON "
+            f"{query.join.left_column} = {query.join.right_column}"
+        )
+    if query.where is not TRUE:
+        parts.append(f"WHERE {query.where.to_sql()}")
+    if query.group_by:
+        parts.append(f"GROUP BY {', '.join(query.group_by)}")
+    if query.order_by:
+        rendered = ", ".join(
+            f"{col} {'ASC' if asc else 'DESC'}" for col, asc in query.order_by
+        )
+        parts.append(f"ORDER BY {rendered}")
+    if query.limit is not None:
+        parts.append(f"LIMIT {query.limit}")
+    return " ".join(parts)
+
+
+def parse_sql(text):
+    """Parse SQL text into a :class:`SelectQuery`."""
+    tokens = _tokenize(text)
+    parser = _SqlParser(tokens, text)
+    query = parser.parse_select()
+    parser.expect_end()
+    return query
+
+
+# -- tokenizer ----------------------------------------------------------------
+
+
+class _Token:
+    __slots__ = ("kind", "value")
+
+    def __init__(self, kind, value):
+        self.kind = kind  # "kw" | "name" | "number" | "string" | "punct"
+        self.value = value
+
+    def __repr__(self):
+        return f"{self.kind}:{self.value!r}"
+
+
+def _tokenize(text):
+    if not isinstance(text, str) or not text.strip():
+        raise SqlError("SQL input must be a non-empty string")
+    tokens = []
+    i, n = 0, len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+        elif ch == "'":
+            j = i + 1
+            buffer = []
+            while True:
+                if j >= n:
+                    raise SqlError(f"unterminated string literal in {text!r}")
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":
+                        buffer.append("'")
+                        j += 2
+                        continue
+                    break
+                buffer.append(text[j])
+                j += 1
+            tokens.append(_Token("string", "".join(buffer)))
+            i = j + 1
+        elif ch.isdigit() or (ch in "+-." and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] in ".eE+-"):
+                if text[j] in "+-" and text[j - 1] not in "eE":
+                    break
+                j += 1
+            tokens.append(_Token("number", text[i:j]))
+            i = j
+        elif ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "kw" if word.lower() in _KEYWORDS else "name"
+            tokens.append(_Token(kind, word.lower() if kind == "kw" else word))
+            i = j
+        elif text.startswith(("<>", "<=", ">=", "!="), i):
+            op = text[i:i + 2]
+            tokens.append(_Token("punct", "!=" if op == "<>" else op))
+            i += 2
+        elif ch in "=<>(),*":
+            tokens.append(_Token("punct", ch))
+            i += 1
+        else:
+            raise SqlError(f"unexpected character {ch!r} at offset {i} in {text!r}")
+    return tokens
+
+
+# -- parser -------------------------------------------------------------------
+
+
+class _SqlParser:
+    def __init__(self, tokens, text):
+        self.tokens = tokens
+        self.pos = 0
+        self.text = text
+
+    def parse_select(self):
+        self._expect_kw("select")
+        distinct = self._accept_kw("distinct")
+        columns, aggregates = self._parse_select_list()
+        self._expect_kw("from")
+        table = self._expect_name()
+        join = None
+        if self._accept_kw("join"):
+            right = self._expect_name()
+            self._expect_kw("on")
+            left_col = self._expect_name()
+            self._expect_punct("=")
+            right_col = self._expect_name()
+            join = Join(right, left_col, right_col)
+        where = TRUE
+        if self._accept_kw("where"):
+            where = self._parse_or()
+        group_by = []
+        if self._accept_kw("group"):
+            self._expect_kw("by")
+            group_by = self._parse_name_list()
+        order_by = []
+        if self._accept_kw("order"):
+            self._expect_kw("by")
+            while True:
+                column = self._expect_name()
+                ascending = True
+                if self._accept_kw("desc"):
+                    ascending = False
+                else:
+                    self._accept_kw("asc")
+                order_by.append((column, ascending))
+                if not self._accept_punct(","):
+                    break
+        limit = None
+        if self._accept_kw("limit"):
+            token = self._next()
+            if token is None or token.kind != "number":
+                raise self._error("LIMIT requires a number")
+            limit = int(float(token.value))
+        return SelectQuery(
+            table,
+            columns=columns or None,
+            aggregates=aggregates or None,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            join=join,
+            distinct=distinct,
+        )
+
+    def expect_end(self):
+        if self.pos != len(self.tokens):
+            raise self._error(f"trailing tokens: {self.tokens[self.pos:]}")
+
+    # select list ------------------------------------------------------------
+
+    def _parse_select_list(self):
+        columns, aggregates = [], []
+        while True:
+            token = self._peek()
+            if token is None:
+                raise self._error("unexpected end of select list")
+            if token.kind == "punct" and token.value == "*":
+                self._next()
+                columns.append("*")
+            elif token.kind == "name" and self._peek_is_punct("(", offset=1):
+                aggregates.append(self._parse_aggregate())
+            elif token.kind == "name":
+                self._next()
+                columns.append(token.value)
+            else:
+                raise self._error(f"unexpected token {token!r} in select list")
+            if not self._accept_punct(","):
+                break
+        return columns, aggregates
+
+    def _parse_aggregate(self):
+        func = self._expect_name()
+        if func.lower() not in AGGREGATE_FUNCS:
+            raise self._error(f"unknown aggregate function {func!r}")
+        self._expect_punct("(")
+        token = self._next()
+        if token is None:
+            raise self._error("unterminated aggregate")
+        if token.kind == "punct" and token.value == "*":
+            column = "*"
+        elif token.kind == "name":
+            column = token.value
+        else:
+            raise self._error(f"bad aggregate argument {token!r}")
+        self._expect_punct(")")
+        alias = None
+        if self._accept_kw("as"):
+            alias = self._expect_name()
+        return Aggregate(func.lower(), column, alias)
+
+    # predicates ---------------------------------------------------------------
+
+    def _parse_or(self):
+        parts = [self._parse_and()]
+        while self._accept_kw("or"):
+            parts.append(self._parse_and())
+        return parts[0] if len(parts) == 1 else Or(parts)
+
+    def _parse_and(self):
+        parts = [self._parse_unary()]
+        while self._accept_kw("and"):
+            parts.append(self._parse_unary())
+        return parts[0] if len(parts) == 1 else And(parts)
+
+    def _parse_unary(self):
+        if self._accept_kw("not"):
+            return Not(self._parse_unary())
+        if self._accept_punct("("):
+            inner = self._parse_or()
+            self._expect_punct(")")
+            return inner
+        return self._parse_atom()
+
+    def _parse_atom(self):
+        column = self._expect_name()
+        if self._accept_kw("is"):
+            negated = bool(self._accept_kw("not"))
+            self._expect_kw("null")
+            return IsNull(column, negated=negated)
+        if self._accept_kw("in"):
+            self._expect_punct("(")
+            values = [self._parse_literal()]
+            while self._accept_punct(","):
+                values.append(self._parse_literal())
+            self._expect_punct(")")
+            return InList(column, values)
+        token = self._next()
+        if token is None or token.kind != "punct" or token.value not in (
+            "=", "!=", "<", "<=", ">", ">=",
+        ):
+            raise self._error(f"expected comparison operator after {column!r}")
+        value = self._parse_literal()
+        return Comparison(column, token.value, value)
+
+    def _parse_literal(self):
+        token = self._next()
+        if token is None:
+            raise self._error("expected a literal")
+        if token.kind == "string":
+            return token.value
+        if token.kind == "number":
+            number = float(token.value)
+            return int(number) if number.is_integer() and "." not in token.value and "e" not in token.value.lower() else number
+        if token.kind == "kw" and token.value in ("true", "false"):
+            return token.value == "true"
+        if token.kind == "kw" and token.value == "null":
+            return None
+        raise self._error(f"bad literal {token!r}")
+
+    # token helpers --------------------------------------------------------------
+
+    def _parse_name_list(self):
+        names = [self._expect_name()]
+        while self._accept_punct(","):
+            names.append(self._expect_name())
+        return names
+
+    def _peek(self, offset=0):
+        index = self.pos + offset
+        return self.tokens[index] if index < len(self.tokens) else None
+
+    def _peek_is_punct(self, value, offset=0):
+        token = self._peek(offset)
+        return token is not None and token.kind == "punct" and token.value == value
+
+    def _next(self):
+        token = self._peek()
+        if token is not None:
+            self.pos += 1
+        return token
+
+    def _accept_kw(self, word):
+        token = self._peek()
+        if token is not None and token.kind == "kw" and token.value == word:
+            self.pos += 1
+            return True
+        return False
+
+    def _expect_kw(self, word):
+        if not self._accept_kw(word):
+            raise self._error(f"expected keyword {word.upper()}")
+
+    def _accept_punct(self, value):
+        if self._peek_is_punct(value):
+            self.pos += 1
+            return True
+        return False
+
+    def _expect_punct(self, value):
+        if not self._accept_punct(value):
+            raise self._error(f"expected {value!r}")
+
+    def _expect_name(self):
+        token = self._next()
+        if token is None or token.kind != "name":
+            raise self._error(f"expected a name, got {token!r}")
+        return token.value
+
+    def _error(self, message):
+        return SqlError(f"{message} (near token {self.pos} in {self.text!r})")

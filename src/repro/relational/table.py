@@ -1,0 +1,103 @@
+"""In-memory tables."""
+
+from __future__ import annotations
+
+from repro.errors import SchemaError
+from repro.relational.schema import TableSchema
+
+
+class Table:
+    """An in-memory table: a :class:`TableSchema` plus a list of row tuples.
+
+    Rows are stored as coerced tuples; :meth:`rows_as_dicts` provides the
+    mapping view that the expression evaluator and the engine operate on.
+    """
+
+    def __init__(self, schema, rows=None):
+        if not isinstance(schema, TableSchema):
+            raise SchemaError("Table requires a TableSchema")
+        self.schema = schema
+        self.rows = []
+        for row in rows or []:
+            self.insert(row)
+
+    @classmethod
+    def from_dicts(cls, name, dict_rows, column_order=None, types=None):
+        """Build a table by inferring a schema from dict rows.
+
+        Types are inferred per column from the first non-null value
+        (``int`` → INT, ``float`` → FLOAT, ``bool`` → BOOL, else TEXT) and
+        may be overridden via ``types`` (a name → type mapping).
+        """
+        from repro.relational.schema import Column
+        from repro.relational.types import ColumnType
+
+        dict_rows = list(dict_rows)
+        if not dict_rows:
+            raise SchemaError("from_dicts needs at least one row to infer a schema")
+        names = list(column_order) if column_order else list(dict_rows[0].keys())
+        columns = []
+        overrides = types or {}
+        for name_ in names:
+            if name_ in overrides:
+                col_type = overrides[name_]
+                if isinstance(col_type, str):
+                    col_type = ColumnType(col_type.lower())
+            else:
+                col_type = _infer_type(dict_rows, name_)
+            columns.append(Column(name_, col_type))
+        table = cls(TableSchema(name, columns))
+        for row in dict_rows:
+            table.insert(row)
+        return table
+
+    @property
+    def name(self):
+        """Table name (from the schema)."""
+        return self.schema.name
+
+    def insert(self, row):
+        """Insert one row (sequence or mapping), validating against schema."""
+        self.rows.append(self.schema.coerce_row(row))
+
+    def insert_many(self, rows):
+        """Insert every row of ``rows``."""
+        for row in rows:
+            self.insert(row)
+
+    def rows_as_dicts(self):
+        """Yield each row as a column-name → value dict."""
+        names = self.schema.column_names()
+        for row in self.rows:
+            yield dict(zip(names, row))
+
+    def column_values(self, name):
+        """All values of column ``name``, in row order."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+    def __len__(self):
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self):
+        return f"Table({self.schema.name!r}, rows={len(self.rows)})"
+
+
+def _infer_type(dict_rows, name):
+    from repro.relational.types import ColumnType
+
+    for row in dict_rows:
+        value = row.get(name)
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return ColumnType.BOOL
+        if isinstance(value, int):
+            return ColumnType.INT
+        if isinstance(value, float):
+            return ColumnType.FLOAT
+        return ColumnType.TEXT
+    return ColumnType.TEXT

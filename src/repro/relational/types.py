@@ -1,0 +1,90 @@
+"""Column types and value coercion for the mini relational engine."""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import SchemaError
+
+
+class ColumnType(enum.Enum):
+    """The four column types the engine supports."""
+
+    INT = "int"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOL = "bool"
+
+    def coerce(self, value):
+        """Coerce ``value`` to this type (``None`` passes through as NULL).
+
+        Coercion is strict enough to catch schema mistakes: a TEXT value is
+        never silently truncated into an INT, and non-numeric strings fail
+        loudly rather than becoming NaN.
+        """
+        if value is None:
+            return None
+        try:
+            if self is ColumnType.INT:
+                return _coerce_int(value)
+            if self is ColumnType.FLOAT:
+                return _coerce_float(value)
+            if self is ColumnType.BOOL:
+                return _coerce_bool(value)
+            return _coerce_text(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.value}: {exc}"
+            ) from exc
+
+    @property
+    def is_numeric(self):
+        """True for INT and FLOAT columns."""
+        return self in (ColumnType.INT, ColumnType.FLOAT)
+
+
+def _coerce_int(value):
+    if isinstance(value, bool):
+        raise ValueError("bool is not an int")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        if not value.is_integer():
+            raise ValueError("float has a fractional part")
+        return int(value)
+    if isinstance(value, str):
+        return int(value.strip())
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+def _coerce_float(value):
+    if isinstance(value, bool):
+        raise ValueError("bool is not a float")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return float(value.strip())
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+def _coerce_bool(value):
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise ValueError("not a boolean literal")
+    raise TypeError(f"unsupported source type {type(value).__name__}")
+
+
+def _coerce_text(value):
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise TypeError(f"unsupported source type {type(value).__name__}")

@@ -1,0 +1,60 @@
+"""The privacy-preserving query processing framework at a remote source.
+
+This package is Figure 2(a) of the paper, module for module:
+
+* :mod:`repro.source.transformer` — *Query Transformer*: rewrites the
+  (possibly approximate) mediated XML query into the source's local
+  language (SQL over the mini relational engine), resolving loose paths
+  against the source vocabulary.
+* :mod:`repro.source.rewriter` — *Privacy-preserving Query Rewriting*:
+  integrates access rules and privacy policies into the query before
+  execution, choosing the candidate with minimum privacy loss.
+* :mod:`repro.source.knowledge` — *Privacy Preservation Knowledge Base*:
+  breach types per query class and the preservation techniques that
+  address them.
+* :mod:`repro.source.clustering` — *Privacy-conscious Query Clustering /
+  Cluster Matching*: maps a query's features to a cluster of queries with
+  similar breaches, hence similar techniques — without executing it.
+* :mod:`repro.source.loss` — *Privacy Loss Computation*.
+* :mod:`repro.source.optimizer` — *Privacy-conscious Query Optimization*:
+  plans privacy checks with the query (rewrite-then-execute vs
+  execute-then-filter) under a cost model.
+* :mod:`repro.source.results` — *XML Transformer + Privacy Metadata
+  Tagger*: result rows → privacy-tagged XML.
+* :mod:`repro.source.server` — the :class:`RemoteSource` facade wiring the
+  whole pipeline together.
+"""
+
+from repro.source.transformer import PathMapping, QueryTransformer
+from repro.source.rewriter import PrivacyRewriter, RewriteResult
+from repro.source.knowledge import (
+    BreachType,
+    PreservationKnowledgeBase,
+    Technique,
+)
+from repro.source.clustering import QueryCluster, QueryClusterer
+from repro.source.loss import PrivacyLossEstimator
+from repro.source.optimizer import ExecutionPlan, PrivacyAwareOptimizer
+from repro.source.results import tag_results
+from repro.source.statistics import ColumnStats, TableStatistics
+from repro.source.server import RemoteSource, SourceResponse
+
+__all__ = [
+    "ColumnStats",
+    "TableStatistics",
+    "PathMapping",
+    "QueryTransformer",
+    "PrivacyRewriter",
+    "RewriteResult",
+    "BreachType",
+    "Technique",
+    "PreservationKnowledgeBase",
+    "QueryClusterer",
+    "QueryCluster",
+    "PrivacyLossEstimator",
+    "PrivacyAwareOptimizer",
+    "ExecutionPlan",
+    "tag_results",
+    "RemoteSource",
+    "SourceResponse",
+]

@@ -1,0 +1,95 @@
+"""Privacy-conscious query clustering and cluster matching (paper §4).
+
+Queries with similar features have similar privacy breaches, hence similar
+preservation techniques.  The clusterer maintains a *cluster knowledge
+base*: leader-style clusters over normalized feature vectors, each carrying
+the breach types and techniques of its leader (derived once from the
+preservation KB).  ``match`` assigns an incoming query to the nearest
+cluster — O(#clusters) — so technique selection never requires executing
+the query.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ReproError
+from repro.query.features import QueryFeatures
+from repro.source.knowledge import PreservationKnowledgeBase
+
+
+class QueryCluster:
+    """One cluster: a centroid plus its breach/technique assignment."""
+
+    def __init__(self, cluster_id, centroid, breaches, techniques):
+        self.cluster_id = cluster_id
+        self.centroid = list(centroid)
+        self.breaches = set(breaches)
+        self.techniques = list(techniques)
+        self.members = 1
+
+    def absorb(self, vector):
+        """Update the centroid with a new member (running mean)."""
+        self.members += 1
+        weight = 1.0 / self.members
+        self.centroid = [
+            c + weight * (v - c) for c, v in zip(self.centroid, vector)
+        ]
+
+    def __repr__(self):
+        return (
+            f"QueryCluster(#{self.cluster_id}, members={self.members}, "
+            f"breaches={sorted(b.value for b in self.breaches)})"
+        )
+
+
+class QueryClusterer:
+    """Leader clustering of query feature vectors.
+
+    ``radius`` is the maximum normalized Euclidean distance at which a
+    query joins an existing cluster; beyond it a new cluster is formed and
+    its techniques are derived from the knowledge base.
+    """
+
+    def __init__(self, knowledge=None, radius=0.8):
+        if radius <= 0:
+            raise ReproError("cluster radius must be positive")
+        self.knowledge = knowledge or PreservationKnowledgeBase()
+        self.radius = radius
+        self.clusters = []
+        self.kb_derivations = 0  # how often we had to consult the KB
+
+    def match(self, features):
+        """The cluster for ``features`` (creating one if none is close).
+
+        Returns the :class:`QueryCluster`; its ``techniques`` are the
+        preservation techniques to apply to this query's results.
+        """
+        if not isinstance(features, QueryFeatures):
+            raise ReproError("match needs QueryFeatures")
+        vector = _normalize(features.to_vector())
+        best, best_distance = None, math.inf
+        for cluster in self.clusters:
+            distance = _euclidean(cluster.centroid, vector)
+            if distance < best_distance:
+                best, best_distance = cluster, distance
+        if best is not None and best_distance <= self.radius:
+            best.absorb(vector)
+            return best
+        breaches, techniques = self.knowledge.plan_for(features)
+        self.kb_derivations += 1
+        cluster = QueryCluster(len(self.clusters), vector, breaches, techniques)
+        self.clusters.append(cluster)
+        return cluster
+
+    def __repr__(self):
+        return f"QueryClusterer(clusters={len(self.clusters)}, radius={self.radius})"
+
+
+def _normalize(vector):
+    """Squash each feature into [0, 1] (counts via x/(1+x))."""
+    return [v / (1.0 + v) if v > 1.0 else max(0.0, v) for v in vector]
+
+
+def _euclidean(a, b):
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))

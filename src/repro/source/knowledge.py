@@ -1,0 +1,139 @@
+"""The Privacy Preservation Knowledge Base (paper §4).
+
+Stores two things:
+
+* how to *infer possible privacy breaches* for a class of queries from its
+  features (``infer_breaches``), and
+* which *preservation techniques* address each breach type, with the cost
+  and utility-loss factors the privacy-conscious optimizer weighs.
+
+Breach taxonomy (from the paper's discussion and its citations):
+
+* ``REIDENTIFICATION`` — record-level output joinable to external data;
+* ``ATTRIBUTE_DISCLOSURE`` — exact release of a private attribute;
+* ``SMALL_SET_AGGREGATE`` — aggregates over few records identify them;
+* ``TRACKER_SEQUENCE`` — combinations of aggregate queries isolate a
+  record (Example 1 / the tracker attack);
+* ``LINKAGE`` — identifiers in output enable cross-source linkage.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ReproError
+
+
+class BreachType(enum.Enum):
+    """The privacy-breach taxonomy the KB reasons over."""
+
+    REIDENTIFICATION = "reidentification"
+    ATTRIBUTE_DISCLOSURE = "attribute-disclosure"
+    SMALL_SET_AGGREGATE = "small-set-aggregate"
+    TRACKER_SEQUENCE = "tracker-sequence"
+    LINKAGE = "linkage"
+
+
+class Technique:
+    """One preservation technique with optimizer-facing cost factors.
+
+    ``privacy_gain`` estimates how much of the targeted breach the
+    technique removes (0..1); ``utility_loss`` how much answer quality it
+    costs (0..1); ``cpu_cost`` a relative execution-cost factor.
+    ``parameters`` are technique-specific (k, sigma, base, ...).
+    """
+
+    def __init__(self, name, addresses, privacy_gain, utility_loss, cpu_cost,
+                 parameters=None):
+        if not 0.0 <= privacy_gain <= 1.0 or not 0.0 <= utility_loss <= 1.0:
+            raise ReproError("gain/loss factors must be in [0, 1]")
+        if cpu_cost < 0:
+            raise ReproError("cpu_cost must be non-negative")
+        self.name = name
+        self.addresses = frozenset(addresses)
+        self.privacy_gain = privacy_gain
+        self.utility_loss = utility_loss
+        self.cpu_cost = cpu_cost
+        self.parameters = dict(parameters or {})
+
+    def __repr__(self):
+        return f"Technique({self.name!r}, addresses={sorted(b.value for b in self.addresses)})"
+
+
+def default_techniques():
+    """The standard technique registry."""
+    return [
+        Technique(
+            "k-anonymize", {BreachType.REIDENTIFICATION, BreachType.LINKAGE},
+            privacy_gain=0.8, utility_loss=0.35, cpu_cost=3.0,
+            parameters={"k": 5},
+        ),
+        Technique(
+            "suppress-identifiers",
+            {BreachType.LINKAGE, BreachType.REIDENTIFICATION},
+            privacy_gain=0.6, utility_loss=0.2, cpu_cost=0.5,
+        ),
+        Technique(
+            "generalize", {BreachType.ATTRIBUTE_DISCLOSURE},
+            privacy_gain=0.5, utility_loss=0.3, cpu_cost=1.0,
+            parameters={"level": 1},
+        ),
+        Technique(
+            "set-size-control", {BreachType.SMALL_SET_AGGREGATE},
+            privacy_gain=0.7, utility_loss=0.05, cpu_cost=0.2,
+            parameters={"k": 5},
+        ),
+        Technique(
+            "audit-trail", {BreachType.TRACKER_SEQUENCE},
+            privacy_gain=0.9, utility_loss=0.0, cpu_cost=2.0,
+        ),
+        Technique(
+            "output-rounding", {BreachType.SMALL_SET_AGGREGATE,
+                                BreachType.TRACKER_SEQUENCE},
+            privacy_gain=0.4, utility_loss=0.15, cpu_cost=0.1,
+            parameters={"base": 5.0},
+        ),
+    ]
+
+
+class PreservationKnowledgeBase:
+    """Breach inference + technique lookup."""
+
+    def __init__(self, techniques=None):
+        self.techniques = list(techniques) if techniques else default_techniques()
+
+    def infer_breaches(self, features):
+        """Possible breach types for a query, from its features alone.
+
+        ``features`` is a :class:`~repro.query.features.QueryFeatures`.
+        This is the "analyze only the features of the query" alternative
+        the paper argues for — no execution happens here.
+        """
+        breaches = set()
+        record_level = features["returns_individuals"] > 0
+        if record_level:
+            breaches.add(BreachType.REIDENTIFICATION)
+            if features["touches_identifier"] > 0:
+                breaches.add(BreachType.LINKAGE)
+            if features["touches_private"] > 0:
+                breaches.add(BreachType.ATTRIBUTE_DISCLOSURE)
+        else:
+            # Aggregates: narrow predicates risk small query sets; any
+            # aggregate over private data contributes to sequences.
+            if features["n_equality_predicates"] > 0:
+                breaches.add(BreachType.SMALL_SET_AGGREGATE)
+            if features["touches_private"] > 0 or features["n_predicates"] > 0:
+                breaches.add(BreachType.TRACKER_SEQUENCE)
+        return breaches
+
+    def techniques_for(self, breaches):
+        """Techniques addressing any of ``breaches`` (stable order)."""
+        selected = [
+            t for t in self.techniques if t.addresses & set(breaches)
+        ]
+        return sorted(selected, key=lambda t: t.name)
+
+    def plan_for(self, features):
+        """Convenience: breaches then techniques in one call."""
+        breaches = self.infer_breaches(features)
+        return breaches, self.techniques_for(breaches)

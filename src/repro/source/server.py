@@ -1,0 +1,378 @@
+"""The RemoteSource facade — Figure 2(a) end to end.
+
+One :class:`RemoteSource` owns a relational catalog, its policy store, and
+the per-source privacy state (query clusterer, sequence auditor, overlap
+history).  :meth:`RemoteSource.answer` runs the full pipeline::
+
+    PIQL fragment
+      → Query Transformer            (loose paths → local SelectQuery)
+      → policy evaluation            (per-column decisions)
+      → Privacy Rewriter             (+ RBAC, + consent row policy)
+      → feature extraction           (no execution)
+      → Cluster Matching             (techniques for this query class)
+      → sequence defenses            (set size / audit / overlap)
+      → Loss Computation             (privacy + information loss)
+      → Privacy-aware Optimizer      (plan or refuse on budget)
+      → execution                    (mini relational engine)
+      → technique application        (k-anonymity, pseudonyms, rounding)
+      → XML Transformer + Tagger     (privacy-tagged result document)
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrivacyViolation, QueryError, ReproError
+from repro.crypto.keyed_hash import keyed_hash
+from repro.policy.matching import evaluate_request
+from repro.policy.model import DisclosureForm
+from repro.query.features import extract_features
+from repro.query.model import PiqlQuery
+from repro.relational.engine import execute
+from repro.relational.table import Table
+from repro.source.clustering import QueryClusterer
+from repro.source.knowledge import PreservationKnowledgeBase
+from repro.source.loss import PrivacyLossEstimator
+from repro.source.optimizer import PrivacyAwareOptimizer
+from repro.source.results import tag_results
+from repro.source.rewriter import PrivacyRewriter
+from repro.source.transformer import PathMapping, QueryTransformer
+from repro.statdb.audit import SumAuditor
+from repro.statdb.overlap import OverlapController, SetSizeControl
+from repro.xmlkit.loose import normalize_name
+
+_IDENTIFIER_COLUMNS = ("id", "ssn", "name", "first", "last")
+
+
+class SourceResponse:
+    """Everything a source returns for one answered query."""
+
+    def __init__(self, document, privacy_loss, information_loss, plan,
+                 cluster, rewrite, sql):
+        self.document = document  # tagged XML Element
+        self.privacy_loss = privacy_loss
+        self.information_loss = information_loss
+        self.plan = plan
+        self.cluster = cluster
+        self.rewrite = rewrite
+        self.sql = sql
+
+    def __repr__(self):
+        return (
+            f"SourceResponse(loss={self.privacy_loss:.3f}, "
+            f"plan={self.plan.strategy})"
+        )
+
+
+class RemoteSource:
+    """A privacy-preserving remote source."""
+
+    def __init__(
+        self,
+        name,
+        catalog,
+        table_name,
+        policy_store,
+        rbac=None,
+        consent_predicate=None,
+        hierarchies=None,
+        qi_columns=(),
+        pseudonym_secret=None,
+        matcher=None,
+        knowledge=None,
+        cluster_radius=0.8,
+    ):
+        self.name = name
+        self.catalog = catalog
+        self.table = catalog.table(table_name)
+        self.policy_store = policy_store
+        self.rbac = rbac
+        self.consent_predicate = consent_predicate
+        self.hierarchies = dict(hierarchies or {})
+        self.qi_columns = list(qi_columns)
+        self.pseudonym_secret = pseudonym_secret or f"pseudo-{name}"
+
+        mapping = PathMapping(self.table, matcher=matcher)
+        self.transformer = QueryTransformer(mapping)
+        self.rewriter = PrivacyRewriter(rbac, resource_prefix=table_name)
+        self.clusterer = QueryClusterer(
+            knowledge or PreservationKnowledgeBase(), radius=cluster_radius
+        )
+        self.loss_estimator = PrivacyLossEstimator(
+            max(1, len(self.table)), private_columns=self._private_columns()
+        )
+        self.optimizer = PrivacyAwareOptimizer(max(1, len(self.table)))
+        from repro.source.statistics import TableStatistics
+
+        self.statistics = TableStatistics(self.table)
+
+        n = max(1, len(self.table))
+        self.auditor = SumAuditor(n)
+        self.set_size = SetSizeControl(
+            min(5, max(1, n // 4)), n, restrict_complement=False
+        )
+        self.overlap = None  # opt-in via enable_overlap_control
+        self.queries_answered = 0
+        self.queries_refused = 0
+
+    @classmethod
+    def from_xml(cls, name, document, record_path, policy_store,
+                 table_name="records", **kwargs):
+        """Build a source over a hierarchical (XML) store.
+
+        The document's record nodes are flattened into a relational table
+        (see :mod:`repro.xmlkit.flatten`), after which the full §4
+        pipeline applies unchanged — exactly the paper's point about the
+        XML data model unifying relational and hierarchical sources.
+        """
+        from repro.relational.catalog import Catalog
+        from repro.xmlkit.flatten import table_from_xml
+
+        table = table_from_xml(document, record_path, table_name)
+        catalog = Catalog(name)
+        catalog.add(table)
+        return cls(name, catalog, table_name, policy_store, **kwargs)
+
+    def enable_overlap_control(self, max_overlap):
+        """Turn on Dobkin–Jones–Lipton overlap control for aggregates."""
+        self.overlap = OverlapController(max_overlap)
+
+    # -- the pipeline --------------------------------------------------------
+
+    def answer(self, piql, requester=None, role=None, subjects=()):
+        """Answer one PIQL fragment, or raise a privacy/access error."""
+        if not isinstance(piql, PiqlQuery):
+            raise QueryError("answer needs a PiqlQuery")
+        try:
+            response = self._answer(piql, requester, role, subjects)
+        except (PrivacyViolation, ReproError):
+            self.queries_refused += 1
+            raise
+        self.queries_answered += 1
+        return response
+
+    def _answer(self, piql, requester, role, subjects):
+        transform = self.transformer.transform(piql)
+
+        from repro.policy.matching import combine
+
+        purpose = piql.purpose or "research"
+        decisions = {}
+        for path_repr, column in sorted(transform.column_of_path.items()):
+            decision = evaluate_request(
+                self.policy_store, self.name, path_repr, purpose,
+                role=role, subjects=subjects,
+            )
+            if column in decisions:
+                # several paths to one column: most restrictive wins
+                decisions[column] = combine(decisions[column], decision)
+            else:
+                decisions[column] = decision
+
+        rewrite = self.rewriter.rewrite(transform.query, decisions, requester)
+
+        view = self.policy_store.view_for(self.name)
+        features = extract_features(piql, view)
+        cluster = self.clusterer.match(features)
+        techniques = cluster.techniques
+
+        query = rewrite.query
+        if self.consent_predicate is not None:
+            query = query.replace(
+                where=query.where.and_(self.consent_predicate)
+            )
+
+        self._sequence_defenses(query, techniques)
+
+        estimate = self.loss_estimator.estimate(rewrite, features, techniques)
+        # Histogram-based selectivity replaces the optimizer's crude
+        # predicate-count heuristic.
+        selectivity = max(0.001, self.statistics.selectivity(query.where))
+        plan = self.optimizer.plan(
+            rewrite, estimate, techniques, max_loss=piql.max_loss,
+            selectivity=selectivity,
+        )
+
+        result = execute(query, self.catalog)
+        result, applied = self._apply_techniques(result, query, techniques)
+
+        generalizers = {
+            column: self._generalizer(column)
+            for column in rewrite.generalized_columns
+            if not query.is_aggregate
+        }
+        document = tag_results(
+            result, self.name, rewrite.column_forms,
+            estimate.privacy_loss, applied, generalizers,
+        )
+        return SourceResponse(
+            document, estimate.privacy_loss, estimate.information_loss,
+            plan, cluster, rewrite, transform.sql,
+        )
+
+    # -- defenses and techniques ----------------------------------------------
+
+    def _sequence_defenses(self, query, techniques):
+        if not query.is_aggregate:
+            return
+        names = {t.name for t in techniques}
+        query_set = self._query_set(query)
+        if not query_set:
+            raise PrivacyViolation(f"{self.name}: empty query set")
+        if "set-size-control" in names:
+            self.set_size.check(query_set)
+        if self.overlap is not None:
+            self.overlap.check_and_record(query_set)
+        sums_private = any(
+            a.func in ("sum", "avg") for a in query.aggregates
+        )
+        if "audit-trail" in names and sums_private:
+            self.auditor.check_and_record(query_set)
+
+    def _query_set(self, query):
+        return [
+            i for i, row in enumerate(self.table.rows_as_dicts())
+            if query.where.evaluate(row)
+        ]
+
+    def _apply_techniques(self, result, query, techniques):
+        applied = []
+        for technique in techniques:
+            if technique.name == "suppress-identifiers" and not query.is_aggregate:
+                result = self._pseudonymize(result)
+                applied.append(technique)
+            elif technique.name == "k-anonymize" and not query.is_aggregate:
+                anonymized = self._k_anonymize(
+                    result, technique.parameters.get("k", 5)
+                )
+                if anonymized is not None:
+                    result = anonymized
+                    applied.append(technique)
+            elif technique.name == "output-rounding" and query.is_aggregate:
+                result = self._round_aggregates(
+                    result, query, technique.parameters.get("base", 5.0)
+                )
+                applied.append(technique)
+            elif technique.name in ("set-size-control", "audit-trail"):
+                applied.append(technique)  # enforced in _sequence_defenses
+        return result, applied
+
+    def _pseudonymize(self, result):
+        names = result.schema.column_names()
+        identifier_columns = [
+            n for n in names
+            if any(normalize_name(n) == h or normalize_name(n).endswith(h)
+                   for h in _IDENTIFIER_COLUMNS)
+        ]
+        if not identifier_columns:
+            return result
+        rows = []
+        for row in result.rows_as_dicts():
+            for column in identifier_columns:
+                value = row[column]
+                if value is not None:
+                    row[column] = keyed_hash(
+                        self.pseudonym_secret, str(value)
+                    ).hex()[:12]
+            rows.append(row)
+        return Table.from_dicts(
+            result.schema.name, rows, column_order=names,
+            types={c: "text" for c in identifier_columns},
+        ) if rows else result
+
+    def _k_anonymize(self, result, k):
+        qi_present = [
+            c for c in self.qi_columns
+            if result.schema.has_column(c)
+        ]
+        if not qi_present or len(result) < k:
+            return None
+        from repro.anonymity.mondrian import anonymized_records, mondrian_partition
+
+        rows = list(result.rows_as_dicts())
+        numeric = all(
+            isinstance(row[c], (int, float)) and not isinstance(row[c], bool)
+            for row in rows for c in qi_present
+        )
+        if not numeric:
+            return None
+        partitions = mondrian_partition(rows, qi_present, k)
+        released = anonymized_records(partitions, qi_present)
+        names = result.schema.column_names()
+        return Table.from_dicts(
+            result.schema.name, released, column_order=names,
+            types={c: "text" for c in qi_present},
+        )
+
+    def _round_aggregates(self, result, query, base):
+        func_of_alias = {a.alias: a.func for a in query.aggregates}
+        names = result.schema.column_names()
+        rows = []
+        for row in result.rows_as_dicts():
+            for alias, func in func_of_alias.items():
+                value = row.get(alias)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    if func in ("count", "sum"):
+                        # Counts/sums: hard base rounding — small counts
+                        # are exactly the dangerous ones.
+                        row[alias] = round(float(value) / base) * base
+                    else:
+                        row[alias] = _scale_aware_round(float(value), base)
+            rows.append(row)
+        if not rows:
+            return result
+        return Table.from_dicts(
+            result.schema.name, rows, column_order=names,
+            types={a: "float" for a in func_of_alias},
+        )
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _private_columns(self):
+        view = self.policy_store.view_for(self.name)
+        if view is None:
+            return set()
+        private = set()
+        for column in self.table.schema.column_names():
+            for path, form in view.entries:
+                if normalize_name(path.steps[-1].name) == normalize_name(column):
+                    private.add(column)
+        return private
+
+    def _generalizer(self, column):
+        hierarchy = self.hierarchies.get(column)
+        if hierarchy is not None:
+            def generalize(value):
+                if isinstance(value, str) and value.startswith("["):
+                    return value  # already a range label (e.g. k-anonymized)
+                return hierarchy.generalize(value, 1)
+
+            return generalize
+
+        def fallback(value):
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                low = (float(value) // 10.0) * 10.0
+                return f"[{low:g}-{low + 10:g})"
+            text = str(value)
+            return f"{text[:1]}*" if text else "*"
+
+        return fallback
+
+    def __repr__(self):
+        return f"RemoteSource({self.name!r}, rows={len(self.table)})"
+
+
+def _scale_aware_round(value, base):
+    """Round to ``base``, or to two significant digits for small values.
+
+    A fixed base of 5 is right for percentage-scale aggregates but crushes
+    fractional ones (a 0.83 compliance *rate*) to zero; small values keep
+    two significant digits instead, which coarsens proportionally.
+    """
+    import math
+
+    if abs(value) >= 2 * base:
+        return round(value / base) * base
+    if value == 0:
+        return 0.0
+    magnitude = math.floor(math.log10(abs(value)))
+    factor = 10.0 ** (magnitude - 1)
+    return round(value / factor) * factor

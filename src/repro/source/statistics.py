@@ -1,0 +1,160 @@
+"""Table statistics for the privacy-conscious optimizer.
+
+The §4 optimizer needs predicate selectivities to choose plans and to
+estimate aggregate query-set sizes without executing the query.  This
+module builds classic single-column statistics — equi-width histograms for
+numeric columns, distinct-value counts for categoricals, null fractions —
+and estimates the selectivity of any predicate AST over them (attribute
+independence assumed, as in textbook System-R estimation).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.relational.expr import And, Comparison, InList, IsNull, Not, Or, _True
+
+DEFAULT_BUCKETS = 20
+_DEFAULT_EQUALITY_SELECTIVITY = 0.1
+_DEFAULT_RANGE_SELECTIVITY = 0.33
+
+
+class ColumnStats:
+    """Statistics of one column."""
+
+    def __init__(self, values, buckets=DEFAULT_BUCKETS):
+        values = list(values)
+        self.n_total = len(values)
+        present = [v for v in values if v is not None]
+        self.null_fraction = (
+            1.0 - len(present) / self.n_total if self.n_total else 0.0
+        )
+        self.n_distinct = len(set(present))
+        numeric = [
+            float(v) for v in present
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        ]
+        self.is_numeric = bool(numeric) and len(numeric) == len(present)
+        self.histogram = None
+        self.low = self.high = None
+        if self.is_numeric and self.n_distinct > 1:
+            self.low, self.high = min(numeric), max(numeric)
+            width = (self.high - self.low) / buckets
+            counts = [0] * buckets
+            for value in numeric:
+                index = min(buckets - 1, int((value - self.low) / width))
+                counts[index] = counts[index] + 1
+            self.histogram = counts
+        self._value_counts = {}
+        if not self.is_numeric:
+            for value in present:
+                self._value_counts[value] = self._value_counts.get(value, 0) + 1
+
+    def equality_selectivity(self, value):
+        """Estimated fraction of rows with column = value."""
+        if self.n_total == 0:
+            return 0.0
+        if not self.is_numeric:
+            count = self._value_counts.get(value)
+            if count is not None:
+                return count / self.n_total
+            return 0.0 if self._value_counts else _DEFAULT_EQUALITY_SELECTIVITY
+        if self.n_distinct == 0:
+            return 0.0
+        return (1.0 - self.null_fraction) / self.n_distinct
+
+    def range_selectivity(self, op, value):
+        """Estimated fraction of rows with column <op> value."""
+        if self.n_total == 0:
+            return 0.0
+        if not self.is_numeric or self.histogram is None:
+            return _DEFAULT_RANGE_SELECTIVITY
+        try:
+            value = float(value)
+        except (TypeError, ValueError):
+            return _DEFAULT_RANGE_SELECTIVITY
+        if self.high == self.low:
+            below = 1.0 if value > self.low else 0.0
+        else:
+            below = self._fraction_below(value)
+        present = 1.0 - self.null_fraction
+        if op in ("<", "<="):
+            return min(present, below * present)
+        if op in (">", ">="):
+            return min(present, (1.0 - below) * present)
+        raise ReproError(f"not a range operator: {op!r}")
+
+    def _fraction_below(self, value):
+        if value <= self.low:
+            return 0.0
+        if value >= self.high:
+            return 1.0
+        buckets = len(self.histogram)
+        width = (self.high - self.low) / buckets
+        position = (value - self.low) / width
+        full = int(position)
+        partial = position - full
+        total = sum(self.histogram) or 1
+        below = sum(self.histogram[:full])
+        if full < buckets:
+            below += self.histogram[full] * partial
+        return below / total
+
+
+class TableStatistics:
+    """Per-column statistics of one table, with predicate estimation."""
+
+    def __init__(self, table, buckets=DEFAULT_BUCKETS):
+        self.n_rows = len(table)
+        self.columns = {
+            name: ColumnStats(table.column_values(name), buckets)
+            for name in table.schema.column_names()
+        }
+
+    def selectivity(self, expr):
+        """Estimated fraction of rows satisfying ``expr`` (in [0, 1])."""
+        estimate = self._selectivity(expr)
+        return min(1.0, max(0.0, estimate))
+
+    def estimated_rows(self, expr):
+        """Estimated matching row count."""
+        return self.selectivity(expr) * self.n_rows
+
+    def _selectivity(self, expr):
+        if isinstance(expr, _True):
+            return 1.0
+        if isinstance(expr, Comparison):
+            stats = self.columns.get(expr.column)
+            if stats is None:
+                return _DEFAULT_EQUALITY_SELECTIVITY
+            if expr.op == "=":
+                return stats.equality_selectivity(expr.value)
+            if expr.op == "!=":
+                return 1.0 - stats.equality_selectivity(expr.value)
+            return stats.range_selectivity(expr.op, expr.value)
+        if isinstance(expr, InList):
+            stats = self.columns.get(expr.column)
+            if stats is None:
+                return min(
+                    1.0, _DEFAULT_EQUALITY_SELECTIVITY * len(expr.values)
+                )
+            return min(
+                1.0,
+                sum(stats.equality_selectivity(v) for v in expr.values),
+            )
+        if isinstance(expr, IsNull):
+            stats = self.columns.get(expr.column)
+            fraction = stats.null_fraction if stats else 0.05
+            return 1.0 - fraction if expr.negated else fraction
+        if isinstance(expr, And):
+            product = 1.0
+            for part in expr.parts:
+                product *= self._selectivity(part)
+            return product
+        if isinstance(expr, Or):
+            miss = 1.0
+            for part in expr.parts:
+                miss *= 1.0 - self._selectivity(part)
+            return 1.0 - miss
+        if isinstance(expr, Not):
+            return 1.0 - self._selectivity(expr.part)
+        raise ReproError(f"cannot estimate selectivity of {type(expr).__name__}")

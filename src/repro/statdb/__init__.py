@@ -1,0 +1,43 @@
+"""Statistical-database disclosure controls and attacks.
+
+Section 2 of the paper surveys this area as a building block: "data
+perturbation and query restriction … audit trails … controlling overlap of
+successive aggregate queries".  This package implements both sides:
+
+* defenses — query-set-size restriction and overlap control
+  (:mod:`repro.statdb.overlap`), exact audit trails for SUM queries
+  (:mod:`repro.statdb.audit`), output perturbation via random-sample
+  queries and rounding (:mod:`repro.statdb.output_perturbation`), input
+  perturbation via distribution-preserving distortion and additive noise
+  (:mod:`repro.statdb.input_perturbation`);
+* attacks — the classic individual tracker (:mod:`repro.statdb.tracker`)
+  used by the benchmarks to show which defenses actually stop it;
+* a guarded facade combining table + defense policy
+  (:mod:`repro.statdb.protected`).
+"""
+
+from repro.statdb.audit import SumAuditor
+from repro.statdb.overlap import OverlapController, SetSizeControl
+from repro.statdb.output_perturbation import RandomSampleQueries, Rounder
+from repro.statdb.input_perturbation import (
+    additive_noise,
+    distribution_distortion,
+)
+from repro.statdb.laplace import LaplaceMechanism, PrivacyBudget
+from repro.statdb.protected import ProtectedStatDB, StatQuery
+from repro.statdb.tracker import individual_tracker_attack
+
+__all__ = [
+    "LaplaceMechanism",
+    "PrivacyBudget",
+    "SumAuditor",
+    "OverlapController",
+    "SetSizeControl",
+    "RandomSampleQueries",
+    "Rounder",
+    "additive_noise",
+    "distribution_distortion",
+    "ProtectedStatDB",
+    "StatQuery",
+    "individual_tracker_attack",
+]

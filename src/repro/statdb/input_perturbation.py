@@ -1,0 +1,57 @@
+"""Input perturbation: distort the stored data itself.
+
+* :func:`additive_noise` — add zero-mean Gaussian noise to every value
+  (Traub et al.'s statistical-security model; also the randomization step
+  of Agrawal–Srikant privacy-preserving mining).
+* :func:`distribution_distortion` — Liew–Choi–Liew probability-distribution
+  distortion: fit a simple distribution to the column and replace every
+  value with a fresh sample from the fit.  Aggregates remain approximately
+  right while no stored value is real.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ReproError
+
+
+def additive_noise(values, sigma, rng=None):
+    """Return ``values`` with i.i.d. N(0, sigma²) noise added."""
+    if sigma < 0:
+        raise ReproError("noise sigma must be non-negative")
+    rng = rng or random.Random()
+    return [v + rng.gauss(0.0, sigma) for v in values]
+
+
+def distribution_distortion(values, rng=None, family="normal", clip=None):
+    """Replace ``values`` with samples from a fitted distribution.
+
+    ``family`` is ``'normal'`` (fit mean/std) or ``'uniform'`` (fit
+    min/max).  ``clip=(lo, hi)`` truncates samples into a legal range —
+    e.g. (0, 100) for compliance percentages.
+    """
+    values = list(values)
+    if not values:
+        raise ReproError("cannot distort an empty column")
+    rng = rng or random.Random()
+    if family == "normal":
+        mean = sum(values) / len(values)
+        variance = sum((v - mean) ** 2 for v in values) / len(values)
+        sigma = math.sqrt(variance)
+        sampler = lambda: rng.gauss(mean, sigma)  # noqa: E731
+    elif family == "uniform":
+        low, high = min(values), max(values)
+        sampler = lambda: rng.uniform(low, high)  # noqa: E731
+    else:
+        raise ReproError(f"unknown distribution family {family!r}")
+
+    out = []
+    for _ in values:
+        sample = sampler()
+        if clip is not None:
+            low, high = clip
+            sample = min(max(sample, low), high)
+        out.append(sample)
+    return out

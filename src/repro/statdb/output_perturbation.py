@@ -1,0 +1,83 @@
+"""Output perturbation: random-sample queries and rounding.
+
+* **Random-sample queries** (Denning): rather than aggregating the exact
+  query set, aggregate a pseudo-random sample of it and scale up.  The
+  sample membership of each record is a deterministic keyed hash of
+  ``(secret, record id, query-set fingerprint)`` — repeating the same query
+  yields the same answer (no averaging attack), while overlapping queries
+  sample independently.
+* **Rounding**: deterministic rounding to a base, or unbiased random
+  rounding (the classic weaker alternative).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+from repro.errors import ReproError
+from repro.crypto.keyed_hash import keyed_hash_int
+
+_SCALE = 2 ** 32
+
+
+class RandomSampleQueries:
+    """Denning-style sampled aggregation."""
+
+    def __init__(self, sampling_rate=0.8, secret="rsq-secret"):
+        if not 0.0 < sampling_rate <= 1.0:
+            raise ReproError("sampling rate must be in (0, 1]")
+        self.sampling_rate = sampling_rate
+        self.secret = secret
+
+    def sample(self, query_set):
+        """The deterministic sample of ``query_set`` (record indices)."""
+        fingerprint = self._fingerprint(query_set)
+        return [
+            index
+            for index in sorted(set(query_set))
+            if self._included(index, fingerprint)
+        ]
+
+    def sampled_sum(self, query_set, values):
+        """Estimate ``sum(values[i] for i in query_set)`` from the sample."""
+        sample = self.sample(query_set)
+        total = sum(values[i] for i in sample)
+        return total / self.sampling_rate
+
+    def sampled_count(self, query_set):
+        """Estimate the query-set size from the sample."""
+        return len(self.sample(query_set)) / self.sampling_rate
+
+    def _fingerprint(self, query_set):
+        encoded = ",".join(str(i) for i in sorted(set(query_set)))
+        return hashlib.sha256(encoded.encode("ascii")).hexdigest()
+
+    def _included(self, index, fingerprint):
+        value = keyed_hash_int(self.secret, f"{fingerprint}:{index}", bits=32)
+        return value < self.sampling_rate * _SCALE
+
+
+class Rounder:
+    """Deterministic or unbiased-random rounding to a base."""
+
+    def __init__(self, base=5.0, mode="deterministic", rng=None):
+        if base <= 0:
+            raise ReproError("rounding base must be positive")
+        if mode not in ("deterministic", "random"):
+            raise ReproError(f"unknown rounding mode {mode!r}")
+        self.base = base
+        self.mode = mode
+        self.rng = rng or random.Random()
+
+    def round(self, value):
+        """Round ``value`` to a multiple of the base."""
+        quotient = value / self.base
+        if self.mode == "deterministic":
+            return round(quotient) * self.base
+        floor = int(quotient // 1)
+        fraction = quotient - floor
+        # Unbiased: round up with probability equal to the fraction.
+        if self.rng.random() < fraction:
+            floor += 1
+        return floor * self.base

@@ -1,0 +1,69 @@
+"""The individual tracker attack (Denning–Denning–Schwartz).
+
+A set-size control alone does not protect a statistical database: to learn
+``q(C)`` for a small (even singleton) set ``C``, a snooper picks a *tracker*
+predicate ``T`` whose query set is comfortably inside the legal size band
+and uses::
+
+    count(C) = count(C OR T) + count(C OR NOT T) - count(ALL)
+    sum(C)   = sum(C OR T)   + sum(C OR NOT T)   - sum(ALL)
+
+All three right-hand queries have large query sets and pass size control.
+The attack fails against overlap control and audit trails — which is
+exactly what benchmark A3 measures.
+"""
+
+from __future__ import annotations
+
+from repro.errors import PrivacyViolation
+from repro.relational.expr import Not, Or, TRUE
+from repro.statdb.protected import StatQuery
+
+
+class TrackerResult:
+    """Outcome of a tracker attack attempt."""
+
+    def __init__(self, succeeded, inferred_value, queries_issued, refusal=None):
+        self.succeeded = succeeded
+        self.inferred_value = inferred_value
+        self.queries_issued = queries_issued
+        self.refusal = refusal
+
+    def __repr__(self):
+        status = "ok" if self.succeeded else f"refused ({self.refusal})"
+        return f"TrackerResult({status}, value={self.inferred_value})"
+
+
+def individual_tracker_attack(db, target_predicate, tracker_predicate, func="count", column=None):
+    """Run the tracker attack against a :class:`ProtectedStatDB`.
+
+    ``target_predicate`` isolates the victim (its query set is too small to
+    query directly); ``tracker_predicate`` is the snooper's padding
+    predicate.  Returns a :class:`TrackerResult`; ``succeeded=False`` with
+    the refusing control's message when any step was blocked.
+    """
+    queries = [
+        StatQuery(func, column, Or([target_predicate, tracker_predicate])),
+        StatQuery(func, column, Or([target_predicate, Not(tracker_predicate)])),
+        StatQuery(func, column, TRUE),
+    ]
+    answers = []
+    for index, query in enumerate(queries):
+        try:
+            answers.append(db.answer(query))
+        except PrivacyViolation as refusal:
+            return TrackerResult(False, None, index, refusal=str(refusal))
+    inferred = answers[0] + answers[1] - answers[2]
+    return TrackerResult(True, inferred, len(queries))
+
+
+def true_value(db, target_predicate, func="count", column=None):
+    """Ground truth the attack is trying to learn (for evaluation only)."""
+    query_set = db.query_set(target_predicate)
+    if func == "count":
+        return float(len(query_set))
+    values = db._column_values(column)
+    total = sum(values[i] for i in query_set)
+    if func == "sum":
+        return total
+    return total / len(query_set) if query_set else 0.0

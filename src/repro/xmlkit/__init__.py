@@ -1,0 +1,33 @@
+"""Minimal XML data model used throughout PRIVATE-IYE.
+
+The paper builds the whole system on an XML data model ("XML provides much
+greater flexibility in the kinds of data that can be handled by our
+system").  This package provides the element tree (:mod:`repro.xmlkit.node`),
+a small well-formed-subset parser (:mod:`repro.xmlkit.parser`), a serializer
+(:mod:`repro.xmlkit.serializer`), an XPath subset evaluator
+(:mod:`repro.xmlkit.path`), and the loosely-structured path matcher
+(:mod:`repro.xmlkit.loose`) needed by the privacy-conscious query language
+of Section 5 (the ``//patient//dob`` vs ``//patient//dateOfBirth`` problem).
+"""
+
+from repro.xmlkit.node import Element, element, text_of
+from repro.xmlkit.parser import parse_xml
+from repro.xmlkit.serializer import serialize
+from repro.xmlkit.path import PathExpr, parse_path, evaluate_path
+from repro.xmlkit.loose import LoosePathMatcher, SynonymTable
+from repro.xmlkit.flatten import table_from_xml, xml_from_table
+
+__all__ = [
+    "table_from_xml",
+    "xml_from_table",
+    "Element",
+    "element",
+    "text_of",
+    "parse_xml",
+    "serialize",
+    "PathExpr",
+    "parse_path",
+    "evaluate_path",
+    "LoosePathMatcher",
+    "SynonymTable",
+]

@@ -1,0 +1,103 @@
+"""Bridging hierarchical stores into the relational engine.
+
+The paper's architecture handles "data from hierarchical stores and data
+in structured files" alongside relational sources.  This module flattens
+an XML document into a typed :class:`~repro.relational.table.Table` — one
+row per *record node*, one column per child element tag or attribute — so
+the whole §4 pipeline (rewriter, clusterer, optimizer, defenses) applies
+unchanged to XML sources.  :func:`xml_from_table` is the inverse, used to
+materialize relational results as documents.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlError
+from repro.relational.table import Table
+from repro.xmlkit.node import Element, element, text_of
+from repro.xmlkit.path import evaluate_path, parse_path
+
+
+def table_from_xml(root, record_path, table_name="records"):
+    """Flatten the record nodes of a document into a table.
+
+    ``record_path`` selects the record elements (e.g. ``//patient``).
+    Each record's columns are its attributes plus its child elements'
+    concatenated text; repeated child tags keep the first occurrence (a
+    deliberate, documented simplification — multi-valued children belong
+    in their own record path).  Column types are inferred from the values.
+    """
+    records = evaluate_path(record_path, root)
+    if not records:
+        raise XmlError(
+            f"record path {record_path!r} selects no elements"
+        )
+    if not all(isinstance(node, Element) for node in records):
+        raise XmlError("record path must select elements, not attributes")
+
+    column_order = []
+    seen = set()
+    rows = []
+    for node in records:
+        row = {}
+        for name, value in node.attrs.items():
+            row[name] = _coerce(value)
+            if name not in seen:
+                seen.add(name)
+                column_order.append(name)
+        for child in node.child_elements():
+            if child.tag in row:
+                continue  # first occurrence wins
+            row[child.tag] = _coerce(text_of(child).strip())
+            if child.tag not in seen:
+                seen.add(child.tag)
+                column_order.append(child.tag)
+        rows.append(row)
+    # Fill missing cells with NULL so rows align on one schema.
+    for row in rows:
+        for name in column_order:
+            row.setdefault(name, None)
+    return Table.from_dicts(table_name, rows, column_order=column_order)
+
+
+def xml_from_table(table, root_tag="records", record_tag="record"):
+    """Materialize a table as an XML document (inverse of flattening)."""
+    root = Element(root_tag, {"table": table.name})
+    for row in table.rows_as_dicts():
+        record = root.append(Element(record_tag))
+        for column, value in row.items():
+            if value is None:
+                record.append(Element(_safe_tag(column), {"null": "true"}))
+            else:
+                record.append(element(_safe_tag(column), value))
+    return root
+
+
+def _coerce(text):
+    """Best-effort typing of element text: int, float, bool, or str."""
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        number = float(text)
+    except ValueError:
+        return text
+    if number.is_integer() and "." not in text and "e" not in lowered:
+        return int(number)
+    return number
+
+
+def _safe_tag(column):
+    tag = "".join(ch if ch.isalnum() or ch in "_-." else "_" for ch in column)
+    if not tag or not (tag[0].isalpha() or tag[0] == "_"):
+        tag = f"c_{tag}"
+    return tag
+
+
+def validate_record_path(record_path):
+    """Parse-and-check helper for source constructors."""
+    path = parse_path(record_path) if isinstance(record_path, str) else record_path
+    if path.selects_attribute:
+        raise XmlError("record path must select elements")
+    return path

@@ -1,0 +1,199 @@
+"""Recursive-descent parser for a well-formed XML subset.
+
+Supported: elements, attributes (single- or double-quoted), text content,
+comments, processing instructions (skipped), character entities
+(``&amp; &lt; &gt; &quot; &apos;`` and numeric ``&#NN;``), and an optional
+XML declaration.  Not supported (by design): DTDs, namespaces, and CDATA —
+none of the system's documents need them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XmlError
+from repro.xmlkit.node import Element
+
+_ENTITIES = {"amp": "&", "lt": "<", "gt": ">", "quot": '"', "apos": "'"}
+
+
+def parse_xml(text):
+    """Parse ``text`` and return the root :class:`Element`."""
+    parser = _Parser(text)
+    root = parser.parse_document()
+    return root
+
+
+class _Parser:
+    def __init__(self, text):
+        if not isinstance(text, str):
+            raise XmlError("XML input must be a string")
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    # -- document ----------------------------------------------------------
+
+    def parse_document(self):
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.length:
+            raise self._error("trailing content after document element")
+        return root
+
+    def _skip_prolog(self):
+        self._skip_whitespace()
+        if self.text.startswith("<?xml", self.pos):
+            end = self.text.find("?>", self.pos)
+            if end < 0:
+                raise self._error("unterminated XML declaration")
+            self.pos = end + 2
+        self._skip_misc()
+
+    def _skip_misc(self):
+        while True:
+            self._skip_whitespace()
+            if self.text.startswith("<!--", self.pos):
+                self._skip_comment()
+            elif self.text.startswith("<?", self.pos):
+                self._skip_pi()
+            else:
+                return
+
+    # -- elements ----------------------------------------------------------
+
+    def _parse_element(self):
+        if self._peek() != "<":
+            raise self._error("expected '<'")
+        self.pos += 1
+        tag = self._read_name()
+        attrs = self._parse_attributes()
+        self._skip_whitespace()
+        if self.text.startswith("/>", self.pos):
+            self.pos += 2
+            return Element(tag, attrs)
+        if self._peek() != ">":
+            raise self._error(f"malformed start tag <{tag}>")
+        self.pos += 1
+        node = Element(tag, attrs)
+        self._parse_content(node)
+        return node
+
+    def _parse_attributes(self):
+        attrs = {}
+        while True:
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch in (">", "/") or ch is None:
+                return attrs
+            name = self._read_name()
+            self._skip_whitespace()
+            if self._peek() != "=":
+                raise self._error(f"attribute {name!r} missing '='")
+            self.pos += 1
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error(f"attribute {name!r} value must be quoted")
+            self.pos += 1
+            end = self.text.find(quote, self.pos)
+            if end < 0:
+                raise self._error(f"unterminated attribute value for {name!r}")
+            attrs[name] = _decode_entities(self.text[self.pos:end])
+            self.pos = end + 1
+
+    def _parse_content(self, node):
+        buffer = []
+        while True:
+            if self.pos >= self.length:
+                raise self._error(f"unterminated element <{node.tag}>")
+            ch = self.text[self.pos]
+            if ch == "<":
+                if buffer:
+                    node.append(_decode_entities("".join(buffer)))
+                    buffer = []
+                if self.text.startswith("</", self.pos):
+                    self.pos += 2
+                    closing = self._read_name()
+                    self._skip_whitespace()
+                    if self._peek() != ">":
+                        raise self._error(f"malformed end tag </{closing}>")
+                    self.pos += 1
+                    if closing != node.tag:
+                        raise self._error(
+                            f"mismatched tags: <{node.tag}> closed by </{closing}>"
+                        )
+                    return
+                if self.text.startswith("<!--", self.pos):
+                    self._skip_comment()
+                elif self.text.startswith("<?", self.pos):
+                    self._skip_pi()
+                else:
+                    node.append(self._parse_element())
+            else:
+                buffer.append(ch)
+                self.pos += 1
+
+    # -- lexical helpers -----------------------------------------------------
+
+    def _skip_comment(self):
+        end = self.text.find("-->", self.pos)
+        if end < 0:
+            raise self._error("unterminated comment")
+        self.pos = end + 3
+
+    def _skip_pi(self):
+        end = self.text.find("?>", self.pos)
+        if end < 0:
+            raise self._error("unterminated processing instruction")
+        self.pos = end + 2
+
+    def _skip_whitespace(self):
+        while self.pos < self.length and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def _read_name(self):
+        start = self.pos
+        while self.pos < self.length and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-."
+        ):
+            self.pos += 1
+        name = self.text[start:self.pos]
+        if not name:
+            raise self._error("expected a name")
+        return name
+
+    def _peek(self):
+        if self.pos < self.length:
+            return self.text[self.pos]
+        return None
+
+    def _error(self, message):
+        line = self.text.count("\n", 0, self.pos) + 1
+        return XmlError(f"{message} (line {line}, offset {self.pos})")
+
+
+def _decode_entities(text):
+    if "&" not in text:
+        return text
+    parts = []
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch != "&":
+            parts.append(ch)
+            i += 1
+            continue
+        end = text.find(";", i)
+        if end < 0:
+            raise XmlError(f"unterminated entity in text: {text[i:i + 10]!r}")
+        name = text[i + 1:end]
+        if name.startswith("#x") or name.startswith("#X"):
+            parts.append(chr(int(name[2:], 16)))
+        elif name.startswith("#"):
+            parts.append(chr(int(name[1:])))
+        elif name in _ENTITIES:
+            parts.append(_ENTITIES[name])
+        else:
+            raise XmlError(f"unknown entity &{name};")
+        i = end + 1
+    return "".join(parts)

@@ -1,0 +1,75 @@
+"""Serializer for the element tree.
+
+Produces well-formed XML that round-trips through
+:func:`repro.xmlkit.parser.parse_xml`.  ``indent=None`` gives compact output
+(exact text preservation); an integer indent gives pretty-printed output for
+human consumption (text-bearing elements stay on one line so their content
+is not polluted with whitespace).
+"""
+
+from __future__ import annotations
+
+from repro.xmlkit.node import Element
+
+
+def serialize(node, indent=None):
+    """Serialize ``node`` (and subtree) to an XML string."""
+    parts = []
+    if indent is None:
+        _write_compact(node, parts)
+    else:
+        _write_pretty(node, parts, 0, indent)
+    return "".join(parts)
+
+
+def escape_text(text):
+    """Escape ``&``, ``<``, ``>`` in text content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attr(text):
+    """Escape text for use inside a double-quoted attribute value."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+def _start_tag(node):
+    attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in node.attrs.items())
+    return f"<{node.tag}{attrs}>"
+
+
+def _empty_tag(node):
+    attrs = "".join(f' {k}="{escape_attr(v)}"' for k, v in node.attrs.items())
+    return f"<{node.tag}{attrs}/>"
+
+
+def _write_compact(node, parts):
+    if not node.children:
+        parts.append(_empty_tag(node))
+        return
+    parts.append(_start_tag(node))
+    for child in node.children:
+        if isinstance(child, Element):
+            _write_compact(child, parts)
+        else:
+            parts.append(escape_text(child))
+    parts.append(f"</{node.tag}>")
+
+
+def _write_pretty(node, parts, level, indent):
+    pad = " " * (indent * level)
+    if not node.children:
+        parts.append(f"{pad}{_empty_tag(node)}\n")
+        return
+    has_element_children = any(isinstance(c, Element) for c in node.children)
+    if not has_element_children:
+        text = escape_text("".join(node.children))
+        parts.append(f"{pad}{_start_tag(node)}{text}</{node.tag}>\n")
+        return
+    parts.append(f"{pad}{_start_tag(node)}\n")
+    for child in node.children:
+        if isinstance(child, Element):
+            _write_pretty(child, parts, level + 1, indent)
+        elif child.strip():
+            child_pad = " " * (indent * (level + 1))
+            parts.append(f"{child_pad}{escape_text(child.strip())}\n")
+    parts.append(f"{pad}</{node.tag}>\n")

@@ -1,0 +1,135 @@
+"""Unit tests for RBAC and MLS."""
+
+import pytest
+
+from repro.access import (
+    Level,
+    Permission,
+    RbacPolicy,
+    Role,
+    SecurityLabel,
+    can_read,
+    can_write,
+)
+from repro.errors import AccessDenied, ReproError
+
+
+class TestPermission:
+    def test_exact_match(self):
+        p = Permission("read", "patients.dob")
+        assert p.matches("read", "patients.dob")
+        assert not p.matches("read", "patients.ssn")
+        assert not p.matches("write", "patients.dob")
+
+    def test_prefix_wildcard(self):
+        p = Permission("read", "patients.*")
+        assert p.matches("read", "patients.dob")
+        assert p.matches("read", "patients")
+        assert not p.matches("read", "physicians.name")
+        assert not p.matches("read", "patientsextra.dob")
+
+    def test_global_wildcard(self):
+        assert Permission("aggregate", "*").matches("aggregate", "anything")
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            Permission("execute", "x")
+        with pytest.raises(ReproError):
+            Permission("read", "")
+
+
+class TestRoles:
+    def test_inheritance(self):
+        junior = Role("nurse", [Permission("read", "patients.vitals")])
+        senior = Role("physician", [Permission("read", "patients.*")], [junior])
+        assert senior.grants("read", "patients.vitals")
+        assert senior.grants("read", "patients.dob")
+        assert not junior.grants("read", "patients.dob")
+
+    def test_diamond_inheritance_no_infinite_loop(self):
+        base = Role("base", [Permission("read", "a")])
+        left = Role("left", parents=[base])
+        right = Role("right", parents=[base])
+        top = Role("top", parents=[left, right])
+        assert top.grants("read", "a")
+
+    def test_role_needs_name(self):
+        with pytest.raises(ReproError):
+            Role("")
+
+
+class TestRbacPolicy:
+    def policy(self):
+        policy = RbacPolicy()
+        policy.add_role(Role("analyst", [Permission("aggregate", "patients.*")]))
+        policy.add_role(Role("physician", [Permission("read", "patients.*")]))
+        policy.assign("alice", "analyst")
+        return policy
+
+    def test_check_and_require(self):
+        policy = self.policy()
+        assert policy.check("alice", "aggregate", "patients.hba1c")
+        assert not policy.check("alice", "read", "patients.hba1c")
+        policy.require("alice", "aggregate", "patients.hba1c")
+        with pytest.raises(AccessDenied, match="alice"):
+            policy.require("alice", "read", "patients.hba1c")
+
+    def test_unknown_subject_denied(self):
+        with pytest.raises(AccessDenied):
+            self.policy().require("mallory", "read", "patients.dob")
+
+    def test_duplicate_role_rejected(self):
+        policy = self.policy()
+        with pytest.raises(ReproError):
+            policy.add_role(Role("analyst"))
+
+    def test_assign_unknown_role(self):
+        with pytest.raises(ReproError):
+            self.policy().assign("bob", "ghost")
+
+    def test_roles_of(self):
+        policy = self.policy()
+        policy.assign("alice", "physician")
+        assert policy.roles_of("alice") == ["analyst", "physician"]
+
+
+class TestMls:
+    def test_level_ordering(self):
+        assert Level.UNCLASSIFIED < Level.CONFIDENTIAL < Level.SECRET < Level.TOP_SECRET
+
+    def test_label_from_string(self):
+        assert SecurityLabel("secret").level is Level.SECRET
+        assert SecurityLabel("top-secret").level is Level.TOP_SECRET
+
+    def test_unknown_level(self):
+        with pytest.raises(ReproError):
+            SecurityLabel("mega-secret")
+
+    def test_dominance_with_compartments(self):
+        high = SecurityLabel(Level.SECRET, {"medical", "finance"})
+        low = SecurityLabel(Level.CONFIDENTIAL, {"medical"})
+        assert high.dominates(low)
+        assert not low.dominates(high)
+
+    def test_incomparable_labels(self):
+        a = SecurityLabel(Level.SECRET, {"medical"})
+        b = SecurityLabel(Level.SECRET, {"finance"})
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_no_read_up(self):
+        subject = SecurityLabel(Level.CONFIDENTIAL)
+        obj = SecurityLabel(Level.SECRET)
+        assert not can_read(subject, obj)
+        assert can_read(obj, subject)
+
+    def test_no_write_down(self):
+        subject = SecurityLabel(Level.SECRET)
+        obj = SecurityLabel(Level.CONFIDENTIAL)
+        assert not can_write(subject, obj)
+        assert can_write(obj, subject)
+
+    def test_equal_labels_read_write(self):
+        label = SecurityLabel(Level.SECRET, {"m"})
+        assert can_read(label, label)
+        assert can_write(label, label)

@@ -1,0 +1,196 @@
+"""Unit tests for hierarchies, the lattice, and k-anonymity search."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymity import (
+    FullDomainGeneralizer,
+    GeneralizationLattice,
+    equivalence_classes,
+    interval_hierarchy,
+    is_k_anonymous,
+    taxonomy_hierarchy,
+)
+from repro.anonymity.hierarchy import SUPPRESSED, GeneralizationHierarchy
+from repro.anonymity.kanonymity import measured_k
+from repro.errors import ReproError
+
+
+def age_hierarchy():
+    return interval_hierarchy("age", [5, 10, 20])
+
+
+def zip_hierarchy():
+    return taxonomy_hierarchy(
+        "zip",
+        {
+            "15213": "152**",
+            "15217": "152**",
+            "15090": "150**",
+            "152**": "15***",
+            "150**": "15***",
+        },
+    )
+
+
+def records():
+    return [
+        {"age": 34, "zip": "15213", "disease": "flu"},
+        {"age": 36, "zip": "15217", "disease": "flu"},
+        {"age": 33, "zip": "15217", "disease": "hiv"},
+        {"age": 62, "zip": "15090", "disease": "cancer"},
+        {"age": 64, "zip": "15090", "disease": "flu"},
+        {"age": 67, "zip": "15090", "disease": "hiv"},
+    ]
+
+
+class TestHierarchies:
+    def test_interval_levels(self):
+        h = age_hierarchy()
+        assert h.height == 4  # identity + 3 widths + '*'
+        assert h.generalize(34, 0) == 34
+        assert h.generalize(34, 1) == "[30-35)"
+        assert h.generalize(34, 2) == "[30-40)"
+        assert h.generalize(34, 3) == "[20-40)"
+        assert h.generalize(34, 4) == SUPPRESSED
+
+    def test_interval_validation(self):
+        with pytest.raises(ReproError):
+            interval_hierarchy("a", [])
+        with pytest.raises(ReproError):
+            interval_hierarchy("a", [10, 5])
+        with pytest.raises(ReproError):
+            interval_hierarchy("a", [0])
+
+    def test_level_out_of_range(self):
+        with pytest.raises(ReproError):
+            age_hierarchy().generalize(34, 9)
+
+    def test_none_suppressed(self):
+        assert age_hierarchy().generalize(None, 1) == SUPPRESSED
+
+    def test_taxonomy_levels(self):
+        h = zip_hierarchy()
+        assert h.generalize("15213", 1) == "152**"
+        assert h.generalize("15213", 2) == "15***"
+        assert h.generalize("15213", h.height) == SUPPRESSED
+
+    def test_taxonomy_stays_at_root(self):
+        h = zip_hierarchy()
+        assert h.generalize("15090", 2) == "15***"
+        # one more climb stays at the root
+        assert h.generalize("15090", h.height - 1) == "15***"
+
+    def test_taxonomy_cycle_detected(self):
+        with pytest.raises(ReproError, match="cycle"):
+            taxonomy_hierarchy("x", {"a": "b", "b": "a"})
+
+    def test_custom_hierarchy(self):
+        h = GeneralizationHierarchy("sex", [lambda v: "person"])
+        assert h.generalize("m", 1) == "person"
+
+
+class TestLattice:
+    def lattice(self):
+        return GeneralizationLattice([age_hierarchy(), zip_hierarchy()])
+
+    def test_bottom_top(self):
+        lattice = self.lattice()
+        assert lattice.bottom == (0, 0)
+        assert lattice.top == (4, 3)
+
+    def test_nodes_at_height(self):
+        nodes = self.lattice().nodes_at_height(1)
+        assert nodes == [(0, 1), (1, 0)]
+
+    def test_all_nodes_monotone_height(self):
+        heights = [sum(n) for n in self.lattice().all_nodes()]
+        assert heights == sorted(heights)
+
+    def test_successors(self):
+        lattice = self.lattice()
+        assert lattice.successors((4, 2)) == [(4, 3)]
+        assert lattice.successors((4, 3)) == []
+
+    def test_generalize_record(self):
+        lattice = self.lattice()
+        out = lattice.generalize_record(records()[0], (1, 1))
+        assert out == {"age": "[30-35)", "zip": "152**", "disease": "flu"}
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ReproError):
+            self.lattice().generalize_record(records()[0], (9, 9))
+        with pytest.raises(ReproError):
+            self.lattice().successors((1,))
+
+
+class TestKAnonymity:
+    def test_raw_records_not_2_anonymous(self):
+        assert not is_k_anonymous(records(), ["age", "zip"], 2)
+
+    def test_equivalence_classes(self):
+        classes = equivalence_classes(records(), ["zip"])
+        assert len(classes[("15090",)]) == 3
+
+    def test_measured_k(self):
+        assert measured_k(records(), ["zip"]) == 1  # 15213 occurs once
+        assert measured_k([], ["zip"]) == 0
+
+    def test_empty_is_k_anonymous(self):
+        assert is_k_anonymous([], ["age"], 5)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ReproError):
+            is_k_anonymous(records(), ["age"], 0)
+
+    def test_generalizer_finds_minimal_node(self):
+        generalizer = FullDomainGeneralizer([age_hierarchy(), zip_hierarchy()])
+        result = generalizer.anonymize(records(), k=2)
+        assert is_k_anonymous(result.records, ["age", "zip"], 2)
+        assert result.suppressed == []
+        # Verify minimality: no node of smaller height satisfies 2-anonymity.
+        height = sum(result.node)
+        for node in generalizer.lattice.all_nodes():
+            if sum(node) < height:
+                released = generalizer.lattice.generalize_records(records(), node)
+                assert not is_k_anonymous(released, ["age", "zip"], 2)
+
+    def test_suppression_allowance_lowers_height(self):
+        generalizer = FullDomainGeneralizer([age_hierarchy(), zip_hierarchy()])
+        strict = generalizer.anonymize(records(), k=3)
+        relaxed = generalizer.anonymize(records(), k=3, max_suppressed=2)
+        assert sum(relaxed.node) <= sum(strict.node)
+
+    def test_k_larger_than_population_fails_without_allowance(self):
+        generalizer = FullDomainGeneralizer([age_hierarchy()])
+        with pytest.raises(ReproError):
+            generalizer.anonymize(records(), k=10)
+
+    def test_satisfying_nodes_monotone(self):
+        # If a node satisfies k-anonymity, so does every successor.
+        generalizer = FullDomainGeneralizer([age_hierarchy(), zip_hierarchy()])
+        satisfying = set(generalizer.satisfying_nodes(records(), k=2))
+        for node in satisfying:
+            for successor in generalizer.lattice.successors(node):
+                assert successor in satisfying
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.fixed_dictionaries(
+            {"age": st.integers(min_value=0, max_value=99),
+             "zip": st.sampled_from(["15213", "15217", "15090"])}
+        ),
+        min_size=2,
+        max_size=25,
+    ),
+    st.integers(min_value=1, max_value=3),
+)
+def test_anonymize_always_satisfies_k_property(rows, k):
+    """Whatever the data, the search result is k-anonymous."""
+    generalizer = FullDomainGeneralizer([age_hierarchy(), zip_hierarchy()])
+    if len(rows) < k:
+        return
+    result = generalizer.anonymize(rows, k=k, max_suppressed=len(rows) - k)
+    assert is_k_anonymous(result.records, ["age", "zip"], k)

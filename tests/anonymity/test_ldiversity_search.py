@@ -1,0 +1,74 @@
+"""Unit tests for l-diversity-aware full-domain generalization."""
+
+import pytest
+
+from repro.anonymity import (
+    FullDomainGeneralizer,
+    distinct_l_diversity,
+    interval_hierarchy,
+    is_k_anonymous,
+)
+from repro.errors import ReproError
+
+
+def generalizer():
+    return FullDomainGeneralizer([interval_hierarchy("age", [5, 10, 20])])
+
+
+def records():
+    return [
+        {"age": 31, "disease": "flu"},
+        {"age": 33, "disease": "flu"},
+        {"age": 36, "disease": "hiv"},
+        {"age": 38, "disease": "flu"},
+        {"age": 61, "disease": "cancer"},
+        {"age": 63, "disease": "flu"},
+        {"age": 66, "disease": "hiv"},
+        {"age": 68, "disease": "cancer"},
+    ]
+
+
+class TestDiverseSearch:
+    def test_result_is_k_anonymous_and_l_diverse(self):
+        result = generalizer().anonymize(
+            records(), k=2, l=2, sensitive="disease"
+        )
+        assert is_k_anonymous(result.records, ["age"], 2)
+        assert distinct_l_diversity(result.records, ["age"], "disease", 2)
+
+    def test_diversity_can_force_higher_node(self):
+        # At age bands of 5, the [30-35) class holds only 'flu' — k=2 alone
+        # accepts it, l=2 must generalize further (or suppress).
+        plain = generalizer().anonymize(records(), k=2)
+        diverse = generalizer().anonymize(
+            records(), k=2, l=2, sensitive="disease"
+        )
+        assert sum(diverse.node) >= sum(plain.node)
+
+    def test_suppression_allowance_counts_undiverse_classes(self):
+        result = generalizer().anonymize(
+            records(), k=2, l=3, sensitive="disease", max_suppressed=8
+        )
+        assert distinct_l_diversity(result.records, ["age"], "disease", 3)
+
+    def test_impossible_diversity_raises(self):
+        uniform = [{"age": 30 + i, "disease": "flu"} for i in range(6)]
+        with pytest.raises(ReproError, match="2-diversity"):
+            generalizer().anonymize(uniform, k=2, l=2, sensitive="disease")
+
+    def test_l_without_sensitive_rejected(self):
+        with pytest.raises(ReproError):
+            generalizer().anonymize(records(), k=2, l=2)
+        with pytest.raises(ReproError):
+            generalizer().anonymize(records(), k=2, sensitive="disease")
+        with pytest.raises(ReproError):
+            generalizer().anonymize(records(), k=2, l=0, sensitive="disease")
+
+    def test_satisfying_nodes_respect_diversity(self):
+        nodes_plain = set(generalizer().satisfying_nodes(records(), k=2))
+        nodes_diverse = set(
+            generalizer().satisfying_nodes(
+                records(), k=2, l=2, sensitive="disease"
+            )
+        )
+        assert nodes_diverse <= nodes_plain

@@ -1,0 +1,109 @@
+"""Unit tests for MDAV microaggregation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymity import is_k_anonymous, mdav_microaggregate, sse_information_loss
+from repro.errors import ReproError
+
+
+def records(n=60, seed=4):
+    rng = random.Random(seed)
+    return [
+        {"age": rng.randint(20, 80), "income": rng.uniform(10, 200),
+         "disease": rng.choice(["flu", "hiv"])}
+        for _ in range(n)
+    ]
+
+
+class TestMdav:
+    def test_group_sizes_between_k_and_2k_minus_1(self):
+        _released, groups = mdav_microaggregate(records(), ["age", "income"], 5)
+        for group in groups:
+            assert 5 <= len(group) <= 9
+
+    def test_groups_partition_everything(self):
+        rows = records()
+        _released, groups = mdav_microaggregate(rows, ["age"], 4)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(len(rows)))
+
+    def test_released_is_k_anonymous(self):
+        rows = records()
+        released, _groups = mdav_microaggregate(rows, ["age", "income"], 5)
+        assert is_k_anonymous(released, ["age", "income"], 5)
+
+    def test_group_members_share_centroid(self):
+        rows = records()
+        released, groups = mdav_microaggregate(rows, ["age"], 3)
+        for group in groups:
+            values = {released[i]["age"] for i in group}
+            assert len(values) == 1
+            truth = sum(rows[i]["age"] for i in group) / len(group)
+            assert values.pop() == pytest.approx(truth)
+
+    def test_non_qi_attributes_untouched(self):
+        rows = records()
+        released, _groups = mdav_microaggregate(rows, ["age"], 3)
+        assert [r["disease"] for r in released] == [r["disease"] for r in rows]
+
+    def test_means_preserved_exactly(self):
+        rows = records()
+        released, _groups = mdav_microaggregate(rows, ["income"], 5)
+        original_mean = sum(r["income"] for r in rows) / len(rows)
+        released_mean = sum(r["income"] for r in released) / len(rows)
+        assert released_mean == pytest.approx(original_mean)
+
+    def test_loss_grows_with_k(self):
+        rows = records(80)
+        losses = []
+        for k in (2, 5, 10, 20):
+            released, _g = mdav_microaggregate(rows, ["age", "income"], k)
+            losses.append(sse_information_loss(rows, released, ["age", "income"]))
+        assert losses == sorted(losses)
+        assert 0.0 <= losses[0] <= losses[-1] <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            mdav_microaggregate(records(3), ["age"], 5)
+        with pytest.raises(ReproError):
+            mdav_microaggregate(records(), [], 2)
+        with pytest.raises(ReproError):
+            mdav_microaggregate([{"age": "old"}] * 5, ["age"], 2)
+        with pytest.raises(ReproError):
+            mdav_microaggregate(records(), ["age"], 0)
+
+    def test_loss_validation(self):
+        with pytest.raises(ReproError):
+            sse_information_loss([], [], ["age"])
+        with pytest.raises(ReproError):
+            sse_information_loss([{"age": 1}], [], ["age"])
+
+    def test_constant_column_zero_loss(self):
+        rows = [{"age": 50} for _ in range(6)]
+        released, _g = mdav_microaggregate(rows, ["age"], 3)
+        assert sse_information_loss(rows, released, ["age"]) == 0.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.fixed_dictionaries({
+            "x": st.integers(min_value=0, max_value=1000),
+            "y": st.integers(min_value=-100, max_value=100),
+        }),
+        min_size=4,
+        max_size=40,
+    ),
+    st.integers(min_value=2, max_value=4),
+)
+def test_mdav_invariants_property(rows, k):
+    """Partition covers all records; every group ≥ k; release k-anonymous."""
+    if len(rows) < k:
+        return
+    released, groups = mdav_microaggregate(rows, ["x", "y"], k)
+    assert sorted(i for g in groups for i in g) == list(range(len(rows)))
+    assert all(len(g) >= k for g in groups)
+    assert is_k_anonymous(released, ["x", "y"], k)

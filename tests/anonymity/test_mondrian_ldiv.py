@@ -1,0 +1,130 @@
+"""Unit tests for Mondrian partitioning and l-diversity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.anonymity import (
+    distinct_l_diversity,
+    entropy_l_diversity,
+    is_k_anonymous,
+    mondrian_partition,
+)
+from repro.anonymity.ldiversity import measured_l
+from repro.anonymity.mondrian import anonymized_records
+from repro.errors import ReproError
+
+
+def numeric_records(n=40, seed=1):
+    rng = random.Random(seed)
+    return [
+        {"age": rng.randint(20, 80), "income": rng.randint(10, 200) * 1000,
+         "disease": rng.choice(["flu", "hiv", "cancer", "diabetes"])}
+        for _ in range(n)
+    ]
+
+
+class TestMondrian:
+    def test_partitions_respect_k(self):
+        partitions = mondrian_partition(numeric_records(), ["age", "income"], k=5)
+        assert all(len(members) >= 5 for _ranges, members in partitions)
+
+    def test_partitions_cover_all_records(self):
+        records = numeric_records()
+        partitions = mondrian_partition(records, ["age", "income"], k=4)
+        assert sum(len(m) for _r, m in partitions) == len(records)
+
+    def test_released_records_k_anonymous(self):
+        records = numeric_records()
+        partitions = mondrian_partition(records, ["age", "income"], k=5)
+        released = anonymized_records(partitions, ["age", "income"])
+        assert is_k_anonymous(released, ["age", "income"], 5)
+
+    def test_ranges_bound_members(self):
+        partitions = mondrian_partition(numeric_records(), ["age"], k=3)
+        for ranges, members in partitions:
+            low, high = ranges["age"]
+            assert all(low <= m["age"] <= high for m in members)
+
+    def test_more_partitions_for_smaller_k(self):
+        records = numeric_records(60)
+        few = mondrian_partition(records, ["age"], k=20)
+        many = mondrian_partition(records, ["age"], k=3)
+        assert len(many) > len(few)
+
+    def test_point_partition_released_as_scalar(self):
+        records = [{"age": 30}] * 4
+        partitions = mondrian_partition(records, ["age"], k=2)
+        released = anonymized_records(partitions, ["age"])
+        assert all(r["age"] == 30 for r in released)
+
+    def test_too_few_records_rejected(self):
+        with pytest.raises(ReproError):
+            mondrian_partition([{"age": 1}], ["age"], k=2)
+
+    def test_non_numeric_qi_rejected(self):
+        with pytest.raises(ReproError, match="numeric"):
+            mondrian_partition([{"age": "old"}] * 3, ["age"], k=2)
+
+    def test_no_qi_rejected(self):
+        with pytest.raises(ReproError):
+            mondrian_partition(numeric_records(), [], k=2)
+
+
+class TestLDiversity:
+    def homogeneous(self):
+        return [
+            {"zip": "a", "disease": "flu"},
+            {"zip": "a", "disease": "flu"},
+            {"zip": "b", "disease": "flu"},
+            {"zip": "b", "disease": "hiv"},
+        ]
+
+    def test_distinct_l(self):
+        assert distinct_l_diversity(self.homogeneous(), ["zip"], "disease", 1)
+        assert not distinct_l_diversity(self.homogeneous(), ["zip"], "disease", 2)
+
+    def test_measured_l(self):
+        assert measured_l(self.homogeneous(), ["zip"], "disease") == 1
+        assert measured_l([], ["zip"], "disease") == 0
+
+    def test_entropy_l(self):
+        balanced = [
+            {"zip": "a", "disease": "flu"},
+            {"zip": "a", "disease": "hiv"},
+        ]
+        assert entropy_l_diversity(balanced, ["zip"], "disease", 2)
+        skewed = balanced + [{"zip": "a", "disease": "flu"}] * 8
+        assert not entropy_l_diversity(skewed, ["zip"], "disease", 2)
+        # but it still has 2 distinct values
+        assert distinct_l_diversity(skewed, ["zip"], "disease", 2)
+
+    def test_empty_records_diverse(self):
+        assert distinct_l_diversity([], ["zip"], "disease", 3)
+        assert entropy_l_diversity([], ["zip"], "disease", 3)
+
+    def test_bad_l_rejected(self):
+        with pytest.raises(ReproError):
+            distinct_l_diversity([], ["zip"], "disease", 0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.lists(
+        st.fixed_dictionaries(
+            {"age": st.integers(min_value=0, max_value=100),
+             "income": st.integers(min_value=0, max_value=10**6)}
+        ),
+        min_size=6,
+        max_size=40,
+    ),
+    st.integers(min_value=2, max_value=5),
+)
+def test_mondrian_k_property(rows, k):
+    """Every Mondrian partition meets k and covers all records."""
+    if len(rows) < k:
+        return
+    partitions = mondrian_partition(rows, ["age", "income"], k)
+    assert all(len(m) >= k for _r, m in partitions)
+    assert sum(len(m) for _r, m in partitions) == len(rows)

@@ -1,0 +1,59 @@
+"""Integration tests for PrivateIye.plan_release (defensive publication)."""
+
+import pytest
+
+from repro import PrivacyViolation, PrivateIye
+from repro.data import FIGURE1, HealthcareGenerator
+from repro.inference import InferenceGuard
+from repro.relational import Table
+
+POLICY = """
+VIEW {name}_private {{
+    PRIVATE //patient/compliant_0 FORM aggregate;
+    PRIVATE //patient/compliant_1 FORM aggregate;
+    PRIVATE //patient/compliant_2 FORM aggregate;
+}}
+POLICY {name} DEFAULT deny {{
+    ALLOW //patient/compliant_0 FOR public-health-research FORM aggregate;
+    ALLOW //patient/compliant_1 FOR public-health-research FORM aggregate;
+    ALLOW //patient/compliant_2 FOR public-health-research FORM aggregate;
+}}
+"""
+
+
+def build_system():
+    generator = HealthcareGenerator(
+        patients_per_hmo=200, overlap_fraction=0.0, seed=2006
+    )
+    patients = generator.patients()
+    system = PrivateIye()
+    for hmo in generator.sources:
+        system.load_policies(
+            POLICY.format(name=hmo), view_source={f"{hmo}_private": hmo}
+        )
+        system.add_relational_source(
+            hmo, Table.from_dicts("patients", patients[hmo])
+        )
+    return system
+
+
+class TestPlanRelease:
+    def test_safe_release_planned_over_real_pipeline(self):
+        system = build_system()
+        chosen, rejected = system.plan_release(
+            ["//patient/compliant_0", "//patient/compliant_1"],
+            purpose="outbreak-surveillance",
+            guard=InferenceGuard(min_interval_width=0.02, starts=2),
+        )
+        # Compliance rates are fractions in [0,1]; a 0.02-wide floor still
+        # rejects the full-precision release and finds a coarser safe one.
+        assert chosen is not None
+        assert chosen.safe
+        assert len(chosen.published.sources) == len(FIGURE1.sources)
+
+    def test_refusing_source_blocks_the_release(self):
+        system = build_system()
+        with pytest.raises(PrivacyViolation):
+            system.plan_release(
+                ["//patient/compliant_0"], purpose="marketing"
+            )

@@ -1,0 +1,128 @@
+"""Unit tests for the commutative cipher and PSI protocol."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import CommutativeKey, PsiParty, TEST_GROUP, private_set_intersection
+from repro.errors import CryptoError
+
+
+def key(seed):
+    return CommutativeKey(TEST_GROUP, rng=random.Random(seed))
+
+
+class TestCommutativeCipher:
+    def test_encrypt_decrypt_round_trip(self):
+        k = key(1)
+        element = TEST_GROUP.hash_into("secret")
+        assert k.decrypt(k.encrypt(element)) == element
+
+    def test_commutativity(self):
+        a, b = key(1), key(2)
+        element = TEST_GROUP.hash_into("x")
+        assert a.encrypt(b.encrypt(element)) == b.encrypt(a.encrypt(element))
+
+    def test_layered_decryption_in_any_order(self):
+        a, b = key(1), key(2)
+        element = TEST_GROUP.hash_into("x")
+        double = a.encrypt(b.encrypt(element))
+        assert b.decrypt(a.decrypt(double)) == element
+        assert a.decrypt(b.decrypt(double)) == element
+
+    def test_different_keys_different_ciphertexts(self):
+        element = TEST_GROUP.hash_into("x")
+        assert key(1).encrypt(element) != key(2).encrypt(element)
+
+    def test_encrypt_item_hashes_first(self):
+        k = key(3)
+        assert k.encrypt_item("alice") == k.encrypt(TEST_GROUP.hash_into("alice"))
+
+    def test_encrypt_many(self):
+        k = key(4)
+        elements = [TEST_GROUP.hash_into(i) for i in range(5)]
+        assert k.encrypt_many(elements) == [k.encrypt(e) for e in elements]
+
+    def test_rejects_non_element(self):
+        with pytest.raises(CryptoError):
+            key(1).encrypt(0)
+        with pytest.raises(CryptoError):
+            key(1).encrypt("nope")
+
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(CryptoError):
+            CommutativeKey(TEST_GROUP, exponent=0)
+
+    def test_explicit_exponent_honored(self):
+        k = CommutativeKey(TEST_GROUP, exponent=12345)
+        assert k.exponent == 12345
+
+
+class TestPsi:
+    def test_basic_intersection(self):
+        a = ["alice", "bob", "cara", "dave"]
+        b = ["bob", "dave", "erin"]
+        result, _ = private_set_intersection(a, b, TEST_GROUP, random.Random(7))
+        assert sorted(result) == ["bob", "dave"]
+
+    def test_empty_intersection(self):
+        result, _ = private_set_intersection(
+            ["x", "y"], ["p", "q"], TEST_GROUP, random.Random(7)
+        )
+        assert result == []
+
+    def test_full_overlap(self):
+        items = [f"i{i}" for i in range(10)]
+        result, _ = private_set_intersection(
+            items, list(reversed(items)), TEST_GROUP, random.Random(1)
+        )
+        assert sorted(result) == sorted(items)
+
+    def test_no_plaintext_on_wire(self):
+        a = ["ssn-123", "ssn-456"]
+        b = ["ssn-456"]
+        _, transcript = private_set_intersection(a, b, TEST_GROUP, random.Random(2))
+        wire_values = set()
+        for message in transcript.values():
+            wire_values.update(message)
+        hashed = {TEST_GROUP.hash_into(x) for x in a + b}
+        assert not wire_values & hashed  # singly/doubly encrypted only
+
+    def test_duplicate_inputs_rejected(self):
+        with pytest.raises(CryptoError):
+            PsiParty(["a", "a"], TEST_GROUP)
+
+    def test_protocol_step_order_enforced(self):
+        party = PsiParty(["a"], TEST_GROUP, random.Random(0))
+        with pytest.raises(CryptoError):
+            party.receive_own_doubled([1])
+        party.send_encrypted_set()
+        with pytest.raises(CryptoError):
+            party.intersect([])
+
+    def test_doubled_size_mismatch_rejected(self):
+        party = PsiParty(["a", "b"], TEST_GROUP, random.Random(0))
+        party.send_encrypted_set()
+        with pytest.raises(CryptoError, match="expected 2"):
+            party.receive_own_doubled([1])
+
+    def test_intersection_independent_of_rng(self):
+        a = [f"a{i}" for i in range(8)] + ["shared1", "shared2"]
+        b = [f"b{i}" for i in range(5)] + ["shared1", "shared2"]
+        for seed in (1, 2, 3):
+            result, _ = private_set_intersection(a, b, TEST_GROUP, random.Random(seed))
+            assert sorted(result) == ["shared1", "shared2"]
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.sets(st.integers(min_value=0, max_value=50), max_size=12),
+    st.sets(st.integers(min_value=0, max_value=50), max_size=12),
+)
+def test_psi_matches_plaintext_intersection(set_a, set_b):
+    """PSI computes exactly the plaintext intersection."""
+    result, _ = private_set_intersection(
+        sorted(set_a), sorted(set_b), TEST_GROUP, random.Random(42)
+    )
+    assert sorted(result) == sorted(set_a & set_b)

@@ -1,0 +1,116 @@
+"""Unit tests for modular arithmetic and groups."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import (
+    DhGroup,
+    MODP_1024,
+    TEST_GROUP,
+    generate_safe_prime,
+    is_probable_prime,
+)
+from repro.errors import CryptoError
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 15, 91, 561, 7917):
+            assert not is_probable_prime(n)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2 ** 127 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime(2 ** 127 - 3)
+
+    def test_rejects_non_int(self):
+        with pytest.raises(CryptoError):
+            is_probable_prime(3.5)
+
+
+class TestSafePrimes:
+    def test_generate_safe_prime(self):
+        p = generate_safe_prime(32, random.Random(1))
+        assert is_probable_prime(p)
+        assert is_probable_prime((p - 1) // 2)
+
+    def test_generation_deterministic(self):
+        assert generate_safe_prime(32, random.Random(5)) == generate_safe_prime(
+            32, random.Random(5)
+        )
+
+    def test_too_small_rejected(self):
+        with pytest.raises(CryptoError):
+            generate_safe_prime(8, random.Random(0))
+
+    def test_builtin_groups_are_safe(self):
+        for group in (TEST_GROUP, MODP_1024):
+            # checked=False at construction, verify q really divides order
+            assert group.p == 2 * group.q + 1
+        assert is_probable_prime(TEST_GROUP.p)
+        assert is_probable_prime(TEST_GROUP.q)
+
+
+class TestDhGroup:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(CryptoError):
+            DhGroup(100)
+
+    def test_rejects_non_safe_prime(self):
+        with pytest.raises(CryptoError):
+            DhGroup(13)  # 13 = 2*6+1, 6 not prime
+
+    def test_hash_into_yields_subgroup_elements(self):
+        for item in ("alice", "bob", 42, b"bytes"):
+            element = TEST_GROUP.hash_into(item)
+            assert TEST_GROUP.is_element(element)
+
+    def test_hash_into_deterministic(self):
+        assert TEST_GROUP.hash_into("x") == TEST_GROUP.hash_into("x")
+
+    def test_hash_into_distinct_items_distinct_elements(self):
+        elements = {TEST_GROUP.hash_into(f"item-{i}") for i in range(200)}
+        assert len(elements) == 200
+
+    def test_hash_into_rejects_bad_type(self):
+        with pytest.raises(CryptoError):
+            TEST_GROUP.hash_into(["list"])
+
+    def test_random_exponent_in_range(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            e = TEST_GROUP.random_exponent(rng)
+            assert 1 <= e < TEST_GROUP.q
+
+    def test_invert_exponent(self):
+        rng = random.Random(4)
+        e = TEST_GROUP.random_exponent(rng)
+        inverse = TEST_GROUP.invert_exponent(e)
+        assert e * inverse % TEST_GROUP.q == 1
+
+    def test_invert_rejects_multiple_of_q(self):
+        with pytest.raises(CryptoError):
+            TEST_GROUP.invert_exponent(TEST_GROUP.q)
+
+    def test_is_element_rejects_outside(self):
+        assert not TEST_GROUP.is_element(0)
+        assert not TEST_GROUP.is_element(TEST_GROUP.p)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.text(max_size=30))
+def test_hash_into_subgroup_property(item):
+    """Every hashed item lands inside the prime-order subgroup."""
+    element = TEST_GROUP.hash_into(item)
+    assert TEST_GROUP.is_element(element)

@@ -1,0 +1,144 @@
+"""Unit tests for secure sum, Bloom filters, and keyed hashing."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto import BloomFilter, keyed_hash, keyed_hash_int, secure_sum
+from repro.errors import CryptoError
+
+
+class TestSecureSum:
+    def test_correct_total(self):
+        assert secure_sum([10, 20, 30], rng=random.Random(1)) == 60
+
+    def test_two_parties_minimum(self):
+        with pytest.raises(CryptoError):
+            secure_sum([5])
+
+    def test_negative_rejected(self):
+        with pytest.raises(CryptoError):
+            secure_sum([5, -1])
+
+    def test_non_int_rejected(self):
+        with pytest.raises(CryptoError):
+            secure_sum([5, 1.5])
+
+    def test_overflow_rejected(self):
+        with pytest.raises(CryptoError, match="modulus"):
+            secure_sum([2**63, 2**63], modulus=2**64)
+
+    def test_intermediate_values_masked(self):
+        values = [100, 200, 300, 400]
+        total, transcript = secure_sum(
+            values, rng=random.Random(9), return_transcript=True
+        )
+        assert total == 1000
+        # No intermediate equals a prefix sum of the true values.
+        prefixes = {100, 300, 600, 1000}
+        assert not prefixes & set(transcript.observed)
+
+    def test_mask_uniformity_smoke(self):
+        # Party 1's observation varies across runs even for fixed inputs.
+        seen = {
+            secure_sum([1, 2, 3], rng=random.Random(s), return_transcript=True)[1].observed[1]
+            for s in range(20)
+        }
+        assert len(seen) == 20
+
+
+class TestBloomFilter:
+    def test_membership(self):
+        bloom = BloomFilter(size=128, num_hashes=3)
+        bloom.add_all(["alice", "bob"])
+        assert "alice" in bloom
+        assert "bob" in bloom
+
+    def test_absent_items_usually_absent(self):
+        bloom = BloomFilter(size=1024, num_hashes=4)
+        bloom.add_all(f"item{i}" for i in range(20))
+        misses = sum(1 for i in range(100) if f"other{i}" not in bloom)
+        assert misses >= 95  # tiny false-positive rate at this load
+
+    def test_dice_similarity_of_identical_sets(self):
+        a, b = BloomFilter(), BloomFilter()
+        a.add_all(["x", "y", "z"])
+        b.add_all(["x", "y", "z"])
+        assert a.dice_similarity(b) == 1.0
+
+    def test_dice_similarity_of_disjoint_sets_low(self):
+        a, b = BloomFilter(size=2048), BloomFilter(size=2048)
+        a.add_all(f"a{i}" for i in range(10))
+        b.add_all(f"b{i}" for i in range(10))
+        assert a.dice_similarity(b) < 0.2
+
+    def test_jaccard_bounds(self):
+        a, b = BloomFilter(), BloomFilter()
+        a.add_all(["x", "y"])
+        b.add_all(["y", "z"])
+        assert 0.0 <= a.jaccard_similarity(b) <= 1.0
+
+    def test_empty_filters_similar(self):
+        assert BloomFilter().dice_similarity(BloomFilter()) == 1.0
+
+    def test_incompatible_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            BloomFilter(size=128).dice_similarity(BloomFilter(size=256))
+        with pytest.raises(CryptoError):
+            BloomFilter(secret="a").dice_similarity(BloomFilter(secret="b"))
+
+    def test_different_secret_different_bits(self):
+        a = BloomFilter(secret="k1")
+        b = BloomFilter(secret="k2")
+        a.add("alice")
+        b.add("alice")
+        assert a.bits != b.bits
+
+    def test_estimated_count_close(self):
+        bloom = BloomFilter(size=4096, num_hashes=4)
+        bloom.add_all(f"i{i}" for i in range(100))
+        assert bloom.estimated_count() == pytest.approx(100, rel=0.15)
+
+    def test_false_positive_rate_monotone(self):
+        bloom = BloomFilter(size=256, num_hashes=4)
+        assert bloom.false_positive_rate(10) < bloom.false_positive_rate(100)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            BloomFilter(size=4)
+        with pytest.raises(CryptoError):
+            BloomFilter(num_hashes=0)
+
+
+class TestKeyedHash:
+    def test_deterministic(self):
+        assert keyed_hash("k", "v") == keyed_hash("k", "v")
+
+    def test_key_separation(self):
+        assert keyed_hash("k1", "v") != keyed_hash("k2", "v")
+
+    def test_int_form_range(self):
+        value = keyed_hash_int("k", "v", bits=16)
+        assert 0 <= value < 2**16
+
+    def test_int_accepts_int_items(self):
+        assert keyed_hash_int("k", 42) == keyed_hash_int("k", 42)
+
+    def test_bad_bits_rejected(self):
+        with pytest.raises(CryptoError):
+            keyed_hash_int("k", "v", bits=0)
+        with pytest.raises(CryptoError):
+            keyed_hash_int("k", "v", bits=300)
+
+    def test_bad_types_rejected(self):
+        with pytest.raises(CryptoError):
+            keyed_hash("k", ["list"])
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10**9), min_size=2, max_size=8),
+       st.integers(min_value=0, max_value=2**32))
+def test_secure_sum_correct_property(values, seed):
+    """Secure sum always equals the plain sum."""
+    assert secure_sum(values, rng=random.Random(seed)) == sum(values)

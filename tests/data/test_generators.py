@@ -1,0 +1,162 @@
+"""Unit tests for the synthetic data generators."""
+
+import random
+
+import pytest
+
+from repro.data import FIGURE1, HealthcareGenerator, OutbreakGenerator, person_names
+from repro.data.names import introduce_typo
+from repro.data.rng import child_rng, make_rng
+from repro.errors import ReproError
+
+
+class TestRng:
+    def test_make_rng_from_int(self):
+        assert make_rng(5).random() == make_rng(5).random()
+
+    def test_make_rng_passthrough(self):
+        rng = random.Random(1)
+        assert make_rng(rng) is rng
+
+    def test_make_rng_rejects_other(self):
+        with pytest.raises(ReproError):
+            make_rng("seed")
+
+    def test_child_streams_decorrelated(self):
+        a = child_rng(make_rng(1), "a").random()
+        b = child_rng(make_rng(1), "b").random()
+        assert a != b
+
+    def test_child_streams_reproducible(self):
+        assert child_rng(make_rng(1), "x").random() == child_rng(
+            make_rng(1), "x"
+        ).random()
+
+
+class TestNames:
+    def test_person_names_deterministic(self):
+        assert person_names(10, seed=3) == person_names(10, seed=3)
+
+    def test_typo_changes_text(self):
+        rng = random.Random(1)
+        changed = sum(
+            1 for _ in range(50) if introduce_typo("johnson", rng) != "johnson"
+        )
+        assert changed > 40  # 'double'/'swap' can occasionally be identity-ish
+
+    def test_typo_short_string(self):
+        assert introduce_typo("a", random.Random(1)) == "ax"
+
+
+class TestHealthcareGenerator:
+    def generator(self):
+        return HealthcareGenerator(patients_per_hmo=100, seed=11)
+
+    def test_deterministic(self):
+        a = self.generator().patients()
+        b = self.generator().patients()
+        assert a == b
+
+    def test_population_sizes(self):
+        patients = HealthcareGenerator(
+            patients_per_hmo=50, overlap_fraction=0.0, seed=1
+        ).patients()
+        assert all(len(v) == 50 for v in patients.values())
+
+    def test_compliance_matrix_matches_targets(self):
+        generator = self.generator()
+        matrix = generator.compliance_matrix()
+        for i, row in enumerate(matrix):
+            for j, value in enumerate(row):
+                # quota sampling: exact to rounding of quota/n
+                assert value == pytest.approx(
+                    FIGURE1.consistent_matrix[i][j], abs=0.5
+                )
+
+    def test_duplicates_planted(self):
+        generator = HealthcareGenerator(
+            patients_per_hmo=50, overlap_fraction=0.2, seed=5
+        )
+        patients = generator.patients()
+        duplicates = [
+            p
+            for records in patients.values()
+            for p in records
+            if "-dup-" in p["id"]
+        ]
+        assert len(duplicates) == int(0.2 * 4 * 50)
+
+    def test_catalogs_queryable(self):
+        from repro.relational import Aggregate, SelectQuery, execute
+
+        generator = self.generator()
+        catalogs = generator.catalogs()
+        assert set(catalogs) == set(FIGURE1.sources)
+        result = execute(
+            SelectQuery("patients", aggregates=[Aggregate("count", "*")]),
+            catalogs["HMO1"],
+        )
+        assert result.rows[0][0] >= 100
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            HealthcareGenerator(target_matrix=[[1.0]])
+        with pytest.raises(ReproError):
+            HealthcareGenerator(overlap_fraction=1.5)
+
+
+class TestOutbreakGenerator:
+    def generator(self):
+        return OutbreakGenerator(days=90, seed=13)
+
+    def test_deterministic(self):
+        assert self.generator().daily_counts() == self.generator().daily_counts()
+
+    def test_epidemic_has_a_peak(self):
+        counts = self.generator().daily_counts()
+        first_region = counts[self.generator().regions[0]]
+        peak = max(first_region)
+        assert peak > 5 * max(first_region[0], 1)
+
+    def test_travel_delay_orders_peaks(self):
+        generator = OutbreakGenerator(
+            regions=("a", "b", "c"), days=140, travel_delay=25, seed=17
+        )
+        peaks = generator.peak_day()
+        assert peaks["a"] < peaks["b"] < peaks["c"]
+
+    def test_case_records_match_counts(self):
+        generator = self.generator()
+        counts = generator.daily_counts()
+        records = generator.case_records(counts)
+        for region in generator.regions:
+            assert len(records[region]) == sum(counts[region])
+
+    def test_mortality_band(self):
+        generator = OutbreakGenerator(days=100, mortality=0.10, seed=19)
+        records = generator.case_records()
+        all_cases = [c for cases in records.values() for c in cases]
+        died = sum(1 for c in all_cases if c["outcome"] == "died")
+        rate = died / len(all_cases)
+        assert 0.04 < rate < 0.25  # SARS-like ~10%
+
+    def test_elderly_mortality_higher(self):
+        records = OutbreakGenerator(days=110, seed=23).case_records()
+        all_cases = [c for cases in records.values() for c in cases]
+        old = [c for c in all_cases if c["age"] >= 65]
+        young = [c for c in all_cases if c["age"] < 65]
+        rate = lambda group: sum(  # noqa: E731
+            1 for c in group if c["outcome"] == "died"
+        ) / max(1, len(group))
+        assert rate(old) > rate(young)
+
+    def test_catalogs(self):
+        generator = self.generator()
+        catalogs = generator.catalogs()
+        assert set(catalogs) == set(generator.regions)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            OutbreakGenerator(days=5)
+        with pytest.raises(ReproError):
+            OutbreakGenerator(regions=())

@@ -1,0 +1,153 @@
+"""Unit tests for the bound solver, the snooper, and the guard.
+
+The headline test reproduces Figure 1(d): the inferred intervals must agree
+with the paper's published intervals to within 1.5 percentage points per
+endpoint (the residual is multistart optimization slack).
+"""
+
+import pytest
+
+from repro.data import FIGURE1
+from repro.errors import ReproError
+from repro.inference import (
+    AggregateConstraints,
+    InferenceGuard,
+    PublishedAggregates,
+    SnoopingSource,
+    cell_bounds,
+)
+
+
+def figure1_published():
+    return PublishedAggregates(
+        FIGURE1.measures,
+        FIGURE1.sources,
+        FIGURE1.row_means,
+        FIGURE1.row_stds,
+        FIGURE1.source_means,
+        precision=FIGURE1.precision,
+    )
+
+
+class TestConstraints:
+    def test_hidden_cells(self):
+        constraints = AggregateConstraints(
+            n_rows=2,
+            n_cols=3,
+            known_columns={0: [1.0, 2.0]},
+            row_means=[1.0, 2.0],
+        )
+        assert constraints.hidden_cells == [(0, 1), (0, 2), (1, 1), (1, 2)]
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            AggregateConstraints(0, 3, {}, [])
+        with pytest.raises(ReproError):
+            AggregateConstraints(2, 3, {}, [1.0])  # wrong row_means length
+        with pytest.raises(ReproError):
+            AggregateConstraints(2, 3, {5: [1.0, 2.0]}, [1.0, 2.0])
+        with pytest.raises(ReproError):
+            AggregateConstraints(2, 3, {0: [1.0]}, [1.0, 2.0])
+
+    def test_no_hidden_cells_empty_result(self):
+        constraints = AggregateConstraints(
+            1, 2, {0: [1.0], 1: [2.0]}, row_means=[1.5]
+        )
+        assert cell_bounds(constraints) == {}
+
+
+class TestMeanOnlyBounds:
+    def test_two_columns_mean_pins_value(self):
+        # one known column + exact mean → the hidden value is determined
+        constraints = AggregateConstraints(
+            n_rows=1,
+            n_cols=2,
+            known_columns={0: [40.0]},
+            row_means=[50.0],
+            tolerance=0.0001,
+        )
+        (low, high) = cell_bounds(constraints, starts=3)[(0, 1)]
+        assert low == pytest.approx(60.0, abs=0.1)
+        assert high == pytest.approx(60.0, abs=0.1)
+
+    def test_three_columns_mean_leaves_slack(self):
+        constraints = AggregateConstraints(
+            n_rows=1,
+            n_cols=3,
+            known_columns={0: [40.0]},
+            row_means=[50.0],
+            tolerance=0.0001,
+        )
+        (low, high) = cell_bounds(constraints, starts=4)[(0, 1)]
+        # x1 + x2 = 110, both in [0,100] → each in [10, 100]
+        assert low == pytest.approx(10.0, abs=0.5)
+        assert high == pytest.approx(100.0, abs=0.5)
+
+
+class TestFigure1Reproduction:
+    def test_published_tables_match_paper(self):
+        published = PublishedAggregates.from_matrix(
+            FIGURE1.measures,
+            FIGURE1.sources,
+            FIGURE1.consistent_matrix,
+            precision=1,
+        )
+        assert published.row_means == list(FIGURE1.row_means)
+        assert published.row_stds == list(FIGURE1.row_stds)
+        assert published.source_means == list(FIGURE1.source_means)
+
+    def test_figure1d_intervals(self):
+        snooper = SnoopingSource(figure1_published(), "HMO1", FIGURE1.hmo1_values)
+        inferred = snooper.infer(starts=6, seed=0)
+        assert set(inferred) == set(FIGURE1.paper_intervals)
+        for cell, (paper_low, paper_high) in FIGURE1.paper_intervals.items():
+            low, high = inferred[cell]
+            assert low == pytest.approx(paper_low, abs=1.5), cell
+            assert high == pytest.approx(paper_high, abs=1.5), cell
+
+    def test_intervals_bracket_consistent_matrix(self):
+        snooper = SnoopingSource(figure1_published(), "HMO1", FIGURE1.hmo1_values)
+        inferred = snooper.infer(starts=6, seed=0)
+        for (measure, source), (low, high) in inferred.items():
+            i = FIGURE1.measures.index(measure)
+            j = FIGURE1.sources.index(source)
+            truth = FIGURE1.consistent_matrix[i][j]
+            assert low - 0.2 <= truth <= high + 0.2, (measure, source)
+
+    def test_snooper_validation(self):
+        published = figure1_published()
+        with pytest.raises(ReproError):
+            SnoopingSource(published, "HMO9", FIGURE1.hmo1_values)
+        with pytest.raises(ReproError):
+            SnoopingSource(published, "HMO1", [75.0])
+
+
+class TestGuard:
+    def test_figure1_release_blocked(self):
+        # Figure 1's aggregates ARE a breach: some intervals are ~1pt wide.
+        guard = InferenceGuard(min_interval_width=5.0, starts=2)
+        matrix = [list(row) for row in FIGURE1.consistent_matrix]
+        decision = guard.check(figure1_published(), matrix)
+        assert not decision.safe
+        assert decision.narrowest_width() < 5.0
+        assert any(v[0] == "HMO1" for v in decision.violations)
+
+    def test_coarse_release_allowed(self):
+        # Publishing to 0 decimals (tolerance 0.5) with no stds leaves
+        # intervals wide enough to pass a loose guard.
+        published = PublishedAggregates(
+            FIGURE1.measures,
+            FIGURE1.sources,
+            [round(m) for m in FIGURE1.row_means],
+            [round(s) for s in FIGURE1.row_stds],
+            [round(m) for m in FIGURE1.source_means],
+            precision=0,
+        )
+        strict = InferenceGuard(min_interval_width=2.0, starts=2)
+        matrix = [list(row) for row in FIGURE1.consistent_matrix]
+        decision = strict.check(published, matrix)
+        assert decision.narrowest_width() > 1.0
+
+    def test_guard_validation(self):
+        with pytest.raises(ReproError):
+            InferenceGuard(min_interval_width=0.0)

@@ -1,0 +1,64 @@
+"""Unit tests for the release planner."""
+
+import pytest
+
+from repro.data import FIGURE1
+from repro.errors import ReproError
+from repro.inference import InferenceGuard, ReleasePlanner
+
+
+@pytest.fixture(scope="module")
+def planner():
+    return ReleasePlanner(InferenceGuard(min_interval_width=5.0, starts=2))
+
+
+@pytest.fixture(scope="module")
+def figure1_plan(planner):
+    matrix = [list(row) for row in FIGURE1.consistent_matrix]
+    return planner.plan(
+        list(FIGURE1.measures), list(FIGURE1.sources), matrix
+    )
+
+
+class TestPlanner:
+    def test_figure1_full_release_rejected(self, figure1_plan):
+        chosen, rejected = figure1_plan
+        rejected_labels = [plan.label for plan in rejected]
+        assert "full-precision+sigma" in rejected_labels
+
+    def test_a_safe_release_found(self, figure1_plan):
+        chosen, _rejected = figure1_plan
+        assert chosen is not None
+        assert chosen.safe
+        # For the 5-point guard, rounding means and sigmas to integers
+        # already widens every inferable interval enough.
+        assert chosen.label == "integer+sigma"
+
+    def test_chosen_release_maximizes_utility(self, figure1_plan, planner):
+        chosen, rejected = figure1_plan
+        # everything rejected has strictly higher utility than the choice
+        assert all(plan.utility > chosen.utility for plan in rejected)
+
+    def test_ladder_is_utility_ordered(self, planner):
+        matrix = [list(row) for row in FIGURE1.consistent_matrix]
+        utilities = [
+            utility for _label, _published, utility in planner.candidates(
+                list(FIGURE1.measures), list(FIGURE1.sources), matrix
+            )
+        ]
+        assert utilities == sorted(utilities, reverse=True)
+
+    def test_matrix_validation(self, planner):
+        with pytest.raises(ReproError):
+            planner.plan(["m1", "m2"], ["s1"], [[1.0]])
+
+    def test_very_strict_guard_rejects_everything(self):
+        strict = ReleasePlanner(
+            InferenceGuard(min_interval_width=99.0, starts=1)
+        )
+        matrix = [list(row) for row in FIGURE1.consistent_matrix]
+        chosen, rejected = strict.plan(
+            list(FIGURE1.measures), list(FIGURE1.sources), matrix
+        )
+        assert chosen is None
+        assert len(rejected) == 5

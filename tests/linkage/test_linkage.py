@@ -1,0 +1,214 @@
+"""Unit tests for blocking, Fellegi–Sunter, private linkage, and dedup."""
+
+import random
+
+import pytest
+
+from repro.crypto import TEST_GROUP
+from repro.errors import ReproError
+from repro.linkage import (
+    BloomRecordEncoder,
+    FellegiSunter,
+    FieldComparison,
+    block_records,
+    bloom_link,
+    deduplicate,
+    link_tables,
+    psi_link_exact,
+)
+from repro.linkage.blocking import candidate_pairs, reduction_ratio, soundex
+
+
+class TestSoundexBlocking:
+    def test_soundex_classics(self):
+        assert soundex("Robert") == "R163"
+        assert soundex("Rupert") == "R163"
+        assert soundex("Ashcraft") == "A261"
+        assert soundex("Tymczak") == "T522"
+        assert soundex("Pfister") == "P236"
+
+    def test_soundex_empty(self):
+        assert soundex("") == "0000"
+
+    def test_block_by_field(self):
+        records = [{"name": "Al", "zip": "1"}, {"name": "Bo", "zip": "1"},
+                   {"name": "Cy", "zip": "2"}, {"name": "Dee", "zip": None}]
+        blocks = block_records(records, "zip")
+        assert len(blocks["1"]) == 2
+        assert len(blocks["2"]) == 1
+        assert sum(len(v) for v in blocks.values()) == 3  # None dropped
+
+    def test_block_by_callable(self):
+        records = [{"name": "Robert"}, {"name": "Rupert"}, {"name": "Alice"}]
+        blocks = block_records(records, lambda r: soundex(r["name"]))
+        assert len(blocks["R163"]) == 2
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ReproError):
+            block_records([], 42)
+
+    def test_candidate_pairs_and_reduction(self):
+        a = [{"k": "x", "v": 1}, {"k": "y", "v": 2}]
+        b = [{"k": "x", "v": 3}, {"k": "z", "v": 4}]
+        pairs = list(candidate_pairs(a, b, "k"))
+        assert len(pairs) == 1
+        assert reduction_ratio(2, 2, len(pairs)) == 0.75
+
+
+def classifier():
+    return FellegiSunter(
+        [
+            FieldComparison("name", m=0.95, u=0.02),
+            FieldComparison("dob", m=0.98, u=0.01, similarity=lambda a, b: float(a == b), threshold=1.0),
+        ],
+        upper=4.0,
+        lower=0.0,
+    )
+
+
+class TestFellegiSunter:
+    def test_exact_pair_is_match(self):
+        a = {"name": "alice smith", "dob": "1970-01-01"}
+        assert classifier().classify(a, dict(a)) == "match"
+
+    def test_typo_pair_still_matches(self):
+        a = {"name": "alice smith", "dob": "1970-01-01"}
+        b = {"name": "alice smyth", "dob": "1970-01-01"}
+        assert classifier().classify(a, b) == "match"
+
+    def test_different_pair_is_non_match(self):
+        a = {"name": "alice smith", "dob": "1970-01-01"}
+        b = {"name": "bob jones", "dob": "1988-12-31"}
+        assert classifier().classify(a, b) == "non-match"
+
+    def test_missing_field_neutral(self):
+        c = classifier()
+        a = {"name": "alice smith", "dob": None}
+        b = {"name": "alice smith", "dob": "1970-01-01"}
+        partial = c.score(a, b)
+        full = c.score({**a, "dob": "1970-01-01"}, b)
+        assert partial < full
+        assert partial > 0
+
+    def test_weights_signs(self):
+        fc = FieldComparison("f", m=0.9, u=0.1)
+        assert fc.agreement_weight > 0
+        assert fc.disagreement_weight < 0
+
+    def test_invalid_mu_rejected(self):
+        with pytest.raises(ReproError):
+            FieldComparison("f", m=0.1, u=0.5)
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ReproError):
+            FellegiSunter([FieldComparison("f")], upper=0.0, lower=1.0)
+
+    def test_possible_band(self):
+        c = FellegiSunter([FieldComparison("name", m=0.9, u=0.1)], upper=10.0, lower=-10.0)
+        a = {"name": "alice"}
+        assert c.classify(a, dict(a)) == "possible"
+        assert c.is_match(a, dict(a), accept_possible=True)
+
+
+class TestBloomLinkage:
+    def encoder(self):
+        return BloomRecordEncoder(["name", "dob"], size=512, num_hashes=4)
+
+    def test_exact_duplicates_link(self):
+        a = [{"name": "alice smith", "dob": "1970-01-01"}]
+        b = [{"name": "alice smith", "dob": "1970-01-01"}]
+        links = bloom_link(a, b, self.encoder(), threshold=0.9)
+        assert len(links) == 1
+        assert links[0][2] == pytest.approx(1.0)
+
+    def test_typos_link_above_lower_threshold(self):
+        a = [{"name": "alice smith", "dob": "1970-01-01"}]
+        b = [{"name": "alice smyth", "dob": "1970-01-01"}]
+        links = bloom_link(a, b, self.encoder(), threshold=0.8)
+        assert len(links) == 1
+
+    def test_distinct_records_do_not_link(self):
+        a = [{"name": "alice smith", "dob": "1970-01-01"}]
+        b = [{"name": "pedro gomez", "dob": "1955-06-30"}]
+        assert bloom_link(a, b, self.encoder(), threshold=0.8) == []
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(ReproError):
+            bloom_link([], [], self.encoder(), threshold=0.0)
+
+    def test_encoder_requires_fields(self):
+        with pytest.raises(ReproError):
+            BloomRecordEncoder([])
+
+
+class TestPsiLinkage:
+    def test_exact_linkage(self):
+        a = [{"name": "Alice", "dob": "1970-01-01"},
+             {"name": "Bob", "dob": "1980-02-02"}]
+        b = [{"name": "alice ", "dob": "1970-01-01"},  # normalisation absorbs case/space
+             {"name": "Cara", "dob": "1990-03-03"}]
+        shared, matched_a, matched_b = psi_link_exact(
+            a, b, ["name", "dob"], group=TEST_GROUP, rng=random.Random(5)
+        )
+        assert len(shared) == 1
+        assert matched_a[0]["name"] == "Alice"
+        assert matched_b[0]["name"] == "alice "
+
+    def test_no_matches(self):
+        shared, ma, mb = psi_link_exact(
+            [{"name": "X"}], [{"name": "Y"}], ["name"],
+            group=TEST_GROUP, rng=random.Random(5),
+        )
+        assert shared == [] and ma == [] and mb == []
+
+
+class TestDedup:
+    def test_exact_and_fuzzy_duplicates_merged(self):
+        records = [
+            {"name": "alice smith", "dob": "1970-01-01", "hmo": None},
+            {"name": "alice smyth", "dob": "1970-01-01", "hmo": "HMO1"},
+            {"name": "bob jones", "dob": "1988-12-31", "hmo": "HMO2"},
+        ]
+        deduped, clusters = deduplicate(records, classifier())
+        assert len(deduped) == 2
+        assert [0, 1] in clusters
+        merged = next(r for r in deduped if r["name"] == "alice smith")
+        assert merged["hmo"] == "HMO1"  # missing field filled from duplicate
+
+    def test_blocking_limits_comparisons(self):
+        records = [
+            {"name": "alice smith", "dob": "1970-01-01", "zip": "15213"},
+            {"name": "alice smith", "dob": "1970-01-01", "zip": "15213"},
+            {"name": "alice smith", "dob": "1970-01-01", "zip": "99999"},
+        ]
+        deduped, clusters = deduplicate(records, classifier(), blocking_key="zip")
+        # third record is identical but in a different block → never compared
+        assert len(deduped) == 2
+
+    def test_transitive_clusters(self):
+        c = FellegiSunter(
+            [FieldComparison("name", m=0.95, u=0.02)], upper=3.0, lower=0.0
+        )
+        records = [
+            {"name": "jonathan doe"},
+            {"name": "jonathon doe"},
+            {"name": "jonathon do"},
+        ]
+        _deduped, clusters = deduplicate(records, c)
+        assert clusters == [[0, 1, 2]]
+
+    def test_custom_merge(self):
+        records = [{"name": "a", "v": 1}, {"name": "a", "v": 2}]
+        c = FellegiSunter([FieldComparison("name", m=0.95, u=0.02)], upper=3.0)
+        deduped, _ = deduplicate(
+            records, c, merge=lambda cluster: {"n": len(cluster)}
+        )
+        assert deduped == [{"n": 2}]
+
+    def test_link_tables(self):
+        a = [{"name": "alice smith", "dob": "1970-01-01"}]
+        b = [{"name": "alice smyth", "dob": "1970-01-01"},
+             {"name": "zed zorro", "dob": "2000-01-01"}]
+        links = link_tables(a, b, classifier())
+        assert len(links) == 1
+        assert links[0][2] > 0

@@ -1,0 +1,106 @@
+"""Unit tests for string similarity measures."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.linkage import (
+    jaro_similarity,
+    jaro_winkler,
+    levenshtein,
+    ngram_dice,
+    normalized_levenshtein,
+)
+from repro.linkage.similarity import record_qgrams
+
+
+class TestLevenshtein:
+    def test_identical(self):
+        assert levenshtein("kitten", "kitten") == 0
+
+    def test_classic_example(self):
+        assert levenshtein("kitten", "sitting") == 3
+
+    def test_empty_strings(self):
+        assert levenshtein("", "abc") == 3
+        assert levenshtein("abc", "") == 3
+        assert levenshtein("", "") == 0
+
+    def test_symmetry(self):
+        assert levenshtein("flaw", "lawn") == levenshtein("lawn", "flaw")
+
+    def test_normalized_bounds(self):
+        assert normalized_levenshtein("abc", "abc") == 1.0
+        assert normalized_levenshtein("abc", "xyz") == 0.0
+        assert normalized_levenshtein("", "") == 1.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+
+    def test_classic_martha_marhta(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_classic_dixon_dicksonx(self):
+        assert jaro_similarity("dixon", "dicksonx") == pytest.approx(0.7667, abs=1e-3)
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_no_matches(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_winkler_boosts_shared_prefix(self):
+        base = jaro_similarity("martha", "marhta")
+        boosted = jaro_winkler("martha", "marhta")
+        assert boosted > base
+
+    def test_winkler_classic_value(self):
+        assert jaro_winkler("martha", "marhta") == pytest.approx(0.9611, abs=1e-3)
+
+    def test_winkler_no_common_prefix_equals_jaro(self):
+        assert jaro_winkler("abcd", "xbcd") == jaro_similarity("abcd", "xbcd")
+
+
+class TestNgrams:
+    def test_dice_identical(self):
+        assert ngram_dice("smith", "smith") == 1.0
+
+    def test_dice_disjoint(self):
+        assert ngram_dice("aaa", "zzz") == 0.0
+
+    def test_dice_empty(self):
+        assert ngram_dice("", "") == 1.0
+        assert ngram_dice("", "a") == 0.0
+
+    def test_record_qgrams_field_tagged(self):
+        grams = record_qgrams(["ab", "ab"])
+        # same value in two fields yields distinct tagged grams
+        assert any(g.startswith("0:") for g in grams)
+        assert any(g.startswith("1:") for g in grams)
+
+    def test_record_qgrams_case_insensitive(self):
+        assert record_qgrams(["John"]) == record_qgrams(["john"])
+
+
+_text = st.text(alphabet="abcdef", max_size=12)
+
+
+@given(_text, _text)
+def test_levenshtein_triangle_like_bounds(a, b):
+    """Distance is bounded by the longer string and 0 iff equal."""
+    d = levenshtein(a, b)
+    assert 0 <= d <= max(len(a), len(b))
+    assert (d == 0) == (a == b)
+
+
+@given(_text, _text)
+def test_jaro_symmetric_and_bounded(a, b):
+    s = jaro_similarity(a, b)
+    assert 0.0 <= s <= 1.0
+    assert s == pytest.approx(jaro_similarity(b, a))
+
+
+@given(_text, _text)
+def test_jaro_winkler_at_least_jaro(a, b):
+    assert jaro_winkler(a, b) >= jaro_similarity(a, b) - 1e-12

@@ -1,0 +1,97 @@
+"""Integration tests: attacks that span sources, and the mediator's answer.
+
+The paper's §4 open problem is preventing a *set* of queries — possibly
+against different sources — from jointly violating privacy.  Source-side
+audits only see their own traffic; these tests verify the mediator-level
+sequence guard catches what the per-source defenses cannot.
+"""
+
+import pytest
+
+from repro import AuditRefusal, PrivateIye
+from repro.relational import Table
+
+POLICIES = """
+VIEW s1_private {{ PRIVATE //patient/salary FORM aggregate; }}
+VIEW s2_private {{ PRIVATE //patient/salary FORM aggregate; }}
+
+POLICY {name} DEFAULT deny {{
+    ALLOW //patient/salary FOR research FORM aggregate MAXLOSS 0.9;
+    ALLOW //patient/dept FOR research;
+    ALLOW //patient/age FOR research;
+}}
+"""
+
+
+def build_system(max_probes=3):
+    system = PrivateIye()
+    system.engine.max_distinct_probes = max_probes
+    for index, name in enumerate(("s1", "s2")):
+        system.load_policies(
+            POLICIES.format(name=name),
+            view_source={f"s{index + 1}_private": name},
+        )
+        rows = [
+            {"dept": ["sales", "eng"][i % 2], "age": 25 + i,
+             "salary": 1000.0 + 100 * i + index * 37}
+            for i in range(40)
+        ]
+        system.add_relational_source(name, Table.from_dicts("patients", rows))
+    return system
+
+
+class TestCrossSourceSequenceGuard:
+    def test_probing_across_sources_counted_together(self):
+        # The snooper alternates sources via FROM hints; the per-source
+        # auditors each see only half the sequence, but the mediator's
+        # history sees it all.
+        system = build_system(max_probes=3)
+        probes = [
+            ("s1", "//patient/age > 30"),
+            ("s2", "//patient/age > 32"),
+            ("s1", "//patient/age > 34"),
+        ]
+        for source, predicate in probes:
+            system.query(
+                f"SELECT AVG(//patient/salary) FROM {source} "
+                f"WHERE {predicate} PURPOSE research",
+                requester="snoop",
+            )
+        with pytest.raises(AuditRefusal, match="probed"):
+            system.query(
+                "SELECT AVG(//patient/salary) FROM s2 "
+                "WHERE //patient/age > 36 PURPOSE research",
+                requester="snoop",
+            )
+
+    def test_refused_probe_recorded_in_history(self):
+        system = build_system(max_probes=1)
+        system.query(
+            "SELECT AVG(//patient/salary) WHERE //patient/age > 30 "
+            "PURPOSE research",
+            requester="snoop",
+        )
+        with pytest.raises(AuditRefusal):
+            system.query(
+                "SELECT AVG(//patient/salary) WHERE //patient/age > 31 "
+                "PURPOSE research",
+                requester="snoop",
+            )
+        entries = system.history("snoop")
+        assert entries[-1].refused
+
+    def test_public_attribute_probing_unbounded(self):
+        system = build_system(max_probes=1)
+        for i in range(5):
+            system.query(
+                f"SELECT COUNT(*) WHERE //patient/age > {30 + i} "
+                "PURPOSE research",
+                requester="analyst",
+            )
+
+    def test_identical_repeats_never_blocked(self):
+        system = build_system(max_probes=1)
+        text = ("SELECT AVG(//patient/salary) WHERE //patient/age > 30 "
+                "PURPOSE research")
+        for _ in range(5):
+            system.query(text, requester="refresher")

@@ -1,0 +1,226 @@
+"""Unit tests for fragmenter, integrator, control, history, warehouse."""
+
+import pytest
+
+from repro.errors import AuditRefusal, IntegrationError, ReproError
+from repro.mediator import (
+    MediatorHistory,
+    PrivacyControl,
+    SequenceGuard,
+    Warehouse,
+)
+from repro.mediator.fragmenter import QueryFragmenter
+from repro.mediator.mediated_schema import MediatedSchema, SourceExport
+from repro.mediator.schema_matching import describe_attribute
+from repro.policy import DisclosureForm
+from repro.query import parse_piql
+
+SECRET = "s"
+
+
+def schema():
+    def d(name, values):
+        return describe_attribute(name, values, SECRET)
+
+    export_a = SourceExport(
+        "HMO1",
+        {"dob": d("dob", ["1970-01-01"]), "hba1c": d("hba1c", [70.0, 80.0]),
+         "hmo": d("hmo", ["HMO1"])},
+        {"dob": DisclosureForm.RANGE, "hba1c": DisclosureForm.AGGREGATE,
+         "hmo": DisclosureForm.EXACT},
+    )
+    export_b = SourceExport(
+        "LAB1",
+        {"dateOfBirth": d("dateOfBirth", ["1975-05-05"]),
+         "hba1c": d("hba1c", [72.0, 81.0])},
+        {"dateOfBirth": DisclosureForm.EXACT,
+         "hba1c": DisclosureForm.AGGREGATE},
+    )
+    return MediatedSchema.build([export_a, export_b])
+
+
+class TestFragmenter:
+    def test_relevant_sources_selected(self):
+        fragmenter = QueryFragmenter(schema())
+        plan = fragmenter.fragment(parse_piql("SELECT AVG(//patient/hba1c)"))
+        assert plan.sources == ["HMO1", "LAB1"]
+
+    def test_paths_translated_to_local_names(self):
+        fragmenter = QueryFragmenter(schema())
+        plan = fragmenter.fragment(parse_piql("SELECT //patient/dob"))
+        assert "//patient/dob" in repr(plan.fragments["HMO1"])
+        assert "//patient/dateOfBirth" in repr(plan.fragments["LAB1"])
+
+    def test_sources_missing_attributes_skipped(self):
+        fragmenter = QueryFragmenter(schema())
+        plan = fragmenter.fragment(parse_piql("SELECT //patient/hmo"))
+        assert plan.sources == ["HMO1"]
+        assert "LAB1" in plan.skipped_sources
+
+    def test_source_hint_restricts(self):
+        fragmenter = QueryFragmenter(schema())
+        plan = fragmenter.fragment(
+            parse_piql("SELECT //patient/dob FROM LAB1")
+        )
+        assert plan.sources == ["LAB1"]
+
+    def test_bad_hint_rejected(self):
+        fragmenter = QueryFragmenter(schema())
+        with pytest.raises(IntegrationError, match="hinted source"):
+            fragmenter.fragment(parse_piql("SELECT //patient/hmo FROM LAB1"))
+
+    def test_unresolvable_attribute_rejected(self):
+        fragmenter = QueryFragmenter(schema())
+        with pytest.raises(IntegrationError, match="suppressed"):
+            fragmenter.fragment(parse_piql("SELECT //patient/zzzz"))
+
+    def test_privacy_clauses_propagate_to_fragments(self):
+        fragmenter = QueryFragmenter(schema())
+        plan = fragmenter.fragment(parse_piql(
+            "SELECT AVG(//hba1c) PURPOSE outbreak-surveillance MAXLOSS 0.4"
+        ))
+        fragment = plan.fragments["HMO1"]
+        assert fragment.purpose == "outbreak-surveillance"
+        assert fragment.max_loss == pytest.approx(0.4)
+
+
+class TestPrivacyControl:
+    def test_aggregated_loss_compounds(self):
+        control = PrivacyControl()
+        assert control.aggregated_loss({"a": 0.5, "b": 0.5}) == pytest.approx(0.75)
+        assert control.aggregated_loss({}) == 0.0
+
+    def test_loss_validation(self):
+        with pytest.raises(ReproError):
+            PrivacyControl().aggregated_loss({"a": 1.5})
+
+    def test_verify_passes_within_budgets(self):
+        control = PrivacyControl()
+        rows = [{"_source": "a"}, {"_source": "b"}]
+        kept, aggregated, notices = control.verify(
+            rows, {"a": 0.1, "b": 0.1}, {"a": 0.5, "b": 0.5}
+        )
+        assert len(kept) == 2
+        assert notices == []
+        assert aggregated == pytest.approx(0.19)
+
+    def test_verify_withholds_violating_source(self):
+        control = PrivacyControl()
+        rows = [{"_source": "a"}, {"_source": "b"}]
+        # combined loss 0.75 exceeds a's budget 0.6; dropping b (higher
+        # loss? equal — tie broken by name) brings a within budget.
+        kept, aggregated, notices = control.verify(
+            rows, {"a": 0.5, "b": 0.5}, {"a": 0.6, "b": 1.0}
+        )
+        assert len(notices) == 1
+        assert len(kept) == 1
+        assert aggregated <= 0.6
+
+    def test_merged_rows_need_all_sources(self):
+        control = PrivacyControl()
+        rows = [{"_source": "a+b"}]
+        kept, _aggregated, _notices = control.verify(
+            rows, {"a": 0.5, "b": 0.5}, {"a": 0.6, "b": 1.0}
+        )
+        assert kept == []  # merged row includes a withheld source
+
+
+class TestHistoryGuard:
+    def test_history_records(self):
+        history = MediatorHistory()
+        history.record("alice", ["hba1c"], "p1", True)
+        history.record("bob", ["dob"], "p2", False)
+        assert len(history) == 2
+        assert len(history.entries("alice")) == 1
+
+    def test_guard_allows_repeats_of_same_query(self):
+        history = MediatorHistory()
+        guard = SequenceGuard(history, {"hba1c"}, max_distinct_probes=2)
+        for _ in range(5):
+            guard.check("alice", ["hba1c"], "sig-1", True)
+            history.record("alice", ["hba1c"], "sig-1", True)
+
+    def test_guard_blocks_distinct_probes(self):
+        history = MediatorHistory()
+        guard = SequenceGuard(history, {"hba1c"}, max_distinct_probes=2)
+        for i in range(2):
+            signature = f"sig-{i}"
+            guard.check("alice", ["hba1c"], signature, True)
+            history.record("alice", ["hba1c"], signature, True)
+        with pytest.raises(AuditRefusal, match="probed"):
+            guard.check("alice", ["hba1c"], "sig-9", True)
+
+    def test_guard_ignores_public_attributes(self):
+        guard = SequenceGuard(MediatorHistory(), {"hba1c"}, 1)
+        for i in range(5):
+            guard.check("alice", ["hmo"], f"sig-{i}", True)
+
+    def test_guard_ignores_record_level(self):
+        guard = SequenceGuard(MediatorHistory(), {"hba1c"}, 1)
+        for i in range(5):
+            guard.check("alice", ["hba1c"], f"sig-{i}", False)
+
+    def test_guard_is_per_requester(self):
+        history = MediatorHistory()
+        guard = SequenceGuard(history, {"x"}, 1)
+        guard.check("alice", ["x"], "s1", True)
+        history.record("alice", ["x"], "s1", True)
+        guard.check("bob", ["x"], "s2", True)  # bob unaffected by alice
+
+    def test_guard_validation(self):
+        with pytest.raises(ReproError):
+            SequenceGuard(MediatorHistory(), set(), 0)
+
+
+class TestWarehouse:
+    def compute_counter(self):
+        calls = {"n": 0}
+
+        def compute():
+            calls["n"] += 1
+            return f"result-{calls['n']}"
+
+        return compute, calls
+
+    def test_virtual_always_recomputes(self):
+        warehouse = Warehouse(mode="virtual")
+        compute, calls = self.compute_counter()
+        warehouse.answer("q", compute, 3)
+        warehouse.answer("q", compute, 3)
+        assert calls["n"] == 2
+        assert warehouse.total_source_calls == 6
+
+    def test_warehouse_serves_cache_until_refresh(self):
+        warehouse = Warehouse(mode="warehouse", refresh_interval=5)
+        compute, calls = self.compute_counter()
+        warehouse.answer("q", compute, 3)
+        warehouse.tick(3)
+        result, stats = warehouse.answer("q", compute, 3)
+        assert stats.from_cache and stats.staleness == 3
+        warehouse.tick(10)
+        _result, stats = warehouse.answer("q", compute, 3)
+        assert not stats.from_cache
+        assert calls["n"] == 2
+
+    def test_hybrid_recomputes_when_stale(self):
+        warehouse = Warehouse(mode="hybrid", max_staleness=2)
+        compute, calls = self.compute_counter()
+        warehouse.answer("q", compute, 3)
+        warehouse.tick(1)
+        _result, stats = warehouse.answer("q", compute, 3)
+        assert stats.from_cache
+        warehouse.tick(5)
+        _result, stats = warehouse.answer("q", compute, 3)
+        assert not stats.from_cache
+
+    def test_hybrid_emergency_forces_fresh(self):
+        warehouse = Warehouse(mode="hybrid", max_staleness=100)
+        compute, calls = self.compute_counter()
+        warehouse.answer("q", compute, 3)
+        _result, stats = warehouse.answer("q", compute, 3, emergency=True)
+        assert not stats.from_cache
+        assert calls["n"] == 2
+
+    def test_mode_validation(self):
+        with pytest.raises(ReproError):
+            Warehouse(mode="psychic")

@@ -1,0 +1,88 @@
+"""Unit tests for mediation-engine error paths and session plumbing."""
+
+import pytest
+
+from repro import IntegrationError, PrivateIye, ReproError, Session
+from repro.access import Permission, RbacPolicy, Role
+from repro.errors import AccessDenied, PrivacyViolation
+from repro.mediator import MediationEngine
+from repro.relational import Table
+
+POLICY = """
+POLICY solo DEFAULT deny {
+    ALLOW //patient/age FOR research;
+}
+"""
+
+
+def solo_system(rbac=None):
+    system = PrivateIye()
+    system.load_policies(POLICY)
+    table = Table.from_dicts(
+        "patients", [{"age": 30 + i, "name": f"p{i}"} for i in range(10)]
+    )
+    system.add_relational_source("solo", table, rbac=rbac)
+    return system
+
+
+class TestEngineErrors:
+    def test_no_sources_registered(self):
+        engine = MediationEngine()
+        with pytest.raises(IntegrationError, match="no sources"):
+            engine.build_schema()
+        with pytest.raises(IntegrationError):
+            engine.pose("SELECT //x")
+
+    def test_bad_query_type(self):
+        system = solo_system()
+        with pytest.raises(IntegrationError, match="PIQL"):
+            system.engine.pose(42)
+
+    def test_unanswerable_attribute(self):
+        system = solo_system()
+        with pytest.raises(IntegrationError):
+            system.query("SELECT //patient/zzzzz PURPOSE research")
+
+    def test_all_sources_refusing_reports_reasons(self):
+        system = solo_system()
+        with pytest.raises(PrivacyViolation, match="solo:"):
+            system.query("SELECT //patient/age PURPOSE marketing")
+
+    def test_reregistering_source_rebuilds_schema(self):
+        system = solo_system()
+        assert "age" in system.vocabulary()
+        extra = Table.from_dicts("patients", [{"age": 9, "zipcode": "x"}])
+        system.add_relational_source("other", extra)
+        # schema invalidated and lazily rebuilt with the new source
+        assert "zipcode" in system.vocabulary()
+
+
+class TestSessionsAndRbac:
+    def test_session_validation(self):
+        with pytest.raises(ReproError):
+            Session("")
+        with pytest.raises(ReproError):
+            Session("x", default_max_loss=2.0)
+
+    def test_session_counts_queries(self):
+        system = solo_system()
+        system.query("SELECT //patient/age PURPOSE research", requester="r")
+        system.query("SELECT COUNT(*) PURPOSE research", requester="r")
+        assert system.session("r").queries_posed == 2
+
+    def test_rbac_role_gates_source_access(self):
+        rbac = RbacPolicy()
+        rbac.add_role(Role("reader", [Permission("read", "patients.*")]))
+        rbac.assign("alice", "reader")
+        system = solo_system(rbac=rbac)
+        result = system.query(
+            "SELECT //patient/age PURPOSE research", requester="alice"
+        )
+        assert len(result.rows) == 10
+        # mallory holds no role: the source raises AccessDenied, which is
+        # not a policy refusal — it propagates (fail fast, per §2's split
+        # between access control and privacy control).
+        with pytest.raises(AccessDenied):
+            system.query(
+                "SELECT //patient/age PURPOSE research", requester="mallory"
+            )

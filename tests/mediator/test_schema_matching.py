@@ -1,0 +1,155 @@
+"""Unit tests for private schema matching and mediated schema generation."""
+
+import pytest
+
+from repro.errors import IntegrationError
+from repro.mediator import (
+    InstanceProfile,
+    MediatedSchema,
+    PrivateSchemaMatcher,
+    SourceExport,
+    open_name_matcher_score,
+)
+from repro.mediator.schema_matching import describe_attribute
+from repro.policy import DisclosureForm
+
+SECRET = "shared-match-secret"
+
+
+def descriptor(name, values):
+    return describe_attribute(name, values, SECRET)
+
+
+class TestInstanceProfile:
+    def test_numeric_profile(self):
+        profile = InstanceProfile.of_values([70.0, 80.0, 90.0])
+        assert profile.kind == "numeric"
+        assert profile.mean == 80.0
+
+    def test_profile_rounds_moments(self):
+        profile = InstanceProfile.of_values([70.123456, 70.123457])
+        assert profile.mean == round(profile.mean, 1)
+
+    def test_bool_profile(self):
+        profile = InstanceProfile.of_values([True, False, True, True])
+        assert profile.kind == "bool"
+        assert profile.mean == pytest.approx(0.8, abs=0.06)
+
+    def test_text_profile(self):
+        profile = InstanceProfile.of_values(["1970-01-01", "1980-02-02"])
+        assert profile.kind == "text"
+        assert profile.digit_ratio > 0.5
+
+    def test_empty_profile(self):
+        assert InstanceProfile.of_values([]).kind == "text"
+
+    def test_similarity_same_kind(self):
+        a = InstanceProfile.of_values([70.0, 80.0, 90.0])
+        b = InstanceProfile.of_values([71.0, 81.0, 89.0])
+        assert a.similarity(b) > 0.8
+
+    def test_similarity_cross_kind_zero(self):
+        a = InstanceProfile.of_values([70.0])
+        b = InstanceProfile.of_values(["x"])
+        assert a.similarity(b) == 0.0
+
+
+class TestPrivateMatcher:
+    def test_synonym_names_match_through_hashes(self):
+        matcher = PrivateSchemaMatcher()
+        a = descriptor("dob", ["1970-01-01", "1980-02-02"])
+        b = descriptor("dateOfBirth", ["1975-05-05", "1982-03-03"])
+        assert matcher.score(a, b) > 0.5
+
+    def test_unrelated_names_do_not_match(self):
+        matcher = PrivateSchemaMatcher()
+        a = descriptor("dob", ["1970-01-01"])
+        b = descriptor("hba1c", [75.0, 80.0])
+        assert matcher.score(a, b) < matcher.threshold
+
+    def test_no_raw_names_in_descriptor(self):
+        d = descriptor("dateOfBirth", ["1970-01-01"])
+        for token in d.hashed_tokens:
+            assert "date" not in token.lower() or len(token) == 64
+            assert token != "dateOfBirth"
+
+    def test_match_is_one_to_one(self):
+        matcher = PrivateSchemaMatcher()
+        left = {
+            "dob": descriptor("dob", ["1970-01-01"]),
+            "zip": descriptor("zip", ["15213"]),
+        }
+        right = {
+            "dateOfBirth": descriptor("dateOfBirth", ["1980-01-01"]),
+            "zipCode": descriptor("zipCode", ["15217"]),
+        }
+        correspondences = matcher.match(left, right)
+        assert correspondences["dob"][0] == "dateOfBirth"
+        assert correspondences["zip"][0] == "zipCode"
+
+    def test_open_baseline(self):
+        assert open_name_matcher_score("dob", "dateOfBirth") == 1.0
+        assert open_name_matcher_score("dob", "hba1c") < 0.5
+
+    def test_weight_validation(self):
+        with pytest.raises(IntegrationError):
+            PrivateSchemaMatcher(name_weight=1.5)
+
+
+class TestMediatedSchema:
+    def exports(self):
+        export_a = SourceExport(
+            "HMO1",
+            {
+                "dob": descriptor("dob", ["1970-01-01", "1980-02-02"]),
+                "hba1c": descriptor("hba1c", [70.0, 80.0, 90.0]),
+            },
+            {"dob": DisclosureForm.RANGE, "hba1c": DisclosureForm.AGGREGATE},
+        )
+        export_b = SourceExport(
+            "HMO2",
+            {
+                "dateOfBirth": descriptor(
+                    "dateOfBirth", ["1975-05-05", "1985-06-06"]
+                ),
+                "cholesterol": descriptor("cholesterol", [150.0, 180.0]),
+            },
+            {"dateOfBirth": DisclosureForm.EXACT,
+             "cholesterol": DisclosureForm.EXACT},
+        )
+        return [export_a, export_b]
+
+    def test_build_merges_synonyms(self):
+        schema = MediatedSchema.build(self.exports())
+        dob = schema.attribute("dob")
+        assert dob.local_names == {"HMO1": "dob", "HMO2": "dateOfBirth"}
+
+    def test_form_is_most_restrictive(self):
+        schema = MediatedSchema.build(self.exports())
+        assert schema.attribute("dob").form is DisclosureForm.RANGE
+
+    def test_unmatched_attributes_kept_separate(self):
+        schema = MediatedSchema.build(self.exports())
+        assert "cholesterol" in schema.vocabulary()
+        assert schema.attribute("cholesterol").local_names == {
+            "HMO2": "cholesterol"
+        }
+
+    def test_sources_for(self):
+        schema = MediatedSchema.build(self.exports())
+        assert schema.sources_for(["dob"]) == ["HMO1", "HMO2"]
+        assert schema.sources_for(["hba1c"]) == ["HMO1"]
+        assert schema.sources_for(["dob", "cholesterol"]) == ["HMO2"]
+        assert schema.sources_for([]) == ["HMO1", "HMO2"]
+
+    def test_local_name_lookup(self):
+        schema = MediatedSchema.build(self.exports())
+        assert schema.local_name("dob", "HMO2") == "dateOfBirth"
+        with pytest.raises(IntegrationError):
+            schema.local_name("hba1c", "HMO2")
+        with pytest.raises(IntegrationError):
+            schema.attribute("ghost")
+
+    def test_empty_exports_rejected(self):
+        with pytest.raises(IntegrationError):
+            MediatedSchema.build([])

@@ -1,0 +1,171 @@
+"""Unit tests for privacy/utility metrics and the R-U map."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.anonymity import interval_hierarchy
+from repro.errors import ReproError
+from repro.metrics import (
+    RUPoint,
+    discernibility,
+    disclosure_risk,
+    distortion,
+    entropy_loss,
+    generalization_precision_loss,
+    interval_shrink_loss,
+    ru_frontier,
+    suppression_ratio,
+)
+from repro.metrics.privacy_loss import aggregate_interval_loss
+from repro.metrics.ru_map import pick_operating_point
+
+
+class TestIntervalShrink:
+    def test_no_learning(self):
+        assert interval_shrink_loss((0, 100), (0, 100)) == 0.0
+
+    def test_pinned_value(self):
+        assert interval_shrink_loss((0, 100), (42, 42)) == 1.0
+
+    def test_partial(self):
+        assert interval_shrink_loss((0, 100), (40, 60)) == pytest.approx(0.8)
+
+    def test_figure1_interval(self):
+        # HMO2 HbA1c in [87.2, 88.5] out of [0, 100] → ~98.7% privacy lost
+        assert interval_shrink_loss((0, 100), (87.2, 88.5)) == pytest.approx(
+            0.987, abs=1e-3
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            interval_shrink_loss((5, 5), (1, 2))
+        with pytest.raises(ReproError):
+            interval_shrink_loss((0, 10), (5, 3))
+
+    def test_aggregate_takes_worst(self):
+        loss = aggregate_interval_loss((0, 100), [(0, 100), (40, 60), (50, 51)])
+        assert loss == pytest.approx(0.99)
+
+    def test_aggregate_empty(self):
+        assert aggregate_interval_loss((0, 100), []) == 0.0
+
+
+class TestEntropyAndRisk:
+    def test_entropy_loss_uniform_to_point(self):
+        assert entropy_loss([0.25] * 4, [1.0, 0, 0, 0]) == 1.0
+
+    def test_entropy_loss_no_change(self):
+        assert entropy_loss([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_entropy_loss_validation(self):
+        with pytest.raises(ReproError):
+            entropy_loss([1.0, 0.0], [0.5, 0.5])  # zero-entropy prior
+        with pytest.raises(ReproError):
+            entropy_loss([], [])
+
+    def test_disclosure_risk(self):
+        records = [{"zip": "a"}, {"zip": "a"}, {"zip": "b"}]
+        # class sizes 2 and 1 → risk = (2*(1/2) + 1*1)/3 = 2/3
+        assert disclosure_risk(records, ["zip"]) == pytest.approx(2 / 3)
+
+    def test_disclosure_risk_k_anonymous(self):
+        records = [{"zip": "a"}] * 10
+        assert disclosure_risk(records, ["zip"]) == pytest.approx(0.1)
+
+    def test_disclosure_risk_empty(self):
+        assert disclosure_risk([], ["zip"]) == 0.0
+
+
+class TestInformationLoss:
+    def test_precision_loss_bounds(self):
+        h = interval_hierarchy("age", [5, 10])
+        assert generalization_precision_loss((0,), [h]) == 0.0
+        assert generalization_precision_loss((h.height,), [h]) == 1.0
+
+    def test_precision_loss_mixed(self):
+        h1 = interval_hierarchy("age", [5, 10])  # height 3
+        h2 = interval_hierarchy("income", [10])  # height 2
+        loss = generalization_precision_loss((3, 0), [h1, h2])
+        assert loss == pytest.approx(0.5)
+
+    def test_precision_loss_arity(self):
+        with pytest.raises(ReproError):
+            generalization_precision_loss((1,), [])
+
+    def test_discernibility(self):
+        records = [{"q": "a"}] * 3 + [{"q": "b"}] * 2
+        assert discernibility(records, ["q"]) == 9 + 4
+
+    def test_discernibility_with_suppression(self):
+        records = [{"q": "a"}] * 3
+        assert discernibility(records, ["q"], suppressed=2, total=5) == 9 + 10
+
+    def test_suppression_ratio(self):
+        assert suppression_ratio(2, 10) == 0.2
+        with pytest.raises(ReproError):
+            suppression_ratio(11, 10)
+        with pytest.raises(ReproError):
+            suppression_ratio(0, 0)
+
+    def test_distortion_zero(self):
+        assert distortion([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_distortion_relative_normalization(self):
+        original = [0.0, 10.0]
+        assert distortion(original, [5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_distortion_absolute(self):
+        assert distortion([0.0, 0.0], [3.0, 4.0], relative=False) == pytest.approx(
+            (12.5) ** 0.5
+        )
+
+    def test_distortion_validation(self):
+        with pytest.raises(ReproError):
+            distortion([1.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            distortion([], [])
+
+
+class TestRUMap:
+    def points(self):
+        return [
+            RUPoint(0.0, 0.9, 0.2),
+            RUPoint(1.0, 0.6, 0.5),
+            RUPoint(2.0, 0.4, 0.4),  # dominated by param 3
+            RUPoint(3.0, 0.3, 0.6),
+            RUPoint(4.0, 0.1, 0.3),
+        ]
+
+    def test_frontier_drops_dominated(self):
+        frontier = ru_frontier(self.points())
+        params = [p.parameter for p in frontier]
+        assert 2.0 not in params
+        assert 3.0 in params
+
+    def test_frontier_sorted_by_risk(self):
+        risks = [p.risk for p in ru_frontier(self.points())]
+        assert risks == sorted(risks)
+
+    def test_pick_operating_point(self):
+        chosen = pick_operating_point(self.points(), max_risk=0.5)
+        assert chosen.parameter == 3.0
+
+    def test_pick_none_when_all_too_risky(self):
+        assert pick_operating_point(self.points(), max_risk=0.05) is None
+
+    def test_risk_bounds_validated(self):
+        with pytest.raises(ReproError):
+            RUPoint(0, 1.5, 0.5)
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+    st.floats(min_value=0.0, max_value=100.0),
+)
+def test_interval_shrink_bounds_property(prior_width, post_low, post_width):
+    """Loss is always in [0, 1]."""
+    loss = interval_shrink_loss(
+        (0.0, prior_width), (post_low, post_low + post_width)
+    )
+    assert 0.0 <= loss <= 1.0

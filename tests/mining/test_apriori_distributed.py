@@ -1,0 +1,145 @@
+"""Unit tests for Apriori and the distributed secure-union miner."""
+
+import random
+
+import pytest
+
+from repro.crypto import TEST_GROUP
+from repro.errors import ReproError
+from repro.mining import PartitionedMiner, apriori, association_rules, secure_union
+from repro.mining.apriori import itemset_support
+
+
+def baskets():
+    return [
+        {"bread", "milk"},
+        {"bread", "diapers", "beer", "eggs"},
+        {"milk", "diapers", "beer", "cola"},
+        {"bread", "milk", "diapers", "beer"},
+        {"bread", "milk", "diapers", "cola"},
+    ]
+
+
+class TestApriori:
+    def test_frequent_singletons(self):
+        frequent = apriori(baskets(), 0.6)
+        assert frequent[frozenset(["bread"])] == pytest.approx(0.8)
+        assert frequent[frozenset(["milk"])] == pytest.approx(0.8)
+        assert frequent[frozenset(["diapers"])] == pytest.approx(0.8)
+
+    def test_frequent_pairs(self):
+        frequent = apriori(baskets(), 0.6)
+        assert frozenset(["diapers", "beer"]) in frequent
+        assert frozenset(["bread", "milk"]) in frequent
+        assert frozenset(["beer", "milk"]) not in frequent
+
+    def test_support_threshold_monotone(self):
+        loose = apriori(baskets(), 0.2)
+        strict = apriori(baskets(), 0.8)
+        assert set(strict) <= set(loose)
+
+    def test_supports_correct(self):
+        frequent = apriori(baskets(), 0.2)
+        for itemset, support in frequent.items():
+            assert support == pytest.approx(itemset_support(baskets(), itemset))
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            apriori(baskets(), 0.0)
+        with pytest.raises(ReproError):
+            apriori([], 0.5)
+
+    def test_rules(self):
+        frequent = apriori(baskets(), 0.4)
+        rules = association_rules(frequent, 0.75)
+        as_pairs = {(tuple(sorted(a)), tuple(sorted(c))) for a, c, *_ in rules}
+        assert (("beer",), ("diapers",)) in as_pairs  # conf 1.0
+        for _a, _c, support, confidence, lift in rules:
+            assert 0 < support <= 1
+            assert confidence >= 0.75
+            assert lift > 0
+
+    def test_rules_sorted_by_confidence(self):
+        rules = association_rules(apriori(baskets(), 0.4), 0.5)
+        confidences = [r[3] for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rules_validation(self):
+        with pytest.raises(ReproError):
+            association_rules({}, 0.0)
+
+
+class TestSecureUnion:
+    def test_union_correct(self):
+        sites = [
+            [frozenset(["a"]), frozenset(["a", "b"])],
+            [frozenset(["a"]), frozenset(["c"])],
+        ]
+        union, _wire = secure_union(sites, TEST_GROUP, random.Random(1))
+        assert set(union) == {
+            frozenset(["a"]), frozenset(["a", "b"]), frozenset(["c"]),
+        }
+
+    def test_duplicates_collapse(self):
+        sites = [[frozenset(["x"])], [frozenset(["x"])], [frozenset(["x"])]]
+        union, _wire = secure_union(sites, TEST_GROUP, random.Random(2))
+        assert union == [frozenset(["x"])]
+
+    def test_needs_two_sites(self):
+        with pytest.raises(ReproError):
+            secure_union([[frozenset(["a"])]], TEST_GROUP)
+
+    def test_wire_counts_positive(self):
+        sites = [[frozenset(["a"])], [frozenset(["b"])]]
+        _union, wire = secure_union(sites, TEST_GROUP, random.Random(3))
+        assert wire == 2  # each singleton crosses one other site
+
+
+class TestPartitionedMiner:
+    def split(self, transactions, n_sites, seed=0):
+        rng = random.Random(seed)
+        sites = [[] for _ in range(n_sites)]
+        for t in transactions:
+            sites[rng.randrange(n_sites)].append(t)
+        return [s for s in sites if s]
+
+    def test_matches_centralized_mining(self):
+        transactions = baskets() * 4  # 20 transactions
+        sites = self.split(transactions, 3, seed=1)
+        miner = PartitionedMiner(
+            sites, 0.6, group=TEST_GROUP, rng=random.Random(4)
+        )
+        distributed = miner.globally_frequent()
+        centralized = apriori(transactions, 0.6)
+        assert set(distributed) == set(centralized)
+        for itemset, support in distributed.items():
+            assert support == pytest.approx(centralized[itemset])
+
+    def test_rules_match_centralized(self):
+        transactions = baskets() * 4
+        sites = self.split(transactions, 2, seed=2)
+        miner = PartitionedMiner(
+            sites, 0.4, group=TEST_GROUP, rng=random.Random(5)
+        )
+        distributed_rules = miner.rules(0.8)
+        centralized_rules = association_rules(apriori(transactions, 0.4), 0.8)
+        assert {
+            (tuple(sorted(a)), tuple(sorted(c))) for a, c, *_ in distributed_rules
+        } == {
+            (tuple(sorted(a)), tuple(sorted(c))) for a, c, *_ in centralized_rules
+        }
+
+    def test_overhead_counters(self):
+        sites = self.split(baskets() * 2, 2, seed=3)
+        miner = PartitionedMiner(sites, 0.5, group=TEST_GROUP, rng=random.Random(6))
+        miner.globally_frequent()
+        assert miner.union_wire_messages > 0
+        assert miner.secure_sums_run > 0
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PartitionedMiner([baskets()], 0.5)
+        with pytest.raises(ReproError):
+            PartitionedMiner([baskets(), []], 0.5)
+        with pytest.raises(ReproError):
+            PartitionedMiner([baskets(), baskets()], 1.5)

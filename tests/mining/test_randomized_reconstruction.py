@@ -1,0 +1,157 @@
+"""Unit tests for randomized response, reconstruction, and RR naive Bayes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ReproError
+from repro.mining import RandomizedResponse, RRNaiveBayes, reconstruct_distribution
+
+
+class TestRandomizedResponse:
+    def test_p_validation(self):
+        for bad in (0.0, 1.0, 0.5, -0.3):
+            with pytest.raises(ReproError):
+                RandomizedResponse(bad)
+
+    def test_bool_randomization_flips_sometimes(self):
+        rr = RandomizedResponse(0.7, random.Random(1))
+        reports = rr.randomize_bools([True] * 1000)
+        flips = sum(1 for r in reports if not r)
+        assert 200 < flips < 400  # ≈ 30%
+
+    def test_estimate_unbiased(self):
+        rr = RandomizedResponse(0.75, random.Random(2))
+        truth = [i % 5 == 0 for i in range(20000)]  # 20% True
+        reports = rr.randomize_bools(truth)
+        estimate = rr.estimate_proportion(reports)
+        assert estimate == pytest.approx(0.2, abs=0.02)
+
+    def test_estimate_count(self):
+        rr = RandomizedResponse(0.9, random.Random(3))
+        truth = [True] * 300 + [False] * 700
+        reports = rr.randomize_bools(truth)
+        assert rr.estimate_count(reports) == pytest.approx(300, abs=40)
+
+    def test_randomize_bool_type_check(self):
+        with pytest.raises(ReproError):
+            RandomizedResponse(0.8).randomize_bool(1)
+
+    def test_empty_reports_rejected(self):
+        with pytest.raises(ReproError):
+            RandomizedResponse(0.8).estimate_proportion([])
+
+    def test_category_randomization_and_estimation(self):
+        rng = random.Random(4)
+        rr = RandomizedResponse(0.7, rng)
+        domain = ["flu", "hiv", "cancer"]
+        truth = ["flu"] * 600 + ["hiv"] * 300 + ["cancer"] * 100
+        reports = [rr.randomize_category(v, domain) for v in truth]
+        estimates = rr.estimate_category_counts(reports, domain)
+        assert estimates["flu"] == pytest.approx(600, abs=60)
+        assert estimates["hiv"] == pytest.approx(300, abs=60)
+        assert estimates["cancer"] == pytest.approx(100, abs=60)
+
+    def test_category_value_validation(self):
+        rr = RandomizedResponse(0.7)
+        with pytest.raises(ReproError):
+            rr.randomize_category("x", ["a", "b"])
+        with pytest.raises(ReproError):
+            rr.estimate_category_counts(["x"], ["a", "b"])
+
+
+class TestReconstruction:
+    def test_recovers_bimodal_mixture(self):
+        rng = random.Random(5)
+        true_values = [rng.gauss(30, 4) for _ in range(3000)] + [
+            rng.gauss(70, 4) for _ in range(3000)
+        ]
+        sigma = 10.0
+        perturbed = [v + rng.gauss(0, sigma) for v in true_values]
+        result = reconstruct_distribution(
+            perturbed, sigma, bins=50, value_range=(0, 100)
+        )
+        # Perturbed data looks unimodal-ish; reconstruction re-separates.
+        assert result.l1_error(true_values) < 0.35
+        assert result.mean() == pytest.approx(50.0, abs=2.0)
+        # two modes recovered: density at 30 and 70 beats density at 50
+        centers = result.bin_centers
+        def density_near(x):
+            import numpy as np
+            return result.probs[int(np.argmin(abs(centers - x)))]
+        assert density_near(30) > density_near(50)
+        assert density_near(70) > density_near(50)
+
+    def test_moments_recovered(self):
+        rng = random.Random(6)
+        true_values = [rng.gauss(55, 6) for _ in range(4000)]
+        perturbed = [v + rng.gauss(0, 12) for v in true_values]
+        result = reconstruct_distribution(perturbed, 12.0, bins=60)
+        assert result.mean() == pytest.approx(55.0, abs=1.5)
+        assert result.std() == pytest.approx(6.0, abs=3.0)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            reconstruct_distribution([], 1.0)
+        with pytest.raises(ReproError):
+            reconstruct_distribution([1.0], 0.0)
+        with pytest.raises(ReproError):
+            reconstruct_distribution([1.0], 1.0, bins=1)
+        with pytest.raises(ReproError):
+            reconstruct_distribution([1.0], 1.0, value_range=(5, 5))
+
+    def test_probabilities_normalized(self):
+        rng = random.Random(7)
+        perturbed = [rng.gauss(0, 2) for _ in range(500)]
+        result = reconstruct_distribution(perturbed, 1.0, bins=20)
+        assert result.probs.sum() == pytest.approx(1.0)
+        assert (result.probs >= 0).all()
+
+
+class TestRRNaiveBayes:
+    def dataset(self, n, rng):
+        rows, labels = [], []
+        for _ in range(n):
+            cls = rng.random() < 0.5
+            f1 = rng.random() < (0.9 if cls else 0.2)
+            f2 = rng.random() < (0.7 if cls else 0.3)
+            f3 = rng.random() < 0.5
+            rows.append([f1, f2, f3])
+            labels.append("pos" if cls else "neg")
+        return rows, labels
+
+    def test_learns_from_randomized_data(self):
+        rng = random.Random(8)
+        rows, labels = self.dataset(4000, rng)
+        mechanism = RandomizedResponse(0.8, random.Random(9))
+        randomized = [mechanism.randomize_bools(r) for r in rows]
+        model = RRNaiveBayes(mechanism).fit(randomized, labels)
+        test_rows, test_labels = self.dataset(500, random.Random(10))
+        assert model.accuracy(test_rows, test_labels) > 0.8
+
+    def test_validation(self):
+        mechanism = RandomizedResponse(0.8)
+        model = RRNaiveBayes(mechanism)
+        with pytest.raises(ReproError):
+            model.fit([], [])
+        with pytest.raises(ReproError):
+            model.predict([True])
+        model.fit([[True, False]], ["a"])
+        with pytest.raises(ReproError):
+            model.predict([True])  # arity mismatch
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.floats(min_value=0.55, max_value=0.95),
+    st.integers(min_value=0, max_value=2**31),
+)
+def test_rr_estimator_within_sampling_error(p, seed):
+    """For any legal p, the Warner estimator lands near the truth."""
+    rng = random.Random(seed)
+    rr = RandomizedResponse(p, rng)
+    truth = [i % 4 == 0 for i in range(4000)]  # 25%
+    estimate = rr.estimate_proportion(rr.randomize_bools(truth))
+    # sampling error scales with 1/(2p-1); allow a generous band
+    assert abs(estimate - 0.25) < 0.30 / (2 * p - 1) * 0.25 + 0.05

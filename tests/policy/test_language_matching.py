@@ -1,0 +1,196 @@
+"""Unit tests for the policy DSL, evaluation, and the store."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import (
+    DisclosureForm,
+    PolicyRule,
+    PolicyStore,
+    PrivacyView,
+    SourcePolicy,
+    UserPreferences,
+    combine,
+    evaluate_request,
+    parse_policy_document,
+)
+from repro.policy.model import Decision, PurposeTree
+
+DOCUMENT = """
+# clinical sources
+VIEW clinical_private {
+    PRIVATE //patient/ssn;
+    PRIVATE //patient/dob FORM range;
+    PRIVATE //test/result FORM aggregate;
+}
+
+POLICY HMO1 DEFAULT deny {
+    DENY //patient/ssn FOR *;
+    ALLOW //patient/dob FOR treatment FORM exact;
+    ALLOW //test/result FOR public-health-research FORM aggregate MAXLOSS 0.3;
+    ALLOW //patient/zip FOR research FORM range ROLES epidemiologist;
+}
+
+PREFERENCE alice {
+    DENY //dob FOR marketing;
+    ALLOW //dob FOR research FORM range MAXLOSS 0.5;
+}
+"""
+
+
+class TestDslParsing:
+    def test_full_document(self):
+        document = parse_policy_document(DOCUMENT)
+        assert set(document.views) == {"clinical_private"}
+        assert set(document.policies) == {"HMO1"}
+        assert set(document.preferences) == {"alice"}
+
+    def test_view_entries(self):
+        view = parse_policy_document(DOCUMENT).views["clinical_private"]
+        assert view.form_for("//patient/ssn") is DisclosureForm.SUPPRESSED
+        assert view.form_for("//patient/dob") is DisclosureForm.RANGE
+        assert view.form_for("//patient/name") is DisclosureForm.EXACT
+        assert view.is_private("//patient/dob")
+        assert not view.is_private("//patient/name")
+
+    def test_policy_rules(self):
+        policy = parse_policy_document(DOCUMENT).policies["HMO1"]
+        assert policy.default_effect == "deny"
+        assert len(policy.rules) == 4
+        assert policy.rules[2].max_loss == pytest.approx(0.3)
+        assert policy.rules[3].roles == frozenset({"epidemiologist"})
+
+    def test_comments_ignored(self):
+        document = parse_policy_document("# just a comment\nVIEW v { }")
+        assert document.views["v"].entries == []
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            parse_policy_document("VIEW v { } VIEW v { }")
+
+    def test_syntax_errors(self):
+        with pytest.raises(PolicyError):
+            parse_policy_document("POLICY p { ALLOW notapath; }")
+        with pytest.raises(PolicyError):
+            parse_policy_document("POLICY p { ALLOW //x FOR }")
+        with pytest.raises(PolicyError):
+            parse_policy_document("BANANA x { }")
+        with pytest.raises(PolicyError):
+            parse_policy_document("POLICY p { ALLOW //x MAXLOSS high; }")
+
+
+class TestCombination:
+    def test_denial_wins(self):
+        allowed = Decision(True, DisclosureForm.EXACT, 1.0, ["a"])
+        denied = Decision.deny("no")
+        assert not combine(allowed, denied).allowed
+
+    def test_most_restrictive_form_and_loss(self):
+        a = Decision(True, DisclosureForm.EXACT, 0.8, ["a"])
+        b = Decision(True, DisclosureForm.RANGE, 0.3, ["b"])
+        combined = combine(a, b)
+        assert combined.form is DisclosureForm.RANGE
+        assert combined.max_loss == pytest.approx(0.3)
+
+    def test_combined_suppression_is_denial(self):
+        a = Decision(True, DisclosureForm.SUPPRESSED, 1.0)
+        assert not combine(a).allowed
+
+    def test_empty_is_denial(self):
+        assert not combine().allowed
+
+
+class TestEvaluateRequest:
+    def store(self):
+        store = PolicyStore()
+        store.load_document(DOCUMENT, view_source={"clinical_private": "HMO1"})
+        return store
+
+    def test_policy_and_view_combine(self):
+        # policy allows aggregate (0.3); view caps at aggregate → aggregate
+        decision = evaluate_request(
+            self.store(), "HMO1", "//test/result", "outbreak-surveillance"
+        )
+        assert decision.allowed
+        assert decision.form is DisclosureForm.AGGREGATE
+        assert decision.max_loss == pytest.approx(0.3)
+
+    def test_view_caps_policy_exact(self):
+        # policy allows dob exact for treatment, but view caps at range
+        decision = evaluate_request(self.store(), "HMO1", "//patient/dob", "treatment")
+        assert decision.allowed
+        assert decision.form is DisclosureForm.RANGE
+
+    def test_view_suppression_denies(self):
+        decision = evaluate_request(self.store(), "HMO1", "//patient/ssn", "treatment")
+        assert not decision.allowed
+
+    def test_role_gated_rule(self):
+        store = self.store()
+        ungated = evaluate_request(store, "HMO1", "//patient/zip", "research")
+        assert not ungated.allowed  # role required, none supplied
+        gated = evaluate_request(
+            store, "HMO1", "//patient/zip", "research", role="epidemiologist"
+        )
+        assert gated.allowed
+        assert gated.form is DisclosureForm.RANGE
+
+    def test_subject_preferences_constrain(self):
+        store = self.store()
+        decision = evaluate_request(
+            store, "HMO1", "//patient/dob", "treatment", subjects=["alice"]
+        )
+        # alice only allows dob for research; treatment isn't research → deny
+        assert not decision.allowed
+        research = evaluate_request(
+            store, "HMO1", "//patient/dob", "outbreak-surveillance",
+            subjects=["alice"],
+        )
+        # policy has no dob-for-research rule → default deny even though
+        # alice would allow it
+        assert not research.allowed
+
+    def test_default_deny_for_unknown_path(self):
+        decision = evaluate_request(self.store(), "HMO1", "//billing/card", "treatment")
+        assert not decision.allowed
+
+    def test_unknown_source_no_policy_view(self):
+        store = self.store()
+        decision = evaluate_request(store, "HMO9", "//patient/dob", "treatment")
+        assert not decision.allowed  # nothing applies → deny
+
+
+class TestPolicyStore:
+    def test_registration_type_checks(self):
+        store = PolicyStore()
+        with pytest.raises(PolicyError):
+            store.register_view("s", "not a view")
+        with pytest.raises(PolicyError):
+            store.register_policy("not a policy")
+        with pytest.raises(PolicyError):
+            store.register_preferences("nope")
+
+    def test_manual_registration_and_lookup(self):
+        store = PolicyStore()
+        store.register_view("s", PrivacyView("v"))
+        store.register_policy(SourcePolicy("s"))
+        store.register_preferences(UserPreferences("u"))
+        assert store.view_for("s") is not None
+        assert store.policy_for("s") is not None
+        assert store.preferences_for("u") is not None
+        assert store.sources() == ["s"]
+
+    def test_replicate_shares_content(self):
+        store = PolicyStore()
+        store.load_document(DOCUMENT)
+        clone = store.replicate()
+        assert clone.policy_for("HMO1") is store.policy_for("HMO1")
+        assert clone.purposes is store.purposes
+
+    def test_custom_purposes(self):
+        purposes = PurposeTree({"only": None})
+        store = PolicyStore(purposes)
+        policy = SourcePolicy("s", [PolicyRule("allow", "//x", "only")])
+        store.register_policy(policy)
+        decision = evaluate_request(store, "s", "//x", "only")
+        assert decision.allowed

@@ -1,0 +1,127 @@
+"""Unit tests for the policy vocabulary (purposes, forms, rules, overlap)."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy import Decision, DisclosureForm, PolicyRule, PurposeTree, paths_overlap
+from repro.xmlkit import parse_path
+
+
+class TestDisclosureForm:
+    def test_ordering(self):
+        assert DisclosureForm.SUPPRESSED < DisclosureForm.AGGREGATE
+        assert DisclosureForm.AGGREGATE < DisclosureForm.RANGE
+        assert DisclosureForm.RANGE < DisclosureForm.EXACT
+
+    def test_permits_downward(self):
+        assert DisclosureForm.RANGE.permits(DisclosureForm.AGGREGATE)
+        assert DisclosureForm.RANGE.permits(DisclosureForm.RANGE)
+        assert not DisclosureForm.RANGE.permits(DisclosureForm.EXACT)
+
+    def test_parse(self):
+        assert DisclosureForm.parse("Exact") is DisclosureForm.EXACT
+        with pytest.raises(PolicyError):
+            DisclosureForm.parse("partial")
+
+
+class TestPurposeTree:
+    def test_default_taxonomy_implication(self):
+        purposes = PurposeTree()
+        assert purposes.implies("outbreak-surveillance", "research")
+        assert purposes.implies("outbreak-surveillance", "public-health-research")
+        assert purposes.implies("research", "research")
+        assert not purposes.implies("research", "outbreak-surveillance")
+        assert not purposes.implies("marketing", "research")
+
+    def test_any_purpose(self):
+        assert PurposeTree().implies("marketing", "*")
+
+    def test_unknown_purpose_rejected(self):
+        purposes = PurposeTree()
+        with pytest.raises(PolicyError):
+            purposes.implies("time-travel", "research")
+        with pytest.raises(PolicyError):
+            purposes.implies("research", "time-travel")
+
+    def test_add_and_ancestors(self):
+        purposes = PurposeTree()
+        purposes.add("sars-tracking", "outbreak-surveillance")
+        assert purposes.implies("sars-tracking", "research")
+        assert purposes.ancestors("sars-tracking") == [
+            "sars-tracking", "outbreak-surveillance",
+            "public-health-research", "research",
+        ]
+
+    def test_duplicate_add_rejected(self):
+        with pytest.raises(PolicyError):
+            PurposeTree().add("research")
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(PolicyError):
+            PurposeTree().add("x", "ghost")
+        with pytest.raises(PolicyError):
+            PurposeTree({"a": "ghost"})
+
+
+class TestPathsOverlap:
+    def overlap(self, a, b):
+        return paths_overlap(parse_path(a), parse_path(b))
+
+    def test_identical(self):
+        assert self.overlap("//patient/dob", "//patient/dob")
+
+    def test_policy_shorter_than_request(self):
+        assert self.overlap("//dob", "/clinic/patient/dob")
+        assert self.overlap("//patient/dob", "/clinic/patient/record/dob")
+
+    def test_request_shorter_than_policy(self):
+        assert self.overlap("/clinic/patient/dob", "//dob")
+
+    def test_different_leaf(self):
+        assert not self.overlap("//patient/dob", "//patient/zip")
+
+    def test_context_mismatch(self):
+        assert not self.overlap("//physician/name", "//patient/dob")
+
+    def test_wildcard_leaf(self):
+        assert self.overlap("//patient/*", "//patient/dob")
+
+    def test_order_matters(self):
+        assert not self.overlap("//dob/patient", "//patient/dob")
+
+
+class TestPolicyRule:
+    def test_applies_to(self):
+        purposes = PurposeTree()
+        rule = PolicyRule(
+            "allow", "//test/result", "research",
+            DisclosureForm.AGGREGATE, 0.3,
+        )
+        request = parse_path("//patient/test/result")
+        assert rule.applies_to(request, "outbreak-surveillance", purposes)
+        assert not rule.applies_to(request, "marketing", purposes)
+        assert not rule.applies_to(parse_path("//patient/ssn"),
+                                   "research", purposes)
+
+    def test_role_restriction(self):
+        purposes = PurposeTree()
+        rule = PolicyRule("allow", "//dob", roles=["physician"])
+        path = parse_path("//patient/dob")
+        assert rule.applies_to(path, "treatment", purposes, role="physician")
+        assert not rule.applies_to(path, "treatment", purposes, role="clerk")
+        assert not rule.applies_to(path, "treatment", purposes, role=None)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            PolicyRule("maybe", "//x")
+        with pytest.raises(PolicyError):
+            PolicyRule("allow", 42)
+        with pytest.raises(PolicyError):
+            PolicyRule("allow", "//x", form="exact")
+        with pytest.raises(PolicyError):
+            PolicyRule("allow", "//x", max_loss=2.0)
+
+    def test_decision_constructors(self):
+        denied = Decision.deny("because")
+        assert not denied.allowed
+        assert denied.reasons == ["because"]

@@ -1,0 +1,145 @@
+"""Unit tests for the server-centric P3P/APPEL implementation."""
+
+import pytest
+
+from repro.errors import PolicyError
+from repro.policy.p3p import (
+    AppelPreferences,
+    AppelRule,
+    P3pPolicy,
+    P3pStatement,
+    STATEMENTS_TABLE,
+    shred_policies,
+)
+from repro.relational.sql import to_sql
+
+
+def careful_site():
+    return P3pPolicy("careful", [
+        P3pStatement("#user.bdate", purposes=("current", "admin"),
+                     recipients=("ours",), retention="stated-purpose"),
+        P3pStatement("#user.email", purposes=("current",),
+                     recipients=("ours",), retention="no-retention"),
+    ])
+
+
+def spammy_site():
+    return P3pPolicy("spammy", [
+        P3pStatement("#user.email",
+                     purposes=("current", "telemarketing", "contact"),
+                     recipients=("ours", "unrelated"),
+                     retention="indefinitely"),
+    ])
+
+
+def catalog():
+    return shred_policies([careful_site(), spammy_site()])
+
+
+class TestShredding:
+    def test_one_row_per_purpose_recipient(self):
+        table = catalog().table(STATEMENTS_TABLE)
+        # careful: 2*1 + 1*1 = 3 rows; spammy: 3*2 = 6 rows
+        assert len(table) == 9
+
+    def test_row_content(self):
+        rows = list(catalog().table(STATEMENTS_TABLE).rows_as_dicts())
+        spam_rows = [r for r in rows if r["policy"] == "spammy"]
+        assert {r["recipient"] for r in spam_rows} == {"ours", "unrelated"}
+        assert all(r["retention"] == "indefinitely" for r in spam_rows)
+
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            P3pStatement("", purposes=("current",))
+        with pytest.raises(PolicyError):
+            P3pStatement("#g", purposes=("world-domination",))
+        with pytest.raises(PolicyError):
+            P3pStatement("#g", purposes=("current",), recipients=("aliens",))
+        with pytest.raises(PolicyError):
+            P3pStatement("#g", purposes=("current",), retention="forever")
+        with pytest.raises(PolicyError):
+            P3pPolicy("p").add("not a statement")
+
+
+class TestAppelRules:
+    def no_marketing(self):
+        return AppelRule(
+            "reject", data_group="#user.email",
+            allowed_purposes=("current", "admin"),
+        )
+
+    def test_rule_compiles_to_sql(self):
+        sql = to_sql(self.no_marketing().to_query("spammy"))
+        assert "COUNT(*)" in sql
+        assert "NOT" in sql and "IN" in sql
+        assert "policy = 'spammy'" in sql
+
+    def test_reject_rule_fires_on_bad_policy(self):
+        assert self.no_marketing().matches(catalog(), "spammy")
+        assert not self.no_marketing().matches(catalog(), "careful")
+
+    def test_recipient_constraint(self):
+        rule = AppelRule("reject", allowed_recipients=("ours", "delivery"))
+        assert rule.matches(catalog(), "spammy")
+        assert not rule.matches(catalog(), "careful")
+
+    def test_retention_constraint(self):
+        rule = AppelRule(
+            "reject",
+            allowed_retentions=("no-retention", "stated-purpose"),
+        )
+        assert rule.matches(catalog(), "spammy")
+        assert not rule.matches(catalog(), "careful")
+
+    def test_accept_rule_fires_when_clean(self):
+        rule = AppelRule(
+            "accept", allowed_purposes=("current", "admin"),
+        )
+        assert rule.matches(catalog(), "careful")
+        assert not rule.matches(catalog(), "spammy")
+
+    def test_unconstrained_rule_rejected(self):
+        with pytest.raises(PolicyError):
+            AppelRule("reject")
+        with pytest.raises(PolicyError):
+            AppelRule("maybe", allowed_purposes=("current",))
+
+
+class TestAppelPreferences:
+    def preferences(self):
+        return AppelPreferences([
+            AppelRule("reject", data_group="#user.email",
+                      allowed_purposes=("current", "admin")),
+            AppelRule("reject",
+                      allowed_retentions=("no-retention", "stated-purpose")),
+            AppelRule("accept", allowed_recipients=("ours", "delivery")),
+        ], default="reject")
+
+    def test_careful_site_accepted(self):
+        behavior, rule = self.preferences().evaluate(catalog(), "careful")
+        assert behavior == "accept"
+        assert rule is not None and rule.behavior == "accept"
+
+    def test_spammy_site_rejected_by_first_rule(self):
+        behavior, rule = self.preferences().evaluate(catalog(), "spammy")
+        assert behavior == "reject"
+        assert rule is self.preferences().rules[0] or rule.behavior == "reject"
+
+    def test_default_applies_when_nothing_matches(self):
+        preferences = AppelPreferences(
+            [AppelRule("accept", allowed_purposes=("historical",))],
+            default="reject",
+        )
+        assert preferences.evaluate(catalog(), "careful")[0] == "reject"
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(PolicyError, match="no shredded"):
+            self.preferences().evaluate(catalog(), "ghost")
+
+    def test_acceptable_wrapper(self):
+        assert self.preferences().acceptable(catalog(), "careful")
+        assert not self.preferences().acceptable(catalog(), "spammy")
+
+    def test_default_validation(self):
+        with pytest.raises(PolicyError):
+            AppelPreferences([], default="shrug")

@@ -1,0 +1,161 @@
+"""Unit tests for the PIQL language and feature extraction."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.policy import DisclosureForm, PrivacyView
+from repro.query import (
+    PiqlAggregate,
+    PiqlPredicate,
+    PiqlQuery,
+    extract_features,
+    parse_piql,
+)
+from repro.query.language import to_piql
+from repro.xmlkit import parse_path
+
+
+class TestModel:
+    def test_aggregate_aliases(self):
+        agg = PiqlAggregate("avg", "//test/result")
+        assert agg.alias == "avg_result"
+        assert PiqlAggregate("count", "*").alias == "count"
+
+    def test_count_star_only(self):
+        with pytest.raises(QueryError):
+            PiqlAggregate("avg", "*")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(QueryError):
+            PiqlAggregate("median", "//x")
+
+    def test_predicate_validation(self):
+        with pytest.raises(QueryError):
+            PiqlPredicate("//x", "~", 1)
+
+    def test_query_requires_select(self):
+        with pytest.raises(QueryError):
+            PiqlQuery([])
+
+    def test_mixed_select_needs_group_by(self):
+        with pytest.raises(QueryError):
+            PiqlQuery(["//patient/hmo", PiqlAggregate("count", "*")])
+        query = PiqlQuery(
+            ["//patient/hmo", PiqlAggregate("count", "*")],
+            group_by=["//patient/hmo"],
+        )
+        assert query.is_aggregate
+
+    def test_max_loss_bounds(self):
+        with pytest.raises(QueryError):
+            PiqlQuery(["//x"], max_loss=1.5)
+
+    def test_paths_touched(self):
+        query = PiqlQuery(
+            [PiqlAggregate("avg", "//test/result")],
+            where=[PiqlPredicate("//patient/age", ">", 65)],
+            group_by=["//patient/hmo"],
+        )
+        touched = {repr(p) for p in query.paths_touched()}
+        assert touched == {"//test/result", "//patient/age", "//patient/hmo"}
+
+
+class TestParsing:
+    def test_simple_select(self):
+        query = parse_piql("SELECT //patient/dob, //patient/zip")
+        assert len(query.projections) == 2
+        assert not query.is_aggregate
+
+    def test_full_query(self):
+        text = (
+            "SELECT AVG(//test/result) AS mean_result "
+            "FROM clinic "
+            "WHERE //patient/age > 65 AND //patient/hmo = 'HMO1' "
+            "GROUP BY //patient/hmo "
+            "PURPOSE outbreak-surveillance MAXLOSS 0.4"
+        )
+        query = parse_piql(text)
+        assert query.aggregates[0].alias == "mean_result"
+        assert query.source_hint == "clinic"
+        assert len(query.where) == 2
+        assert query.where[1].value == "HMO1"
+        assert query.purpose == "outbreak-surveillance"
+        assert query.max_loss == pytest.approx(0.4)
+
+    def test_count_star(self):
+        query = parse_piql("SELECT COUNT(*) PURPOSE research")
+        assert query.aggregates[0].path is None
+
+    def test_predicates_with_path_brackets(self):
+        query = parse_piql("SELECT //patient[@id='p1']/dob")
+        assert "p1" in repr(query.projections[0])
+
+    def test_diamond_and_boolean_literals(self):
+        query = parse_piql("SELECT //x WHERE //flag <> true")
+        assert query.where[0].op == "!="
+        assert query.where[0].value is True
+
+    def test_string_escapes(self):
+        query = parse_piql("SELECT //x WHERE //name = 'O''Hara'")
+        assert query.where[0].value == "O'Hara"
+
+    def test_round_trip(self):
+        text = (
+            "SELECT //patient/zip, COUNT(*) AS count "
+            "WHERE //patient/age >= 65 "
+            "GROUP BY //patient/zip PURPOSE research MAXLOSS 0.3"
+        )
+        assert to_piql(parse_piql(text)) == text
+
+    def test_errors(self):
+        with pytest.raises(QueryError):
+            parse_piql("")
+        with pytest.raises(QueryError):
+            parse_piql("SELECT")
+        with pytest.raises(QueryError):
+            parse_piql("SELECT //x trailing")
+        with pytest.raises(QueryError):
+            parse_piql("SELECT //x WHERE //y = ")
+        with pytest.raises(QueryError):
+            parse_piql("SELECT //x MAXLOSS lots")
+        with pytest.raises(QueryError):
+            parse_piql("SELECT //x WHERE //y = 'unterminated")
+
+
+class TestFeatures:
+    def view(self):
+        return PrivacyView("v", [
+            (parse_path("//test/result"), DisclosureForm.AGGREGATE),
+        ])
+
+    def test_record_level_query(self):
+        query = parse_piql("SELECT //patient/dob WHERE //patient/zip = '15213'")
+        features = extract_features(query, self.view())
+        assert features["returns_individuals"] == 1.0
+        assert features["touches_identifier"] == 1.0
+        assert features["n_equality_predicates"] == 1.0
+        assert features["touches_private"] == 0.0
+
+    def test_aggregate_query(self):
+        query = parse_piql(
+            "SELECT AVG(//test/result) WHERE //patient/age > 65 "
+            "GROUP BY //patient/hmo MAXLOSS 0.4"
+        )
+        features = extract_features(query, self.view())
+        assert features["returns_individuals"] == 0.0
+        assert features["agg_avg"] == 1.0
+        assert features["has_group_by"] == 1.0
+        assert features["n_range_predicates"] == 1.0
+        assert features["touches_private"] == 1.0
+        assert features["requested_loss_budget"] == pytest.approx(0.4)
+
+    def test_vector_stable_order(self):
+        query = parse_piql("SELECT COUNT(*)")
+        features = extract_features(query)
+        vector = features.to_vector()
+        assert len(vector) == len(features.FIELDS)
+        assert vector[features.FIELDS.index("agg_count")] == 1.0
+
+    def test_type_check(self):
+        with pytest.raises(QueryError):
+            extract_features("SELECT //x")

@@ -1,0 +1,270 @@
+"""Unit tests for the logical-query executor."""
+
+import math
+
+import pytest
+
+from repro.errors import RelationalError
+from repro.relational import (
+    Aggregate,
+    Catalog,
+    Comparison,
+    InList,
+    SelectQuery,
+    Table,
+    TableSchema,
+    execute,
+)
+from repro.relational.engine import Join
+
+
+def patients():
+    return Table.from_dicts(
+        "patients",
+        [
+            {"id": 1, "hmo": "HMO1", "hba1c": 75.0, "age": 60},
+            {"id": 2, "hmo": "HMO1", "hba1c": 80.0, "age": 64},
+            {"id": 3, "hmo": "HMO2", "hba1c": 88.0, "age": 70},
+            {"id": 4, "hmo": "HMO2", "hba1c": 90.0, "age": None},
+            {"id": 5, "hmo": "HMO3", "hba1c": None, "age": 55},
+        ],
+    )
+
+
+def hmos():
+    return Table.from_dicts(
+        "hmos",
+        [
+            {"hmo": "HMO1", "county": "allegheny"},
+            {"hmo": "HMO2", "county": "butler"},
+            {"hmo": "HMO3", "county": "allegheny"},
+        ],
+    )
+
+
+def catalog():
+    cat = Catalog("clinic")
+    cat.add(patients())
+    cat.add(hmos())
+    return cat
+
+
+class TestProjection:
+    def test_select_star(self):
+        result = execute(SelectQuery("patients"), patients())
+        assert len(result) == 5
+        assert result.schema.column_names() == ["id", "hmo", "hba1c", "age"]
+
+    def test_projection_order(self):
+        result = execute(SelectQuery("patients", columns=["hba1c", "id"]), patients())
+        assert result.schema.column_names() == ["hba1c", "id"]
+        assert result.rows[0] == (75.0, 1)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(RelationalError, match="unknown column"):
+            execute(SelectQuery("patients", columns=["nope"]), patients())
+
+    def test_where_filters(self):
+        query = SelectQuery(
+            "patients", columns=["id"], where=Comparison("hmo", "=", "HMO2")
+        )
+        result = execute(query, patients())
+        assert [r[0] for r in result.rows] == [3, 4]
+
+    def test_null_comparison_is_false(self):
+        query = SelectQuery(
+            "patients", columns=["id"], where=Comparison("hba1c", ">", 0)
+        )
+        result = execute(query, patients())
+        assert len(result) == 4  # patient 5 has NULL hba1c
+
+    def test_in_list(self):
+        query = SelectQuery(
+            "patients", columns=["id"], where=InList("hmo", ["HMO1", "HMO3"])
+        )
+        assert len(execute(query, patients())) == 3
+
+    def test_distinct(self):
+        query = SelectQuery("patients", columns=["hmo"], distinct=True)
+        result = execute(query, patients())
+        assert sorted(r[0] for r in result.rows) == ["HMO1", "HMO2", "HMO3"]
+
+    def test_order_by_desc_with_nulls_last(self):
+        query = SelectQuery(
+            "patients", columns=["id", "hba1c"], order_by=[("hba1c", False)]
+        )
+        result = execute(query, patients())
+        assert [r[0] for r in result.rows] == [4, 3, 2, 1, 5]
+
+    def test_order_by_asc_then_limit(self):
+        query = SelectQuery(
+            "patients", columns=["id"], order_by=[("age", True)], limit=2
+        )
+        result = execute(query, patients())
+        assert [r[0] for r in result.rows] == [5, 1]
+
+
+class TestAggregation:
+    def test_global_aggregates(self):
+        query = SelectQuery(
+            "patients",
+            aggregates=[
+                Aggregate("count", "*"),
+                Aggregate("avg", "hba1c"),
+                Aggregate("stddev", "hba1c"),
+            ],
+        )
+        result = execute(query, patients())
+        row = result.rows[0]
+        assert row[0] == 5
+        assert row[1] == pytest.approx((75 + 80 + 88 + 90) / 4)
+        values = [75.0, 80.0, 88.0, 90.0]
+        mean = sum(values) / 4
+        expected = math.sqrt(sum((v - mean) ** 2 for v in values) / 4)
+        assert row[2] == pytest.approx(expected)
+
+    def test_count_column_skips_nulls(self):
+        query = SelectQuery("patients", aggregates=[Aggregate("count", "hba1c")])
+        assert execute(query, patients()).rows[0][0] == 4
+
+    def test_group_by(self):
+        query = SelectQuery(
+            "patients",
+            columns=["hmo"],
+            aggregates=[Aggregate("avg", "hba1c", alias="mean")],
+            group_by=["hmo"],
+        )
+        result = execute(query, patients())
+        by_hmo = {r[0]: r[1] for r in result.rows}
+        assert by_hmo["HMO1"] == pytest.approx(77.5)
+        assert by_hmo["HMO2"] == pytest.approx(89.0)
+        assert by_hmo["HMO3"] is None  # all NULL → NULL
+
+    def test_group_rows_sorted_deterministically(self):
+        query = SelectQuery(
+            "patients",
+            columns=["hmo"],
+            aggregates=[Aggregate("count", "*")],
+            group_by=["hmo"],
+        )
+        result = execute(query, patients())
+        assert [r[0] for r in result.rows] == ["HMO1", "HMO2", "HMO3"]
+
+    def test_min_max_sum(self):
+        query = SelectQuery(
+            "patients",
+            aggregates=[
+                Aggregate("min", "age"),
+                Aggregate("max", "age"),
+                Aggregate("sum", "age"),
+            ],
+        )
+        assert execute(query, patients()).rows[0] == (55, 70, 249)
+
+    def test_empty_global_aggregate_emits_one_row(self):
+        query = SelectQuery(
+            "patients",
+            aggregates=[Aggregate("count", "*"), Aggregate("avg", "hba1c")],
+            where=Comparison("id", ">", 100),
+        )
+        assert execute(query, patients()).rows == [(0, None)]
+
+    def test_aggregate_over_text_rejected(self):
+        query = SelectQuery("patients", aggregates=[Aggregate("avg", "hmo")])
+        with pytest.raises(RelationalError, match="numeric"):
+            execute(query, patients())
+
+    def test_mixed_columns_without_group_by_rejected(self):
+        with pytest.raises(RelationalError):
+            SelectQuery(
+                "patients", columns=["hmo"], aggregates=[Aggregate("count", "*")]
+            )
+
+    def test_non_grouped_column_rejected(self):
+        with pytest.raises(RelationalError, match="non-grouped"):
+            SelectQuery(
+                "patients",
+                columns=["id"],
+                aggregates=[Aggregate("count", "*")],
+                group_by=["hmo"],
+            )
+
+    def test_var_aggregate(self):
+        query = SelectQuery("patients", aggregates=[Aggregate("var", "hba1c")])
+        result = execute(query, patients())
+        values = [75.0, 80.0, 88.0, 90.0]
+        mean = sum(values) / 4
+        assert result.rows[0][0] == pytest.approx(
+            sum((v - mean) ** 2 for v in values) / 4
+        )
+
+
+class TestJoin:
+    def test_equi_join(self):
+        query = SelectQuery(
+            "patients",
+            columns=["id", "county"],
+            join=Join("hmos", "hmo", "hmo"),
+        )
+        result = execute(query, catalog())
+        counties = {r[0]: r[1] for r in result.rows}
+        assert counties[1] == "allegheny"
+        assert counties[3] == "butler"
+
+    def test_join_renames_colliding_columns(self):
+        query = SelectQuery("patients", join=Join("hmos", "hmo", "hmo"))
+        result = execute(query, catalog())
+        assert "hmos_hmo" in result.schema.column_names()
+
+    def test_join_then_group(self):
+        query = SelectQuery(
+            "patients",
+            columns=["county"],
+            aggregates=[Aggregate("avg", "hba1c", alias="mean")],
+            group_by=["county"],
+            join=Join("hmos", "hmo", "hmo"),
+        )
+        result = execute(query, catalog())
+        by_county = {r[0]: r[1] for r in result.rows}
+        assert by_county["allegheny"] == pytest.approx(77.5)
+
+    def test_join_requires_catalog(self):
+        query = SelectQuery("patients", join=Join("hmos", "hmo", "hmo"))
+        with pytest.raises(RelationalError, match="Catalog"):
+            execute(query, patients())
+
+
+class TestQueryModel:
+    def test_columns_used(self):
+        query = SelectQuery(
+            "patients",
+            columns=["hmo"],
+            aggregates=[Aggregate("avg", "hba1c")],
+            where=Comparison("age", ">", 50),
+            group_by=["hmo"],
+            order_by=[("hmo", True)],
+        )
+        assert query.columns_used() == {"hmo", "hba1c", "age"}
+
+    def test_replace_produces_modified_copy(self):
+        query = SelectQuery("patients", columns=["id"])
+        changed = query.replace(limit=3)
+        assert changed.limit == 3
+        assert query.limit is None
+
+    def test_output_columns(self):
+        query = SelectQuery(
+            "patients",
+            columns=["hmo"],
+            aggregates=[Aggregate("avg", "hba1c", alias="mean")],
+            group_by=["hmo"],
+        )
+        assert query.output_columns() == ["hmo", "mean"]
+
+    def test_aggregate_star_only_count(self):
+        with pytest.raises(RelationalError):
+            Aggregate("avg", "*")
+
+    def test_execute_rejects_bad_source(self):
+        with pytest.raises(RelationalError):
+            execute(SelectQuery("patients"), {"not": "a table"})

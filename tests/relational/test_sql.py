@@ -1,0 +1,159 @@
+"""Unit tests for SQL generation and parsing (round-trip)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SqlError
+from repro.relational import (
+    Aggregate,
+    And,
+    Comparison,
+    InList,
+    IsNull,
+    Not,
+    Or,
+    SelectQuery,
+    parse_sql,
+    to_sql,
+)
+from repro.relational.engine import Join
+
+
+class TestGeneration:
+    def test_simple_select(self):
+        query = SelectQuery("patients", columns=["id", "name"])
+        assert to_sql(query) == "SELECT id, name FROM patients"
+
+    def test_full_clause_ordering(self):
+        query = SelectQuery(
+            "patients",
+            columns=["hmo"],
+            aggregates=[Aggregate("avg", "hba1c", alias="mean")],
+            where=Comparison("age", ">", 50),
+            group_by=["hmo"],
+            order_by=[("hmo", True)],
+            limit=10,
+        )
+        assert to_sql(query) == (
+            "SELECT hmo, AVG(hba1c) AS mean FROM patients WHERE age > 50 "
+            "GROUP BY hmo ORDER BY hmo ASC LIMIT 10"
+        )
+
+    def test_string_literal_escaped(self):
+        query = SelectQuery(
+            "t", columns=["a"], where=Comparison("a", "=", "O'Hara")
+        )
+        assert "O''Hara" in to_sql(query)
+
+    def test_join_rendered(self):
+        query = SelectQuery(
+            "a", columns=["x"], join=Join("b", "k", "k2")
+        )
+        assert "JOIN b ON k = k2" in to_sql(query)
+
+    def test_not_and_or_rendering(self):
+        where = Not(Or([Comparison("a", "=", 1), And([Comparison("b", "<", 2), IsNull("c")])]))
+        query = SelectQuery("t", columns=["a"], where=where)
+        sql = to_sql(query)
+        assert "NOT" in sql and "OR" in sql and "IS NULL" in sql
+
+
+class TestParsing:
+    def test_round_trip_simple(self):
+        sql = "SELECT id, name FROM patients WHERE age >= 65 LIMIT 5"
+        assert to_sql(parse_sql(sql)) == sql
+
+    def test_parse_aggregates(self):
+        query = parse_sql("SELECT COUNT(*) AS n, AVG(hba1c) AS m FROM p GROUP BY hmo")
+        # GROUP BY hmo with no plain hmo column is fine
+        assert query.aggregates[0].func == "count"
+        assert query.aggregates[1].alias == "m"
+
+    def test_parse_distinct(self):
+        assert parse_sql("SELECT DISTINCT hmo FROM p").distinct
+
+    def test_parse_in_and_is_null(self):
+        query = parse_sql(
+            "SELECT a FROM t WHERE a IN ('x', 'y') AND b IS NOT NULL"
+        )
+        assert isinstance(query.where, And)
+
+    def test_parse_join(self):
+        query = parse_sql("SELECT a FROM t JOIN u ON k = k2 WHERE a = 1")
+        assert query.join == Join("u", "k", "k2")
+
+    def test_parse_order_by_directions(self):
+        query = parse_sql("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert query.order_by == [("a", False), ("b", True), ("c", True)]
+
+    def test_parse_nested_parens(self):
+        query = parse_sql("SELECT a FROM t WHERE NOT (a = 1 OR (b < 2 AND c > 3))")
+        assert isinstance(query.where, Not)
+
+    def test_parse_diamond_operator(self):
+        query = parse_sql("SELECT a FROM t WHERE a <> 5")
+        assert query.where == Comparison("a", "!=", 5)
+
+    def test_parse_escaped_string(self):
+        query = parse_sql("SELECT a FROM t WHERE a = 'O''Hara'")
+        assert query.where.value == "O'Hara"
+
+    def test_parse_boolean_and_null_literals(self):
+        query = parse_sql("SELECT a FROM t WHERE flag = TRUE")
+        assert query.where.value is True
+
+    def test_keywords_case_insensitive(self):
+        query = parse_sql("select a from t where a > 1 order by a")
+        assert query.table == "t"
+
+    def test_error_on_trailing_tokens(self):
+        with pytest.raises(SqlError, match="trailing"):
+            parse_sql("SELECT a FROM t garbage here")
+
+    def test_error_on_missing_from(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a WHERE x = 1")
+
+    def test_error_on_unterminated_string(self):
+        with pytest.raises(SqlError, match="unterminated"):
+            parse_sql("SELECT a FROM t WHERE a = 'oops")
+
+    def test_error_on_unknown_aggregate(self):
+        with pytest.raises(SqlError, match="unknown aggregate"):
+            parse_sql("SELECT median(a) FROM t")
+
+    def test_error_on_bad_character(self):
+        with pytest.raises(SqlError):
+            parse_sql("SELECT a FROM t WHERE a = #5")
+
+
+_name = st.from_regex(r"[a-z][a-z0-9_]{0,7}", fullmatch=True).filter(
+    lambda s: s not in {"select", "from", "where", "group", "by", "order",
+                        "limit", "and", "or", "not", "is", "null", "in",
+                        "as", "asc", "desc", "true", "false", "join", "on",
+                        "distinct", "count", "sum", "avg", "min", "max",
+                        "stddev", "var"}
+)
+_value = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.text(alphabet="abc'xyz ", max_size=8),
+)
+_comparison = st.builds(
+    Comparison, _name, st.sampled_from(["=", "!=", "<", "<=", ">", ">="]), _value
+)
+
+
+@given(
+    _name,
+    st.lists(_name, min_size=1, max_size=3, unique=True),
+    _comparison,
+    st.integers(min_value=0, max_value=100) | st.none(),
+)
+def test_sql_round_trip_property(table, columns, where, limit):
+    """to_sql → parse_sql reproduces the logical query."""
+    query = SelectQuery(table, columns=columns, where=where, limit=limit)
+    parsed = parse_sql(to_sql(query))
+    assert parsed.table == query.table
+    assert parsed.columns == query.columns
+    assert parsed.where == query.where
+    assert parsed.limit == query.limit

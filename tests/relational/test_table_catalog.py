@@ -1,0 +1,87 @@
+"""Unit tests for tables and catalogs."""
+
+import pytest
+
+from repro.errors import RelationalError, SchemaError
+from repro.relational import Catalog, Column, ColumnType, Table, TableSchema
+
+
+class TestTable:
+    def test_insert_validates(self):
+        table = Table(TableSchema("t", [Column("a", "int")]))
+        table.insert([1])
+        with pytest.raises(SchemaError):
+            table.insert(["x"])
+
+    def test_from_dicts_infers_types(self):
+        table = Table.from_dicts(
+            "t", [{"a": 1, "b": 1.5, "c": "x", "d": True}]
+        )
+        types = {c.name: c.type for c in table.schema.columns}
+        assert types == {
+            "a": ColumnType.INT,
+            "b": ColumnType.FLOAT,
+            "c": ColumnType.TEXT,
+            "d": ColumnType.BOOL,
+        }
+
+    def test_from_dicts_infers_from_first_non_null(self):
+        table = Table.from_dicts("t", [{"a": None}, {"a": 2.5}])
+        assert table.schema.column("a").type is ColumnType.FLOAT
+
+    def test_from_dicts_type_override(self):
+        table = Table.from_dicts("t", [{"a": 1}], types={"a": "float"})
+        assert table.schema.column("a").type is ColumnType.FLOAT
+        assert table.rows[0] == (1.0,)
+
+    def test_from_dicts_requires_rows(self):
+        with pytest.raises(SchemaError):
+            Table.from_dicts("t", [])
+
+    def test_column_values_and_len(self):
+        table = Table.from_dicts("t", [{"a": 1}, {"a": 2}])
+        assert table.column_values("a") == [1, 2]
+        assert len(table) == 2
+
+    def test_rows_as_dicts(self):
+        table = Table.from_dicts("t", [{"a": 1, "b": "x"}])
+        assert list(table.rows_as_dicts()) == [{"a": 1, "b": "x"}]
+
+    def test_insert_many(self):
+        table = Table(TableSchema("t", [Column("a", "int")]))
+        table.insert_many([[1], [2], [3]])
+        assert len(table) == 3
+
+
+class TestCatalog:
+    def test_add_and_lookup(self):
+        cat = Catalog("db")
+        table = Table.from_dicts("t", [{"a": 1}])
+        cat.add(table)
+        assert cat.table("t") is table
+        assert "t" in cat
+        assert cat.has_table("t")
+
+    def test_duplicate_rejected(self):
+        cat = Catalog()
+        cat.add(Table.from_dicts("t", [{"a": 1}]))
+        with pytest.raises(RelationalError, match="already"):
+            cat.add(Table.from_dicts("t", [{"a": 2}]))
+
+    def test_missing_table_error_lists_names(self):
+        cat = Catalog("db")
+        cat.add(Table.from_dicts("t", [{"a": 1}]))
+        with pytest.raises(RelationalError, match=r"\['t'\]"):
+            cat.table("missing")
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.add(Table.from_dicts("t", [{"a": 1}]))
+        cat.drop("t")
+        assert len(cat) == 0
+        with pytest.raises(RelationalError):
+            cat.drop("t")
+
+    def test_non_table_rejected(self):
+        with pytest.raises(RelationalError):
+            Catalog().add("not a table")

@@ -1,0 +1,122 @@
+"""Unit tests for column types and schemas."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational import Column, ColumnType, TableSchema
+
+
+class TestColumnType:
+    def test_int_coercion(self):
+        assert ColumnType.INT.coerce("42") == 42
+        assert ColumnType.INT.coerce(7.0) == 7
+
+    def test_int_rejects_fractional_float(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.coerce(7.5)
+
+    def test_int_rejects_bool(self):
+        with pytest.raises(SchemaError):
+            ColumnType.INT.coerce(True)
+
+    def test_float_coercion(self):
+        assert ColumnType.FLOAT.coerce("3.25") == 3.25
+        assert ColumnType.FLOAT.coerce(2) == 2.0
+
+    def test_float_rejects_garbage(self):
+        with pytest.raises(SchemaError):
+            ColumnType.FLOAT.coerce("abc")
+
+    def test_bool_coercion(self):
+        assert ColumnType.BOOL.coerce("yes") is True
+        assert ColumnType.BOOL.coerce("0") is False
+        assert ColumnType.BOOL.coerce(1) is True
+
+    def test_bool_rejects_other_ints(self):
+        with pytest.raises(SchemaError):
+            ColumnType.BOOL.coerce(2)
+
+    def test_text_coercion(self):
+        assert ColumnType.TEXT.coerce(5) == "5"
+        assert ColumnType.TEXT.coerce("x") == "x"
+
+    def test_null_passthrough(self):
+        for ct in ColumnType:
+            assert ct.coerce(None) is None
+
+    def test_is_numeric(self):
+        assert ColumnType.INT.is_numeric
+        assert ColumnType.FLOAT.is_numeric
+        assert not ColumnType.TEXT.is_numeric
+        assert not ColumnType.BOOL.is_numeric
+
+
+class TestColumn:
+    def test_string_type_accepted(self):
+        assert Column("age", "int").type is ColumnType.INT
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("bad name", ColumnType.INT)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "decimal")
+
+    def test_repr_mentions_not_null(self):
+        assert "NOT NULL" in repr(Column("x", "int", nullable=False))
+
+
+class TestTableSchema:
+    def schema(self):
+        return TableSchema(
+            "patients",
+            [
+                Column("id", "int", nullable=False),
+                Column("name", "text"),
+                Column("hba1c", "float"),
+            ],
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            TableSchema("t", [Column("a", "int"), Column("a", "text")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_tuples_accepted_as_columns(self):
+        schema = TableSchema("t", [("a", "int"), ("b", "text")])
+        assert schema.column_names() == ["a", "b"]
+
+    def test_index_and_lookup(self):
+        schema = self.schema()
+        assert schema.index_of("name") == 1
+        assert schema.column("hba1c").type is ColumnType.FLOAT
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_coerce_row_sequence(self):
+        row = self.schema().coerce_row(["1", "Alice", "75"])
+        assert row == (1, "Alice", 75.0)
+
+    def test_coerce_row_mapping_fills_missing_with_null(self):
+        row = self.schema().coerce_row({"id": 2, "name": "Bob"})
+        assert row == (2, "Bob", None)
+
+    def test_coerce_row_rejects_unknown_keys(self):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            self.schema().coerce_row({"id": 1, "oops": 2})
+
+    def test_coerce_row_wrong_arity(self):
+        with pytest.raises(SchemaError, match="row has"):
+            self.schema().coerce_row([1, 2])
+
+    def test_not_null_enforced(self):
+        with pytest.raises(SchemaError, match="NOT NULL"):
+            self.schema().coerce_row({"name": "x"})
+
+    def test_subset_projection(self):
+        schema = self.schema().subset(["name", "id"])
+        assert schema.column_names() == ["name", "id"]

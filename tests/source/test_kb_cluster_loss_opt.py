@@ -1,0 +1,214 @@
+"""Unit tests for the KB, clusterer, loss estimator, and optimizer."""
+
+import pytest
+
+from repro.errors import PrivacyViolation, ReproError
+from repro.policy import DisclosureForm, PrivacyView
+from repro.policy.model import Decision
+from repro.query import extract_features, parse_piql
+from repro.relational import Table
+from repro.source import (
+    BreachType,
+    PathMapping,
+    PreservationKnowledgeBase,
+    PrivacyAwareOptimizer,
+    PrivacyLossEstimator,
+    PrivacyRewriter,
+    QueryClusterer,
+    QueryTransformer,
+    Technique,
+)
+
+
+def table():
+    return Table.from_dicts(
+        "patients",
+        [{"id": i, "age": 20 + i, "hba1c": 70.0 + i, "hmo": f"HMO{i % 3}"}
+         for i in range(50)],
+    )
+
+
+def view():
+    return PrivacyView("v", [("//hba1c", DisclosureForm.AGGREGATE)])
+
+
+def features_of(text):
+    return extract_features(parse_piql(text), view())
+
+
+def rewrite_of(text, decisions):
+    query = QueryTransformer(PathMapping(table())).transform(parse_piql(text)).query
+    return PrivacyRewriter().rewrite(query, decisions)
+
+
+def allow(form=DisclosureForm.EXACT, loss=1.0):
+    return Decision(True, form, loss, ["t"])
+
+
+class TestKnowledgeBase:
+    def test_record_level_breaches(self):
+        kb = PreservationKnowledgeBase()
+        breaches = kb.infer_breaches(
+            features_of("SELECT //patient/id, //patient/hba1c")
+        )
+        assert BreachType.REIDENTIFICATION in breaches
+        assert BreachType.LINKAGE in breaches
+        assert BreachType.ATTRIBUTE_DISCLOSURE in breaches
+
+    def test_aggregate_breaches(self):
+        kb = PreservationKnowledgeBase()
+        breaches = kb.infer_breaches(
+            features_of("SELECT AVG(//hba1c) WHERE //patient/hmo = 'HMO1'")
+        )
+        assert BreachType.SMALL_SET_AGGREGATE in breaches
+        assert BreachType.TRACKER_SEQUENCE in breaches
+        assert BreachType.REIDENTIFICATION not in breaches
+
+    def test_broad_aggregate_fewer_breaches(self):
+        kb = PreservationKnowledgeBase()
+        breaches = kb.infer_breaches(features_of("SELECT COUNT(*)"))
+        assert BreachType.SMALL_SET_AGGREGATE not in breaches
+
+    def test_techniques_for(self):
+        kb = PreservationKnowledgeBase()
+        techniques = kb.techniques_for({BreachType.TRACKER_SEQUENCE})
+        names = [t.name for t in techniques]
+        assert "audit-trail" in names
+        assert "k-anonymize" not in names
+
+    def test_technique_validation(self):
+        with pytest.raises(ReproError):
+            Technique("x", set(), 1.5, 0.1, 1.0)
+        with pytest.raises(ReproError):
+            Technique("x", set(), 0.5, 0.1, -1.0)
+
+
+class TestClusterer:
+    def test_similar_queries_share_cluster(self):
+        clusterer = QueryClusterer()
+        a = clusterer.match(features_of("SELECT AVG(//hba1c) WHERE //age > 60"))
+        b = clusterer.match(features_of("SELECT AVG(//hba1c) WHERE //age > 70"))
+        assert a is b
+        assert clusterer.kb_derivations == 1
+
+    def test_dissimilar_queries_split_clusters(self):
+        clusterer = QueryClusterer(radius=0.3)
+        a = clusterer.match(features_of("SELECT //patient/id, //patient/hba1c"))
+        b = clusterer.match(features_of("SELECT COUNT(*)"))
+        assert a is not b
+        assert a.breaches != b.breaches
+
+    def test_centroid_absorbs_members(self):
+        clusterer = QueryClusterer()
+        cluster = clusterer.match(features_of("SELECT COUNT(*)"))
+        clusterer.match(features_of("SELECT COUNT(*)"))
+        assert cluster.members == 2
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            QueryClusterer(radius=0.0)
+        with pytest.raises(ReproError):
+            QueryClusterer().match("not features")
+
+
+class TestLossEstimator:
+    def estimator(self):
+        return PrivacyLossEstimator(1000, private_columns={"hba1c"})
+
+    def test_record_level_private_exact_is_high(self):
+        rewrite = rewrite_of("SELECT //patient/hba1c", {"hba1c": allow()})
+        estimate = self.estimator().estimate(
+            rewrite, features_of("SELECT //patient/hba1c")
+        )
+        assert estimate.privacy_loss == pytest.approx(1.0)
+
+    def test_public_columns_leak_less(self):
+        rewrite = rewrite_of("SELECT //patient/age", {"age": allow()})
+        estimate = self.estimator().estimate(
+            rewrite, features_of("SELECT //patient/age")
+        )
+        assert estimate.privacy_loss < 0.5
+
+    def test_aggregates_amortize_over_set_size(self):
+        broad = rewrite_of("SELECT AVG(//hba1c)", {"hba1c": allow(DisclosureForm.AGGREGATE)})
+        narrow = rewrite_of(
+            "SELECT AVG(//hba1c) WHERE //id = 7",
+            {"hba1c": allow(DisclosureForm.AGGREGATE), "id": allow()},
+        )
+        estimator = self.estimator()
+        broad_loss = estimator.estimate(
+            broad, features_of("SELECT AVG(//hba1c)")
+        ).privacy_loss
+        narrow_loss = estimator.estimate(
+            narrow, features_of("SELECT AVG(//hba1c) WHERE //id = 7")
+        ).privacy_loss
+        assert narrow_loss > broad_loss
+
+    def test_techniques_reduce_privacy_loss_add_info_loss(self):
+        rewrite = rewrite_of("SELECT //patient/hba1c", {"hba1c": allow()})
+        features = features_of("SELECT //patient/hba1c")
+        estimator = self.estimator()
+        bare = estimator.estimate(rewrite, features)
+        kb = PreservationKnowledgeBase()
+        techniques = kb.techniques_for({BreachType.REIDENTIFICATION})
+        protected = estimator.estimate(rewrite, features, techniques)
+        assert protected.privacy_loss < bare.privacy_loss
+        assert protected.information_loss > bare.information_loss
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PrivacyLossEstimator(0)
+
+
+class TestOptimizer:
+    def setup_pieces(self, text="SELECT //patient/age WHERE //patient/hmo = 'HMO1'"):
+        decisions = {"age": allow(), "hmo": allow()}
+        rewrite = rewrite_of(text, decisions)
+        features = features_of(text)
+        estimator = PrivacyLossEstimator(10000)
+        estimate = estimator.estimate(rewrite, features)
+        return rewrite, estimate
+
+    def test_rewrite_strategy_wins_with_selective_predicates(self):
+        rewrite, estimate = self.setup_pieces()
+        optimizer = PrivacyAwareOptimizer(10000)
+        plan = optimizer.plan(rewrite, estimate, [], selectivity=0.05)
+        assert plan.strategy == "rewrite-then-execute"
+
+    def test_filter_strategy_never_cheaper(self):
+        rewrite, estimate = self.setup_pieces()
+        optimizer = PrivacyAwareOptimizer(10000)
+        for selectivity in (0.01, 0.2, 1.0):
+            plan = optimizer.plan(rewrite, estimate, [], selectivity=selectivity)
+            assert plan.strategy == "rewrite-then-execute"
+
+    def test_budget_pruning(self):
+        text = "SELECT //patient/hba1c"
+        rewrite = rewrite_of(text, {"hba1c": allow()})
+        estimator = PrivacyLossEstimator(100, private_columns={"hba1c"})
+        estimate = estimator.estimate(rewrite, features_of(text))
+        optimizer = PrivacyAwareOptimizer(100)
+        with pytest.raises(PrivacyViolation, match="exceeds budget"):
+            optimizer.plan(rewrite, estimate, [], max_loss=0.2)
+
+    def test_policy_budget_also_prunes(self):
+        text = "SELECT //patient/hba1c"
+        rewrite = rewrite_of(text, {"hba1c": allow(loss=0.1)})
+        estimator = PrivacyLossEstimator(100, private_columns={"hba1c"})
+        estimate = estimator.estimate(rewrite, features_of(text))
+        with pytest.raises(PrivacyViolation):
+            PrivacyAwareOptimizer(100).plan(rewrite, estimate, [])
+
+    def test_plan_lists_technique_steps(self):
+        rewrite, estimate = self.setup_pieces()
+        kb = PreservationKnowledgeBase()
+        techniques = kb.techniques_for({BreachType.REIDENTIFICATION})
+        plan = PrivacyAwareOptimizer(10000).plan(rewrite, estimate, techniques)
+        assert any(step.startswith("apply:") for step in plan.steps)
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PrivacyAwareOptimizer(0)
+        rewrite, estimate = self.setup_pieces()
+        with pytest.raises(ReproError):
+            PrivacyAwareOptimizer(10).plan(rewrite, estimate, [], selectivity=2.0)

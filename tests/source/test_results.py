@@ -1,0 +1,97 @@
+"""Unit tests for the XML result transformer + tagger."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.policy import DisclosureForm
+from repro.relational import Table
+from repro.source import tag_results
+from repro.source.knowledge import default_techniques
+from repro.source.results import untag_results
+from repro.xmlkit import parse_xml, serialize
+
+
+def result_table():
+    return Table.from_dicts(
+        "out",
+        [
+            {"age": 61, "rate": 82.5, "hmo": "HMO1", "note": None,
+             "flag": True},
+            {"age": 70, "rate": 88.0, "hmo": "HMO2", "note": "x",
+             "flag": False},
+        ],
+    )
+
+
+class TestTagging:
+    def test_metadata_structure(self):
+        document = tag_results(
+            result_table(), "HMO1",
+            {"age": DisclosureForm.RANGE}, 0.25,
+            default_techniques()[:2],
+        )
+        assert document.get("source") == "HMO1"
+        meta = document.find("privacy-metadata")
+        assert meta.find("loss").text == "0.250000"
+        technique_names = [
+            t.text for t in meta.find("techniques").find_all("technique")
+        ]
+        assert len(technique_names) == 2
+        forms = {
+            n.get("name"): n.get("form")
+            for n in meta.find("forms").find_all("column")
+        }
+        assert forms["age"] == "range"
+        assert forms["rate"] == "exact"
+
+    def test_generalizer_applied_to_range_columns(self):
+        document = tag_results(
+            result_table(), "HMO1",
+            {"age": DisclosureForm.RANGE}, 0.1,
+            generalizers={"age": lambda v: f"[{v - 1}-{v + 9})"},
+        )
+        _s, rows, _m = untag_results(document)
+        assert rows[0]["age"] == "[60-70)"
+
+    def test_null_cells_round_trip(self):
+        document = tag_results(result_table(), "S", {}, 0.0)
+        _s, rows, _m = untag_results(document)
+        assert rows[0]["note"] is None
+
+    def test_types_round_trip(self):
+        document = tag_results(result_table(), "S", {}, 0.0)
+        _s, rows, _m = untag_results(document)
+        assert rows[0]["age"] == 61
+        assert rows[0]["rate"] == 82.5
+        assert rows[0]["flag"] is True
+        assert rows[1]["hmo"] == "HMO2"
+
+    def test_serialized_round_trip_through_parser(self):
+        document = tag_results(result_table(), "S", {}, 0.5)
+        reparsed = parse_xml(serialize(document))
+        source, rows, meta = untag_results(reparsed)
+        assert source == "S"
+        assert len(rows) == 2
+        assert meta["loss"] == 0.5
+
+    def test_loss_bounds_validated(self):
+        with pytest.raises(ReproError):
+            tag_results(result_table(), "S", {}, 1.5)
+
+    def test_untag_rejects_wrong_root(self):
+        from repro.xmlkit import Element
+
+        with pytest.raises(ReproError):
+            untag_results(Element("nope"))
+
+    def test_untag_requires_metadata(self):
+        from repro.xmlkit import Element
+
+        with pytest.raises(ReproError, match="metadata"):
+            untag_results(Element("results"))
+
+    def test_hexlike_strings_survive(self):
+        table = Table.from_dicts("t", [{"id": "12e4abc56789"}])
+        document = tag_results(table, "S", {}, 0.0)
+        _s, rows, _m = untag_results(document)
+        assert rows[0]["id"] == "12e4abc56789"

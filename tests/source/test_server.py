@@ -1,0 +1,209 @@
+"""Integration tests for the RemoteSource pipeline (Figure 2a)."""
+
+import pytest
+
+from repro.anonymity import interval_hierarchy
+from repro.errors import PrivacyViolation, QueryError
+from repro.policy import PolicyStore
+from repro.query import parse_piql
+from repro.relational import Catalog, Comparison, Table
+from repro.source import RemoteSource
+from repro.source.results import untag_results
+
+POLICY_DOC = """
+VIEW hmo1_private {
+    PRIVATE //patient/ssn;
+    PRIVATE //patient/age FORM range;
+    PRIVATE //patient/hba1c FORM aggregate;
+}
+
+POLICY HMO1 DEFAULT deny {
+    DENY //patient/ssn FOR *;
+    ALLOW //patient/age FOR research FORM range;
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.5;
+    ALLOW //patient/hmo FOR research FORM exact;
+    ALLOW //patient/id FOR research FORM exact;
+    ALLOW //patient/consented FOR research FORM exact;
+}
+"""
+
+
+def build_source(consent=False, overlap=None):
+    rows = [
+        {"id": i, "ssn": f"123-45-{i:04d}", "age": 20 + (i % 60),
+         "hba1c": 60.0 + (i % 30), "hmo": "HMO1",
+         "consented": i % 4 != 0}
+        for i in range(80)
+    ]
+    catalog = Catalog("HMO1")
+    catalog.add(Table.from_dicts("patients", rows))
+    store = PolicyStore()
+    store.load_document(POLICY_DOC, view_source={"hmo1_private": "HMO1"})
+    source = RemoteSource(
+        "HMO1", catalog, "patients", store,
+        consent_predicate=Comparison("consented", "=", True) if consent else None,
+        hierarchies={"age": interval_hierarchy("age", [10, 20])},
+        qi_columns=["age"],
+    )
+    if overlap is not None:
+        source.enable_overlap_control(overlap)
+    return source
+
+
+class TestAggregateQueries:
+    def test_aggregate_over_private_column_allowed(self):
+        source = build_source()
+        response = source.answer(
+            parse_piql(
+                "SELECT AVG(//patient/hba1c) AS mean "
+                "PURPOSE outbreak-surveillance MAXLOSS 0.5"
+            )
+        )
+        _src, rows, meta = untag_results(response.document)
+        assert _src == "HMO1"
+        assert len(rows) == 1
+        assert 60.0 <= rows[0]["mean"] <= 90.0
+        assert meta["loss"] <= 0.5
+
+    def test_group_by_aggregate(self):
+        source = build_source()
+        response = source.answer(
+            parse_piql(
+                "SELECT AVG(//patient/hba1c) AS mean "
+                "GROUP BY //patient/hmo PURPOSE outbreak-surveillance"
+            )
+        )
+        _src, rows, _meta = untag_results(response.document)
+        assert rows[0]["hmo"] == "HMO1"
+
+    def test_record_level_private_column_refused(self):
+        source = build_source()
+        with pytest.raises(PrivacyViolation):
+            source.answer(
+                parse_piql("SELECT //patient/hba1c PURPOSE outbreak-surveillance")
+            )
+
+    def test_wrong_purpose_refused(self):
+        source = build_source()
+        with pytest.raises(PrivacyViolation):
+            source.answer(
+                parse_piql("SELECT AVG(//patient/hba1c) PURPOSE marketing")
+            )
+        assert source.queries_refused == 1
+
+    def test_small_set_aggregate_refused(self):
+        source = build_source()
+        with pytest.raises(PrivacyViolation):
+            source.answer(
+                parse_piql(
+                    "SELECT AVG(//patient/hba1c) WHERE //patient/id = 7 "
+                    "PURPOSE outbreak-surveillance"
+                )
+            )
+
+    def test_audit_blocks_difference_sequence(self):
+        source = build_source()
+        source.answer(
+            parse_piql(
+                "SELECT SUM(//patient/hba1c) WHERE //patient/age < 50 "
+                "PURPOSE outbreak-surveillance"
+            )
+        )
+        with pytest.raises(PrivacyViolation):
+            source.answer(
+                parse_piql(
+                    "SELECT SUM(//patient/hba1c) WHERE //patient/age < 51 "
+                    "PURPOSE outbreak-surveillance"
+                )
+            )
+
+    def test_overlap_control_optional(self):
+        source = build_source(overlap=5)
+        source.answer(
+            parse_piql(
+                "SELECT COUNT(*) WHERE //patient/age < 50 PURPOSE research"
+            )
+        )
+        with pytest.raises(PrivacyViolation, match="overlap"):
+            source.answer(
+                parse_piql(
+                    "SELECT COUNT(*) WHERE //patient/age < 49 PURPOSE research"
+                )
+            )
+
+
+class TestRecordLevelQueries:
+    def test_range_form_generalizes_values(self):
+        source = build_source()
+        response = source.answer(
+            parse_piql("SELECT //patient/age PURPOSE research")
+        )
+        _src, rows, meta = untag_results(response.document)
+        assert meta["forms"]["age"] == "range"
+        assert all(str(r["age"]).startswith("[") for r in rows)
+
+    def test_ssn_never_disclosed(self):
+        source = build_source()
+        with pytest.raises(PrivacyViolation):
+            source.answer(parse_piql("SELECT //patient/ssn PURPOSE research"))
+
+    def test_denied_column_dropped_but_query_succeeds(self):
+        source = build_source()
+        response = source.answer(
+            parse_piql("SELECT //patient/age, //patient/ssn PURPOSE research")
+        )
+        _src, rows, _meta = untag_results(response.document)
+        assert "ssn" not in rows[0]
+        assert "ssn" in response.rewrite.dropped
+
+    def test_identifier_pseudonymized(self):
+        source = build_source()
+        response = source.answer(
+            parse_piql("SELECT //patient/id, //patient/age PURPOSE research")
+        )
+        _src, rows, _meta = untag_results(response.document)
+        # ids replaced by keyed pseudonyms, not the raw integers
+        assert all(isinstance(r["id"], str) and len(r["id"]) == 12 for r in rows)
+
+    def test_consent_predicate_restricts_rows(self):
+        with_consent = build_source(consent=True)
+        without_consent = build_source(consent=False)
+        query = "SELECT //patient/age PURPOSE research"
+        n_with = len(untag_results(
+            with_consent.answer(parse_piql(query)).document
+        )[1])
+        n_without = len(untag_results(
+            without_consent.answer(parse_piql(query)).document
+        )[1])
+        assert n_with < n_without
+
+
+class TestPipelineMetadata:
+    def test_sql_and_plan_exposed(self):
+        source = build_source()
+        response = source.answer(
+            parse_piql("SELECT COUNT(*) PURPOSE research")
+        )
+        assert "SELECT COUNT(*)" in response.sql
+        assert response.plan.strategy == "rewrite-then-execute"
+        assert response.cluster is not None
+
+    def test_counters(self):
+        source = build_source()
+        source.answer(parse_piql("SELECT COUNT(*) PURPOSE research"))
+        assert source.queries_answered == 1
+        assert source.queries_refused == 0
+
+    def test_clusters_reused_across_similar_queries(self):
+        source = build_source()
+        source.answer(parse_piql(
+            "SELECT AVG(//patient/hba1c) WHERE //patient/age > 30 "
+            "PURPOSE outbreak-surveillance"))
+        source.answer(parse_piql(
+            "SELECT AVG(//patient/hba1c) WHERE //patient/age > 42 "
+            "PURPOSE outbreak-surveillance"))
+        assert source.clusterer.kb_derivations == 1
+
+    def test_type_check(self):
+        with pytest.raises(QueryError):
+            build_source().answer("SELECT //x")

@@ -1,0 +1,169 @@
+"""Unit tests for the query transformer and privacy rewriter."""
+
+import pytest
+
+from repro.access import Permission, RbacPolicy, Role
+from repro.errors import AccessDenied, PathError, PrivacyViolation, QueryError
+from repro.policy.model import Decision, DisclosureForm
+from repro.query import parse_piql
+from repro.relational import Table
+from repro.source import PathMapping, PrivacyRewriter, QueryTransformer
+
+
+def patients_table():
+    return Table.from_dicts(
+        "patients",
+        [
+            {"id": 1, "dob": "1970-01-01", "zip_code": "15213",
+             "hba1c": 75.0, "age": 60, "hmo": "HMO1"},
+            {"id": 2, "dob": "1980-02-02", "zip_code": "15217",
+             "hba1c": 82.0, "age": 70, "hmo": "HMO2"},
+        ],
+    )
+
+
+def transformer():
+    return QueryTransformer(PathMapping(patients_table()))
+
+
+class TestTransformer:
+    def test_projection_with_loose_names(self):
+        # dateOfBirth → dob (synonym), zip → zip_code (similarity)
+        piql = parse_piql("SELECT //patient/dateOfBirth, //patient/zip")
+        result = transformer().transform(piql)
+        assert result.query.columns == ["dob", "zip_code"]
+        assert "SELECT dob, zip_code FROM patients" == result.sql
+
+    def test_aggregate_transform(self):
+        piql = parse_piql(
+            "SELECT AVG(//test/hba1c) AS mean WHERE //patient/age > 65 "
+            "GROUP BY //patient/hmo"
+        )
+        result = transformer().transform(piql)
+        assert result.sql == (
+            "SELECT AVG(hba1c) AS mean FROM patients WHERE age > 65 "
+            "GROUP BY hmo"
+        )
+
+    def test_count_star(self):
+        result = transformer().transform(parse_piql("SELECT COUNT(*)"))
+        assert result.sql == "SELECT COUNT(*) AS count FROM patients"
+
+    def test_predicates_combined_with_and(self):
+        piql = parse_piql(
+            "SELECT //patient/id WHERE //patient/age > 65 AND //patient/hmo = 'HMO2'"
+        )
+        result = transformer().transform(piql)
+        assert "age > 65 AND hmo = 'HMO2'" in result.sql
+
+    def test_unresolvable_path_raises(self):
+        with pytest.raises(PathError, match="zzz"):
+            transformer().transform(parse_piql("SELECT //patient/zzzqqq"))
+
+    def test_column_of_path_mapping_recorded(self):
+        piql = parse_piql("SELECT //patient/dateOfBirth")
+        result = transformer().transform(piql)
+        assert result.column_of_path == {"//patient/dateOfBirth": "dob"}
+
+    def test_type_checks(self):
+        with pytest.raises(QueryError):
+            QueryTransformer("not a mapping")
+        with pytest.raises(QueryError):
+            transformer().transform("SELECT //x")
+
+
+def allow(form=DisclosureForm.EXACT, loss=1.0):
+    return Decision(True, form, loss, ["test"])
+
+
+def deny():
+    return Decision.deny("test denial")
+
+
+class TestRewriter:
+    def query(self, text):
+        return transformer().transform(parse_piql(text)).query
+
+    def test_exact_grants_pass_through(self):
+        query = self.query("SELECT //patient/dob, //patient/age")
+        result = PrivacyRewriter().rewrite(
+            query, {"dob": allow(), "age": allow()}
+        )
+        assert result.query.columns == ["dob", "age"]
+        assert result.dropped == []
+
+    def test_denied_projection_dropped(self):
+        query = self.query("SELECT //patient/dob, //patient/age")
+        result = PrivacyRewriter().rewrite(
+            query, {"dob": deny(), "age": allow()}
+        )
+        assert result.query.columns == ["age"]
+        assert result.dropped == ["dob"]
+
+    def test_all_denied_refused(self):
+        query = self.query("SELECT //patient/dob")
+        with pytest.raises(PrivacyViolation, match="nothing disclosable"):
+            PrivacyRewriter().rewrite(query, {"dob": deny()})
+
+    def test_missing_decision_treated_as_denied(self):
+        query = self.query("SELECT //patient/dob, //patient/age")
+        result = PrivacyRewriter().rewrite(query, {"age": allow()})
+        assert result.query.columns == ["age"]
+
+    def test_denied_predicate_refuses(self):
+        query = self.query("SELECT //patient/age WHERE //patient/hmo = 'HMO1'")
+        with pytest.raises(PrivacyViolation, match="predicate"):
+            PrivacyRewriter().rewrite(
+                query, {"age": allow(), "hmo": deny()}
+            )
+
+    def test_range_form_marks_generalization(self):
+        query = self.query("SELECT //patient/age")
+        result = PrivacyRewriter().rewrite(
+            query, {"age": allow(DisclosureForm.RANGE)}
+        )
+        assert result.generalized_columns == ["age"]
+
+    def test_aggregate_only_column_dropped_from_projection(self):
+        query = self.query("SELECT //patient/hba1c, //patient/age")
+        result = PrivacyRewriter().rewrite(
+            query,
+            {"hba1c": allow(DisclosureForm.AGGREGATE), "age": allow()},
+        )
+        assert result.query.columns == ["age"]
+        assert "hba1c" in result.dropped[0]
+
+    def test_aggregate_only_column_allowed_in_aggregate(self):
+        query = self.query("SELECT AVG(//patient/hba1c)")
+        result = PrivacyRewriter().rewrite(
+            query, {"hba1c": allow(DisclosureForm.AGGREGATE)}
+        )
+        assert len(result.query.aggregates) == 1
+
+    def test_denied_aggregate_dropped(self):
+        query = self.query("SELECT AVG(//patient/hba1c), COUNT(*)")
+        result = PrivacyRewriter().rewrite(query, {"hba1c": deny()})
+        assert [a.func for a in result.query.aggregates] == ["count"]
+
+    def test_loss_budget_is_minimum(self):
+        query = self.query("SELECT //patient/dob, //patient/age")
+        result = PrivacyRewriter().rewrite(
+            query, {"dob": allow(loss=0.4), "age": allow(loss=0.7)}
+        )
+        assert result.loss_budget == pytest.approx(0.4)
+
+    def test_group_by_denied_refuses(self):
+        query = self.query("SELECT COUNT(*) GROUP BY //patient/hmo")
+        with pytest.raises(PrivacyViolation, match="GROUP BY"):
+            PrivacyRewriter().rewrite(query, {"hmo": deny()})
+
+    def test_rbac_enforced(self):
+        rbac = RbacPolicy()
+        rbac.add_role(Role("analyst", [Permission("aggregate", "patients.*")]))
+        rbac.assign("alice", "analyst")
+        rewriter = PrivacyRewriter(rbac, resource_prefix="patients")
+        aggregate_query = self.query("SELECT COUNT(*)")
+        rewriter.rewrite(aggregate_query, {}, requester="alice")
+        record_query = self.query("SELECT //patient/age")
+        with pytest.raises(AccessDenied):
+            rewriter.rewrite(record_query, {"age": allow()}, requester="alice")

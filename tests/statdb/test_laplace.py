@@ -1,0 +1,125 @@
+"""Unit tests for the Laplace mechanism and privacy budgets."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.errors import PrivacyViolation, ReproError
+from repro.relational import Comparison, Table
+from repro.statdb import LaplaceMechanism, PrivacyBudget, ProtectedStatDB, StatQuery
+from repro.statdb.tracker import individual_tracker_attack, true_value
+
+
+class TestLaplaceMechanism:
+    def test_noise_scale(self):
+        assert LaplaceMechanism(0.5, sensitivity=2.0).noise_scale == 4.0
+
+    def test_memoized_per_fingerprint(self):
+        mechanism = LaplaceMechanism(1.0, rng=random.Random(1))
+        a = mechanism.answer(100.0, "q1")
+        b = mechanism.answer(100.0, "q1")
+        c = mechanism.answer(100.0, "q2")
+        assert a == b  # repeat replays, no averaging attack
+        assert a != c  # distinct queries get fresh noise
+
+    def test_memo_is_per_requester(self):
+        mechanism = LaplaceMechanism(1.0, rng=random.Random(2))
+        assert mechanism.answer(5.0, "q", "alice") != mechanism.answer(
+            5.0, "q", "bob"
+        )
+
+    def test_noise_distribution(self):
+        mechanism = LaplaceMechanism(1.0, sensitivity=1.0,
+                                     rng=random.Random(3))
+        noises = [
+            mechanism.answer(0.0, f"q{i}") for i in range(4000)
+        ]
+        assert statistics.mean(noises) == pytest.approx(0.0, abs=0.1)
+        # E|Laplace(b)| = b = 1
+        assert statistics.mean(abs(n) for n in noises) == pytest.approx(
+            1.0, abs=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            LaplaceMechanism(0.0)
+        with pytest.raises(ReproError):
+            LaplaceMechanism(1.0, sensitivity=0.0)
+
+
+class TestPrivacyBudget:
+    def test_charging_and_exhaustion(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge("alice", 0.4)
+        budget.charge("alice", 0.4)
+        assert budget.remaining("alice") == pytest.approx(0.2)
+        with pytest.raises(PrivacyViolation, match="exhausted"):
+            budget.charge("alice", 0.4)
+
+    def test_budgets_are_per_requester(self):
+        budget = PrivacyBudget(1.0)
+        budget.charge("alice", 1.0)
+        budget.charge("bob", 1.0)  # bob has his own ledger
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            PrivacyBudget(0.0)
+        with pytest.raises(ReproError):
+            PrivacyBudget(1.0).charge("x", -0.1)
+
+
+def table():
+    return Table.from_dicts(
+        "salaries",
+        [{"id": i, "dept": "sales" if i % 3 else "exec",
+          "salary": 1000.0 + 100.0 * i} for i in range(30)],
+    )
+
+
+class TestLaplaceProtectedDb:
+    def db(self, epsilon=0.5, budget_total=None, seed=7):
+        budget = PrivacyBudget(budget_total) if budget_total else None
+        mechanism = LaplaceMechanism(
+            epsilon, sensitivity=1.0, budget=budget, rng=random.Random(seed)
+        )
+        return ProtectedStatDB(table(), output_perturbation=mechanism)
+
+    def test_counts_are_noisy_but_close(self):
+        db = self.db(epsilon=1.0)
+        answer = db.answer(StatQuery("count"))
+        assert answer != 30.0
+        assert abs(answer - 30.0) < 15.0
+
+    def test_repeated_query_same_answer(self):
+        db = self.db()
+        query = StatQuery("count", predicate=Comparison("dept", "=", "sales"))
+        assert db.answer(query) == db.answer(query)
+
+    def test_budget_exhaustion_refuses_novel_queries(self):
+        db = self.db(epsilon=0.5, budget_total=1.0)
+        db.answer(StatQuery("count"), requester="snoop")
+        db.answer(StatQuery("count", predicate=Comparison("id", "<", 20)),
+                  requester="snoop")
+        with pytest.raises(PrivacyViolation, match="exhausted"):
+            db.answer(StatQuery("count", predicate=Comparison("id", "<", 10)),
+                      requester="snoop")
+        # repeats of already-answered queries still work (memoized)
+        db.answer(StatQuery("count"), requester="snoop")
+
+    def test_tracker_attack_yields_wrong_value(self):
+        db = ProtectedStatDB(
+            table(),
+            min_set_size=3,
+            restrict_complement=False,
+            output_perturbation=LaplaceMechanism(
+                0.3, sensitivity=1.0, rng=random.Random(11)
+            ),
+        )
+        victim = Comparison("id", "=", 0)
+        result = individual_tracker_attack(
+            db, victim, Comparison("dept", "=", "sales"), func="count"
+        )
+        truth = true_value(db, victim, func="count")
+        assert result.succeeded  # answered...
+        assert result.inferred_value != pytest.approx(truth)  # ...but wrong

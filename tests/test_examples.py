@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs to completion.
+
+Each example is executed in a subprocess (fresh interpreter, as a user
+would run it) and its headline output lines are asserted, so the examples
+cannot silently rot.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_MARKERS = {
+    "quickstart.py": ["mediated vocabulary", "refused:"],
+    "clinical_integration.py": [
+        "inferred intervals", "BLOCKED", "ReleaseDecision(SAFE)",
+    ],
+    "outbreak_surveillance.py": [
+        "epidemic curves", "case fatality", "EMERGENCY",
+    ],
+    "private_linkage_demo.py": [
+        "private set intersection", "Bloom linkage", "secure union",
+    ],
+    "policy_negotiation.py": [
+        "ACCEPT", "REJECT", "CHOSEN:",
+    ],
+}
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED_MARKERS))
+def test_example_runs(script):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"example missing: {path}"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    for marker in EXPECTED_MARKERS[script]:
+        assert marker in completed.stdout, (
+            f"{script} output lacks {marker!r}"
+        )

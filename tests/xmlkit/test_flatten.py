@@ -1,0 +1,87 @@
+"""Unit tests for XML flattening (hierarchical → relational bridge)."""
+
+import pytest
+
+from repro.errors import XmlError
+from repro.relational import ColumnType
+from repro.xmlkit import parse_xml, table_from_xml, xml_from_table
+from repro.xmlkit.flatten import validate_record_path
+
+DOC = """
+<clinic county="allegheny">
+  <patient id="p1">
+    <name>Alice</name>
+    <age>61</age>
+    <hba1c>75.5</hba1c>
+    <consented>true</consented>
+  </patient>
+  <patient id="p2">
+    <name>Bob</name>
+    <age>70</age>
+    <hba1c>82.0</hba1c>
+    <consented>false</consented>
+  </patient>
+  <patient id="p3">
+    <name>Cara</name>
+    <age>55</age>
+  </patient>
+</clinic>
+"""
+
+
+class TestTableFromXml:
+    def table(self):
+        return table_from_xml(parse_xml(DOC), "//patient", "patients")
+
+    def test_one_row_per_record(self):
+        assert len(self.table()) == 3
+
+    def test_columns_from_attrs_and_children(self):
+        assert self.table().schema.column_names() == [
+            "id", "name", "age", "hba1c", "consented",
+        ]
+
+    def test_types_inferred(self):
+        schema = self.table().schema
+        assert schema.column("age").type is ColumnType.INT
+        assert schema.column("hba1c").type is ColumnType.FLOAT
+        assert schema.column("consented").type is ColumnType.BOOL
+        assert schema.column("name").type is ColumnType.TEXT
+
+    def test_missing_children_become_null(self):
+        rows = list(self.table().rows_as_dicts())
+        assert rows[2]["hba1c"] is None
+        assert rows[2]["consented"] is None
+
+    def test_repeated_children_first_wins(self):
+        document = parse_xml("<r><p><x>1</x><x>2</x></p></r>")
+        table = table_from_xml(document, "//p")
+        assert table.rows[0] == (1,)
+
+    def test_empty_selection_rejected(self):
+        with pytest.raises(XmlError, match="selects no elements"):
+            table_from_xml(parse_xml(DOC), "//physician")
+
+    def test_attribute_record_path_rejected(self):
+        with pytest.raises(XmlError):
+            table_from_xml(parse_xml(DOC), "//patient/@id")
+
+    def test_validate_record_path(self):
+        validate_record_path("//patient")
+        with pytest.raises(XmlError):
+            validate_record_path("//patient/@id")
+
+
+class TestXmlFromTable:
+    def test_round_trip(self):
+        table = table_from_xml(parse_xml(DOC), "//patient", "patients")
+        document = xml_from_table(table, root_tag="patients", record_tag="p")
+        again = table_from_xml(document, "//p", "patients")
+        assert list(again.rows_as_dicts()) == list(table.rows_as_dicts())
+
+    def test_nulls_marked(self):
+        table = table_from_xml(parse_xml(DOC), "//patient")
+        document = xml_from_table(table)
+        third = document.child_elements()[2]
+        hba1c = third.find("hba1c")
+        assert hba1c.get("null") == "true"

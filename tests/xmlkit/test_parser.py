@@ -1,0 +1,119 @@
+"""Unit tests for the XML parser and serializer round-trip."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import XmlError
+from repro.xmlkit import Element, element, parse_xml, serialize
+
+
+class TestParsing:
+    def test_simple_document(self):
+        root = parse_xml("<a><b>hi</b></a>")
+        assert root.tag == "a"
+        assert root.find("b").text == "hi"
+
+    def test_attributes_both_quote_styles(self):
+        root = parse_xml("""<a x="1" y='2'/>""")
+        assert root.attrs == {"x": "1", "y": "2"}
+
+    def test_self_closing(self):
+        root = parse_xml("<a><b/><c/></a>")
+        assert [c.tag for c in root.child_elements()] == ["b", "c"]
+
+    def test_xml_declaration_and_comments_skipped(self):
+        doc = "<?xml version='1.0'?><!-- hi --><a><!-- in --><b/></a><!-- post -->"
+        root = parse_xml(doc)
+        assert root.find("b") is not None
+
+    def test_processing_instruction_skipped(self):
+        root = parse_xml("<a><?php echo ?><b/></a>")
+        assert root.find("b") is not None
+
+    def test_entities_decoded_in_text_and_attrs(self):
+        root = parse_xml('<a x="&lt;&amp;&gt;">&quot;&apos;&#65;&#x42;</a>')
+        assert root.attrs["x"] == "<&>"
+        assert root.text == "\"'AB"
+
+    def test_mismatched_tags_rejected(self):
+        with pytest.raises(XmlError, match="mismatched"):
+            parse_xml("<a><b></a></b>")
+
+    def test_unterminated_element_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a><b>")
+
+    def test_trailing_content_rejected(self):
+        with pytest.raises(XmlError, match="trailing"):
+            parse_xml("<a/><b/>")
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlError, match="unknown entity"):
+            parse_xml("<a>&nope;</a>")
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml("<a x=1/>")
+
+    def test_non_string_input_rejected(self):
+        with pytest.raises(XmlError):
+            parse_xml(b"<a/>")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(XmlError, match="line 3"):
+            parse_xml("<a>\n<b>\n</a>")
+
+
+class TestSerialization:
+    def test_compact_round_trip(self):
+        root = Element("a", {"k": 'va"l'})
+        root.append(element("b", "x < y & z"))
+        root.append(Element("c"))
+        text = serialize(root)
+        again = parse_xml(text)
+        assert again.structurally_equal(root)
+
+    def test_empty_element_serialized_self_closing(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_pretty_print_indents(self):
+        root = Element("a", children=[Element("b", children=[element("c", "t")])])
+        text = serialize(root, indent=2)
+        assert "<a>\n  <b>\n    <c>t</c>\n  </b>\n</a>\n" == text
+
+    def test_pretty_round_trip_structure(self):
+        root = Element("a", children=[element("b", "hello"), Element("c")])
+        assert parse_xml(serialize(root, indent=4)).structurally_equal(root)
+
+
+_tag = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+_text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20
+)
+
+
+def _tree(depth=0):
+    children = st.lists(
+        st.one_of(_text.filter(lambda t: t.strip()), st.deferred(lambda: _tree(depth + 1)))
+        if depth < 2
+        else _text.filter(lambda t: t.strip()),
+        max_size=3,
+    )
+    return st.builds(
+        lambda tag, attrs, kids: _build(tag, attrs, kids),
+        _tag,
+        st.dictionaries(_tag, _text, max_size=2),
+        children,
+    )
+
+
+def _build(tag, attrs, kids):
+    node = Element(tag, attrs)
+    node.extend(kids)
+    return node
+
+
+@given(_tree())
+def test_round_trip_property(root):
+    """serialize → parse is the identity on structure."""
+    assert parse_xml(serialize(root)).structurally_equal(root)

@@ -1,0 +1,139 @@
+"""Unit tests for the XPath-subset evaluator."""
+
+import pytest
+
+from repro.errors import PathError
+from repro.xmlkit import Element, element, evaluate_path, parse_path, text_of
+
+
+def clinic():
+    root = Element("clinic", {"county": "allegheny"})
+    for pid, name, dob, hba1c in [
+        ("p1", "Alice", "1970-01-01", "75"),
+        ("p2", "Bob", "1980-02-02", "83"),
+        ("p3", "Cara", "1990-03-03", "91"),
+    ]:
+        patient = root.append(Element("patient", {"id": pid}))
+        patient.append(element("name", name))
+        record = patient.append(Element("record"))
+        record.append(element("dob", dob))
+        record.append(element("test", hba1c, type="HbA1c"))
+    return root
+
+
+class TestParsing:
+    def test_parse_rejects_relative_path(self):
+        with pytest.raises(PathError):
+            parse_path("patient/dob")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(PathError):
+            parse_path("   ")
+
+    def test_parse_rejects_interior_attribute_step(self):
+        with pytest.raises(PathError):
+            parse_path("/a/@b/c")
+
+    def test_parse_rejects_unbalanced_bracket(self):
+        with pytest.raises(PathError):
+            parse_path("/a[@x='1'")
+
+    def test_parse_rejects_bad_literal(self):
+        with pytest.raises(PathError):
+            parse_path("/a[@x=unquoted]")
+
+    def test_repr_round_trips(self):
+        text = "//patient[@id='p1']/record/test[type='HbA1c']"
+        assert repr(parse_path(text)) == text
+
+    def test_equality(self):
+        assert parse_path("//a/b") == parse_path("//a/b")
+        assert parse_path("//a/b") != parse_path("/a/b")
+
+
+class TestEvaluation:
+    def test_absolute_child_path(self):
+        names = evaluate_path("/clinic/patient/name", clinic())
+        assert [text_of(n) for n in names] == ["Alice", "Bob", "Cara"]
+
+    def test_root_tag_must_match(self):
+        assert evaluate_path("/hospital/patient", clinic()) == []
+
+    def test_descendant_axis(self):
+        dobs = evaluate_path("//dob", clinic())
+        assert len(dobs) == 3
+
+    def test_descendant_then_child(self):
+        tests = evaluate_path("//record/test", clinic())
+        assert len(tests) == 3
+
+    def test_descendant_within_descendant(self):
+        assert len(evaluate_path("//patient//test", clinic())) == 3
+
+    def test_wildcard(self):
+        children = evaluate_path("/clinic/*", clinic())
+        assert all(c.tag == "patient" for c in children)
+
+    def test_attribute_selection(self):
+        ids = evaluate_path("//patient/@id", clinic())
+        assert ids == ["p1", "p2", "p3"]
+
+    def test_attribute_wildcard(self):
+        values = evaluate_path("/clinic/@*", clinic())
+        assert values == ["allegheny"]
+
+    def test_attribute_predicate(self):
+        found = evaluate_path("//patient[@id='p2']/name", clinic())
+        assert [text_of(n) for n in found] == ["Bob"]
+
+    def test_child_value_predicate(self):
+        found = evaluate_path("//patient[name='Cara']", clinic())
+        assert [n.get("id") for n in found] == ["p3"]
+
+    def test_numeric_comparison_predicate(self):
+        found = evaluate_path("//record[test>80]", clinic())
+        assert len(found) == 2
+
+    def test_numeric_le_predicate(self):
+        found = evaluate_path("//record[test<=83]", clinic())
+        assert len(found) == 2
+
+    def test_not_equal_predicate(self):
+        found = evaluate_path("//patient[@id!='p1']", clinic())
+        assert [n.get("id") for n in found] == ["p2", "p3"]
+
+    def test_positional_predicate(self):
+        found = evaluate_path("/clinic/patient[2]", clinic())
+        assert [n.get("id") for n in found] == ["p2"]
+
+    def test_positional_out_of_range(self):
+        assert evaluate_path("/clinic/patient[9]", clinic()) == []
+
+    def test_existence_predicates(self):
+        assert len(evaluate_path("//patient[@id]", clinic())) == 3
+        assert len(evaluate_path("//patient[record]", clinic())) == 3
+        assert evaluate_path("//patient[@missing]", clinic()) == []
+        assert evaluate_path("//patient[missing]", clinic()) == []
+
+    def test_chained_predicates(self):
+        found = evaluate_path("//patient[@id][name='Alice']", clinic())
+        assert len(found) == 1
+
+    def test_attribute_comparison_on_test_type(self):
+        found = evaluate_path("//test[@type='HbA1c']", clinic())
+        assert len(found) == 3
+
+    def test_results_deduplicated(self):
+        # //patient//test and //record//test can both reach the same node;
+        # a single path never yields duplicates even with // chains.
+        root = clinic()
+        found = evaluate_path("//clinic//test", root)
+        assert len(found) == len({id(n) for n in found})
+
+    def test_evaluate_requires_element_root(self):
+        with pytest.raises(PathError):
+            evaluate_path("/a", "not an element")
+
+    def test_string_comparison_falls_back_lexicographic(self):
+        found = evaluate_path("//patient[name<'B']", clinic())
+        assert [n.get("id") for n in found] == ["p1"]
