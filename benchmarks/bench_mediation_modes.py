@@ -22,9 +22,10 @@ DAYS = 60
 EMERGENCY_DAYS = {30, 31, 32, 40, 41}
 
 
-def run_workload(mode, seed=5):
+def run_workload(mode, seed=5, telemetry=None):
     rng = random.Random(seed)
-    warehouse = Warehouse(mode=mode, refresh_interval=7, max_staleness=3)
+    warehouse = Warehouse(mode=mode, refresh_interval=7, max_staleness=3,
+                          telemetry=telemetry)
     compute_calls = {"n": 0}
 
     def compute():
@@ -88,3 +89,30 @@ def test_modes_report(benchmark, report):
     assert warehouse["emergency_staleness"] > 0.0
     assert hybrid["emergency_staleness"] == 0.0  # the paper's requirement
     assert hybrid["source_calls"] < virtual["source_calls"]
+
+
+def test_modes_telemetry_counters(benchmark, report):
+    """The same A4 hybrid workload, accounted through warehouse metrics."""
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(enabled=True)
+    benchmark.pedantic(
+        lambda: run_workload("hybrid", telemetry=telemetry),
+        rounds=1, iterations=1,
+    )
+    counters = telemetry.metrics_snapshot()["counters"]
+    staleness = telemetry.metrics_snapshot()["histograms"][
+        "warehouse.staleness"
+    ]
+    report(
+        "=== A4: hybrid-mode warehouse telemetry ===",
+        f"   hits={counters['warehouse.hits']} "
+        f"misses={counters['warehouse.misses']} "
+        f"source_calls={counters['warehouse.source_calls']} "
+        f"staleness p50/p95={staleness['p50']:.1f}/{staleness['p95']:.1f}",
+    )
+    assert counters["warehouse.hits"] > 0
+    assert counters["warehouse.misses"] > 0
+    assert counters["warehouse.source_calls"] == counters[
+        "warehouse.misses"
+    ] * 5

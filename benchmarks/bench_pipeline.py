@@ -122,3 +122,55 @@ def test_pipeline_trace_report(benchmark, report, system):
     report(f"   sample integrated row: {sample}")
     assert result.aggregated_loss <= 0.6
     assert set(result.per_source_loss) == {"HMO1", "HMO2", "LAB1"}
+
+
+def test_pipeline_stage_attribution(benchmark, report, span_table, system):
+    """Attribute one pose() to its pipeline stages via telemetry spans.
+
+    The timed fixtures above run with telemetry disabled (the published
+    latencies are the overhead-free numbers); this test re-runs the same
+    aggregate once on a telemetry-enabled engine and prints the span
+    tree, so the F2 trajectory can be read stage by stage.
+    """
+    from repro.telemetry import Telemetry
+
+    telemetry = Telemetry(enabled=True)
+    engine = system.engine
+    saved = engine.telemetry
+    saved_sources = {
+        name: remote.telemetry for name, remote in engine.sources.items()
+    }
+    engine.telemetry = telemetry
+    engine.warehouse.telemetry = telemetry
+    engine.control.telemetry = telemetry
+    engine._sequence_guard.telemetry = telemetry
+    for remote in engine.sources.values():
+        remote.telemetry = telemetry
+    try:
+        result = benchmark.pedantic(
+            lambda: pose_uncached(system, AGGREGATE_QUERY, "span-tracer"),
+            rounds=1, iterations=1,
+        )
+    finally:
+        engine.telemetry = saved
+        engine.warehouse.telemetry = saved
+        engine.control.telemetry = saved
+        engine._sequence_guard.telemetry = saved
+        for name, remote in engine.sources.items():
+            remote.telemetry = saved_sources[name]
+
+    root = telemetry.tracer.last_root()
+    report("=== F2: per-stage span attribution (telemetry enabled) ===")
+    report(*span_table(root))
+    ledger = telemetry.explain_last()
+    report(
+        f"   explain: status={ledger.status} "
+        f"sources={sorted(ledger.sources)} "
+        f"aggregated_loss={ledger.control['aggregated_loss']:.3f} "
+        f"(MAXLOSS {ledger.control['max_loss']:.2f})"
+    )
+    assert root.name == "mediator.pose"
+    stage_names = {span.name for span in root.walk()}
+    assert {"mediator.fragment", "source.answer", "source.execute",
+            "mediator.integrate", "mediator.privacy_control"} <= stage_names
+    assert len(result.rows) == 9

@@ -3,6 +3,13 @@
 Every benchmark prints the table/series it reproduces through the
 ``report`` fixture, which bypasses pytest's output capture so the rows
 appear in ``bench_output.txt`` next to pytest-benchmark's timing table.
+
+The ``span_table`` fixture renders a finished telemetry span tree as an
+indented stage-timing table, so benchmark trajectories (the ``BENCH_*``
+series) can be attributed to individual pipeline stages: run the workload
+once against a telemetry-enabled system (outside the timed region — the
+timed fixtures keep telemetry disabled so published numbers stay
+overhead-free) and print ``span_table(system.last_trace())``.
 """
 
 import pytest
@@ -19,3 +26,29 @@ def report(capsys):
 
     emit("")
     return emit
+
+
+@pytest.fixture
+def span_table():
+    """Format a span tree as ``name  duration  attributes`` rows."""
+
+    def fmt(root, max_attributes=3):
+        lines = []
+
+        def walk(span, depth):
+            attributes = ", ".join(
+                f"{k}={v}" for k, v in list(span.attributes.items())
+                [:max_attributes]
+            )
+            lines.append(
+                f"   {'  ' * depth}{span.name:<{32 - 2 * depth}s} "
+                f"{span.duration_ms:>9.3f} ms   {attributes}"
+            )
+            for child in span.children:
+                walk(child, depth + 1)
+
+        if root is not None:
+            walk(root, 0)
+        return lines
+
+    return fmt

@@ -36,12 +36,14 @@ from repro.errors import (
     ReproError,
 )
 from repro.query import parse_piql
+from repro.telemetry import Telemetry
 
 __version__ = "1.0.0"
 
 __all__ = [
     "PrivateIye",
     "Session",
+    "Telemetry",
     "parse_piql",
     "ReproError",
     "PrivacyViolation",

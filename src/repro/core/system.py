@@ -4,6 +4,12 @@ Owns the authoritative policy store, builds per-source privacy-preserving
 query processors around registered data, replicates policies into the
 mediation engine (paper §3: policies live at sources *and* mediator), and
 exposes querying, schema inspection, and violation notifications.
+
+Observability lives behind the same facade: ``explain_last()`` returns
+the newest per-query privacy ledger, ``metrics_snapshot()`` the
+deployment-wide counters/gauges/histograms, and ``last_trace()`` the
+most recent span tree — all no-ops unless the system was built with
+``telemetry=True`` or ``REPRO_TELEMETRY=1`` (see ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -24,15 +30,25 @@ class PrivateIye:
 
     def __init__(self, policy_store=None, linkage_attributes=(),
                  warehouse_mode="hybrid", shared_secret="private-iye",
-                 synonyms=None):
+                 synonyms=None, telemetry=None):
         self.policy_store = policy_store or PolicyStore()
         self.engine = MediationEngine(
             shared_secret=shared_secret,
             linkage_attributes=linkage_attributes,
             synonyms=synonyms,
             warehouse=Warehouse(mode=warehouse_mode),
+            telemetry=telemetry,
         )
         self._sessions = {}
+
+    @property
+    def telemetry(self):
+        """The deployment-wide :class:`~repro.telemetry.Telemetry`.
+
+        Disabled (no-op) by default; enable with ``PrivateIye(telemetry=
+        True)`` or ``REPRO_TELEMETRY=1`` in the environment.
+        """
+        return self.engine.telemetry
 
     # -- policy management -------------------------------------------------
 
@@ -166,6 +182,31 @@ class PrivateIye:
             guard or InferenceGuard(min_interval_width=5.0, starts=2)
         )
         return planner.plan(measures, sources, matrix)
+
+    # -- observability -------------------------------------------------------
+
+    def explain_last(self, requester=None):
+        """The privacy ledger of the most recent query (telemetry on).
+
+        Returns an :class:`~repro.telemetry.explain.ExplainReport` covering
+        fragmentation, sequence-guard verdict, warehouse hit/miss,
+        per-source outcomes (including refusal kinds), and aggregated loss
+        vs the requester's MAXLOSS — or ``None`` when telemetry is
+        disabled or nothing has been posed yet.
+        """
+        return self.engine.telemetry.explain_last(requester)
+
+    def metrics_snapshot(self):
+        """Plain-dict snapshot of every counter/gauge/histogram.
+
+        Always safe to call; with telemetry disabled the sections are
+        simply empty.
+        """
+        return self.engine.telemetry.metrics_snapshot()
+
+    def last_trace(self):
+        """The most recent finished root span (telemetry on), else None."""
+        return self.engine.telemetry.tracer.last_root()
 
     # -- inspection ------------------------------------------------------------
 

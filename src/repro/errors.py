@@ -64,3 +64,48 @@ class CryptoError(ReproError):
 
 class IntegrationError(ReproError):
     """Mediation-engine failure (fragmentation, integration, matching)."""
+
+
+class Refusal:
+    """One source's refusal of a query fragment, with its *kind* preserved.
+
+    The mediation engine collects these per source instead of bare
+    strings so callers and explain reports can distinguish a policy
+    refusal (:class:`PrivacyViolation` — the source *could* answer but
+    won't) from a schema error (:class:`PathError` — the fragment doesn't
+    resolve against the source at all).  ``str()`` still yields the
+    reason, so message formatting over refusal maps is unchanged.
+    """
+
+    __slots__ = ("kind", "reason")
+
+    def __init__(self, kind, reason):
+        self.kind = kind
+        self.reason = reason
+
+    @classmethod
+    def from_exception(cls, exc):
+        """Build a refusal from the exception a source raised."""
+        return cls(type(exc).__name__, str(exc))
+
+    @property
+    def is_policy(self):
+        """True for privacy/policy refusals (vs schema/path errors)."""
+        return self.kind in ("PrivacyViolation", "AuditRefusal",
+                             "AccessDenied")
+
+    def __str__(self):
+        return self.reason
+
+    def __repr__(self):
+        return f"Refusal({self.kind}: {self.reason})"
+
+    def __eq__(self, other):
+        if isinstance(other, Refusal):
+            return (self.kind, self.reason) == (other.kind, other.reason)
+        if isinstance(other, str):
+            return self.reason == other  # compat: refusals used to be str
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.kind, self.reason))

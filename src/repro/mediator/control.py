@@ -14,12 +14,17 @@ other sources."  Two mechanisms:
   aggregate table it runs the Figure-1 snooping inference defensively via
   :class:`repro.inference.guard.InferenceGuard` (see
   :meth:`PrivacyControl.check_publication`).
+
+Each verification also feeds the telemetry registry (``control.*``
+counters and the aggregated-loss histogram); the per-query loss ledger
+itself lives in the engine's explain report (:mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 from repro.errors import ReproError
 from repro.inference.guard import InferenceGuard
+from repro.telemetry import NOOP
 
 
 class ViolationNotice:
@@ -41,9 +46,10 @@ class ViolationNotice:
 class PrivacyControl:
     """Aggregated-loss verification + defensive inference checks."""
 
-    def __init__(self, guard=None):
+    def __init__(self, guard=None, telemetry=None):
         self.guard = guard or InferenceGuard(min_interval_width=5.0, starts=2)
         self.notices_sent = []
+        self.telemetry = telemetry or NOOP
 
     def aggregated_loss(self, per_source_loss):
         """Combined privacy loss of integrating several releases."""
@@ -97,6 +103,14 @@ class PrivacyControl:
         ]
         self.notices_sent.extend(notices)
         aggregated = self.aggregated_loss(participating) if participating else 0.0
+        metrics = self.telemetry.metrics
+        metrics.counter("control.verifications").inc()
+        if notices:
+            metrics.counter("control.notices_sent").inc(len(notices))
+            metrics.counter("control.rows_withheld").inc(
+                len(rows) - len(kept_rows)
+            )
+        metrics.histogram("control.aggregated_loss").observe(aggregated)
         return kept_rows, aggregated, notices
 
     def check_publication(self, published, true_matrix):

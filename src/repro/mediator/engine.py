@@ -3,6 +3,15 @@
 Wires mediated-schema generation, fragmentation, per-source answering,
 result integration, privacy control, history/sequence guarding, and the
 hybrid warehouse into one ``pose()`` call.
+
+Every ``pose()`` is observable: the engine opens a ``mediator.pose`` span
+(stages nest underneath), updates the metrics registry, and writes a
+per-query :class:`~repro.telemetry.explain.ExplainReport` — the privacy
+ledger recording the fragmentation plan, the sequence-guard verdict,
+warehouse hit/miss, each source's answer or refusal (with the refusal
+*kind* preserved), and the aggregated loss checked against the
+requester's MAXLOSS.  With telemetry disabled (the default) all of this
+degrades to no-op singleton calls; see :mod:`repro.telemetry`.
 """
 
 from __future__ import annotations
@@ -12,6 +21,8 @@ from repro.errors import (
     IntegrationError,
     PathError,
     PrivacyViolation,
+    Refusal,
+    ReproError,
 )
 from repro.mediator.control import PrivacyControl
 from repro.mediator.fragmenter import QueryFragmenter
@@ -22,33 +33,46 @@ from repro.mediator.warehouse import Warehouse
 from repro.policy.model import DisclosureForm
 from repro.query.language import parse_piql, to_piql
 from repro.query.model import PiqlQuery
+from repro.telemetry import resolve_telemetry
 
 
 class MediationEngine:
     """The privacy-preserving mediation engine."""
 
     def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
-                 synonyms=None, warehouse=None, max_distinct_probes=4):
+                 synonyms=None, warehouse=None, max_distinct_probes=4,
+                 telemetry=None):
         self.shared_secret = shared_secret
         self.linkage_attributes = list(linkage_attributes)
         self.synonyms = synonyms
+        self.telemetry = resolve_telemetry(telemetry)
         self.warehouse = warehouse or Warehouse(mode="hybrid")
+        # One Telemetry instance spans the whole deployment: the warehouse
+        # and privacy control report into the engine's registry.
+        self.warehouse.telemetry = self.telemetry
         self.max_distinct_probes = max_distinct_probes
 
         self.sources = {}
         self.schema = None
         self.fragmenter = None
         self.integrator = None
-        self.control = PrivacyControl()
+        self.control = PrivacyControl(telemetry=self.telemetry)
         self.history = MediatorHistory()
         self._sequence_guard = None
 
     # -- setup ----------------------------------------------------------------
 
     def register_source(self, remote):
-        """Register a :class:`~repro.source.server.RemoteSource`."""
+        """Register a :class:`~repro.source.server.RemoteSource`.
+
+        The source adopts the engine's telemetry unless it was built with
+        its own enabled instance, so per-source pipeline spans land in the
+        same trace as the mediator's.
+        """
         if remote.name in self.sources:
             raise IntegrationError(f"source {remote.name!r} already registered")
+        if not remote.telemetry.enabled:
+            remote.telemetry = self.telemetry
         self.sources[remote.name] = remote
         self.schema = None  # invalidate; rebuilt lazily
 
@@ -56,24 +80,27 @@ class MediationEngine:
         """(Re)build the mediated schema from the registered sources."""
         if not self.sources:
             raise IntegrationError("no sources registered")
-        exports = [
-            SourceExport.from_remote_source(
-                self.sources[name], self.shared_secret, self.synonyms
+        with self.telemetry.span("mediator.build_schema",
+                                 n_sources=len(self.sources)):
+            exports = [
+                SourceExport.from_remote_source(
+                    self.sources[name], self.shared_secret, self.synonyms
+                )
+                for name in sorted(self.sources)
+            ]
+            self.schema = MediatedSchema.build(exports)
+            self.fragmenter = QueryFragmenter(self.schema)
+            self.integrator = ResultIntegrator(
+                self.schema, self.linkage_attributes
             )
-            for name in sorted(self.sources)
-        ]
-        self.schema = MediatedSchema.build(exports)
-        self.fragmenter = QueryFragmenter(self.schema)
-        self.integrator = ResultIntegrator(
-            self.schema, self.linkage_attributes
-        )
-        private = {
-            name for name, attribute in self.schema.attributes.items()
-            if attribute.form < DisclosureForm.EXACT
-        }
-        self._sequence_guard = SequenceGuard(
-            self.history, private, self.max_distinct_probes
-        )
+            private = {
+                name for name, attribute in self.schema.attributes.items()
+                if attribute.form < DisclosureForm.EXACT
+            }
+            self._sequence_guard = SequenceGuard(
+                self.history, private, self.max_distinct_probes,
+                telemetry=self.telemetry,
+            )
         return self.schema
 
     def mediated_vocabulary(self):
@@ -91,6 +118,10 @@ class MediationEngine:
         Raises :class:`AuditRefusal` when the sequence guard blocks the
         requester, :class:`IntegrationError` when no source can answer,
         and :class:`PrivacyViolation` when every relevant source refused.
+
+        With telemetry enabled, the call is wrapped in a ``mediator.pose``
+        span and fully accounted for in an explain report retrievable via
+        ``telemetry.explain_last()``.
         """
         self._ensure_schema()
         if isinstance(query, str):
@@ -98,42 +129,102 @@ class MediationEngine:
         if not isinstance(query, PiqlQuery):
             raise IntegrationError("pose needs PIQL text or a PiqlQuery")
 
-        plan = self.fragmenter.fragment(query)
+        telemetry = self.telemetry
+        report = telemetry.explain.begin(query, requester, role)
+        with telemetry.span("mediator.pose", requester=requester) as span:
+            try:
+                result = self._pose(
+                    query, requester, role, subjects, emergency,
+                    use_warehouse, report,
+                )
+            except ReproError as error:
+                report.finish("refused", error=error,
+                              duration_ms=span.duration_ms)
+                telemetry.metrics.counter("mediator.queries_refused").inc()
+                telemetry.metrics.counter(
+                    f"mediator.refusals.{type(error).__name__}"
+                ).inc()
+                raise
+        report.set_integration(len(result.rows), result.duplicates_removed)
+        report.finish("answered", duration_ms=span.duration_ms)
+        telemetry.metrics.counter("mediator.queries_answered").inc()
+        telemetry.metrics.histogram("mediator.pose_ms").observe(
+            span.duration_ms
+        )
+        telemetry.metrics.histogram("mediator.aggregated_loss").observe(
+            result.aggregated_loss
+        )
+        return result
+
+    def _pose(self, query, requester, role, subjects, emergency,
+              use_warehouse, report):
+        """The ``pose()`` pipeline body (refusals propagate to the caller)."""
+        telemetry = self.telemetry
+
+        with telemetry.span("mediator.fragment"):
+            plan = self.fragmenter.fragment(query)
+        report.set_fragmentation(plan)
         attributes = sorted(set(plan.mediated_names.values()))
         signature = self._predicate_signature(query)
 
-        try:
-            self._sequence_guard.check(
-                requester, attributes, signature, query.is_aggregate
-            )
-        except AuditRefusal:
-            self.history.record(
-                requester, attributes, signature, query.is_aggregate,
-                refused=True,
-            )
-            raise
+        with telemetry.span("mediator.sequence_guard", requester=requester):
+            try:
+                self._sequence_guard.check(
+                    requester, attributes, signature, query.is_aggregate
+                )
+            except AuditRefusal as refusal:
+                report.set_guard("refused", str(refusal))
+                self.history.record(
+                    requester, attributes, signature, query.is_aggregate,
+                    refused=True,
+                )
+                raise
+        report.set_guard("pass")
 
         # Cache per requester/role: two requesters may legitimately see
         # different answers to the same text under RBAC or preferences.
         key = f"{requester}|{role}|{to_piql(query)}"
         if use_warehouse:
-            result, _stats = self.warehouse.answer(
-                key,
-                lambda: self._compute(query, plan, requester, role, subjects),
-                n_sources=len(plan.sources),
-                emergency=emergency,
-            )
+            with telemetry.span("mediator.warehouse") as span:
+                try:
+                    result, stats = self.warehouse.answer(
+                        key,
+                        lambda: self._compute(
+                            query, plan, requester, role, subjects, report
+                        ),
+                        n_sources=len(plan.sources),
+                        emergency=emergency,
+                    )
+                except ReproError:
+                    # compute() raised → this was a cache miss; record it
+                    # so refused-query ledgers still show the warehouse leg
+                    report.set_warehouse_miss(self.warehouse.mode)
+                    raise
+                span.set(from_cache=stats.from_cache,
+                         staleness=stats.staleness)
+            report.set_warehouse(stats)
         else:
-            result = self._compute(query, plan, requester, role, subjects)
+            result = self._compute(
+                query, plan, requester, role, subjects, report
+            )
 
         self.history.record(
             requester, attributes, signature, query.is_aggregate
+        )
+        telemetry.metrics.gauge("mediator.history_entries").set(
+            len(self.history)
         )
         return result
 
     # -- internals -----------------------------------------------------------
 
-    def _compute(self, query, plan, requester, role, subjects):
+    def _compute(self, query, plan, requester, role, subjects, report=None):
+        telemetry = self.telemetry
+        if report is None:
+            # direct callers (tests, warehouse refresh) skip the ledger
+            from repro.telemetry import NOOP_REPORT
+            report = NOOP_REPORT
+
         responses = {}
         refused = {}
         budgets = {}
@@ -144,11 +235,15 @@ class MediationEngine:
                 response = remote.answer(
                     fragment, requester=requester, role=role, subjects=subjects
                 )
-            except (PrivacyViolation, PathError) as refusal:
-                refused[source_name] = str(refusal)
+            except (PrivacyViolation, PathError) as error:
+                refusal = Refusal.from_exception(error)
+                refused[source_name] = refusal
+                report.source_refused(source_name, refusal)
+                telemetry.metrics.counter("mediator.source_refusals").inc()
                 continue
             responses[source_name] = response
             budgets[source_name] = response.rewrite.loss_budget
+            report.source_answered(source_name, response)
 
         if not responses:
             raise PrivacyViolation(
@@ -156,12 +251,16 @@ class MediationEngine:
                 + "; ".join(f"{s}: {r}" for s, r in sorted(refused.items()))
             )
 
-        rows, per_source_loss, duplicates = self.integrator.integrate(
-            responses, plan, query.is_aggregate
-        )
-        kept_rows, aggregated, notices = self.control.verify(
-            rows, per_source_loss, budgets
-        )
+        with telemetry.span("mediator.integrate", n_sources=len(responses)):
+            rows, per_source_loss, duplicates = self.integrator.integrate(
+                responses, plan, query.is_aggregate
+            )
+        with telemetry.span("mediator.privacy_control"):
+            kept_rows, aggregated, notices = self.control.verify(
+                rows, per_source_loss, budgets
+            )
+        report.set_control(per_source_loss, aggregated, query.max_loss,
+                           notices)
         if aggregated > query.max_loss + 1e-9:
             raise PrivacyViolation(
                 f"aggregated privacy loss {aggregated:.3f} exceeds the "

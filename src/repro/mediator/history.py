@@ -6,11 +6,17 @@ tracker sequence across sources.  The mediator therefore keeps a global
 a request when the same requester has already aggregated the same private
 mediated attribute under too many *distinct* predicates within the sliding
 window — the cross-source analogue of overlap control.
+
+Guard activity is observable: checks, refusals, and the distinct-probe
+distribution are reported as ``sequence_guard.*`` metrics, and each
+verdict (with the refusing reason) lands in the query's explain report
+(:mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 from repro.errors import AuditRefusal, ReproError
+from repro.telemetry import NOOP
 
 
 class HistoryEntry:
@@ -62,13 +68,14 @@ class SequenceGuard:
     """Refuses over-repeated aggregate probing of a private attribute."""
 
     def __init__(self, history, private_attributes, max_distinct_probes=3,
-                 window=20):
+                 window=20, telemetry=None):
         if max_distinct_probes < 1:
             raise ReproError("max_distinct_probes must be >= 1")
         self.history = history
         self.private_attributes = set(private_attributes)
         self.max_distinct_probes = max_distinct_probes
         self.window = window
+        self.telemetry = telemetry or NOOP
 
     def check(self, requester, attributes, predicate_signature, is_aggregate):
         """Raise :class:`AuditRefusal` when the request over-probes.
@@ -82,6 +89,8 @@ class SequenceGuard:
         probed = set(attributes) & self.private_attributes
         if not probed:
             return
+        metrics = self.telemetry.metrics
+        metrics.counter("sequence_guard.checks").inc()
         recent = self.history.entries(requester)[-self.window:]
         for attribute in probed:
             signatures = {
@@ -92,7 +101,11 @@ class SequenceGuard:
                 and attribute in entry.attributes
             }
             signatures.add(predicate_signature)
+            metrics.histogram("sequence_guard.distinct_probes").observe(
+                len(signatures)
+            )
             if len(signatures) > self.max_distinct_probes:
+                metrics.counter("sequence_guard.refusals").inc()
                 raise AuditRefusal(
                     f"requester {requester!r} has probed private attribute "
                     f"{attribute!r} with {len(signatures)} distinct "

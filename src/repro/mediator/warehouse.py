@@ -16,12 +16,17 @@ a logical timestamp.  Three answering modes:
   *and* update the store.
 
 Cost accounting is explicit (``source_calls``) so benchmark A4 can report
-latency/staleness trade-offs without wall-clock noise.
+latency/staleness trade-offs without wall-clock noise.  With telemetry
+enabled the warehouse additionally reports ``warehouse.hits`` /
+``warehouse.misses`` / ``warehouse.source_calls`` counters, a staleness
+histogram, and a materialized-keys gauge into the engine's shared
+registry (see :mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 from repro.errors import ReproError
+from repro.telemetry import NOOP
 
 MODES = ("virtual", "warehouse", "hybrid")
 
@@ -56,7 +61,8 @@ class AnswerStats:
 class Warehouse:
     """Materialized integrated results with a logical clock."""
 
-    def __init__(self, mode="hybrid", refresh_interval=10, max_staleness=5):
+    def __init__(self, mode="hybrid", refresh_interval=10, max_staleness=5,
+                 telemetry=None):
         if mode not in MODES:
             raise ReproError(f"unknown warehouse mode {mode!r} (use {MODES})")
         self.mode = mode
@@ -65,6 +71,9 @@ class Warehouse:
         self.clock = 0
         self._store = {}
         self.total_source_calls = 0
+        # Reassigned by MediationEngine so hits/misses land in the
+        # deployment-wide registry; NOOP costs nothing when disabled.
+        self.telemetry = telemetry or NOOP
 
     def tick(self, steps=1):
         """Advance logical time (sources drift; caches age)."""
@@ -86,19 +95,28 @@ class Warehouse:
         if self.mode == "warehouse":
             if entry is None or age > self.refresh_interval:
                 return self._fresh(key, compute, n_sources)
-            entry.hits += 1
-            return entry.result, AnswerStats(self.mode, True, 0, age)
+            return self._hit(entry, age)
 
         # hybrid: serve cache while fresh enough, else recompute
         if entry is not None and age <= self.max_staleness:
-            entry.hits += 1
-            return entry.result, AnswerStats(self.mode, True, 0, age)
+            return self._hit(entry, age)
         return self._fresh(key, compute, n_sources)
+
+    def _hit(self, entry, age):
+        entry.hits += 1
+        metrics = self.telemetry.metrics
+        metrics.counter("warehouse.hits").inc()
+        metrics.histogram("warehouse.staleness").observe(age)
+        return entry.result, AnswerStats(self.mode, True, 0, age)
 
     def _fresh(self, key, compute, n_sources):
         result = compute()
         self._store[key] = WarehouseEntry(key, result, self.clock)
         self.total_source_calls += n_sources
+        metrics = self.telemetry.metrics
+        metrics.counter("warehouse.misses").inc()
+        metrics.counter("warehouse.source_calls").inc(n_sources)
+        metrics.gauge("warehouse.materialized_keys").set(len(self._store))
         return result, AnswerStats(self.mode, False, n_sources, 0)
 
     def materialized_keys(self):

@@ -17,12 +17,17 @@ Rewrites applied, most- to least-preserving per column:
   (the executor substitutes range labels);
 * **AGGREGATE grant** → legal only inside aggregate functions; a
   record-level projection of the column is downgraded to dropped.
+
+Each rewrite emits a ``source.rewrite`` span (dropped/generalized column
+counts, granted loss budget) and ``rewriter.*`` metrics, so explain
+reports can show *why* a projection shrank (:mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
 from repro.errors import AccessDenied, PrivacyViolation, QueryError
 from repro.policy.model import Decision, DisclosureForm
+from repro.telemetry import NOOP
 
 
 class RewriteResult:
@@ -53,9 +58,11 @@ class RewriteResult:
 class PrivacyRewriter:
     """Integrates access rules and policy decisions into local queries."""
 
-    def __init__(self, rbac=None, resource_prefix=None):
+    def __init__(self, rbac=None, resource_prefix=None, telemetry=None):
         self.rbac = rbac
         self.resource_prefix = resource_prefix
+        # Kept in sync with the owning RemoteSource's telemetry setter.
+        self.telemetry = telemetry or NOOP
 
     def rewrite(self, query, decisions, requester=None):
         """Rewrite ``query`` under per-column ``decisions``.
@@ -64,7 +71,27 @@ class PrivacyRewriter:
         without a decision are treated as denied (least privilege).
         Raises :class:`PrivacyViolation` when the query cannot be answered
         at all, :class:`AccessDenied` when RBAC blocks the requester.
+
+        Emits a ``source.rewrite`` span recording how many columns were
+        dropped or generalized and the tightest loss budget granted.
         """
+        with self.telemetry.span("source.rewrite") as span:
+            result = self._rewrite(query, decisions, requester)
+            span.set(
+                dropped=len(result.dropped),
+                generalized=len(result.generalized_columns),
+                loss_budget=result.loss_budget,
+            )
+        metrics = self.telemetry.metrics
+        metrics.counter("rewriter.rewrites").inc()
+        if result.dropped:
+            metrics.counter("rewriter.columns_dropped").inc(
+                len(result.dropped)
+            )
+        metrics.histogram("rewriter.loss_budget").observe(result.loss_budget)
+        return result
+
+    def _rewrite(self, query, decisions, requester):
         for column, decision in decisions.items():
             if not isinstance(decision, Decision):
                 raise QueryError(f"decision for {column!r} is not a Decision")

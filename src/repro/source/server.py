@@ -16,6 +16,11 @@ history).  :meth:`RemoteSource.answer` runs the full pipeline::
       → execution                    (mini relational engine)
       → technique application        (k-anonymity, pseudonyms, rounding)
       → XML Transformer + Tagger     (privacy-tagged result document)
+
+Every stage runs inside a telemetry span (``source.*``) that nests under
+the mediator's ``mediator.pose`` span when the engine posed the fragment;
+per-source answered/refused counters and latency histograms land in the
+shared registry.  All of it is no-op by default (:mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
@@ -37,6 +42,7 @@ from repro.source.rewriter import PrivacyRewriter
 from repro.source.transformer import PathMapping, QueryTransformer
 from repro.statdb.audit import SumAuditor
 from repro.statdb.overlap import OverlapController, SetSizeControl
+from repro.telemetry import resolve_telemetry
 from repro.xmlkit.loose import normalize_name
 
 _IDENTIFIER_COLUMNS = ("id", "ssn", "name", "first", "last")
@@ -79,8 +85,13 @@ class RemoteSource:
         matcher=None,
         knowledge=None,
         cluster_radius=0.8,
+        telemetry=None,
     ):
         self.name = name
+        # Replaced with the engine's shared instance at registration
+        # unless this source was built with its own enabled telemetry
+        # (the setter keeps the rewriter's reference in sync).
+        self._telemetry = resolve_telemetry(telemetry)
         self.catalog = catalog
         self.table = catalog.table(table_name)
         self.policy_store = policy_store
@@ -92,7 +103,9 @@ class RemoteSource:
 
         mapping = PathMapping(self.table, matcher=matcher)
         self.transformer = QueryTransformer(mapping)
-        self.rewriter = PrivacyRewriter(rbac, resource_prefix=table_name)
+        self.rewriter = PrivacyRewriter(
+            rbac, resource_prefix=table_name, telemetry=self.telemetry
+        )
         self.clusterer = QueryClusterer(
             knowledge or PreservationKnowledgeBase(), radius=cluster_radius
         )
@@ -131,6 +144,16 @@ class RemoteSource:
         catalog.add(table)
         return cls(name, catalog, table_name, policy_store, **kwargs)
 
+    @property
+    def telemetry(self):
+        """The telemetry sink this source reports into."""
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, value):
+        self._telemetry = value
+        self.rewriter.telemetry = value
+
     def enable_overlap_control(self, max_overlap):
         """Turn on Dobkin–Jones–Lipton overlap control for aggregates."""
         self.overlap = OverlapController(max_overlap)
@@ -138,41 +161,61 @@ class RemoteSource:
     # -- the pipeline --------------------------------------------------------
 
     def answer(self, piql, requester=None, role=None, subjects=()):
-        """Answer one PIQL fragment, or raise a privacy/access error."""
+        """Answer one PIQL fragment, or raise a privacy/access error.
+
+        The whole per-source pipeline runs inside a ``source.answer``
+        span (nested under ``mediator.pose`` when the engine posed the
+        fragment); each stage of Figure 2(a) gets a child span.
+        """
         if not isinstance(piql, PiqlQuery):
             raise QueryError("answer needs a PiqlQuery")
-        try:
-            response = self._answer(piql, requester, role, subjects)
-        except (PrivacyViolation, ReproError):
-            self.queries_refused += 1
-            raise
-        self.queries_answered += 1
+        telemetry = self.telemetry
+        with telemetry.span("source.answer", source=self.name) as span:
+            try:
+                response = self._answer(piql, requester, role, subjects)
+            except (PrivacyViolation, ReproError):
+                self.queries_refused += 1
+                telemetry.metrics.counter(
+                    f"source.{self.name}.refused"
+                ).inc()
+                raise
+            self.queries_answered += 1
+            telemetry.metrics.counter(f"source.{self.name}.answered").inc()
+            telemetry.metrics.histogram("source.answer_ms").observe(
+                span.duration_ms
+            )
+            span.set(privacy_loss=response.privacy_loss,
+                     strategy=response.plan.strategy)
         return response
 
     def _answer(self, piql, requester, role, subjects):
-        transform = self.transformer.transform(piql)
+        telemetry = self.telemetry
+        with telemetry.span("source.transform"):
+            transform = self.transformer.transform(piql)
 
         from repro.policy.matching import combine
 
         purpose = piql.purpose or "research"
-        decisions = {}
-        for path_repr, column in sorted(transform.column_of_path.items()):
-            decision = evaluate_request(
-                self.policy_store, self.name, path_repr, purpose,
-                role=role, subjects=subjects,
-            )
-            if column in decisions:
-                # several paths to one column: most restrictive wins
-                decisions[column] = combine(decisions[column], decision)
-            else:
-                decisions[column] = decision
+        with telemetry.span("source.policy", purpose=purpose):
+            decisions = {}
+            for path_repr, column in sorted(transform.column_of_path.items()):
+                decision = evaluate_request(
+                    self.policy_store, self.name, path_repr, purpose,
+                    role=role, subjects=subjects,
+                )
+                if column in decisions:
+                    # several paths to one column: most restrictive wins
+                    decisions[column] = combine(decisions[column], decision)
+                else:
+                    decisions[column] = decision
 
         rewrite = self.rewriter.rewrite(transform.query, decisions, requester)
 
-        view = self.policy_store.view_for(self.name)
-        features = extract_features(piql, view)
-        cluster = self.clusterer.match(features)
-        techniques = cluster.techniques
+        with telemetry.span("source.cluster_match"):
+            view = self.policy_store.view_for(self.name)
+            features = extract_features(piql, view)
+            cluster = self.clusterer.match(features)
+            techniques = cluster.techniques
 
         query = rewrite.query
         if self.consent_predicate is not None:
@@ -180,29 +223,39 @@ class RemoteSource:
                 where=query.where.and_(self.consent_predicate)
             )
 
-        self._sequence_defenses(query, techniques)
+        with telemetry.span("source.sequence_defenses"):
+            self._sequence_defenses(query, techniques)
 
-        estimate = self.loss_estimator.estimate(rewrite, features, techniques)
-        # Histogram-based selectivity replaces the optimizer's crude
-        # predicate-count heuristic.
-        selectivity = max(0.001, self.statistics.selectivity(query.where))
-        plan = self.optimizer.plan(
-            rewrite, estimate, techniques, max_loss=piql.max_loss,
-            selectivity=selectivity,
-        )
+        with telemetry.span("source.loss_and_plan") as span:
+            estimate = self.loss_estimator.estimate(
+                rewrite, features, techniques
+            )
+            # Histogram-based selectivity replaces the optimizer's crude
+            # predicate-count heuristic.
+            selectivity = max(0.001, self.statistics.selectivity(query.where))
+            plan = self.optimizer.plan(
+                rewrite, estimate, techniques, max_loss=piql.max_loss,
+                selectivity=selectivity,
+            )
+            span.set(privacy_loss=estimate.privacy_loss,
+                     selectivity=selectivity, strategy=plan.strategy)
 
-        result = execute(query, self.catalog)
-        result, applied = self._apply_techniques(result, query, techniques)
+        with telemetry.span("source.execute"):
+            result = execute(query, self.catalog)
+        with telemetry.span("source.techniques") as span:
+            result, applied = self._apply_techniques(result, query, techniques)
+            span.set(applied=[t.name for t in applied])
 
-        generalizers = {
-            column: self._generalizer(column)
-            for column in rewrite.generalized_columns
-            if not query.is_aggregate
-        }
-        document = tag_results(
-            result, self.name, rewrite.column_forms,
-            estimate.privacy_loss, applied, generalizers,
-        )
+        with telemetry.span("source.tag_results"):
+            generalizers = {
+                column: self._generalizer(column)
+                for column in rewrite.generalized_columns
+                if not query.is_aggregate
+            }
+            document = tag_results(
+                result, self.name, rewrite.column_forms,
+                estimate.privacy_loss, applied, generalizers,
+            )
         return SourceResponse(
             document, estimate.privacy_loss, estimate.information_loss,
             plan, cluster, rewrite, transform.sql,

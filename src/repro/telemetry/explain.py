@@ -1,0 +1,252 @@
+"""Per-query explain reports — the mediator's *privacy ledger*.
+
+The paper's central claim is that privacy-preserving integration must be
+*accountable*: Figure 1's snooping attack works precisely because nobody
+tracks what a sequence of innocent-looking aggregates discloses, and §5
+makes the mediator re-verify loss after integration.  An
+:class:`ExplainReport` records, for one ``MediationEngine.pose()`` call,
+every decision along that path:
+
+* how the query was **fragmented** (relevant sources, skipped sources and
+  why, mediated attributes touched);
+* the **sequence guard**'s verdict (pass, or refused with the auditor's
+  reason);
+* whether the **warehouse** served a materialized copy or recomputed
+  (mode, staleness, source calls);
+* each **source outcome** — answered (privacy loss, granted budget, plan
+  strategy, dropped/generalized columns) or refused (the refusal *kind*,
+  :class:`~repro.errors.PrivacyViolation` vs :class:`~repro.errors.PathError`,
+  plus the source's stated reason);
+* **integration** counts (merged rows, private-dedup removals);
+* the **privacy control** ledger line: per-source losses, the aggregated
+  loss ``1 − Π(1 − loss_i)``, the requester's MAXLOSS, and any violation
+  notices sent to sources.
+
+Reports are held in a bounded :class:`ExplainLog`;
+``PrivateIye.explain_last()`` surfaces the newest one.  When telemetry is
+disabled the :class:`NoopExplainLog` returns one shared
+:class:`NoopReport` whose mutators do nothing, so the disabled query path
+allocates no report state at all.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.query.language import to_piql
+
+
+class ExplainReport:
+    """The privacy ledger of one ``pose()`` call."""
+
+    def __init__(self, query, requester, role):
+        self.query = to_piql(query) if not isinstance(query, str) else query
+        self.requester = requester
+        self.role = role
+        self.status = "in-flight"      # answered | refused | in-flight
+        self.refusal = None            # {"kind", "reason"} when refused
+        self.fragmentation = None      # {"sources", "skipped", "attributes"}
+        self.sequence_guard = None     # {"verdict", "reason"}
+        self.warehouse = None          # {"mode", "from_cache", ...}
+        self.sources = {}              # source → outcome dict
+        self.integration = None        # {"rows", "duplicates_removed"}
+        self.control = None            # aggregated loss vs MAXLOSS + notices
+        self.duration_ms = None
+
+    # -- recording (called by the engine as the pipeline advances) ---------
+
+    def set_fragmentation(self, plan):
+        self.fragmentation = {
+            "sources": list(plan.sources),
+            "skipped": dict(plan.skipped_sources),
+            "attributes": sorted(set(plan.mediated_names.values())),
+        }
+
+    def set_guard(self, verdict, reason=None):
+        self.sequence_guard = {"verdict": verdict, "reason": reason}
+
+    def set_warehouse(self, stats):
+        self.warehouse = {
+            "mode": stats.mode,
+            "from_cache": stats.from_cache,
+            "source_calls": stats.source_calls,
+            "staleness": stats.staleness,
+        }
+
+    def set_warehouse_miss(self, mode):
+        """Record a miss whose recomputation raised (refused query)."""
+        self.warehouse = {
+            "mode": mode, "from_cache": False,
+            "source_calls": None, "staleness": None,
+        }
+
+    def source_answered(self, name, response):
+        rewrite = response.rewrite
+        self.sources[name] = {
+            "outcome": "answered",
+            "privacy_loss": response.privacy_loss,
+            "information_loss": response.information_loss,
+            "loss_budget": rewrite.loss_budget,
+            "strategy": response.plan.strategy,
+            "dropped_columns": list(rewrite.dropped),
+            "generalized_columns": list(rewrite.generalized_columns),
+        }
+
+    def source_refused(self, name, refusal):
+        self.sources[name] = {
+            "outcome": "refused",
+            "kind": refusal.kind,
+            "reason": refusal.reason,
+        }
+
+    def set_integration(self, rows, duplicates_removed):
+        self.integration = {
+            "rows": rows, "duplicates_removed": duplicates_removed,
+        }
+
+    def set_control(self, per_source_loss, aggregated_loss, max_loss,
+                    notices):
+        self.control = {
+            "per_source_loss": dict(per_source_loss),
+            "aggregated_loss": aggregated_loss,
+            "max_loss": max_loss,
+            "within_budget": aggregated_loss <= max_loss + 1e-9,
+            "notices": [
+                {"source": n.source, "aggregated_loss": n.aggregated_loss,
+                 "budget": n.budget, "detail": n.detail}
+                for n in notices
+            ],
+        }
+
+    def finish(self, status, error=None, duration_ms=None):
+        self.status = status
+        self.duration_ms = duration_ms
+        if error is not None:
+            self.refusal = {
+                "kind": type(error).__name__, "reason": str(error),
+            }
+
+    # -- reading -----------------------------------------------------------
+
+    def to_dict(self):
+        """Plain-dict form of the full ledger (JSON-serializable)."""
+        return {
+            "query": self.query,
+            "requester": self.requester,
+            "role": self.role,
+            "status": self.status,
+            "refusal": self.refusal,
+            "fragmentation": self.fragmentation,
+            "sequence_guard": self.sequence_guard,
+            "warehouse": self.warehouse,
+            "sources": dict(self.sources),
+            "integration": self.integration,
+            "control": self.control,
+            "duration_ms": self.duration_ms,
+        }
+
+    def refusing_sources(self):
+        """Names of sources whose outcome was a refusal."""
+        return sorted(
+            name for name, outcome in self.sources.items()
+            if outcome.get("outcome") == "refused"
+        )
+
+    def __repr__(self):
+        return (
+            f"ExplainReport({self.requester!r}, {self.status}, "
+            f"sources={sorted(self.sources)})"
+        )
+
+
+class ExplainLog:
+    """Bounded buffer of the most recent explain reports."""
+
+    def __init__(self, max_reports=64):
+        self._reports = deque(maxlen=max_reports)
+
+    def begin(self, query, requester, role):
+        """Open (and retain) a report for a ``pose()`` call."""
+        report = ExplainReport(query, requester, role)
+        self._reports.append(report)
+        return report
+
+    def last(self, requester=None):
+        """The newest report, optionally the newest for ``requester``."""
+        if requester is None:
+            return self._reports[-1] if self._reports else None
+        for report in reversed(self._reports):
+            if report.requester == requester:
+                return report
+        return None
+
+    def reports(self):
+        """All retained reports, oldest first."""
+        return list(self._reports)
+
+    def __len__(self):
+        return len(self._reports)
+
+
+class NoopReport:
+    """Absorbs every recording call; one shared instance, no state."""
+
+    __slots__ = ()
+
+    def set_fragmentation(self, plan):
+        pass
+
+    def set_guard(self, verdict, reason=None):
+        pass
+
+    def set_warehouse(self, stats):
+        pass
+
+    def set_warehouse_miss(self, mode):
+        pass
+
+    def source_answered(self, name, response):
+        pass
+
+    def source_refused(self, name, refusal):
+        pass
+
+    def set_integration(self, rows, duplicates_removed):
+        pass
+
+    def set_control(self, per_source_loss, aggregated_loss, max_loss,
+                    notices):
+        pass
+
+    def finish(self, status, error=None, duration_ms=None):
+        pass
+
+    def to_dict(self):
+        return {}
+
+    def refusing_sources(self):
+        return []
+
+
+NOOP_REPORT = NoopReport()
+
+
+class NoopExplainLog:
+    """Explain log used when telemetry is disabled: retains nothing."""
+
+    __slots__ = ()
+
+    def begin(self, query, requester, role):
+        return NOOP_REPORT
+
+    def last(self, requester=None):
+        return None
+
+    def reports(self):
+        return []
+
+    def __len__(self):
+        return 0
+
+
+NOOP_EXPLAIN = NoopExplainLog()

@@ -1,0 +1,210 @@
+"""A process-local metrics registry: counters, gauges, histograms.
+
+Metrics are named, created on first use, and live for the lifetime of the
+owning :class:`~repro.telemetry.Telemetry`.  The registry is intentionally
+minimal — no labels, no exporters — because the reproduction's consumers
+are the benchmark harness and ``PrivateIye.metrics_snapshot()``; a
+production deployment would map these onto its own metrics fabric.
+
+* :class:`Counter` — monotonically increasing count (queries answered,
+  warehouse hits, refusals by kind);
+* :class:`Gauge` — last-written value (materialized keys, history length);
+* :class:`Histogram` — bounded reservoir of observations with
+  ``p50``/``p95``/``p99`` summaries (stage latencies, loss values).
+
+When telemetry is disabled the :class:`NoopMetrics` registry returns one
+shared no-op instrument for every name, so instrumented call sites cost a
+method call and nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class Counter:
+    """Monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        self.value += amount
+        return self.value
+
+    def __repr__(self):
+        return f"Counter({self.name!r}={self.value})"
+
+
+class Gauge:
+    """Last-value-wins instrument."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value):
+        self.value = value
+        return self.value
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}={self.value})"
+
+
+class Histogram:
+    """Reservoir of observations with percentile summaries.
+
+    Keeps the most recent ``max_observations`` values (a sliding window,
+    not a statistical sample): recency matters more than completeness for
+    watching a live pipeline, and the bound keeps memory flat under heavy
+    traffic.
+    """
+
+    __slots__ = ("name", "_values", "count", "total")
+
+    def __init__(self, name, max_observations=2048):
+        self.name = name
+        self._values = deque(maxlen=max_observations)
+        self.count = 0        # lifetime observations, beyond the window
+        self.total = 0.0      # lifetime sum
+
+    def observe(self, value):
+        value = float(value)
+        self._values.append(value)
+        self.count += 1
+        self.total += value
+
+    def percentile(self, q):
+        """The ``q``-th percentile (0..100) of the windowed observations.
+
+        Uses nearest-rank on a sorted copy — exact for the window, O(n log n)
+        per call; summaries are read rarely relative to writes.
+        """
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = max(0, min(len(ordered) - 1,
+                          round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self):
+        """``{count, mean, min, max, p50, p95, p99}`` over the window."""
+        if not self._values:
+            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self._values)
+        return {
+            "count": self.count,
+            "mean": sum(ordered) / len(ordered),
+            "min": ordered[0],
+            "max": ordered[-1],
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self):
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+
+    def counter(self, name):
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name):
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name):
+        return self._get(self._histograms, name, Histogram)
+
+    def _get(self, table, name, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.setdefault(name, factory(name))
+        return instrument
+
+    def snapshot(self):
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: h.summary() for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self):
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+class _NoopInstrument:
+    """Stands in for every counter/gauge/histogram when disabled."""
+
+    __slots__ = ()
+    name = "<noop>"
+    value = 0
+    count = 0
+    total = 0.0
+
+    def inc(self, amount=1):
+        return 0
+
+    def set(self, value):
+        return 0
+
+    def observe(self, value):
+        pass
+
+    def percentile(self, q):
+        return 0.0
+
+    def summary(self):
+        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+                "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+NOOP_INSTRUMENT = _NoopInstrument()
+
+
+class NoopMetrics:
+    """Registry used when telemetry is disabled: shared no-op instruments."""
+
+    __slots__ = ()
+
+    def counter(self, name):
+        return NOOP_INSTRUMENT
+
+    def gauge(self, name):
+        return NOOP_INSTRUMENT
+
+    def histogram(self, name):
+        return NOOP_INSTRUMENT
+
+    def snapshot(self):
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def reset(self):
+        pass
+
+
+NOOP_METRICS = NoopMetrics()

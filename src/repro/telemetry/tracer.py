@@ -1,0 +1,190 @@
+"""Zero-dependency tracing for the mediation pipeline.
+
+A :class:`Tracer` hands out :class:`Span` context managers; spans nest via
+a thread-local stack, so a source-side span opened while the mediator's
+``pose`` span is active automatically becomes its child — no context
+object needs to be threaded through the call chain.  Finished root spans
+are kept in a bounded buffer for inspection (``Tracer.finished``,
+``Tracer.last_root``).
+
+When telemetry is disabled the engine uses :class:`NoopTracer`, whose
+``span()`` returns one shared, pre-allocated :class:`NoopSpan` — entering
+it, setting attributes on it, and exiting it allocate nothing, keeping the
+disabled-path overhead to a single attribute lookup and method call.
+
+Timing uses ``time.perf_counter`` and is reported in milliseconds.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+
+class Span:
+    """One timed, attributed region of the pipeline.
+
+    Use as a context manager (``with tracer.span("stage") as span:``);
+    attach attributes with :meth:`set`.  ``duration_ms`` is available
+    after exit (it reads the running clock while the span is open).
+    """
+
+    __slots__ = ("name", "attributes", "children", "start", "end", "_tracer")
+
+    def __init__(self, name, tracer, attributes=None):
+        self.name = name
+        self.attributes = dict(attributes) if attributes else {}
+        self.children = []
+        self.start = None
+        self.end = None
+        self._tracer = tracer
+
+    def set(self, **attributes):
+        """Attach attributes to the span; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration_ms(self):
+        """Elapsed milliseconds (live while the span is still open)."""
+        if self.start is None:
+            return 0.0
+        end = self.end if self.end is not None else time.perf_counter()
+        return (end - self.start) * 1000.0
+
+    def __enter__(self):
+        self.start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.end = time.perf_counter()
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        self._tracer._pop(self)
+        return False
+
+    def to_dict(self):
+        """Nested plain-dict form (JSON-serializable)."""
+        return {
+            "name": self.name,
+            "duration_ms": self.duration_ms,
+            "attributes": dict(self.attributes),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self):
+        """Yield this span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self):
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms)"
+
+
+class Tracer:
+    """Hands out nesting spans; retains finished roots in a ring buffer."""
+
+    def __init__(self, max_roots=256):
+        self._local = threading.local()
+        self._finished = deque(maxlen=max_roots)
+        self._lock = threading.Lock()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name, **attributes):
+        """Create a span; enter it (``with``) to start the clock."""
+        return Span(name, self, attributes)
+
+    def current(self):
+        """The innermost open span on this thread (or None)."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
+
+    def _push(self, span):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span):
+        stack = getattr(self._local, "stack", None)
+        if not stack or stack[-1] is not span:
+            return  # unbalanced exit; drop silently rather than corrupt
+        stack.pop()
+        if not stack:
+            with self._lock:
+                self._finished.append(span)
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def finished(self):
+        """Finished root spans, oldest first."""
+        with self._lock:
+            return list(self._finished)
+
+    def last_root(self):
+        """The most recently finished root span (or None)."""
+        with self._lock:
+            return self._finished[-1] if self._finished else None
+
+    def reset(self):
+        """Drop all finished spans (open spans are unaffected)."""
+        with self._lock:
+            self._finished.clear()
+
+
+class NoopSpan:
+    """A span that records nothing; one shared instance serves all sites."""
+
+    __slots__ = ()
+
+    def set(self, **attributes):
+        return self
+
+    @property
+    def duration_ms(self):
+        return 0.0
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def to_dict(self):
+        return {"name": "<noop>", "duration_ms": 0.0,
+                "attributes": {}, "children": []}
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class NoopTracer:
+    """Tracer used when telemetry is disabled: allocation-free spans."""
+
+    __slots__ = ()
+
+    def span(self, name, **attributes):
+        return NOOP_SPAN
+
+    def current(self):
+        return None
+
+    @property
+    def finished(self):
+        return []
+
+    def last_root(self):
+        return None
+
+    def reset(self):
+        pass
+
+
+NOOP_TRACER = NoopTracer()

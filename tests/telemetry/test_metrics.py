@@ -1,0 +1,106 @@
+"""Counters, gauges, histogram percentiles, and the no-op registry."""
+
+import pytest
+
+from repro.telemetry import NOOP_INSTRUMENT, MetricsRegistry, NoopMetrics
+from repro.telemetry.metrics import Histogram
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_identity_per_name(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.counter("a") is not registry.counter("b")
+
+    def test_gauge_last_value_wins(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("keys")
+        gauge.set(3)
+        gauge.set(11)
+        assert gauge.value == 11
+
+
+class TestHistogramPercentiles:
+    def test_percentiles_on_uniform_distribution(self):
+        histogram = Histogram("latency")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(value)
+        assert histogram.percentile(50) == pytest.approx(50, abs=1)
+        assert histogram.percentile(95) == pytest.approx(95, abs=1)
+        assert histogram.percentile(99) == pytest.approx(99, abs=1)
+
+    def test_summary_fields(self):
+        histogram = Histogram("loss")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["min"] == pytest.approx(0.1)
+        assert summary["max"] == pytest.approx(0.4)
+        assert summary["mean"] == pytest.approx(0.25)
+        assert summary["p50"] == pytest.approx(0.3, abs=0.11)
+
+    def test_empty_summary_is_zeroed(self):
+        assert Histogram("empty").summary() == {
+            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_observation(self):
+        histogram = Histogram("one")
+        histogram.observe(42.0)
+        assert histogram.percentile(50) == 42.0
+        assert histogram.percentile(99) == 42.0
+
+    def test_window_bounds_memory_but_count_is_lifetime(self):
+        histogram = Histogram("windowed", max_observations=10)
+        for value in range(100):
+            histogram.observe(value)
+        assert histogram.count == 100
+        # window holds the last 10 values (90..99)
+        assert histogram.percentile(0) == 90
+        assert histogram.summary()["max"] == 99
+
+
+class TestRegistry:
+    def test_snapshot_is_plain_data(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h").observe(3.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"c": 2}
+        assert snapshot["gauges"] == {"g": 1.5}
+        assert snapshot["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+
+class TestNoopMetrics:
+    def test_every_instrument_is_the_shared_singleton(self):
+        registry = NoopMetrics()
+        assert registry.counter("a") is NOOP_INSTRUMENT
+        assert registry.gauge("b") is NOOP_INSTRUMENT
+        assert registry.histogram("c") is NOOP_INSTRUMENT
+
+    def test_noop_instruments_accumulate_nothing(self):
+        registry = NoopMetrics()
+        registry.counter("a").inc(100)
+        registry.histogram("c").observe(5.0)
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert NOOP_INSTRUMENT.value == 0

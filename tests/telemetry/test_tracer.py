@@ -1,0 +1,131 @@
+"""Span nesting, timing, and the allocation-free no-op tracer."""
+
+import threading
+import time
+
+from repro.telemetry import NOOP_SPAN, NOOP_TRACER, NoopTracer, Tracer
+from repro.telemetry.tracer import NoopSpan
+
+
+class TestSpanNesting:
+    def test_children_nest_under_open_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("child-a"):
+                with tracer.span("grandchild"):
+                    pass
+            with tracer.span("child-b"):
+                pass
+        assert [c.name for c in root.children] == ["child-a", "child-b"]
+        assert [c.name for c in root.children[0].children] == ["grandchild"]
+
+    def test_only_roots_are_retained(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                pass
+        assert [s.name for s in tracer.finished] == ["root"]
+        assert tracer.last_root().name == "root"
+
+    def test_current_tracks_innermost(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_walk_yields_depth_first(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                with tracer.span("c"):
+                    pass
+            with tracer.span("d"):
+                pass
+        names = [s.name for s in tracer.last_root().walk()]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_ring_buffer_bounds_roots(self):
+        tracer = Tracer(max_roots=3)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [s.name for s in tracer.finished] == ["s2", "s3", "s4"]
+
+    def test_threads_do_not_share_stacks(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(name):
+            with tracer.span(name) as span:
+                time.sleep(0.01)
+                seen[name] = tracer.current() is span
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(4)]
+        with tracer.span("main"):
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert all(seen.values())
+        # each thread's span is its own root, not a child of "main"
+        assert sorted(s.name for s in tracer.finished) == [
+            "main", "t0", "t1", "t2", "t3"
+        ]
+
+
+class TestSpanTiming:
+    def test_duration_measures_elapsed_time(self):
+        tracer = Tracer()
+        with tracer.span("timed") as span:
+            time.sleep(0.02)
+        assert span.duration_ms >= 15.0
+
+    def test_duration_is_live_while_open(self):
+        tracer = Tracer()
+        with tracer.span("open") as span:
+            time.sleep(0.005)
+            live = span.duration_ms
+            assert live > 0.0
+        assert span.duration_ms >= live
+
+    def test_attributes_and_error_capture(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("failing", stage="x") as span:
+                span.set(rows=7)
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert span.attributes == {
+            "stage": "x", "rows": 7, "error": "ValueError",
+        }
+
+    def test_to_dict_round_trips_structure(self):
+        tracer = Tracer()
+        with tracer.span("root", a=1):
+            with tracer.span("leaf"):
+                pass
+        d = tracer.last_root().to_dict()
+        assert d["name"] == "root" and d["attributes"] == {"a": 1}
+        assert [c["name"] for c in d["children"]] == ["leaf"]
+
+
+class TestNoopTracer:
+    def test_span_returns_shared_singleton(self):
+        tracer = NoopTracer()
+        a = tracer.span("anything", k="v")
+        b = tracer.span("else")
+        assert a is b is NOOP_SPAN
+        assert isinstance(a, NoopSpan)
+
+    def test_noop_span_records_nothing(self):
+        with NOOP_TRACER.span("x") as span:
+            span.set(ignored=True)
+        assert NOOP_TRACER.finished == []
+        assert NOOP_TRACER.last_root() is None
+        assert span.duration_ms == 0.0
