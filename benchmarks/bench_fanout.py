@@ -1,0 +1,158 @@
+"""Sequential vs concurrent source fan-out — wall-clock comparison.
+
+Runs the *same* mediation deployment (real `RemoteSource` pipelines
+wrapped in deterministic `FlakySource` delay schedules) under the
+blocking sequential dispatcher and the concurrent fan-out, across source
+counts and fault rates.  Sequential wall-clock grows linearly with the
+number of sources (latencies sum); concurrent wall-clock tracks the
+slowest source (latencies max), which is the whole argument for the
+dispatch layer.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fanout.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_fanout.py --smoke    # CI gate
+
+``--smoke`` runs the acceptance configuration only — an 8-source plan
+with 50 ms simulated per-source latency — and exits non-zero unless
+concurrent dispatch is at least ``--min-speedup`` (default 3×) faster
+than sequential, so CI catches any regression that serializes the
+fan-out again.
+
+Results print as a BENCH_FANOUT table; each cell is the best of
+``--repeats`` runs to damp scheduler noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.mediator.dispatch import DispatchPolicy
+from repro.testing import FaultSchedule, build_flaky_system
+
+QUERY = "SELECT //patient/age PURPOSE research"
+
+
+def delay_schedule_factory(latency_s, fault_rate, calls=64):
+    """Per-source schedules: constant latency + seeded transient faults."""
+
+    def schedule_for(name, index):
+        if fault_rate <= 0.0:
+            return FaultSchedule([("delay", latency_s)] * calls)
+        seeded = FaultSchedule.seeded(
+            seed=1000 + index, calls=calls,
+            transient_rate=fault_rate, delay_rate=1.0 - fault_rate,
+            delay_s=latency_s,
+        )
+        return seeded
+
+    return schedule_for
+
+
+def build(mode, n_sources, latency_s, fault_rate):
+    policy = DispatchPolicy(
+        mode=mode, retries=2, backoff_base_s=0.005, backoff_max_s=0.05,
+        partial="best_effort",
+    )
+    system, _ = build_flaky_system(
+        n_sources,
+        schedule_for=delay_schedule_factory(latency_s, fault_rate),
+        dispatch=policy,
+        seed=42,
+    )
+    return system
+
+
+def time_pose(system, repeats):
+    """Best-of-``repeats`` wall-clock for one warehouse-bypassing pose."""
+    best = float("inf")
+    rows = None
+    for attempt in range(repeats):
+        query = f"{QUERY} MAXLOSS 0.9"
+        started = time.perf_counter()
+        result = system.engine.pose(
+            query, requester=f"bench-{attempt}", use_warehouse=False
+        )
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+        rows = len(result.rows)
+    return best * 1000.0, rows
+
+
+def run_cell(n_sources, latency_ms, fault_rate, repeats):
+    latency_s = latency_ms / 1000.0
+    sequential_system = build("sequential", n_sources, latency_s, fault_rate)
+    concurrent_system = build("concurrent", n_sources, latency_s, fault_rate)
+    sequential_ms, sequential_rows = time_pose(sequential_system, repeats)
+    concurrent_ms, concurrent_rows = time_pose(concurrent_system, repeats)
+    assert sequential_rows == concurrent_rows, (
+        f"row mismatch: sequential={sequential_rows} "
+        f"concurrent={concurrent_rows}"
+    )
+    return {
+        "sources": n_sources,
+        "latency_ms": latency_ms,
+        "fault_rate": fault_rate,
+        "sequential_ms": sequential_ms,
+        "concurrent_ms": concurrent_ms,
+        "speedup": sequential_ms / max(concurrent_ms, 1e-9),
+    }
+
+
+def print_table(cells):
+    header = (
+        f"{'sources':>8} {'latency':>8} {'faults':>7} "
+        f"{'sequential':>12} {'concurrent':>12} {'speedup':>8}"
+    )
+    print("BENCH_FANOUT sequential vs concurrent dispatch wall-clock")
+    print(header)
+    for cell in cells:
+        print(
+            f"{cell['sources']:>8} {cell['latency_ms']:>6.0f}ms "
+            f"{cell['fault_rate']:>7.2f} "
+            f"{cell['sequential_ms']:>10.1f}ms "
+            f"{cell['concurrent_ms']:>10.1f}ms "
+            f"{cell['speedup']:>7.1f}x"
+        )
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="acceptance cell only; gate on --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=3.0,
+                        help="smoke: required sequential/concurrent ratio")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of this many runs per cell")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        cell = run_cell(n_sources=8, latency_ms=50.0, fault_rate=0.0,
+                        repeats=args.repeats)
+        print_table([cell])
+        if cell["speedup"] < args.min_speedup:
+            print(
+                f"SMOKE FAIL: speedup {cell['speedup']:.1f}x < "
+                f"{args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"SMOKE OK: speedup {cell['speedup']:.1f}x "
+              f">= {args.min_speedup:.1f}x")
+        return 0
+
+    cells = []
+    for n_sources in (2, 4, 8):
+        for fault_rate in (0.0, 0.2):
+            cells.append(
+                run_cell(n_sources, latency_ms=50.0, fault_rate=fault_rate,
+                         repeats=args.repeats)
+            )
+    print_table(cells)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,8 @@ from repro.errors import (
     PrivacyViolation,
     QueryError,
     ReproError,
+    SourceUnavailable,
+    TransientSourceError,
 )
 from repro.query import parse_piql
 from repro.telemetry import Telemetry
@@ -52,5 +54,7 @@ __all__ = [
     "PolicyError",
     "QueryError",
     "IntegrationError",
+    "SourceUnavailable",
+    "TransientSourceError",
     "__version__",
 ]

@@ -30,7 +30,7 @@ class PrivateIye:
 
     def __init__(self, policy_store=None, linkage_attributes=(),
                  warehouse_mode="hybrid", shared_secret="private-iye",
-                 synonyms=None, telemetry=None):
+                 synonyms=None, telemetry=None, dispatch=None):
         self.policy_store = policy_store or PolicyStore()
         self.engine = MediationEngine(
             shared_secret=shared_secret,
@@ -38,8 +38,19 @@ class PrivateIye:
             synonyms=synonyms,
             warehouse=Warehouse(mode=warehouse_mode),
             telemetry=telemetry,
+            dispatch=dispatch,
         )
         self._sessions = {}
+
+    @property
+    def dispatcher(self):
+        """The engine's fan-out dispatcher (breakers, dispatch policy).
+
+        Configure at construction: ``PrivateIye(dispatch=DispatchPolicy(
+        timeout_s=0.5, partial=("quorum", 2)))``; see
+        :mod:`repro.mediator.dispatch`.
+        """
+        return self.engine.dispatcher
 
     @property
     def telemetry(self):

@@ -62,6 +62,28 @@ class CryptoError(ReproError):
     """Cryptographic-primitive misuse (bad key, wrong group, ...)."""
 
 
+class TransientSourceError(ReproError):
+    """A source call failed for a *transport* reason that may heal.
+
+    Network blips, overload shedding, worker restarts — anything where
+    retrying the identical fragment is both safe and likely to succeed.
+    The fan-out dispatcher retries these with exponential backoff; it
+    NEVER retries a :class:`PrivacyViolation` or :class:`PathError`,
+    which are final protocol answers, not faults.
+    """
+
+
+class SourceUnavailable(ReproError):
+    """A source (or too many sources) stayed unreachable after retries.
+
+    Raised by the fan-out dispatcher when the configured partial-results
+    policy (``require_all`` or ``quorum(k)``) cannot be met: deadlines
+    expired, transient faults exhausted their retry budget, or a circuit
+    breaker was open.  Distinct from :class:`PrivacyViolation` — the
+    sources did not *refuse*, they could not be reached.
+    """
+
+
 class IntegrationError(ReproError):
     """Mediation-engine failure (fragmentation, integration, matching)."""
 

@@ -15,6 +15,9 @@
 * :mod:`repro.mediator.history` — query history and the mediator-side
   sequence guard.
 * :mod:`repro.mediator.warehouse` — hybrid virtual/warehouse answering.
+* :mod:`repro.mediator.dispatch` — concurrent fault-tolerant source
+  fan-out: deadlines, retries, circuit breakers, partial-results
+  policies.
 * :mod:`repro.mediator.engine` — the :class:`MediationEngine` facade.
 """
 
@@ -29,6 +32,13 @@ from repro.mediator.integrator import IntegratedResult, ResultIntegrator
 from repro.mediator.control import PrivacyControl, ViolationNotice
 from repro.mediator.history import MediatorHistory, SequenceGuard
 from repro.mediator.warehouse import Warehouse
+from repro.mediator.dispatch import (
+    CircuitBreaker,
+    DispatchPolicy,
+    DispatchResult,
+    FanoutDispatcher,
+    SourceOutcome,
+)
 from repro.mediator.engine import MediationEngine
 
 __all__ = [
@@ -46,5 +56,10 @@ __all__ = [
     "MediatorHistory",
     "SequenceGuard",
     "Warehouse",
+    "DispatchPolicy",
+    "FanoutDispatcher",
+    "DispatchResult",
+    "SourceOutcome",
+    "CircuitBreaker",
     "MediationEngine",
 ]

@@ -1,8 +1,10 @@
 """The MediationEngine facade — Figure 2(b) end to end.
 
-Wires mediated-schema generation, fragmentation, per-source answering,
-result integration, privacy control, history/sequence guarding, and the
-hybrid warehouse into one ``pose()`` call.
+Wires mediated-schema generation, fragmentation, concurrent per-source
+answering (:mod:`repro.mediator.dispatch` — deadlines, retries, circuit
+breakers, partial-results policies), result integration, privacy
+control, history/sequence guarding, and the hybrid warehouse into one
+``pose()`` call.
 
 Every ``pose()`` is observable: the engine opens a ``mediator.pose`` span
 (stages nest underneath), updates the metrics registry, and writes a
@@ -19,12 +21,12 @@ from __future__ import annotations
 from repro.errors import (
     AuditRefusal,
     IntegrationError,
-    PathError,
     PrivacyViolation,
-    Refusal,
     ReproError,
+    SourceUnavailable,
 )
 from repro.mediator.control import PrivacyControl
+from repro.mediator.dispatch import FAULT_DEADLINE, FAULT_TRANSIENT, resolve_dispatch
 from repro.mediator.fragmenter import QueryFragmenter
 from repro.mediator.history import MediatorHistory, SequenceGuard
 from repro.mediator.integrator import IntegratedResult, ResultIntegrator
@@ -41,15 +43,19 @@ class MediationEngine:
 
     def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
                  synonyms=None, warehouse=None, max_distinct_probes=4,
-                 telemetry=None):
+                 telemetry=None, dispatch=None):
         self.shared_secret = shared_secret
         self.linkage_attributes = list(linkage_attributes)
         self.synonyms = synonyms
         self.telemetry = resolve_telemetry(telemetry)
         self.warehouse = warehouse or Warehouse(mode="hybrid")
-        # One Telemetry instance spans the whole deployment: the warehouse
-        # and privacy control report into the engine's registry.
+        # One Telemetry instance spans the whole deployment: the warehouse,
+        # privacy control, and dispatcher report into the engine's registry.
         self.warehouse.telemetry = self.telemetry
+        # ``dispatch``: None (default concurrent fan-out), a DispatchPolicy,
+        # or a shared FanoutDispatcher (breakers persist across engines).
+        self.dispatcher = resolve_dispatch(dispatch)
+        self.dispatcher.telemetry = self.telemetry
         self.max_distinct_probes = max_distinct_probes
 
         self.sources = {}
@@ -225,30 +231,47 @@ class MediationEngine:
             from repro.telemetry import NOOP_REPORT
             report = NOOP_REPORT
 
-        responses = {}
-        refused = {}
-        budgets = {}
-        for source_name in plan.sources:
-            remote = self.sources[source_name]
-            fragment = plan.fragments[source_name]
-            try:
-                response = remote.answer(
-                    fragment, requester=requester, role=role, subjects=subjects
-                )
-            except (PrivacyViolation, PathError) as error:
-                refusal = Refusal.from_exception(error)
-                refused[source_name] = refusal
-                report.source_refused(source_name, refusal)
-                telemetry.metrics.counter("mediator.source_refusals").inc()
-                continue
-            responses[source_name] = response
-            budgets[source_name] = response.rewrite.loss_budget
-            report.source_answered(source_name, response)
+        def call(source_name):
+            return self.sources[source_name].answer(
+                plan.fragments[source_name],
+                requester=requester, role=role, subjects=subjects,
+            )
+
+        dispatcher = self.dispatcher
+        with telemetry.span(
+            "mediator.fanout",
+            mode=dispatcher.policy.describe(), n_sources=len(plan.sources),
+        ) as span:
+            outcome_set = dispatcher.dispatch(plan.sources, call,
+                                              enforce=False)
+            span.set(answered=len(outcome_set.responses),
+                     retries=outcome_set.total_retries,
+                     wall_ms=outcome_set.wall_ms)
+            self._record_dispatch(outcome_set, report, telemetry)
+            # Enforced after the ledger is written, so a failed quorum
+            # still leaves per-source outcomes in explain_last().
+            dispatcher.enforce_partial(outcome_set)
+
+        responses = outcome_set.responses
+        budgets = {
+            name: response.rewrite.loss_budget
+            for name, response in responses.items()
+        }
+        # Unreachable sources ride along with refusals so the integrated
+        # result (and error messages) account for every planned source.
+        refused = dict(outcome_set.refused)
+        refused.update(outcome_set.unavailable)
 
         if not responses:
+            detail = "; ".join(
+                f"{s}: {r}" for s, r in sorted(refused.items())
+            )
+            if outcome_set.unavailable and not outcome_set.refused:
+                raise SourceUnavailable(
+                    f"no relevant source could be reached: {detail}"
+                )
             raise PrivacyViolation(
-                "every relevant source refused the query: "
-                + "; ".join(f"{s}: {r}" for s, r in sorted(refused.items()))
+                f"every relevant source refused the query: {detail}"
             )
 
         with telemetry.span("mediator.integrate", n_sources=len(responses)):
@@ -270,6 +293,54 @@ class MediationEngine:
             kept_rows, per_source_loss, aggregated, notices, refused,
             duplicates,
         )
+
+    def _record_dispatch(self, outcome_set, report, telemetry):
+        """Fold fan-out outcomes into the explain ledger and metrics."""
+        metrics = telemetry.metrics
+        for name, outcome in outcome_set.outcomes.items():
+            stats = {
+                "wall_ms": outcome.wall_ms,
+                "attempts": outcome.attempts,
+                "retries": outcome.retries,
+                "faults": list(outcome.faults),
+                "breaker_state": outcome.breaker_state,
+            }
+            if outcome.status == "answered":
+                report.source_answered(name, outcome.response, dispatch=stats)
+            elif outcome.status == "refused":
+                report.source_refused(name, outcome.refusal, dispatch=stats)
+                metrics.counter("mediator.source_refusals").inc()
+            else:
+                report.source_unavailable(name, outcome.refusal,
+                                          dispatch=stats)
+                metrics.counter("mediator.fanout.unavailable").inc()
+            metrics.histogram("mediator.fanout.source_wall_ms").observe(
+                outcome.wall_ms
+            )
+        faults = [f for o in outcome_set.outcomes.values() for f in o.faults]
+        if outcome_set.total_retries:
+            metrics.counter("mediator.fanout.retries").inc(
+                outcome_set.total_retries
+            )
+        timeouts = sum(1 for f in faults if f == FAULT_DEADLINE)
+        if timeouts:
+            metrics.counter("mediator.fanout.timeouts").inc(timeouts)
+        transients = sum(1 for f in faults if f == FAULT_TRANSIENT)
+        if transients:
+            metrics.counter("mediator.fanout.transients").inc(transients)
+        metrics.histogram("mediator.fanout.wall_ms").observe(
+            outcome_set.wall_ms
+        )
+        report.set_dispatch({
+            "mode": outcome_set.mode,
+            "policy": self.dispatcher.policy.describe(),
+            "wall_ms": outcome_set.wall_ms,
+            "retries": outcome_set.total_retries,
+            "breakers": {
+                name: outcome.breaker_state
+                for name, outcome in outcome_set.outcomes.items()
+            },
+        })
 
     def _predicate_signature(self, query):
         return " AND ".join(

@@ -49,6 +49,7 @@ class ExplainReport:
         self.sequence_guard = None     # {"verdict", "reason"}
         self.warehouse = None          # {"mode", "from_cache", ...}
         self.sources = {}              # source → outcome dict
+        self.dispatch = None           # fan-out summary (mode, breakers)
         self.integration = None        # {"rows", "duplicates_removed"}
         self.control = None            # aggregated loss vs MAXLOSS + notices
         self.duration_ms = None
@@ -80,9 +81,9 @@ class ExplainReport:
             "source_calls": None, "staleness": None,
         }
 
-    def source_answered(self, name, response):
+    def source_answered(self, name, response, dispatch=None):
         rewrite = response.rewrite
-        self.sources[name] = {
+        outcome = {
             "outcome": "answered",
             "privacy_loss": response.privacy_loss,
             "information_loss": response.information_loss,
@@ -91,13 +92,38 @@ class ExplainReport:
             "dropped_columns": list(rewrite.dropped),
             "generalized_columns": list(rewrite.generalized_columns),
         }
+        if dispatch:
+            outcome.update(dispatch)
+        self.sources[name] = outcome
 
-    def source_refused(self, name, refusal):
-        self.sources[name] = {
+    def source_refused(self, name, refusal, dispatch=None):
+        outcome = {
             "outcome": "refused",
             "kind": refusal.kind,
             "reason": refusal.reason,
         }
+        if dispatch:
+            outcome.update(dispatch)
+        self.sources[name] = outcome
+
+    def source_unavailable(self, name, refusal, dispatch=None):
+        """A source that could not be *reached* (vs one that refused).
+
+        ``refusal.kind`` carries the fault class — ``DeadlineExceeded``,
+        ``TransientSourceError``, or ``CircuitOpen``.
+        """
+        outcome = {
+            "outcome": "unavailable",
+            "kind": refusal.kind,
+            "reason": refusal.reason,
+        }
+        if dispatch:
+            outcome.update(dispatch)
+        self.sources[name] = outcome
+
+    def set_dispatch(self, info):
+        """Record the fan-out summary (mode, policy, wall, breakers)."""
+        self.dispatch = dict(info)
 
     def set_integration(self, rows, duplicates_removed):
         self.integration = {
@@ -140,6 +166,7 @@ class ExplainReport:
             "sequence_guard": self.sequence_guard,
             "warehouse": self.warehouse,
             "sources": dict(self.sources),
+            "dispatch": self.dispatch,
             "integration": self.integration,
             "control": self.control,
             "duration_ms": self.duration_ms,
@@ -151,6 +178,21 @@ class ExplainReport:
             name for name, outcome in self.sources.items()
             if outcome.get("outcome") == "refused"
         )
+
+    def unavailable_sources(self):
+        """Names of sources that could not be reached (faults, breaker)."""
+        return sorted(
+            name for name, outcome in self.sources.items()
+            if outcome.get("outcome") == "unavailable"
+        )
+
+    def source_wall_ms(self):
+        """``{source: wall_ms}`` — where the fan-out spent its time."""
+        return {
+            name: outcome["wall_ms"]
+            for name, outcome in self.sources.items()
+            if "wall_ms" in outcome
+        }
 
     def __repr__(self):
         return (
@@ -205,10 +247,16 @@ class NoopReport:
     def set_warehouse_miss(self, mode):
         pass
 
-    def source_answered(self, name, response):
+    def source_answered(self, name, response, dispatch=None):
         pass
 
-    def source_refused(self, name, refusal):
+    def source_refused(self, name, refusal, dispatch=None):
+        pass
+
+    def source_unavailable(self, name, refusal, dispatch=None):
+        pass
+
+    def set_dispatch(self, info):
         pass
 
     def set_integration(self, rows, duplicates_removed):
@@ -226,6 +274,12 @@ class NoopReport:
 
     def refusing_sources(self):
         return []
+
+    def unavailable_sources(self):
+        return []
+
+    def source_wall_ms(self):
+        return {}
 
 
 NOOP_REPORT = NoopReport()

@@ -24,24 +24,32 @@ from collections import deque
 
 
 class Counter:
-    """Monotonically increasing counter."""
+    """Monotonically increasing counter.
 
-    __slots__ = ("name", "value")
+    Thread-safe: fan-out workers hammer the same instrument, and the
+    read-modify-write of ``value += amount`` is not atomic under the
+    GIL (the interpreter can switch threads between the read and the
+    store), so increments are taken under a per-instrument lock.
+    """
+
+    __slots__ = ("name", "value", "_lock")
 
     def __init__(self, name):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, amount=1):
-        self.value += amount
-        return self.value
+        with self._lock:
+            self.value += amount
+            return self.value
 
     def __repr__(self):
         return f"Counter({self.name!r}={self.value})"
 
 
 class Gauge:
-    """Last-value-wins instrument."""
+    """Last-value-wins instrument (a single store; atomic under the GIL)."""
 
     __slots__ = ("name", "value")
 
@@ -64,21 +72,32 @@ class Histogram:
     not a statistical sample): recency matters more than completeness for
     watching a live pipeline, and the bound keeps memory flat under heavy
     traffic.
+
+    Thread-safe: ``count``/``total`` updates and window snapshots run
+    under a per-instrument lock (iterating a deque while another thread
+    appends raises ``RuntimeError``, and the lifetime accumulators are
+    read-modify-write).
     """
 
-    __slots__ = ("name", "_values", "count", "total")
+    __slots__ = ("name", "_values", "count", "total", "_lock")
 
     def __init__(self, name, max_observations=2048):
         self.name = name
         self._values = deque(maxlen=max_observations)
         self.count = 0        # lifetime observations, beyond the window
         self.total = 0.0      # lifetime sum
+        self._lock = threading.Lock()
 
     def observe(self, value):
         value = float(value)
-        self._values.append(value)
-        self.count += 1
-        self.total += value
+        with self._lock:
+            self._values.append(value)
+            self.count += 1
+            self.total += value
+
+    def _window(self):
+        with self._lock:
+            return sorted(self._values)
 
     def percentile(self, q):
         """The ``q``-th percentile (0..100) of the windowed observations.
@@ -86,9 +105,12 @@ class Histogram:
         Uses nearest-rank on a sorted copy — exact for the window, O(n log n)
         per call; summaries are read rarely relative to writes.
         """
-        if not self._values:
+        return self._rank(self._window(), q)
+
+    @staticmethod
+    def _rank(ordered, q):
+        if not ordered:
             return 0.0
-        ordered = sorted(self._values)
         if len(ordered) == 1:
             return ordered[0]
         rank = max(0, min(len(ordered) - 1,
@@ -97,18 +119,18 @@ class Histogram:
 
     def summary(self):
         """``{count, mean, min, max, p50, p95, p99}`` over the window."""
-        if not self._values:
+        ordered = self._window()
+        if not ordered:
             return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
                     "p50": 0.0, "p95": 0.0, "p99": 0.0}
-        ordered = sorted(self._values)
         return {
             "count": self.count,
             "mean": sum(ordered) / len(ordered),
             "min": ordered[0],
             "max": ordered[-1],
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "p50": self._rank(ordered, 50),
+            "p95": self._rank(ordered, 95),
+            "p99": self._rank(ordered, 99),
         }
 
     def __repr__(self):

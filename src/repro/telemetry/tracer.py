@@ -28,17 +28,27 @@ class Span:
     Use as a context manager (``with tracer.span("stage") as span:``);
     attach attributes with :meth:`set`.  ``duration_ms`` is available
     after exit (it reads the running clock while the span is open).
+
+    ``parent`` is the *cross-thread* escape hatch: a span opened on a
+    worker thread (where the thread-local stack is empty) with an
+    explicit parent becomes that parent's child instead of a new root —
+    how the fan-out dispatcher keeps per-source attempts nested under
+    ``mediator.pose`` even though they run on pool threads.  When the
+    local stack is non-empty the stack parent wins, so nested spans on
+    the worker thread behave normally.
     """
 
-    __slots__ = ("name", "attributes", "children", "start", "end", "_tracer")
+    __slots__ = ("name", "attributes", "children", "start", "end",
+                 "_tracer", "parent")
 
-    def __init__(self, name, tracer, attributes=None):
+    def __init__(self, name, tracer, attributes=None, parent=None):
         self.name = name
         self.attributes = dict(attributes) if attributes else {}
         self.children = []
         self.start = None
         self.end = None
         self._tracer = tracer
+        self.parent = parent
 
     def set(self, **attributes):
         """Attach attributes to the span; returns the span for chaining."""
@@ -94,9 +104,14 @@ class Tracer:
 
     # -- span lifecycle ----------------------------------------------------
 
-    def span(self, name, **attributes):
-        """Create a span; enter it (``with``) to start the clock."""
-        return Span(name, self, attributes)
+    def span(self, name, parent=None, **attributes):
+        """Create a span; enter it (``with``) to start the clock.
+
+        ``parent`` explicitly parents the span under an open span from
+        *another* thread (see :class:`Span`); it is ignored when this
+        thread already has an open span to nest under.
+        """
+        return Span(name, self, attributes, parent=parent)
 
     def current(self):
         """The innermost open span on this thread (or None)."""
@@ -109,6 +124,10 @@ class Tracer:
             stack = self._local.stack = []
         if stack:
             stack[-1].children.append(span)
+        elif span.parent is not None:
+            # CPython list.append is atomic, so cross-thread children
+            # attach safely even while the parent is still open.
+            span.parent.children.append(span)
         stack.append(span)
 
     def _pop(self, span):
@@ -116,7 +135,7 @@ class Tracer:
         if not stack or stack[-1] is not span:
             return  # unbalanced exit; drop silently rather than corrupt
         stack.pop()
-        if not stack:
+        if not stack and span.parent is None:
             with self._lock:
                 self._finished.append(span)
 
@@ -170,7 +189,7 @@ class NoopTracer:
 
     __slots__ = ()
 
-    def span(self, name, **attributes):
+    def span(self, name, parent=None, **attributes):
         return NOOP_SPAN
 
     def current(self):

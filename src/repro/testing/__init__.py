@@ -1,0 +1,20 @@
+"""Deterministic test instruments for the PRIVATE-IYE reproduction.
+
+* :mod:`repro.testing.faults` — a seeded fault-injection harness
+  (:class:`FaultSchedule`, :class:`FlakySource`) that wraps real
+  :class:`~repro.source.server.RemoteSource` objects in scripted delays,
+  transient errors, hangs, and refusals, plus a scenario builder shared
+  by the fan-out test suites and ``benchmarks/bench_fanout.py``.
+
+Everything here is stdlib-only and deterministic under a seed — the same
+schedule replays the same faults in the same order, so concurrency tests
+never flake on timing accidents.
+"""
+
+from repro.testing.faults import (
+    FaultSchedule,
+    FlakySource,
+    build_flaky_system,
+)
+
+__all__ = ["FaultSchedule", "FlakySource", "build_flaky_system"]

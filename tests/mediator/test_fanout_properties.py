@@ -1,0 +1,139 @@
+"""Property-based fan-out invariants (seeded, stdlib-only generators).
+
+Concurrency must be *unobservable* in the answers: the dispatcher may
+reorder completions, retry transients, and race sources against each
+other, but the integrated result — rows, per-source losses, the
+aggregated loss checked against MAXLOSS, refusal accounting — has to be
+byte-identical to the blocking sequential reference.  Each property runs
+over several seeds drawn with ``random.Random``; the same seed always
+replays the same deployment, data, and fault schedule.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import PrivacyViolation
+from repro.mediator.dispatch import DispatchPolicy
+from repro.testing import FaultSchedule, build_flaky_system
+
+SEEDS = [11, 23, 47]
+QUERY = "SELECT //patient/age PURPOSE research"
+AGGREGATE = "SELECT AVG(//patient/visits) AS load PURPOSE research"
+
+
+def result_bytes(result):
+    """Canonical byte serialization of an IntegratedResult."""
+    return json.dumps(
+        {
+            "rows": result.rows,
+            "per_source_loss": result.per_source_loss,
+            "aggregated_loss": result.aggregated_loss,
+            "duplicates_removed": result.duplicates_removed,
+            "refused": {
+                s: (r.kind, r.reason)
+                for s, r in sorted(result.refused_sources.items())
+            },
+        },
+        sort_keys=True, default=str,
+    ).encode()
+
+
+def run_query(seed, dispatch, text=QUERY, schedule_for=None, n_sources=5):
+    system, flaky = build_flaky_system(
+        n_sources, seed=seed, dispatch=dispatch, schedule_for=schedule_for
+    )
+    result = system.query(text, requester="prop")
+    return result, flaky
+
+
+class TestZeroFaultEquivalence:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_concurrent_equals_sequential_byte_for_byte(self, seed):
+        sequential, _ = run_query(seed, DispatchPolicy(mode="sequential"))
+        concurrent, _ = run_query(seed, DispatchPolicy(mode="concurrent"))
+        assert result_bytes(concurrent) == result_bytes(sequential)
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_aggregates_equal_across_modes(self, seed):
+        sequential, _ = run_query(
+            seed, DispatchPolicy(mode="sequential"), text=AGGREGATE
+        )
+        concurrent, _ = run_query(
+            seed, DispatchPolicy(mode="concurrent"), text=AGGREGATE
+        )
+        assert result_bytes(concurrent) == result_bytes(sequential)
+
+    def test_scrambled_completion_order_is_unobservable(self):
+        # Seeded random per-source delays scramble completion order; the
+        # integrated result must not care.
+        def delays(name, index):
+            rng = random.Random(1000 + index)
+            return FaultSchedule(
+                [("delay", rng.uniform(0.0, 0.03))]
+            )
+
+        baseline, _ = run_query(3, DispatchPolicy(mode="sequential"))
+        scrambled, _ = run_query(
+            3, DispatchPolicy(mode="concurrent"), schedule_for=delays
+        )
+        assert result_bytes(scrambled) == result_bytes(baseline)
+
+
+class TestRefusalsAreFinal:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_refused_sources_called_exactly_once(self, seed):
+        rng = random.Random(seed)
+        refusers = {f"src{i:02d}" for i in rng.sample(range(5), 2)}
+
+        def schedule_for(name, index):
+            if name in refusers:
+                return FaultSchedule.always(("refuse",), 5)
+            return None
+
+        result, flaky = run_query(
+            seed,
+            DispatchPolicy(mode="concurrent", retries=3),
+            schedule_for=schedule_for,
+        )
+        for name, source in flaky.items():
+            if name in refusers:
+                # a PrivacyViolation is a final answer: one call, no retry
+                assert source.calls == 1, name
+                assert result.refused_sources[name].kind == "PrivacyViolation"
+            else:
+                assert name in result.per_source_loss
+        assert {r["_source"] for r in result.rows}.isdisjoint(refusers)
+
+
+class TestLossEnforcementOrderIndependent:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_aggregated_loss_identical_under_retries_and_delays(self, seed):
+        rng = random.Random(seed * 7)
+
+        def noisy(name, index):
+            events = []
+            if rng.random() < 0.5:
+                events.append(("transient",))
+            events.append(("delay", rng.uniform(0.0, 0.02)))
+            return FaultSchedule(events)
+
+        baseline, _ = run_query(seed, DispatchPolicy(mode="sequential"))
+        noisy_result, _ = run_query(
+            seed,
+            DispatchPolicy(mode="concurrent", retries=2,
+                           backoff_base_s=0.005),
+            schedule_for=noisy,
+        )
+        assert noisy_result.aggregated_loss == baseline.aggregated_loss
+        assert noisy_result.per_source_loss == baseline.per_source_loss
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_maxloss_violation_identical_across_modes(self, seed):
+        tight = QUERY + " MAXLOSS 0.001"
+        with pytest.raises(PrivacyViolation) as sequential_error:
+            run_query(seed, DispatchPolicy(mode="sequential"), text=tight)
+        with pytest.raises(PrivacyViolation) as concurrent_error:
+            run_query(seed, DispatchPolicy(mode="concurrent"), text=tight)
+        assert str(concurrent_error.value) == str(sequential_error.value)

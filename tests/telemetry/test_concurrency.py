@@ -1,0 +1,168 @@
+"""Concurrency-safety tests for the telemetry layer.
+
+The fan-out dispatcher moved real traffic onto worker threads, so the
+tracer and metrics registry are now written from many threads at once.
+These tests hammer one shared instance from a thread pool and assert
+nothing is lost or misparented: counter increments are not dropped
+(``value += n`` is a non-atomic read-modify-write under the GIL),
+histogram windows stay iterable while written, and spans opened on
+worker threads with an explicit ``parent`` land under that parent —
+never as stray roots.
+"""
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.telemetry import MetricsRegistry, Telemetry, Tracer
+
+THREADS = 8
+
+
+def hammer(worker, threads=THREADS):
+    """Run ``worker(index)`` on ``threads`` threads, rethrowing errors."""
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        futures = [pool.submit(worker, i) for i in range(threads)]
+        for future in futures:
+            future.result()
+
+
+class TestMetricsUnderContention:
+    def test_no_lost_counter_increments(self):
+        registry = MetricsRegistry()
+        per_thread = 5000
+
+        def worker(index):
+            counter = registry.counter("contended")
+            for _ in range(per_thread):
+                counter.inc()
+
+        hammer(worker)
+        assert registry.counter("contended").value == THREADS * per_thread
+
+    def test_counter_instances_are_shared_across_threads(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def worker(index):
+            instrument = registry.counter("one")
+            with lock:
+                seen.append(instrument)
+
+        hammer(worker)
+        assert all(instrument is seen[0] for instrument in seen)
+
+    def test_histogram_counts_every_observation(self):
+        registry = MetricsRegistry()
+        per_thread = 2000
+
+        def worker(index):
+            histogram = registry.histogram("lat")
+            for i in range(per_thread):
+                histogram.observe(float(i))
+
+        hammer(worker)
+        histogram = registry.histogram("lat")
+        assert histogram.count == THREADS * per_thread
+        # lifetime total survives the windowing
+        expected_total = THREADS * sum(range(per_thread))
+        assert histogram.total == float(expected_total)
+
+    def test_summary_reads_race_safely_with_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    registry.histogram("busy").summary()
+                    registry.histogram("busy").percentile(95)
+                except RuntimeError as error:  # deque mutated during iter
+                    errors.append(error)
+                    return
+
+        def worker(index):
+            histogram = registry.histogram("busy")
+            for i in range(3000):
+                histogram.observe(i)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            hammer(worker)
+        finally:
+            stop.set()
+            reader_thread.join()
+        assert errors == []
+
+
+class TestTracerUnderContention:
+    def test_worker_spans_parent_correctly_across_threads(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            def worker(index):
+                with tracer.span("attempt", parent=root, worker=index):
+                    with tracer.span("inner"):
+                        pass
+
+            hammer(worker)
+        assert len(root.children) == THREADS
+        for child in root.children:
+            assert child.name == "attempt"
+            assert [grandchild.name for grandchild in child.children] == \
+                ["inner"]
+        # parented worker spans are children, not extra finished roots
+        assert [span.name for span in tracer.finished] == ["root"]
+        assert sum(1 for span in root.walk() if span.name == "inner") == \
+            THREADS
+
+    def test_unparented_worker_spans_stay_thread_local_roots(self):
+        tracer = Tracer()
+
+        def worker(index):
+            with tracer.span("solo", worker=index):
+                pass
+
+        hammer(worker)
+        finished = tracer.finished
+        assert len(finished) == THREADS
+        assert all(span.name == "solo" for span in finished)
+        assert all(not span.children for span in finished)
+
+    def test_nesting_on_each_thread_is_independent(self):
+        tracer = Tracer()
+        misnested = []
+
+        def worker(index):
+            with tracer.span(f"outer-{index}") as outer:
+                with tracer.span(f"inner-{index}"):
+                    if tracer.current().name != f"inner-{index}":
+                        misnested.append(index)
+                if outer.children[0].name != f"inner-{index}":
+                    misnested.append(index)
+
+        hammer(worker)
+        assert misnested == []
+        assert len(tracer.finished) == THREADS
+
+    def test_full_telemetry_pose_shape_under_worker_load(self):
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("mediator.pose") as pose:
+            with telemetry.span("mediator.fanout") as fanout:
+                def worker(index):
+                    with telemetry.tracer.span(
+                        "mediator.fanout.attempt", parent=fanout,
+                        source=f"src{index}",
+                    ):
+                        with telemetry.span("source.answer"):
+                            telemetry.metrics.counter("answered").inc()
+
+                hammer(worker)
+        root = telemetry.tracer.last_root()
+        assert root.name == "mediator.pose"
+        names = [span.name for span in root.walk()]
+        assert names.count("mediator.fanout.attempt") == THREADS
+        assert names.count("source.answer") == THREADS
+        assert telemetry.metrics.counter("answered").value == THREADS
+        assert [span.name for span in pose.children] == ["mediator.fanout"]
