@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.analysis.lint``."""
+
+import sys
+
+from repro.analysis.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,56 @@
+"""``python -m repro.analysis.lint`` — the repro-lint command line.
+
+Exit status 0 when no unsuppressed finding remains, 1 otherwise (the CI
+gate), 2 for usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.lint.core import all_rules, lint_paths
+from repro.analysis.lint.reporters import RENDERERS
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="repro-lint: repo-specific invariant checks (REP001-6)",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=sorted(RENDERERS),
+                        default="text", help="output format")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule codes to run "
+                             "(default: all)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for lint_rule in all_rules():
+            print(f"{lint_rule.code}  {lint_rule.summary}")
+        return 0
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",")
+                  if code.strip()}
+        known = {lint_rule.code for lint_rule in all_rules()}
+        unknown = select - known
+        if unknown:
+            print(f"unknown rule code(s): {sorted(unknown)}",
+                  file=sys.stderr)
+            return 2
+    findings, files_checked, suppressed = lint_paths(args.paths,
+                                                     select=select)
+    print(RENDERERS[args.format](findings, files_checked, suppressed))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

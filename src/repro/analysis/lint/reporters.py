@@ -1,0 +1,38 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+
+
+def render_text(findings, files_checked, suppressed):
+    """Classic ``path:line:col: CODE message`` lines plus a summary."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.code} {f.message}"
+        for f in findings
+    ]
+    summary = (
+        f"{len(findings)} finding(s) in {files_checked} file(s)"
+        + (f", {suppressed} suppressed" if suppressed else "")
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings, files_checked, suppressed):
+    """JSON document: findings list plus summary counts (CI-friendly)."""
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in findings],
+            "summary": {
+                "findings": len(findings),
+                "files_checked": files_checked,
+                "suppressed": suppressed,
+            },
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+RENDERERS = {"text": render_text, "json": render_json}

@@ -1,0 +1,381 @@
+"""The REP rule catalog (see docs/static_analysis.md for examples).
+
+Each rule guards an invariant this repo established in an earlier PR and
+previously enforced only by convention and review:
+
+* REP001 — classes that own a lock must mutate their shared attributes
+  under it (PR 1/2: telemetry registries are shared across dispatcher
+  threads).
+* REP002 — a refusal (``PrivacyViolation``/``AuditRefusal``/
+  ``REFUSAL_ERRORS``) is a *final protocol answer*; catching one inside
+  a loop and retrying (``continue``) or ignoring it (``pass``) breaks
+  refusal finality (PR 2's core invariant).
+* REP003 — library code raises :class:`repro.errors.ReproError`
+  subclasses, never bare builtins, so ``except ReproError`` stays a
+  complete catch for callers.
+* REP004 — imports must respect the layer order (substrates below
+  policy/query, below source, below mediator, below core); a lower
+  layer importing a higher one at module level is a cycle waiting to
+  happen.
+* REP005 — bare ``except:`` and silently swallowed broad handlers hide
+  refusals and faults from the dispatcher's accounting.
+* REP006 — mutable default arguments alias state across calls.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint.core import rule
+
+# -- REP001: shared state mutated outside the owning lock ---------------------
+
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition", "Semaphore",
+                   "BoundedSemaphore"}
+_MUTATORS = {"append", "extend", "add", "update", "pop", "popitem",
+             "remove", "discard", "clear", "insert", "appendleft",
+             "popleft", "setdefault"}
+
+
+def _call_factory_name(node):
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _self_attribute(node):
+    """The attribute name when ``node`` is ``self.<attr>``, else None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"):
+        return node.attr
+    return None
+
+
+def _lock_attributes(class_node):
+    """Attributes of ``class_node`` assigned a lock in ``__init__``."""
+    locks = set()
+    for item in class_node.body:
+        if not (isinstance(item, ast.FunctionDef)
+                and item.name == "__init__"):
+            continue
+        for node in ast.walk(item):
+            if isinstance(node, ast.Assign):
+                if _call_factory_name(node.value) in _LOCK_FACTORIES:
+                    for target in node.targets:
+                        attr = _self_attribute(target)
+                        if attr is not None:
+                            locks.add(attr)
+    return locks
+
+
+def _mutated_self_attribute(node):
+    """The ``self.<attr>`` a statement/expression mutates, if any."""
+    if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            attr = _self_attribute(target)
+            if attr is not None:
+                return attr
+            if isinstance(target, ast.Subscript):
+                attr = _self_attribute(target.value)
+                if attr is not None:
+                    return attr
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            attr = _self_attribute(node.func.value)
+            if attr is not None:
+                return attr
+    return None
+
+
+def _holds_lock(with_node, locks):
+    for item in with_node.items:
+        expr = item.context_expr
+        # accept ``with self._lock:`` and ``with self._lock.acquire():``
+        attr = _self_attribute(expr)
+        if attr in locks:
+            return True
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and _self_attribute(expr.func.value) in locks):
+            return True
+    return False
+
+
+@rule("REP001", "shared state of a lock-owning class mutated outside its lock")
+def check_lock_discipline(context):
+    for class_node in ast.walk(context.tree):
+        if not isinstance(class_node, ast.ClassDef):
+            continue
+        locks = _lock_attributes(class_node)
+        if not locks:
+            continue
+        for method in class_node.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            if method.name == "__init__":
+                continue  # construction happens-before sharing
+            yield from _scan_method(context, class_node, method, locks)
+
+
+def _scan_method(context, class_node, method, locks, under_lock=False):
+    """Walk one method body tracking whether the class lock is held."""
+    for node in ast.iter_child_nodes(method):
+        yield from _scan_node(context, class_node, method, node, locks,
+                              under_lock)
+
+
+def _scan_node(context, class_node, method, node, locks, under_lock):
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.Lambda)):
+        return  # nested function: called later, lock state unknown
+    if isinstance(node, (ast.With, ast.AsyncWith)):
+        held = under_lock or _holds_lock(node, locks)
+        for child in node.body:
+            yield from _scan_node(context, class_node, method, child,
+                                  locks, held)
+        return
+    if not under_lock:
+        attr = _mutated_self_attribute(node)
+        if attr is not None and attr not in locks:
+            yield context.finding(
+                "REP001",
+                f"{class_node.name}.{method.name} mutates self.{attr} "
+                f"outside `with self.{sorted(locks)[0]}`",
+                node,
+            )
+    for child in ast.iter_child_nodes(node):
+        yield from _scan_node(context, class_node, method, child, locks,
+                              under_lock)
+
+
+# -- REP002: refusal caught and retried ---------------------------------------
+
+_REFUSAL_NAMES = {"PrivacyViolation", "AuditRefusal", "REFUSAL_ERRORS"}
+
+
+def _handler_names(handler_type):
+    if handler_type is None:
+        return set()
+    names = set()
+    for node in ast.walk(handler_type):
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _body_retries(body):
+    """Whether a handler body re-enters the loop (or ignores the error)."""
+    if all(isinstance(stmt, ast.Pass) for stmt in body):
+        return True
+    return any(_reaches_continue(stmt) for stmt in body)
+
+
+def _reaches_continue(node):
+    """A ``continue`` binding to the *enclosing* loop, not a nested one."""
+    if isinstance(node, ast.Continue):
+        return True
+    if isinstance(node, (ast.For, ast.While, ast.FunctionDef,
+                         ast.AsyncFunctionDef, ast.Lambda)):
+        return False  # continue inside these binds to their own scope
+    return any(_reaches_continue(child)
+               for child in ast.iter_child_nodes(node))
+
+
+@rule("REP002", "refusal caught inside a loop and retried or ignored")
+def check_refusal_finality(context):
+    yield from _scan_refusals(context.tree, context, in_loop=False)
+
+
+def _scan_refusals(node, context, in_loop):
+    for child in ast.iter_child_nodes(node):
+        child_in_loop = in_loop or isinstance(child, (ast.For, ast.While))
+        if isinstance(child, ast.ExceptHandler) and in_loop:
+            caught = _handler_names(child.type) & _REFUSAL_NAMES
+            if caught and _body_retries(child.body):
+                yield context.finding(
+                    "REP002",
+                    f"refusal ({', '.join(sorted(caught))}) caught inside "
+                    "a loop and retried/ignored — refusals are final",
+                    child,
+                )
+        yield from _scan_refusals(child, context, child_in_loop)
+
+
+# -- REP003: builtin exceptions raised in library code ------------------------
+
+_BUILTIN_EXCEPTIONS = {
+    "ArithmeticError", "AttributeError", "BaseException", "BufferError",
+    "EOFError", "Exception", "FloatingPointError", "IOError", "ImportError",
+    "IndexError", "KeyError", "LookupError", "MemoryError", "NameError",
+    "OSError", "OverflowError", "RecursionError", "ReferenceError",
+    "RuntimeError", "SystemError", "TypeError", "UnboundLocalError",
+    "UnicodeError", "ValueError", "ZeroDivisionError",
+}
+# intentionally exempt: NotImplementedError (abstract methods),
+# AssertionError, StopIteration/StopAsyncIteration (protocols),
+# KeyboardInterrupt/SystemExit (control flow).
+
+
+@rule("REP003", "builtin exception raised in repro library code")
+def check_repro_errors(context):
+    if not context.in_repro:
+        return
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Raise) or node.exc is None:
+            continue
+        exc = node.exc
+        name = None
+        if isinstance(exc, ast.Call) and isinstance(exc.func, ast.Name):
+            name = exc.func.id
+        elif isinstance(exc, ast.Name):
+            name = exc.id
+        if name in _BUILTIN_EXCEPTIONS:
+            yield context.finding(
+                "REP003",
+                f"raise {name} in library code — raise a "
+                "repro.errors.ReproError subclass so `except ReproError` "
+                "stays a complete catch",
+                node,
+            )
+
+
+# -- REP004: layering violations ----------------------------------------------
+
+#: Import-order ranks.  A module may import layers of rank <= its own;
+#: importing a strictly higher rank at module level is a violation.
+#: Derived from the actual dependency DAG (see docs/static_analysis.md).
+LAYER_RANKS = {
+    "errors": 0,
+    "relational": 10, "crypto": 10, "anonymity": 10, "access": 10,
+    "inference": 10, "metrics": 10,
+    "xmlkit": 20, "statdb": 20, "linkage": 20, "mining": 20, "data": 20,
+    "query": 30, "policy": 30,
+    "telemetry": 40,
+    "source": 50,
+    "analysis": 60,
+    "mediator": 70,
+    "core": 80,
+    "testing": 90,
+    # the repro facade re-exports everything
+    "": 100,
+}
+
+
+def _layer_of(module):
+    """The layer name of a dotted ``repro.*`` module, or None."""
+    if module is None or not module.startswith("repro"):
+        return None
+    parts = module.split(".")
+    return parts[1] if len(parts) > 1 else ""
+
+
+def _imported_repro_modules(node):
+    if isinstance(node, ast.Import):
+        return [alias.name for alias in node.names
+                if alias.name.startswith("repro")]
+    if isinstance(node, ast.ImportFrom) and node.level == 0:
+        if node.module and node.module.startswith("repro"):
+            return [node.module]
+    return []
+
+
+@rule("REP004", "module-level import of a higher architectural layer")
+def check_layering(context):
+    layer = _layer_of(context.module)
+    if layer is None or layer not in LAYER_RANKS:
+        return
+    own_rank = LAYER_RANKS[layer]
+    for node in _module_level_nodes(context.tree):
+        for imported in _imported_repro_modules(node):
+            imported_layer = _layer_of(imported)
+            imported_rank = LAYER_RANKS.get(imported_layer)
+            if imported_rank is not None and imported_rank > own_rank:
+                yield context.finding(
+                    "REP004",
+                    f"layer '{layer}' (rank {own_rank}) imports "
+                    f"'{imported}' from higher layer '{imported_layer}' "
+                    f"(rank {imported_rank}) at module level — invert the "
+                    "dependency or defer the import into the function "
+                    "that needs it",
+                    node,
+                )
+
+
+def _module_level_nodes(tree):
+    """Statements executed at import time (not inside any function)."""
+    stack = list(tree.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # lazy imports inside functions are the sanctioned escape
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# -- REP005: bare except / swallowed exceptions -------------------------------
+
+_BROAD_NAMES = {"Exception", "BaseException"}
+
+
+@rule("REP005", "bare except or silently swallowed broad handler")
+def check_swallowed_exceptions(context):
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            yield context.finding(
+                "REP005",
+                "bare `except:` catches SystemExit/KeyboardInterrupt and "
+                "hides refusals — name the exceptions",
+                node,
+            )
+            continue
+        if (_handler_names(node.type) & _BROAD_NAMES
+                and all(isinstance(stmt, ast.Pass) for stmt in node.body)):
+            yield context.finding(
+                "REP005",
+                "broad handler silently swallows the exception — record, "
+                "re-raise, or narrow it",
+                node,
+            )
+
+
+# -- REP006: mutable default arguments ----------------------------------------
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "deque",
+                  "OrderedDict", "Counter"}
+
+
+def _is_mutable_default(node):
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return _call_factory_name(node) in _MUTABLE_CALLS
+
+
+@rule("REP006", "mutable default argument")
+def check_mutable_defaults(context):
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults)
+        defaults.extend(d for d in node.args.kw_defaults if d is not None)
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield context.finding(
+                    "REP006",
+                    f"function {node.name} has a mutable default argument "
+                    "— default to None and build inside",
+                    default,
+                )

@@ -1,0 +1,153 @@
+"""Taint labels for confidential paths flowing through a PIQL plan.
+
+The plan analyzer needs to know, per source, *which* confidential path a
+query touches, *how* it flows out (projection, predicate, group-by, or
+aggregate), and what disclosure form the source's policy grants for it.
+This module computes those labels from the same inputs the runtime
+pipeline uses — the transformer's path→column mapping and the policy
+decisions — so a label is a faithful abstraction of what the rewriter
+will later do with the column.
+
+The label lattice is the disclosure-form lattice of
+:class:`repro.policy.model.DisclosureForm` (``SUPPRESSED < AGGREGATE <
+RANGE < EXACT``), refined by the *flow* a path takes:
+
+* ``projection`` releases the granted form unchanged (``RANGE`` grants
+  are generalized by the executor, which the label records);
+* ``aggregate`` flow caps the released form at ``AGGREGATE`` — a value
+  that only ever leaves inside ``AVG``/``SUM``/… discloses at most its
+  aggregate;
+* ``predicate`` and ``group-by`` flows release nothing directly but are
+  *load-bearing*: a denied column in either makes the whole fragment
+  unanswerable (evaluating a predicate over forbidden data leaks
+  through the result set), which is exactly the condition the plan
+  analyzer reports as the offending path of a ``REFUSE`` verdict.
+"""
+
+from __future__ import annotations
+
+from repro.policy.model import DisclosureForm
+
+#: How a path flows out of a query.
+FLOW_PROJECTION = "projection"
+FLOW_PREDICATE = "predicate"
+FLOW_GROUP_BY = "group-by"
+FLOW_AGGREGATE = "aggregate"
+
+
+class TaintLabel:
+    """One confidential-path label: where data comes from and how it flows."""
+
+    __slots__ = ("source", "path", "column", "form", "flows", "allowed",
+                 "reasons")
+
+    def __init__(self, source, path, column, form, flows, allowed, reasons):
+        self.source = source
+        self.path = path          # path repr as posed (mediated fragment)
+        self.column = column      # the source-local column it resolves to
+        self.form = form          # DisclosureForm granted by policy
+        self.flows = tuple(flows)
+        self.allowed = allowed
+        self.reasons = list(reasons)
+
+    @property
+    def released_form(self):
+        """The strongest form this label can reach the requester in.
+
+        Denied labels release nothing; labels that only flow through
+        aggregates are capped at ``AGGREGATE`` no matter how generous
+        the grant is.
+        """
+        if not self.allowed:
+            return DisclosureForm.SUPPRESSED
+        if self.flows and set(self.flows) <= {FLOW_AGGREGATE}:
+            return min(self.form, DisclosureForm.AGGREGATE)
+        return self.form
+
+    @property
+    def blocks_fragment(self):
+        """Whether this label alone makes the fragment unanswerable.
+
+        Mirrors the rewriter: a denied column in a predicate or
+        group-by refuses the whole fragment; a denied projection or
+        aggregate is merely dropped.
+        """
+        return not self.allowed and any(
+            flow in (FLOW_PREDICATE, FLOW_GROUP_BY) for flow in self.flows
+        )
+
+    def to_dict(self):
+        return {
+            "source": self.source,
+            "path": self.path,
+            "column": self.column,
+            "form": self.form.name,
+            "released_form": self.released_form.name,
+            "flows": list(self.flows),
+            "allowed": self.allowed,
+            "reasons": list(self.reasons),
+        }
+
+    def __repr__(self):
+        verdict = "allowed" if self.allowed else "DENIED"
+        return (
+            f"TaintLabel({self.source}:{self.column} {verdict} "
+            f"{self.form.name} via {'/'.join(self.flows) or '-'})"
+        )
+
+
+def label_source_query(source, local_query, column_of_path, decisions):
+    """Label every path of one source's fragment.
+
+    ``local_query`` is the transformed :class:`SelectQuery`,
+    ``column_of_path`` the transformer's ``repr(path) → column`` map,
+    and ``decisions`` the per-column policy :class:`Decision` map —
+    the exact objects the runtime pipeline computes.  Returns one
+    :class:`TaintLabel` per path, ordered by path repr.
+    """
+    predicate_columns = set(local_query.where.columns_used())
+    group_columns = set(local_query.group_by)
+    projection_columns = set(local_query.columns)
+    aggregate_columns = {
+        a.column for a in local_query.aggregates if a.column != "*"
+    }
+
+    labels = []
+    for path_repr, column in sorted(column_of_path.items()):
+        flows = []
+        if column in projection_columns:
+            flows.append(FLOW_PROJECTION)
+        if column in aggregate_columns:
+            flows.append(FLOW_AGGREGATE)
+        if column in predicate_columns:
+            flows.append(FLOW_PREDICATE)
+        if column in group_columns:
+            flows.append(FLOW_GROUP_BY)
+        decision = decisions.get(column)
+        if decision is None:
+            labels.append(TaintLabel(
+                source, path_repr, column, DisclosureForm.SUPPRESSED,
+                flows, False, [f"no policy decision for column {column!r}"],
+            ))
+        else:
+            labels.append(TaintLabel(
+                source, path_repr, column, decision.form, flows,
+                decision.allowed, decision.reasons,
+            ))
+    return labels
+
+
+def blocking_label(labels):
+    """The first label that makes the fragment unanswerable, if any."""
+    for label in labels:
+        if label.blocks_fragment:
+            return label
+    return None
+
+
+def released_labels(labels):
+    """Labels that actually reach the integrated result (non-suppressed)."""
+    return [
+        label for label in labels
+        if label.released_form > DisclosureForm.SUPPRESSED
+    ]

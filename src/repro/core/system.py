@@ -30,7 +30,8 @@ class PrivateIye:
 
     def __init__(self, policy_store=None, linkage_attributes=(),
                  warehouse_mode="hybrid", shared_secret="private-iye",
-                 synonyms=None, telemetry=None, dispatch=None):
+                 synonyms=None, telemetry=None, dispatch=None,
+                 static_check=True):
         self.policy_store = policy_store or PolicyStore()
         self.engine = MediationEngine(
             shared_secret=shared_secret,
@@ -39,6 +40,7 @@ class PrivateIye:
             warehouse=Warehouse(mode=warehouse_mode),
             telemetry=telemetry,
             dispatch=dispatch,
+            static_check=static_check,
         )
         self._sessions = {}
 
@@ -148,6 +150,25 @@ class PrivateIye:
             role=role or session.role,
             subjects=subjects or session.subjects,
             emergency=emergency,
+        )
+
+    def analyze(self, text, requester="anonymous", role=None, subjects=()):
+        """Statically check a query without contacting any source.
+
+        Returns the :class:`~repro.analysis.plancheck.PlanVerdict` —
+        ``SAFE`` (no policy can refuse), ``REFUSE`` (guaranteed refusal,
+        with the offending source and path), or ``RUNTIME_CHECK`` (the
+        remaining data/history-dependent checks are listed).  The same
+        analyzer gates every ``query()`` call unless the system was
+        built with ``static_check=False``; see ``docs/static_analysis.md``.
+        """
+        session = self.session(requester, role=role)
+        query = parse_piql(text) if isinstance(text, str) else text
+        if query.purpose is None:
+            query.purpose = session.default_purpose
+        return self.engine.analyze(
+            query, requester=requester, role=role or session.role,
+            subjects=subjects or session.subjects,
         )
 
     # -- aggregate publication ---------------------------------------------

@@ -22,8 +22,8 @@ itself lives in the engine's explain report (:mod:`repro.telemetry`).
 
 from __future__ import annotations
 
-from repro.errors import ReproError
 from repro.inference.guard import InferenceGuard
+from repro.metrics.privacy_loss import budget_fixed_point, compound_loss
 from repro.telemetry import NOOP
 
 
@@ -53,12 +53,7 @@ class PrivacyControl:
 
     def aggregated_loss(self, per_source_loss):
         """Combined privacy loss of integrating several releases."""
-        combined = 1.0
-        for loss in per_source_loss.values():
-            if not 0.0 <= loss <= 1.0:
-                raise ReproError(f"per-source loss out of range: {loss}")
-            combined *= 1.0 - loss
-        return 1.0 - combined
+        return compound_loss(per_source_loss.values())
 
     def verify(self, rows, per_source_loss, budgets):
         """Enforce every source's budget against the aggregated loss.
@@ -67,34 +62,24 @@ class PrivacyControl:
         its fragment (from its rewrite).  Sources whose budget is exceeded
         by the aggregate have their rows withheld and receive a notice.
         Returns ``(kept_rows, aggregated_loss, notices)``.
+
+        The withholding fixed point itself lives in
+        :func:`repro.metrics.privacy_loss.budget_fixed_point` so the static
+        plan analyzer applies the identical loop.
         """
-        notices = []
-        participating = dict(per_source_loss)
-        while True:
-            aggregated = self.aggregated_loss(participating)
-            violated = [
-                source
-                for source in sorted(participating)
-                if aggregated > budgets.get(source, 1.0) + 1e-9
-            ]
-            if not violated:
-                break
-            # Withhold the highest-loss violating source first and recheck:
-            # removing one release may bring the aggregate within the
-            # remaining sources' budgets.
-            worst = max(violated, key=lambda s: (participating[s], s))
-            notices.append(
-                ViolationNotice(
-                    worst,
-                    aggregated,
-                    budgets.get(worst, 1.0),
-                    "aggregated loss of integrated result exceeds the "
-                    "budget granted by this source",
-                )
+        participating, aggregated, withheld = budget_fixed_point(
+            per_source_loss, budgets
+        )
+        notices = [
+            ViolationNotice(
+                source,
+                loss_at_withholding,
+                budget,
+                "aggregated loss of integrated result exceeds the "
+                "budget granted by this source",
             )
-            del participating[worst]
-            if not participating:
-                break
+            for source, loss_at_withholding, budget in withheld
+        ]
 
         kept_sources = set(participating)
         kept_rows = [
@@ -102,7 +87,6 @@ class PrivacyControl:
             if _row_sources(row) & kept_sources == _row_sources(row)
         ]
         self.notices_sent.extend(notices)
-        aggregated = self.aggregated_loss(participating) if participating else 0.0
         metrics = self.telemetry.metrics
         metrics.counter("control.verifications").inc()
         if notices:

@@ -48,6 +48,7 @@ from repro.errors import (
     PathError,
     PrivacyViolation,
     Refusal,
+    ReproError,
     SourceUnavailable,
     TransientSourceError,
 )
@@ -80,13 +81,13 @@ class DispatchPolicy:
                  backoff_max_s=2.0, breaker_threshold=5,
                  breaker_cooldown_s=30.0, partial="require_all"):
         if mode not in ("concurrent", "sequential"):
-            raise ValueError(f"unknown dispatch mode {mode!r}")
+            raise ReproError(f"unknown dispatch mode {mode!r}")
         if retries < 0:
-            raise ValueError("retries must be >= 0")
+            raise ReproError("retries must be >= 0")
         if timeout_s is not None and timeout_s <= 0:
-            raise ValueError("timeout_s must be positive (or None)")
+            raise ReproError("timeout_s must be positive (or None)")
         if breaker_threshold < 1:
-            raise ValueError("breaker_threshold must be >= 1")
+            raise ReproError("breaker_threshold must be >= 1")
         kind, k = self._parse_partial(partial)
         self.mode = mode
         self.max_workers = max_workers
@@ -107,7 +108,7 @@ class DispatchPolicy:
                 and partial[0] == "quorum" and isinstance(partial[1], int)
                 and partial[1] >= 1):
             return "quorum", partial[1]
-        raise ValueError(
+        raise ReproError(
             "partial must be 'require_all', 'best_effort', or ('quorum', k)"
         )
 
@@ -641,6 +642,8 @@ def resolve_dispatch(dispatch):
         return FanoutDispatcher(dispatch)
     if isinstance(dispatch, FanoutDispatcher):
         return dispatch
+    # repro-lint: disable=REP003 -- constructor-argument type errors are
+    # TypeError by Python convention (mirrors resolve_telemetry).
     raise TypeError(
         "dispatch must be None, a DispatchPolicy, or a FanoutDispatcher, "
         f"not {type(dispatch).__name__}"

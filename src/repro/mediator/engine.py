@@ -18,10 +18,12 @@ degrades to no-op singleton calls; see :mod:`repro.telemetry`.
 
 from __future__ import annotations
 
+from repro.analysis.plancheck import REFUSE, resolve_static_check
 from repro.errors import (
     AuditRefusal,
     IntegrationError,
     PrivacyViolation,
+    Refusal,
     ReproError,
     SourceUnavailable,
 )
@@ -43,7 +45,7 @@ class MediationEngine:
 
     def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
                  synonyms=None, warehouse=None, max_distinct_probes=4,
-                 telemetry=None, dispatch=None):
+                 telemetry=None, dispatch=None, static_check=True):
         self.shared_secret = shared_secret
         self.linkage_attributes = list(linkage_attributes)
         self.synonyms = synonyms
@@ -57,6 +59,9 @@ class MediationEngine:
         self.dispatcher = resolve_dispatch(dispatch)
         self.dispatcher.telemetry = self.telemetry
         self.max_distinct_probes = max_distinct_probes
+        # ``static_check``: True (default pre-dispatch plan analyzer),
+        # False (gate off), or a PlanAnalyzer instance to share.
+        self.static_analyzer = resolve_static_check(static_check)
 
         self.sources = {}
         self.schema = None
@@ -187,6 +192,10 @@ class MediationEngine:
                 raise
         report.set_guard("pass")
 
+        if self.static_analyzer is not None:
+            self._static_gate(query, plan, requester, role, subjects,
+                              use_warehouse, report)
+
         # Cache per requester/role: two requesters may legitimately see
         # different answers to the same text under RBAC or preferences.
         key = f"{requester}|{role}|{to_piql(query)}"
@@ -222,7 +231,72 @@ class MediationEngine:
         )
         return result
 
+    def analyze(self, query, requester="anonymous", role=None, subjects=()):
+        """Statically check a query without executing it.
+
+        Fragments ``query`` and runs the plan analyzer
+        (:class:`repro.analysis.plancheck.PlanAnalyzer`) over the
+        registered sources.  Nothing is dispatched, no history is
+        recorded, and the sequence guard is not consulted.  Returns a
+        :class:`~repro.analysis.plancheck.PlanVerdict`.
+        """
+        self._ensure_schema()
+        if isinstance(query, str):
+            query = parse_piql(query)
+        if not isinstance(query, PiqlQuery):
+            raise IntegrationError("analyze needs PIQL text or a PiqlQuery")
+        analyzer = self.static_analyzer or resolve_static_check(True)
+        plan = self.fragmenter.fragment(query)
+        return analyzer.analyze(
+            query, plan, self.sources,
+            requester=requester, role=role, subjects=subjects,
+        )
+
     # -- internals -----------------------------------------------------------
+
+    def _static_gate(self, query, plan, requester, role, subjects,
+                     use_warehouse, report):
+        """Run the pre-dispatch plan analyzer; raise on a REFUSE verdict.
+
+        A ``REFUSE`` is raised with the same exception type — and a
+        message containing the same per-source reasons — that the
+        runtime path would eventually produce, so callers and tests see
+        one refusal contract regardless of where it was decided.
+        """
+        telemetry = self.telemetry
+        with telemetry.span("mediator.static_check",
+                            n_sources=len(plan.sources)) as span:
+            verdict = self.static_analyzer.analyze(
+                query, plan, self.sources,
+                requester=requester, role=role, subjects=subjects,
+            )
+            span.set(verdict=verdict.verdict)
+        report.set_static(verdict)
+        metrics = telemetry.metrics
+        metrics.counter(
+            f"mediator.static.{verdict.verdict.lower()}"
+        ).inc()
+        metrics.histogram("mediator.static.analysis_ms").observe(
+            verdict.analysis_ms
+        )
+        if verdict.verdict != REFUSE:
+            return
+        # Dispatch is skipped entirely: account for the saved fan-out
+        # and leave a per-source ledger identical in shape to the one
+        # the runtime refusal path would have written.
+        metrics.counter("mediator.static.saved_source_calls").inc(
+            len(plan.sources)
+        )
+        if use_warehouse:
+            report.set_warehouse_miss(self.warehouse.mode)
+        for name, outcome in sorted(verdict.per_source.items()):
+            if outcome.refusal_kind is not None:
+                report.source_refused(
+                    name,
+                    Refusal(outcome.refusal_kind, outcome.refusal_reason),
+                    dispatch={"static": True},
+                )
+        raise PrivacyViolation(verdict.reason)
 
     def _compute(self, query, plan, requester, role, subjects, report=None):
         telemetry = self.telemetry

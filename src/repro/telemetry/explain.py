@@ -47,6 +47,7 @@ class ExplainReport:
         self.refusal = None            # {"kind", "reason"} when refused
         self.fragmentation = None      # {"sources", "skipped", "attributes"}
         self.sequence_guard = None     # {"verdict", "reason"}
+        self.static = None             # static plan-check verdict dict
         self.warehouse = None          # {"mode", "from_cache", ...}
         self.sources = {}              # source → outcome dict
         self.dispatch = None           # fan-out summary (mode, breakers)
@@ -65,6 +66,15 @@ class ExplainReport:
 
     def set_guard(self, verdict, reason=None):
         self.sequence_guard = {"verdict": verdict, "reason": reason}
+
+    def set_static(self, verdict):
+        """Record the pre-dispatch static plan-check verdict.
+
+        ``verdict`` is a :class:`repro.analysis.plancheck.PlanVerdict`
+        (anything with ``to_dict()``); the ledger keeps its dict form so
+        reports stay JSON-serializable.
+        """
+        self.static = verdict.to_dict()
 
     def set_warehouse(self, stats):
         self.warehouse = {
@@ -164,6 +174,7 @@ class ExplainReport:
             "refusal": self.refusal,
             "fragmentation": self.fragmentation,
             "sequence_guard": self.sequence_guard,
+            "static": self.static,
             "warehouse": self.warehouse,
             "sources": dict(self.sources),
             "dispatch": self.dispatch,
@@ -239,6 +250,9 @@ class NoopReport:
         pass
 
     def set_guard(self, verdict, reason=None):
+        pass
+
+    def set_static(self, verdict):
         pass
 
     def set_warehouse(self, stats):

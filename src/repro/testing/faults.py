@@ -36,7 +36,7 @@ import random
 import threading
 import time
 
-from repro.errors import PrivacyViolation, TransientSourceError
+from repro.errors import PrivacyViolation, ReproError, TransientSourceError
 
 OK = ("ok",)
 
@@ -57,7 +57,7 @@ class FaultSchedule:
         for event in events:
             event = tuple(event)
             if not event or event[0] not in _EVENT_KINDS:
-                raise ValueError(f"unknown fault event {event!r}")
+                raise ReproError(f"unknown fault event {event!r}")
             checked.append(event)
         self._events = checked
         self._cursor = 0

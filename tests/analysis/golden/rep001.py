@@ -1,0 +1,43 @@
+"""REP001 fixture: shared state mutated outside the owning lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._items = {}
+        self._count = 0
+        self._order = []
+
+    def record(self, key, value):
+        self._items[key] = value
+
+    def bump(self):
+        self._count += 1
+
+    def drop(self, key):
+        self._items.pop(key, None)
+
+    def safe_record(self, key, value):
+        with self._lock:
+            self._items[key] = value
+            self._order.append(key)
+
+    def safe_nested(self, key):
+        with self._lock:
+            if key not in self._items:
+                self._order.append(key)
+
+    def local_state_is_fine(self):
+        seen = []
+        seen.append("x")
+        return seen
+
+
+class Lockless:
+    def __init__(self):
+        self.items = {}
+
+    def record(self, key, value):
+        self.items[key] = value  # no lock owned: REP001 does not apply

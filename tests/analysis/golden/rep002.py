@@ -1,0 +1,38 @@
+"""REP002 fixture: refusals caught inside a loop and retried or ignored."""
+
+from repro.errors import AuditRefusal, PrivacyViolation
+
+
+def retries(sources):
+    answers = []
+    for source in sources:
+        try:
+            answers.append(source.answer())
+        except PrivacyViolation:
+            continue
+    return answers
+
+
+def ignores(sources):
+    for source in sources:
+        try:
+            source.answer()
+        except AuditRefusal:
+            pass
+
+
+def records_then_stops(sources, refused):
+    answers = []
+    for source in sources:
+        try:
+            answers.append(source.answer())
+        except PrivacyViolation as refusal:
+            refused.append(refusal)  # recorded, not retried: fine
+    return answers
+
+
+def outside_any_loop(source):
+    try:
+        return source.answer()
+    except PrivacyViolation:
+        return None  # a single catch is not a retry

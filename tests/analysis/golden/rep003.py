@@ -1,0 +1,21 @@
+"""REP003 fixture: builtin exceptions raised in library code."""
+
+
+def coerce(value):
+    if value is None:
+        raise ValueError("value must not be None")
+    return value
+
+
+def lookup(mapping, key):
+    if key not in mapping:
+        raise KeyError(key)
+    return mapping[key]
+
+
+def abstract():
+    raise NotImplementedError  # exempt: abstract-method convention
+
+
+def reraise(error):
+    raise  # bare re-raise keeps the original type: fine

@@ -1,0 +1,17 @@
+"""REP004 fixture: a substrate importing higher layers at module level.
+
+The golden harness lints this file as module ``repro.metrics.rep004``
+(layer ``metrics``, rank 10).
+"""
+
+import repro.core.system
+
+from repro.errors import ReproError
+from repro.mediator.engine import MediationEngine
+from repro.metrics.privacy_loss import compound_loss
+
+
+def lazy_is_sanctioned():
+    from repro.mediator import control
+
+    return control

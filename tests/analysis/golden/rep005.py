@@ -1,0 +1,29 @@
+"""REP005 fixture: bare except and silently swallowed broad handlers."""
+
+
+def bare(action):
+    try:
+        return action()
+    except:
+        return None
+
+
+def swallowed(action):
+    try:
+        action()
+    except Exception:
+        pass
+
+
+def recorded(action, log):
+    try:
+        action()
+    except Exception as error:
+        log.append(error)  # the handler does something: fine
+
+
+def narrow(action):
+    try:
+        action()
+    except KeyError:
+        pass  # narrow catches may be deliberately quiet

@@ -1,0 +1,20 @@
+"""REP006 fixture: mutable default arguments."""
+
+from collections import defaultdict
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def tally(counts={}, labels=set()):
+    return counts, labels
+
+
+def keyword_only(*, history=list(), index=defaultdict(int)):
+    return history, index
+
+
+def fine(items=None, fallback=(), name="x"):
+    return items if items is not None else list(fallback)

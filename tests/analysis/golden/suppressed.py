@@ -1,0 +1,22 @@
+"""Suppression fixture: directives silence findings, with and without why."""
+
+
+def same_line():
+    raise ValueError("boom")  # repro-lint: disable=REP003 -- exercises same-line form
+
+
+def comment_above():
+    # repro-lint: disable=REP003 -- exercises the comment-above form
+    raise TypeError("boom")
+
+
+def comment_block_above():
+    # A longer explanation that spans several comment lines before the
+    # statement it suppresses.
+    # repro-lint: disable=REP003 -- exercises multi-line comment blocks
+    # (the directive must reach past trailing comments too)
+    raise KeyError("boom")
+
+
+def unjustified():
+    raise IndexError("boom")  # repro-lint: disable=REP003

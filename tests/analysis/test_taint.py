@@ -1,0 +1,164 @@
+"""Unit tests for the taint-label abstraction (repro.analysis.taint)."""
+
+from repro.analysis import taint
+from repro.analysis.taint import (
+    FLOW_AGGREGATE,
+    FLOW_GROUP_BY,
+    FLOW_PREDICATE,
+    FLOW_PROJECTION,
+    TaintLabel,
+    blocking_label,
+    label_source_query,
+    released_labels,
+)
+from repro.policy.model import Decision, DisclosureForm
+from repro.relational.engine import Aggregate, SelectQuery
+from repro.relational.expr import Comparison
+
+
+def allow(form=DisclosureForm.EXACT, max_loss=1.0):
+    return Decision(True, form, max_loss, ["granted"])
+
+
+def deny(reason="denied by policy"):
+    return Decision.deny(reason)
+
+
+class TestLabelFlows:
+    def test_projection_flow(self):
+        query = SelectQuery("patients", columns=["age"])
+        labels = label_source_query(
+            "clinic", query, {"//patient/age": "age"}, {"age": allow()}
+        )
+        assert len(labels) == 1
+        assert labels[0].flows == (FLOW_PROJECTION,)
+        assert labels[0].source == "clinic"
+        assert labels[0].path == "//patient/age"
+        assert labels[0].column == "age"
+
+    def test_aggregate_and_predicate_flows(self):
+        query = SelectQuery(
+            "patients",
+            aggregates=[Aggregate("avg", "hba1c")],
+            where=Comparison("age", ">", 40),
+        )
+        labels = label_source_query(
+            "clinic", query,
+            {"//patient/hba1c": "hba1c", "//patient/age": "age"},
+            {"hba1c": allow(DisclosureForm.AGGREGATE), "age": allow()},
+        )
+        by_column = {label.column: label for label in labels}
+        assert by_column["hba1c"].flows == (FLOW_AGGREGATE,)
+        assert by_column["age"].flows == (FLOW_PREDICATE,)
+
+    def test_group_by_flow(self):
+        query = SelectQuery(
+            "patients",
+            aggregates=[Aggregate("count", "*")],
+            group_by=["city"],
+        )
+        labels = label_source_query(
+            "clinic", query, {"//patient/city": "city"},
+            {"city": allow()},
+        )
+        assert labels[0].flows == (FLOW_GROUP_BY,)
+
+    def test_labels_sorted_by_path(self):
+        query = SelectQuery("patients", columns=["b", "a"])
+        labels = label_source_query(
+            "clinic", query, {"//z/b": "b", "//a/a": "a"},
+            {"a": allow(), "b": allow()},
+        )
+        assert [label.path for label in labels] == ["//a/a", "//z/b"]
+
+
+class TestReleasedForm:
+    def test_denied_label_releases_nothing(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.EXACT,
+                           [FLOW_PROJECTION], False, ["no"])
+        assert label.released_form is DisclosureForm.SUPPRESSED
+
+    def test_aggregate_only_flow_caps_at_aggregate(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.EXACT,
+                           [FLOW_AGGREGATE], True, [])
+        assert label.released_form is DisclosureForm.AGGREGATE
+
+    def test_projection_flow_releases_granted_form(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.RANGE,
+                           [FLOW_PROJECTION], True, [])
+        assert label.released_form is DisclosureForm.RANGE
+
+    def test_mixed_flows_not_capped(self):
+        # a column that also appears in the projection discloses its
+        # granted form, aggregate flow notwithstanding
+        label = TaintLabel("s", "//p", "c", DisclosureForm.EXACT,
+                           [FLOW_PROJECTION, FLOW_AGGREGATE], True, [])
+        assert label.released_form is DisclosureForm.EXACT
+
+    def test_aggregate_grant_below_cap_stays(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.SUPPRESSED,
+                           [FLOW_AGGREGATE], True, [])
+        assert label.released_form is DisclosureForm.SUPPRESSED
+
+
+class TestBlocking:
+    def test_denied_predicate_blocks_fragment(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.SUPPRESSED,
+                           [FLOW_PREDICATE], False, ["no"])
+        assert label.blocks_fragment
+
+    def test_denied_projection_is_merely_dropped(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.SUPPRESSED,
+                           [FLOW_PROJECTION], False, ["no"])
+        assert not label.blocks_fragment
+
+    def test_allowed_predicate_does_not_block(self):
+        label = TaintLabel("s", "//p", "c", DisclosureForm.EXACT,
+                           [FLOW_PREDICATE], True, [])
+        assert not label.blocks_fragment
+
+    def test_blocking_label_finds_first_blocker(self):
+        benign = TaintLabel("s", "//a", "a", DisclosureForm.EXACT,
+                            [FLOW_PROJECTION], True, [])
+        blocker = TaintLabel("s", "//b", "b", DisclosureForm.SUPPRESSED,
+                             [FLOW_GROUP_BY], False, ["no"])
+        assert blocking_label([benign, blocker]) is blocker
+        assert blocking_label([benign]) is None
+
+    def test_released_labels_drop_suppressed(self):
+        visible = TaintLabel("s", "//a", "a", DisclosureForm.AGGREGATE,
+                             [FLOW_AGGREGATE], True, [])
+        hidden = TaintLabel("s", "//b", "b", DisclosureForm.EXACT,
+                            [FLOW_PROJECTION], False, ["no"])
+        assert released_labels([visible, hidden]) == [visible]
+
+
+class TestMissingDecision:
+    def test_unmapped_column_is_denied(self):
+        query = SelectQuery("patients", columns=["age"])
+        labels = label_source_query(
+            "clinic", query, {"//patient/age": "age"}, {}
+        )
+        assert not labels[0].allowed
+        assert labels[0].released_form is DisclosureForm.SUPPRESSED
+        assert "no policy decision" in labels[0].reasons[0]
+
+    def test_to_dict_round_trip(self):
+        query = SelectQuery("patients", columns=["age"])
+        (label,) = label_source_query(
+            "clinic", query, {"//patient/age": "age"}, {"age": allow()}
+        )
+        data = label.to_dict()
+        assert data["source"] == "clinic"
+        assert data["form"] == "EXACT"
+        assert data["released_form"] == "EXACT"
+        assert data["flows"] == [FLOW_PROJECTION]
+        assert data["allowed"] is True
+
+
+class TestModuleSurface:
+    def test_package_reexports(self):
+        from repro import analysis
+
+        assert analysis.TaintLabel is TaintLabel
+        assert analysis.label_source_query is taint.label_source_query
