@@ -1,0 +1,191 @@
+"""Warm multi-tier cache hit vs cold mediation — wall-clock saved.
+
+The same allowed query is posed against an 8-source deployment (real
+``RemoteSource`` pipelines behind deterministic ``FlakySource`` delays)
+three ways:
+
+* **cold**: first pose on a freshly built system — every tier misses,
+  the plan is fragmented, statically checked, fanned out to all sources
+  (each paying its simulated latency), integrated, and stored;
+* **warm**: an identical repeat by the same requester — the canonical
+  fingerprint matches, the epoch vector is unchanged, and the answer
+  tier serves the integrated result without contacting any source
+  (sequence guard, history, and loss accounting still run);
+* **uncached**: the ``cache=False`` baseline posed with
+  ``use_warehouse=False`` — the always-recompute path the cache layer
+  replaces.
+
+Representative numbers (this container, 8 sources, 50 ms latency,
+best of 5)::
+
+    BENCH_CACHE warm cache hit vs cold mediation
+     sources  latency        mode   wall-clock     saved
+           8     50ms        cold       55.3ms         -
+           8     50ms    uncached       55.1ms         -
+           8     50ms        warm        0.4ms    130.6x
+
+The warm path's cost is guard + history + three LRU lookups —
+independent of source count and latency — so the saved wall-clock grows
+with both.  A warm repeat is also verified to add zero source calls:
+caching short-circuits dispatch, never auditing.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_cache.py           # full grid
+    PYTHONPATH=src python benchmarks/bench_cache.py --smoke   # CI gate
+
+``--smoke`` runs the 8-source cell and exits non-zero unless the warm
+hit is at least ``--min-speedup`` (default 5×) faster than the cold
+pose, so CI catches a fingerprint or epoch bug that silently turns
+every pose into a miss.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.testing import FaultSchedule, build_flaky_system
+
+QUERY = "SELECT //patient/age PURPOSE research MAXLOSS 0.9"
+REQUESTER = "bench-cache"
+
+
+def delay_schedule_factory(latency_s, calls=256):
+    def schedule_for(name, index):
+        return FaultSchedule([("delay", latency_s)] * calls)
+
+    return schedule_for
+
+
+def build(n_sources, latency_s, cache):
+    system, flaky = build_flaky_system(
+        n_sources,
+        schedule_for=delay_schedule_factory(latency_s),
+        seed=42,
+        cache=cache,
+    )
+    return system, flaky
+
+
+def time_pose(system, use_warehouse=True):
+    started = time.perf_counter()
+    result = system.engine.pose(
+        QUERY, requester=REQUESTER, use_warehouse=use_warehouse
+    )
+    return (time.perf_counter() - started) * 1000.0, len(result.rows)
+
+
+def source_calls(flaky):
+    return sum(source.calls for source in flaky.values())
+
+
+def run_cell(n_sources, latency_ms, repeats):
+    latency_s = latency_ms / 1000.0
+
+    # Cold: first pose on a fresh deployment, best of ``repeats`` builds.
+    cold_ms = float("inf")
+    cold_rows = None
+    for _ in range(repeats):
+        system, _ = build(n_sources, latency_s, cache=True)
+        elapsed, cold_rows = time_pose(system)
+        cold_ms = min(cold_ms, elapsed)
+
+    # Warm: identical repeats on one warmed system.  The repeats must
+    # add zero source calls — a hit that still dispatched would be a
+    # cache that lies about its savings.
+    system, flaky = build(n_sources, latency_s, cache=True)
+    _, warm_rows = time_pose(system)
+    calls_after_warmup = source_calls(flaky)
+    warm_ms = float("inf")
+    for _ in range(repeats):
+        elapsed, warm_rows = time_pose(system)
+        warm_ms = min(warm_ms, elapsed)
+    extra_calls = source_calls(flaky) - calls_after_warmup
+    assert extra_calls == 0, (
+        f"warm repeats contacted sources {extra_calls} time(s) — "
+        "the answer tier is not hitting"
+    )
+
+    # Uncached baseline: no cache, no warehouse — always recompute.
+    system, _ = build(n_sources, latency_s, cache=False)
+    uncached_ms = float("inf")
+    uncached_rows = None
+    for _ in range(repeats):
+        elapsed, uncached_rows = time_pose(system, use_warehouse=False)
+        uncached_ms = min(uncached_ms, elapsed)
+
+    assert cold_rows == warm_rows == uncached_rows, (
+        f"row mismatch: cold={cold_rows} warm={warm_rows} "
+        f"uncached={uncached_rows}"
+    )
+    return {
+        "sources": n_sources,
+        "latency_ms": latency_ms,
+        "cold_ms": cold_ms,
+        "warm_ms": warm_ms,
+        "uncached_ms": uncached_ms,
+        "speedup_cold": cold_ms / max(warm_ms, 1e-9),
+        "speedup_uncached": uncached_ms / max(warm_ms, 1e-9),
+        "rows": cold_rows,
+    }
+
+
+def print_table(cells):
+    print("BENCH_CACHE warm cache hit vs cold mediation")
+    print(f"{'sources':>8} {'latency':>8} {'mode':>11} "
+          f"{'wall-clock':>12} {'saved':>9}")
+    for cell in cells:
+        rows = [
+            ("cold", cell["cold_ms"], None),
+            ("uncached", cell["uncached_ms"], None),
+            ("warm", cell["warm_ms"], cell["speedup_cold"]),
+        ]
+        for mode, wall_ms, saved in rows:
+            saved_text = f"{saved:>8.1f}x" if saved is not None else f"{'-':>9}"
+            print(f"{cell['sources']:>8} {cell['latency_ms']:>6.0f}ms "
+                  f"{mode:>11} {wall_ms:>10.1f}ms {saved_text}")
+
+
+def collect_results(repeats=5):
+    """The acceptance cell as a JSON-serializable dict (for run_all)."""
+    return {"cells": [run_cell(n_sources=8, latency_ms=50.0,
+                               repeats=repeats)]}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="acceptance cell only; gate on --min-speedup")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="smoke: required cold/warm ratio")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="take the best of this many runs per cell")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        cell = run_cell(n_sources=8, latency_ms=50.0, repeats=args.repeats)
+        print_table([cell])
+        if cell["speedup_cold"] < args.min_speedup:
+            print(
+                f"SMOKE FAIL: warm hit only {cell['speedup_cold']:.1f}x "
+                f"faster than cold pose (< {args.min_speedup:.1f}x)",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"SMOKE OK: warm hit {cell['speedup_cold']:.1f}x "
+              f">= {args.min_speedup:.1f}x")
+        return 0
+
+    cells = [
+        run_cell(n_sources, latency_ms, args.repeats)
+        for n_sources in (2, 4, 8)
+        for latency_ms in (10.0, 50.0)
+    ]
+    print_table(cells)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

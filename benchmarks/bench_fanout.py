@@ -118,6 +118,12 @@ def print_table(cells):
         )
 
 
+def collect_results(repeats=3):
+    """The acceptance cell as a JSON-serializable dict (for run_all)."""
+    return {"cells": [run_cell(n_sources=8, latency_ms=50.0, fault_rate=0.0,
+                               repeats=repeats)]}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",

@@ -131,6 +131,12 @@ def print_table(cells):
                   f"{mode:>15} {wall_ms:>10.1f}ms {saved_text}")
 
 
+def collect_results(repeats=5):
+    """The acceptance cell as a JSON-serializable dict (for run_all)."""
+    return {"cells": [run_cell(n_sources=8, latency_ms=50.0,
+                               repeats=repeats)]}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",

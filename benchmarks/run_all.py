@@ -1,0 +1,81 @@
+"""Run every benchmark exposing ``collect_results()``; emit per-bench JSON.
+
+Each participating ``bench_<name>.py`` module exports a
+``collect_results(repeats=...)`` function returning a JSON-serializable
+dict (its acceptance cell, so one sweep stays CI-sized).  This driver
+imports them, runs them, and writes one ``BENCH_<name>.json`` artifact
+per bench — the machine-readable counterpart of the human tables the
+individual scripts print:
+
+.. code-block:: json
+
+    {
+      "bench": "cache",
+      "generated_at": 1754480000.0,
+      "elapsed_s": 4.2,
+      "results": {"cells": [{"sources": 8, "warm_ms": 0.1, "...": "..."}]}
+    }
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py                # all benches
+    PYTHONPATH=src python benchmarks/run_all.py --only cache   # one bench
+    PYTHONPATH=src python benchmarks/run_all.py --out-dir /tmp/bench
+
+Artifacts land in ``--out-dir`` (default ``benchmarks/results/``, which
+is gitignored).  Exit status is non-zero if any bench raises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import sys
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+
+#: Benches that export ``collect_results()`` — extend as benches adopt it.
+BENCHES = ("cache", "fanout", "static_check")
+
+
+def run_bench(name, repeats, out_dir):
+    module = importlib.import_module(f"bench_{name}")
+    started = time.perf_counter()
+    results = module.collect_results(repeats=repeats)
+    elapsed = time.perf_counter() - started
+    payload = {
+        "bench": name,
+        "generated_at": time.time(),
+        "elapsed_s": round(elapsed, 3),
+        "results": results,
+    }
+    path = out_dir / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path, elapsed
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--only", action="append", choices=BENCHES,
+                        help="run just this bench (repeatable)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats forwarded to each bench")
+    parser.add_argument("--out-dir", type=Path,
+                        default=HERE / "results",
+                        help="directory for the BENCH_<name>.json files")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(HERE))
+    args.out_dir.mkdir(parents=True, exist_ok=True)
+    names = args.only or BENCHES
+    for name in names:
+        path, elapsed = run_bench(name, args.repeats, args.out_dir)
+        print(f"BENCH_{name}: wrote {path} ({elapsed:.1f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,7 @@ Two engines live here:
   runtime checks enumerated).  The mediation engine runs it as a
   pre-dispatch gate (``PrivateIye(static_check=...)``, on by default).
 * :mod:`repro.analysis.lint` — a stdlib-``ast`` lint framework with
-  repo-specific rules (REP001–REP006) guarding the invariants earlier
+  repo-specific rules (REP001–REP007) guarding the invariants earlier
   PRs introduced by convention: telemetry lock discipline, refusal
   finality, the :class:`~repro.errors.ReproError` hierarchy, layering,
   swallowed exceptions, and mutable default arguments.  Run it with

@@ -8,6 +8,7 @@ Machine-checks the conventions earlier PRs established by hand:
 * **REP004** layering violations (a lower layer importing a higher one)
 * **REP005** bare ``except`` / silently swallowed exceptions
 * **REP006** mutable default arguments
+* **REP007** ad-hoc dict-based caches outside ``repro.cache``
 
 Run ``python -m repro.analysis.lint src/`` (``--format=json`` in CI).
 Suppress a finding in place with a justification::
@@ -26,7 +27,7 @@ from repro.analysis.lint.core import (
     lint_source,
     rule,
 )
-from repro.analysis.lint import rules as _rules  # registers REP001–REP006
+from repro.analysis.lint import rules as _rules  # registers REP001–REP007
 
 __all__ = [
     "Finding",

@@ -16,7 +16,7 @@ from repro.analysis.lint.reporters import RENDERERS
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repro-lint: repo-specific invariant checks (REP001-6)",
+        description="repro-lint: repo-specific invariant checks (REP001-7)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")

@@ -20,6 +20,11 @@ previously enforced only by convention and review:
 * REP005 — bare ``except:`` and silently swallowed broad handlers hide
   refusals and faults from the dispatcher's accounting.
 * REP006 — mutable default arguments alias state across calls.
+* REP007 — ad-hoc dict-based caches (``self._cache = {}`` and friends)
+  outside :mod:`repro.cache` are unbounded, epoch-blind, and invisible
+  to metrics; route them through the cache layer or justify why the
+  layering forbids it (the cache-coherence invariant of the multi-tier
+  caching PR).
 """
 
 from __future__ import annotations
@@ -261,6 +266,7 @@ LAYER_RANKS = {
     "xmlkit": 20, "statdb": 20, "linkage": 20, "mining": 20, "data": 20,
     "query": 30, "policy": 30,
     "telemetry": 40,
+    "cache": 45,
     "source": 50,
     "analysis": 60,
     "mediator": 70,
@@ -378,4 +384,64 @@ def check_mutable_defaults(context):
                     f"function {node.name} has a mutable default argument "
                     "— default to None and build inside",
                     default,
+                )
+
+
+# -- REP007: ad-hoc dict caches outside repro.cache ---------------------------
+
+_CACHE_NAME_MARKERS = ("cache", "memo")
+_FRESH_MAPPING_FACTORIES = {"dict", "OrderedDict", "WeakValueDictionary"}
+
+
+def _builds_fresh_mapping(node):
+    """Whether ``node`` constructs a brand-new mapping to fill later.
+
+    ``{}``, zero-argument ``dict()``/``OrderedDict()``, and
+    ``defaultdict(...)`` (its argument is the default *factory*, not
+    contents) all start empty; ``dict(other)``/``{...: ...}`` copy or
+    seed existing data and are not cache storage being born.
+    """
+    if isinstance(node, ast.Dict):
+        return not node.keys
+    name = _call_factory_name(node)
+    if name == "defaultdict":
+        return True
+    if name in _FRESH_MAPPING_FACTORIES:
+        return not (node.args or node.keywords)
+    return False
+
+
+def _assigned_cache_name(target):
+    """The cache-suggesting name a target binds, or None."""
+    name = _self_attribute(target)
+    if name is None and isinstance(target, ast.Name):
+        name = target.id
+    if name is None:
+        return None
+    lowered = name.lower()
+    if any(marker in lowered for marker in _CACHE_NAME_MARKERS):
+        return name
+    return None
+
+
+@rule("REP007", "ad-hoc dict-based cache outside repro.cache")
+def check_adhoc_caches(context):
+    if not context.in_repro:
+        return
+    if _layer_of(context.module) == "cache":
+        return  # repro.cache is where cache storage is *supposed* to live
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        if not _builds_fresh_mapping(node.value):
+            continue
+        for target in node.targets:
+            name = _assigned_cache_name(target)
+            if name is not None:
+                yield context.finding(
+                    "REP007",
+                    f"{name} is an ad-hoc dict cache — use repro.cache "
+                    "(bounded LRU, epoch invalidation, hit/miss stats) or "
+                    "suppress with the layering justification",
+                    node,
                 )

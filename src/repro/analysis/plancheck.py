@@ -59,6 +59,7 @@ from repro.errors import (
 from repro.metrics.privacy_loss import budget_fixed_point, compound_loss
 from repro.policy.matching import combine, evaluate_request
 from repro.query.features import extract_features
+from repro.query.language import to_piql
 
 #: Verdicts, ordered SAFE > RUNTIME_CHECK > REFUSE (certainty of answering).
 SAFE = "SAFE"
@@ -150,6 +151,15 @@ class PlanVerdict:
 class PlanAnalyzer:
     """Taint-tracking abstract interpreter over fragmentation plans."""
 
+    def __init__(self, cache=None):
+        # Tier-2b of repro.cache: per-source dry-run outcomes, memoized
+        # on everything the interpretation reads (fragment text,
+        # principal, policy-store version, table size, overlap state).
+        # Duck-typed (anything with get/put, e.g. an LRUCache) and
+        # injected by the engine so one shared tier serves the gate and
+        # direct ``analyze()`` calls; None disables memoization.
+        self.cache = cache
+
     def analyze(self, query, plan, sources, requester=None, role=None,
                 subjects=()):
         """Statically check ``plan`` (a :class:`FragmentPlan`) for ``query``.
@@ -174,14 +184,21 @@ class PlanAnalyzer:
 
     def _analyze_source(self, remote, name, fragment, requester, role,
                         subjects):
+        key = self._outcome_key(remote, name, fragment, requester, role,
+                                subjects)
+        if key is not None:
+            outcome, hit = self.cache.get(key)
+            if hit:
+                return outcome
         try:
-            return self._interpret(remote, name, fragment, requester, role,
-                                    subjects)
+            outcome = self._interpret(remote, name, fragment, requester,
+                                      role, subjects)
         except AccessDenied:
             raise  # runtime fails fast on RBAC; the gate must too
         except (PrivacyViolation, PathError) as error:
-            # the exact refusal the dispatcher would record as final
-            return SourceStaticOutcome(
+            # the exact refusal the dispatcher would record as final —
+            # cacheable below precisely because refusals are final
+            outcome = SourceStaticOutcome(
                 name, REFUSES,
                 refusal_kind=type(error).__name__,
                 refusal_reason=str(error),
@@ -189,12 +206,40 @@ class PlanAnalyzer:
         except (ReproError, AttributeError, TypeError, KeyError) as error:
             # Unanalyzable source (duck-typed test double, exotic
             # configuration): stay sound by deferring to runtime rather
-            # than guessing.
+            # than guessing.  Never cached: the double's behaviour is
+            # not captured by the key.
             return SourceStaticOutcome(
                 name, RUNTIME,
                 runtime_checks=[f"{name}: not statically analyzable "
                                 f"({type(error).__name__}: {error})"],
             )
+        if key is not None:
+            self.cache.put(key, outcome)
+        return outcome
+
+    def _outcome_key(self, remote, name, fragment, requester, role,
+                     subjects):
+        """The memo key for one source interpretation, or None.
+
+        The key must pin every input ``_interpret`` reads: the rendered
+        fragment (includes purpose and MAXLOSS), the principal, the
+        source's policy-store version (any registration bumps it), the
+        table size (the no-WHERE set-size check depends on it), and
+        whether overlap control is armed.  Sources that do not expose
+        these (duck-typed doubles) are simply not memoized.
+        """
+        if self.cache is None:
+            return None
+        try:
+            version = remote.policy_store.version
+            table_rows = len(remote.table)
+            overlap_armed = remote.overlap is not None
+        except (AttributeError, TypeError):
+            return None
+        if not isinstance(version, int):
+            return None
+        return (name, to_piql(fragment), requester, role, tuple(subjects),
+                version, table_rows, overlap_armed)
 
     def _interpret(self, remote, name, fragment, requester, role, subjects):
         transform = remote.transformer.transform(fragment)

@@ -1,0 +1,61 @@
+"""Named epoch counters — the cache's invalidation currency.
+
+The safety argument of :mod:`repro.cache` (see ``docs/performance.md``)
+is that *reusing a disclosure-checked artifact is safe exactly when the
+reuse key captures the policy state it was checked under*.  Epochs are
+how that state is captured without hashing whole policy stores on every
+query: every mutating event bumps a named counter —
+
+* ``policy`` — derived from the per-source policy-store versions (the
+  engine sums them; see ``MediationEngine._policy_epoch``);
+* ``schema`` — bumped when a source is registered (the mediated schema,
+  and therefore every fragmentation plan, changes);
+* ``requester:<name>`` — bumped when that requester's auditing state
+  advances (a *novel* aggregate probe signature), so only their own
+  cached answers are invalidated.
+
+Cached entries carry the ``(name, value)`` vector they were computed
+under; a lookup whose current vector differs is an invalidation, never a
+hit.  Counters only ever increase, so a stale entry can never validate
+again — there is no ABA problem.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class EpochRegistry:
+    """Monotonic named counters, safe to bump/read from any thread."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}
+
+    def current(self, name):
+        """The counter's current value (0 if never bumped)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def bump(self, name):
+        """Advance the counter; returns the new value."""
+        with self._lock:
+            value = self._counters.get(name, 0) + 1
+            self._counters[name] = value
+            return value
+
+    def snapshot(self, names):
+        """An immutable ``((name, value), ...)`` vector for ``names``."""
+        with self._lock:
+            return tuple(
+                (name, self._counters.get(name, 0)) for name in names
+            )
+
+    def to_dict(self):
+        """Every counter, as a plain dict (for explain/debugging)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def __repr__(self):
+        with self._lock:
+            return f"EpochRegistry({dict(self._counters)})"

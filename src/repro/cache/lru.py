@@ -1,0 +1,252 @@
+"""A thread-safe LRU cache with TTL, validity callbacks, and stats.
+
+This is the storage primitive of every tier in :mod:`repro.cache`: a
+bounded :class:`collections.OrderedDict` guarded by one lock, with
+
+* **LRU eviction** — inserts beyond ``max_entries`` evict the least
+  recently used entry (``get`` refreshes recency);
+* **TTL expiry** — entries older than ``ttl`` seconds (by the injectable
+  ``clock``; defaults to :func:`time.monotonic`, tests pass a fake) are
+  dropped on access;
+* **validity callbacks** — ``get(key, validator=...)`` lets callers
+  attach a per-lookup freshness predicate (the warehouse compares epoch
+  vectors this way), and a failing entry is *removed*, not just skipped,
+  so stale results cannot resurface;
+* **stats** — hits/misses/evictions/expirations/invalidations are
+  tracked per tier and mirrored into ``mediator.cache.<tier>.*``
+  counters when telemetry is enabled.
+
+Metric emission happens *after* the lock is released: the metrics
+registry has its own locks and nesting them invites ordering bugs.
+
+Why the distinction between *expiration* and *invalidation* matters:
+expiry is time passing (benign, expected), invalidation is the privacy
+state moving underneath the entry (policy change, schema change, audit
+state advance) — the differential tests assert on them separately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+from repro.errors import CacheError
+from repro.telemetry import NOOP
+
+#: Default per-tier capacity — generous for test deployments, bounded
+#: enough that a scan of distinct queries cannot exhaust memory.
+DEFAULT_MAX_ENTRIES = 512
+
+
+class CacheStats:
+    """Counters for one cache tier (mutated under the owning cache's lock)."""
+
+    __slots__ = ("hits", "misses", "evictions", "expirations",
+                 "invalidations")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+        self.invalidations = 0
+
+    def to_dict(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self):
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions}, expirations={self.expirations}, "
+            f"invalidations={self.invalidations})"
+        )
+
+
+class _Entry:
+    __slots__ = ("value", "stored_at")
+
+    def __init__(self, value, stored_at):
+        self.value = value
+        self.stored_at = stored_at
+
+
+class LRUCache:
+    """One bounded, observable cache tier."""
+
+    def __init__(self, name, max_entries=DEFAULT_MAX_ENTRIES, ttl=None,
+                 clock=time.monotonic, telemetry=None,
+                 metric_prefix="mediator.cache"):
+        if max_entries < 1:
+            raise CacheError(
+                f"cache tier {name!r} needs max_entries >= 1, "
+                f"got {max_entries}"
+            )
+        if ttl is not None and ttl <= 0:
+            raise CacheError(
+                f"cache tier {name!r} needs a positive ttl or None, "
+                f"got {ttl}"
+            )
+        self.name = name
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        self._metric_prefix = metric_prefix
+        self._lock = threading.Lock()
+        self._entries = OrderedDict()
+        self.stats = CacheStats()
+        # Reassigned by the owning engine so tier counters land in the
+        # deployment-wide registry; NOOP costs one attribute lookup.
+        self.telemetry = telemetry or NOOP
+
+    # -- access --------------------------------------------------------------
+
+    def get(self, key, validator=None):
+        """Look up ``key``; returns ``(value, hit)``.
+
+        ``validator`` (optional) receives the cached value and returns
+        whether it is still usable; a falsy verdict removes the entry and
+        counts an invalidation.  Expired entries count an expiration.
+        Either way the lookup is then a miss.
+        """
+        events = []
+        value, hit = None, False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                events.append("misses")
+            elif (self.ttl is not None
+                    and self._clock() - entry.stored_at > self.ttl):
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                events.extend(("expirations", "misses"))
+            elif validator is not None and not validator(entry.value):
+                del self._entries[key]
+                self.stats.invalidations += 1
+                self.stats.misses += 1
+                events.extend(("invalidations", "misses"))
+            else:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                events.append("hits")
+                value, hit = entry.value, True
+        self._emit(events)
+        return value, hit
+
+    def put(self, key, value):
+        """Insert/replace ``key`` and evict past ``max_entries`` (LRU)."""
+        events = []
+        with self._lock:
+            self._entries[key] = _Entry(value, self._clock())
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
+                events.append("evictions")
+        self._emit(events)
+        return value
+
+    def memoize(self, key, compute, validator=None):
+        """``get`` or ``compute()``-and-``put``; returns ``(value, hit)``.
+
+        ``compute`` runs *outside* the lock (it may fan out to sources);
+        concurrent misses on the same key may therefore compute twice and
+        last-write-wins — the same semantics a plain dict cache had, but
+        bounded and accounted.  If ``compute`` raises, nothing is stored.
+        """
+        value, hit = self.get(key, validator)
+        if hit:
+            return value, True
+        return self.put(key, compute()), False
+
+    def peek(self, key):
+        """The entry's value without touching recency or stats (or None)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            return entry.value if entry is not None else None
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, key):
+        """Drop one key; returns whether it was present."""
+        events = []
+        with self._lock:
+            present = self._entries.pop(key, None) is not None
+            if present:
+                self.stats.invalidations += 1
+                events.append("invalidations")
+        self._emit(events)
+        return present
+
+    def invalidate_where(self, predicate):
+        """Drop every entry where ``predicate(key, value)``; returns count."""
+        events = []
+        with self._lock:
+            doomed = [
+                key for key, entry in self._entries.items()
+                if predicate(key, entry.value)
+            ]
+            for key in doomed:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                events.append("invalidations")
+        self._emit(events)
+        return len(doomed)
+
+    def clear(self):
+        """Drop everything; returns how many entries were dropped."""
+        events = []
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            events.extend(["invalidations"] * dropped)
+        self._emit(events)
+        return dropped
+
+    # -- inspection ----------------------------------------------------------
+
+    def keys(self):
+        """Current keys, least recently used first."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self):
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key):
+        with self._lock:
+            return key in self._entries
+
+    def snapshot(self):
+        """Stats plus current size, as a plain dict."""
+        with self._lock:
+            info = self.stats.to_dict()
+            info["entries"] = len(self._entries)
+            info["max_entries"] = self.max_entries
+            info["ttl"] = self.ttl
+        return info
+
+    def _emit(self, events):
+        if not events:
+            return
+        metrics = self.telemetry.metrics
+        for event in events:
+            metrics.counter(
+                f"{self._metric_prefix}.{self.name}.{event}"
+            ).inc()
+
+    def __repr__(self):
+        return (
+            f"LRUCache({self.name!r}, entries={len(self)}/"
+            f"{self.max_entries}, ttl={self.ttl})"
+        )

@@ -31,7 +31,7 @@ class PrivateIye:
     def __init__(self, policy_store=None, linkage_attributes=(),
                  warehouse_mode="hybrid", shared_secret="private-iye",
                  synonyms=None, telemetry=None, dispatch=None,
-                 static_check=True):
+                 static_check=True, cache=True):
         self.policy_store = policy_store or PolicyStore()
         self.engine = MediationEngine(
             shared_secret=shared_secret,
@@ -41,6 +41,7 @@ class PrivateIye:
             telemetry=telemetry,
             dispatch=dispatch,
             static_check=static_check,
+            cache=cache,
         )
         self._sessions = {}
 
@@ -239,6 +240,20 @@ class PrivateIye:
     def last_trace(self):
         """The most recent finished root span (telemetry on), else None."""
         return self.engine.telemetry.tracer.last_root()
+
+    def cache_stats(self):
+        """Per-tier mediation-cache stats plus the epoch counters.
+
+        Tiers ``plan``/``static``/``rewrite`` come from the engine's
+        :class:`~repro.cache.mediation.MediationCache` (empty dict when
+        the system was built with ``cache=False``); tier ``answer`` is
+        the warehouse's epoch-validated store.  Always safe to call —
+        stats are tracked even with telemetry disabled.
+        """
+        engine = self.engine
+        stats = engine.cache.stats() if engine.cache is not None else {}
+        stats["answer"] = engine.warehouse.store_stats()
+        return stats
 
     # -- inspection ------------------------------------------------------------
 

@@ -62,6 +62,10 @@ class CryptoError(ReproError):
     """Cryptographic-primitive misuse (bad key, wrong group, ...)."""
 
 
+class CacheError(ReproError):
+    """Cache-layer misuse (bad capacity, bad constructor argument, ...)."""
+
+
 class TransientSourceError(ReproError):
     """A source call failed for a *transport* reason that may heal.
 

@@ -19,6 +19,7 @@ degrades to no-op singleton calls; see :mod:`repro.telemetry`.
 from __future__ import annotations
 
 from repro.analysis.plancheck import REFUSE, resolve_static_check
+from repro.cache import canonical_piql, plan_fingerprint, resolve_cache
 from repro.errors import (
     AuditRefusal,
     IntegrationError,
@@ -35,7 +36,7 @@ from repro.mediator.integrator import IntegratedResult, ResultIntegrator
 from repro.mediator.mediated_schema import MediatedSchema, SourceExport
 from repro.mediator.warehouse import Warehouse
 from repro.policy.model import DisclosureForm
-from repro.query.language import parse_piql, to_piql
+from repro.query.language import parse_piql
 from repro.query.model import PiqlQuery
 from repro.telemetry import resolve_telemetry
 
@@ -45,7 +46,8 @@ class MediationEngine:
 
     def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
                  synonyms=None, warehouse=None, max_distinct_probes=4,
-                 telemetry=None, dispatch=None, static_check=True):
+                 telemetry=None, dispatch=None, static_check=True,
+                 cache=True):
         self.shared_secret = shared_secret
         self.linkage_attributes = list(linkage_attributes)
         self.synonyms = synonyms
@@ -62,6 +64,16 @@ class MediationEngine:
         # ``static_check``: True (default pre-dispatch plan analyzer),
         # False (gate off), or a PlanAnalyzer instance to share.
         self.static_analyzer = resolve_static_check(static_check)
+        # ``cache``: True (default multi-tier mediation cache), False
+        # (every pose recomputes), or a MediationCache to share/inject.
+        # The warehouse remains the answer tier either way; with the
+        # cache off it simply receives no epoch vectors.
+        self.cache = resolve_cache(cache)
+        if self.cache is not None:
+            self.cache.telemetry = self.telemetry
+            if (self.static_analyzer is not None
+                    and self.static_analyzer.cache is None):
+                self.static_analyzer.cache = self.cache.rewrites
 
         self.sources = {}
         self.schema = None
@@ -86,6 +98,10 @@ class MediationEngine:
             remote.telemetry = self.telemetry
         self.sources[remote.name] = remote
         self.schema = None  # invalidate; rebuilt lazily
+        if self.cache is not None:
+            # The mediated schema (and every cached plan/verdict/answer
+            # fanning out over it) is now stale.
+            self.cache.note_source_registered()
 
     def build_schema(self):
         """(Re)build the mediated schema from the registered sources."""
@@ -169,11 +185,26 @@ class MediationEngine:
 
     def _pose(self, query, requester, role, subjects, emergency,
               use_warehouse, report):
-        """The ``pose()`` pipeline body (refusals propagate to the caller)."""
-        telemetry = self.telemetry
+        """The ``pose()`` pipeline body (refusals propagate to the caller).
 
-        with telemetry.span("mediator.fragment"):
-            plan = self.fragmenter.fragment(query)
+        The mediation cache accelerates this path but never shortens the
+        accounting around it: the sequence guard runs, and the history
+        records, on *every* pose — a cached answer is charged exactly
+        like a fresh one.  Caching never bypasses auditing (see
+        ``docs/performance.md``).
+        """
+        telemetry = self.telemetry
+        cache = self.cache
+        canonical = canonical_piql(query)
+
+        with telemetry.span("mediator.fragment") as span:
+            if cache is not None:
+                plan, plan_hit = cache.plan_for(
+                    canonical, lambda: self.fragmenter.fragment(query)
+                )
+                span.set(cached=plan_hit)
+            else:
+                plan, plan_hit = self.fragmenter.fragment(query), False
         report.set_fragmentation(plan)
         attributes = sorted(set(plan.mediated_names.values()))
         signature = self._predicate_signature(query)
@@ -192,36 +223,68 @@ class MediationEngine:
                 raise
         report.set_guard("pass")
 
+        # Probe bookkeeping sits between the guard check and the epoch
+        # snapshot: a *novel* aggregate probe advances the requester's
+        # epoch first, so the entry stored below carries the post-advance
+        # vector — valid for exact repeats, dead on the next novel probe.
+        if cache is not None:
+            cache.note_probe(requester, attributes, signature,
+                             query.is_aggregate)
+
+        # Tier-1 fingerprint: canonical text + principal + policy epoch.
+        # Also the warehouse key when the cache is disabled — unlike the
+        # old ad-hoc ``requester|role|text`` string it includes subjects,
+        # so two subject sets can no longer collide on one entry.
+        policy_epoch = self._policy_epoch()
+        fingerprint = plan_fingerprint(canonical, requester, role,
+                                       subjects, policy_epoch)
+        epochs = (cache.epoch_vector(policy_epoch, requester)
+                  if cache is not None else None)
+        cache_info = {
+            "enabled": cache is not None,
+            "fingerprint": fingerprint,
+            "epochs": dict(epochs) if epochs is not None else None,
+            "plan": self._tier_outcome(cache, plan_hit),
+            "static": "off",
+            "answer": "off",
+        }
+        report.set_cache(cache_info)
+
         if self.static_analyzer is not None:
             self._static_gate(query, plan, requester, role, subjects,
-                              use_warehouse, report)
+                              use_warehouse, report, fingerprint,
+                              cache_info)
 
-        # Cache per requester/role: two requesters may legitimately see
-        # different answers to the same text under RBAC or preferences.
-        key = f"{requester}|{role}|{to_piql(query)}"
         if use_warehouse:
             with telemetry.span("mediator.warehouse") as span:
                 try:
                     result, stats = self.warehouse.answer(
-                        key,
+                        fingerprint,
                         lambda: self._compute(
                             query, plan, requester, role, subjects, report
                         ),
                         n_sources=len(plan.sources),
                         emergency=emergency,
+                        epochs=epochs,
                     )
                 except ReproError:
                     # compute() raised → this was a cache miss; record it
                     # so refused-query ledgers still show the warehouse leg
                     report.set_warehouse_miss(self.warehouse.mode)
+                    cache_info["answer"] = "miss"
+                    report.set_cache(cache_info)
                     raise
                 span.set(from_cache=stats.from_cache,
                          staleness=stats.staleness)
             report.set_warehouse(stats)
+            # hit/miss like the other tiers; the hit's *origin*
+            # (answer-cache vs legacy warehouse) is in the warehouse leg
+            cache_info["answer"] = "hit" if stats.from_cache else "miss"
         else:
             result = self._compute(
                 query, plan, requester, role, subjects, report
             )
+        report.set_cache(cache_info)
 
         self.history.record(
             requester, attributes, signature, query.is_aggregate
@@ -255,30 +318,49 @@ class MediationEngine:
     # -- internals -----------------------------------------------------------
 
     def _static_gate(self, query, plan, requester, role, subjects,
-                     use_warehouse, report):
+                     use_warehouse, report, fingerprint, cache_info):
         """Run the pre-dispatch plan analyzer; raise on a REFUSE verdict.
 
         A ``REFUSE`` is raised with the same exception type — and a
         message containing the same per-source reasons — that the
         runtime path would eventually produce, so callers and tests see
-        one refusal contract regardless of where it was decided.
+        one refusal contract regardless of where it was decided.  Tier 2
+        memoizes the verdict on the fingerprint: a cached REFUSE replays
+        the identical ledger entries and raises the identical message
+        (sound because refusals are final and the fingerprint pins the
+        policy epoch the verdict was decided under).
         """
         telemetry = self.telemetry
+        cache = self.cache
         with telemetry.span("mediator.static_check",
                             n_sources=len(plan.sources)) as span:
-            verdict = self.static_analyzer.analyze(
-                query, plan, self.sources,
-                requester=requester, role=role, subjects=subjects,
-            )
-            span.set(verdict=verdict.verdict)
+            if cache is not None:
+                verdict, cached = cache.static_verdict(
+                    fingerprint,
+                    lambda: self.static_analyzer.analyze(
+                        query, plan, self.sources,
+                        requester=requester, role=role, subjects=subjects,
+                    ),
+                )
+            else:
+                verdict = self.static_analyzer.analyze(
+                    query, plan, self.sources,
+                    requester=requester, role=role, subjects=subjects,
+                )
+                cached = False
+            span.set(verdict=verdict.verdict, cached=cached)
         report.set_static(verdict)
+        cache_info["static"] = self._tier_outcome(cache, cached)
+        report.set_cache(cache_info)
         metrics = telemetry.metrics
         metrics.counter(
             f"mediator.static.{verdict.verdict.lower()}"
         ).inc()
-        metrics.histogram("mediator.static.analysis_ms").observe(
-            verdict.analysis_ms
-        )
+        if not cached:
+            # a replayed verdict would re-observe a stale timing
+            metrics.histogram("mediator.static.analysis_ms").observe(
+                verdict.analysis_ms
+            )
         if verdict.verdict != REFUSE:
             return
         # Dispatch is skipped entirely: account for the saved fan-out
@@ -415,6 +497,27 @@ class MediationEngine:
                 for name, outcome in outcome_set.outcomes.items()
             },
         })
+
+    def _policy_epoch(self):
+        """The policy epoch: the sum of per-source policy-store versions.
+
+        Replica stores advance only through their own ``register_*``
+        calls, so the sum advances whenever any source's policy state
+        does — and a changed epoch changes every fingerprint, making all
+        older cached artifacts unreachable.  Sources without a versioned
+        store (duck-typed test doubles) contribute nothing.
+        """
+        total = 0
+        for source in self.sources.values():
+            store = getattr(source, "policy_store", None)
+            version = getattr(store, "version", 0)
+            if isinstance(version, int):
+                total += version
+        return total
+
+    @staticmethod
+    def _tier_outcome(cache, hit):
+        return "off" if cache is None else ("hit" if hit else "miss")
 
     def _predicate_signature(self, query):
         return " AND ".join(

@@ -1,12 +1,14 @@
-"""Hybrid virtual/warehouse answering (paper §5).
+"""Hybrid virtual/warehouse answering (paper §5) — now epoch-aware.
 
 "A cornerstone of our architecture is that our Mediation Engine allows us
 to query on demand (virtual querying) as well as materialize some data
 locally (warehousing).  We take the hybrid approach due to the
 quick-response needed during emergency situations."
 
-The warehouse stores integrated results keyed by canonical query text with
-a logical timestamp.  Three answering modes:
+The warehouse stores integrated results keyed by **canonical plan
+fingerprint** (see :mod:`repro.cache.fingerprint`; the engine used to
+assemble ad-hoc ``requester|role|text`` strings, which silently omitted
+subjects) with a logical timestamp.  Three answering modes:
 
 * ``virtual`` — always recompute from the sources (fresh, slow);
 * ``warehouse`` — serve the materialized copy, refreshing only when older
@@ -15,16 +17,31 @@ a logical timestamp.  Three answering modes:
   otherwise; queries flagged as emergencies always get a fresh answer
   *and* update the store.
 
+Since the cache PR the store is tier 3 of :mod:`repro.cache`: a bounded
+:class:`~repro.cache.lru.LRUCache` whose entries carry the **epoch
+vector** (policy / schema / per-requester, see
+:mod:`repro.cache.epochs`) they were computed under.  A lookup whose
+current vector differs is an *invalidation* — the entry is removed and
+the answer recomputed — so a policy change, a source registration, or a
+requester's audit-state advance can never be papered over by a stale
+materialized answer.  Callers that pass no epochs (legacy direct use,
+tests) get the pre-epoch behaviour unchanged.
+
 Cost accounting is explicit (``source_calls``) so benchmark A4 can report
 latency/staleness trade-offs without wall-clock noise.  With telemetry
 enabled the warehouse additionally reports ``warehouse.hits`` /
-``warehouse.misses`` / ``warehouse.source_calls`` counters, a staleness
-histogram, and a materialized-keys gauge into the engine's shared
-registry (see :mod:`repro.telemetry`).
+``warehouse.misses`` / ``warehouse.source_calls`` /
+``warehouse.epoch_invalidations`` counters, a staleness histogram, and a
+materialized-keys gauge into the engine's shared registry, and the
+underlying tier reports ``mediator.cache.answer.*`` stats (see
+:mod:`repro.telemetry`).
 """
 
 from __future__ import annotations
 
+import time
+
+from repro.cache.lru import LRUCache
 from repro.errors import ReproError
 from repro.telemetry import NOOP
 
@@ -32,17 +49,25 @@ MODES = ("virtual", "warehouse", "hybrid")
 
 
 class WarehouseEntry:
-    """One materialized result."""
+    """One materialized result, tagged with its epoch vector."""
 
-    def __init__(self, key, result, stored_at):
+    def __init__(self, key, result, stored_at, epochs=None):
         self.key = key
         self.result = result
         self.stored_at = stored_at
+        self.epochs = epochs  # ((name, value), ...) or None (legacy)
         self.hits = 0
 
 
 class AnswerStats:
-    """How an answer was produced."""
+    """How an answer was produced.
+
+    ``from_cache`` is falsy for a fresh computation and names the hit
+    origin otherwise: ``"answer-cache"`` for an epoch-validated hit (the
+    engine path) vs ``"warehouse"`` for a legacy epoch-less hit — the
+    distinction tests and ledgers need to tell coherent reuse from
+    blind materialization.
+    """
 
     def __init__(self, mode, from_cache, source_calls, staleness):
         self.mode = mode
@@ -50,11 +75,15 @@ class AnswerStats:
         self.source_calls = source_calls
         self.staleness = staleness
 
+    @property
+    def origin(self):
+        """Where the answer came from: ``sources`` or the hit origin."""
+        return self.from_cache if self.from_cache else "sources"
+
     def __repr__(self):
-        origin = "cache" if self.from_cache else "sources"
         return (
-            f"AnswerStats({self.mode}, {origin}, calls={self.source_calls}, "
-            f"staleness={self.staleness})"
+            f"AnswerStats({self.mode}, {self.origin}, "
+            f"calls={self.source_calls}, staleness={self.staleness})"
         )
 
 
@@ -62,56 +91,77 @@ class Warehouse:
     """Materialized integrated results with a logical clock."""
 
     def __init__(self, mode="hybrid", refresh_interval=10, max_staleness=5,
-                 telemetry=None):
+                 telemetry=None, max_entries=1024, ttl=None,
+                 clock=time.monotonic):
         if mode not in MODES:
             raise ReproError(f"unknown warehouse mode {mode!r} (use {MODES})")
         self.mode = mode
         self.refresh_interval = refresh_interval
         self.max_staleness = max_staleness
         self.clock = 0
-        self._store = {}
+        self._store = LRUCache("answer", max_entries=max_entries, ttl=ttl,
+                               clock=clock)
         self.total_source_calls = 0
         # Reassigned by MediationEngine so hits/misses land in the
         # deployment-wide registry; NOOP costs nothing when disabled.
         self.telemetry = telemetry or NOOP
 
+    @property
+    def telemetry(self):
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, value):
+        self._telemetry = value
+        self._store.telemetry = value
+
     def tick(self, steps=1):
         """Advance logical time (sources drift; caches age)."""
         self.clock += steps
 
-    def answer(self, key, compute, n_sources, emergency=False):
+    def answer(self, key, compute, n_sources, emergency=False, epochs=None):
         """Answer the query ``key`` under the configured mode.
 
         ``compute`` is a zero-argument callable producing a fresh
         integrated result (invoked only when needed); ``n_sources`` is the
-        cost of one recomputation.  Returns ``(result, AnswerStats)``.
+        cost of one recomputation.  ``epochs`` (the engine passes the
+        current epoch vector) arms epoch validation: a materialized entry
+        is servable only while its stored vector matches, and a mismatch
+        removes the entry.  Returns ``(result, AnswerStats)``.
         """
-        entry = self._store.get(key)
-        age = self.clock - entry.stored_at if entry is not None else None
-
         if self.mode == "virtual" or (emergency and self.mode == "hybrid"):
-            return self._fresh(key, compute, n_sources)
+            return self._fresh(key, compute, n_sources, epochs)
 
-        if self.mode == "warehouse":
-            if entry is None or age > self.refresh_interval:
-                return self._fresh(key, compute, n_sources)
-            return self._hit(entry, age)
+        max_age = (self.refresh_interval if self.mode == "warehouse"
+                   else self.max_staleness)
+        verdict = {"epoch_mismatch": False}
 
-        # hybrid: serve cache while fresh enough, else recompute
-        if entry is not None and age <= self.max_staleness:
-            return self._hit(entry, age)
-        return self._fresh(key, compute, n_sources)
+        def usable(entry):
+            if epochs is not None and entry.epochs != epochs:
+                verdict["epoch_mismatch"] = True
+                return False
+            return self.clock - entry.stored_at <= max_age
 
-    def _hit(self, entry, age):
+        entry, hit = self._store.get(key, validator=usable)
+        if hit:
+            return self._hit(entry, self.clock - entry.stored_at, epochs)
+        if verdict["epoch_mismatch"]:
+            self.telemetry.metrics.counter(
+                "warehouse.epoch_invalidations"
+            ).inc()
+        return self._fresh(key, compute, n_sources, epochs)
+
+    def _hit(self, entry, age, epochs):
         entry.hits += 1
         metrics = self.telemetry.metrics
         metrics.counter("warehouse.hits").inc()
         metrics.histogram("warehouse.staleness").observe(age)
-        return entry.result, AnswerStats(self.mode, True, 0, age)
+        origin = "answer-cache" if epochs is not None else "warehouse"
+        return entry.result, AnswerStats(self.mode, origin, 0, age)
 
-    def _fresh(self, key, compute, n_sources):
+    def _fresh(self, key, compute, n_sources, epochs=None):
         result = compute()
-        self._store[key] = WarehouseEntry(key, result, self.clock)
+        self._store.put(key, WarehouseEntry(key, result, self.clock, epochs))
         self.total_source_calls += n_sources
         metrics = self.telemetry.metrics
         metrics.counter("warehouse.misses").inc()
@@ -119,10 +169,20 @@ class Warehouse:
         metrics.gauge("warehouse.materialized_keys").set(len(self._store))
         return result, AnswerStats(self.mode, False, n_sources, 0)
 
+    def invalidate(self, key=None):
+        """Drop one materialized key (or all of them); returns a count."""
+        if key is None:
+            return self._store.clear()
+        return 1 if self._store.invalidate(key) else 0
+
     def materialized_keys(self):
         """Keys currently materialized."""
-        return sorted(self._store)
+        return sorted(self._store.keys())
 
     def entry(self, key):
         """The warehouse entry for ``key`` (or None)."""
-        return self._store.get(key)
+        return self._store.peek(key)
+
+    def store_stats(self):
+        """Tier-3 cache stats (hits/misses/evictions/... + size)."""
+        return self._store.snapshot()

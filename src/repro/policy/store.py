@@ -25,6 +25,12 @@ class PolicyStore:
         self._views = {}          # source → PrivacyView
         self._policies = {}       # source → SourcePolicy
         self._preferences = {}    # subject → UserPreferences
+        # Monotonic mutation counter: every registration bumps it, and
+        # replicas inherit the value they were cloned at.  The mediation
+        # cache derives its policy epoch from the per-source versions, so
+        # any policy change anywhere invalidates affected cache entries
+        # (see repro.cache.epochs).
+        self.version = 0
 
     # -- registration -------------------------------------------------------
 
@@ -33,18 +39,21 @@ class PolicyStore:
         if not isinstance(view, PrivacyView):
             raise PolicyError("expected a PrivacyView")
         self._views[source] = view
+        self.version += 1
 
     def register_policy(self, policy):
         """Attach a source policy (keyed by its ``source``)."""
         if not isinstance(policy, SourcePolicy):
             raise PolicyError("expected a SourcePolicy")
         self._policies[policy.source] = policy
+        self.version += 1
 
     def register_preferences(self, preferences):
         """Attach a subject's preferences (keyed by ``subject``)."""
         if not isinstance(preferences, UserPreferences):
             raise PolicyError("expected UserPreferences")
         self._preferences[preferences.subject] = preferences
+        self.version += 1
 
     def load_document(self, text, view_source=None):
         """Parse a DSL document and register everything it defines.
@@ -86,6 +95,7 @@ class PolicyStore:
         clone._views = dict(self._views)
         clone._policies = dict(self._policies)
         clone._preferences = dict(self._preferences)
+        clone.version = self.version
         return clone
 
     def __repr__(self):

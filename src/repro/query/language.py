@@ -15,6 +15,9 @@ Keywords are case-insensitive; paths start with ``/``.
 
 from __future__ import annotations
 
+import functools
+import re
+
 from repro.errors import QueryError
 from repro.query.model import (
     AGGREGATE_FUNCS,
@@ -57,7 +60,24 @@ def to_piql(query):
 
 
 def parse_piql(text):
-    """Parse PIQL text into a :class:`~repro.query.model.PiqlQuery`."""
+    """Parse PIQL text into a :class:`~repro.query.model.PiqlQuery`.
+
+    Parses are memoized on the exact text (mediation traffic repeats —
+    the premise of :mod:`repro.cache`'s tier 1) and the memo hands out
+    :meth:`~repro.query.model.PiqlQuery.clone`\\ s, so callers may mutate
+    the returned query (``PrivateIye.query`` fills in the session's
+    default purpose) without poisoning the cached parse.
+    """
+    if not isinstance(text, str):
+        raise QueryError("PIQL input must be a non-empty string")
+    return _parse_piql_cached(text).clone()
+
+
+# functools rather than repro.cache: the query layer sits below the cache
+# layer (REP004 ranks), and a parse depends on nothing but its text — no
+# epoch can invalidate it.  Failed parses raise and are never cached.
+@functools.lru_cache(maxsize=256)
+def _parse_piql_cached(text):
     parser = _PiqlParser(_tokenize(text), text)
     query = parser.parse_query()
     parser.expect_end()
@@ -73,6 +93,22 @@ def _render_literal(value):
     return f"'{escaped}'"
 
 
+# Compiled once at import: every token except paths (bracket-depth
+# tracking) and strings (doubled-quote escapes) is regular.  Alternative
+# order matters only for ``number`` vs ``word``/``op``: a sign or dot is
+# numeric solely when a digit follows, which the pattern encodes.
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<ws>\s+)
+    | (?P<number>[+\-.]?\d[\d.]*)
+    | (?P<op><=|>=|!=|<>|[=<>])
+    | (?P<punct>[(),*])
+    | (?P<word>[^\W\d][\w-]*)
+    """,
+    re.VERBOSE,
+)
+
+
 def _tokenize(text):
     if not isinstance(text, str) or not text.strip():
         raise QueryError("PIQL input must be a non-empty string")
@@ -80,9 +116,7 @@ def _tokenize(text):
     i, n = 0, len(text)
     while i < n:
         ch = text[i]
-        if ch.isspace():
-            i += 1
-        elif ch == "/":
+        if ch == "/":
             j = i
             depth = 0
             while j < n:
@@ -112,32 +146,25 @@ def _tokenize(text):
                 j += 1
             tokens.append(("string", "".join(buffer)))
             i = j + 1
-        elif ch.isdigit() or (ch in "+-." and i + 1 < n and text[i + 1].isdigit()):
-            j = i + 1
-            while j < n and (text[j].isdigit() or text[j] in "."):
-                j += 1
-            tokens.append(("number", text[i:j]))
-            i = j
-        elif text.startswith(("<=", ">=", "!=", "<>"), i):
-            op = text[i:i + 2]
-            tokens.append(("op", "!=" if op == "<>" else op))
-            i += 2
-        elif ch in "=<>":
-            tokens.append(("op", ch))
-            i += 1
-        elif ch in "(),*":
-            tokens.append(("punct", ch))
-            i += 1
-        elif ch.isalpha() or ch == "_":
-            j = i
-            while j < n and (text[j].isalnum() or text[j] in "_-"):
-                j += 1
-            word = text[i:j]
-            kind = "keyword" if word.lower() in _KEYWORDS else "word"
-            tokens.append((kind, word.lower() if kind == "keyword" else word))
-            i = j
         else:
-            raise QueryError(f"unexpected character {ch!r} at offset {i}")
+            match = _TOKEN_RE.match(text, i)
+            if match is None:
+                raise QueryError(f"unexpected character {ch!r} at offset {i}")
+            i = match.end()
+            kind = match.lastgroup
+            if kind == "ws":
+                continue
+            value = match.group()
+            if kind == "op":
+                tokens.append(("op", "!=" if value == "<>" else value))
+            elif kind == "word":
+                lowered = value.lower()
+                if lowered in _KEYWORDS:
+                    tokens.append(("keyword", lowered))
+                else:
+                    tokens.append(("word", value))
+            else:
+                tokens.append((kind, value))
     return tokens
 
 

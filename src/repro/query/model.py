@@ -129,6 +129,26 @@ class PiqlQuery:
         """Whether the query computes aggregates."""
         return bool(self.aggregates)
 
+    def clone(self, **overrides):
+        """An independent copy (fresh lists), with optional field overrides.
+
+        The parse memo in :mod:`repro.query.language` hands out clones so
+        callers may mutate ``purpose``/``select``/``where`` freely without
+        poisoning the cached parse; the fingerprint canonicalizer uses
+        ``clone(where=...)`` to reorder conjuncts without touching the
+        original.  Path and aggregate items are immutable and shared.
+        """
+        fields = {
+            "select": list(self.select),
+            "where": list(self.where),
+            "group_by": list(self.group_by),
+            "purpose": self.purpose,
+            "max_loss": self.max_loss,
+            "source_hint": self.source_hint,
+        }
+        fields.update(overrides)
+        return PiqlQuery(**fields)
+
     def paths_touched(self):
         """Every path the query references (select + where + group by)."""
         paths = list(self.projections)

@@ -66,7 +66,10 @@ class LaplaceMechanism:
         self.sensitivity = sensitivity
         self.budget = budget
         self.rng = rng or random.Random()
-        self._memo = {}
+        # Not repro.cache.LRUCache: statdb (layer 20) sits below the cache
+        # layer (45), and this memo must NEVER evict — replaying the same
+        # noisy answer for a repeated query is the privacy mechanism itself.
+        self._memo = {}  # repro-lint: disable=REP007 -- DP replay memo must be unbounded and layer 20 cannot import layer 45
 
     @property
     def noise_scale(self):

@@ -48,6 +48,7 @@ class ExplainReport:
         self.fragmentation = None      # {"sources", "skipped", "attributes"}
         self.sequence_guard = None     # {"verdict", "reason"}
         self.static = None             # static plan-check verdict dict
+        self.cache = None              # per-tier hit/miss + fingerprint
         self.warehouse = None          # {"mode", "from_cache", ...}
         self.sources = {}              # source → outcome dict
         self.dispatch = None           # fan-out summary (mode, breakers)
@@ -76,10 +77,16 @@ class ExplainReport:
         """
         self.static = verdict.to_dict()
 
+    def set_cache(self, info):
+        """Record the mediation-cache section (engine may call repeatedly
+        as tiers resolve; the last call wins with the full picture)."""
+        self.cache = dict(info)
+
     def set_warehouse(self, stats):
         self.warehouse = {
             "mode": stats.mode,
-            "from_cache": stats.from_cache,
+            "from_cache": bool(stats.from_cache),
+            "origin": stats.origin,
             "source_calls": stats.source_calls,
             "staleness": stats.staleness,
         }
@@ -87,7 +94,7 @@ class ExplainReport:
     def set_warehouse_miss(self, mode):
         """Record a miss whose recomputation raised (refused query)."""
         self.warehouse = {
-            "mode": mode, "from_cache": False,
+            "mode": mode, "from_cache": False, "origin": "sources",
             "source_calls": None, "staleness": None,
         }
 
@@ -175,6 +182,7 @@ class ExplainReport:
             "fragmentation": self.fragmentation,
             "sequence_guard": self.sequence_guard,
             "static": self.static,
+            "cache": self.cache,
             "warehouse": self.warehouse,
             "sources": dict(self.sources),
             "dispatch": self.dispatch,
@@ -253,6 +261,9 @@ class NoopReport:
         pass
 
     def set_static(self, verdict):
+        pass
+
+    def set_cache(self, info):
         pass
 
     def set_warehouse(self, stats):

@@ -193,14 +193,18 @@ POLICY {name} DEFAULT deny {{
 
 
 def build_flaky_system(n_sources, schedule_for=None, rows_per_source=8,
-                       seed=7, dispatch=None, telemetry=None):
+                       seed=7, dispatch=None, telemetry=None, cache=True):
     """A :class:`PrivateIye` whose every source is a :class:`FlakySource`.
 
     ``schedule_for(name, index)`` returns the :class:`FaultSchedule` for
     each source (default: no faults).  Tables share the mediated
     attributes ``age``/``visits`` with seeded per-source values, so any
     two builds with the same arguments expose identical data — the basis
-    of the sequential-vs-concurrent equivalence properties.
+    of the sequential-vs-concurrent (and cached-vs-uncached) equivalence
+    properties.  ``cache`` is forwarded to :class:`PrivateIye` — pass
+    ``False`` (with ``warehouse_mode`` left hybrid or switched off via
+    ``use_warehouse=False`` at pose time) for an always-recompute
+    baseline, or a preconfigured ``MediationCache``.
 
     Returns ``(system, {name: FlakySource})``.
     """
@@ -209,7 +213,7 @@ def build_flaky_system(n_sources, schedule_for=None, rows_per_source=8,
     from repro.relational.table import Table
     from repro.source.server import RemoteSource
 
-    system = PrivateIye(telemetry=telemetry, dispatch=dispatch)
+    system = PrivateIye(telemetry=telemetry, dispatch=dispatch, cache=cache)
     rng = random.Random(seed)
     flaky = {}
     for index in range(n_sources):

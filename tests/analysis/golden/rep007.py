@@ -1,0 +1,22 @@
+"""REP007 fixture: ad-hoc dict caches that belong in repro.cache."""
+
+from collections import OrderedDict, defaultdict
+
+
+class Resolver:
+    def __init__(self, seed_entries):
+        self._cache = {}
+        self.memo = dict()
+        self._plan_cache = OrderedDict()
+        self.rewrite_memo = defaultdict(list)
+        self.sources = {}  # fine: not cache-named
+        self.cache_copy = dict(seed_entries)  # fine: copies existing data
+        self.memo_seeded = {"warm": 1}  # fine: seeded, not empty storage
+
+
+_FINGERPRINT_CACHE = {}
+
+
+def lookup(key, cache=None):
+    cache = cache if cache is not None else _FINGERPRINT_CACHE
+    return cache.get(key)

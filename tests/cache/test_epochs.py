@@ -1,0 +1,49 @@
+"""EpochRegistry unit tests: monotonicity, snapshots, thread safety."""
+
+import threading
+
+from repro.cache import EpochRegistry
+
+
+class TestEpochRegistry:
+    def test_unbumped_counters_read_zero(self):
+        epochs = EpochRegistry()
+        assert epochs.current("policy") == 0
+        assert epochs.to_dict() == {}
+
+    def test_bump_is_monotonic_and_returns_new_value(self):
+        epochs = EpochRegistry()
+        assert epochs.bump("schema") == 1
+        assert epochs.bump("schema") == 2
+        assert epochs.current("schema") == 2
+
+    def test_counters_are_independent(self):
+        epochs = EpochRegistry()
+        epochs.bump("requester:alice")
+        assert epochs.current("requester:bob") == 0
+        assert epochs.to_dict() == {"requester:alice": 1}
+
+    def test_snapshot_is_an_ordered_immutable_vector(self):
+        epochs = EpochRegistry()
+        epochs.bump("policy")
+        vector = epochs.snapshot(("policy", "schema"))
+        assert vector == (("policy", 1), ("schema", 0))
+        epochs.bump("policy")
+        # the old snapshot does not validate against the new state
+        assert vector != epochs.snapshot(("policy", "schema"))
+
+    def test_concurrent_bumps_are_never_lost(self):
+        epochs = EpochRegistry()
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for _ in range(500):
+                epochs.bump("policy")
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert epochs.current("policy") == 8 * 500

@@ -1,0 +1,80 @@
+"""Canonical-PIQL and plan-fingerprint tests (tier-1 key discipline)."""
+
+from repro.cache import canonical_piql, plan_fingerprint
+from repro.query.language import parse_piql, to_piql
+
+
+def fp(text, **kwargs):
+    return plan_fingerprint(canonical_piql(parse_piql(text)), **kwargs)
+
+
+class TestCanonicalPiql:
+    def test_where_conjunct_order_is_canonicalized(self):
+        a = parse_piql(
+            "SELECT //patient/age WHERE //patient/age > 65 "
+            "AND //patient/zip = '15213' PURPOSE research"
+        )
+        b = parse_piql(
+            "SELECT //patient/age WHERE //patient/zip = '15213' "
+            "AND //patient/age > 65 PURPOSE research"
+        )
+        assert canonical_piql(a) == canonical_piql(b)
+
+    def test_input_query_is_never_mutated(self):
+        query = parse_piql(
+            "SELECT //x WHERE //b = 2 AND //a = 1"
+        )
+        before = to_piql(query)
+        canonical_piql(query)
+        assert to_piql(query) == before
+
+    def test_select_order_is_preserved(self):
+        a = parse_piql("SELECT //patient/age, //patient/visits")
+        b = parse_piql("SELECT //patient/visits, //patient/age")
+        assert canonical_piql(a) != canonical_piql(b)
+
+    def test_canonical_text_reparses_to_the_same_canonical(self):
+        text = ("SELECT AVG(//patient/age) AS a "
+                "WHERE //patient/zip = '15213' AND //patient/age > 65 "
+                "PURPOSE research MAXLOSS 0.5")
+        canonical = canonical_piql(parse_piql(text))
+        assert canonical_piql(parse_piql(canonical)) == canonical
+
+
+class TestPlanFingerprint:
+    def test_stable_across_calls(self):
+        text = "SELECT //patient/age PURPOSE research"
+        kwargs = {"requester": "alice", "role": "doctor",
+                  "subjects": ("p1", "p2"), "policy_epoch": 3}
+        assert fp(text, **kwargs) == fp(text, **kwargs)
+
+    def test_is_short_hex(self):
+        fingerprint = fp("SELECT //patient/age")
+        assert len(fingerprint) == 32
+        int(fingerprint, 16)  # raises if not hex
+
+    def test_every_field_is_load_bearing(self):
+        text = "SELECT //patient/age PURPOSE research"
+        base = fp(text, requester="alice", role="doctor",
+                  subjects=("p1",), policy_epoch=0)
+        assert fp(text, requester="bob", role="doctor",
+                  subjects=("p1",), policy_epoch=0) != base
+        assert fp(text, requester="alice", role="nurse",
+                  subjects=("p1",), policy_epoch=0) != base
+        assert fp(text, requester="alice", role="doctor",
+                  subjects=("p1", "p2"), policy_epoch=0) != base
+        assert fp(text, requester="alice", role="doctor",
+                  subjects=("p1",), policy_epoch=1) != base
+        other = "SELECT //patient/visits PURPOSE research"
+        assert fp(other, requester="alice", role="doctor",
+                  subjects=("p1",), policy_epoch=0) != base
+
+    def test_subject_order_is_irrelevant(self):
+        text = "SELECT //patient/age"
+        assert (fp(text, subjects=("p2", "p1"))
+                == fp(text, subjects=("p1", "p2")))
+
+    def test_missing_principal_defaults_collide_only_with_themselves(self):
+        text = "SELECT //patient/age"
+        assert fp(text) == fp(text, requester=None, role=None)
+        assert fp(text) != fp(text, requester="alice")

@@ -1,0 +1,198 @@
+"""LRUCache unit tests: eviction vs expiry vs invalidation, and threads."""
+
+import threading
+
+import pytest
+
+from repro.cache import LRUCache
+from repro.errors import CacheError
+from repro.telemetry import Telemetry
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestBasics:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache("t")
+        assert cache.get("k") == (None, False)
+        cache.put("k", 41)
+        assert cache.get("k") == (41, True)
+        assert "k" in cache
+        assert len(cache) == 1
+
+    def test_memoize_computes_once(self):
+        cache = LRUCache("t")
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        assert cache.memoize("k", compute) == ("value", False)
+        assert cache.memoize("k", compute) == ("value", True)
+        assert len(calls) == 1
+
+    def test_memoize_stores_nothing_on_raise(self):
+        cache = LRUCache("t")
+
+        def compute():
+            raise CacheError("boom")
+
+        with pytest.raises(CacheError):
+            cache.memoize("k", compute)
+        assert "k" not in cache
+        assert cache.memoize("k", lambda: 7) == (7, False)
+
+    def test_peek_touches_neither_recency_nor_stats(self):
+        cache = LRUCache("t", max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.peek("a") == 1
+        cache.put("c", 3)  # evicts "a": peek must not have refreshed it
+        assert cache.peek("a") is None
+        assert cache.stats.hits == 0
+        assert cache.stats.misses == 0
+
+    def test_constructor_validation(self):
+        with pytest.raises(CacheError):
+            LRUCache("t", max_entries=0)
+        with pytest.raises(CacheError):
+            LRUCache("t", ttl=0)
+        with pytest.raises(CacheError):
+            LRUCache("t", ttl=-1)
+
+
+class TestEvictionVsExpiryVsInvalidation:
+    """The three ways an entry dies are counted separately."""
+
+    def test_lru_eviction_counts_evictions(self):
+        cache = LRUCache("t", max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")        # refresh: "b" is now least recently used
+        cache.put("c", 3)
+        assert cache.keys() == ["a", "c"]
+        assert cache.stats.evictions == 1
+        assert cache.stats.expirations == 0
+        assert cache.stats.invalidations == 0
+
+    def test_ttl_expiry_counts_expirations(self):
+        clock = FakeClock()
+        cache = LRUCache("t", ttl=10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(10.1)
+        assert cache.get("k") == (None, False)
+        assert "k" not in cache  # removed, not just skipped
+        assert cache.stats.expirations == 1
+        assert cache.stats.evictions == 0
+        assert cache.stats.misses == 1
+
+    def test_entry_within_ttl_still_hits(self):
+        clock = FakeClock()
+        cache = LRUCache("t", ttl=10.0, clock=clock)
+        cache.put("k", 1)
+        clock.advance(9.9)
+        assert cache.get("k") == (1, True)
+
+    def test_validator_failure_counts_invalidations(self):
+        cache = LRUCache("t")
+        cache.put("k", {"epoch": 1})
+        value, hit = cache.get("k", validator=lambda v: v["epoch"] == 2)
+        assert (value, hit) == (None, False)
+        assert "k" not in cache  # stale entries cannot resurface
+        assert cache.stats.invalidations == 1
+        assert cache.stats.expirations == 0
+
+    def test_explicit_invalidation(self):
+        cache = LRUCache("t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_where(self):
+        cache = LRUCache("t")
+        for i in range(4):
+            cache.put(("k", i), i)
+        dropped = cache.invalidate_where(lambda key, value: value % 2 == 0)
+        assert dropped == 2
+        assert cache.keys() == [("k", 1), ("k", 3)]
+        assert cache.stats.invalidations == 2
+
+    def test_clear_counts_everything_dropped(self):
+        cache = LRUCache("t")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_snapshot_shape(self):
+        cache = LRUCache("t", max_entries=8, ttl=5.0, clock=FakeClock())
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        snap = cache.snapshot()
+        assert snap == {
+            "hits": 1, "misses": 1, "evictions": 0, "expirations": 0,
+            "invalidations": 0, "entries": 1, "max_entries": 8, "ttl": 5.0,
+        }
+
+
+class TestMetrics:
+    def test_events_land_in_mediator_cache_counters(self):
+        telemetry = Telemetry(enabled=True)
+        cache = LRUCache("plan", max_entries=1, telemetry=telemetry)
+        cache.get("a")            # miss
+        cache.put("a", 1)
+        cache.get("a")            # hit
+        cache.put("b", 2)         # evicts "a"
+        cache.invalidate("b")
+        counters = telemetry.metrics_snapshot()["counters"]
+        assert counters["mediator.cache.plan.misses"] == 1
+        assert counters["mediator.cache.plan.hits"] == 1
+        assert counters["mediator.cache.plan.evictions"] == 1
+        assert counters["mediator.cache.plan.invalidations"] == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_mixed_operations_stay_consistent(self):
+        cache = LRUCache("t", max_entries=32)
+        errors = []
+        barrier = threading.Barrier(8)
+
+        def worker(worker_id):
+            try:
+                barrier.wait()
+                for i in range(300):
+                    key = ("k", i % 40)
+                    if i % 11 == 0:
+                        cache.invalidate(key)
+                    else:
+                        cache.memoize(key, lambda: worker_id)
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert len(cache) <= 32
+        stats = cache.stats
+        # every memoize is exactly one hit or one miss
+        assert stats.hits + stats.misses == sum(
+            1 for n in range(8) for i in range(300) if i % 11 != 0
+        )

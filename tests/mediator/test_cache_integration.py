@@ -1,0 +1,336 @@
+"""Engine-level cache coherence: epochs, auditing, races, explain.
+
+These tests drive the *wired* pipeline (``build_flaky_system`` →
+``PrivateIye`` → ``MediationEngine``) and pin the invalidation edges the
+multi-tier cache must honour:
+
+* a policy registration at any source changes the policy epoch, hence
+  the fingerprint, hence every materialized answer becomes unreachable;
+* a requester's audit-state advance (novel aggregate probe, or explicit
+  ``invalidate_requester``) invalidates *only their* answers;
+* TTL expiry and LRU eviction on the answer tier are distinct,
+  separately-counted ways to die;
+* cache hits never bypass auditing — history grows, the guard still
+  refuses — and a cached static REFUSE replays the identical message;
+* the explain ledger's ``cache`` section and ``mediator.cache.*``
+  metrics tell hits from misses per tier.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import AuditRefusal, PrivacyViolation
+from repro.mediator.warehouse import Warehouse
+from repro.testing import build_flaky_system
+
+ALLOWED = "SELECT //patient/age PURPOSE research MAXLOSS 0.9"
+AGG_AGE = "SELECT AVG(//patient/age) AS a PURPOSE research MAXLOSS 0.9"
+AGG_VISITS = "SELECT AVG(//patient/visits) AS v PURPOSE research MAXLOSS 0.9"
+REFUSED = "SELECT //patient/age PURPOSE marketing"
+
+EXTRA_POLICY = """
+POLICY extra DEFAULT deny {
+    ALLOW //patient/age FOR research;
+    ALLOW //patient/visits FOR research;
+}
+"""
+
+
+def build(n_sources=3, telemetry=True, **kwargs):
+    return build_flaky_system(n_sources, telemetry=telemetry, **kwargs)
+
+
+def cache_section(system):
+    return system.explain_last().to_dict()["cache"]
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def advance(self, seconds):
+        self.now += seconds
+
+    def __call__(self):
+        return self.now
+
+
+class TestEpochInvalidation:
+    def test_policy_change_mid_sequence_invalidates_answers(self):
+        system, _ = build()
+        system.query(ALLOWED, requester="alice")
+        system.query(ALLOWED, requester="alice")
+        warm = cache_section(system)
+        assert warm["answer"] == "hit"
+
+        # A policy registration at ONE source moves the policy epoch;
+        # the next pose fingerprints differently and recomputes.
+        system.source("src00").policy_store.load_document(EXTRA_POLICY)
+        system.query(ALLOWED, requester="alice")
+        after = cache_section(system)
+        assert after["answer"] == "miss"
+        assert after["fingerprint"] != warm["fingerprint"]
+        assert after["epochs"]["policy"] > warm["epochs"]["policy"]
+
+        # The new policy state warms up again.
+        system.query(ALLOWED, requester="alice")
+        assert cache_section(system)["answer"] == "hit"
+
+    def test_novel_probe_invalidates_only_that_requester(self):
+        system, _ = build()
+        for requester in ("alice", "bob"):
+            system.query(AGG_AGE, requester=requester)
+            system.query(AGG_AGE, requester=requester)
+            assert cache_section(system)["answer"] == "hit"
+
+        # alice's audit state advances on a NOVEL aggregate probe...
+        system.query(AGG_VISITS, requester="alice")
+        # ...so her materialized AVG(age) is epoch-stale and recomputes,
+        system.query(AGG_AGE, requester="alice")
+        assert cache_section(system)["answer"] == "miss"
+        counters = system.metrics_snapshot()["counters"]
+        assert counters.get("warehouse.epoch_invalidations", 0) >= 1
+        # ...while bob's untouched answer is still served hot.
+        system.query(AGG_AGE, requester="bob")
+        assert cache_section(system)["answer"] == "hit"
+
+    def test_repeating_an_identical_probe_keeps_the_cache_warm(self):
+        """Repeats are explicitly harmless to the guard → stay cached."""
+        system, _ = build()
+        system.query(AGG_AGE, requester="alice")
+        for _ in range(3):
+            system.query(AGG_AGE, requester="alice")
+            assert cache_section(system)["answer"] == "hit"
+
+    def test_invalidate_requester_is_isolated(self):
+        system, _ = build()
+        for requester in ("alice", "bob"):
+            system.query(ALLOWED, requester=requester)
+        system.engine.cache.invalidate_requester("alice")
+        system.query(ALLOWED, requester="alice")
+        assert cache_section(system)["answer"] == "miss"
+        system.query(ALLOWED, requester="bob")
+        assert cache_section(system)["answer"] == "hit"
+
+    def test_source_registration_bumps_schema_epoch(self):
+        system, _ = build()
+        system.query(ALLOWED, requester="alice")
+        before = cache_section(system)["epochs"]["schema"]
+        import random
+
+        from repro.relational.catalog import Catalog
+        from repro.relational.table import Table
+        from repro.source.server import RemoteSource
+
+        rng = random.Random(99)
+        rows = [{"age": 30 + rng.randrange(40), "visits": rng.randrange(9),
+                 "name": f"late-p{i}"} for i in range(4)]
+        catalog = Catalog("late")
+        catalog.add(Table.from_dicts("patients", rows))
+        system.add_source(RemoteSource(
+            "late", catalog, "patients", system.policy_store.replicate(),
+            pseudonym_secret=system.engine.shared_secret,
+        ))
+        system.query(ALLOWED, requester="alice")
+        info = cache_section(system)
+        assert info["epochs"]["schema"] == before + 1
+        assert info["plan"] == "miss"      # plans rekeyed on schema epoch
+        assert info["answer"] == "miss"    # old epoch vector is dead
+
+
+class TestAnswerTierLifetimes:
+    def test_ttl_expiry_and_lru_eviction_are_counted_apart(self):
+        clock = FakeClock()
+        warehouse = Warehouse(mode="warehouse", max_entries=2, ttl=100.0,
+                              clock=clock)
+        for key in ("k1", "k2", "k3"):  # k3 evicts k1 (capacity)
+            warehouse.answer(key, lambda: key.upper(), n_sources=1)
+        stats = warehouse.store_stats()
+        assert stats["evictions"] == 1
+        assert stats["expirations"] == 0
+
+        clock.advance(101.0)  # k2/k3 now older than the 100 s TTL
+        result, answer_stats = warehouse.answer(
+            "k3", lambda: "fresh", n_sources=1
+        )
+        assert answer_stats.from_cache is False
+        assert result == "fresh"
+        stats = warehouse.store_stats()
+        assert stats["expirations"] == 1
+        assert stats["evictions"] == 1  # unchanged: different cause
+
+    def test_epoch_mismatch_is_an_invalidation_not_an_expiry(self):
+        warehouse = Warehouse(mode="warehouse")
+        epochs_v1 = (("policy", 1),)
+        epochs_v2 = (("policy", 2),)
+        warehouse.answer("k", lambda: "old", n_sources=1, epochs=epochs_v1)
+        result, stats = warehouse.answer(
+            "k", lambda: "new", n_sources=1, epochs=epochs_v2
+        )
+        assert (result, stats.from_cache) == ("new", False)
+        snap = warehouse.store_stats()
+        assert snap["invalidations"] == 1
+        assert snap["expirations"] == 0
+        # and the recomputed entry is servable under the new vector
+        result, stats = warehouse.answer(
+            "k", lambda: "newer", n_sources=1, epochs=epochs_v2
+        )
+        assert (result, stats.from_cache) == ("new", "answer-cache")
+
+
+class TestAuditingNeverBypassed:
+    def test_cached_hits_still_append_history(self):
+        system, _ = build(telemetry=False)
+        for _ in range(4):
+            system.query(ALLOWED, requester="alice")
+        entries = system.engine.history.entries("alice")
+        assert len(entries) == 4  # one per pose, hot or cold
+
+    def test_guard_still_refuses_after_the_cache_is_warm(self):
+        # The guard watches *private* (sub-EXACT) attributes, so this
+        # needs a FORM aggregate deployment rather than the flaky one.
+        from repro import PrivateIye
+        from repro.relational import Table
+
+        system = PrivateIye()
+        system.engine.max_distinct_probes = 2
+        system.load_policies(
+            """
+            VIEW s1_private { PRIVATE //patient/salary FORM aggregate; }
+
+            POLICY guard DEFAULT deny {
+                ALLOW //patient/salary FOR research FORM aggregate
+                    MAXLOSS 0.9;
+                ALLOW //patient/age FOR research;
+            }
+            """,
+            view_source={"s1_private": "s1"},
+        )
+        rows = [{"age": 25 + i, "salary": 1000.0 + 100 * i}
+                for i in range(30)]
+        system.add_relational_source("s1", Table.from_dicts("patients", rows))
+
+        def probe(cutoff):
+            return system.query(
+                f"SELECT AVG(//patient/salary) "
+                f"WHERE //patient/age > {cutoff} PURPOSE research",
+                requester="snoop",
+            )
+
+        probe(30)
+        probe(30)  # identical repeat: cached AND harmless to the guard
+        assert system.cache_stats()["answer"]["hits"] >= 1
+        probe(32)  # distinct probe #2: still within the limit
+        # Distinct probe #3 exceeds max_distinct_probes=2 — the guard
+        # must refuse even though earlier answers were served hot.
+        with pytest.raises(AuditRefusal, match="distinct"):
+            probe(34)
+        assert system.engine.history.entries("snoop")[-1].refused is True
+
+    def test_cached_static_refusal_replays_the_identical_message(self):
+        system, _ = build()
+        with pytest.raises(PrivacyViolation) as first:
+            system.query(REFUSED, requester="alice")
+        assert cache_section(system)["static"] == "miss"
+        refusers_cold = system.explain_last().refusing_sources()
+
+        with pytest.raises(PrivacyViolation) as second:
+            system.query(REFUSED, requester="alice")
+        assert cache_section(system)["static"] == "hit"
+        assert str(second.value) == str(first.value)
+        # the per-source refusal ledger is replayed entry for entry
+        assert system.explain_last().refusing_sources() == refusers_cold
+        assert refusers_cold  # and it is not vacuously empty
+
+
+class TestConcurrency:
+    def test_hits_race_invalidations_without_corruption(self):
+        system, _ = build(telemetry=False)
+        engine = system.engine
+        baseline = repr(engine.pose(ALLOWED, requester="alice").rows)
+        errors = []
+        stop = threading.Event()
+
+        def invalidator():
+            while not stop.is_set():
+                engine.cache.invalidate_requester("alice")
+                engine.warehouse.invalidate()
+
+        def poser():
+            try:
+                for _ in range(25):
+                    result = engine.pose(ALLOWED, requester="alice")
+                    if repr(result.rows) != baseline:
+                        raise AssertionError("stale or corrupt answer")
+            except Exception as error:  # pragma: no cover - fails the test
+                errors.append(error)
+
+        chaos = threading.Thread(target=invalidator)
+        posers = [threading.Thread(target=poser) for _ in range(4)]
+        chaos.start()
+        for thread in posers:
+            thread.start()
+        for thread in posers:
+            thread.join()
+        stop.set()
+        chaos.join()
+        assert errors == []
+
+
+class TestObservability:
+    def test_explain_cache_section_and_metrics(self):
+        system, _ = build()
+        system.query(ALLOWED, requester="alice")
+        cold = cache_section(system)
+        assert cold["enabled"] is True
+        assert len(cold["fingerprint"]) == 32
+        assert (cold["plan"], cold["static"], cold["answer"]) == (
+            "miss", "miss", "miss"
+        )
+        assert set(cold["epochs"]) == {"policy", "schema", "requester"}
+
+        system.query(ALLOWED, requester="alice")
+        warm = cache_section(system)
+        assert (warm["plan"], warm["static"], warm["answer"]) == (
+            "hit", "hit", "hit"
+        )
+        assert warm["fingerprint"] == cold["fingerprint"]
+
+        warehouse = system.explain_last().to_dict()["warehouse"]
+        assert warehouse["from_cache"] is True
+        assert warehouse["origin"] == "answer-cache"
+        assert warehouse["source_calls"] == 0
+
+        counters = system.metrics_snapshot()["counters"]
+        for tier in ("plan", "static", "answer"):
+            assert counters[f"mediator.cache.{tier}.hits"] >= 1
+            assert counters[f"mediator.cache.{tier}.misses"] >= 1
+        assert counters["mediator.cache.rewrite.misses"] >= 1
+
+    def test_cache_stats_facade(self):
+        system, _ = build(telemetry=False)
+        system.query(ALLOWED, requester="alice")
+        system.query(ALLOWED, requester="alice")
+        stats = system.cache_stats()
+        assert set(stats) >= {"plan", "static", "rewrite", "answer",
+                              "epochs"}
+        assert stats["plan"]["hits"] >= 1
+        assert stats["answer"]["hits"] >= 1
+
+    def test_disabled_cache_still_reports_the_answer_tier(self):
+        system, _ = build(telemetry=True, cache=False)
+        system.query(ALLOWED, requester="alice")
+        info = cache_section(system)
+        assert info["enabled"] is False
+        assert (info["plan"], info["static"], info["answer"]) == (
+            "off", "off", "miss"
+        )
+        stats = system.cache_stats()
+        assert set(stats) == {"answer"}
+        assert stats["answer"]["misses"] >= 1
+        # legacy epoch-less hits are labelled "warehouse", not
+        # "answer-cache" — blind materialization is visible as such
+        system.query(ALLOWED, requester="alice")
+        warehouse = system.explain_last().to_dict()["warehouse"]
+        assert warehouse["origin"] == "warehouse"
