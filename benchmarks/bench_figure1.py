@@ -12,6 +12,48 @@ from repro.data import FIGURE1, HealthcareGenerator
 from repro.inference import PublishedAggregates, SnoopingSource
 
 
+def collect_results(repeats=1):
+    """Both experiments as a JSON-serializable dict (for run_all).
+
+    ``repeats`` scales the inference multistart count (more starts,
+    tighter reproduced intervals) — 1 is the CI smoke setting.
+    """
+    generator = HealthcareGenerator(patients_per_hmo=400, seed=2006)
+    published = PublishedAggregates.from_matrix(
+        generator.measures, generator.sources,
+        generator.compliance_matrix(), 1,
+    )
+    row_mean_error = max(
+        abs(published.row_means[i] - FIGURE1.row_means[i])
+        for i in range(len(generator.measures))
+    )
+    paper_published = PublishedAggregates(
+        FIGURE1.measures, FIGURE1.sources, FIGURE1.row_means,
+        FIGURE1.row_stds, FIGURE1.source_means, precision=1,
+    )
+    snooper = SnoopingSource(paper_published, "HMO1", FIGURE1.hmo1_values)
+    inferred = snooper.infer(starts=max(2, 2 * repeats), seed=0)
+    endpoint_error = sum(
+        abs(low - paper_low) + abs(high - paper_high)
+        for cell, (low, high) in inferred.items()
+        for paper_low, paper_high in [FIGURE1.paper_intervals[cell]]
+    ) / (2 * len(FIGURE1.paper_intervals))
+    return {
+        "f1ab": {
+            "row_means": list(published.row_means),
+            "paper_row_means": list(FIGURE1.row_means),
+            "max_row_mean_error": row_mean_error,
+        },
+        "f1cd": {
+            "intervals": {
+                f"{measure}@{source}": [low, high]
+                for (measure, source), (low, high) in sorted(inferred.items())
+            },
+            "mean_endpoint_error": endpoint_error,
+        },
+    }
+
+
 @pytest.fixture(scope="module")
 def generator():
     return HealthcareGenerator(patients_per_hmo=400, seed=2006)

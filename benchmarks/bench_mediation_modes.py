@@ -60,6 +60,17 @@ def run_workload(mode, seed=5, telemetry=None):
     }
 
 
+def collect_results(repeats=1):
+    """All three mediation modes as a JSON-serializable dict (for run_all).
+
+    The workload is seeded and deterministic, so ``repeats`` is accepted
+    for driver uniformity but does not change the numbers.
+    """
+    return {"days": DAYS,
+            "modes": {mode: run_workload(mode)
+                      for mode in ("virtual", "warehouse", "hybrid")}}
+
+
 @pytest.mark.parametrize("mode", ["virtual", "warehouse", "hybrid"])
 def test_mode_workload_cost(benchmark, mode):
     benchmark(run_workload, mode)

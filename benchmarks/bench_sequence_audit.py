@@ -62,6 +62,30 @@ def run_attacks(defense_kwargs):
     return breaches, refused, db
 
 
+def collect_results(repeats=1):
+    """The defense sweep as a JSON-serializable dict (for run_all).
+
+    The attack is deterministic, so ``repeats`` only steadies the
+    per-defense timing (the minimum over runs is kept).
+    """
+    defenses = {}
+    for name, kwargs in DEFENSES.items():
+        best_elapsed = None
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            breaches, refused, _db = run_attacks(kwargs)
+            elapsed = time.perf_counter() - start
+            if best_elapsed is None or elapsed < best_elapsed:
+                best_elapsed = elapsed
+        defenses[name] = {
+            "breaches": breaches,
+            "attacks_blocked": refused,
+            "legit_answered": legitimate_throughput(kwargs),
+            "elapsed_s": round(best_elapsed, 4),
+        }
+    return {"victims": N_VICTIMS, "records": N_ROWS, "defenses": defenses}
+
+
 def legitimate_throughput(defense_kwargs):
     """How many disjoint departmental aggregates still get answered."""
     db = ProtectedStatDB(salaries_table(), **defense_kwargs)

@@ -19,11 +19,15 @@ individual scripts print:
 Usage::
 
     PYTHONPATH=src python benchmarks/run_all.py                # all benches
+    PYTHONPATH=src python benchmarks/run_all.py --smoke        # CI sweep
     PYTHONPATH=src python benchmarks/run_all.py --only cache   # one bench
     PYTHONPATH=src python benchmarks/run_all.py --out-dir /tmp/bench
 
 Artifacts land in ``--out-dir`` (default ``benchmarks/results/``, which
-is gitignored).  Exit status is non-zero if any bench raises.
+is gitignored).  A failing bench does not stop the sweep: its error is
+recorded, the remaining benches still run, and the combined
+``BENCH_summary.json`` (one status row per bench) plus a non-zero exit
+report the failure.  ``--smoke`` forces ``repeats=1`` — the CI setting.
 """
 
 from __future__ import annotations
@@ -33,12 +37,14 @@ import importlib
 import json
 import sys
 import time
+import traceback
 from pathlib import Path
 
 HERE = Path(__file__).resolve().parent
 
 #: Benches that export ``collect_results()`` — extend as benches adopt it.
-BENCHES = ("cache", "fanout", "static_check")
+BENCHES = ("cache", "fanout", "figure1", "mediation_modes",
+           "sequence_audit", "static_check")
 
 
 def run_bench(name, repeats, out_dir):
@@ -63,18 +69,50 @@ def main(argv=None):
                         help="run just this bench (repeatable)")
     parser.add_argument("--repeats", type=int, default=3,
                         help="best-of repeats forwarded to each bench")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI setting: force repeats=1")
     parser.add_argument("--out-dir", type=Path,
                         default=HERE / "results",
                         help="directory for the BENCH_<name>.json files")
     args = parser.parse_args(argv)
+    repeats = 1 if args.smoke else args.repeats
 
     sys.path.insert(0, str(HERE))
     args.out_dir.mkdir(parents=True, exist_ok=True)
     names = args.only or BENCHES
+    summary = {
+        "generated_at": time.time(),
+        "smoke": args.smoke,
+        "repeats": repeats,
+        "benches": {},
+    }
+    failures = 0
     for name in names:
-        path, elapsed = run_bench(name, args.repeats, args.out_dir)
+        try:
+            path, elapsed = run_bench(name, repeats, args.out_dir)
+        except Exception as error:  # a broken bench must not stop the sweep
+            failures += 1
+            summary["benches"][name] = {
+                "status": "error",
+                "error": f"{type(error).__name__}: {error}",
+                "traceback": traceback.format_exc(),
+            }
+            print(f"BENCH_{name}: FAILED ({type(error).__name__}: {error})",
+                  file=sys.stderr)
+            continue
+        summary["benches"][name] = {
+            "status": "ok",
+            "elapsed_s": round(elapsed, 3),
+            "artifact": path.name,
+        }
         print(f"BENCH_{name}: wrote {path} ({elapsed:.1f}s)")
-    return 0
+    summary_path = args.out_dir / "BENCH_summary.json"
+    summary_path.write_text(
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    )
+    print(f"BENCH_summary: wrote {summary_path} "
+          f"({len(names) - failures}/{len(names)} ok)")
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

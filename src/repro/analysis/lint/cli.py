@@ -16,7 +16,7 @@ from repro.analysis.lint.reporters import RENDERERS
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repro-lint: repo-specific invariant checks (REP001-7)",
+        description="repro-lint: repo-specific invariant checks (REP001-8)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -34,6 +34,8 @@ def main(argv=None):
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for lint_rule in all_rules():
+            # repro-lint: disable=REP008 -- CLI entry point: human output
+            # on stdout *is* the command's contract.
             print(f"{lint_rule.code}  {lint_rule.summary}")
         return 0
     select = None
@@ -43,11 +45,15 @@ def main(argv=None):
         known = {lint_rule.code for lint_rule in all_rules()}
         unknown = select - known
         if unknown:
-            print(f"unknown rule code(s): {sorted(unknown)}",
-                  file=sys.stderr)
+            print(  # repro-lint: disable=REP008 -- CLI usage error
+                f"unknown rule code(s): {sorted(unknown)}",
+                file=sys.stderr,  # repro-lint: disable=REP008 -- CLI stderr
+            )
             return 2
     findings, files_checked, suppressed = lint_paths(args.paths,
                                                      select=select)
+    # repro-lint: disable=REP008 -- CLI entry point: the rendered report
+    # on stdout *is* the command's contract.
     print(RENDERERS[args.format](findings, files_checked, suppressed))
     return 1 if findings else 0
 

@@ -25,6 +25,12 @@ previously enforced only by convention and review:
   to metrics; route them through the cache layer or justify why the
   layering forbids it (the cache-coherence invariant of the multi-tier
   caching PR).
+* REP008 — diagnostics must flow through the structured event log
+  (:mod:`repro.telemetry.events`), not ``logging`` or bare
+  ``print``/``sys.stdout``/``sys.stderr`` writes: side-channel output
+  is invisible to the disclosure observatory's exporters and report
+  CLI (the observability PR's invariant).  :mod:`repro.telemetry`
+  itself — the sanctioned rendering layer — is exempt.
 """
 
 from __future__ import annotations
@@ -269,6 +275,7 @@ LAYER_RANKS = {
     "cache": 45,
     "source": 50,
     "analysis": 60,
+    "observatory": 65,
     "mediator": 70,
     "core": 80,
     "testing": 90,
@@ -443,5 +450,68 @@ def check_adhoc_caches(context):
                     f"{name} is an ad-hoc dict cache — use repro.cache "
                     "(bounded LRU, epoch invalidation, hit/miss stats) or "
                     "suppress with the layering justification",
+                    node,
+                )
+
+
+# -- REP008: diagnostics bypassing the event log ------------------------------
+
+_STDIO_STREAMS = {"stdout", "stderr"}
+
+
+def _imports_logging(node):
+    """Whether ``node`` imports the stdlib ``logging`` machinery."""
+    if isinstance(node, ast.Import):
+        return any(alias.name == "logging"
+                   or alias.name.startswith("logging.")
+                   for alias in node.names)
+    if isinstance(node, ast.ImportFrom) and node.level == 0:
+        return (node.module == "logging"
+                or (node.module or "").startswith("logging."))
+    return False
+
+
+def _stdio_stream_attr(node):
+    """``"stdout"``/``"stderr"`` when ``node`` is ``sys.<stream>``."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "sys"
+            and node.attr in _STDIO_STREAMS):
+        return node.attr
+    return None
+
+
+@rule("REP008", "logging / stdout diagnostics outside repro.telemetry")
+def check_diagnostic_channels(context):
+    if not context.in_repro:
+        return
+    if _layer_of(context.module) == "telemetry":
+        return  # the sanctioned rendering layer (exporters, report CLI)
+    for node in ast.walk(context.tree):
+        if _imports_logging(node):
+            yield context.finding(
+                "REP008",
+                "stdlib logging bypasses the structured event log — emit "
+                "telemetry events (repro.telemetry.events) instead",
+                node,
+            )
+        elif (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"):
+            yield context.finding(
+                "REP008",
+                "print() writes diagnostics to a side channel the "
+                "observatory cannot export — emit an event, or justify "
+                "(CLI entry points rendering for humans)",
+                node,
+            )
+        else:
+            stream = _stdio_stream_attr(node)
+            if stream is not None:
+                yield context.finding(
+                    "REP008",
+                    f"bare sys.{stream} write bypasses the event log — "
+                    "emit an event, or justify (CLI entry points "
+                    "rendering for humans)",
                     node,
                 )

@@ -129,7 +129,10 @@ class MediationCache:
             if len(seen) >= self.max_probe_signatures:
                 seen.clear()
             seen.add(probe)
-        self.epochs.bump(requester_key(requester))
+        epoch = self.epochs.bump(requester_key(requester))
+        self._telemetry.events.emit(
+            "cache.requester_epoch", requester=requester, epoch=epoch,
+        )
         return True
 
     def requester_epoch(self, requester):

@@ -31,8 +31,19 @@ class PrivateIye:
     def __init__(self, policy_store=None, linkage_attributes=(),
                  warehouse_mode="hybrid", shared_secret="private-iye",
                  synonyms=None, telemetry=None, dispatch=None,
-                 static_check=True, cache=True):
+                 static_check=True, cache=True, events=None,
+                 observatory=None):
         self.policy_store = policy_store or PolicyStore()
+        # ``events``: a JSONL path (async sink), True (ring only), or an
+        # EventLog to share.  Asking for an event stream implies enabling
+        # telemetry — the stream is one of its instruments.
+        if events is not None:
+            from repro.telemetry import Telemetry, resolve_events
+
+            if isinstance(telemetry, Telemetry):
+                telemetry.events = resolve_events(events)
+            else:
+                telemetry = Telemetry(enabled=True, events=events)
         self.engine = MediationEngine(
             shared_secret=shared_secret,
             linkage_attributes=linkage_attributes,
@@ -42,6 +53,7 @@ class PrivateIye:
             dispatch=dispatch,
             static_check=static_check,
             cache=cache,
+            observatory=observatory,
         )
         self._sessions = {}
 
@@ -240,6 +252,35 @@ class PrivateIye:
     def last_trace(self):
         """The most recent finished root span (telemetry on), else None."""
         return self.engine.telemetry.tracer.last_root()
+
+    @property
+    def observatory(self):
+        """The disclosure observatory, or ``None`` when disabled.
+
+        Enable with ``PrivateIye(observatory=True)`` (or pass a shared
+        :class:`~repro.observatory.Observatory`); see
+        ``docs/observability.md``.
+        """
+        return self.engine.observatory
+
+    def audit_journal(self):
+        """The hash-chained disclosure journal, or ``None`` when disabled.
+
+        Every ``query()`` appends one tamper-evident record (requester,
+        plan fingerprint, per-source disclosure, cumulative
+        ``1 − Π(1 − loss)``); verify with ``audit_journal().verify_chain()``.
+        """
+        observatory = self.engine.observatory
+        return observatory.journal if observatory is not None else None
+
+    def observatory_report(self):
+        """Journal + snooper-watch summary (empty dict when disabled)."""
+        observatory = self.engine.observatory
+        return observatory.report() if observatory is not None else {}
+
+    def events_tail(self, n=20):
+        """The newest structured events (empty with telemetry disabled)."""
+        return self.engine.telemetry.events_tail(n)
 
     def cache_stats(self):
         """Per-tier mediation-cache stats plus the epoch counters.

@@ -37,7 +37,11 @@ class AggregateConstraints:
         exactly (its own data).
     row_means, row_stds:
         Published per-row mean and *sample* standard deviation over all
-        ``n_cols`` columns.
+        ``n_cols`` columns.  ``row_stds`` may be ``None`` (no sigmas
+        published at all) or contain ``None`` entries for rows whose
+        sigma has not (yet) been published — the snooper-watch replays
+        partially-released workloads, where sigmas arrive one query at a
+        time.
     column_means:
         ``{column_index: published average}`` for hidden columns (from the
         per-source performance table).  Columns absent from both mappings
@@ -172,7 +176,8 @@ def _build_constraints(constraints, index_of):
         cons.append({"type": "ineq", "fun": (
             lambda v, i=i, mu=mu: tol - (mu - np.mean(row_values(v, i)))
         )})
-        if constraints.row_stds is not None:
+        if (constraints.row_stds is not None
+                and constraints.row_stds[i] is not None):
             sigma = constraints.row_stds[i]
             cons.append({"type": "ineq", "fun": (
                 lambda v, i=i, sigma=sigma: tol

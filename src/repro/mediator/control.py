@@ -94,6 +94,12 @@ class PrivacyControl:
             metrics.counter("control.rows_withheld").inc(
                 len(rows) - len(kept_rows)
             )
+            for notice in notices:
+                self.telemetry.events.emit(
+                    "control.violation_notice", source=notice.source,
+                    aggregated_loss=notice.aggregated_loss,
+                    budget=notice.budget,
+                )
         metrics.histogram("control.aggregated_loss").observe(aggregated)
         return kept_rows, aggregated, notices
 

@@ -321,6 +321,7 @@ class FanoutDispatcher:
         self._clock = clock
         self._breakers = {}
         self._breakers_lock = threading.Lock()
+        self._last_breaker_states = {}
 
     # -- breakers ----------------------------------------------------------
 
@@ -340,6 +341,25 @@ class FanoutDispatcher:
         """``{source: state}`` for every breaker seen so far."""
         with self._breakers_lock:
             return {name: b.state for name, b in sorted(self._breakers.items())}
+
+    def _note_breaker_state(self, source, state):
+        """Emit a ``dispatch.breaker_transition`` event on state change.
+
+        Observed at dispatch settlement (not inside the breaker's lock):
+        the event stream records every *effective* transition a fan-out
+        saw — closed → open when a source trips, open → closed when a
+        half-open probe succeeds.
+        """
+        with self._breakers_lock:
+            previous = self._last_breaker_states.get(source,
+                                                     CircuitBreaker.CLOSED)
+            if state == previous:
+                return
+            self._last_breaker_states[source] = state
+        self.telemetry.events.emit(
+            "dispatch.breaker_transition", source=source,
+            previous=previous, state=state,
+        )
 
     # -- dispatch ----------------------------------------------------------
 
@@ -363,6 +383,7 @@ class FanoutDispatcher:
         for name in names:
             outcome = outcomes[name]
             outcome.breaker_state = self.breaker(name).state
+            self._note_breaker_state(name, outcome.breaker_state)
             if outcome.status == "answered":
                 responses[name] = outcome.response
             elif outcome.status == "refused":

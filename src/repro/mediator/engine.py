@@ -35,6 +35,7 @@ from repro.mediator.history import MediatorHistory, SequenceGuard
 from repro.mediator.integrator import IntegratedResult, ResultIntegrator
 from repro.mediator.mediated_schema import MediatedSchema, SourceExport
 from repro.mediator.warehouse import Warehouse
+from repro.observatory import resolve_observatory
 from repro.policy.model import DisclosureForm
 from repro.query.language import parse_piql
 from repro.query.model import PiqlQuery
@@ -47,7 +48,7 @@ class MediationEngine:
     def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
                  synonyms=None, warehouse=None, max_distinct_probes=4,
                  telemetry=None, dispatch=None, static_check=True,
-                 cache=True):
+                 cache=True, observatory=None):
         self.shared_secret = shared_secret
         self.linkage_attributes = list(linkage_attributes)
         self.synonyms = synonyms
@@ -74,6 +75,14 @@ class MediationEngine:
             if (self.static_analyzer is not None
                     and self.static_analyzer.cache is None):
                 self.static_analyzer.cache = self.cache.rewrites
+
+        # ``observatory``: None (default — the query path carries a single
+        # ``is None`` check and nothing else), True (fresh disclosure
+        # journal + snooper watch), or an Observatory to share.  Alerts
+        # and journal events land in the engine's event log.
+        self.observatory = resolve_observatory(observatory)
+        if self.observatory is not None:
+            self.observatory.events = self.telemetry.events
 
         self.sources = {}
         self.schema = None
@@ -157,12 +166,23 @@ class MediationEngine:
             raise IntegrationError("pose needs PIQL text or a PiqlQuery")
 
         telemetry = self.telemetry
+        events = telemetry.events
+        observatory = self.observatory
         report = telemetry.explain.begin(query, requester, role)
+        # Tier-1 fingerprint: canonical text + principal + policy epoch.
+        # Hoisted out of the pipeline body so the disclosure journal can
+        # record *refused* poses under the same identity as answered ones.
+        canonical = canonical_piql(query)
+        policy_epoch = self._policy_epoch()
+        fingerprint = plan_fingerprint(canonical, requester, role,
+                                       subjects, policy_epoch)
+        event_mark = events.mark()
         with telemetry.span("mediator.pose", requester=requester) as span:
             try:
                 result = self._pose(
                     query, requester, role, subjects, emergency,
-                    use_warehouse, report,
+                    use_warehouse, report, canonical, fingerprint,
+                    policy_epoch,
                 )
             except ReproError as error:
                 report.finish("refused", error=error,
@@ -171,7 +191,38 @@ class MediationEngine:
                 telemetry.metrics.counter(
                     f"mediator.refusals.{type(error).__name__}"
                 ).inc()
+                events.emit(
+                    "pose.refused", requester=requester,
+                    fingerprint=fingerprint,
+                    kind=type(error).__name__, reason=str(error),
+                )
+                if observatory is not None:
+                    report.set_audit(observatory.record_pose(
+                        requester, fingerprint, "refused",
+                        kind=type(error).__name__,
+                    ))
+                report.set_events(events.since(event_mark))
                 raise
+        record = None
+        if observatory is not None:
+            record = observatory.record_pose(
+                requester, fingerprint, "answered",
+                per_source_loss=result.per_source_loss,
+                aggregated_loss=result.aggregated_loss,
+            )
+            report.set_audit(record)
+        events.emit(
+            "pose.answered", requester=requester, fingerprint=fingerprint,
+            rows=len(result.rows), aggregated_loss=result.aggregated_loss,
+            cumulative_loss=(record.cumulative_loss if record is not None
+                             else None),
+        )
+        if observatory is not None:
+            # Fold released aggregates into the requester's snooper
+            # ledger and replay it — alert events land after this
+            # pose's ``pose.answered`` and before the next pose's.
+            observatory.observe_result(requester, query, result)
+        report.set_events(events.since(event_mark))
         report.set_integration(len(result.rows), result.duplicates_removed)
         report.finish("answered", duration_ms=span.duration_ms)
         telemetry.metrics.counter("mediator.queries_answered").inc()
@@ -184,7 +235,7 @@ class MediationEngine:
         return result
 
     def _pose(self, query, requester, role, subjects, emergency,
-              use_warehouse, report):
+              use_warehouse, report, canonical, fingerprint, policy_epoch):
         """The ``pose()`` pipeline body (refusals propagate to the caller).
 
         The mediation cache accelerates this path but never shortens the
@@ -195,7 +246,6 @@ class MediationEngine:
         """
         telemetry = self.telemetry
         cache = self.cache
-        canonical = canonical_piql(query)
 
         with telemetry.span("mediator.fragment") as span:
             if cache is not None:
@@ -231,13 +281,10 @@ class MediationEngine:
             cache.note_probe(requester, attributes, signature,
                              query.is_aggregate)
 
-        # Tier-1 fingerprint: canonical text + principal + policy epoch.
-        # Also the warehouse key when the cache is disabled — unlike the
-        # old ad-hoc ``requester|role|text`` string it includes subjects,
-        # so two subject sets can no longer collide on one entry.
-        policy_epoch = self._policy_epoch()
-        fingerprint = plan_fingerprint(canonical, requester, role,
-                                       subjects, policy_epoch)
+        # The fingerprint (computed in ``pose()``) is also the warehouse
+        # key when the cache is disabled — unlike the old ad-hoc
+        # ``requester|role|text`` string it includes subjects, so two
+        # subject sets can no longer collide on one entry.
         epochs = (cache.epoch_vector(policy_epoch, requester)
                   if cache is not None else None)
         cache_info = {

@@ -106,6 +106,11 @@ class SequenceGuard:
             )
             if len(signatures) > self.max_distinct_probes:
                 metrics.counter("sequence_guard.refusals").inc()
+                self.telemetry.events.emit(
+                    "sequence_guard.refusal", requester=requester,
+                    attribute=attribute, distinct_probes=len(signatures),
+                    limit=self.max_distinct_probes,
+                )
                 raise AuditRefusal(
                     f"requester {requester!r} has probed private attribute "
                     f"{attribute!r} with {len(signatures)} distinct "

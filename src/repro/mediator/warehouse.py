@@ -149,6 +149,9 @@ class Warehouse:
             self.telemetry.metrics.counter(
                 "warehouse.epoch_invalidations"
             ).inc()
+            self.telemetry.events.emit(
+                "warehouse.epoch_invalidation", key=key, mode=self.mode,
+            )
         return self._fresh(key, compute, n_sources, epochs)
 
     def _hit(self, entry, age, epochs):

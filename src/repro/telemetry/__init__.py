@@ -32,6 +32,14 @@ from __future__ import annotations
 
 import os
 
+from repro.telemetry.events import (
+    NOOP_EVENTS,
+    Event,
+    EventLog,
+    JsonlSink,
+    NoopEventLog,
+    resolve_events,
+)
 from repro.telemetry.explain import (
     NOOP_EXPLAIN,
     NOOP_REPORT,
@@ -69,18 +77,21 @@ class Telemetry:
     call sites are identical either way.
     """
 
-    __slots__ = ("enabled", "tracer", "metrics", "explain")
+    __slots__ = ("enabled", "tracer", "metrics", "explain", "events")
 
-    def __init__(self, enabled=True, max_roots=256, max_reports=64):
+    def __init__(self, enabled=True, max_roots=256, max_reports=64,
+                 events=None, max_events=2048):
         self.enabled = bool(enabled)
         if self.enabled:
             self.tracer = Tracer(max_roots=max_roots)
             self.metrics = MetricsRegistry()
             self.explain = ExplainLog(max_reports=max_reports)
+            self.events = resolve_events(events, max_events=max_events)
         else:
             self.tracer = NOOP_TRACER
             self.metrics = NOOP_METRICS
             self.explain = NOOP_EXPLAIN
+            self.events = NOOP_EVENTS
 
     def span(self, name, **attributes):
         """Shorthand for ``telemetry.tracer.span(...)``."""
@@ -94,10 +105,22 @@ class Telemetry:
         """Plain-dict snapshot of every metric."""
         return self.metrics.snapshot()
 
+    def emit(self, name, **attributes):
+        """Shorthand for ``telemetry.events.emit(...)``."""
+        return self.events.emit(name, **attributes)
+
+    def events_tail(self, n=20):
+        """The ``n`` newest structured events, oldest first."""
+        return self.events.tail(n)
+
     def reset(self):
         """Clear finished spans and metrics (explain log is append-only)."""
         self.tracer.reset()
         self.metrics.reset()
+
+    def close(self):
+        """Flush and close the event sink, if one is attached."""
+        self.events.close()
 
     def __repr__(self):
         return f"Telemetry(enabled={self.enabled})"
@@ -153,6 +176,12 @@ __all__ = [
     "NoopMetrics",
     "NOOP_METRICS",
     "NOOP_INSTRUMENT",
+    "Event",
+    "EventLog",
+    "JsonlSink",
+    "NoopEventLog",
+    "NOOP_EVENTS",
+    "resolve_events",
     "ExplainLog",
     "ExplainReport",
     "NoopExplainLog",

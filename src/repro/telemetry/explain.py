@@ -54,6 +54,8 @@ class ExplainReport:
         self.dispatch = None           # fan-out summary (mode, breakers)
         self.integration = None        # {"rows", "duplicates_removed"}
         self.control = None            # aggregated loss vs MAXLOSS + notices
+        self.audit = None              # disclosure journal record (dict)
+        self.events = None             # events emitted during this pose
         self.duration_ms = None
 
     # -- recording (called by the engine as the pipeline advances) ---------
@@ -161,6 +163,20 @@ class ExplainReport:
             ],
         }
 
+    def set_audit(self, record):
+        """Record the disclosure-journal entry written for this pose.
+
+        ``record`` is an :class:`~repro.observatory.journal.JournalRecord`
+        (anything with ``to_dict()``); the ledger keeps the dict form —
+        including the chain hashes, so a report can be checked against
+        the journal later.
+        """
+        self.audit = record.to_dict()
+
+    def set_events(self, events):
+        """Record the structured events emitted while this pose ran."""
+        self.events = [e.to_dict() for e in events]
+
     def finish(self, status, error=None, duration_ms=None):
         self.status = status
         self.duration_ms = duration_ms
@@ -188,6 +204,8 @@ class ExplainReport:
             "dispatch": self.dispatch,
             "integration": self.integration,
             "control": self.control,
+            "audit": self.audit,
+            "events": self.events,
             "duration_ms": self.duration_ms,
         }
 
@@ -289,6 +307,12 @@ class NoopReport:
 
     def set_control(self, per_source_loss, aggregated_loss, max_loss,
                     notices):
+        pass
+
+    def set_audit(self, record):
+        pass
+
+    def set_events(self, events):
         pass
 
     def finish(self, status, error=None, duration_ms=None):

@@ -1,0 +1,176 @@
+"""A stdlib HTTP endpoint exposing the observatory's instruments.
+
+``TelemetryServer`` wraps :class:`http.server.ThreadingHTTPServer` around
+one :class:`~repro.telemetry.Telemetry` instance (pass the system's —
+``PrivateIye(telemetry=True).telemetry``) and serves:
+
+* ``GET /metrics`` — Prometheus text exposition of the metrics registry
+  (scrape this);
+* ``GET /events``  — recent structured events as JSON (``?n=`` bounds the
+  tail, default 100);
+* ``GET /trace``   — the finished span trees as a Chrome trace-event
+  document (save and load into Perfetto);
+* ``GET /healthz`` — liveness JSON (always ``{"status": "ok"}`` while the
+  server thread runs).
+
+The server binds an ephemeral port by default (``port=0``) and runs on a
+daemon thread; it holds no state of its own, so scraping is always safe —
+every response is rendered from a snapshot taken under the instrument
+locks.  Access logging is routed into the event log (``http.request``
+events) instead of stderr, which keeps REP008's "all diagnostics flow
+through the event log" invariant inside the telemetry package too.
+
+Usage::
+
+    system = PrivateIye(telemetry=True)
+    server = TelemetryServer(system.telemetry)
+    address = server.start()           # ("127.0.0.1", 43121)
+    ...
+    server.close()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError
+from repro.telemetry.export import chrome_trace, events_jsonl, prometheus_text
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes the four observatory paths; everything else is 404."""
+
+    server_version = "ReproTelemetry/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def do_GET(self):  # noqa: N802 — http.server's naming contract
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        telemetry = self.server.telemetry
+        if route == "/metrics":
+            body = prometheus_text(telemetry.metrics.snapshot())
+            self._send(200, PROMETHEUS_CONTENT_TYPE, body)
+        elif route == "/events":
+            params = parse_qs(parsed.query)
+            try:
+                n = int(params.get("n", ["100"])[0])
+            except ValueError:
+                self._send(400, "application/json",
+                           json.dumps({"error": "n must be an integer"}))
+                return
+            events = [e.to_dict() for e in telemetry.events.tail(n)]
+            self._send(200, "application/json", json.dumps({
+                "events": events,
+                "dropped_events": telemetry.events.dropped_events,
+            }))
+        elif route == "/trace":
+            document = chrome_trace(telemetry.tracer.finished)
+            self._send(200, "application/json", json.dumps(document))
+        elif route == "/healthz":
+            self._send(200, "application/json", json.dumps({
+                "status": "ok",
+                "telemetry_enabled": telemetry.enabled,
+                "events_retained": len(telemetry.events),
+            }))
+        else:
+            self._send(404, "application/json",
+                       json.dumps({"error": f"unknown path {route!r}"}))
+
+    def _send(self, status, content_type, body):
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        # diagnostics flow through the event log, never stderr (REP008)
+        self.server.telemetry.events.emit(
+            "http.request", client=self.client_address[0],
+            line=format % args,
+        )
+
+
+class _Server(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address, telemetry):
+        super().__init__(address, _Handler)
+        self.telemetry = telemetry
+
+
+class TelemetryServer:
+    """Lifecycle wrapper: bind, serve on a daemon thread, close."""
+
+    def __init__(self, telemetry, host="127.0.0.1", port=0):
+        self.telemetry = telemetry
+        self._address = (host, port)
+        self._server = None
+        self._thread = None
+
+    @property
+    def address(self):
+        """``(host, port)`` once started."""
+        if self._server is None:
+            raise ReproError("server not started")
+        return self._server.server_address[:2]
+
+    @property
+    def url(self):
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self):
+        """Bind and serve; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise ReproError("server already started")
+        self._server = _Server(self._address, self.telemetry)
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-telemetry-http", daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def close(self):
+        """Stop serving and release the socket (idempotent)."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self):
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "stopped" if self._server is None else self.url
+        return f"TelemetryServer({state})"
+
+
+def dump_events(telemetry, path):
+    """Write the current event ring to ``path`` as JSON Lines.
+
+    A synchronous one-shot counterpart to the asynchronous
+    :class:`~repro.telemetry.events.JsonlSink` — handy before feeding
+    ``python -m repro.telemetry.report``.
+    """
+    text = events_jsonl(telemetry.events.events())
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    return path

@@ -118,13 +118,19 @@ class Histogram:
         return ordered[rank]
 
     def summary(self):
-        """``{count, mean, min, max, p50, p95, p99}`` over the window."""
+        """``{count, sum, mean, min, max, p50, p95, p99}``.
+
+        ``count`` and ``sum`` are lifetime accumulators (what a
+        Prometheus summary exports); the remaining statistics cover the
+        sliding window.
+        """
         ordered = self._window()
         if not ordered:
-            return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                    "p50": 0.0, "p95": 0.0, "p99": 0.0}
+            return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
             "count": self.count,
+            "sum": self.total,
             "mean": sum(ordered) / len(ordered),
             "min": ordered[0],
             "max": ordered[-1],
@@ -201,8 +207,8 @@ class _NoopInstrument:
         return 0.0
 
     def summary(self):
-        return {"count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
-                "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
+                "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
 
 
 NOOP_INSTRUMENT = _NoopInstrument()

@@ -1,0 +1,24 @@
+"""REP008 fixture: diagnostics bypassing the structured event log."""
+
+import logging
+import sys
+from logging import getLogger
+
+
+def announce(message):
+    print("mediator:", message)
+    sys.stderr.write(message + "\n")
+    sys.stdout.flush()
+    logger = getLogger(__name__)
+    return logging, logger
+
+
+def fine(events, message):
+    events.emit("pose.note", detail=message)  # fine: the event log
+    if not message:
+        sys.exit(2)  # fine: sys use that is not a stdio stream
+    return sys.maxsize  # fine: likewise
+
+
+def justified(message):
+    print(message)  # repro-lint: disable=REP008 -- CLI rendering for humans

@@ -1,0 +1,144 @@
+"""SnooperWatch: replaying Figure 1 against the requesters, live."""
+
+import pytest
+
+from repro.data import FIGURE1
+from repro.errors import ReproError
+from repro.observatory import SnooperWatch
+from repro.telemetry.events import EventLog
+
+
+def feed_full_figure1(watch, requester="HMO1"):
+    """Everything Figure 1(c) says the snooping HMO1 knows."""
+    for measure, value in zip(FIGURE1.measures, FIGURE1.hmo1_values):
+        watch.note_cell(requester, measure, "HMO1", value)
+    for measure, mean, std in zip(FIGURE1.measures, FIGURE1.row_means,
+                                  FIGURE1.row_stds):
+        watch.note_row_stat(requester, measure, mean, std=std,
+                            over=FIGURE1.sources)
+    for source, mean in zip(FIGURE1.sources, FIGURE1.source_means):
+        watch.note_source_mean(requester, source, mean,
+                               over=FIGURE1.measures)
+
+
+class TestFigure1Replay:
+    def test_full_knowledge_reproduces_the_paper_breach(self):
+        watch = SnooperWatch(min_interval_width=5.0)
+        feed_full_figure1(watch)
+        alerts = watch.check("HMO1")
+        assert 6 <= len(alerts) <= len(FIGURE1.paper_intervals)
+        breached = {(a.measure, a.source) for a in alerts}
+        # every breach is one of the paper's Figure 1(d) cells, and the
+        # sharpest inference the paper reports is certainly among them
+        assert breached <= set(FIGURE1.paper_intervals)
+        assert ("HbA1c", "HMO2") in breached
+        assert all(a.source != "HMO1" for a in alerts)
+        for alert in alerts:
+            assert alert.width < 5.0
+            assert alert.width == pytest.approx(alert.high - alert.low)
+
+    def test_staged_release_sequence_alerts_before_the_final_query(self):
+        """The ISSUE's pinned scenario: the watch must fire *mid-sequence*.
+
+        Releases arrive one at a time, as separate interactions; the
+        breach completes only at the last source mean, but the interval
+        already collapses once the row sigmas land — three releases
+        early.
+        """
+        watch = SnooperWatch(min_interval_width=5.0)
+        requester = "HMO1"
+
+        # release 1: the requester's own column — nothing inferable yet
+        for measure, value in zip(FIGURE1.measures, FIGURE1.hmo1_values):
+            watch.note_cell(requester, measure, "HMO1", value)
+        assert watch.check(requester) == []
+
+        # release 2: the published per-test means over all four HMOs
+        for measure, mean in zip(FIGURE1.measures, FIGURE1.row_means):
+            watch.note_row_stat(requester, measure, mean,
+                                over=FIGURE1.sources)
+        assert watch.check(requester) == []
+
+        # release 3: the per-test standard deviations — ALERT, with the
+        # final three releases still unpublished
+        for measure, mean, std in zip(FIGURE1.measures, FIGURE1.row_means,
+                                      FIGURE1.row_stds):
+            watch.note_row_stat(requester, measure, mean, std=std,
+                                over=FIGURE1.sources)
+        mid_sequence = watch.check(requester)
+        assert mid_sequence, "watch must alert before the sequence completes"
+
+        # releases 4-6: the per-HMO means, one at a time — the alert
+        # already on record predates every one of them
+        first_alert_ts = mid_sequence[0].ts
+        for source, mean in zip(FIGURE1.sources, FIGURE1.source_means):
+            if source == "HMO1":
+                continue
+            watch.note_source_mean(requester, source, mean,
+                                   over=FIGURE1.measures)
+            watch.check(requester)
+        assert watch.alerts[0].ts == first_alert_ts
+        assert watch.alerts_for(requester)[0] is watch.alerts[0]
+
+    def test_alerts_fire_once_per_cell(self):
+        watch = SnooperWatch(min_interval_width=5.0)
+        feed_full_figure1(watch)
+        first = watch.check("HMO1")
+        assert first
+        assert watch.check("HMO1") == []  # deduplicated on re-replay
+        assert len(watch.alerts) == len(first)
+
+
+class TestMechanics:
+    def test_check_cadence(self):
+        watch = SnooperWatch(check_every=3)
+        calls = []
+        watch.check = lambda requester: calls.append(requester) or []
+        for _ in range(7):
+            watch.note_pose("epi")
+        assert len(calls) == 2  # poses 3 and 6
+
+    def test_alert_emits_event(self):
+        watch = SnooperWatch(min_interval_width=5.0)
+        watch.events = EventLog()
+        feed_full_figure1(watch)
+        alerts = watch.check("HMO1")
+        events = watch.events.events(name="snooperwatch.alert")
+        assert len(events) == len(alerts)
+        attributes = events[0].attributes
+        assert attributes["requester"] == "HMO1"
+        assert attributes["width"] < attributes["threshold"]
+
+    def test_inconsistent_knowledge_is_infeasible_not_fatal(self):
+        watch = SnooperWatch()
+        watch.events = EventLog()
+        # the requester "knows" a cell the published row mean contradicts
+        watch.note_cell("epi", "m", "s1", 100.0)
+        watch.note_row_stat("epi", "m", 10.0, over=("s1", "s2"))
+        assert watch.check("epi") == []
+        events = watch.events.events(name="snooperwatch.infeasible")
+        assert len(events) == 1
+        assert "inconsistent" in events[0].attributes["reason"]
+
+    def test_underdetermined_ledgers_pose_no_problem(self):
+        watch = SnooperWatch()
+        assert watch.check("nobody") == []          # never seen
+        watch.note_cell("epi", "m", "s1", 50.0)
+        assert watch.check("epi") == []             # one column, no stats
+
+    def test_mismatched_span_statistics_are_held_back(self):
+        """A row mean over four sources must not constrain a 2-column view."""
+        watch = SnooperWatch()
+        watch.note_cell("epi", "m", "s1", 50.0)
+        watch.note_row_stat("epi", "m", 50.0, over=("s1", "s2", "s3", "s4"))
+        # only s1+s2 materialized so far: the 4-source mean must not be
+        # applied to a 2-column matrix, so there is nothing to solve
+        assert watch._constraints(watch._knowledge["epi"]) is not None
+        # ...the span widened the matrix to all four columns instead
+        assert watch._knowledge["epi"].sources == ["s1", "s2", "s3", "s4"]
+
+    def test_constructor_validation(self):
+        with pytest.raises(ReproError, match="min_interval_width"):
+            SnooperWatch(min_interval_width=0)
+        with pytest.raises(ReproError, match="check_every"):
+            SnooperWatch(check_every=0)

@@ -1,0 +1,184 @@
+"""The structured event log: ring, filters, sink backpressure."""
+
+import json
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry.events import (
+    NOOP_EVENTS,
+    EventLog,
+    JsonlSink,
+    NoopEventLog,
+    resolve_events,
+)
+
+
+class RecordingSink:
+    def __init__(self):
+        self.records = []
+        self.dropped = 0
+        self.closed = False
+
+    def offer(self, record):
+        self.records.append(record)
+        return True
+
+    def close(self):
+        self.closed = True
+
+
+class TestEventLog:
+    def test_emit_stamps_sequence_and_timestamp(self):
+        log = EventLog(clock=lambda: 42.0)
+        event = log.emit("pose.answered", requester="epi", rows=2)
+        assert event.seq == 1
+        assert event.ts == 42.0
+        assert event.attributes == {"requester": "epi", "rows": 2}
+        assert event.to_dict() == {
+            "seq": 1, "name": "pose.answered", "ts": 42.0,
+            "attributes": {"requester": "epi", "rows": 2},
+        }
+        assert log.enabled
+
+    def test_ring_is_bounded_but_sequence_is_not(self):
+        log = EventLog(max_events=3)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert [e.attributes["i"] for e in log.events()] == [7, 8, 9]
+        assert log.mark() == 10
+        # displacement is not loss — only sink backpressure counts
+        assert log.dropped_events == 0
+        with pytest.raises(ReproError, match="max_events"):
+            EventLog(max_events=0)
+
+    def test_name_filter_matches_exact_and_dotted_prefix(self):
+        log = EventLog()
+        log.emit("cache.requester_epoch")
+        log.emit("cache.hit")
+        log.emit("cachet")  # not a dotted child of "cache"
+        log.emit("pose.answered")
+        assert [e.name for e in log.events(name="cache")] == [
+            "cache.requester_epoch", "cache.hit",
+        ]
+        assert [e.name for e in log.events(name="cache.hit")] == ["cache.hit"]
+
+    def test_requester_filter(self):
+        log = EventLog()
+        log.emit("pose.answered", requester="epi")
+        log.emit("pose.answered", requester="bob")
+        log.emit("warehouse.epoch_invalidation")  # no requester at all
+        assert len(log.events(requester="epi")) == 1
+        assert log.events(requester="nobody") == []
+
+    def test_mark_and_since_window_one_pose(self):
+        log = EventLog()
+        log.emit("before")
+        mark = log.mark()
+        log.emit("during.1")
+        log.emit("during.2")
+        assert [e.name for e in log.since(mark)] == ["during.1", "during.2"]
+        assert log.since(log.mark()) == []
+
+    def test_tail_and_clear(self):
+        log = EventLog()
+        for i in range(5):
+            log.emit("tick", i=i)
+        assert [e.attributes["i"] for e in log.tail(2)] == [3, 4]
+        log.clear()
+        assert len(log) == 0
+        assert log.emit("next").seq == 6  # sequence keeps advancing
+
+    def test_emit_offers_every_event_to_the_sink(self):
+        sink = RecordingSink()
+        log = EventLog(sink=sink)
+        log.emit("one", a=1)
+        log.emit("two")
+        assert [r["name"] for r in sink.records] == ["one", "two"]
+        log.close()
+        assert sink.closed
+
+    def test_concurrent_emitters_never_share_a_sequence_number(self):
+        log = EventLog(max_events=4096)
+        def emitter(k):
+            for _ in range(200):
+                log.emit("tick", worker=k)
+        threads = [threading.Thread(target=emitter, args=(k,))
+                   for k in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        sequences = [e.seq for e in log.events()]
+        assert len(sequences) == len(set(sequences)) == 800
+        assert log.mark() == 800
+
+
+class TestJsonlSink:
+    def test_events_land_in_the_file_on_close(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(sink=JsonlSink(path))
+        log.emit("pose.answered", requester="epi")
+        log.emit("pose.refused", requester="bob", kind="PrivacyViolation")
+        log.close()
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        assert [r["name"] for r in records] == ["pose.answered",
+                                                "pose.refused"]
+        assert records[1]["attributes"]["kind"] == "PrivacyViolation"
+        assert log.sink.written == 2
+        assert log.dropped_events == 0
+
+    def test_full_queue_drops_and_counts_instead_of_blocking(self, tmp_path,
+                                                             monkeypatch):
+        release = threading.Event()
+        monkeypatch.setattr(JsonlSink, "_drain",
+                            lambda self: release.wait(10.0))
+        sink = JsonlSink(tmp_path / "events.jsonl", max_queue=2)
+        try:
+            assert sink.offer({"seq": 1}) is True
+            assert sink.offer({"seq": 2}) is True
+            assert sink.offer({"seq": 3}) is False  # queue full → dropped
+            assert sink.offer({"seq": 4}) is False
+            assert sink.dropped == 2
+        finally:
+            release.set()
+
+    def test_offers_after_close_are_dropped(self, tmp_path):
+        sink = JsonlSink(tmp_path / "events.jsonl")
+        sink.close()
+        assert sink.offer({"seq": 1}) is False
+        assert sink.dropped == 1
+        sink.close()  # idempotent
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(ReproError, match="max_queue"):
+            JsonlSink(tmp_path / "x.jsonl", max_queue=0)
+
+
+class TestNoopAndResolution:
+    def test_noop_allocates_and_records_nothing(self):
+        assert NOOP_EVENTS.emit("anything", requester="epi") is None
+        assert NOOP_EVENTS.events() == []
+        assert NOOP_EVENTS.tail() == []
+        assert NOOP_EVENTS.since(NOOP_EVENTS.mark()) == []
+        assert len(NOOP_EVENTS) == 0
+        assert NOOP_EVENTS.dropped_events == 0
+        assert not NOOP_EVENTS.enabled
+        NOOP_EVENTS.clear()
+        NOOP_EVENTS.close()
+
+    def test_resolve_events(self, tmp_path):
+        assert isinstance(resolve_events(None), EventLog)
+        assert isinstance(resolve_events(True), EventLog)
+        assert resolve_events(False) is NOOP_EVENTS
+        log = EventLog()
+        assert resolve_events(log) is log
+        assert resolve_events(NOOP_EVENTS) is NOOP_EVENTS
+        sinked = resolve_events(str(tmp_path / "events.jsonl"))
+        assert isinstance(sinked.sink, JsonlSink)
+        sinked.close()
+        with pytest.raises(ReproError, match="events must be"):
+            resolve_events(42)

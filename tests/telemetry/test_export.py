@@ -1,0 +1,153 @@
+"""Exporter schemas: Chrome trace-event JSON and Prometheus text format."""
+
+import json
+import re
+
+import pytest
+
+from repro import PrivateIye
+from repro.relational import Table
+from repro.telemetry.events import EventLog
+from repro.telemetry.export import (
+    chrome_trace,
+    events_jsonl,
+    metric_name,
+    prometheus_text,
+)
+
+POLICIES = """
+VIEW clinic_private { PRIVATE //patient/hba1c FORM aggregate; }
+POLICY clinic DEFAULT deny {
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.6;
+}
+"""
+
+
+class FakeSpan:
+    def __init__(self, name, start, end, attributes=None, children=()):
+        self.name = name
+        self.start = start
+        self.end = end
+        self.attributes = attributes or {}
+        self.children = list(children)
+
+    def walk(self):
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+#: Keys the Chrome trace-event format requires of a complete event.
+TRACE_EVENT_KEYS = {"name", "ph", "cat", "ts", "dur", "pid", "tid", "args"}
+
+
+class TestChromeTrace:
+    def test_document_schema(self):
+        child = FakeSpan("source.answer", 1.001, 1.004, {"source": "clinic"})
+        root = FakeSpan("mediator.pose", 1.0, 1.01,
+                        {"requester": "epi", "query": object()}, [child])
+        document = chrome_trace([root])
+        assert set(document) == {"traceEvents", "displayTimeUnit"}
+        assert document["displayTimeUnit"] == "ms"
+        assert len(document["traceEvents"]) == 2
+        for entry in document["traceEvents"]:
+            assert set(entry) == TRACE_EVENT_KEYS
+            assert entry["ph"] == "X"  # complete events
+            assert entry["dur"] >= 0.0
+        json.dumps(document)  # non-JSON attributes were coerced (repr)
+
+    def test_timestamps_are_microseconds_sorted(self):
+        spans = [FakeSpan("b", 2.0, 2.5), FakeSpan("a", 1.0, 1.25)]
+        entries = chrome_trace(spans)["traceEvents"]
+        assert [e["name"] for e in entries] == ["a", "b"]
+        assert entries[0]["ts"] == pytest.approx(1.0e6)
+        assert entries[0]["dur"] == pytest.approx(0.25e6)
+
+    def test_accepts_a_single_span_none_and_unstarted(self):
+        assert chrome_trace(None) == {"traceEvents": [],
+                                      "displayTimeUnit": "ms"}
+        lone = FakeSpan("x", 1.0, 2.0)
+        assert len(chrome_trace(lone)["traceEvents"]) == 1
+        unstarted = FakeSpan("y", None, None)
+        assert chrome_trace([unstarted])["traceEvents"] == []
+
+    def test_real_pose_trace_exports(self):
+        system = PrivateIye(telemetry=True)
+        system.load_policies(POLICIES,
+                             view_source={"clinic_private": "clinic"})
+        system.add_relational_source("clinic", Table.from_dicts(
+            "patients", [{"hba1c": 60.0 + i} for i in range(10)]
+        ))
+        system.query(
+            "SELECT AVG(//patient/hba1c) AS mean "
+            "PURPOSE outbreak-surveillance MAXLOSS 0.6",
+            requester="epi",
+        )
+        document = chrome_trace(system.telemetry.tracer.finished)
+        names = {entry["name"] for entry in document["traceEvents"]}
+        assert "mediator.pose" in names
+        assert "source.answer" in names
+        json.dumps(document)
+
+
+class TestPrometheusText:
+    SNAPSHOT = {
+        "counters": {"mediator.queries_answered": 3,
+                     "warehouse.hits": 1},
+        "gauges": {"dispatch.open_breakers": 0.0},
+        "histograms": {"mediator.pose_ms": {
+            "count": 3, "sum": 12.0, "mean": 4.0, "min": 2.0, "max": 6.0,
+            "p50": 4.0, "p95": 6.0, "p99": 6.0,
+        }},
+    }
+
+    def test_exposition_format_lines(self):
+        text = prometheus_text(self.SNAPSHOT)
+        assert text.endswith("\n")  # required by the format
+        lines = text.splitlines()
+        assert "# TYPE repro_mediator_queries_answered_total counter" in lines
+        assert "repro_mediator_queries_answered_total 3" in lines
+        assert "# TYPE repro_dispatch_open_breakers gauge" in lines
+        assert "# TYPE repro_mediator_pose_ms summary" in lines
+        assert 'repro_mediator_pose_ms{quantile="0.5"} 4.0' in lines
+        assert 'repro_mediator_pose_ms{quantile="0.99"} 6.0' in lines
+        assert "repro_mediator_pose_ms_count 3" in lines
+        assert "repro_mediator_pose_ms_sum 12.0" in lines
+
+    def test_every_sample_line_is_schema_valid(self):
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+            r'(\{quantile="0\.\d+"\})?'           # optional summary label
+            r" -?\d+(\.\d+([eE][+-]?\d+)?)?$"     # value
+        )
+        for line in prometheus_text(self.SNAPSHOT).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert sample.match(line), line
+
+    def test_empty_snapshot(self):
+        text = prometheus_text(
+            {"counters": {}, "gauges": {}, "histograms": {}}
+        )
+        assert text == "\n"
+
+    def test_metric_name_sanitization(self):
+        assert metric_name("mediator.pose_ms") == "repro_mediator_pose_ms"
+        assert metric_name("weird metric!") == "repro_weird_metric_"
+        assert metric_name("x", prefix="") == "x"
+        assert metric_name("9lives", prefix="").startswith("_")
+
+
+class TestEventsJsonl:
+    def test_round_trips_ring_objects_and_dicts(self):
+        log = EventLog(clock=lambda: 7.0)
+        log.emit("pose.answered", requester="epi")
+        text = events_jsonl(log.events())
+        assert text.endswith("\n")
+        record = json.loads(text.splitlines()[0])
+        assert record["name"] == "pose.answered"
+        assert record["ts"] == 7.0
+        # dicts (e.g. re-read from a file) encode identically
+        assert events_jsonl([record]) == text
+        assert events_jsonl([]) == ""

@@ -1,0 +1,120 @@
+"""The stdlib telemetry endpoint: /metrics, /events, /trace, /healthz."""
+
+import json
+from urllib.error import HTTPError
+from urllib.request import urlopen
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import Telemetry
+from repro.telemetry.http import (
+    PROMETHEUS_CONTENT_TYPE,
+    TelemetryServer,
+    dump_events,
+)
+
+
+@pytest.fixture()
+def telemetry():
+    instance = Telemetry(enabled=True)
+    instance.metrics.counter("mediator.queries_answered").inc(3)
+    instance.metrics.histogram("mediator.pose_ms").observe(4.0)
+    instance.events.emit("pose.answered", requester="epi", rows=2)
+    instance.events.emit("pose.refused", requester="bob", kind="Refusal")
+    return instance
+
+
+@pytest.fixture()
+def server(telemetry):
+    with TelemetryServer(telemetry) as running:
+        yield running
+
+
+def fetch(server, path):
+    with urlopen(server.url + path, timeout=5.0) as response:
+        return response.status, response.headers, response.read().decode()
+
+
+class TestRoutes:
+    def test_metrics_is_prometheus_exposition(self, server):
+        status, headers, body = fetch(server, "/metrics")
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        assert "repro_mediator_queries_answered_total 3" in body
+        assert "repro_mediator_pose_ms_count 1" in body
+
+    def test_events_returns_bounded_tail(self, server):
+        status, _, body = fetch(server, "/events")
+        assert status == 200
+        document = json.loads(body)
+        assert document["dropped_events"] == 0
+        assert [e["name"] for e in document["events"]] == [
+            "pose.answered", "pose.refused",
+        ]
+        # the first scrape's own access log is now the newest event;
+        # ?n=1 bounds the tail to exactly that
+        _, _, body = fetch(server, "/events?n=1")
+        assert [e["name"] for e in json.loads(body)["events"]] == [
+            "http.request",
+        ]
+
+    def test_events_rejects_non_integer_n(self, server):
+        with pytest.raises(HTTPError) as excinfo:
+            fetch(server, "/events?n=soon")
+        assert excinfo.value.code == 400
+        assert "integer" in json.loads(excinfo.value.read().decode())["error"]
+
+    def test_trace_is_a_chrome_trace_document(self, server, telemetry):
+        with telemetry.span("mediator.pose", requester="epi"):
+            pass
+        status, _, body = fetch(server, "/trace")
+        assert status == 200
+        document = json.loads(body)
+        assert "traceEvents" in document
+        assert document["traceEvents"][0]["name"] == "mediator.pose"
+        assert document["traceEvents"][0]["ph"] == "X"
+
+    def test_healthz(self, server):
+        status, _, body = fetch(server, "/healthz")
+        assert status == 200
+        document = json.loads(body)
+        assert document["status"] == "ok"
+        assert document["telemetry_enabled"] is True
+        assert document["events_retained"] >= 2
+
+    def test_unknown_path_is_404(self, server):
+        with pytest.raises(HTTPError) as excinfo:
+            fetch(server, "/nope")
+        assert excinfo.value.code == 404
+
+    def test_requests_are_logged_as_events_not_stderr(self, server,
+                                                      telemetry):
+        fetch(server, "/healthz")
+        requests = telemetry.events.events(name="http.request")
+        assert requests
+        assert "/healthz" in requests[-1].attributes["line"]
+
+
+class TestLifecycle:
+    def test_address_before_start_raises(self, telemetry):
+        server = TelemetryServer(telemetry)
+        with pytest.raises(ReproError, match="not started"):
+            server.address
+        address = server.start()
+        try:
+            assert server.address == address
+            assert server.url == f"http://{address[0]}:{address[1]}"
+            with pytest.raises(ReproError, match="already started"):
+                server.start()
+        finally:
+            server.close()
+        server.close()  # idempotent
+        assert "stopped" in repr(server)
+
+    def test_dump_events_writes_replayable_jsonl(self, telemetry, tmp_path):
+        path = dump_events(telemetry, tmp_path / "events.jsonl")
+        lines = [json.loads(line)
+                 for line in open(path, encoding="utf-8")]
+        assert [r["name"] for r in lines] == ["pose.answered",
+                                              "pose.refused"]

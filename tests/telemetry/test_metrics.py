@@ -49,7 +49,7 @@ class TestHistogramPercentiles:
 
     def test_empty_summary_is_zeroed(self):
         assert Histogram("empty").summary() == {
-            "count": 0, "mean": 0.0, "min": 0.0, "max": 0.0,
+            "count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0, "max": 0.0,
             "p50": 0.0, "p95": 0.0, "p99": 0.0,
         }
 

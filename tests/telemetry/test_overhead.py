@@ -1,0 +1,102 @@
+"""Overhead guards: disabled observability must cost (almost) nothing.
+
+The ISSUE pins two properties: with everything off, the query path holds
+only no-op singletons — no event objects, no sink, no journal, empty
+metrics; with everything on, a 100-pose loop finishes within a generous
+wall-clock bound (the point is catching pathological regressions like a
+per-pose SLSQP solve on non-aggregate queries, not micro-benchmarking).
+"""
+
+import time
+
+import pytest
+
+from repro import PrivateIye
+from repro.relational import Table
+from repro.telemetry import NOOP
+from repro.telemetry.events import NOOP_EVENTS, NoopEventLog
+
+POLICIES = """
+VIEW clinic_private { PRIVATE //patient/hba1c FORM aggregate; }
+POLICY clinic DEFAULT deny {
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.6;
+    ALLOW //patient/city FOR research;
+}
+"""
+
+AGGREGATE = (
+    "SELECT AVG(//patient/hba1c) AS mean "
+    "PURPOSE outbreak-surveillance MAXLOSS 0.6"
+)
+
+
+def build_system(**kwargs):
+    system = PrivateIye(**kwargs)
+    system.load_policies(POLICIES, view_source={"clinic_private": "clinic"})
+    system.add_relational_source("clinic", Table.from_dicts(
+        "patients",
+        [{"hba1c": 55.0 + i % 30, "city": ["pittsburgh", "butler"][i % 2]}
+         for i in range(40)],
+    ))
+    return system
+
+
+class TestDisabledPathIsInert:
+    def test_disabled_system_holds_only_noop_singletons(self):
+        system = build_system()
+        assert system.telemetry is NOOP
+        assert system.telemetry.events is NOOP_EVENTS
+        assert isinstance(system.telemetry.events, NoopEventLog)
+        assert system.telemetry.events.sink is None
+        assert system.engine.observatory is None
+
+    def test_disabled_poses_record_nothing(self):
+        system = build_system()
+        for _ in range(5):
+            system.query(AGGREGATE, requester="epi")
+        assert system.metrics_snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+        assert system.events_tail() == []
+        assert len(system.telemetry.events) == 0
+        assert system.telemetry.events.mark() == 0  # nothing ever emitted
+        assert system.explain_last() is None
+        assert system.audit_journal() is None
+
+    def test_noop_emit_allocates_no_event(self):
+        before = NOOP_EVENTS.mark()
+        result = NOOP_EVENTS.emit("pose.answered", requester="epi", rows=9)
+        assert result is None
+        assert NOOP_EVENTS.mark() == before
+        assert NOOP_EVENTS.events() == []
+
+
+class TestEnabledPathIsBounded:
+    #: Deliberately generous: CI machines vary wildly, and the guarded
+    #: failure mode (accidental per-pose bound solves, synchronous disk
+    #: flushes on the query path) costs orders of magnitude more.
+    WALL_CLOCK_BOUND_S = 60.0
+    POSES = 100
+
+    def test_hundred_pose_loop_with_everything_on(self, tmp_path):
+        system = build_system(
+            telemetry=True, observatory=True,
+            events=str(tmp_path / "events.jsonl"),
+        )
+        started = time.perf_counter()
+        for i in range(self.POSES):
+            system.query(AGGREGATE, requester=f"epi-{i % 7}")
+        elapsed = time.perf_counter() - started
+        assert elapsed < self.WALL_CLOCK_BOUND_S, (
+            f"{self.POSES} poses took {elapsed:.1f}s with observability on"
+        )
+        journal = system.audit_journal()
+        assert len(journal) == self.POSES
+        assert journal.verify_chain() == (True, None)
+        answered = system.telemetry.events.events(name="pose.answered")
+        assert len(answered) == self.POSES
+        assert system.telemetry.events.dropped_events == 0
+        snapshot = system.metrics_snapshot()
+        assert snapshot["counters"]["mediator.queries_answered"] == self.POSES
+        assert snapshot["histograms"]["mediator.pose_ms"][
+            "count"] == pytest.approx(self.POSES)
