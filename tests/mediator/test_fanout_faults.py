@@ -278,10 +278,12 @@ class TestTimeouts:
         system, flaky = build_flaky_system(
             3,
             schedule_for=lambda name, i: (
-                FaultSchedule([("hang", 0.4)]) if i == 2 else None
+                FaultSchedule([("hang", 0.8)]) if i == 2 else None
             ),
+            # deadline far above healthy-source latency (load tolerance)
+            # but well under the hang, so src02 alone can miss it
             dispatch=DispatchPolicy(
-                mode="concurrent", timeout_s=0.05, retries=0,
+                mode="concurrent", timeout_s=0.2, retries=0,
                 partial=("quorum", 2),
             ),
         )
