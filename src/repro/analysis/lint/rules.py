@@ -31,6 +31,11 @@ previously enforced only by convention and review:
   is invisible to the disclosure observatory's exporters and report
   CLI (the observability PR's invariant).  :mod:`repro.telemetry`
   itself — the sanctioned rendering layer — is exempt.
+* REP009 — every public name in :mod:`repro.persistence` carries a
+  docstring: the durability layer's API *is* its contract (what is
+  guaranteed to survive a crash at each point), and an undocumented
+  backend method is a crash-consistency bug waiting for a caller to
+  guess wrong (the durable-privacy-state PR's invariant).
 """
 
 from __future__ import annotations
@@ -277,6 +282,9 @@ LAYER_RANKS = {
     "analysis": 60,
     "observatory": 65,
     "mediator": 70,
+    # persistence captures/replays engine state wholesale, so it sits
+    # above the mediator; the engine reaches it via deferred import
+    "persistence": 75,
     "core": 80,
     "testing": 90,
     # the repro facade re-exports everything
@@ -515,3 +523,62 @@ def check_diagnostic_channels(context):
                     "rendering for humans)",
                     node,
                 )
+
+
+# -- REP009: undocumented public persistence API -------------------------------
+
+def _is_public_name(name):
+    """Public = not underscore-prefixed (dunders are implementation)."""
+    return not name.startswith("_")
+
+
+def _has_docstring(node):
+    """Whether a module/class/function node opens with a docstring."""
+    return ast.get_docstring(node, clean=False) is not None
+
+
+@rule("REP009", "public persistence API missing its durability docstring")
+def check_persistence_docstrings(context):
+    """Flag undocumented public names in the ``repro.persistence`` layer.
+
+    The durability layer is pure contract: callers decide what is safe
+    to release based on what each method *guarantees has already hit
+    the medium*, and recovery decides what to trust based on what each
+    loader promises about corruption.  A public module, class, or
+    function there without a docstring leaves that guarantee to
+    guesswork, so its absence is a finding — on the module itself, on
+    every public class, and on every public function or method
+    (underscore-prefixed helpers are exempt; document the callers
+    instead).
+    """
+    if not context.in_repro:
+        return
+    if _layer_of(context.module) != "persistence":
+        return
+    if not _has_docstring(context.tree):
+        yield context.finding(
+            "REP009",
+            "persistence module lacks a docstring — state the module's "
+            "durability contract (what survives a crash, and when)",
+            context.tree,
+        )
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.ClassDef):
+            if _is_public_name(node.name) and not _has_docstring(node):
+                yield context.finding(
+                    "REP009",
+                    f"public persistence class {node.name!r} lacks a "
+                    "docstring — document its durability contract",
+                    node,
+                )
+            continue
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if not _is_public_name(node.name) or _has_docstring(node):
+            continue
+        yield context.finding(
+            "REP009",
+            f"public persistence function {node.name!r} lacks a "
+            "docstring — state what is durable when it returns",
+            node,
+        )

@@ -18,19 +18,41 @@ Cached entries carry the ``(name, value)`` vector they were computed
 under; a lookup whose current vector differs is an invalidation, never a
 hit.  Counters only ever increase, so a stale entry can never validate
 again — there is no ABA problem.
+
+Bumps are *observable*: every ``bump()`` emits a ``cache.epoch_bump``
+telemetry event and notifies subscribed listeners, so external stores
+(the :mod:`repro.persistence` write-ahead log, the observatory) see
+each advance the moment it happens instead of polling ``to_dict()``.
+Recovery restores counters with :meth:`EpochRegistry.restore_floor`
+(a max, never an assignment), so a rebuilt registry can only
+over-invalidate relative to the pre-crash one — the safe direction.
 """
 
 from __future__ import annotations
 
 import threading
 
+from repro.telemetry.events import NOOP_EVENTS
+
 
 class EpochRegistry:
-    """Monotonic named counters, safe to bump/read from any thread."""
+    """Monotonic named counters, safe to bump/read from any thread.
+
+    Durability contract: the registry itself is process-local, but
+    every bump is pushed to listeners *after* the counter lock is
+    released (so a listener that persists — or raises — can never
+    deadlock the registry), and :meth:`restore_floor` lets recovery
+    replay persisted bumps without ever moving a counter backwards.
+    """
 
     def __init__(self):
         self._lock = threading.Lock()
         self._counters = {}
+        self._listeners = []
+        #: Event log ``cache.epoch_bump`` events land in; the owning
+        #: :class:`~repro.cache.mediation.MediationCache` points this
+        #: at the engine's telemetry.
+        self.events = NOOP_EVENTS
 
     def current(self, name):
         """The counter's current value (0 if never bumped)."""
@@ -38,11 +60,49 @@ class EpochRegistry:
             return self._counters.get(name, 0)
 
     def bump(self, name):
-        """Advance the counter; returns the new value."""
+        """Advance the counter; returns the new value.
+
+        Emits ``cache.epoch_bump`` and notifies every subscriber
+        outside the lock.  A subscriber that raises (e.g. a durability
+        failure in the write-ahead log) propagates to the bumper — an
+        unrecorded invalidation must fail loudly, not silently diverge
+        from the persisted stream.
+        """
         with self._lock:
             value = self._counters.get(name, 0) + 1
             self._counters[name] = value
-            return value
+        self.events.emit("cache.epoch_bump", epoch=name, value=value)
+        for listener in list(self._listeners):
+            listener(name, value)
+        return value
+
+    def subscribe(self, listener):
+        """Register ``listener(name, value)`` to run after every bump.
+
+        This is how the persistence sink records bumps write-ahead
+        (see :meth:`repro.persistence.PersistenceSink.bind`) — no
+        polling, no missed advances.  Returns the listener for
+        chaining.
+        """
+        with self._lock:
+            self._listeners.append(listener)
+        return listener
+
+    def restore_floor(self, name, value):
+        """Raise the counter to at least ``value`` (recovery path).
+
+        A max, never an assignment: counters bumped during rebuild
+        (source registration bumps ``schema`` before recovery runs)
+        are never rolled back, and replaying persisted bumps is
+        idempotent.  Listeners are *not* notified — the restored
+        values came from the store in the first place.  Returns the
+        resulting value.
+        """
+        with self._lock:
+            current = self._counters.get(name, 0)
+            restored = max(current, int(value))
+            self._counters[name] = restored
+            return restored
 
     def snapshot(self, names):
         """An immutable ``((name, value), ...)`` vector for ``names``."""

@@ -59,6 +59,7 @@ class MediationCache:
                                  ttl=ttl, clock=clock,
                                  telemetry=self._telemetry)
         self.epochs = EpochRegistry()
+        self.epochs.events = self._telemetry.events
         self.max_probe_signatures = max_probe_signatures
         self._probes = {}  # requester → set of seen aggregate probe sigs
 
@@ -70,11 +71,18 @@ class MediationCache:
 
     @telemetry.setter
     def telemetry(self, value):
-        """Propagate the engine's shared telemetry into every tier."""
+        """Propagate the engine's shared telemetry into every tier.
+
+        The epoch registry gets the event log too, so every bump emits
+        ``cache.epoch_bump`` into the deployment's stream (which is
+        what lets the persistence sink and observatory subscribe
+        instead of polling).
+        """
         with self._lock:
             self._telemetry = value
             for tier in (self.plans, self.static, self.rewrites):
                 tier.telemetry = value
+            self.epochs.events = value.events
 
     # -- tier 1: fragmentation plans ----------------------------------------
 
@@ -134,6 +142,26 @@ class MediationCache:
             "cache.requester_epoch", requester=requester, epoch=epoch,
         )
         return True
+
+    def restore_probe(self, requester, attributes, signature):
+        """Re-seed one seen probe signature WITHOUT bumping (recovery).
+
+        Recovery replays the persisted history to rebuild the novelty
+        sets, but the epoch values those probes once bumped are
+        floor-restored separately from the persisted bump records —
+        re-bumping here would double-count every probe and leave the
+        counters ahead of the recorded stream.  Returns whether the
+        probe was new to the set.
+        """
+        probe = (tuple(attributes), signature)
+        with self._lock:
+            seen = self._probes.setdefault(requester, set())
+            if probe in seen:
+                return False
+            if len(seen) >= self.max_probe_signatures:
+                seen.clear()
+            seen.add(probe)
+            return True
 
     def requester_epoch(self, requester):
         return self.epochs.current(requester_key(requester))

@@ -32,7 +32,7 @@ class PrivateIye:
                  warehouse_mode="hybrid", shared_secret="private-iye",
                  synonyms=None, telemetry=None, dispatch=None,
                  static_check=True, cache=True, events=None,
-                 observatory=None):
+                 observatory=None, persistence=None):
         self.policy_store = policy_store or PolicyStore()
         # ``events``: a JSONL path (async sink), True (ring only), or an
         # EventLog to share.  Asking for an event stream implies enabling
@@ -54,6 +54,7 @@ class PrivateIye:
             static_check=static_check,
             cache=cache,
             observatory=observatory,
+            persistence=persistence,
         )
         self._sessions = {}
 
@@ -277,6 +278,38 @@ class PrivateIye:
         """Journal + snooper-watch summary (empty dict when disabled)."""
         observatory = self.engine.observatory
         return observatory.report() if observatory is not None else {}
+
+    # -- durability ----------------------------------------------------------
+
+    @property
+    def persistence(self):
+        """The write-ahead persistence sink, or ``None`` when disabled.
+
+        Enable with ``PrivateIye(persistence=...)`` — a path (``*.db``
+        / ``*.sqlite`` opens the sqlite backend, any other string a
+        JSONL WAL directory), a backend, or a shared
+        :class:`~repro.persistence.PersistenceSink`.  See
+        ``docs/persistence.md`` for the durability model and runbook.
+        """
+        return self.engine.persistence
+
+    def recover(self):
+        """Replay the persistence store into this freshly built system.
+
+        Call after rebuilding the deployment (same sources, same
+        policies, same ``persistence=`` target) and *before* serving
+        queries: it restores the query history, cumulative disclosure
+        accounting, the audit journal (re-verifying its sha256 chain
+        across the restart boundary), SnooperWatch ledgers, and cache
+        epoch floors.  Returns a
+        :class:`~repro.persistence.recovery.RecoveryReport`; raises
+        :class:`~repro.errors.PersistenceError` on corruption, a chain
+        break, or when persistence is disabled.
+        """
+        from repro.persistence.recovery import recover
+
+        self.engine._ensure_schema()
+        return recover(self.engine)
 
     def events_tail(self, n=20):
         """The newest structured events (empty with telemetry disabled)."""

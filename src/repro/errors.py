@@ -66,6 +66,18 @@ class CacheError(ReproError):
     """Cache-layer misuse (bad capacity, bad constructor argument, ...)."""
 
 
+class PersistenceError(ReproError):
+    """Durability-layer failure (corrupt log, broken chain, bad backend).
+
+    Raised by :mod:`repro.persistence` when a write-ahead log cannot be
+    appended to, a stored snapshot or log fails to parse on recovery, or
+    the recovered audit-journal hash chain does not verify.  Recovery
+    treats every one of these as fatal: serving queries on top of
+    privacy accounting that may have silently lost releases would void
+    the cumulative-disclosure guarantee.
+    """
+
+
 class TransientSourceError(ReproError):
     """A source call failed for a *transport* reason that may heal.
 

@@ -18,6 +18,14 @@ other sources."  Two mechanisms:
 Each verification also feeds the telemetry registry (``control.*``
 counters and the aggregated-loss histogram); the per-query loss ledger
 itself lives in the engine's explain report (:mod:`repro.telemetry`).
+
+Durability contract (:mod:`repro.persistence`): this module is
+deliberately stateless per pose — the per-source and aggregated losses
+it computes are what the engine writes ahead of answer release, and the
+*cumulative* compounding over poses lives in the audit journal
+(:mod:`repro.observatory.journal`), which is what recovery restores.
+``notices_sent`` is a best-effort operator courtesy, not accounting,
+and is intentionally not persisted.
 """
 
 from __future__ import annotations

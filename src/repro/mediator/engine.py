@@ -14,6 +14,16 @@ warehouse hit/miss, each source's answer or refusal (with the refusal
 *kind* preserved), and the aggregated loss checked against the
 requester's MAXLOSS.  With telemetry disabled (the default) all of this
 degrades to no-op singleton calls; see :mod:`repro.telemetry`.
+
+Durability contract (:mod:`repro.persistence`): with a persistence sink
+attached, every pose's privacy effects — the history entry, the journal
+record, per-source losses, released cells — are appended to the
+write-ahead log durably *before* the answer is released to the caller
+(and before a refusal is re-raised).  A crash at any instant therefore
+leaves the store describing a superset of what requesters were shown:
+charged-but-unreleased is possible, released-but-forgotten is not.
+With ``persistence=None`` (the default) the query path carries a single
+``is not None`` check and behaves byte-identically to before.
 """
 
 from __future__ import annotations
@@ -35,7 +45,7 @@ from repro.mediator.history import MediatorHistory, SequenceGuard
 from repro.mediator.integrator import IntegratedResult, ResultIntegrator
 from repro.mediator.mediated_schema import MediatedSchema, SourceExport
 from repro.mediator.warehouse import Warehouse
-from repro.observatory import resolve_observatory
+from repro.observatory import released_cells, resolve_observatory
 from repro.policy.model import DisclosureForm
 from repro.query.language import parse_piql
 from repro.query.model import PiqlQuery
@@ -48,7 +58,7 @@ class MediationEngine:
     def __init__(self, shared_secret="mediation-secret", linkage_attributes=(),
                  synonyms=None, warehouse=None, max_distinct_probes=4,
                  telemetry=None, dispatch=None, static_check=True,
-                 cache=True, observatory=None):
+                 cache=True, observatory=None, persistence=None):
         self.shared_secret = shared_secret
         self.linkage_attributes = list(linkage_attributes)
         self.synonyms = synonyms
@@ -91,6 +101,21 @@ class MediationEngine:
         self.control = PrivacyControl(telemetry=self.telemetry)
         self.history = MediatorHistory()
         self._sequence_guard = None
+
+        # ``persistence``: None (default — in-memory privacy state,
+        # byte-identical to the pre-durability behavior), True (a
+        # memory-backend sink for restart simulation), a path / backend
+        # / PersistenceSink (share one across rebuilds — that *is* the
+        # restart story).  Deferred import: the persistence layer sits
+        # *above* the mediator in the layering (it captures engine
+        # state wholesale), so the module-level dependency must point
+        # the other way.
+        self.persistence = None
+        if persistence is not None and persistence is not False:
+            from repro.persistence import resolve_persistence
+
+            self.persistence = resolve_persistence(persistence)
+            self.persistence.bind(self)
 
     # -- setup ----------------------------------------------------------------
 
@@ -177,12 +202,16 @@ class MediationEngine:
         fingerprint = plan_fingerprint(canonical, requester, role,
                                        subjects, policy_epoch)
         event_mark = events.mark()
+        # ``effects`` collects the pose's durable side effects (the
+        # history entry, for now) as ``_pose`` produces them, so the
+        # write-ahead record below carries exactly what was charged.
+        effects = {}
         with telemetry.span("mediator.pose", requester=requester) as span:
             try:
                 result = self._pose(
                     query, requester, role, subjects, emergency,
                     use_warehouse, report, canonical, fingerprint,
-                    policy_epoch,
+                    policy_epoch, effects,
                 )
             except ReproError as error:
                 report.finish("refused", error=error,
@@ -196,11 +225,27 @@ class MediationEngine:
                     fingerprint=fingerprint,
                     kind=type(error).__name__, reason=str(error),
                 )
+                audit = None
                 if observatory is not None:
-                    report.set_audit(observatory.record_pose(
+                    audit = observatory.record_pose(
                         requester, fingerprint, "refused",
                         kind=type(error).__name__,
-                    ))
+                    )
+                    report.set_audit(audit)
+                if self.persistence is not None:
+                    # Refusals are durable too: a refusal that was
+                    # final before a crash must stay final after it,
+                    # which takes the (guard-)history entry and the
+                    # journal record surviving the restart.
+                    self.persistence.record_pose({
+                        "requester": requester,
+                        "fingerprint": fingerprint,
+                        "status": "refused",
+                        "refusal_kind": type(error).__name__,
+                        "history": effects.get("history"),
+                        "journal": (audit.to_dict()
+                                    if audit is not None else None),
+                    })
                 report.set_events(events.since(event_mark))
                 raise
         record = None
@@ -211,6 +256,23 @@ class MediationEngine:
                 aggregated_loss=result.aggregated_loss,
             )
             report.set_audit(record)
+        if self.persistence is not None:
+            # THE write-ahead point: every privacy-relevant effect of
+            # this pose is durable before the answer object is released
+            # to the caller (the ``pose.answered`` event, the snooper
+            # fold, and the return all happen after this line).
+            self.persistence.record_pose({
+                "requester": requester,
+                "fingerprint": fingerprint,
+                "status": "answered",
+                "history": effects.get("history"),
+                "journal": record.to_dict() if record is not None else None,
+                "per_source_loss": dict(result.per_source_loss),
+                "aggregated_loss": result.aggregated_loss,
+                "cells": [list(cell)
+                          for cell in released_cells(query, result)],
+                "pose_counted": observatory is not None,
+            })
         events.emit(
             "pose.answered", requester=requester, fingerprint=fingerprint,
             rows=len(result.rows), aggregated_loss=result.aggregated_loss,
@@ -235,7 +297,8 @@ class MediationEngine:
         return result
 
     def _pose(self, query, requester, role, subjects, emergency,
-              use_warehouse, report, canonical, fingerprint, policy_epoch):
+              use_warehouse, report, canonical, fingerprint, policy_epoch,
+              effects):
         """The ``pose()`` pipeline body (refusals propagate to the caller).
 
         The mediation cache accelerates this path but never shortens the
@@ -243,6 +306,11 @@ class MediationEngine:
         records, on *every* pose — a cached answer is charged exactly
         like a fresh one.  Caching never bypasses auditing (see
         ``docs/performance.md``).
+
+        ``effects`` is the caller's accumulator for durable side
+        effects: both history-record sites (the guard-refusal one and
+        the answered one) deposit the entry's logged form there so the
+        caller can write it ahead of releasing the outcome.
         """
         telemetry = self.telemetry
         cache = self.cache
@@ -266,10 +334,11 @@ class MediationEngine:
                 )
             except AuditRefusal as refusal:
                 report.set_guard("refused", str(refusal))
-                self.history.record(
+                entry = self.history.record(
                     requester, attributes, signature, query.is_aggregate,
                     refused=True,
                 )
+                effects["history"] = entry.to_dict()
                 raise
         report.set_guard("pass")
 
@@ -333,9 +402,10 @@ class MediationEngine:
             )
         report.set_cache(cache_info)
 
-        self.history.record(
+        entry = self.history.record(
             requester, attributes, signature, query.is_aggregate
         )
+        effects["history"] = entry.to_dict()
         telemetry.metrics.gauge("mediator.history_entries").set(
             len(self.history)
         )

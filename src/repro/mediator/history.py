@@ -11,11 +11,17 @@ Guard activity is observable: checks, refusals, and the distinct-probe
 distribution are reported as ``sequence_guard.*`` metrics, and each
 verdict (with the refusing reason) lands in the query's explain report
 (:mod:`repro.telemetry`).
+
+Durability contract (:mod:`repro.persistence`): the guard derives all
+of its state from the history entries, so persisting each entry
+write-ahead — and restoring them with :meth:`MediatorHistory.restore`
+on recovery — is sufficient to make every pre-crash refusal final
+after a restart.  :meth:`HistoryEntry.to_dict` is the logged form.
 """
 
 from __future__ import annotations
 
-from repro.errors import AuditRefusal, ReproError
+from repro.errors import AuditRefusal, PersistenceError, ReproError
 from repro.telemetry import NOOP
 
 
@@ -30,6 +36,32 @@ class HistoryEntry:
         self.predicate_signature = predicate_signature
         self.is_aggregate = is_aggregate
         self.refused = refused
+
+    def to_dict(self):
+        """JSON-serializable form — what the write-ahead log stores.
+
+        Attribute order is canonicalized (sorted) so the logged bytes
+        are deterministic; :func:`HistoryEntry.from_dict` round-trips
+        it exactly, which is what keeps the SequenceGuard's verdicts
+        identical across a restart.
+        """
+        return {
+            "sequence": self.sequence,
+            "requester": self.requester,
+            "attributes": sorted(self.attributes),
+            "predicate_signature": self.predicate_signature,
+            "is_aggregate": self.is_aggregate,
+            "refused": self.refused,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild an entry from its logged form (recovery path)."""
+        return cls(
+            data["sequence"], data["requester"], data["attributes"],
+            data["predicate_signature"], data["is_aggregate"],
+            data["refused"],
+        )
 
     def __repr__(self):
         status = "refused" if self.refused else "ok"
@@ -59,6 +91,37 @@ class MediatorHistory:
         if requester is None:
             return list(self._entries)
         return [e for e in self._entries if e.requester == requester]
+
+    def state_dict(self):
+        """Snapshot form: the full entry list plus the sequence cursor.
+
+        Everything the SequenceGuard (and recovery) needs — restoring
+        this dict with :meth:`restore` reproduces guard verdicts
+        bit-for-bit, because the guard reads nothing but entries.
+        """
+        return {
+            "sequence": self._sequence,
+            "entries": [e.to_dict() for e in self._entries],
+        }
+
+    def restore(self, entries):
+        """Rebuild the history from logged entry dicts (recovery path).
+
+        Only valid on an empty history — recovery always targets a
+        freshly built engine; restoring over live entries would
+        interleave two accounting streams, so it is refused outright.
+        The sequence cursor resumes past the highest restored entry.
+        """
+        if self._entries:
+            raise PersistenceError(
+                "cannot restore into a non-empty MediatorHistory "
+                f"({len(self._entries)} live entries)"
+            )
+        self._entries = [HistoryEntry.from_dict(e) for e in entries]
+        self._sequence = max(
+            (e.sequence for e in self._entries), default=0
+        )
+        return self._entries
 
     def __len__(self):
         return len(self._entries)

@@ -44,9 +44,35 @@ __all__ = [
     "Observatory",
     "SnooperAlert",
     "SnooperWatch",
+    "released_cells",
     "resolve_observatory",
     "verify_records",
 ]
+
+
+def released_cells(query, result):
+    """The exact per-source cells an answered query handed the requester.
+
+    Ungrouped aggregate results release one row per source (tagged
+    ``_source`` by the integrator), each an exact cell under the
+    aggregate's alias — precisely the knowledge a Figure 1 adversary
+    accumulates.  Returns ``[(measure, source, value), ...]``; empty
+    for non-aggregates and grouped queries.  Shared by the snooper
+    ledger fold below and by the engine's write-ahead pose record
+    (:mod:`repro.persistence`), so what is persisted is byte-for-byte
+    what the watch learned.
+    """
+    cells = []
+    if (isinstance(query, PiqlQuery) and query.is_aggregate
+            and not query.group_by):
+        for item in query.aggregates:
+            for row in result.rows:
+                source = row.get("_source")
+                value = row.get(item.alias)
+                if source is None or not isinstance(value, (int, float)):
+                    continue
+                cells.append((item.alias, source, float(value)))
+    return cells
 
 
 class Observatory:
@@ -59,6 +85,10 @@ class Observatory:
             min_interval_width=min_interval_width, check_every=check_every,
         )
         self._events = NOOP_EVENTS
+        #: Write-ahead sink for out-of-band publications; attached by
+        #: :meth:`repro.persistence.PersistenceSink.bind` (``None``
+        #: keeps publications memory-only, today's default).
+        self.persistence = None
 
     @property
     def events(self):
@@ -90,16 +120,8 @@ class Observatory:
         the measure label.  Then counts the pose and, on cadence,
         replays the ledger; returns any fresh alerts.
         """
-        if (isinstance(query, PiqlQuery) and query.is_aggregate
-                and not query.group_by):
-            for item in query.aggregates:
-                for row in result.rows:
-                    source = row.get("_source")
-                    value = row.get(item.alias)
-                    if source is None or not isinstance(value, (int, float)):
-                        continue
-                    self.watch.note_cell(requester, item.alias, source,
-                                         value)
+        for measure, source, value in released_cells(query, result):
+            self.watch.note_cell(requester, measure, source, value)
         return self.watch.note_pose(requester)
 
     def note_publication(self, requester, row_stats=None, source_means=None,
@@ -114,7 +136,22 @@ class Observatory:
         all four HMOs; its source means span all three tests) — see
         :meth:`SnooperWatch.note_row_stat`.  With ``check=True`` the
         ledger is replayed immediately; returns any fresh alerts.
+
+        Durability: with a persistence sink attached, the publication
+        is appended to the write-ahead log *before* it is folded into
+        the ledger — a crash can leave a publication recorded but
+        unfolded (recovery replays it), never folded but forgotten.
         """
+        if self.persistence is not None:
+            normalized = {
+                measure: (stat if isinstance(stat, tuple) else (stat, None))
+                for measure, stat in (row_stats or {}).items()
+            }
+            self.persistence.record_publication(
+                requester, row_stats=normalized,
+                source_means=source_means, own_data=own_data,
+                sources=sources, measures=measures,
+            )
         for measure, stat in (row_stats or {}).items():
             mean, std = stat if isinstance(stat, tuple) else (stat, None)
             self.watch.note_row_stat(requester, measure, mean, std=std,

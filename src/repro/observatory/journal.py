@@ -21,6 +21,14 @@ append-only by design: there is deliberately no ``clear()``.
 Records serialize to JSON Lines (``to_jsonl()``) and re-verify offline
 (:func:`verify_records`), which is what ``python -m repro.telemetry.report
 --journal`` does.
+
+Durability contract (:mod:`repro.persistence`): every record's
+``to_dict()`` form — hashes included — is written ahead of answer
+release, and snapshots store the folded prefix verbatim, so the chain
+spans compaction and restart boundaries unbroken.  :meth:`AuditJournal.
+restore` rebuilds a journal from those dicts by *recomputing* every
+hash, making post-recovery ``verify_chain()`` a real re-verification,
+not a replay of stored claims.
 """
 
 from __future__ import annotations
@@ -30,7 +38,7 @@ import json
 import threading
 import time
 
-from repro.errors import ReproError
+from repro.errors import PersistenceError, ReproError
 
 #: The chain's genesis "previous hash" — 64 zero hex digits.
 GENESIS_HASH = "0" * 64
@@ -148,6 +156,50 @@ class AuditJournal:
             )
             self._records.append(record)
             return record
+
+    def restore(self, records):
+        """Rebuild the journal from serialized records (recovery path).
+
+        Durability contract: each record is reconstructed from its
+        payload and ``prev_hash``, which *recomputes* every sha256 link
+        — a single damaged byte anywhere in the stored chain surfaces
+        as a :class:`~repro.errors.PersistenceError` here, never as a
+        silently divergent journal.  Restoring also rebuilds the
+        per-requester cumulative-disclosure accumulators, so
+        ``cumulative_loss()`` continues compounding exactly where the
+        pre-crash process stopped.  Only valid on an empty journal.
+        """
+        with self._lock:
+            if self._records:
+                raise PersistenceError(
+                    "cannot restore into a non-empty AuditJournal "
+                    f"({len(self._records)} live records)"
+                )
+            prev = GENESIS_HASH
+            for data in records:
+                record = JournalRecord(
+                    seq=data["seq"], ts=data["ts"],
+                    requester=data["requester"],
+                    fingerprint=data["fingerprint"],
+                    status=data["status"], kind=data["kind"],
+                    per_source_loss=dict(data["per_source_loss"]),
+                    aggregated_loss=data["aggregated_loss"],
+                    cumulative_loss=data["cumulative_loss"],
+                    prev_hash=prev,
+                )
+                if (record.hash != data.get("hash")
+                        or data.get("prev_hash") != prev):
+                    raise PersistenceError(
+                        f"journal restore: record seq {data.get('seq')} "
+                        "fails hash-chain verification"
+                    )
+                self._records.append(record)
+                if record.status == STATUS_ANSWERED:
+                    self._cumulative[record.requester] = (
+                        record.cumulative_loss
+                    )
+                prev = record.hash
+            return list(self._records)
 
     # -- reading -----------------------------------------------------------
 

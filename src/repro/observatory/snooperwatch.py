@@ -26,6 +26,14 @@ stds.
 The bound replay costs SLSQP solves, so ``check_every`` trades latency
 for vigilance (``1`` replays after every pose); alerts deduplicate on
 ``(requester, measure, source)`` so a breach fires exactly once.
+
+Durability contract (:mod:`repro.persistence`): the knowledge ledgers
+and pose counters round-trip through :meth:`SnooperWatch.state_dict` /
+:meth:`SnooperWatch.restore_state`, and newer logged releases replay
+through the ordinary ``note_*`` calls — so after ``recover()`` the
+solver sees the identical matrix it saw before the crash.  Alert dedup
+(``_alerted``) is process-local *by design*: a standing breach re-fires
+once after every restart (at-least-once alerting for operators).
 """
 
 from __future__ import annotations
@@ -298,6 +306,100 @@ class SnooperWatch:
         """Alerts raised against one requester, oldest first."""
         with self._lock:
             return [a for a in self.alerts if a.requester == requester]
+
+    # -- persistence (see repro.persistence) -------------------------------
+
+    def requesters(self):
+        """Every requester with a knowledge ledger, sorted."""
+        with self._lock:
+            return sorted(self._knowledge)
+
+    def state_dict(self):
+        """Snapshot form: every ledger plus the pose cadence counters.
+
+        Durability contract: this captures exactly what a Figure 1
+        adversary retains — cells, row stats, source means, and the
+        insertion order of the matrix labels (the bound solver's row/
+        column order).  ``_alerted`` dedup state is deliberately *not*
+        captured: after recovery a standing breach re-fires, giving
+        operators at-least-once alerting across restarts.
+        """
+        with self._lock:
+            knowledge = {
+                requester: {
+                    "measures": list(ledger.measures),
+                    "sources": list(ledger.sources),
+                    "cells": [
+                        [measure, source, value]
+                        for (measure, source), value in ledger.cells.items()
+                    ],
+                    "row_means": {
+                        measure: [mean,
+                                  sorted(span) if span is not None else None]
+                        for measure, (mean, span) in ledger.row_means.items()
+                    },
+                    "row_stds": dict(ledger.row_stds),
+                    "source_means": {
+                        source: [mean,
+                                 sorted(span) if span is not None else None]
+                        for source, (mean, span)
+                        in ledger.source_means.items()
+                    },
+                }
+                for requester, ledger in self._knowledge.items()
+            }
+            return {"knowledge": knowledge, "poses": dict(self._poses)}
+
+    def restore_state(self, state):
+        """Rebuild ledgers from :meth:`state_dict` output (recovery).
+
+        Replaces any same-named requester's ledger wholesale — recovery
+        targets a freshly built watch, and the snapshot is the folded
+        truth for everything at or before its sequence.  Newer logged
+        releases are replayed on top via the ordinary ``note_*`` calls.
+        """
+        with self._lock:
+            for requester, data in (state.get("knowledge") or {}).items():
+                ledger = _Knowledge()
+                ledger.measures = list(data.get("measures", ()))
+                ledger.sources = list(data.get("sources", ()))
+                ledger.cells = {
+                    (measure, source): float(value)
+                    for measure, source, value in data.get("cells", ())
+                }
+                ledger.row_means = {
+                    measure: (float(mean),
+                              frozenset(span) if span is not None else None)
+                    for measure, (mean, span)
+                    in (data.get("row_means") or {}).items()
+                }
+                ledger.row_stds = {
+                    measure: float(std)
+                    for measure, std in (data.get("row_stds") or {}).items()
+                }
+                ledger.source_means = {
+                    source: (float(mean),
+                             frozenset(span) if span is not None else None)
+                    for source, (mean, span)
+                    in (data.get("source_means") or {}).items()
+                }
+                self._knowledge[requester] = ledger
+            for requester, count in (state.get("poses") or {}).items():
+                self._poses[requester] = int(count)
+
+    def absorb_poses(self, counts):
+        """Add pose counts without triggering cadence checks (recovery).
+
+        Replayed poses were already checked by the pre-crash process;
+        recovery runs one explicit :meth:`check` pass per requester at
+        the end instead, so alerts fire exactly once per replay rather
+        than once per replayed pose.
+        """
+        with self._lock:
+            for requester, count in counts.items():
+                self._poses[requester] = (
+                    self._poses.get(requester, 0) + int(count)
+                )
 
     def __repr__(self):
         return (f"SnooperWatch(threshold={self.min_interval_width}, "

@@ -1,0 +1,278 @@
+"""Durable, restart-safe privacy state — the ``repro.persistence`` layer.
+
+A PRIVATE-IYE mediator's inference-control guarantee is defined over the
+*cumulative* sequence of releases, so the one thing it must never forget
+across a restart is what each requester has already learned.  This
+package puts that state — query history, cumulative disclosure loss,
+the hash-chained audit journal, SnooperWatch knowledge, cache epochs —
+behind a write-ahead log:
+
+* :class:`PersistenceSink` — the engine-facing front.  One record per
+  pose (requester, fingerprint, history delta, journal record,
+  per-source losses, released cells), appended durably **before** the
+  answer is released; plus records for out-of-band publications and
+  epoch bumps.  Periodically folds the log into a snapshot and
+  compacts.
+* backends — :class:`~repro.persistence.wal.WalBackend` (append-only
+  JSONL + snapshot file), :class:`~repro.persistence.sqlite.
+  SqliteBackend` (WAL-mode sqlite), :class:`~repro.persistence.base.
+  MemoryBackend` (tests).  Select via ``PrivateIye(persistence=...)``;
+  the default ``None`` keeps today's in-memory behavior byte for byte.
+* :func:`~repro.persistence.recovery.recover` — replays snapshot + log
+  into a freshly built system, re-verifying the journal's sha256 chain
+  across the restart boundary.
+
+The write-ahead discipline means a crash can leave a pose *charged but
+unreleased* — the conservative direction — and never the reverse; see
+``docs/persistence.md`` for the full crash-consistency argument and the
+operations runbook.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+
+from repro.errors import PersistenceError
+from repro.persistence.base import MemoryBackend, PersistenceBackend
+from repro.persistence.snapshot import capture_state
+from repro.persistence.sqlite import SqliteBackend
+from repro.persistence.wal import WalBackend
+
+__all__ = [
+    "KIND_EPOCH",
+    "KIND_POSE",
+    "KIND_PUBLICATION",
+    "MemoryBackend",
+    "PersistenceBackend",
+    "PersistenceSink",
+    "SqliteBackend",
+    "WalBackend",
+    "resolve_persistence",
+]
+
+#: Record kinds in the write-ahead log.
+KIND_POSE = "pose"
+KIND_PUBLICATION = "publication"
+KIND_EPOCH = "epoch"
+
+#: Default compaction cadence (records between snapshots).
+DEFAULT_SNAPSHOT_EVERY = 256
+
+
+class PersistenceSink:
+    """The engine-facing front of a durability backend.
+
+    Owns the global sequence numbering, the write-ahead ordering, and
+    the compaction cadence.  The invariant every caller relies on:
+    **when a ``record_*`` call returns, the record is durable** — the
+    engine releases an answer only after :meth:`record_pose` returns,
+    so a crash at any instant leaves the store describing a superset of
+    what requesters were actually shown (charged-but-unreleased, never
+    released-but-forgotten).
+
+    ``crash_hook`` is the fault-injection point the crash-recovery
+    tests use: it runs *after* the durable append and *before* the
+    caller regains control — exactly the window the write-ahead
+    discipline is about.
+    """
+
+    def __init__(self, backend, snapshot_every=DEFAULT_SNAPSHOT_EVERY,
+                 crash_hook=None):
+        if not isinstance(backend, PersistenceBackend):
+            raise PersistenceError(
+                "PersistenceSink needs a PersistenceBackend, not "
+                f"{type(backend).__name__}"
+            )
+        if snapshot_every is not None and snapshot_every < 1:
+            raise PersistenceError("snapshot_every must be >= 1 or None")
+        self.backend = backend
+        self.snapshot_every = snapshot_every
+        self.crash_hook = crash_hook
+        #: Zero-argument callable returning the snapshot state dict;
+        #: set by :meth:`bind` (or directly by tests).
+        self.state_provider = None
+        self._lock = threading.Lock()
+        self._seq = backend.last_seq()
+        self._since_compact = 0
+        self._suspended = False
+
+    # -- wiring --------------------------------------------------------------
+
+    def bind(self, engine):
+        """Attach the sink to a mediation engine (called by the engine).
+
+        Sets the snapshot ``state_provider``, subscribes to epoch bumps
+        (so every bump lands in the log the moment it happens — no
+        polling), and hands the observatory a reference so out-of-band
+        publications are journaled write-ahead too.
+        """
+        with self._lock:
+            self.state_provider = lambda: capture_state(engine)
+        if engine.cache is not None:
+            engine.cache.epochs.subscribe(self.record_epoch)
+        if engine.observatory is not None:
+            engine.observatory.persistence = self
+
+    # -- recording (all durable before return) -------------------------------
+
+    def record_pose(self, effects):
+        """Durably append one pose's privacy effects; returns its seq.
+
+        ``effects`` carries requester, fingerprint, status, the history
+        entry, the journal record (verbatim, hashes included), losses,
+        and released cells.  The engine calls this *before* releasing
+        the answer (or re-raising the refusal) — the write-ahead point.
+        """
+        record = dict(effects)
+        record["kind"] = KIND_POSE
+        return self._append(record)
+
+    def record_publication(self, requester, row_stats=None,
+                           source_means=None, own_data=None, sources=None,
+                           measures=None):
+        """Durably append one out-of-band publication (Figure 1 tables).
+
+        Called by :meth:`Observatory.note_publication
+        <repro.observatory.Observatory.note_publication>` before the
+        knowledge is folded into the snooper ledger, so a crash cannot
+        forget what a requester was already shown.
+        """
+        return self._append({
+            "kind": KIND_PUBLICATION,
+            "requester": requester,
+            "row_stats": {
+                measure: list(stat) for measure, stat in
+                (row_stats or {}).items()
+            },
+            "source_means": dict(source_means or {}),
+            "own_data": {source: dict(values) for source, values in
+                         (own_data or {}).items()},
+            "sources": list(sources) if sources is not None else None,
+            "measures": list(measures) if measures is not None else None,
+        })
+
+    def record_epoch(self, name, value):
+        """Durably append one epoch bump (subscribed to the registry).
+
+        Epoch records make the counters *observable* instead of polled:
+        recovery floor-restores from them, so a rebuilt cache can never
+        serve an entry validated under a pre-crash epoch.
+        """
+        return self._append({"kind": KIND_EPOCH, "name": name,
+                             "value": int(value)})
+
+    # -- maintenance ---------------------------------------------------------
+
+    @contextlib.contextmanager
+    def suspended(self):
+        """Context manager: drop appends while recovery replays state.
+
+        Replaying history re-runs ``note_probe`` and friends, which
+        would re-emit records that are already in the log; suspension
+        makes the replay side-effect-free on the store.
+        """
+        with self._lock:
+            self._suspended = True
+        try:
+            yield self
+        finally:
+            with self._lock:
+                self._suspended = False
+
+    def load(self):
+        """The backend's ``(snapshot, records)`` — recovery's inputs."""
+        return self.backend.load()
+
+    def compact_now(self):
+        """Snapshot + compact immediately; returns the folded seq.
+
+        Requires a bound ``state_provider``.  Held under the sink lock
+        so the captured state and the folded seq agree — no record can
+        land between the capture and the compaction.
+        """
+        if self.state_provider is None:
+            raise PersistenceError(
+                "compact_now needs a state_provider (bind the sink first)"
+            )
+        with self._lock:
+            return self._compact_locked()
+
+    def stats(self):
+        """Backend stats plus the sink's own counters."""
+        info = self.backend.stats()
+        info["last_seq"] = self._seq
+        info["snapshot_every"] = self.snapshot_every
+        return info
+
+    def close(self):
+        """Close the backend."""
+        self.backend.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _append(self, record):
+        """Assign a seq, durably append, run the crash hook, maybe compact.
+
+        The crash hook runs after the append (the record is already
+        durable) and before control returns (the answer is not yet
+        released) — a hook that raises simulates a crash in exactly the
+        window the write-ahead discipline protects.
+        """
+        if self._suspended:
+            return None
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self.backend.append(record)
+            seq = self._seq
+            self._since_compact += 1
+            if self.crash_hook is not None:
+                self.crash_hook(record)
+            if (self.snapshot_every is not None
+                    and self.state_provider is not None
+                    and self._since_compact >= self.snapshot_every):
+                self._compact_locked()
+        return seq
+
+    def _compact_locked(self):
+        """Capture state and compact through the current seq (lock held)."""
+        state = self.state_provider()
+        self.backend.compact(state, self._seq)
+        # repro-lint: disable=REP001 -- caller holds self._lock
+        self._since_compact = 0
+        return self._seq
+
+    def __repr__(self):
+        return (f"PersistenceSink({self.backend!r}, "
+                f"seq={self._seq})")
+
+
+def resolve_persistence(persistence):
+    """Normalize the ``persistence`` constructor argument.
+
+    ``None``/``False`` → ``None`` (today's in-memory behavior, the
+    default); ``True`` → a sink over a fresh :class:`MemoryBackend`
+    (restart-simulation without disk); a backend → wrapped in a sink; a
+    :class:`PersistenceSink` passes through (share one across rebuilds
+    — that *is* the restart story).  A string selects a disk backend by
+    shape: paths ending in ``.sqlite``/``.db`` open a
+    :class:`~repro.persistence.sqlite.SqliteBackend`, anything else is
+    a :class:`~repro.persistence.wal.WalBackend` directory.
+    """
+    if persistence is None or persistence is False:
+        return None
+    if persistence is True:
+        return PersistenceSink(MemoryBackend())
+    if isinstance(persistence, PersistenceSink):
+        return persistence
+    if isinstance(persistence, PersistenceBackend):
+        return PersistenceSink(persistence)
+    if isinstance(persistence, str):
+        if persistence.endswith((".sqlite", ".db")):
+            return PersistenceSink(SqliteBackend(persistence))
+        return PersistenceSink(WalBackend(persistence))
+    raise PersistenceError(
+        "persistence must be None, a bool, a path, a PersistenceBackend, "
+        f"or a PersistenceSink, not {type(persistence).__name__}"
+    )

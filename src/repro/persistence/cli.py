@@ -1,0 +1,144 @@
+"""Operations CLI for persistence stores — ``python -m repro.persistence``.
+
+Three subcommands, all offline (they open the store read-mostly and
+never need a running mediator):
+
+* ``verify PATH`` — load snapshot + log, reconstitute the audit-journal
+  chain across the snapshot boundary, and re-verify every sha256 link.
+  Exit 0 when the chain holds, 1 when it does not — the runbook's
+  post-recovery check.
+* ``stats PATH`` — backend counters (log length, snapshot presence,
+  last seq) as JSON.
+* ``migrate SRC DST`` — copy snapshot and log records between backends
+  (e.g. a JSONL WAL directory into a sqlite file), preserving sequence
+  numbers so the destination recovers identically.
+
+``PATH`` selects the backend by shape: ``*.sqlite``/``*.db`` opens the
+sqlite store, anything else is treated as a WAL directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import PersistenceError
+from repro.observatory.journal import verify_records
+from repro.persistence import resolve_persistence
+from repro.persistence.recovery import journal_dicts_from
+
+
+def open_sink(path):
+    """Open the store at ``path`` (sqlite file or WAL directory)."""
+    sink = resolve_persistence(str(path))
+    if sink is None:
+        raise PersistenceError(f"no persistence store at {path!r}")
+    return sink
+
+
+def verify_store(path):
+    """Verify the journal chain in the store; returns a report dict."""
+    sink = open_sink(path)
+    try:
+        snapshot, records = sink.load()
+        chain = journal_dicts_from(snapshot, records)
+        ok, bad_seq = verify_records(chain)
+        return {
+            "path": str(path),
+            "backend": sink.backend.name,
+            "snapshot_through_seq": (snapshot["through_seq"]
+                                     if snapshot else 0),
+            "log_records": len(records),
+            "journal_records": len(chain),
+            "chain_valid": ok,
+            "first_bad_seq": bad_seq,
+        }
+    finally:
+        sink.close()
+
+
+def migrate_store(src, dst):
+    """Copy snapshot + log from ``src`` to ``dst``; returns a summary.
+
+    Sequence numbers are preserved verbatim, so ``recover()`` against
+    the destination replays the identical state.  The destination must
+    be empty — migrating onto live records would interleave histories.
+    """
+    source = open_sink(src)
+    destination = open_sink(dst)
+    try:
+        if destination.backend.last_seq() != 0:
+            raise PersistenceError(
+                f"migration destination {dst!r} is not empty "
+                f"(last_seq={destination.backend.last_seq()})"
+            )
+        snapshot, records = source.load()
+        if snapshot is not None:
+            destination.backend.compact(snapshot["state"],
+                                        snapshot["through_seq"])
+        for record in records:
+            destination.backend.append(record)
+        return {
+            "src": str(src),
+            "dst": str(dst),
+            "src_backend": source.backend.name,
+            "dst_backend": destination.backend.name,
+            "snapshot_migrated": snapshot is not None,
+            "records_migrated": len(records),
+        }
+    finally:
+        source.close()
+        destination.close()
+
+
+def stats_store(path):
+    """The store's backend stats, plus its last sequence number."""
+    sink = open_sink(path)
+    try:
+        return sink.stats()
+    finally:
+        sink.close()
+
+
+def main(argv=None):
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.persistence",
+        description="Inspect, verify, and migrate persistence stores.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    verify = commands.add_parser(
+        "verify", help="re-verify the journal hash chain in a store"
+    )
+    verify.add_argument("path")
+    stats = commands.add_parser("stats", help="backend counters as JSON")
+    stats.add_argument("path")
+    migrate = commands.add_parser(
+        "migrate", help="copy snapshot + log between backends"
+    )
+    migrate.add_argument("src")
+    migrate.add_argument("dst")
+    arguments = parser.parse_args(argv)
+
+    try:
+        if arguments.command == "verify":
+            report = verify_store(arguments.path)
+            # repro-lint: disable=REP008 -- CLI entry point: human output
+            print(json.dumps(report, indent=2, sort_keys=True))
+            return 0 if report["chain_valid"] else 1
+        if arguments.command == "stats":
+            # repro-lint: disable=REP008 -- CLI entry point: human output
+            print(json.dumps(stats_store(arguments.path), indent=2,
+                             sort_keys=True))
+            return 0
+        report = migrate_store(arguments.src, arguments.dst)
+        # repro-lint: disable=REP008 -- CLI entry point: human output
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    except PersistenceError as error:
+        print(  # repro-lint: disable=REP008 -- CLI error rendering
+            json.dumps({"error": str(error)}),
+            file=sys.stderr,  # repro-lint: disable=REP008 -- CLI stderr
+        )
+        return 1

@@ -1,0 +1,33 @@
+# REP009 fixture: undocumented public persistence API.  No module
+# docstring on purpose — the missing module contract is finding #1.
+
+
+class Backend:
+    def append(self, record):
+        return record
+
+    def load(self):
+        """Documented: states what the loader guarantees.  Fine."""
+        return None
+
+    def _drain(self):
+        return ()  # underscore-prefixed helper: exempt
+
+
+class Documented:
+    """Documented class: fine."""
+
+    def flush(self):
+        return True
+
+
+def recover_all(stores):
+    return [store for store in stores]
+
+
+def _internal():
+    return 0
+
+
+def justified():  # repro-lint: disable=REP009 -- contract inherited from ABC
+    return 1

@@ -102,7 +102,8 @@ class TestFramework:
     def test_rule_catalog(self):
         codes = [lint_rule.code for lint_rule in all_rules()]
         assert codes == ["REP001", "REP002", "REP003", "REP004",
-                         "REP005", "REP006", "REP007", "REP008"]
+                         "REP005", "REP006", "REP007", "REP008",
+                         "REP009"]
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ReproError, match="duplicate"):
