@@ -1,0 +1,176 @@
+"""Residual risk per defense: the adversary zoo as a benchmark.
+
+Two questions an operator asks before trusting an ablation:
+
+* **residual risk** — for each adversary in the zoo (view composition,
+  constraint-aware, colluding requesters) and each single defense
+  (k-anonymity, Laplace perturbation, inference guard, audit refusal),
+  how much of the confidential Figure 1 matrix can the adversary still
+  measure?  The headline is ``residual_risk`` — the mean of
+  re-identification risk and per-cell disclosure — and the zoo's core
+  claim is that every armed defense strictly lowers it against the
+  all-off baseline.
+* **scoring latency** — what does one full adversary run plus metric
+  scoring cost?  The matrix is CI-sized, but the bound solver (SLSQP
+  multistarts) dominates, so the latency cell tracks regressions there.
+
+Representative numbers (this container, starts=1)::
+
+    BENCH_VALIDATION residual risk per defense
+        adversary      none   kanon  laplace   guard  refusal
+      composition     0.999   0.583    0.770   0.875    0.778
+ constraint_aware     0.999   0.583    0.903   0.875    0.897
+        colluders     0.999   0.583    0.744   0.875    0.778
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_validation.py           # full
+    PYTHONPATH=src python benchmarks/bench_validation.py --smoke   # CI
+
+``--smoke`` runs one adversary against every defense and exits non-zero
+unless each defense strictly reduces residual risk — the correctness
+gate; latency is reported but never gated.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.validation import (
+    CompositionAttacker,
+    ZooDefenses,
+    default_adversaries,
+    run_adversary,
+)
+
+STARTS = 1  # bound-solver multistarts; 1 keeps the sweep CI-sized
+LABELS = ("none",) + ZooDefenses.NAMES
+
+
+def _defenses(label):
+    return ZooDefenses() if label == "none" else ZooDefenses.single(label)
+
+
+def run_cell(adversary, label, starts=STARTS):
+    """One adversary × defense run as a flat JSON-serializable dict."""
+    started = time.perf_counter()
+    outcome = run_adversary(adversary, _defenses(label), starts=starts)
+    elapsed = time.perf_counter() - started
+    return {
+        "adversary": outcome.adversary,
+        "defense": label,
+        "residual_risk": outcome.residual_risk,
+        "cell_disclosure": outcome.cell_disclosure,
+        "reidentification_risk":
+            outcome.summary["anonymity"]["reidentification_risk"],
+        "reconstruction_error":
+            outcome.summary["statdb"]["reconstruction_error"],
+        "interval_tightness":
+            outcome.summary["inference"]["interval_tightness"],
+        "refusals": len(outcome.view.refusals),
+        "pooled_budget": outcome.view.pooled_budget,
+        "elapsed_s": elapsed,
+    }
+
+
+def run_latency_cell(repeats):
+    """Best-of-``repeats`` wall-clock for one baseline composition run."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run_adversary(CompositionAttacker(), ZooDefenses(), starts=STARTS)
+        best = min(best, time.perf_counter() - started)
+    return {"adversary": "composition", "defense": "none",
+            "starts": STARTS, "best_s": best}
+
+
+def collect_results(repeats=3):
+    """The acceptance cells as a JSON-serializable dict (for run_all)."""
+    matrix = [
+        run_cell(adversary, label)
+        for adversary in default_adversaries()
+        for label in LABELS
+    ]
+    return {
+        "starts": STARTS,
+        "matrix": matrix,
+        "latency": run_latency_cell(repeats),
+    }
+
+
+def print_matrix(cells):
+    print("BENCH_VALIDATION residual risk per defense")
+    rows = {}
+    for cell in cells:
+        rows.setdefault(cell["adversary"], {})[cell["defense"]] = cell
+    print(f"{'adversary':>17} " + " ".join(f"{l:>8}" for l in LABELS))
+    for adversary, row in rows.items():
+        print(f"{adversary:>17} " + " ".join(
+            f"{row[l]['residual_risk']:>8.3f}" if l in row else f"{'-':>8}"
+            for l in LABELS
+        ))
+
+
+def gate(cells):
+    """Every defense must strictly lower risk vs its own baseline."""
+    rows = {}
+    for cell in cells:
+        rows.setdefault(cell["adversary"], {})[cell["defense"]] = (
+            cell["residual_risk"]
+        )
+    broken = [
+        (adversary, defense)
+        for adversary, row in rows.items()
+        for defense in row
+        if defense != "none" and row[defense] >= row["none"]
+    ]
+    return broken
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one adversary; gate on strict risk drops")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats for the latency cell")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the results dict as JSON instead")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        cells = [run_cell(CompositionAttacker(), label)
+                 for label in LABELS]
+        if args.json:
+            print(json.dumps({"starts": STARTS, "matrix": cells},
+                             indent=2))
+        else:
+            print_matrix(cells)
+        broken = gate(cells)
+        if broken:
+            print(f"SMOKE FAIL: no strict risk drop for {broken}",
+                  file=sys.stderr)
+            return 1
+        print("SMOKE OK: every defense strictly reduced residual risk")
+        return 0
+
+    results = collect_results(repeats=args.repeats)
+    if args.json:
+        print(json.dumps(results, indent=2))
+    else:
+        print_matrix(results["matrix"])
+        latency = results["latency"]
+        print(f"latency: one composition run at starts={STARTS}: "
+              f"{latency['best_s']:.2f}s (best of {args.repeats})")
+        broken = gate(results["matrix"])
+        if broken:
+            print(f"WARNING: no strict risk drop for {broken}",
+                  file=sys.stderr)
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

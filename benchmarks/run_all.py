@@ -44,7 +44,7 @@ HERE = Path(__file__).resolve().parent
 
 #: Benches that export ``collect_results()`` — extend as benches adopt it.
 BENCHES = ("cache", "fanout", "figure1", "mediation_modes",
-           "persistence", "sequence_audit", "static_check")
+           "persistence", "sequence_audit", "static_check", "validation")
 
 
 def run_bench(name, repeats, out_dir):

@@ -287,6 +287,9 @@ LAYER_RANKS = {
     "persistence": 75,
     "core": 80,
     "testing": 90,
+    # validation drives the full system through PrivateIye.pose() and
+    # reuses the testing fixtures, so it sits above both
+    "validation": 95,
     # the repro facade re-exports everything
     "": 100,
 }

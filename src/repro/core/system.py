@@ -32,7 +32,8 @@ class PrivateIye:
                  warehouse_mode="hybrid", shared_secret="private-iye",
                  synonyms=None, telemetry=None, dispatch=None,
                  static_check=True, cache=True, events=None,
-                 observatory=None, persistence=None):
+                 observatory=None, persistence=None,
+                 max_distinct_probes=None):
         self.policy_store = policy_store or PolicyStore()
         # ``events``: a JSONL path (async sink), True (ring only), or an
         # EventLog to share.  Asking for an event stream implies enabling
@@ -44,6 +45,9 @@ class PrivateIye:
                 telemetry.events = resolve_events(events)
             else:
                 telemetry = Telemetry(enabled=True, events=events)
+        engine_kwargs = {}
+        if max_distinct_probes is not None:
+            engine_kwargs["max_distinct_probes"] = max_distinct_probes
         self.engine = MediationEngine(
             shared_secret=shared_secret,
             linkage_attributes=linkage_attributes,
@@ -55,6 +59,7 @@ class PrivateIye:
             cache=cache,
             observatory=observatory,
             persistence=persistence,
+            **engine_kwargs,
         )
         self._sessions = {}
 
@@ -87,7 +92,8 @@ class PrivateIye:
 
     def add_relational_source(self, name, table, rbac=None,
                               consent_predicate=None, hierarchies=None,
-                              qi_columns=()):
+                              qi_columns=(), output_mechanism=None,
+                              knowledge=None):
         """Wrap ``table`` in a privacy-preserving remote source.
 
         The source receives a *replica* of the policy store, mirroring the
@@ -102,6 +108,7 @@ class PrivateIye:
             name, catalog, table.name, self.policy_store.replicate(),
             rbac=rbac, consent_predicate=consent_predicate,
             hierarchies=hierarchies, qi_columns=qi_columns,
+            output_mechanism=output_mechanism, knowledge=knowledge,
             # Shared pseudonym secret: sources emit identical (still
             # irreversible) pseudonyms for identical identities, which is
             # what lets the integrator deduplicate without plaintext.

@@ -86,6 +86,7 @@ class RemoteSource:
         knowledge=None,
         cluster_radius=0.8,
         telemetry=None,
+        output_mechanism=None,
     ):
         self.name = name
         # Replaced with the engine's shared instance at registration
@@ -100,6 +101,11 @@ class RemoteSource:
         self.hierarchies = dict(hierarchies or {})
         self.qi_columns = list(qi_columns)
         self.pseudonym_secret = pseudonym_secret or f"pseudo-{name}"
+        # Optional output perturbation on aggregate answers (e.g. a
+        # LaplaceMechanism).  Noise is drawn per (requester, query
+        # fingerprint), so replays return the same perturbed value — no
+        # averaging attack — while distinct queries get fresh noise.
+        self.output_mechanism = output_mechanism
 
         mapping = PathMapping(self.table, matcher=matcher)
         self.transformer = QueryTransformer(mapping)
@@ -244,6 +250,8 @@ class RemoteSource:
             result = execute(query, self.catalog)
         with telemetry.span("source.techniques") as span:
             result, applied = self._apply_techniques(result, query, techniques)
+            if self.output_mechanism is not None and query.is_aggregate:
+                result = self._perturb_aggregates(result, query, requester)
             span.set(applied=[t.name for t in applied])
 
         with telemetry.span("source.tag_results"):
@@ -369,6 +377,30 @@ class RemoteSource:
                         row[alias] = round(float(value) / base) * base
                     else:
                         row[alias] = _scale_aware_round(float(value), base)
+            rows.append(row)
+        if not rows:
+            return result
+        return Table.from_dicts(
+            result.schema.name, rows, column_order=names,
+            types={a: "float" for a in func_of_alias},
+        )
+
+    def _perturb_aggregates(self, result, query, requester):
+        func_of_alias = {a.alias: a.func for a in query.aggregates}
+        names = result.schema.column_names()
+        group_columns = [c for c in names if c not in func_of_alias]
+        rows = []
+        for row in result.rows_as_dicts():
+            group_key = tuple(row.get(c) for c in group_columns)
+            for alias in func_of_alias:
+                value = row.get(alias)
+                if isinstance(value, (int, float)) and not isinstance(value, bool):
+                    fingerprint = (
+                        f"{self.name}:{alias}:{query.where!r}:{group_key!r}"
+                    )
+                    row[alias] = self.output_mechanism.answer(
+                        float(value), fingerprint, requester
+                    )
             rows.append(row)
         if not rows:
             return result

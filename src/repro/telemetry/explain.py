@@ -56,6 +56,7 @@ class ExplainReport:
         self.control = None            # aggregated loss vs MAXLOSS + notices
         self.audit = None              # disclosure journal record (dict)
         self.events = None             # events emitted during this pose
+        self.validation = None         # measured residual risk (zoo runs)
         self.duration_ms = None
 
     # -- recording (called by the engine as the pipeline advances) ---------
@@ -177,6 +178,17 @@ class ExplainReport:
         """Record the structured events emitted while this pose ran."""
         self.events = [e.to_dict() for e in events]
 
+    def set_validation(self, summary):
+        """Attach measured residual risk from the validation suite.
+
+        ``summary`` is the ``{family: {metric: value}}`` shape produced
+        by :func:`repro.validation.summarize` (any JSON-serializable
+        dict is accepted) — adversary-zoo runs stamp the ledger of the
+        query they last posed, so the explain report shows not just what
+        was *charged* but what an adversary could actually *measure*.
+        """
+        self.validation = dict(summary)
+
     def finish(self, status, error=None, duration_ms=None):
         self.status = status
         self.duration_ms = duration_ms
@@ -206,6 +218,7 @@ class ExplainReport:
             "control": self.control,
             "audit": self.audit,
             "events": self.events,
+            "validation": self.validation,
             "duration_ms": self.duration_ms,
         }
 
@@ -313,6 +326,9 @@ class NoopReport:
         pass
 
     def set_events(self, events):
+        pass
+
+    def set_validation(self, summary):
         pass
 
     def finish(self, status, error=None, duration_ms=None):

@@ -5,16 +5,34 @@
   :class:`~repro.source.server.RemoteSource` objects in scripted delays,
   transient errors, hangs, and refusals, plus a scenario builder shared
   by the fan-out test suites and ``benchmarks/bench_fanout.py``.
+* :mod:`repro.testing.adversaries` — the canonical attack fixtures
+  (the Figure 1 publication, the tracker-attack salary table and
+  predicates) shared by the inference/statdb test suites, the ablation
+  benchmarks, and the :mod:`repro.validation` adversary zoo.
 
 Everything here is stdlib-only and deterministic under a seed — the same
 schedule replays the same faults in the same order, so concurrency tests
 never flake on timing accidents.
 """
 
+from repro.testing.adversaries import (
+    figure1_published,
+    salaries_table,
+    tracker_predicate,
+    victim_predicate,
+)
 from repro.testing.faults import (
     FaultSchedule,
     FlakySource,
     build_flaky_system,
 )
 
-__all__ = ["FaultSchedule", "FlakySource", "build_flaky_system"]
+__all__ = [
+    "FaultSchedule",
+    "FlakySource",
+    "build_flaky_system",
+    "figure1_published",
+    "salaries_table",
+    "tracker_predicate",
+    "victim_predicate",
+]

@@ -1,0 +1,58 @@
+"""Shared adversary fixtures for tests, benchmarks, and the zoo.
+
+These helpers used to be copy-pasted across ``tests/inference``,
+``tests/statdb``, and ``benchmarks/bench_ablations.py``; the validation
+suite (:mod:`repro.validation`) made a single canonical implementation
+necessary.  Everything here is deterministic and stdlib-cheap — the
+heavy machinery stays in the subsystems under attack.
+"""
+
+from __future__ import annotations
+
+from repro.data import FIGURE1
+from repro.inference.snooper import PublishedAggregates
+from repro.relational import Comparison, Table
+
+
+def figure1_published(precision=None):
+    """The Figure 1 aggregate publication the snooper attacks.
+
+    Row means, sample standard deviations, and per-source column means
+    for the three quality measures over the four HMOs, published at
+    ``precision`` decimals (default: the paper's one decimal).
+    """
+    if precision is None:
+        precision = FIGURE1.precision
+    return PublishedAggregates(
+        FIGURE1.measures,
+        FIGURE1.sources,
+        FIGURE1.row_means,
+        FIGURE1.row_stds,
+        FIGURE1.source_means,
+        precision=precision,
+    )
+
+
+def salaries_table(n_rows=30):
+    """The canonical statdb fixture: 30 salaries, two departments.
+
+    Row ``i`` earns ``1000 + 100*i``; every third employee is an
+    ``exec``, the rest ``sales``.  Small enough that tracker attacks are
+    exact and brute-force oracles are cheap.
+    """
+    rows = [
+        {"id": i, "dept": "sales" if i % 3 else "exec",
+         "salary": 1000.0 + 100.0 * i}
+        for i in range(n_rows)
+    ]
+    return Table.from_dicts("salaries", rows)
+
+
+def victim_predicate():
+    """The individual the tracker attack targets (row 0, an exec)."""
+    return Comparison("id", "=", 0)
+
+
+def tracker_predicate():
+    """The general tracker: a large set not containing the victim."""
+    return Comparison("dept", "=", "sales")

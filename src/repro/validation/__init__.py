@@ -1,0 +1,66 @@
+"""Measure what we defend — the PET validation suite.
+
+Point :func:`validate` at a release and the confidential original and
+get back a typed :class:`ValidationResult` for any of seven metrics
+across three families:
+
+* **anonymity** — re-identification risk, uniqueness, ambiguity,
+  precision, non-uniform entropy over generalized records;
+* **statdb** — reconstruction error of a perturbed-answer adversary;
+* **inference** — interval tightness of the bound problem a release
+  leaves solvable.
+
+The adversary zoo (:mod:`repro.validation.adversaries`,
+:mod:`repro.validation.zoo`) turns those metrics on the system itself:
+composition, constraint-aware and colluding attackers are driven
+through the real ``PrivateIye.pose()`` path against an ablatable
+defense matrix, and every defense must *measurably* lower residual
+risk.  See ``docs/validation.md``.
+"""
+
+from repro.validation.adversaries import (
+    ColludingRequesters,
+    CompositionAttacker,
+    ConstraintAwareAttacker,
+    ZooDefenses,
+    build_zoo_system,
+    default_adversaries,
+    zoo_population,
+    zoo_truth,
+)
+from repro.validation.api import (
+    METRICS,
+    metric_names,
+    report,
+    summarize,
+    validate,
+)
+from repro.validation.result import FAMILIES, ValidationResult
+from repro.validation.zoo import (
+    ZooOutcome,
+    matrix_table,
+    run_adversary,
+    run_matrix,
+)
+
+__all__ = [
+    "FAMILIES",
+    "METRICS",
+    "ValidationResult",
+    "validate",
+    "report",
+    "summarize",
+    "metric_names",
+    "ZooDefenses",
+    "ZooOutcome",
+    "CompositionAttacker",
+    "ConstraintAwareAttacker",
+    "ColludingRequesters",
+    "build_zoo_system",
+    "default_adversaries",
+    "zoo_truth",
+    "zoo_population",
+    "run_adversary",
+    "run_matrix",
+    "matrix_table",
+]

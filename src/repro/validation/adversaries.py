@@ -1,0 +1,530 @@
+"""The adversary zoo — attackers driven through the real pipeline.
+
+Every adversary here poses genuine PIQL queries through
+``PrivateIye.query()`` (no shortcuts into source internals), so whatever
+it learns already passed the two-level enforcement of paper §3: source
+policies, sequence defenses, the mediator's loss re-verification, and —
+when armed — the zoo's four ablatable defenses:
+
+* ``kanon``   — sources k-anonymize record-level output over (age, zip);
+* ``laplace`` — sources perturb aggregate answers with budgeted,
+  memoized Laplace noise (:class:`~repro.statdb.laplace.LaplaceMechanism`);
+* ``guard``   — the out-of-band publication is inference-guarded: row
+  statistics span only the queryable HMOs, at integer precision, with
+  no per-source means (Figure 1 run defensively);
+* ``refusal`` — the mediator's sequence guard allows a single distinct
+  probe per private measure (``max_distinct_probes=1``).
+
+The scenario is a four-HMO deployment of Figure 1's matrix: each HMO
+holds 24 patients whose three private measures average *exactly* to the
+paper's consistent matrix — per age slice and overall — so an attacker
+who chains the two slice aggregates recovers the confidential cell
+exactly, and every recovered digit is attributable to a defense that was
+off.  HMO4 publishes no measure at all (its view suppresses them), so
+its column is reachable only through inference — the ``guard`` defense's
+whole battleground.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.system import PrivateIye
+from repro.data import FIGURE1
+from repro.errors import AuditRefusal, PrivacyViolation, ReproError
+from repro.observatory import Observatory
+from repro.relational import Table
+from repro.source.knowledge import PreservationKnowledgeBase, default_techniques
+from repro.statdb.laplace import LaplaceMechanism
+
+#: Mediated measure names (Figure 1's tests, as PIQL-friendly columns).
+MEASURES = ("hba1c", "lipid", "eye")
+SOURCES = FIGURE1.sources
+#: Patients per age slice at each source; slices are balanced so the
+#: population mean of every measure is exactly the slice-mean average.
+SLICE_SIZE = 12
+#: Slice means sit ``±SLICE_OFFSET`` around the cell value, so *one*
+#: slice alone is a biased estimate — composition needs both.
+SLICE_OFFSET = 3.0
+VALUE_RANGE = (0.0, 100.0)
+#: |error| at or below this counts as exact cell recovery.
+EXACT_TOLERANCE = 0.05
+
+_SLICES = (("a", "> 40"), ("b", "<= 40"))
+
+
+class ZooDefenses:
+    """Which of the four ablatable defenses are armed for one run."""
+
+    NAMES = ("kanon", "laplace", "guard", "refusal")
+    __slots__ = NAMES
+
+    def __init__(self, kanon=False, laplace=False, guard=False,
+                 refusal=False):
+        self.kanon = bool(kanon)
+        self.laplace = bool(laplace)
+        self.guard = bool(guard)
+        self.refusal = bool(refusal)
+
+    @classmethod
+    def single(cls, name):
+        """A configuration with exactly one defense armed."""
+        if name not in cls.NAMES:
+            raise ReproError(
+                f"unknown defense {name!r}; expected one of {cls.NAMES}"
+            )
+        return cls(**{name: True})
+
+    @classmethod
+    def all_on(cls):
+        return cls(kanon=True, laplace=True, guard=True, refusal=True)
+
+    @property
+    def label(self):
+        active = [name for name in self.NAMES if getattr(self, name)]
+        return "+".join(active) or "none"
+
+    def to_dict(self):
+        return {name: getattr(self, name) for name in self.NAMES}
+
+    def __repr__(self):
+        return f"ZooDefenses({self.label})"
+
+
+# -- the scenario -------------------------------------------------------------
+
+def zoo_truth():
+    """The confidential ground truth: ``{(measure, source): value}``."""
+    return {
+        (measure, source): FIGURE1.consistent_matrix[i][j]
+        for i, measure in enumerate(MEASURES)
+        for j, source in enumerate(SOURCES)
+    }
+
+
+def zoo_table(source_index):
+    """One HMO's 24-patient table, engineered around Figure 1's matrix.
+
+    Slice a (``age > 40``) averages to ``cell + SLICE_OFFSET``, slice b
+    (``age <= 40``) to ``cell − SLICE_OFFSET``; the slices are balanced,
+    so the full-population average is the confidential cell exactly.
+    Zips are globally unique — raw record-level output is a singleton
+    per patient, the worst case k-anonymization has to fix.
+    """
+    rows = []
+    for i in range(2 * SLICE_SIZE):
+        in_a = i < SLICE_SIZE
+        idx = i if in_a else i - SLICE_SIZE
+        age = 41 + (idx * 3) % 17 if in_a else 22 + (idx * 3) % 18
+        row = {"age": age, "zip": 15000 + source_index * 1000 + i}
+        offset = SLICE_OFFSET if in_a else -SLICE_OFFSET
+        for m, measure in enumerate(MEASURES):
+            cell = FIGURE1.consistent_matrix[m][source_index]
+            delta = 4.0 + m  # paired ±delta keeps the slice mean exact
+            row[measure] = cell + offset + (delta if idx % 2 == 0 else -delta)
+        rows.append(row)
+    return Table.from_dicts("patients", rows)
+
+
+def zoo_population():
+    """Ground-truth quasi-identifier rows across all four HMOs."""
+    rows = []
+    for j in range(len(SOURCES)):
+        for row in zoo_table(j).rows_as_dicts():
+            rows.append({"age": row["age"], "zip": row["zip"]})
+    return rows
+
+
+def zoo_policies():
+    """The policy DSL document and its view → source mapping.
+
+    HMO1–HMO3 expose their measures in aggregate form only; HMO4 marks
+    them private with *no* permitted form, so they vanish from its
+    export entirely and the fragmenter never routes a measure query
+    there — HMO4's column exists only as an inference target.
+    """
+    views, policies = [], []
+    for j, source in enumerate(SOURCES):
+        view = f"{source.lower()}_private"
+        if j < len(SOURCES) - 1:
+            private = "".join(
+                f"    PRIVATE //patient/{m} FORM aggregate;\n"
+                for m in MEASURES
+            )
+            measure_rules = "".join(
+                f"    ALLOW //patient/{m} FOR research FORM aggregate "
+                "MAXLOSS 0.9;\n"
+                for m in MEASURES
+            )
+        else:
+            private = "".join(
+                f"    PRIVATE //patient/{m};\n" for m in MEASURES
+            )
+            measure_rules = "".join(
+                f"    DENY //patient/{m} FOR *;\n" for m in MEASURES
+            )
+        views.append(f"VIEW {view} {{\n{private}}}\n")
+        policies.append(
+            f"POLICY {source} DEFAULT deny {{\n{measure_rules}"
+            "    ALLOW //patient/age FOR research;\n"
+            "    ALLOW //patient/zip FOR research;\n"
+            "}\n"
+        )
+    document = "".join(views) + "\n" + "".join(policies)
+    return document, {f"{s.lower()}_private": s for s in SOURCES}
+
+
+def zoo_knowledge():
+    """The zoo sources' KB: the default registry minus output-rounding.
+
+    The stock KB answers every private-measure aggregate rounded to
+    base 5, which would blur the very signal the ablation measures —
+    here the *measured* defenses are the armed ones, so the always-on
+    rounding is removed while audit trails, set-size control and the
+    record-level techniques stay.
+    """
+    techniques = [
+        t for t in default_techniques() if t.name != "output-rounding"
+    ]
+    return PreservationKnowledgeBase(techniques=techniques)
+
+
+def build_zoo_system(defenses=None, seed=0, check_every=64):
+    """A full PrivateIye deployment of the zoo scenario."""
+    defenses = defenses or ZooDefenses()
+    observatory = Observatory(min_interval_width=5.0,
+                              check_every=check_every)
+    system = PrivateIye(
+        telemetry=True, events=True, observatory=observatory,
+        max_distinct_probes=1 if defenses.refusal else 8,
+    )
+    document, view_source = zoo_policies()
+    system.load_policies(document, view_source=view_source)
+    for j, source in enumerate(SOURCES):
+        mechanism = None
+        if defenses.laplace:
+            # epsilon 0.2 → Laplace scale b = 5; deterministic per-source
+            # streams keep every zoo number reproducible.
+            mechanism = LaplaceMechanism(
+                0.2, sensitivity=1.0,
+                rng=random.Random(seed * 1000 + j + 1),
+            )
+        system.add_relational_source(
+            source, zoo_table(j),
+            qi_columns=("age", "zip") if defenses.kanon else (),
+            output_mechanism=mechanism,
+            knowledge=zoo_knowledge(),
+        )
+    return system
+
+
+def zoo_publication(defenses):
+    """The out-of-band release the adversary reads (Figure 1's tables).
+
+    Unguarded: the paper's row means/stds at one-decimal precision plus
+    every per-source mean — Figure 1 as printed.  Guarded: row means
+    only, spanning just the queryable HMOs, at integer precision — the
+    release an :class:`~repro.inference.guard.InferenceGuard` would let
+    through, leaving HMO4's column unconstrained.
+    """
+    if defenses.guard:
+        queryable = SOURCES[:-1]
+        row_means = tuple(
+            float(round(
+                sum(FIGURE1.consistent_matrix[i][j]
+                    for j in range(len(queryable))) / len(queryable)
+            ))
+            for i in range(len(MEASURES))
+        )
+        return {
+            "sources": queryable,
+            "row_means": row_means,
+            "row_stds": None,
+            "source_means": {},
+            "tolerance": 0.5,
+        }
+    return {
+        "sources": SOURCES,
+        "row_means": tuple(float(v) for v in FIGURE1.row_means),
+        "row_stds": tuple(float(v) for v in FIGURE1.row_stds),
+        "source_means": {
+            source: float(mean)
+            for source, mean in zip(SOURCES, FIGURE1.source_means)
+        },
+        "tolerance": 0.05,
+    }
+
+
+# -- what an adversary walks away with ---------------------------------------
+
+class AdversaryView:
+    """Everything one adversary accumulated in a run."""
+
+    def __init__(self, adversary, requesters):
+        self.adversary = adversary
+        self.requesters = list(requesters)
+        self.recovered = {}       # (measure, source) → point estimate
+        self.exact_sources = set()  # columns recovered exactly via probes
+        self.known_columns = {}   # source → [values] known a priori
+        self.record_rows = []     # rows the record-level probe released
+        self.refusals = []        # refused probes: {requester, query, ...}
+        self.value_range = VALUE_RANGE
+        self.pooled_budget = 0.0  # 1 − Π(1 − cum_loss) over requesters
+
+    def to_dict(self):
+        return {
+            "adversary": self.adversary,
+            "requesters": list(self.requesters),
+            "recovered_cells": len(self.recovered),
+            "exact_sources": sorted(self.exact_sources),
+            "known_columns": sorted(self.known_columns),
+            "record_rows": len(self.record_rows),
+            "refusals": len(self.refusals),
+            "pooled_budget": self.pooled_budget,
+        }
+
+
+def pooled_role_budget(system, requesters):
+    """Combined disclosure ``1 − Π(1 − cum_i)`` over colluding requesters."""
+    journal = system.audit_journal()
+    if journal is None:
+        return 0.0
+    cumulative = journal.requesters()
+    escaped = 1.0
+    for requester in requesters:
+        escaped *= 1.0 - min(1.0, cumulative.get(requester, 0.0))
+    return 1.0 - escaped
+
+
+def publish_to(system, requester, defenses, own_data=None, check=False):
+    """Feed the out-of-band publication into the requester's ledger."""
+    publication = zoo_publication(defenses)
+    observatory = system.observatory
+    if observatory is None:
+        return []
+    stds = publication["row_stds"]
+    row_stats = {
+        measure: (publication["row_means"][i],
+                  None if stds is None else stds[i])
+        for i, measure in enumerate(MEASURES)
+    }
+    return observatory.note_publication(
+        requester, row_stats=row_stats,
+        source_means=publication["source_means"], own_data=own_data,
+        sources=publication["sources"], measures=MEASURES, check=check,
+    )
+
+
+def run_probe_script(system, requester, refusals, include_record=True):
+    """The shared probe script, posed through the real ``pose()`` path.
+
+    Two disjoint age-slice AVGs per measure (composable into the exact
+    population cell), the matching COUNTs (age is public, so counting
+    escapes the sequence guard), and one record-level (age, zip) probe
+    for re-identification scoring.  Refusals are appended to
+    ``refusals`` — they are final answers, never retried.
+    """
+    avgs, counts, rows = {}, {}, []
+    for measure in MEASURES:
+        for slice_name, comparison in _SLICES:
+            text = (
+                f"SELECT AVG(//patient/{measure}) AS {measure} "
+                f"WHERE //patient/age {comparison} "
+                "PURPOSE research MAXLOSS 0.9"
+            )
+            try:
+                result = system.query(text, requester=requester,
+                                      role="analyst")
+            except (AuditRefusal, PrivacyViolation) as refusal:
+                refusals.append({
+                    "requester": requester, "query": text,
+                    "kind": type(refusal).__name__, "reason": str(refusal),
+                })
+            else:
+                avgs[(measure, slice_name)] = {
+                    row["_source"]: float(row[measure])
+                    for row in result.rows
+                }
+    for slice_name, comparison in _SLICES:
+        text = (
+            f"SELECT COUNT(*) AS n WHERE //patient/age {comparison} "
+            "PURPOSE research"
+        )
+        try:
+            result = system.query(text, requester=requester, role="analyst")
+        except (AuditRefusal, PrivacyViolation) as refusal:
+            refusals.append({
+                "requester": requester, "query": text,
+                "kind": type(refusal).__name__, "reason": str(refusal),
+            })
+        else:
+            counts[slice_name] = {
+                row["_source"]: float(row["n"]) for row in result.rows
+            }
+    if include_record:
+        text = "SELECT //patient/age, //patient/zip PURPOSE research"
+        try:
+            result = system.query(text, requester=requester, role="analyst")
+        except (AuditRefusal, PrivacyViolation) as refusal:
+            refusals.append({
+                "requester": requester, "query": text,
+                "kind": type(refusal).__name__, "reason": str(refusal),
+            })
+        else:
+            rows = [dict(row) for row in result.rows]
+    return {"avg": avgs, "count": counts, "rows": rows}
+
+
+def compose_cells(probe):
+    """Chain slice views into full-population cells.
+
+    Count-weighted composition of the two slice averages; a source seen
+    in only one slice (the other was refused) degrades to that slice's
+    biased mean.  Returns ``(cells, partial)`` where ``partial`` marks
+    the biased single-slice estimates.
+    """
+    cells, partial = {}, set()
+    for measure in MEASURES:
+        a = probe["avg"].get((measure, "a"), {})
+        b = probe["avg"].get((measure, "b"), {})
+        na = probe["count"].get("a", {})
+        nb = probe["count"].get("b", {})
+        for source in SOURCES:
+            if source in a and source in b:
+                # Noisy counts stay usable as weights but never vanish.
+                wa = max(1.0, na.get(source, float(SLICE_SIZE)))
+                wb = max(1.0, nb.get(source, float(SLICE_SIZE)))
+                cells[(measure, source)] = (
+                    (wa * a[source] + wb * b[source]) / (wa + wb)
+                )
+            elif source in a or source in b:
+                cells[(measure, source)] = a.get(source, b.get(source))
+                partial.add((measure, source))
+    return cells, partial
+
+
+def _mark_exact(view, defenses, partial):
+    """Columns whose every cell was composed losslessly."""
+    if defenses.laplace:
+        return  # perturbed answers are never exact
+    for source in SOURCES:
+        complete = all(
+            (measure, source) in view.recovered
+            and (measure, source) not in partial
+            for measure in MEASURES
+        )
+        if complete:
+            view.exact_sources.add(source)
+
+
+# -- the zoo ------------------------------------------------------------------
+
+class CompositionAttacker:
+    """Chains per-slice service views into full-population cells.
+
+    The tracker-style adversary of Example 1, lifted to the integrated
+    system: no single probe reveals a confidential cell, but the
+    count-weighted combination of two innocent slice aggregates does.
+    """
+
+    name = "composition"
+    requester = "zoo-composition"
+
+    def run(self, system, defenses):
+        view = AdversaryView(self.name, [self.requester])
+        publish_to(system, self.requester, defenses)
+        probe = run_probe_script(system, self.requester, view.refusals)
+        cells, partial = compose_cells(probe)
+        view.recovered = cells
+        view.record_rows = probe["rows"]
+        _mark_exact(view, defenses, partial)
+        view.pooled_budget = pooled_role_budget(system, view.requesters)
+        return view
+
+
+class ConstraintAwareAttacker:
+    """Exploits known source invariants on top of the probe script.
+
+    Figure 1's malicious *participant*: it owns HMO1's column outright
+    and knows the clinical plausibility band every measure must lie in,
+    so its inference problem starts tighter than an outsider's.
+    """
+
+    name = "constraint_aware"
+    requester = "zoo-constraint"
+    home_source = SOURCES[0]
+    invariant_range = (40.0, 90.0)
+
+    def run(self, system, defenses):
+        view = AdversaryView(self.name, [self.requester])
+        view.value_range = self.invariant_range
+        own_column = {
+            measure: FIGURE1.consistent_matrix[i][0]
+            for i, measure in enumerate(MEASURES)
+        }
+        view.known_columns = {
+            self.home_source: [own_column[m] for m in MEASURES]
+        }
+        publish_to(system, self.requester, defenses,
+                   own_data={self.home_source: own_column})
+        probe = run_probe_script(system, self.requester, view.refusals)
+        cells, partial = compose_cells(probe)
+        view.recovered = cells
+        # A priori knowledge overrides whatever the probes produced.
+        for measure, value in own_column.items():
+            view.recovered[(measure, self.home_source)] = value
+        view.record_rows = probe["rows"]
+        _mark_exact(view, defenses, partial)
+        view.exact_sources.add(self.home_source)
+        view.pooled_budget = pooled_role_budget(system, view.requesters)
+        return view
+
+
+class ColludingRequesters:
+    """``n`` requesters pooling role budgets and averaging noisy answers.
+
+    Each colluder runs the full probe script under their own identity —
+    so each is individually subject to the sequence guard — then the
+    ring averages the per-requester perturbed answers (fresh noise per
+    principal) and pools the journal's cumulative role budget
+    ``1 − Π(1 − cum_i)``.
+    """
+
+    name = "colluders"
+
+    def __init__(self, n=3):
+        if n < 2:
+            raise ReproError("a collusion needs at least 2 requesters")
+        self.n = n
+        self.requesters = tuple(f"zoo-colluder-{k + 1}" for k in range(n))
+
+    def run(self, system, defenses):
+        view = AdversaryView(self.name, self.requesters)
+        publish_to(system, self.requesters[0], defenses)
+        estimates = []
+        for k, requester in enumerate(self.requesters):
+            probe = run_probe_script(system, requester, view.refusals,
+                                     include_record=(k == 0))
+            cells, partial = compose_cells(probe)
+            estimates.append((cells, partial))
+            if k == 0:
+                view.record_rows = probe["rows"]
+        pooled, partial_union = {}, set()
+        for cells, partial in estimates:
+            partial_union |= partial
+        seen = set()
+        for cells, _ in estimates:
+            seen |= set(cells)
+        for key in seen:
+            values = [cells[key] for cells, _ in estimates if key in cells]
+            pooled[key] = sum(values) / len(values)
+        view.recovered = pooled
+        _mark_exact(view, defenses, partial_union)
+        view.pooled_budget = pooled_role_budget(system, self.requesters)
+        return view
+
+
+def default_adversaries():
+    """One of each zoo species, default-configured."""
+    return (CompositionAttacker(), ConstraintAwareAttacker(),
+            ColludingRequesters())

@@ -1,0 +1,122 @@
+"""The one-call validation entry point.
+
+    from repro.validation import validate
+
+    result = validate(release, original, metric="reidentification_risk",
+                      quasi_identifiers=("age", "zip"))
+    result.value          # headline number
+    result.to_json()      # byte-stable JSON report
+
+``validate`` dispatches on a normalized metric name (case, ``_``/``-``
+and spaces are ignored, so ``"ReidentificationRisk"`` works), applies an
+optional pass/fail ``threshold``, and returns the metric's
+:class:`~repro.validation.result.ValidationResult`.  :func:`report`
+renders a batch of results into one deterministic JSON document grouped
+by family — the schema ``docs/validation.md`` documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+from repro.validation import metrics as _metrics
+from repro.validation.result import FAMILIES, ValidationResult
+
+#: metric name → (callable, direction).  Direction says which side of a
+#: threshold is a pass: ``"below"`` for risk metrics (lower is safer),
+#: ``"above"`` for utility metrics (higher is better).
+METRICS = {
+    "reidentification_risk": (_metrics.reidentification_risk, "below"),
+    "uniqueness": (_metrics.uniqueness, "below"),
+    "ambiguity": (_metrics.ambiguity, "above"),
+    "precision": (_metrics.precision, "above"),
+    "non_uniform_entropy": (_metrics.non_uniform_entropy, "below"),
+    "reconstruction_error": (_metrics.reconstruction_error, "above"),
+    "interval_tightness": (_metrics.interval_tightness, "below"),
+}
+
+
+def _normalize(name):
+    return "".join(c for c in str(name).lower() if c.isalnum())
+
+
+_BY_NORMALIZED = {_normalize(name): name for name in METRICS}
+
+
+def metric_names():
+    """The canonical metric names ``validate`` accepts."""
+    return tuple(METRICS)
+
+
+def validate(release, original=None, metric="reidentification_risk",
+             threshold=None, **options):
+    """Evaluate one validation metric over a release.
+
+    ``release`` is the published artifact (generalized records, a
+    reconstruction, or an
+    :class:`~repro.inference.bounds.AggregateConstraints` view),
+    ``original`` the confidential ground truth where the metric needs
+    it.  Extra keyword ``options`` go to the metric (e.g.
+    ``quasi_identifiers=...``, ``hierarchies=...``, ``tolerance=...``).
+    With ``threshold`` given, the result's ``passed`` flag is filled in
+    using the metric's safe direction (risk metrics pass *below* the
+    threshold, utility metrics *above*).
+    """
+    key = _BY_NORMALIZED.get(_normalize(metric))
+    if key is None:
+        raise ReproError(
+            f"unknown validation metric {metric!r}; "
+            f"expected one of {sorted(METRICS)}"
+        )
+    function, direction = METRICS[key]
+    result = function(release, original, **options)
+    if threshold is not None:
+        result.threshold = float(threshold)
+        if direction == "below":
+            result.passed = result.value <= result.threshold
+        else:
+            result.passed = result.value >= result.threshold
+    return result
+
+
+def summarize(results):
+    """Collapse results to ``{family: {metric: value}}`` (ledger shape)."""
+    summary = {}
+    for result in results:
+        summary.setdefault(result.family, {})[result.metric] = result.value
+    return summary
+
+
+def report(results, path=None, indent=2):
+    """A deterministic JSON document for a batch of results.
+
+    Groups by family, preserves per-metric detail, and adds a
+    ``summary`` section with just the headline values.  With ``path``
+    given the document is also written there.  Byte-stable: same
+    results → same bytes.
+    """
+    results = list(results)
+    for result in results:
+        if not isinstance(result, ValidationResult):
+            raise ReproError(f"report needs ValidationResults, got {result!r}")
+    document = {
+        "families": {
+            family: {
+                result.metric: result.to_dict()
+                for result in results if result.family == family
+            }
+            for family in FAMILIES
+            if any(result.family == family for result in results)
+        },
+        "summary": summarize(results),
+        "metrics_evaluated": len(results),
+        "all_passed": all(
+            result.passed for result in results if result.passed is not None
+        ),
+    }
+    text = json.dumps(document, indent=indent, sort_keys=True)
+    if path is not None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+    return text

@@ -1,0 +1,557 @@
+"""The validation metrics — measured residual risk and utility.
+
+Three defense families, seven metrics:
+
+* **anonymity** (k-anonymity releases, :mod:`repro.anonymity`):
+  :func:`reidentification_risk` (prosecutor-model class risk),
+  :func:`uniqueness` (singleton-class fraction), :func:`ambiguity`
+  (how many ground combinations a released record could be),
+  :func:`precision` (Sweeney's Prec), and :func:`non_uniform_entropy`
+  (frequency-weighted information loss);
+* **statdb** (input/output perturbation, :mod:`repro.statdb`):
+  :func:`reconstruction_error` (relative RMSE of what an adversary
+  recovers against the confidential truth);
+* **inference** (the bound solver, :mod:`repro.inference.bounds`):
+  :func:`interval_tightness` (how close the feasibility intervals of
+  hidden cells come to pinning them).
+
+Every metric is **alignment-free**: k-anonymity releases reorder rows
+(:class:`~repro.anonymity.kanonymity.FullDomainGeneralizer` regroups by
+equivalence class), so the anonymity metrics compare value distributions
+and coverage, never row i against row i.  Each has a brute-force oracle
+in ``tests/validation/oracles.py`` and a 100+-case differential suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.anonymity.kanonymity import AnonymizationResult, equivalence_classes
+from repro.errors import ReproError
+from repro.metrics.information_loss import distortion
+from repro.validation.result import ValidationResult
+
+SUPPRESSED = "*"
+
+
+def _records_of(release):
+    """Accept a record list or an :class:`AnonymizationResult`."""
+    if isinstance(release, AnonymizationResult):
+        return list(release.records)
+    return list(release)
+
+
+def _require(condition, message):
+    if not condition:
+        raise ReproError(message)
+
+
+# -- generalized-value cover test ---------------------------------------------
+
+def covers(generalized, value, hierarchy=None):
+    """Could ``generalized`` be the released form of ground ``value``?
+
+    Handles the release shapes this repo produces: exact values,
+    ``'*'`` suppression, interval labels — half-open ``'[a-b)'`` from
+    :func:`repro.anonymity.hierarchy.interval_hierarchy`, closed
+    ``'[a-b]'`` from the Mondrian ranges the source pipeline emits —
+    and, when a
+    :class:`~repro.anonymity.hierarchy.GeneralizationHierarchy` is
+    given, any of its levels.
+    """
+    if generalized is None:
+        return value is None
+    if value is None:
+        return generalized == SUPPRESSED
+    if generalized == value or str(generalized) == str(value):
+        return True
+    if generalized == SUPPRESSED:
+        return True
+    interval = _parse_interval(generalized)
+    if interval is not None:
+        low, high, closed = interval
+        number = _as_number(value)
+        if number is None:
+            return False
+        return low <= number <= high if closed else low <= number < high
+    if hierarchy is not None:
+        return any(
+            hierarchy.generalize(value, level) == generalized
+            for level in range(hierarchy.height + 1)
+        )
+    return False
+
+
+def _parse_interval(label):
+    """``'[a-b)'`` / ``'[a-b]'`` → ``(a, b, closed)``, else None."""
+    if not isinstance(label, str) or not label.startswith("["):
+        return None
+    if not label.endswith((")", "]")):
+        return None
+    closed = label.endswith("]")
+    body = label[1:-1]
+    # split on the *last* viable hyphen so negative lower bounds
+    # ('[-10-0)') parse too
+    for i in range(len(body) - 1, 0, -1):
+        if body[i] != "-":
+            continue
+        low, high = body[:i], body[i + 1:]
+        try:
+            return float(low), float(high), closed
+        except ValueError:
+            continue
+    return None
+
+
+def _as_number(value):
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def _domains(original, quasi_identifiers):
+    """Distinct ground values per quasi-identifier, insertion-ordered."""
+    domains = {attribute: [] for attribute in quasi_identifiers}
+    seen = {attribute: set() for attribute in quasi_identifiers}
+    for record in original:
+        for attribute in quasi_identifiers:
+            value = record.get(attribute)
+            if value not in seen[attribute]:
+                seen[attribute].add(value)
+                domains[attribute].append(value)
+    return domains
+
+
+def _cover_counts(release, domains, quasi_identifiers, hierarchies):
+    """``{attribute: {released value: covered domain values}}`` (memo)."""
+    counts = {}
+    for attribute in quasi_identifiers:
+        hierarchy = (hierarchies or {}).get(attribute)
+        per_value = {}
+        for record in release:
+            generalized = record.get(attribute)
+            if generalized in per_value:
+                continue
+            per_value[generalized] = [
+                value for value in domains[attribute]
+                if covers(generalized, value, hierarchy)
+            ]
+        counts[attribute] = per_value
+    return counts
+
+
+# -- anonymity family ---------------------------------------------------------
+
+def reidentification_risk(release, original=None, quasi_identifiers=(),
+                          hierarchies=None):
+    """Prosecutor-model re-identification risk of a release.
+
+    Every record's risk is ``1 / |equivalence class|``; the headline
+    value is the **maximum** (the most exposed record), with the average
+    and the achieved k in the detail.  With ``original`` given, the
+    detail adds journalist-style population matching: for each released
+    class, how many *ground* records its generalized quasi-identifier
+    tuple could be (fewer matches → higher risk the release's k hides).
+    """
+    records = _records_of(release)
+    _require(quasi_identifiers, "reidentification_risk needs quasi_identifiers")
+    params = {"quasi_identifiers": list(quasi_identifiers)}
+    if not records:
+        return ValidationResult(
+            "reidentification_risk", "anonymity", 0.0,
+            detail={"records": 0, "classes": 0, "measured_k": 0,
+                    "max_risk": 0.0, "avg_risk": 0.0},
+            params=params,
+        )
+    classes = equivalence_classes(records, quasi_identifiers)
+    sizes = [len(members) for members in classes.values()]
+    risks = [1.0 / size for size in sizes for _ in range(size)]
+    detail = {
+        "records": len(records),
+        "classes": len(classes),
+        "measured_k": min(sizes),
+        "max_risk": max(1.0 / size for size in sizes),
+        "avg_risk": sum(risks) / len(risks),
+    }
+    if original is not None:
+        original = list(original)
+        matches = []
+        for key in classes:
+            matched = sum(
+                1 for ground in original
+                if all(
+                    covers(generalized, ground.get(attribute),
+                           (hierarchies or {}).get(attribute))
+                    for attribute, generalized in zip(quasi_identifiers, key)
+                )
+            )
+            matches.append(matched)
+        detail["population"] = len(original)
+        detail["min_population_matches"] = min(matches) if matches else 0
+        detail["population_risk"] = (
+            max((1.0 / m) for m in matches if m > 0) if any(matches) else 0.0
+        )
+    return ValidationResult(
+        "reidentification_risk", "anonymity", detail["max_risk"],
+        detail=detail, params=params,
+    )
+
+
+def uniqueness(release, original=None, quasi_identifiers=()):
+    """Fraction of released records in singleton equivalence classes.
+
+    A singleton is re-identified outright under the prosecutor model.
+    With ``original`` given, the detail also reports sample uniqueness
+    of the ground table — the risk the release started from.
+    """
+    records = _records_of(release)
+    _require(quasi_identifiers, "uniqueness needs quasi_identifiers")
+    params = {"quasi_identifiers": list(quasi_identifiers)}
+
+    def singleton_fraction(rows):
+        if not rows:
+            return 0.0, 0
+        classes = equivalence_classes(rows, quasi_identifiers)
+        singletons = sum(
+            1 for members in classes.values() if len(members) == 1
+        )
+        return singletons / len(rows), singletons
+
+    fraction, singletons = singleton_fraction(records)
+    detail = {"records": len(records), "singletons": singletons}
+    if original is not None:
+        original_fraction, original_singletons = singleton_fraction(
+            list(original)
+        )
+        detail["original_uniqueness"] = original_fraction
+        detail["original_singletons"] = original_singletons
+    return ValidationResult(
+        "uniqueness", "anonymity", fraction, detail=detail, params=params,
+    )
+
+
+def ambiguity(release, original, quasi_identifiers=(), hierarchies=None):
+    """Mean ambiguity of the release (PETWorks' Ambiguity metric).
+
+    For each released record, count the ground quasi-identifier
+    combinations (cartesian over per-attribute domains of ``original``)
+    its generalized values could stand for; the record's ambiguity is
+    ``1 - 1/combinations``.  0 means every record maps to exactly one
+    ground combination (no ambiguity gained); → 1 means suppression.
+    """
+    records = _records_of(release)
+    _require(quasi_identifiers, "ambiguity needs quasi_identifiers")
+    _require(original is not None, "ambiguity needs the original records")
+    original = list(original)
+    _require(original, "ambiguity needs a non-empty original")
+    params = {"quasi_identifiers": list(quasi_identifiers)}
+    if not records:
+        return ValidationResult(
+            "ambiguity", "anonymity", 0.0,
+            detail={"records": 0, "mean_combinations": 0.0}, params=params,
+        )
+    domains = _domains(original, quasi_identifiers)
+    cover = _cover_counts(records, domains, quasi_identifiers, hierarchies)
+    per_record, combination_counts = [], []
+    for record in records:
+        combinations = 1
+        for attribute in quasi_identifiers:
+            covered = cover[attribute][record.get(attribute)]
+            combinations *= max(1, len(covered))
+        combination_counts.append(combinations)
+        per_record.append(1.0 - 1.0 / combinations)
+    detail = {
+        "records": len(records),
+        "mean_combinations": sum(combination_counts) / len(records),
+        "max_combinations": max(combination_counts),
+    }
+    return ValidationResult(
+        "ambiguity", "anonymity", sum(per_record) / len(per_record),
+        detail=detail, params=params,
+    )
+
+
+def precision(release, original, quasi_identifiers=(), hierarchies=None):
+    """Sweeney's Prec: 1 − mean(level/height) over released cells.
+
+    The level of a released value is the lowest hierarchy level whose
+    image (over the original domain) contains it; values no level
+    produces count as fully suppressed.  1.0 means raw data, 0.0 means
+    every quasi-identifier of every record was suppressed.
+    """
+    records = _records_of(release)
+    _require(quasi_identifiers, "precision needs quasi_identifiers")
+    _require(hierarchies, "precision needs per-attribute hierarchies")
+    missing = [a for a in quasi_identifiers if a not in hierarchies]
+    _require(not missing, f"precision: no hierarchy for {missing}")
+    _require(original is not None, "precision needs the original records")
+    original = list(original)
+    params = {"quasi_identifiers": list(quasi_identifiers)}
+    if not records:
+        return ValidationResult(
+            "precision", "anonymity", 1.0,
+            detail={"records": 0, "cells": 0, "mean_level_ratio": 0.0},
+            params=params,
+        )
+    domains = _domains(original, quasi_identifiers)
+    level_of = {}
+    for attribute in quasi_identifiers:
+        hierarchy = hierarchies[attribute]
+        images = {}
+        for record in records:
+            generalized = record.get(attribute)
+            if generalized in images:
+                continue
+            images[generalized] = _value_level(
+                generalized, domains[attribute], hierarchy
+            )
+        level_of[attribute] = images
+    ratios = []
+    for record in records:
+        for attribute in quasi_identifiers:
+            hierarchy = hierarchies[attribute]
+            level = level_of[attribute][record.get(attribute)]
+            ratios.append(
+                level / hierarchy.height if hierarchy.height else 0.0
+            )
+    mean_ratio = sum(ratios) / len(ratios)
+    return ValidationResult(
+        "precision", "anonymity", 1.0 - mean_ratio,
+        detail={"records": len(records), "cells": len(ratios),
+                "mean_level_ratio": mean_ratio},
+        params=params,
+    )
+
+
+def _value_level(generalized, domain, hierarchy):
+    """Lowest hierarchy level producing ``generalized`` over ``domain``."""
+    for level in range(hierarchy.height + 1):
+        if any(
+            hierarchy.generalize(value, level) == generalized
+            for value in domain
+        ):
+            return level
+    return hierarchy.height
+
+
+def non_uniform_entropy(release, original, quasi_identifiers=(),
+                        hierarchies=None):
+    """Normalized non-uniform entropy loss of the release.
+
+    Each released cell hides a distribution over the ground values it
+    covers (weighted by their frequency in ``original``); the cell's
+    loss is that distribution's entropy in bits.  The headline value
+    normalizes by the entropy of releasing ``'*'`` everywhere, so 0.0
+    is a raw release and 1.0 is total suppression.
+    """
+    records = _records_of(release)
+    _require(quasi_identifiers, "non_uniform_entropy needs quasi_identifiers")
+    _require(original is not None,
+             "non_uniform_entropy needs the original records")
+    original = list(original)
+    _require(original, "non_uniform_entropy needs a non-empty original")
+    params = {"quasi_identifiers": list(quasi_identifiers)}
+    if not records:
+        return ValidationResult(
+            "non_uniform_entropy", "anonymity", 0.0,
+            detail={"records": 0, "total_bits": 0.0, "max_bits": 0.0},
+            params=params,
+        )
+    frequencies = {
+        attribute: {} for attribute in quasi_identifiers
+    }
+    for ground in original:
+        for attribute in quasi_identifiers:
+            value = ground.get(attribute)
+            frequencies[attribute][value] = (
+                frequencies[attribute].get(value, 0) + 1
+            )
+    domains = _domains(original, quasi_identifiers)
+    cover = _cover_counts(records, domains, quasi_identifiers, hierarchies)
+    column_entropy = {
+        attribute: _entropy(list(frequencies[attribute].values()))
+        for attribute in quasi_identifiers
+    }
+    total_bits, max_bits = 0.0, 0.0
+    cell_bits = {}
+    for record in records:
+        for attribute in quasi_identifiers:
+            generalized = record.get(attribute)
+            key = (attribute, generalized)
+            if key not in cell_bits:
+                counts = [
+                    frequencies[attribute][value]
+                    for value in cover[attribute][generalized]
+                ]
+                cell_bits[key] = _entropy(counts) if counts else (
+                    column_entropy[attribute]
+                )
+            total_bits += cell_bits[key]
+            max_bits += column_entropy[attribute]
+    value = total_bits / max_bits if max_bits > 0 else 0.0
+    return ValidationResult(
+        "non_uniform_entropy", "anonymity", value,
+        detail={"records": len(records), "total_bits": total_bits,
+                "max_bits": max_bits},
+        params=params,
+    )
+
+
+def _entropy(counts):
+    total = sum(counts)
+    if total <= 0:
+        return 0.0
+    bits = 0.0
+    for count in counts:
+        if count > 0:
+            p = count / total
+            bits -= p * math.log2(p)
+    return bits
+
+
+# -- statdb family ------------------------------------------------------------
+
+def reconstruction_error(release, original, tolerance=None):
+    """How wrong (and how incomplete) an adversary's reconstruction is.
+
+    ``release`` is what the adversary recovered, ``original`` the
+    confidential truth — either aligned sequences or ``{key: value}``
+    mappings (keys in ``original`` missing from ``release`` count as
+    *not recovered*).  The headline value is the relative RMSE over the
+    recovered values (:func:`repro.metrics.information_loss.distortion`);
+    with ``tolerance`` given, the detail reports the fraction recovered
+    within it — the zoo's cell-recovery rate.
+    """
+    _require(original is not None, "reconstruction_error needs the original")
+    if isinstance(original, dict):
+        _require(isinstance(release, dict),
+                 "reconstruction_error: dict original needs a dict release")
+        keys = sorted(original, key=repr)
+        pairs = [
+            (float(original[key]), float(release[key]))
+            for key in keys if key in release
+        ]
+        missing = len(keys) - len(pairs)
+    else:
+        truth = [float(v) for v in original]
+        recovered = [float(v) for v in release]
+        _require(len(truth) == len(recovered),
+                 "reconstruction_error: sequences must have equal length")
+        pairs = list(zip(truth, recovered))
+        missing = 0
+    total = len(pairs) + missing
+    _require(total > 0, "reconstruction_error: nothing to compare")
+    params = {"tolerance": tolerance}
+    if not pairs:
+        detail = {"compared": 0, "missing": missing, "mae": None,
+                  "bias": None, "max_abs_error": None}
+        if tolerance is not None:
+            detail["within_tolerance"] = 0
+            detail["recovery_rate"] = 0.0
+        return ValidationResult(
+            "reconstruction_error", "statdb", float("inf"),
+            detail=detail, params=params,
+        )
+    truth = [t for t, _ in pairs]
+    recovered = [r for _, r in pairs]
+    errors = [r - t for t, r in pairs]
+    detail = {
+        "compared": len(pairs),
+        "missing": missing,
+        "mae": sum(abs(e) for e in errors) / len(errors),
+        "bias": sum(errors) / len(errors),
+        "max_abs_error": max(abs(e) for e in errors),
+    }
+    if tolerance is not None:
+        within = sum(1 for e in errors if abs(e) <= tolerance)
+        detail["within_tolerance"] = within
+        detail["recovery_rate"] = within / total
+    return ValidationResult(
+        "reconstruction_error", "statdb",
+        distortion(truth, recovered, relative=True),
+        detail=detail, params=params,
+    )
+
+
+# -- inference family ---------------------------------------------------------
+
+def interval_tightness(release, original=None, threshold=5.0, starts=4,
+                       seed=0):
+    """How tightly the bound solver pins the hidden cells of a release.
+
+    ``release`` is an
+    :class:`~repro.inference.bounds.AggregateConstraints` (what the
+    adversary knows); each hidden cell's feasibility interval is solved
+    and scored ``1 − width/range`` (1.0 = pinned exactly, 0.0 = the
+    release revealed nothing).  The headline value is the **maximum**
+    tightness — the single most exposed cell, matching the guard's
+    narrowest-interval decision rule.  Cells whose interval is narrower
+    than ``threshold`` are *breached* (the
+    :class:`~repro.inference.guard.InferenceGuard` criterion).  With the
+    true matrix ``original`` (``{(row, col): value}``), the detail
+    reports coverage — the fraction of intervals bracketing the truth.
+    An infeasible problem (inconsistent published aggregates) scores 0.
+    """
+    from repro.inference.bounds import AggregateConstraints, cell_bounds
+
+    _require(isinstance(release, AggregateConstraints),
+             "interval_tightness needs an AggregateConstraints release")
+    _require(threshold > 0, "threshold must be positive")
+    lo, hi = release.value_range
+    span = float(hi) - float(lo)
+    _require(span > 0, "value_range must be non-degenerate")
+    params = {"threshold": threshold, "starts": starts, "seed": seed,
+              "value_range": [lo, hi]}
+    if not release.hidden_cells:
+        return ValidationResult(
+            "interval_tightness", "inference", 0.0,
+            detail={"hidden_cells": 0, "intervals": {},
+                    "breached": 0, "breach_fraction": 0.0,
+                    "narrowest_width": None, "mean_width": None,
+                    "infeasible": False},
+            params=params,
+        )
+    try:
+        intervals = cell_bounds(release, starts=starts, seed=seed)
+    except ReproError as error:
+        return ValidationResult(
+            "interval_tightness", "inference", 0.0,
+            detail={"hidden_cells": len(release.hidden_cells),
+                    "intervals": {}, "breached": 0, "breach_fraction": 0.0,
+                    "narrowest_width": None, "mean_width": None,
+                    "infeasible": True, "reason": str(error)},
+            params=params,
+        )
+    widths = {cell: high - low for cell, (low, high) in intervals.items()}
+    tightness = {
+        cell: max(0.0, 1.0 - width / span) for cell, width in widths.items()
+    }
+    breached = [cell for cell, width in widths.items() if width < threshold]
+    detail = {
+        "hidden_cells": len(intervals),
+        "intervals": {
+            f"{cell[0]},{cell[1]}": [low, high]
+            for cell, (low, high) in sorted(intervals.items())
+        },
+        "breached": len(breached),
+        "breach_fraction": len(breached) / len(intervals),
+        "narrowest_width": min(widths.values()),
+        "mean_width": sum(widths.values()) / len(widths),
+        "infeasible": False,
+    }
+    if original is not None:
+        covered = sum(
+            1 for cell, (low, high) in intervals.items()
+            if cell in original
+            and low - 1e-6 <= float(original[cell]) <= high + 1e-6
+        )
+        detail["coverage"] = covered / len(intervals)
+    return ValidationResult(
+        "interval_tightness", "inference", max(tightness.values()),
+        detail=detail, params=params,
+    )

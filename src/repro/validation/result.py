@@ -1,0 +1,65 @@
+"""Typed results for the PET validation suite.
+
+Every metric in :mod:`repro.validation.metrics` returns a
+:class:`ValidationResult`: the metric name, the defense family it
+measures (``anonymity`` / ``statdb`` / ``inference``), one headline
+``value``, and a ``detail`` dict with every intermediate the metric
+computed.  Results serialize to JSON deterministically
+(``sort_keys=True``, no timestamps), so two runs over the same release
+produce byte-identical reports — the property the differential test
+suite pins.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ReproError
+
+#: The three defense families the suite covers (ISSUE 7 / ROADMAP).
+FAMILIES = ("anonymity", "statdb", "inference")
+
+
+class ValidationResult:
+    """One metric evaluation over one release."""
+
+    __slots__ = ("metric", "family", "value", "detail", "params",
+                 "threshold", "passed")
+
+    def __init__(self, metric, family, value, detail=None, params=None,
+                 threshold=None, passed=None):
+        if family not in FAMILIES:
+            raise ReproError(
+                f"unknown validation family {family!r}; "
+                f"expected one of {FAMILIES}"
+            )
+        self.metric = metric
+        self.family = family
+        self.value = float(value)
+        self.detail = dict(detail or {})
+        self.params = dict(params or {})
+        self.threshold = threshold
+        self.passed = passed
+
+    def to_dict(self):
+        """Plain-dict form (JSON-serializable, deterministic key order)."""
+        return {
+            "metric": self.metric,
+            "family": self.family,
+            "value": self.value,
+            "detail": self.detail,
+            "params": self.params,
+            "threshold": self.threshold,
+            "passed": self.passed,
+        }
+
+    def to_json(self, indent=2):
+        """Deterministic JSON form — byte-stable across runs."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self):
+        status = ""
+        if self.passed is not None:
+            status = ", passed" if self.passed else ", FAILED"
+        return (f"ValidationResult({self.metric!r}, {self.family}, "
+                f"value={self.value:.4f}{status})")

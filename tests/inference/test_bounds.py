@@ -16,17 +16,7 @@ from repro.inference import (
     SnoopingSource,
     cell_bounds,
 )
-
-
-def figure1_published():
-    return PublishedAggregates(
-        FIGURE1.measures,
-        FIGURE1.sources,
-        FIGURE1.row_means,
-        FIGURE1.row_stds,
-        FIGURE1.source_means,
-        precision=FIGURE1.precision,
-    )
+from repro.testing import figure1_published
 
 
 class TestConstraints:

@@ -6,9 +6,10 @@ import statistics
 import pytest
 
 from repro.errors import PrivacyViolation, ReproError
-from repro.relational import Comparison, Table
+from repro.relational import Comparison
 from repro.statdb import LaplaceMechanism, PrivacyBudget, ProtectedStatDB, StatQuery
 from repro.statdb.tracker import individual_tracker_attack, true_value
+from repro.testing import salaries_table, tracker_predicate, victim_predicate
 
 
 class TestLaplaceMechanism:
@@ -69,21 +70,13 @@ class TestPrivacyBudget:
             PrivacyBudget(1.0).charge("x", -0.1)
 
 
-def table():
-    return Table.from_dicts(
-        "salaries",
-        [{"id": i, "dept": "sales" if i % 3 else "exec",
-          "salary": 1000.0 + 100.0 * i} for i in range(30)],
-    )
-
-
 class TestLaplaceProtectedDb:
     def db(self, epsilon=0.5, budget_total=None, seed=7):
         budget = PrivacyBudget(budget_total) if budget_total else None
         mechanism = LaplaceMechanism(
             epsilon, sensitivity=1.0, budget=budget, rng=random.Random(seed)
         )
-        return ProtectedStatDB(table(), output_perturbation=mechanism)
+        return ProtectedStatDB(salaries_table(), output_perturbation=mechanism)
 
     def test_counts_are_noisy_but_close(self):
         db = self.db(epsilon=1.0)
@@ -109,16 +102,16 @@ class TestLaplaceProtectedDb:
 
     def test_tracker_attack_yields_wrong_value(self):
         db = ProtectedStatDB(
-            table(),
+            salaries_table(),
             min_set_size=3,
             restrict_complement=False,
             output_perturbation=LaplaceMechanism(
                 0.3, sensitivity=1.0, rng=random.Random(11)
             ),
         )
-        victim = Comparison("id", "=", 0)
+        victim = victim_predicate()
         result = individual_tracker_attack(
-            db, victim, Comparison("dept", "=", "sales"), func="count"
+            db, victim, tracker_predicate(), func="count"
         )
         truth = true_value(db, victim, func="count")
         assert result.succeeded  # answered...

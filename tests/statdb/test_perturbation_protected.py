@@ -6,7 +6,7 @@ import statistics
 import pytest
 
 from repro.errors import PrivacyViolation, ReproError
-from repro.relational import Comparison, Table
+from repro.relational import Comparison
 from repro.statdb import (
     ProtectedStatDB,
     RandomSampleQueries,
@@ -17,14 +17,7 @@ from repro.statdb import (
     individual_tracker_attack,
 )
 from repro.statdb.tracker import true_value
-
-
-def salaries_table():
-    rows = [
-        {"id": i, "dept": "sales" if i % 3 else "exec", "salary": 1000.0 + 100.0 * i}
-        for i in range(30)
-    ]
-    return Table.from_dicts("salaries", rows)
+from repro.testing import salaries_table, tracker_predicate, victim_predicate
 
 
 class TestInputPerturbation:
@@ -168,10 +161,10 @@ class TestProtectedStatDB:
 
 class TestTrackerAttack:
     def victim(self):
-        return Comparison("id", "=", 0)
+        return victim_predicate()
 
     def tracker(self):
-        return Comparison("dept", "=", "sales")
+        return tracker_predicate()
 
     def test_attack_beats_bare_size_control(self):
         db = ProtectedStatDB(

@@ -1,0 +1,274 @@
+"""Brute-force oracles for the validation metrics.
+
+Each oracle recomputes a metric the dumbest defensible way — explicit
+nested loops, no shared helpers with :mod:`repro.validation.metrics` —
+so the differential suite checks the production implementations against
+an independent derivation, not against themselves.  Oracles are only
+ever run on tiny (≤ 20-row) seeded datasets, so exponential blowups
+(full cartesian products) are fine here.
+"""
+
+import itertools
+import math
+import re
+
+_INTERVAL = re.compile(r"^\[(.+)-([^-]+)([\)\]])$")
+
+
+def oracle_covers(generalized, value, hierarchy=None):
+    """Naive re-derivation of the cover test."""
+    if generalized is None:
+        return value is None
+    if value is None:
+        return generalized == "*"
+    if generalized == value or str(generalized) == str(value):
+        return True
+    if generalized == "*":
+        return True
+    match = _INTERVAL.match(generalized) if isinstance(generalized, str) else None
+    if match is not None:
+        try:
+            low = float(match.group(1))
+            high = float(match.group(2))
+            number = float(value)
+        except (TypeError, ValueError):
+            return False
+        if match.group(3) == "]":
+            return low <= number <= high
+        return low <= number < high
+    if hierarchy is not None:
+        for level in range(hierarchy.height + 1):
+            if hierarchy.generalize(value, level) == generalized:
+                return True
+    return False
+
+
+def oracle_reidentification_risk(records, quasi_identifiers):
+    """max over records of 1 / |records sharing its QI tuple|."""
+    records = list(records)
+    if not records:
+        return 0.0
+    worst = 0.0
+    for record in records:
+        key = tuple(record.get(a) for a in quasi_identifiers)
+        size = sum(
+            1 for other in records
+            if tuple(other.get(a) for a in quasi_identifiers) == key
+        )
+        worst = max(worst, 1.0 / size)
+    return worst
+
+
+def oracle_avg_risk(records, quasi_identifiers):
+    records = list(records)
+    total = 0.0
+    for record in records:
+        key = tuple(record.get(a) for a in quasi_identifiers)
+        size = sum(
+            1 for other in records
+            if tuple(other.get(a) for a in quasi_identifiers) == key
+        )
+        total += 1.0 / size
+    return total / len(records)
+
+
+def oracle_measured_k(records, quasi_identifiers):
+    records = list(records)
+    smallest = len(records)
+    for record in records:
+        key = tuple(record.get(a) for a in quasi_identifiers)
+        size = sum(
+            1 for other in records
+            if tuple(other.get(a) for a in quasi_identifiers) == key
+        )
+        smallest = min(smallest, size)
+    return smallest
+
+
+def oracle_uniqueness(records, quasi_identifiers):
+    records = list(records)
+    if not records:
+        return 0.0
+    singletons = 0
+    for record in records:
+        key = tuple(record.get(a) for a in quasi_identifiers)
+        size = sum(
+            1 for other in records
+            if tuple(other.get(a) for a in quasi_identifiers) == key
+        )
+        if size == 1:
+            singletons += 1
+    return singletons / len(records)
+
+
+def oracle_population_risk(release, original, quasi_identifiers,
+                           hierarchies=None):
+    """max over released QI tuples of 1 / |ground records they cover|."""
+    keys = {
+        tuple(record.get(a) for a in quasi_identifiers)
+        for record in release
+    }
+    worst = 0.0
+    for key in keys:
+        matched = 0
+        for ground in original:
+            if all(
+                oracle_covers(generalized, ground.get(attribute),
+                              (hierarchies or {}).get(attribute))
+                for attribute, generalized in zip(quasi_identifiers, key)
+            ):
+                matched += 1
+        if matched > 0:
+            worst = max(worst, 1.0 / matched)
+    return worst
+
+
+def oracle_ambiguity(release, original, quasi_identifiers,
+                     hierarchies=None):
+    """Mean of 1 − 1/combinations via the *full* cartesian product."""
+    release = list(release)
+    original = list(original)
+    if not release:
+        return 0.0
+    domains = []
+    for attribute in quasi_identifiers:
+        seen = []
+        for ground in original:
+            value = ground.get(attribute)
+            if value not in seen:
+                seen.append(value)
+        domains.append(seen)
+    total = 0.0
+    for record in release:
+        combinations = 0
+        for combo in itertools.product(*domains):
+            if all(
+                oracle_covers(record.get(attribute), value,
+                              (hierarchies or {}).get(attribute))
+                for attribute, value in zip(quasi_identifiers, combo)
+            ):
+                combinations += 1
+        combinations = max(1, combinations)
+        total += 1.0 - 1.0 / combinations
+    return total / len(release)
+
+
+def oracle_precision(release, original, quasi_identifiers, hierarchies):
+    """1 − mean(level/height), levels found by exhaustive scan."""
+    release = list(release)
+    original = list(original)
+    if not release:
+        return 1.0
+    ratios = []
+    for record in release:
+        for attribute in quasi_identifiers:
+            hierarchy = hierarchies[attribute]
+            generalized = record.get(attribute)
+            level = hierarchy.height
+            for candidate in range(hierarchy.height + 1):
+                produced = False
+                for ground in original:
+                    value = ground.get(attribute)
+                    if hierarchy.generalize(value, candidate) == generalized:
+                        produced = True
+                        break
+                if produced:
+                    level = candidate
+                    break
+            ratios.append(
+                level / hierarchy.height if hierarchy.height else 0.0
+            )
+    return 1.0 - sum(ratios) / len(ratios)
+
+
+def oracle_non_uniform_entropy(release, original, quasi_identifiers,
+                               hierarchies=None):
+    """total bits / max bits, each cell's entropy from explicit loops."""
+    release = list(release)
+    original = list(original)
+    if not release:
+        return 0.0
+
+    def entropy(counts):
+        total = sum(counts)
+        if total <= 0:
+            return 0.0
+        bits = 0.0
+        for count in counts:
+            if count > 0:
+                bits -= (count / total) * math.log2(count / total)
+        return bits
+
+    total_bits, max_bits = 0.0, 0.0
+    for record in release:
+        for attribute in quasi_identifiers:
+            frequency = {}
+            for ground in original:
+                value = ground.get(attribute)
+                frequency[value] = frequency.get(value, 0) + 1
+            covered_counts = [
+                count for value, count in frequency.items()
+                if oracle_covers(record.get(attribute), value,
+                                 (hierarchies or {}).get(attribute))
+            ]
+            column_bits = entropy(list(frequency.values()))
+            cell = entropy(covered_counts) if covered_counts else column_bits
+            total_bits += cell
+            max_bits += column_bits
+    return total_bits / max_bits if max_bits > 0 else 0.0
+
+
+def oracle_reconstruction_error(release, original):
+    """Relative RMSE over the recovered keys, re-derived from scratch."""
+    pairs = [
+        (float(original[key]), float(release[key]))
+        for key in original if key in release
+    ]
+    if not pairs:
+        return float("inf")
+    mse = sum((t - r) ** 2 for t, r in pairs) / len(pairs)
+    rmse = math.sqrt(mse)
+    truth = [t for t, _ in pairs]
+    mean = sum(truth) / len(truth)
+    sigma = math.sqrt(sum((t - mean) ** 2 for t in truth) / len(truth))
+    if sigma == 0:
+        return 0.0 if rmse == 0 else float("inf")
+    return rmse / sigma
+
+
+def oracle_interval_bounds(constraints, steps=2000):
+    """Grid-search feasibility intervals for ONE hidden column.
+
+    Only supports problems with exactly one hidden column — each hidden
+    cell's bound is then independent given the row-mean constraints, so
+    a 1-D sweep per cell is exact (to grid resolution).  Column-mean and
+    std constraints couple cells of one column, so callers should build
+    cases without them (or with ``n_rows == 1`` where they stay 1-D).
+    """
+    hidden_columns = {
+        j for j in range(constraints.n_cols)
+        if j not in constraints.known_columns
+    }
+    assert len(hidden_columns) == 1, "oracle handles one hidden column"
+    j_hidden = hidden_columns.pop()
+    low, high = constraints.value_range
+    intervals = {}
+    for i in range(constraints.n_rows):
+        known_sum = sum(
+            constraints.known_columns[j][i]
+            for j in range(constraints.n_cols)
+            if j in constraints.known_columns
+        )
+        feasible = []
+        for step in range(steps + 1):
+            x = low + (high - low) * step / steps
+            mean = (known_sum + x) / constraints.n_cols
+            if abs(mean - constraints.row_means[i]) <= constraints.tolerance + 1e-12:
+                column_mean = constraints.column_means.get(j_hidden)
+                if column_mean is not None and constraints.n_rows == 1:
+                    if abs(x - column_mean) > constraints.column_tol(j_hidden) + 1e-12:
+                        continue
+                feasible.append(x)
+        if feasible:
+            intervals[(i, j_hidden)] = (min(feasible), max(feasible))
+    return intervals

@@ -1,0 +1,237 @@
+"""The zoo scenario and each adversary, driven through the real pipeline."""
+
+import pytest
+
+from repro.data import FIGURE1
+from repro.validation.adversaries import (
+    MEASURES,
+    SLICE_OFFSET,
+    SLICE_SIZE,
+    SOURCES,
+    ColludingRequesters,
+    CompositionAttacker,
+    ConstraintAwareAttacker,
+    ZooDefenses,
+    build_zoo_system,
+    compose_cells,
+    run_probe_script,
+    zoo_knowledge,
+    zoo_population,
+    zoo_publication,
+    zoo_table,
+    zoo_truth,
+)
+from repro.validation.zoo import run_adversary
+from repro.errors import ReproError
+
+
+class TestScenario:
+    def test_slice_means_bracket_the_cell(self):
+        for j, source in enumerate(SOURCES):
+            rows = list(zoo_table(j).rows_as_dicts())
+            assert len(rows) == 2 * SLICE_SIZE
+            for m, measure in enumerate(MEASURES):
+                cell = FIGURE1.consistent_matrix[m][j]
+                a = [r[measure] for r in rows if r["age"] > 40]
+                b = [r[measure] for r in rows if r["age"] <= 40]
+                assert len(a) == len(b) == SLICE_SIZE
+                assert sum(a) / len(a) == pytest.approx(cell + SLICE_OFFSET)
+                assert sum(b) / len(b) == pytest.approx(cell - SLICE_OFFSET)
+                together = a + b
+                assert sum(together) / len(together) == pytest.approx(cell)
+
+    def test_zips_globally_unique(self):
+        population = zoo_population()
+        zips = [row["zip"] for row in population]
+        assert len(set(zips)) == len(zips) == 4 * 2 * SLICE_SIZE
+
+    def test_zoo_knowledge_drops_only_output_rounding(self):
+        names = {t.name for t in zoo_knowledge().techniques}
+        assert "output-rounding" not in names
+        assert {"k-anonymize", "suppress-identifiers",
+                "audit-trail", "set-size-control"} <= names
+
+    def test_truth_is_figure1(self):
+        truth = zoo_truth()
+        assert len(truth) == 12
+        assert truth[("hba1c", "HMO1")] == FIGURE1.hmo1_values[0]
+
+    def test_hmo4_measures_hidden_from_vocabulary(self):
+        system = build_zoo_system()
+        for measure in MEASURES:
+            attribute = system.mediated_schema().attribute(measure)
+            assert set(attribute.local_names) == set(SOURCES[:3])
+
+    def test_publication_guarded_vs_full(self):
+        full = zoo_publication(ZooDefenses())
+        assert full["sources"] == SOURCES
+        assert full["row_stds"] is not None
+        assert len(full["source_means"]) == 4
+        guarded = zoo_publication(ZooDefenses(guard=True))
+        assert "HMO4" not in guarded["sources"]
+        assert guarded["row_stds"] is None
+        assert guarded["source_means"] == {}
+        assert guarded["tolerance"] > full["tolerance"]
+
+
+class TestProbeScript:
+    def test_measure_probe_skips_hmo4_without_refusal(self):
+        system = build_zoo_system()
+        refusals = []
+        probe = run_probe_script(system, "probe-1", refusals)
+        assert refusals == []
+        for measure in MEASURES:
+            for slice_name in ("a", "b"):
+                answered = probe["avg"][(measure, slice_name)]
+                assert set(answered) == set(SOURCES[:3])
+        ledger = system.explain_last("probe-1")
+        assert ledger is not None
+
+    def test_counts_span_all_four_sources(self):
+        system = build_zoo_system()
+        probe = run_probe_script(system, "probe-2", [])
+        for slice_name in ("a", "b"):
+            assert set(probe["count"][slice_name]) == set(SOURCES)
+            for count in probe["count"][slice_name].values():
+                assert count == SLICE_SIZE
+
+    def test_record_probe_releases_both_quasi_identifiers(self):
+        system = build_zoo_system()
+        probe = run_probe_script(system, "probe-3", [])
+        assert len(probe["rows"]) == 4 * 2 * SLICE_SIZE
+        assert {"age", "zip"} <= set(probe["rows"][0])
+
+    def test_composition_is_exact_with_defenses_off(self):
+        system = build_zoo_system()
+        probe = run_probe_script(system, "probe-4", [])
+        cells, partial = compose_cells(probe)
+        assert partial == set()
+        truth = zoo_truth()
+        assert len(cells) == 9
+        for key, value in cells.items():
+            assert value == pytest.approx(truth[key], abs=1e-9)
+
+
+class TestCompositionAttacker:
+    def test_baseline_near_total_disclosure(self):
+        outcome = run_adversary(CompositionAttacker(), ZooDefenses())
+        assert outcome.residual_risk > 0.95
+        assert outcome.view.exact_sources == set(SOURCES[:3])
+        assert outcome.summary["anonymity"]["reidentification_risk"] == 1.0
+        assert outcome.summary["statdb"]["reconstruction_error"] < 1e-9
+        assert outcome.summary["inference"]["interval_tightness"] > 0.99
+
+    def test_refusal_defense_forces_biased_estimates(self):
+        defenses = ZooDefenses(refusal=True)
+        outcome = run_adversary(CompositionAttacker(), defenses)
+        assert outcome.view.refusals  # slice-b probes were refused
+        assert all(r["kind"] == "AuditRefusal"
+                   for r in outcome.view.refusals)
+        assert outcome.view.exact_sources == set()
+        truth = zoo_truth()
+        for key, value in outcome.view.recovered.items():
+            assert abs(value - truth[key]) == pytest.approx(SLICE_OFFSET)
+
+    def test_laplace_defense_perturbs_recovery(self):
+        outcome = run_adversary(CompositionAttacker(),
+                                ZooDefenses(laplace=True))
+        assert outcome.view.exact_sources == set()
+        assert outcome.summary["statdb"]["reconstruction_error"] > 0.01
+
+    def test_kanon_defense_caps_reidentification(self):
+        outcome = run_adversary(CompositionAttacker(),
+                                ZooDefenses(kanon=True))
+        reid = outcome.summary["anonymity"]["reidentification_risk"]
+        assert reid <= 0.2  # k = 5
+        detail = next(
+            r for r in outcome.results
+            if r.metric == "reidentification_risk"
+        ).detail
+        assert detail["measured_k"] >= 5
+
+    def test_guard_defense_hides_hmo4_column(self):
+        outcome = run_adversary(CompositionAttacker(),
+                                ZooDefenses(guard=True))
+        for measure in MEASURES:
+            assert outcome.cell_scores[(measure, "HMO4")] == 0.0
+        baseline = run_adversary(CompositionAttacker(), ZooDefenses())
+        for measure in MEASURES:
+            assert baseline.cell_scores[(measure, "HMO4")] > 0.5
+
+
+class TestConstraintAwareAttacker:
+    def test_owns_home_column_regardless_of_defenses(self):
+        outcome = run_adversary(ConstraintAwareAttacker(),
+                                ZooDefenses.all_on())
+        truth = zoo_truth()
+        for measure in MEASURES:
+            assert outcome.view.recovered[(measure, "HMO1")] == (
+                truth[(measure, "HMO1")]
+            )
+        assert "HMO1" in outcome.view.exact_sources
+
+    def test_invariant_range_tightens_inference(self):
+        narrow = run_adversary(ConstraintAwareAttacker(), ZooDefenses())
+        assert narrow.view.value_range == (40.0, 90.0)
+        assert narrow.summary["inference"]["interval_tightness"] > 0.99
+
+
+class TestColludingRequesters:
+    def test_needs_at_least_two(self):
+        with pytest.raises(ReproError):
+            ColludingRequesters(1)
+
+    def test_each_colluder_trips_the_sequence_guard(self):
+        outcome = run_adversary(ColludingRequesters(3),
+                                ZooDefenses(refusal=True))
+        refused_by = {r["requester"] for r in outcome.view.refusals}
+        assert refused_by == {"zoo-colluder-1", "zoo-colluder-2",
+                              "zoo-colluder-3"}
+
+    def test_pooled_budget_exceeds_any_individual(self):
+        outcome = run_adversary(ColludingRequesters(3), ZooDefenses())
+        assert outcome.view.pooled_budget > 0.0
+        # pooling: 1 − Π(1 − cum_i) ≥ max(cum_i), strictly when ≥ 2
+        # requesters were each charged
+        assert outcome.view.pooled_budget > 0.1
+
+    def test_averaging_beats_a_single_noisy_requester(self):
+        single = run_adversary(CompositionAttacker(),
+                               ZooDefenses(laplace=True))
+        ring = run_adversary(ColludingRequesters(3),
+                             ZooDefenses(laplace=True))
+        single_error = single.summary["statdb"]["reconstruction_error"]
+        ring_error = ring.summary["statdb"]["reconstruction_error"]
+        assert ring_error != single_error  # fresh noise per principal
+
+
+class TestLedgerAndEvents:
+    def test_run_stamps_validation_onto_ledger(self):
+        system = build_zoo_system(ZooDefenses())
+        outcome = run_adversary(CompositionAttacker(), ZooDefenses(),
+                                system=system)
+        ledger = system.explain_last()
+        assert ledger.validation is not None
+        assert set(ledger.validation) >= {"anonymity", "statdb",
+                                          "inference", "composite"}
+        composite = ledger.validation["composite"]
+        assert composite["residual_risk"] == outcome.residual_risk
+
+    def test_run_emits_scored_event(self):
+        system = build_zoo_system(ZooDefenses())
+        run_adversary(CompositionAttacker(), ZooDefenses(), system=system)
+        names = [e.name for e in system.telemetry.events.tail(50)]
+        assert "validation.scored" in names
+        scored = [
+            e for e in system.telemetry.events.tail(50)
+            if e.name == "validation.scored"
+        ][-1]
+        assert scored.attributes["adversary"] == "composition"
+        assert scored.attributes["defenses"] == "none"
+        assert 0.0 <= scored.attributes["residual_risk"] <= 1.0
+
+    def test_outcome_report_is_deterministic_json(self):
+        a = run_adversary(CompositionAttacker(), ZooDefenses())
+        b = run_adversary(CompositionAttacker(), ZooDefenses())
+        assert a.report() == b.report()
+        assert a.to_dict()["label"] == "none"

@@ -1,0 +1,86 @@
+"""Regression: tier-3 replay to colluders stays charged and watched.
+
+A cached (tier-3 warehouse) answer replayed to the same requester must
+still be journaled and charged against the shared role budget, and a
+colluding requester posing the identical text must NOT be served the
+first requester's cached noise — the plan fingerprint includes the
+requester, so each principal pays for (and perturbs) its own answer.
+"""
+
+import pytest
+
+from repro.validation.adversaries import (
+    ZooDefenses,
+    build_zoo_system,
+    pooled_role_budget,
+)
+
+QUERY = (
+    "SELECT AVG(//patient/hba1c) AS hba1c "
+    "WHERE //patient/age > 40 PURPOSE research MAXLOSS 0.9"
+)
+
+
+@pytest.fixture()
+def system():
+    return build_zoo_system(ZooDefenses(laplace=True))
+
+
+def _values(result):
+    return {row["_source"]: float(row["hba1c"]) for row in result.rows}
+
+
+class TestSameRequesterReplay:
+    def test_replay_is_served_from_answer_cache(self, system):
+        first = system.query(QUERY, requester="ring-1", role="analyst")
+        replay = system.query(QUERY, requester="ring-1", role="analyst")
+        ledger = system.explain_last("ring-1")
+        assert ledger.cache["answer"] == "hit"
+        assert ledger.warehouse["from_cache"] is True
+        assert ledger.warehouse["origin"] == "answer-cache"
+        assert _values(replay) == _values(first)
+
+    def test_replay_is_still_journaled_and_charged(self, system):
+        journal = system.audit_journal()
+        system.query(QUERY, requester="ring-1", role="analyst")
+        after_first = len(journal)
+        charged_once = journal.requesters()["ring-1"]
+        assert charged_once > 0.0
+        system.query(QUERY, requester="ring-1", role="analyst")
+        assert len(journal) > after_first
+        assert journal.requesters()["ring-1"] > charged_once
+
+    def test_replay_is_visible_to_snooperwatch(self, system):
+        watch = system.observatory.watch
+        system.query(QUERY, requester="ring-1", role="analyst")
+        poses_once = watch.state_dict()["poses"]["ring-1"]
+        system.query(QUERY, requester="ring-1", role="analyst")
+        assert "ring-1" in watch.requesters()
+        assert watch.state_dict()["poses"]["ring-1"] == poses_once + 1
+
+
+class TestColludingReplay:
+    def test_colluder_never_reads_anothers_cache_entry(self, system):
+        first = system.query(QUERY, requester="ring-1", role="analyst")
+        second = system.query(QUERY, requester="ring-2", role="analyst")
+        ledger = system.explain_last("ring-2")
+        assert ledger.cache["answer"] == "miss"
+        assert ledger.warehouse["from_cache"] is False
+        # fresh Laplace draws, not the ring-1 replay
+        assert _values(second) != _values(first)
+
+    def test_each_colluder_gets_its_own_journal_charge(self, system):
+        journal = system.audit_journal()
+        system.query(QUERY, requester="ring-1", role="analyst")
+        system.query(QUERY, requester="ring-2", role="analyst")
+        cumulative = journal.requesters()
+        assert cumulative["ring-1"] > 0.0
+        assert cumulative["ring-2"] > 0.0
+
+    def test_pool_exceeds_any_individual_budget(self, system):
+        system.query(QUERY, requester="ring-1", role="analyst")
+        system.query(QUERY, requester="ring-2", role="analyst")
+        pooled = pooled_role_budget(system, ("ring-1", "ring-2"))
+        cumulative = system.audit_journal().requesters()
+        assert pooled > cumulative["ring-1"]
+        assert pooled > cumulative["ring-2"]

@@ -1,0 +1,243 @@
+"""Differential tests: every metric vs its brute-force oracle.
+
+100+ seeded cases per metric over ≤20-row datasets, spanning raw,
+Mondrian, full-domain-generalized, and randomly generalized releases.
+All randomness is seeded, so every case (and every metric value) is
+byte-stable across runs.
+"""
+
+import random
+
+import pytest
+
+from repro.anonymity.hierarchy import interval_hierarchy
+from repro.anonymity.mondrian import anonymized_records, mondrian_partition
+from repro.inference.bounds import AggregateConstraints
+from repro.validation import validate
+
+from tests.validation.oracles import (
+    oracle_ambiguity,
+    oracle_avg_risk,
+    oracle_covers,
+    oracle_interval_bounds,
+    oracle_measured_k,
+    oracle_non_uniform_entropy,
+    oracle_population_risk,
+    oracle_precision,
+    oracle_reconstruction_error,
+    oracle_reidentification_risk,
+    oracle_uniqueness,
+)
+
+QI = ("age", "zip")
+SEEDS = range(36)
+RELEASES = ("raw", "mondrian", "hierarchy")  # 36 seeds × 3 = 108 cases
+
+
+def hierarchies():
+    return {
+        "age": interval_hierarchy("age", [5, 10, 20], low=0),
+        "zip": interval_hierarchy("zip", [10, 100], low=10000),
+    }
+
+
+def ground_table(seed):
+    rng = random.Random(seed)
+    n = rng.randint(4, 20)
+    return [
+        {"age": rng.randint(20, 69), "zip": 10000 + rng.randint(0, 199)}
+        for _ in range(n)
+    ]
+
+
+def make_release(kind, original, seed):
+    rng = random.Random(seed + 1000)
+    if kind == "raw":
+        return [dict(record) for record in original]
+    if kind == "mondrian":
+        k = min(rng.choice((2, 3)), len(original))
+        partitions = mondrian_partition(original, QI, k)
+        return anonymized_records(partitions, QI)
+    built = hierarchies()
+    release = []
+    for record in original:
+        out = {}
+        for attribute in QI:
+            level = rng.randint(0, built[attribute].height)
+            out[attribute] = built[attribute].generalize(
+                record[attribute], level
+            )
+        release.append(out)
+    return release
+
+
+def cases():
+    return [
+        pytest.param(seed, kind, id=f"{kind}-{seed}")
+        for seed in SEEDS for kind in RELEASES
+    ]
+
+
+@pytest.mark.parametrize("seed,kind", cases())
+def test_reidentification_risk_matches_oracle(seed, kind):
+    original = ground_table(seed)
+    release = make_release(kind, original, seed)
+    result = validate(release, original, "reidentification_risk",
+                      quasi_identifiers=QI, hierarchies=hierarchies())
+    assert result.value == pytest.approx(
+        oracle_reidentification_risk(release, QI)
+    )
+    assert result.detail["avg_risk"] == pytest.approx(
+        oracle_avg_risk(release, QI)
+    )
+    assert result.detail["measured_k"] == oracle_measured_k(release, QI)
+    assert result.detail["population_risk"] == pytest.approx(
+        oracle_population_risk(release, original, QI, hierarchies())
+    )
+
+
+@pytest.mark.parametrize("seed,kind", cases())
+def test_uniqueness_matches_oracle(seed, kind):
+    original = ground_table(seed)
+    release = make_release(kind, original, seed)
+    result = validate(release, original, "uniqueness",
+                      quasi_identifiers=QI)
+    assert result.value == pytest.approx(oracle_uniqueness(release, QI))
+    assert result.detail["original_uniqueness"] == pytest.approx(
+        oracle_uniqueness(original, QI)
+    )
+
+
+@pytest.mark.parametrize("seed,kind", cases())
+def test_ambiguity_matches_oracle(seed, kind):
+    original = ground_table(seed)
+    release = make_release(kind, original, seed)
+    result = validate(release, original, "ambiguity",
+                      quasi_identifiers=QI, hierarchies=hierarchies())
+    assert result.value == pytest.approx(
+        oracle_ambiguity(release, original, QI, hierarchies())
+    )
+
+
+@pytest.mark.parametrize("seed,kind", cases())
+def test_precision_matches_oracle(seed, kind):
+    original = ground_table(seed)
+    release = make_release(kind, original, seed)
+    result = validate(release, original, "precision",
+                      quasi_identifiers=QI, hierarchies=hierarchies())
+    assert result.value == pytest.approx(
+        oracle_precision(release, original, QI, hierarchies())
+    )
+
+
+@pytest.mark.parametrize("seed,kind", cases())
+def test_non_uniform_entropy_matches_oracle(seed, kind):
+    original = ground_table(seed)
+    release = make_release(kind, original, seed)
+    result = validate(release, original, "non_uniform_entropy",
+                      quasi_identifiers=QI, hierarchies=hierarchies())
+    assert result.value == pytest.approx(
+        oracle_non_uniform_entropy(release, original, QI, hierarchies())
+    )
+
+
+@pytest.mark.parametrize("seed,kind", cases())
+def test_metric_results_are_byte_stable(seed, kind):
+    original = ground_table(seed)
+    release = make_release(kind, original, seed)
+    first = validate(release, original, "reidentification_risk",
+                     quasi_identifiers=QI)
+    second = validate(release, original, "reidentification_risk",
+                      quasi_identifiers=QI)
+    assert first.to_json() == second.to_json()
+
+
+@pytest.mark.parametrize("seed", range(110))
+def test_reconstruction_error_matches_oracle(seed):
+    rng = random.Random(seed)
+    n = rng.randint(1, 20)
+    truth = {
+        ("cell", i): rng.uniform(10.0, 90.0) for i in range(n)
+    }
+    release = {}
+    for key, value in truth.items():
+        roll = rng.random()
+        if roll < 0.25:
+            continue  # not recovered
+        if roll < 0.5:
+            release[key] = value  # exact
+        else:
+            release[key] = value + rng.uniform(-8.0, 8.0)
+    result = validate(release, truth, "reconstruction_error",
+                      tolerance=0.05)
+    expected = oracle_reconstruction_error(release, truth)
+    if expected == float("inf"):
+        assert result.value == float("inf")
+    else:
+        assert result.value == pytest.approx(expected)
+    exact = sum(
+        1 for key in truth
+        if key in release and abs(release[key] - truth[key]) <= 0.05
+    )
+    assert result.detail["recovery_rate"] == pytest.approx(exact / n)
+
+
+@pytest.mark.parametrize("seed", range(105))
+def test_interval_tightness_matches_grid_oracle(seed):
+    rng = random.Random(seed)
+    n_rows = rng.randint(1, 3)
+    n_cols = rng.randint(2, 4)
+    truth = [
+        [rng.uniform(20.0, 80.0) for _ in range(n_cols)]
+        for _ in range(n_rows)
+    ]
+    hidden = rng.randrange(n_cols)
+    known = {
+        j: [truth[i][j] for i in range(n_rows)]
+        for j in range(n_cols) if j != hidden
+    }
+    tolerance = rng.choice((0.05, 0.5, 2.0))
+    row_means = [sum(row) / n_cols for row in truth]
+    constraints = AggregateConstraints(
+        n_rows=n_rows, n_cols=n_cols, known_columns=known,
+        row_means=row_means, value_range=(0.0, 100.0),
+        tolerance=tolerance,
+    )
+    result = validate(constraints, metric="interval_tightness", starts=3)
+    expected = oracle_interval_bounds(constraints)
+    assert not result.detail["infeasible"]
+    assert result.detail["hidden_cells"] == n_rows
+    # With one hidden column each cell's exact interval is
+    # [n·(mean−tol) − known_sum, n·(mean+tol) − known_sum] ∩ range; the
+    # grid oracle finds it to 0.05 resolution, SLSQP to solver precision.
+    for cell, (low, high) in expected.items():
+        got_low, got_high = result.detail["intervals"][
+            f"{cell[0]},{cell[1]}"
+        ]
+        assert got_low == pytest.approx(low, abs=0.1)
+        assert got_high == pytest.approx(high, abs=0.1)
+    widths = [high - low for low, high in expected.values()]
+    span = 100.0
+    assert result.value == pytest.approx(
+        max(1.0 - w / span for w in widths), abs=0.002
+    )
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_covers_matches_oracle_on_random_labels(seed):
+    rng = random.Random(seed)
+    from repro.validation.metrics import covers
+
+    hierarchy = interval_hierarchy("age", [5, 10, 20], low=0)
+    values = [rng.randint(0, 99) for _ in range(6)]
+    labels = ["*", str(rng.randint(0, 99)), rng.randint(0, 99)]
+    for value in values[:3]:
+        level = rng.randint(0, hierarchy.height)
+        labels.append(hierarchy.generalize(value, level))
+        low = (value // 10) * 10
+        labels.append(f"[{low}-{low + 10}]")
+    for label in labels:
+        for value in values:
+            assert covers(label, value, hierarchy) == oracle_covers(
+                label, value, hierarchy
+            ), (label, value)

@@ -1,0 +1,409 @@
+"""Unit tests for the validation metrics, result type, and validate API."""
+
+import json
+
+import pytest
+
+from repro.anonymity.hierarchy import interval_hierarchy, taxonomy_hierarchy
+from repro.anonymity.kanonymity import FullDomainGeneralizer
+from repro.anonymity.mondrian import anonymized_records, mondrian_partition
+from repro.errors import ReproError
+from repro.inference.bounds import AggregateConstraints
+from repro.validation import (
+    FAMILIES,
+    ValidationResult,
+    metric_names,
+    report,
+    summarize,
+    validate,
+)
+from repro.validation.metrics import covers
+
+
+def records():
+    return [
+        {"age": 34, "zip": 10001, "dept": "sales"},
+        {"age": 35, "zip": 10001, "dept": "sales"},
+        {"age": 36, "zip": 10002, "dept": "exec"},
+        {"age": 44, "zip": 10002, "dept": "sales"},
+        {"age": 45, "zip": 10003, "dept": "exec"},
+        {"age": 46, "zip": 10003, "dept": "sales"},
+    ]
+
+
+class TestCovers:
+    def test_exact_and_string_coercion(self):
+        assert covers(34, 34)
+        assert covers("34", 34)
+        assert not covers(34, 35)
+
+    def test_suppression_covers_everything(self):
+        assert covers("*", 34)
+        assert covers("*", "sales")
+
+    def test_half_open_interval(self):
+        assert covers("[30-40)", 34)
+        assert covers("[30-40)", 30)
+        assert not covers("[30-40)", 40)
+
+    def test_closed_interval_from_mondrian(self):
+        assert covers("[30-40]", 40)
+        assert not covers("[30-40]", 41)
+
+    def test_negative_lower_bound(self):
+        assert covers("[-10-0)", -5)
+        assert not covers("[-10-0)", 3)
+
+    def test_non_numeric_value_in_interval(self):
+        assert not covers("[30-40)", "sales")
+
+    def test_hierarchy_levels(self):
+        hierarchy = taxonomy_hierarchy(
+            "dept", {"sales": "commercial", "exec": "management"}
+        )
+        assert covers("commercial", "sales", hierarchy)
+        assert not covers("commercial", "exec", hierarchy)
+
+    def test_none_handling(self):
+        assert covers(None, None)
+        assert not covers(None, 3)
+        assert covers("*", None)
+        assert not covers(3, None)
+
+
+class TestValidationResult:
+    def test_family_is_validated(self):
+        with pytest.raises(ReproError):
+            ValidationResult("m", "nonsense", 0.5)
+
+    def test_families_constant(self):
+        assert FAMILIES == ("anonymity", "statdb", "inference")
+
+    def test_to_json_byte_stable(self):
+        a = ValidationResult("m", "anonymity", 0.5, detail={"b": 1, "a": 2})
+        b = ValidationResult("m", "anonymity", 0.5, detail={"a": 2, "b": 1})
+        assert a.to_json() == b.to_json()
+
+
+class TestValidateApi:
+    def test_metric_names(self):
+        assert "reidentification_risk" in metric_names()
+        assert len(metric_names()) == 7
+
+    def test_name_normalization(self):
+        release = records()
+        a = validate(release, metric="ReidentificationRisk",
+                     quasi_identifiers=("age",))
+        b = validate(release, metric="reidentification-risk",
+                     quasi_identifiers=("age",))
+        assert a.value == b.value
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ReproError, match="unknown validation metric"):
+            validate(records(), metric="telepathy")
+
+    def test_threshold_below_direction(self):
+        result = validate(records(), metric="reidentification_risk",
+                          quasi_identifiers=("age",), threshold=0.5)
+        assert result.passed is False  # all-unique release, risk 1.0
+        result = validate(records(), metric="reidentification_risk",
+                          quasi_identifiers=("dept",), threshold=0.5)
+        assert result.passed is True
+
+    def test_threshold_above_direction(self):
+        truth = {"a": 1.0, "b": 2.0}
+        result = validate(dict(truth), truth,
+                          metric="reconstruction_error", threshold=0.5)
+        assert result.passed is False  # perfect reconstruction: error 0
+
+    def test_summarize_groups_by_family(self):
+        results = [
+            validate(records(), metric="uniqueness",
+                     quasi_identifiers=("age",)),
+            validate({"a": 1.0}, {"a": 1.5},
+                     metric="reconstruction_error"),
+        ]
+        summary = summarize(results)
+        assert set(summary) == {"anonymity", "statdb"}
+        assert summary["anonymity"]["uniqueness"] == 1.0
+
+    def test_report_byte_stable_and_grouped(self, tmp_path):
+        def build():
+            return [
+                validate(records(), metric="uniqueness",
+                         quasi_identifiers=("age",), threshold=0.2),
+                validate({"a": 1.0}, {"a": 1.0},
+                         metric="reconstruction_error"),
+            ]
+
+        first = report(build())
+        second = report(build())
+        assert first == second
+        document = json.loads(first)
+        assert set(document["families"]) == {"anonymity", "statdb"}
+        assert document["metrics_evaluated"] == 2
+        path = tmp_path / "report.json"
+        report(build(), path=str(path))
+        assert json.loads(path.read_text()) == document
+
+    def test_report_rejects_non_results(self):
+        with pytest.raises(ReproError):
+            report([{"metric": "fake"}])
+
+
+class TestReidentificationRisk:
+    def test_raw_release_max_risk(self):
+        result = validate(records(), metric="reidentification_risk",
+                          quasi_identifiers=("age", "zip"))
+        assert result.value == 1.0
+        assert result.detail["measured_k"] == 1
+        assert result.family == "anonymity"
+
+    def test_paired_release(self):
+        result = validate(records(), metric="reidentification_risk",
+                          quasi_identifiers=("zip",))
+        assert result.value == 0.5
+        assert result.detail["classes"] == 3
+
+    def test_mondrian_release_meets_k(self):
+        release = anonymized_records(
+            mondrian_partition(records(), ("age", "zip"), 3),
+            ("age", "zip"),
+        )
+        result = validate(release, metric="reidentification_risk",
+                          quasi_identifiers=("age", "zip"))
+        assert result.value <= 1.0 / 3.0
+        assert result.detail["measured_k"] >= 3
+
+    def test_population_matching(self):
+        release = anonymized_records(
+            mondrian_partition(records(), ("age",), 3), ("age",),
+        )
+        result = validate(release, records(),
+                          metric="reidentification_risk",
+                          quasi_identifiers=("age",))
+        assert result.detail["population"] == 6
+        assert result.detail["min_population_matches"] >= 3
+        assert result.detail["population_risk"] <= 1.0 / 3.0
+
+    def test_needs_quasi_identifiers(self):
+        with pytest.raises(ReproError):
+            validate(records(), metric="reidentification_risk")
+
+    def test_empty_release(self):
+        result = validate([], metric="reidentification_risk",
+                          quasi_identifiers=("age",))
+        assert result.value == 0.0
+
+    def test_accepts_anonymization_result(self):
+        generalizer = FullDomainGeneralizer(
+            [interval_hierarchy("age", [10, 20], low=0)]
+        )
+        release = generalizer.anonymize(records(), k=2)
+        result = validate(release, metric="reidentification_risk",
+                          quasi_identifiers=("age",))
+        assert result.detail["measured_k"] >= 2
+
+
+class TestUniqueness:
+    def test_all_unique(self):
+        result = validate(records(), metric="uniqueness",
+                          quasi_identifiers=("age",))
+        assert result.value == 1.0
+
+    def test_no_singletons(self):
+        result = validate(records(), metric="uniqueness",
+                          quasi_identifiers=("zip",))
+        assert result.value == 0.0
+
+    def test_original_uniqueness_in_detail(self):
+        release = anonymized_records(
+            mondrian_partition(records(), ("age", "zip"), 2),
+            ("age", "zip"),
+        )
+        result = validate(release, records(), metric="uniqueness",
+                          quasi_identifiers=("age", "zip"))
+        assert result.value == 0.0
+        assert result.detail["original_uniqueness"] == 1.0
+
+
+class TestAmbiguity:
+    def test_raw_release_has_none(self):
+        result = validate(records(), records(), metric="ambiguity",
+                          quasi_identifiers=("age", "zip"))
+        assert result.value == 0.0
+
+    def test_full_suppression(self):
+        release = [{"age": "*", "zip": "*"} for _ in records()]
+        result = validate(release, records(), metric="ambiguity",
+                          quasi_identifiers=("age", "zip"))
+        # 6 ages × 3 zips = 18 combinations per record
+        assert result.value == pytest.approx(1.0 - 1.0 / 18.0)
+        assert result.detail["max_combinations"] == 18
+
+    def test_interval_release_counts_covered(self):
+        release = [{"age": "[30-40)"}, {"age": "[40-50)"}]
+        result = validate(release, records(), metric="ambiguity",
+                          quasi_identifiers=("age",))
+        # each decade covers 3 of the ground ages
+        assert result.value == pytest.approx(1.0 - 1.0 / 3.0)
+
+    def test_needs_original(self):
+        with pytest.raises(ReproError):
+            validate(records(), metric="ambiguity",
+                     quasi_identifiers=("age",))
+
+
+class TestPrecision:
+    def hierarchies(self):
+        return {"age": interval_hierarchy("age", [10, 20], low=0)}
+
+    def test_raw_release_full_precision(self):
+        result = validate(records(), records(), metric="precision",
+                          quasi_identifiers=("age",),
+                          hierarchies=self.hierarchies())
+        assert result.value == 1.0
+
+    def test_suppressed_release_zero_precision(self):
+        release = [{"age": "*"} for _ in records()]
+        result = validate(release, records(), metric="precision",
+                          quasi_identifiers=("age",),
+                          hierarchies=self.hierarchies())
+        assert result.value == 0.0
+
+    def test_level_one_release(self):
+        hierarchies = self.hierarchies()
+        release = [
+            {"age": hierarchies["age"].generalize(r["age"], 1)}
+            for r in records()
+        ]
+        result = validate(release, records(), metric="precision",
+                          quasi_identifiers=("age",),
+                          hierarchies=hierarchies)
+        # height 3 (identity, 10, 20, '*'), all cells at level 1
+        assert result.value == pytest.approx(1.0 - 1.0 / 3.0)
+
+    def test_needs_hierarchies(self):
+        with pytest.raises(ReproError):
+            validate(records(), records(), metric="precision",
+                     quasi_identifiers=("age",))
+
+
+class TestNonUniformEntropy:
+    def test_raw_release_no_loss(self):
+        result = validate(records(), records(),
+                          metric="non_uniform_entropy",
+                          quasi_identifiers=("age", "zip"))
+        assert result.value == 0.0
+
+    def test_full_suppression_total_loss(self):
+        release = [{"age": "*", "zip": "*"} for _ in records()]
+        result = validate(release, records(),
+                          metric="non_uniform_entropy",
+                          quasi_identifiers=("age", "zip"))
+        assert result.value == pytest.approx(1.0)
+
+    def test_partial_release_in_between(self):
+        release = [{"age": "[30-40)"} for _ in records()[:3]]
+        result = validate(release, records(),
+                          metric="non_uniform_entropy",
+                          quasi_identifiers=("age",))
+        assert 0.0 < result.value < 1.0
+
+
+class TestReconstructionError:
+    def test_perfect_recovery(self):
+        truth = {("a", 1): 10.0, ("b", 2): 20.0}
+        result = validate(dict(truth), truth,
+                          metric="reconstruction_error", tolerance=0.05)
+        assert result.value == 0.0
+        assert result.detail["recovery_rate"] == 1.0
+        assert result.family == "statdb"
+
+    def test_missing_keys_lower_recovery(self):
+        truth = {"a": 10.0, "b": 20.0, "c": 30.0}
+        release = {"a": 10.0}
+        result = validate(release, truth,
+                          metric="reconstruction_error", tolerance=0.05)
+        assert result.detail["missing"] == 2
+        assert result.detail["recovery_rate"] == pytest.approx(1 / 3)
+
+    def test_nothing_recovered_is_infinite(self):
+        result = validate({}, {"a": 1.0}, metric="reconstruction_error")
+        assert result.value == float("inf")
+
+    def test_sequence_form(self):
+        result = validate([1.0, 2.0, 3.0], [1.0, 2.0, 4.0],
+                          metric="reconstruction_error")
+        assert result.value > 0.0
+        assert result.detail["max_abs_error"] == 1.0
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(ReproError):
+            validate([1.0], [1.0, 2.0], metric="reconstruction_error")
+
+    def test_bias_sign(self):
+        truth = {"a": 10.0, "b": 20.0}
+        release = {"a": 12.0, "b": 22.0}
+        result = validate(release, truth, metric="reconstruction_error")
+        assert result.detail["bias"] == pytest.approx(2.0)
+
+
+class TestIntervalTightness:
+    def constraints(self, tolerance=0.05):
+        # one hidden column; cell = 3 * mean − known1 − known2
+        return AggregateConstraints(
+            n_rows=2, n_cols=3,
+            known_columns={0: [70.0, 50.0], 1: [80.0, 60.0]},
+            row_means=[75.0, 55.0],
+            value_range=(0.0, 100.0),
+            tolerance=tolerance,
+        )
+
+    def test_tight_problem_scores_high(self):
+        result = validate(self.constraints(), metric="interval_tightness",
+                          starts=2)
+        assert result.value > 0.99
+        assert result.family == "inference"
+        assert result.detail["hidden_cells"] == 2
+        assert result.detail["breached"] == 2
+
+    def test_loose_tolerance_scores_lower(self):
+        tight = validate(self.constraints(0.05),
+                         metric="interval_tightness", starts=2)
+        loose = validate(self.constraints(5.0),
+                         metric="interval_tightness", starts=2)
+        assert loose.value < tight.value
+
+    def test_coverage_against_truth(self):
+        truth = {(0, 2): 75.0, (1, 2): 55.0}
+        result = validate(self.constraints(), truth,
+                          metric="interval_tightness", starts=2)
+        assert result.detail["coverage"] == 1.0
+
+    def test_no_hidden_cells(self):
+        constraints = AggregateConstraints(
+            n_rows=1, n_cols=2,
+            known_columns={0: [70.0], 1: [80.0]},
+            row_means=[75.0],
+        )
+        result = validate(constraints, metric="interval_tightness")
+        assert result.value == 0.0
+        assert result.detail["hidden_cells"] == 0
+
+    def test_infeasible_scores_zero(self):
+        constraints = AggregateConstraints(
+            n_rows=1, n_cols=2,
+            known_columns={0: [10.0]},
+            row_means=[90.0],  # would need the hidden cell at 170
+            value_range=(0.0, 100.0),
+            tolerance=0.05,
+        )
+        result = validate(constraints, metric="interval_tightness",
+                          starts=2)
+        assert result.value == 0.0
+        assert result.detail["infeasible"] is True
+
+    def test_rejects_non_constraints(self):
+        with pytest.raises(ReproError):
+            validate([{"age": 3}], metric="interval_tightness")

@@ -1,0 +1,63 @@
+"""E2E adversary × defense matrix: risk strictly drops when a defense is on.
+
+Runs every adversary in the zoo against the undefended system and against
+each single defense (k-anonymity, Laplace perturbation, inference guard,
+audit refusal), all through the real ``PrivateIye.pose()`` path.  A failed
+assertion prints the full validation report for both runs so the regression
+is diagnosable from the test log alone.
+"""
+
+import pytest
+
+from repro.validation import ZooDefenses, run_matrix
+
+ADVERSARIES = ("composition", "constraint_aware", "colluders")
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return run_matrix(seed=0, starts=1)
+
+
+def _explain(label, baseline, defended):
+    return (
+        f"defense '{label}' did not strictly reduce residual risk\n"
+        f"--- baseline report ---\n{baseline.report()}\n"
+        f"--- defended report ---\n{defended.report()}"
+    )
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+@pytest.mark.parametrize("defense", ZooDefenses.NAMES)
+def test_each_defense_strictly_reduces_risk(matrix, adversary, defense):
+    baseline = matrix[adversary]["none"]
+    defended = matrix[adversary][defense]
+    assert defended.residual_risk < baseline.residual_risk, _explain(
+        defense, baseline, defended
+    )
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_baseline_is_near_total_disclosure(matrix, adversary):
+    baseline = matrix[adversary]["none"]
+    assert baseline.residual_risk > 0.95, baseline.report()
+
+
+@pytest.mark.parametrize("adversary", ADVERSARIES)
+def test_kanon_is_the_strongest_single_defense_here(matrix, adversary):
+    # The record probe dominates the residual composite, so capping
+    # re-identification at 1/k wins in this scenario; pin that so future
+    # scoring changes that invert the ordering are surfaced.
+    risks = {
+        name: matrix[adversary][name].residual_risk
+        for name in ZooDefenses.NAMES
+    }
+    assert risks["kanon"] == min(risks.values()), risks
+
+
+def test_matrix_covers_every_cell(matrix):
+    assert set(matrix) == set(ADVERSARIES)
+    for adversary in ADVERSARIES:
+        assert set(matrix[adversary]) == {"none", *ZooDefenses.NAMES}
+        for outcome in matrix[adversary].values():
+            assert 0.0 <= outcome.residual_risk <= 1.0
