@@ -1,0 +1,136 @@
+"""Whole-program flow analysis cost — keeping the CI gate honest.
+
+The ``flow-analysis`` CI job runs ``python -m repro.analysis.flow
+src/repro`` on every push; its usefulness depends on staying cheap
+enough that nobody is tempted to skip it.  This bench times the three
+stages separately over the real tree:
+
+* **load** — parse every module, index classes/methods/locks/imports;
+* **taint** — summary fixpoint + hotness propagation + findings
+  (the REP010 pass);
+* **locks** — lockset simulation + caller-credit fixpoint + the
+  shared-state map (the REP011 pass).
+
+Representative numbers (this container, ~156 modules, best of 3)::
+
+    BENCH_FLOW whole-program analysis over src/repro
+       stage      wall-clock
+        load          0.5s
+       taint          2.6s
+       locks          0.2s
+       total          3.3s
+
+The taint fixpoint dominates: it is quadratic in the depth of call
+chains that keep exchanging tainted values, and linear in call sites.
+Parsing and the lockset pass are both linear in tree size.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_flow.py           # table
+    PYTHONPATH=src python benchmarks/bench_flow.py --smoke   # CI gate
+
+``--smoke`` runs one full analysis and exits non-zero if it takes
+longer than ``--budget-s`` (default 10 s) or if the tree has
+unsuppressed findings — the same signal the CI job gates on, so a
+runaway fixpoint or a fresh leak fails the bench, not just the lint
+job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.flow.driver import run_analysis
+from repro.analysis.flow.engine import analyze_flows
+from repro.analysis.flow.loader import load_program
+from repro.analysis.flow.locks import analyze_locks
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def time_stages(repeats):
+    """Best-of-``repeats`` per-stage wall-clock over ``src/repro``."""
+    best = {"load": float("inf"), "taint": float("inf"),
+            "locks": float("inf")}
+    findings = suppressed = files = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        program = load_program([SRC])
+        loaded = time.perf_counter()
+        flow = analyze_flows(program)
+        tainted = time.perf_counter()
+        locks = analyze_locks(program)
+        done = time.perf_counter()
+        best["load"] = min(best["load"], loaded - started)
+        best["taint"] = min(best["taint"], tainted - loaded)
+        best["locks"] = min(best["locks"], done - tainted)
+        files = len(program.modules)
+        findings = len(flow.findings) + len(locks.findings)
+    report = run_analysis([SRC])
+    suppressed = report.suppressed
+    return {
+        "files": files,
+        "load_s": round(best["load"], 3),
+        "taint_s": round(best["taint"], 3),
+        "locks_s": round(best["locks"], 3),
+        "total_s": round(sum(best.values()), 3),
+        "raw_findings": findings,
+        "unsuppressed_findings": len(report.findings),
+        "suppressed": suppressed,
+    }
+
+
+def print_table(cell):
+    print("BENCH_FLOW whole-program analysis over src/repro")
+    print(f"{'stage':>8} {'wall-clock':>15}")
+    for stage in ("load", "taint", "locks", "total"):
+        print(f"{stage:>8} {cell[stage + '_s']:>14.2f}s")
+    print(f"{cell['files']} file(s), "
+          f"{cell['unsuppressed_findings']} unsuppressed / "
+          f"{cell['suppressed']} suppressed finding(s)")
+
+
+def collect_results(repeats=3):
+    """The acceptance cell as a JSON-serializable dict (for run_all)."""
+    return {"cells": [time_stages(repeats)]}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="one run; gate on --budget-s and a clean tree")
+    parser.add_argument("--budget-s", type=float, default=10.0,
+                        help="smoke: max seconds for one full analysis")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="take the best of this many runs")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.smoke else args.repeats
+    cell = time_stages(repeats)
+    print_table(cell)
+
+    if args.smoke:
+        if cell["total_s"] > args.budget_s:
+            print(
+                f"SMOKE FAIL: full analysis took {cell['total_s']:.1f}s "
+                f"(> {args.budget_s:.1f}s budget) — the CI gate is no "
+                "longer cheap",
+                file=sys.stderr,
+            )
+            return 1
+        if cell["unsuppressed_findings"]:
+            print(
+                f"SMOKE FAIL: src/repro has "
+                f"{cell['unsuppressed_findings']} unsuppressed "
+                "finding(s) — fix or suppress with a justification",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,7 +43,7 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 
 #: Benches that export ``collect_results()`` — extend as benches adopt it.
-BENCHES = ("cache", "fanout", "figure1", "mediation_modes",
+BENCHES = ("cache", "fanout", "figure1", "flow", "mediation_modes",
            "persistence", "sequence_audit", "static_check", "validation")
 
 

@@ -1,0 +1,5 @@
+"""Entry point for ``python -m repro.analysis.flow``."""
+
+from repro.analysis.flow.cli import main
+
+raise SystemExit(main())

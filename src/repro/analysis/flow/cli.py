@@ -1,0 +1,107 @@
+"""``python -m repro.analysis.flow`` — the whole-program analyzer CLI.
+
+Exit status contract (mirrors ``repro.analysis.lint``; the CI
+``flow-analysis`` job keys off it):
+
+* ``0`` — the tree analyzed and no unsuppressed REP010/REP011 finding
+  remains;
+* ``1`` — the analysis ran to completion and found violations;
+* ``2`` — the analyzer could not do its job: usage errors, no python
+  files under the given paths, or a file that failed to parse (a broken
+  tree yields *no* findings and must not masquerade as clean-or-dirty).
+
+``--map PATH`` additionally writes the shared-state inventory
+(``shared_state_map.json``) — the sharding work's partitioning spec —
+and ``-`` streams it to stdout instead of the findings report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.flow.driver import run_analysis
+from repro.analysis.lint.core import WHOLE_PROGRAM_CODES
+from repro.analysis.lint.reporters import RENDERERS
+from repro.errors import ReproError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.flow",
+        description=(
+            "whole-program information-flow (REP010) and lockset "
+            "(REP011) analysis over a source tree"
+        ),
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze "
+                             "(default: src)")
+    parser.add_argument("--format", choices=sorted(RENDERERS),
+                        default="text", help="findings report format")
+    parser.add_argument("--select",
+                        help="comma-separated codes to report "
+                             "(REP010,REP011)")
+    parser.add_argument("--map", dest="map_path", metavar="PATH",
+                        help="write shared_state_map.json to PATH "
+                             "('-' for stdout)")
+    parser.add_argument("--inventory", action="store_true",
+                        help="append the static sink inventory to the "
+                             "JSON report")
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    select = None
+    if args.select:
+        select = {code.strip() for code in args.select.split(",")
+                  if code.strip()}
+        unknown = select - set(WHOLE_PROGRAM_CODES)
+        if unknown:
+            print(  # repro-lint: disable=REP008 -- CLI usage error
+                f"unknown whole-program code(s): {sorted(unknown)} "
+                f"(valid: {sorted(WHOLE_PROGRAM_CODES)})",
+                file=sys.stderr,  # repro-lint: disable=REP008 -- CLI stderr
+            )
+            return 2
+    try:
+        report = run_analysis(args.paths, select=select)
+    except (SyntaxError, ReproError, OSError) as error:
+        print(  # repro-lint: disable=REP008 -- CLI stderr diagnostics
+            f"error: {error}",
+            file=sys.stderr,  # repro-lint: disable=REP008 -- CLI stderr
+        )
+        return 2
+
+    if args.map_path:
+        rendered_map = json.dumps(report.shared_state_map(), indent=2,
+                                  sort_keys=True)
+        if args.map_path == "-":
+            # repro-lint: disable=REP008 -- CLI entry point: the map on
+            # stdout *is* the command's contract under `--map -`.
+            print(rendered_map)
+            return 0
+        with open(args.map_path, "w", encoding="utf-8") as handle:
+            handle.write(rendered_map + "\n")
+
+    if args.format == "json":
+        document = json.loads(RENDERERS["json"](
+            report.findings, report.files_checked, report.suppressed
+        ))
+        if args.inventory:
+            document["sink_inventory"] = report.sink_inventory()
+        # repro-lint: disable=REP008 -- CLI entry point: the rendered
+        # report on stdout *is* the command's contract.
+        print(json.dumps(document, indent=2, sort_keys=True))
+    else:
+        # repro-lint: disable=REP008 -- CLI entry point (as above)
+        print(RENDERERS["text"](
+            report.findings, report.files_checked, report.suppressed
+        ))
+    return 1 if report.findings else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""One-call driver: both passes, one parse, suppression filtering.
+
+The taint engine and the lockset pass share one parsed
+:class:`~repro.analysis.flow.loader.Program`, and their findings are
+filtered through the same per-line ``# repro-lint: disable=REP010 --
+why`` comments the per-file linter established — one suppression syntax,
+one review habit, two analyzers.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.flow.catalog import DEFAULT_CATALOG
+from repro.analysis.flow.engine import analyze_flows
+from repro.analysis.flow.loader import load_program
+from repro.analysis.flow.locks import analyze_locks
+from repro.analysis.lint.core import Suppressions
+
+
+class FlowReport:
+    """Everything one analysis run produced, suppressions applied."""
+
+    def __init__(self, program, flow, locks, findings, suppressed):
+        self.program = program
+        self.flow = flow            # FlowAnalysis (REP010, sink inventory)
+        self.locks = locks          # LockAnalysis (REP011, state map)
+        self.findings = findings    # unsuppressed, sorted
+        self.suppressed = suppressed
+
+    @property
+    def files_checked(self):
+        return len(self.program.modules)
+
+    def shared_state_map(self):
+        """The lock inventory artifact (see docs/static_analysis.md)."""
+        return self.locks.shared_state_map()
+
+    def sink_inventory(self):
+        """The static sink inventory (the differential test's oracle)."""
+        return self.flow.sink_inventory()
+
+
+def run_analysis(paths, catalog=DEFAULT_CATALOG, select=None):
+    """Run both whole-program passes over ``paths``; returns a report.
+
+    ``select`` optionally restricts findings to a set of codes
+    (``{"REP010"}``); the passes still both run — the shared-state map
+    is part of the result regardless.
+    """
+    program = load_program(paths)
+    flow = analyze_flows(program, catalog=catalog)
+    locks = analyze_locks(program)
+    raw = list(flow.findings) + list(locks.findings)
+    if select is not None:
+        raw = [finding for finding in raw if finding.code in select]
+    findings, suppressed = _apply_suppressions(program, raw)
+    findings.sort(key=lambda f: (str(f.path), f.line, f.col, f.code))
+    return FlowReport(program, flow, locks, findings, suppressed)
+
+
+def _apply_suppressions(program, raw_findings):
+    """Filter findings through each module's per-line directives."""
+    by_path = {}
+    for module in program.modules.values():
+        by_path[str(module.path)] = Suppressions(module.lines)
+    findings, suppressed = [], 0
+    for finding in raw_findings:
+        suppressions = by_path.get(str(finding.path))
+        if suppressions is not None and suppressions.covers(finding):
+            suppressed += 1
+        else:
+            findings.append(finding)
+    return findings, suppressed

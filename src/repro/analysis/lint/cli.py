@@ -1,7 +1,16 @@
 """``python -m repro.analysis.lint`` — the repro-lint command line.
 
-Exit status 0 when no unsuppressed finding remains, 1 otherwise (the CI
-gate), 2 for usage errors.
+Exit status contract (the CI gate keys off it):
+
+* ``0`` — every file parsed and no unsuppressed finding remains;
+* ``1`` — the linter ran to completion and found violations;
+* ``2`` — the linter itself could not do its job: usage errors, or one
+  or more files failed to read/parse.  A syntax error yields *no*
+  findings, so conflating it with status 1 would let broken input
+  masquerade as a clean-or-dirty verdict.
+
+Unknown rule codes inside suppression comments are findings (REP000),
+not errors: the file parsed fine, the directive is just inert.
 """
 
 from __future__ import annotations
@@ -9,14 +18,21 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.analysis.lint.core import all_rules, lint_paths
+from repro.analysis.lint.core import (
+    WHOLE_PROGRAM_CODES,
+    all_rules,
+    known_codes,
+    lint_paths_detailed,
+)
 from repro.analysis.lint.reporters import RENDERERS
 
 
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis.lint",
-        description="repro-lint: repo-specific invariant checks (REP001-8)",
+        description="repro-lint: repo-specific invariant checks (REP001-9; "
+                    "REP010/REP011 are whole-program — see "
+                    "python -m repro.analysis.flow)",
     )
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
@@ -37,24 +53,35 @@ def main(argv=None):
             # repro-lint: disable=REP008 -- CLI entry point: human output
             # on stdout *is* the command's contract.
             print(f"{lint_rule.code}  {lint_rule.summary}")
+        for code, summary in sorted(WHOLE_PROGRAM_CODES.items()):
+            # repro-lint: disable=REP008 -- CLI entry point (as above)
+            print(f"{code}  {summary} [whole-program: "
+                  "python -m repro.analysis.flow]")
         return 0
     select = None
     if args.select:
         select = {code.strip() for code in args.select.split(",")
                   if code.strip()}
-        known = {lint_rule.code for lint_rule in all_rules()}
-        unknown = select - known
+        unknown = select - known_codes()
         if unknown:
             print(  # repro-lint: disable=REP008 -- CLI usage error
                 f"unknown rule code(s): {sorted(unknown)}",
                 file=sys.stderr,  # repro-lint: disable=REP008 -- CLI stderr
             )
             return 2
-    findings, files_checked, suppressed = lint_paths(args.paths,
-                                                     select=select)
+    findings, files_checked, suppressed, errors = lint_paths_detailed(
+        args.paths, select=select
+    )
     # repro-lint: disable=REP008 -- CLI entry point: the rendered report
     # on stdout *is* the command's contract.
     print(RENDERERS[args.format](findings, files_checked, suppressed))
+    if errors:
+        for error in errors:
+            print(  # repro-lint: disable=REP008 -- CLI stderr diagnostics
+                f"error: {error}",
+                file=sys.stderr,  # repro-lint: disable=REP008 -- CLI stderr
+            )
+        return 2
     return 1 if findings else 0
 
 

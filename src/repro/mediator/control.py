@@ -103,11 +103,19 @@ class PrivacyControl:
                 len(rows) - len(kept_rows)
             )
             for notice in notices:
+                # repro-lint: disable=REP010 -- §5 violation notices ARE
+                # the protocol: the source granted the budget and is owed
+                # the compound loss that tripped it; both are aggregates
+                # from compound_loss, tainted only by tuple-return
+                # granularity.
                 self.telemetry.events.emit(
                     "control.violation_notice", source=notice.source,
                     aggregated_loss=notice.aggregated_loss,
                     budget=notice.budget,
                 )
+        # repro-lint: disable=REP010 -- compound loss is the published
+        # accounting aggregate (report.set_control hands it to the
+        # requester); tainted only by tuple-return granularity.
         metrics.histogram("control.aggregated_loss").observe(aggregated)
         return kept_rows, aggregated, notices
 

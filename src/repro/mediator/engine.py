@@ -273,6 +273,9 @@ class MediationEngine:
                           for cell in released_cells(query, result)],
                 "pose_counted": observatory is not None,
             })
+        # repro-lint: disable=REP010 -- aggregated/cumulative loss are
+        # the §5 accounting aggregates the requester is handed anyway
+        # (compound_loss outputs; tainted by tuple-return granularity).
         events.emit(
             "pose.answered", requester=requester, fingerprint=fingerprint,
             rows=len(result.rows), aggregated_loss=result.aggregated_loss,
@@ -291,6 +294,8 @@ class MediationEngine:
         telemetry.metrics.histogram("mediator.pose_ms").observe(
             span.duration_ms
         )
+        # repro-lint: disable=REP010 -- same accounting aggregate as the
+        # pose.answered payload above.
         telemetry.metrics.histogram("mediator.aggregated_loss").observe(
             result.aggregated_loss
         )
@@ -558,6 +563,10 @@ class MediationEngine:
         report.set_control(per_source_loss, aggregated, query.max_loss,
                            notices)
         if aggregated > query.max_loss + 1e-9:
+            # repro-lint: disable=REP010 -- the refusal quotes the
+            # requester's own MAXLOSS and the compound-loss aggregate
+            # that exceeded it; both are accounting quantities, not
+            # cells (tainted by tuple-return granularity).
             raise PrivacyViolation(
                 f"aggregated privacy loss {aggregated:.3f} exceeds the "
                 f"requester's MAXLOSS {query.max_loss:.3f}"

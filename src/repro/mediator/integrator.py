@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.errors import IntegrationError
 from repro.linkage.private import BloomRecordEncoder
 from repro.source.results import untag_results
+from repro.telemetry import redact
 
 
 class IntegratedResult:
@@ -61,9 +62,12 @@ class ResultIntegrator:
             response = responses[source]
             doc_source, doc_rows, metadata = untag_results(response.document)
             if doc_source != source:
+                # A forged source tag is attacker-controlled text; the
+                # error carries digests so operators can correlate the
+                # mismatch without the message echoing the payload.
                 raise IntegrationError(
-                    f"document claims source {doc_source!r}, "
-                    f"expected {source!r}"
+                    f"document claims source {redact.digest(doc_source)}, "
+                    f"expected {redact.digest(source)}"
                 )
             per_source_loss[source] = metadata["loss"]
             rename = self._rename_map(plan, source)

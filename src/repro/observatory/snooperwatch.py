@@ -43,6 +43,7 @@ import time
 
 from repro.errors import ReproError
 from repro.inference.bounds import AggregateConstraints, cell_bounds
+from repro.telemetry import redact
 from repro.telemetry.events import NOOP_EVENTS
 
 
@@ -294,11 +295,19 @@ class SnooperWatch:
                                      self._clock())
                 self.alerts.append(alert)
             fresh.append(alert)
+            # The alert object keeps the exact interval for the ledger;
+            # the *event* carries only its generalized position — an
+            # operator reading telemetry must not learn the cell the
+            # requester just pinned.  The width survives exactly: it is
+            # the alerting signal and discloses nothing about position.
+            # repro-lint: disable=REP010 -- measure/source are Figure-1
+            # matrix labels and width/threshold are config; the interval
+            # position is bucketed via redact.bucket_interval above.
             self.events.emit(
                 "snooperwatch.alert", requester=requester,
                 measure=alert.measure, source=alert.source,
-                low=alert.low, high=alert.high, width=alert.width,
-                threshold=alert.threshold,
+                interval=redact.bucket_interval(alert.low, alert.high),
+                width=alert.width, threshold=alert.threshold,
             )
         return fresh
 

@@ -290,6 +290,8 @@ def _project(query, rows, schema):
         names = query.columns
         for name in names:
             if not schema.has_column(name):
+                # repro-lint: disable=REP010 -- echoes the requester's
+                # own SELECT list and a table name: identifiers only
                 raise RelationalError(
                     f"unknown column {name!r} in table {schema.name!r}"
                 )

@@ -33,8 +33,12 @@ class ColumnType(enum.Enum):
                 return _coerce_bool(value)
             return _coerce_text(value)
         except (TypeError, ValueError) as exc:
+            # The failing value is a cell: naming only its type keeps
+            # the error out of the side-channel-leak budget (schema
+            # errors surface in refusal events and reports verbatim).
             raise SchemaError(
-                f"cannot coerce {value!r} to {self.value}: {exc}"
+                f"cannot coerce {type(value).__name__} value "
+                f"to {self.value}"
             ) from exc
 
     @property

@@ -46,8 +46,12 @@ class SumAuditor:
         _insert(candidate, vector)
         exposed = self._compromised_indices(candidate)
         if exposed:
+            # The refusal names *how many* records would be isolated,
+            # never which: refusal text travels into events and reports,
+            # and a record index is exactly the identity the audit
+            # exists to protect.
             raise AuditRefusal(
-                f"answering would expose record(s) {exposed[:5]} "
+                f"answering would expose {len(exposed)} record(s) "
                 f"(audit trail of {len(self.answered)} queries)"
             )
         self._basis = candidate
@@ -63,7 +67,10 @@ class SumAuditor:
             raise ReproError("query set must be non-empty")
         bad = [i for i in indices if not 0 <= i < self.n_records]
         if bad:
-            raise ReproError(f"query set indices out of range: {bad[:5]}")
+            raise ReproError(
+                f"{len(bad)} query set index(es) out of range "
+                f"[0, {self.n_records})"
+            )
         return [Fraction(1 if i in indices else 0) for i in range(self.n_records)]
 
     def _compromised_indices(self, basis):

@@ -210,9 +210,9 @@ class JsonlSink:
                     handle.flush()
                     return
                 handle.write(json.dumps(record, sort_keys=True) + "\n")
-                # repro-lint: disable=REP001 -- only the single writer
-                # thread mutates `written`; cross-thread reads are
-                # advisory (repr, tests poll after close()).
+                # repro-lint: disable=REP001,REP011 -- only the single
+                # writer thread mutates `written`; cross-thread reads
+                # are advisory (repr, tests poll after close()).
                 self.written += 1
                 if self._queue.empty():
                     handle.flush()
@@ -221,8 +221,8 @@ class JsonlSink:
         """Stop accepting events, flush the queue, join the writer."""
         if self._closed:
             return
-        # repro-lint: disable=REP001 -- benign single-flag race: a
-        # concurrent offer() at worst enqueues before the blocking
+        # repro-lint: disable=REP001,REP011 -- benign single-flag race:
+        # a concurrent offer() at worst enqueues before the blocking
         # _CLOSE sentinel below, which still flushes it.
         self._closed = True
         # blocking put: everything offered before close() still lands

@@ -1,0 +1,125 @@
+"""Redaction helpers — the sanctioned way confidential values cross into
+side channels.
+
+The mediated ``pose()`` path is the *only* place raw confidential data
+may be released, and there only after policy rewriting, loss accounting,
+and the privacy control's re-verification.  Everything else — structured
+events, metric labels, exception messages, the audit journal — is a side
+channel: useful for operators, invisible to the disclosure ledger, and
+therefore never allowed to carry a raw cell.  These helpers give those
+channels something *useful* to carry instead:
+
+* :func:`digest` — a short, stable sha256 prefix.  Two log lines about
+  the same value correlate; neither reveals it.  The 8-hex-digit prefix
+  (32 bits) is deliberately too wide to invert by table lookup over any
+  realistic domain while staying short enough for a metric label.
+* :func:`bucket` — a generalization-hierarchy-style interval label
+  (``"[20,30)"``).  The same shape the k-anonymity hierarchies publish,
+  so a bucketed telemetry value never says more than an allowed RANGE
+  disclosure would.
+* :func:`bucket_interval` — both endpoints of a feasibility interval
+  bucketed at once, collapsed to one label; the *width* survives
+  exactly (it is the alerting signal), the *position* is generalized.
+* :func:`scrub_reason` — exception/refusal text reduced to its first
+  line with any digits generalized; refusal messages built from counts
+  and limits survive verbatim in shape while anything that could encode
+  a cell value is coarsened.
+
+The whole-program flow analyzer (:mod:`repro.analysis.flow`) declares
+every function in this module a *sanitizer*: a value that has passed
+through one of them no longer carries taint.  That declaration is this
+module's contract — keep outputs non-invertible when editing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import re
+
+#: Digest length in hex digits (32 bits): wide enough that inverting a
+#: label requires brute force over the full value domain, short enough
+#: for metric labels and log lines.
+DIGEST_HEX_DIGITS = 8
+
+_DIGIT_RUN = re.compile(r"\d+(?:\.\d+)?")
+
+
+def digest(value, length=DIGEST_HEX_DIGITS):
+    """A short, stable sha256 prefix of ``value``'s canonical repr.
+
+    Equal values digest equally (floats canonicalize via ``repr`` so
+    ``1`` and ``1.0`` differ — digest the same *type* you compare), so
+    operators can correlate events about one cell without learning it.
+    """
+    if isinstance(value, bytes):
+        material = value
+    else:
+        material = repr(value).encode("utf-8")
+    return hashlib.sha256(material).hexdigest()[:length]
+
+
+def bucket(value, width=10.0):
+    """The half-open generalization interval containing ``value``.
+
+    ``bucket(23, 10)`` → ``"[20,30)"`` — the same label shape
+    :func:`repro.anonymity.hierarchy.interval_hierarchy` publishes, so
+    telemetry carrying a bucket never discloses more than an allowed
+    RANGE release of the same width would.
+    """
+    if width <= 0:
+        raise _redact_error("bucket width must be positive")
+    low = math.floor(float(value) / width) * width
+    high = low + width
+    return f"[{_fmt(low)},{_fmt(high)})"
+
+
+def bucket_interval(low, high, width=10.0):
+    """One label generalizing a feasibility interval's *position*.
+
+    The returned ``"[20,30)..[30,40)"`` (or a single bucket when both
+    endpoints fall in one) locates the interval only to ``width``
+    granularity; report the exact ``high - low`` width separately — the
+    width is the alerting signal and discloses nothing about position.
+    """
+    low_bucket = bucket(low, width)
+    high_bucket = bucket(high, width)
+    if low_bucket == high_bucket:
+        return low_bucket
+    return f"{low_bucket}..{high_bucket}"
+
+
+def scrub_reason(text, max_length=160):
+    """Refusal/exception text made safe for event payloads.
+
+    Keeps the first line (the human-meaningful shape: *what* was refused
+    and by which guard) but generalizes every digit run to ``#`` — a
+    count, limit, or embedded value survives as structure, not as data —
+    and truncates to ``max_length``.
+    """
+    first_line = str(text).splitlines()[0] if str(text) else ""
+    scrubbed = _DIGIT_RUN.sub("#", first_line)
+    if len(scrubbed) > max_length:
+        scrubbed = scrubbed[: max_length - 1] + "…"
+    return scrubbed
+
+
+def _fmt(number):
+    """``20`` not ``20.0`` in bucket labels (matches hierarchy labels).
+
+    Rounded to 10 decimals first: ``floor(0.97 / 0.05) * 0.05`` is
+    ``0.9500000000000001`` in binary floats, and a bucket label must be
+    a stable dictionary key, not a float-noise fingerprint.
+    """
+    as_float = round(float(number), 10)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return str(as_float)
+
+
+def _redact_error(message):
+    # deferred import: telemetry sits above errors, but keeping the
+    # import local keeps this module importable during bootstrap
+    from repro.errors import ReproError
+
+    return ReproError(message)

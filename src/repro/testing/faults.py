@@ -152,6 +152,8 @@ class FlakySource:
 
     @telemetry.setter
     def telemetry(self, value):
+        # repro-lint: disable=REP011 -- harness wiring: the engine sets
+        # telemetry on registration, before any fan-out thread exists.
         self._inner.telemetry = value
 
     def __getattr__(self, attribute):

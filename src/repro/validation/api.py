@@ -99,7 +99,10 @@ def report(results, path=None, indent=2):
     results = list(results)
     for result in results:
         if not isinstance(result, ValidationResult):
-            raise ReproError(f"report needs ValidationResults, got {result!r}")
+            raise ReproError(
+                "report needs ValidationResults, got "
+                f"{type(result).__name__}"
+            )
     document = {
         "families": {
             family: {

@@ -20,6 +20,7 @@ strictly lowers it — that is the matrix test's core assertion.
 from __future__ import annotations
 
 from repro.inference.bounds import AggregateConstraints
+from repro.telemetry import redact
 from repro.validation.adversaries import (
     EXACT_TOLERANCE,
     MEASURES,
@@ -214,12 +215,16 @@ def run_adversary(adversary, defenses=None, seed=0, starts=2,
             "cell_disclosure": outcome.cell_disclosure,
         }
         ledger.set_validation(stamped)
+    # The outcome object keeps exact scores for reports and the matrix;
+    # the telemetry *event* generalizes them — a residual-risk score is
+    # a statement about the confidential ground truth, and the event log
+    # is a side channel the disclosure ledger never accounts for.
     system.telemetry.events.emit(
         "validation.scored",
         adversary=adversary.name,
         defenses=defenses.label,
-        residual_risk=outcome.residual_risk,
-        cell_disclosure=outcome.cell_disclosure,
+        residual_risk=redact.bucket(outcome.residual_risk, width=0.05),
+        cell_disclosure=redact.bucket(outcome.cell_disclosure, width=0.05),
         refusals=len(view.refusals),
         pooled_budget=view.pooled_budget,
     )

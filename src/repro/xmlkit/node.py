@@ -25,6 +25,9 @@ class Element:
 
     def __init__(self, tag, attrs=None, children=None):
         if not tag or not _is_name(tag):
+            # repro-lint: disable=REP010 -- element tags are column
+            # names / mapping labels, not text content (REP010 taints
+            # whole documents; text() never reaches this message)
             raise XmlError(f"invalid element tag: {tag!r}")
         self.tag = tag
         self.attrs = dict(attrs) if attrs else {}

@@ -1,0 +1,56 @@
+"""Golden fixture for REP010 — unsanitized confidential flow to a sink.
+
+Positive, sanitized, and suppressed variants of the same flow; the
+expected findings are frozen in ``rep010.expected.json``.  Analyzed
+standalone by the whole-program engine, so sources and sinks resolve
+through the catalog's ``*.name`` fallbacks.
+"""
+
+from repro.telemetry.redact import digest
+
+
+class Store:
+    def __init__(self, table, events):
+        self.table = table
+        self.events = events
+
+    def rows(self):
+        return self.table.rows_as_dicts()
+
+
+class Leaky:
+    def __init__(self, store, events):
+        self.store = store
+        self.events = events
+
+    def leak_event(self):
+        row = self.store.rows()[0]
+        self.events.emit("leaky.row", value=row)  # finding: raw cell
+
+    def leak_exception(self):
+        row = self.store.rows()[0]
+        raise ValueError(f"bad row {row!r}")  # finding: raw cell
+
+    def leak_interprocedural(self):
+        self._emit_value(self.store.rows())
+
+    def _emit_value(self, payload):
+        self.events.emit("leaky.helper", value=payload)  # finding: via call
+
+    def sanitized_event(self):
+        row = self.store.rows()[0]
+        self.events.emit("safe.digest", value=digest(row))  # clean
+
+    def aggregated_event(self):
+        rows = self.store.rows()
+        self.events.emit("safe.count", rows=len(rows))  # clean
+
+    def suppressed_event(self):
+        row = self.store.rows()[0]
+        # repro-lint: disable=REP010 -- fixture: demonstrates the
+        # suppression syntax the driver honors
+        self.events.emit("suppressed.row", value=row)
+
+    def metadata_event(self):
+        names = self.store.rows()[0].keys()
+        self.events.emit("safe.columns", columns=list(names))  # clean

@@ -1,0 +1,69 @@
+"""Golden fixture for REP011 — unguarded / inconsistently-guarded
+shared mutation.
+
+Guarded, unguarded, caller-held, self-synchronized, inconsistent, and
+suppressed variants; the expected findings are frozen in
+``rep011.expected.json``.
+"""
+
+import queue
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0        # __init__ writes are construction, exempt
+        self.total = 0
+        self.unguarded = 0
+        self._queue = queue.Queue()
+
+    def inc(self):
+        with self._lock:
+            self.count += 1   # clean: guarded
+
+    def inc_unguarded(self):
+        self.unguarded += 1   # finding: no lock held
+
+    def inc_via_helper(self):
+        with self._lock:
+            self._bump()
+
+    def _bump(self):
+        self.total += 1       # clean: every caller already holds _lock
+
+    def offer(self, item):
+        self._queue.put_nowait(item)  # clean: Queue locks internally
+
+    def suppressed_bump(self):
+        # repro-lint: disable=REP011 -- fixture: demonstrates the
+        # suppression syntax
+        self.unguarded += 1
+
+
+class TwoLocks:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self.value = 0
+
+    def with_a(self):
+        with self._a:
+            self.value += 1   # inconsistent: guarded by _a here...
+
+    def with_b(self):
+        with self._b:
+            self.value += 1   # ...and by _b here
+
+
+class Worker:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.jobs = 0
+        self._thread = threading.Thread(
+            target=self._run, name="rep011-worker"
+        )
+
+    def _run(self):
+        with self._lock:
+            self.jobs += 1    # clean, and runs on the worker thread

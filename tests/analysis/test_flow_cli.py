@@ -1,0 +1,143 @@
+"""Golden fixtures and CLI contract for ``python -m repro.analysis.flow``.
+
+The ``golden_flow/`` fixtures freeze the analyzer's verdicts the same
+way ``golden/`` freezes the per-file linter's: each ``repNNN.py`` has a
+``repNNN.expected.json`` with the exact ``(code, line)`` findings and
+the suppressed count.  They live in their own directory because the
+per-file golden harness globs ``golden/rep*.py`` and would apply the
+wrong rule set to them.
+"""
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.cli import main
+from repro.analysis.flow.driver import run_analysis
+
+GOLDEN = Path(__file__).parent / "golden_flow"
+FIXTURES = sorted(GOLDEN.glob("rep*.py"))
+
+CLEAN = """
+    def fine(events):
+        events.emit("ok", value=42)
+"""
+
+LEAKY = """
+    def leak(table, events):
+        events.emit("leak", rows=table.rows_as_dicts())
+"""
+
+
+def write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+@pytest.mark.parametrize(
+    "fixture", FIXTURES, ids=[f.stem for f in FIXTURES]
+)
+def test_golden_fixture(fixture):
+    expected = json.loads(
+        fixture.with_suffix(".expected.json").read_text()
+    )
+    report = run_analysis([fixture])
+    got = [{"code": f.code, "line": f.line} for f in report.findings]
+    assert got == expected["findings"]
+    assert report.suppressed == expected["suppressed"]
+
+
+def test_fixture_inventory_is_complete():
+    # every fixture must have its expectations frozen (and vice versa)
+    assert FIXTURES, "golden_flow fixtures are missing"
+    for fixture in FIXTURES:
+        assert fixture.with_suffix(".expected.json").exists()
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        assert main([str(write(tmp_path, CLEAN))]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main([str(write(tmp_path, LEAKY))]) == 1
+        out = capsys.readouterr().out
+        assert "REP010" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nowhere")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_syntax_error_exits_two(self, tmp_path, capsys):
+        assert main([str(write(tmp_path, "def broken(:\n"))]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN)
+        assert main([str(path), "--select", "REP999"]) == 2
+        assert "unknown whole-program code" in capsys.readouterr().err
+
+    def test_select_filters_codes(self, tmp_path, capsys):
+        # a pure-taint tree has nothing to say under --select REP011
+        path = write(tmp_path, LEAKY)
+        assert main([str(path), "--select", "REP011"]) == 0
+        capsys.readouterr()
+
+
+class TestReportFormats:
+    def test_json_report_shape(self, tmp_path, capsys):
+        path = write(tmp_path, LEAKY)
+        assert main([str(path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["files_checked"] == 1
+        codes = [f["code"] for f in document["findings"]]
+        assert codes == ["REP010"]
+        assert "sink_inventory" not in document
+
+    def test_json_inventory_flag(self, tmp_path, capsys):
+        path = write(tmp_path, LEAKY)
+        assert main([str(path), "--format", "json", "--inventory"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        entries = document["sink_inventory"]
+        assert entries and entries[0]["kind"] == "event"
+        assert entries[0]["event_name"] == "leak"
+
+
+class TestMapOutput:
+    GUARDED = """
+        import threading
+
+        class C:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self.n = 0
+
+            def inc(self):
+                with self._lock:
+                    self.n += 1
+    """
+
+    def test_map_written_to_file(self, tmp_path, capsys):
+        path = write(tmp_path, self.GUARDED)
+        out = tmp_path / "map.json"
+        assert main([str(path), "--map", str(out)]) == 0
+        capsys.readouterr()
+        document = json.loads(out.read_text())
+        assert document["schema_version"] == 1
+        assert "mod.C" in document["classes"]
+
+    def test_map_to_stdout_replaces_report(self, tmp_path, capsys):
+        path = write(tmp_path, self.GUARDED)
+        assert main([str(path), "--map", "-"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema_version"] == 1
+
+    def test_map_dash_ignores_findings_for_exit(self, tmp_path, capsys):
+        # `--map -` is an artifact pipe; the findings report (and its
+        # exit code) belongs to the plain invocation
+        path = write(tmp_path, LEAKY)
+        assert main([str(path), "--map", "-"]) == 0
+        capsys.readouterr()

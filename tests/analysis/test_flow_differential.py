@@ -1,0 +1,99 @@
+"""Differential test: the static sink inventory vs. a live zoo run.
+
+The flow analyzer's REP010 verdict is only as good as its sink catalog:
+an emission site the catalog misses is a leak the analyzer silently
+blesses.  This test drives a real seeded adversary-zoo run — mediation,
+observatory, scoring, telemetry — and checks that **every event name
+the runtime actually emitted appears in the static inventory** built
+from ``src/repro``.  A new ``events.emit(...)`` call site cannot ship
+without the analyzer seeing it.
+
+The whole-tree run doubles as the repo's own clean bill of health: the
+analysis over ``src/repro`` must stay at zero unsuppressed findings,
+and the committed ``shared_state_map.json`` must match what the
+analyzer generates today.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.flow.driver import run_analysis
+from repro.validation.adversaries import (
+    CompositionAttacker,
+    ZooDefenses,
+    build_zoo_system,
+)
+from repro.validation.zoo import run_adversary
+
+REPO = Path(__file__).resolve().parents[2]
+SRC = REPO / "src" / "repro"
+COMMITTED_MAP = REPO / "shared_state_map.json"
+
+
+@pytest.fixture(scope="module")
+def tree_report():
+    """One whole-tree analysis shared by every test in this module."""
+    return run_analysis([SRC])
+
+
+@pytest.fixture(scope="module")
+def zoo_events():
+    """Event names one full seeded adversary run actually emitted."""
+    system = build_zoo_system(ZooDefenses(), seed=0)
+    run_adversary(CompositionAttacker(), ZooDefenses(), seed=0,
+                  system=system)
+    return {event.name for event in system.telemetry.events.events()}
+
+
+class TestSinkInventorySuperset:
+    def test_runtime_event_names_are_statically_known(self, tree_report,
+                                                      zoo_events):
+        assert zoo_events, "the zoo run emitted nothing — dead fixture"
+        static = set(tree_report.flow.event_names())
+        missing = zoo_events - static
+        assert not missing, (
+            f"runtime emitted events the static inventory missed: "
+            f"{sorted(missing)} — the analyzer cannot vet sites it "
+            "does not see"
+        )
+
+    def test_inventory_covers_every_sink_kind(self, tree_report):
+        kinds = {entry["kind"] for entry in tree_report.sink_inventory()}
+        # events, metrics, the observatory journal, exporters, and the
+        # persistence WAL are all places confidential data could exit
+        assert {"event", "metric", "wal"} <= kinds
+
+    def test_persistence_wal_sites_are_inventoried(self, tree_report):
+        wal = [entry for entry in tree_report.sink_inventory()
+               if entry["kind"] == "wal"]
+        assert any("persistence" in entry["function"] for entry in wal)
+
+
+class TestTreeStaysClean:
+    def test_zero_unsuppressed_findings(self, tree_report):
+        assert tree_report.findings == [], (
+            "src/repro must stay flow-clean; fix the leak or suppress "
+            "with a written justification"
+        )
+
+    def test_committed_map_is_current(self, tree_report):
+        committed = json.loads(COMMITTED_MAP.read_text())
+        generated = tree_report.shared_state_map()
+        assert committed == generated, (
+            "shared_state_map.json is stale — regenerate with "
+            "`python -m repro.analysis.flow src/repro --map "
+            "shared_state_map.json`"
+        )
+
+    def test_map_covers_the_shared_subsystems(self, tree_report):
+        classes = tree_report.shared_state_map()["classes"]
+        modules = {entry["module"] for entry in classes.values()}
+        for subsystem in ("repro.mediator", "repro.cache",
+                          "repro.telemetry", "repro.persistence"):
+            assert any(module.startswith(subsystem)
+                       for module in modules), (
+                f"{subsystem} lost its lock inventory — the sharding "
+                "spec depends on it"
+            )

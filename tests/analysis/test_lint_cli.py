@@ -1,0 +1,85 @@
+"""Exit-status contract for ``python -m repro.analysis.lint``.
+
+The CI lint job keys off these codes: 0 = clean, 1 = findings,
+2 = the linter could not do its job (usage error or unparseable file).
+A typo'd suppression code is itself a finding (REP000) — a misspelled
+``disable=`` suppresses nothing and must not pass silently.
+"""
+
+import textwrap
+
+from repro.analysis.lint.cli import main
+
+
+def write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+CLEAN = """
+    def fine():
+        return 42
+"""
+
+
+class TestExitCodes:
+    def test_clean_exits_zero(self, tmp_path, capsys):
+        assert main([str(write(tmp_path, CLEAN))]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = write(tmp_path, """
+            def risky(items=[]):
+                return items
+        """)
+        assert main([str(path)]) == 1
+        assert "REP006" in capsys.readouterr().out
+
+    def test_parse_error_exits_two(self, tmp_path, capsys):
+        assert main([str(write(tmp_path, "def broken(:\n"))]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_unknown_select_exits_two(self, tmp_path, capsys):
+        path = write(tmp_path, CLEAN)
+        assert main([str(path), "--select", "REP999"]) == 2
+        assert "unknown rule code" in capsys.readouterr().err
+
+    def test_parse_error_wins_over_findings(self, tmp_path, capsys):
+        # one broken file must not let the rest masquerade as a
+        # complete report
+        write(tmp_path, "def broken(:\n", name="bad.py")
+        write(tmp_path, "def risky(items=[]):\n    return items\n",
+              name="ok.py")
+        assert main([str(tmp_path)]) == 2
+        capsys.readouterr()
+
+
+class TestUnknownSuppressionCodes:
+    def test_typo_is_a_rep000_finding(self, tmp_path, capsys):
+        path = write(tmp_path, """
+            # repro-lint: disable=REP0006 -- fat-fingered code
+            def risky(items=[]):
+                return items
+        """)
+        assert main([str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "REP000" in out
+        assert "REP006" in out  # the typo suppressed nothing
+
+    def test_known_whole_program_code_is_not_flagged(self, tmp_path,
+                                                     capsys):
+        # REP010/REP011 belong to the flow analyzer, but the per-file
+        # linter still recognizes them as legitimate suppressions
+        path = write(tmp_path, """
+            def quiet(events, rows):
+                events.emit("x", rows=rows)  # repro-lint: disable=REP010 -- test fixture
+        """)
+        assert main([str(path)]) == 0
+        capsys.readouterr()
+
+    def test_list_rules_includes_whole_program_codes(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REP010" in out
+        assert "REP011" in out

@@ -1,0 +1,99 @@
+"""Unit tests for repro.telemetry.redact — the sanctioned sanitizers.
+
+The flow analyzer (repro.analysis.flow) declares every function here a
+sanitizer, so these tests are the runtime half of that contract: outputs
+must be non-invertible (never contain the input) while staying useful
+(stable, comparable, bounded).
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import redact
+from repro.telemetry.redact import (
+    DIGEST_HEX_DIGITS,
+    bucket,
+    bucket_interval,
+    digest,
+    scrub_reason,
+)
+
+
+class TestDigest:
+    def test_stable_and_short(self):
+        assert digest("ssn-123-45-6789") == digest("ssn-123-45-6789")
+        assert len(digest("ssn-123-45-6789")) == DIGEST_HEX_DIGITS
+
+    def test_never_contains_the_value(self):
+        value = "confidential-salary-120000"
+        assert value not in digest(value)
+
+    def test_distinguishes_values_and_types(self):
+        assert digest("1") != digest(1)  # repr-canonical: type matters
+        assert digest("alpha") != digest("beta")
+
+    def test_bytes_digest_raw(self):
+        assert digest(b"abc") == digest(b"abc")
+        assert digest(b"abc") != digest("abc")
+
+    def test_custom_length(self):
+        assert len(digest("x", length=12)) == 12
+
+
+class TestBucket:
+    def test_integer_labels(self):
+        assert bucket(23, 10) == "[20,30)"
+        assert bucket(20, 10) == "[20,30)"  # half-open: low edge inside
+        assert bucket(19.99, 10) == "[10,20)"
+
+    def test_negative_values(self):
+        assert bucket(-5, 10) == "[-10,0)"
+
+    def test_fractional_width(self):
+        assert bucket(0.97, 0.05) == "[0.95,1)"
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ReproError):
+            bucket(5, 0)
+
+    def test_never_contains_the_value(self):
+        assert "23" not in bucket(23.0, 10)
+
+
+class TestBucketInterval:
+    def test_single_bucket_collapses(self):
+        assert bucket_interval(21, 24, 10) == "[20,30)"
+
+    def test_cross_bucket_interval(self):
+        assert bucket_interval(18, 24, 10) == "[10,20)..[20,30)"
+
+    def test_position_is_generalized(self):
+        # two intervals of equal width in the same buckets are
+        # indistinguishable — position is what must not leak
+        assert bucket_interval(21, 24, 10) == bucket_interval(22, 25, 10)
+
+
+class TestScrubReason:
+    def test_digit_runs_generalized(self):
+        scrubbed = scrub_reason("loss 0.73 exceeds MAXLOSS 0.5")
+        assert "0.73" not in scrubbed
+        assert "0.5" not in scrubbed
+        assert scrubbed == "loss # exceeds MAXLOSS #"
+
+    def test_keeps_first_line_only(self):
+        assert scrub_reason("refused\nsecret second line") == "refused"
+
+    def test_truncates(self):
+        scrubbed = scrub_reason("x" * 500, max_length=40)
+        assert len(scrubbed) == 40
+        assert scrubbed.endswith("…")
+
+    def test_empty_text(self):
+        assert scrub_reason("") == ""
+
+
+class TestModuleSurface:
+    def test_all_sanitizers_exported(self):
+        # the catalog declares these by name; keep the surface stable
+        for name in ("digest", "bucket", "bucket_interval", "scrub_reason"):
+            assert callable(getattr(redact, name))
