@@ -6,8 +6,11 @@ F1cd runs the snooping HMO1's non-linear-programming inference and prints
 the reproduced Figure 1(d) intervals next to the paper's.
 """
 
+import time
+
 import pytest
 
+from bench_kernels import kernel_env
 from repro.data import FIGURE1, HealthcareGenerator
 from repro.inference import PublishedAggregates, SnoopingSource
 
@@ -38,6 +41,30 @@ def collect_results(repeats=1):
         for cell, (low, high) in inferred.items()
         for paper_low, paper_high in [FIGURE1.paper_intervals[cell]]
     ) / (2 * len(FIGURE1.paper_intervals))
+    # KERN tie-in: the same snooping inference under both kernel modes.
+    # The constraint sweep behind ``infer`` is hot kernel (1); this lane
+    # smoke-checks that the scalar references still reproduce the figure
+    # and publishes what the vectorized encoding buys on this workload.
+    modes = {}
+    mode_intervals = {}
+    for label, scalar in (("scalar", True), ("vectorized", False)):
+        with kernel_env(scalar):
+            started = time.perf_counter()
+            mode_intervals[label] = snooper.infer(
+                starts=max(2, 2 * repeats), seed=0
+            )
+            modes[f"{label}_ms"] = round(
+                (time.perf_counter() - started) * 1000.0, 3
+            )
+    modes["speedup"] = round(
+        modes["scalar_ms"] / modes["vectorized_ms"], 2
+    )
+    modes["max_endpoint_divergence"] = max(
+        abs(a - b)
+        for cell in mode_intervals["scalar"]
+        for a, b in zip(mode_intervals["scalar"][cell],
+                        mode_intervals["vectorized"][cell])
+    )
     return {
         "f1ab": {
             "row_means": list(published.row_means),
@@ -51,6 +78,7 @@ def collect_results(repeats=1):
             },
             "mean_endpoint_error": endpoint_error,
         },
+        "kernel_modes": modes,
     }
 
 
@@ -89,6 +117,24 @@ def test_figure1_tables_ab(benchmark, report, generator, matrix):
         assert published.row_means[i] == pytest.approx(
             FIGURE1.row_means[i], abs=0.2
         )
+
+
+def test_kernel_modes_agree_on_figure1d(report):
+    published = PublishedAggregates(
+        FIGURE1.measures, FIGURE1.sources, FIGURE1.row_means,
+        FIGURE1.row_stds, FIGURE1.source_means, precision=1,
+    )
+    snooper = SnoopingSource(published, "HMO1", FIGURE1.hmo1_values)
+    intervals = {}
+    for label, scalar in (("scalar", True), ("vectorized", False)):
+        with kernel_env(scalar):
+            intervals[label] = snooper.infer(starts=2, seed=0)
+    report("=== F1cd: scalar and vectorized solver agree ===")
+    assert set(intervals["scalar"]) == set(intervals["vectorized"])
+    for cell, (low, high) in intervals["scalar"].items():
+        v_low, v_high = intervals["vectorized"][cell]
+        assert v_low == pytest.approx(low, abs=1e-6)
+        assert v_high == pytest.approx(high, abs=1e-6)
 
 
 def test_figure1_inferred_intervals_cd(benchmark, report):

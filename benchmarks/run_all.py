@@ -43,8 +43,9 @@ from pathlib import Path
 HERE = Path(__file__).resolve().parent
 
 #: Benches that export ``collect_results()`` — extend as benches adopt it.
-BENCHES = ("cache", "fanout", "figure1", "flow", "mediation_modes",
-           "persistence", "sequence_audit", "static_check", "validation")
+BENCHES = ("cache", "fanout", "figure1", "flow", "kernels",
+           "mediation_modes", "persistence", "sequence_audit",
+           "static_check", "validation")
 
 
 def run_bench(name, repeats, out_dir):

@@ -180,8 +180,8 @@ class Suppressions:
                 yield Finding(
                     UNKNOWN_SUPPRESSION_CODE,
                     f"suppression names unknown rule code {code!r} — it "
-                    "suppresses nothing (known codes: per-file REP001-9, "
-                    "whole-program REP010-11)",
+                    "suppresses nothing (known codes: per-file REP001-9 "
+                    "and REP012, whole-program REP010-11)",
                     path, line,
                 )
 

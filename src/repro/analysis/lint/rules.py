@@ -36,6 +36,11 @@ previously enforced only by convention and review:
   guaranteed to survive a crash at each point), and an undocumented
   backend method is a crash-consistency bug waiting for a caller to
   guess wrong (the durable-privacy-state PR's invariant).
+* REP012 — the modules in :data:`KERNEL_MODULES` carry vectorized hot
+  paths gated by :mod:`repro.kernels`; a per-row Python loop over
+  records/rows/members there is either the pinned scalar reference
+  (suppress with the justification) or an accidental de-vectorization
+  the benchmarks will pay for (the vectorized-kernels PR's invariant).
 """
 
 from __future__ import annotations
@@ -272,6 +277,7 @@ def check_repro_errors(context):
 #: Derived from the actual dependency DAG (see docs/static_analysis.md).
 LAYER_RANKS = {
     "errors": 0,
+    "kernels": 0,
     "relational": 10, "crypto": 10, "anonymity": 10, "access": 10,
     "inference": 10, "metrics": 10,
     "xmlkit": 20, "statdb": 20, "linkage": 20, "mining": 20, "data": 20,
@@ -526,6 +532,74 @@ def check_diagnostic_channels(context):
                     "rendering for humans)",
                     node,
                 )
+
+
+# -- REP012: per-row Python loops in vectorized kernel modules -----------------
+
+#: Modules with a vectorized hot path behind the :mod:`repro.kernels`
+#: gate.  The rule is scoped to exactly these — elsewhere a row loop is
+#: ordinary Python; here it is either the scalar reference the
+#: differential tests pin the kernels against (suppressed with that
+#: justification) or a de-vectorization regression.
+KERNEL_MODULES = {
+    "repro.inference.bounds",
+    "repro.anonymity.kanonymity",
+    "repro.anonymity.mondrian",
+    "repro.statdb.laplace",
+    "repro.metrics.privacy_loss",
+}
+
+_ROW_COLLECTION_NAMES = {"records", "rows", "members"}
+_ITER_WRAPPERS = {"enumerate", "sorted", "reversed", "zip"}
+
+
+def _row_collection(node):
+    """The records/rows/members collection ``node`` iterates, or None.
+
+    Unwraps one level of ``enumerate``/``sorted``/``reversed``/``zip``
+    (the common loop dressings) and accepts both plain names and
+    attribute reads (``self.records``).
+    """
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in _ITER_WRAPPERS):
+        for arg in node.args:
+            name = _row_collection(arg)
+            if name is not None:
+                return name
+        return None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    return name if name in _ROW_COLLECTION_NAMES else None
+
+
+@rule("REP012", "per-row Python loop in a vectorized kernel module")
+def check_per_row_loops(context):
+    if context.module not in KERNEL_MODULES:
+        return
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.For):
+            iterables = [node.iter]
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                               ast.GeneratorExp)):
+            iterables = [gen.iter for gen in node.generators]
+        else:
+            continue
+        for iterable in iterables:
+            name = _row_collection(iterable)
+            if name is not None:
+                yield context.finding(
+                    "REP012",
+                    f"per-row Python loop over {name!r} in a kernel module "
+                    "— batch it through the vectorized path (np.unique / "
+                    "ndarray ops, see repro.kernels) or suppress with the "
+                    "scalar-reference justification",
+                    node,
+                )
+                break
 
 
 # -- REP009: undocumented public persistence API -------------------------------

@@ -58,8 +58,8 @@ from repro.errors import (
 )
 from repro.metrics.privacy_loss import budget_fixed_point, compound_loss
 from repro.policy.matching import combine, evaluate_request
-from repro.query.features import extract_features
-from repro.query.language import to_piql
+from repro.query.features import extract_features, features_with_budget
+from repro.query.language import piql_without_maxloss, to_piql
 
 #: Verdicts, ordered SAFE > RUNTIME_CHECK > REFUSE (certainty of answering).
 SAFE = "SAFE"
@@ -161,20 +161,31 @@ class PlanAnalyzer:
         self.cache = cache
 
     def analyze(self, query, plan, sources, requester=None, role=None,
-                subjects=()):
+                subjects=(), shared=None):
         """Statically check ``plan`` (a :class:`FragmentPlan`) for ``query``.
 
         ``sources`` maps source name → :class:`RemoteSource` (the
         engine's registry).  Returns a :class:`PlanVerdict`; raises
         :class:`AccessDenied` when RBAC blocks the requester, exactly as
         the runtime pipeline would (fail fast, before privacy checks).
+
+        ``shared`` is a batch-scoped dict (``pose_many``): within one
+        batch the interpretation *prefix* — transform, policy
+        decisions, taint labels, dry-run rewrite, consent fold — is
+        memoized per (source, MAXLOSS-stripped fragment, principal,
+        policy version), because none of it reads MAXLOSS.  Everything
+        MAXLOSS-sensitive (features, cluster peek, loss estimate, the
+        budget comparison) still runs per query, and the persistent
+        tier-2b memo is still written under the full per-query key, so
+        the cache ends a batch in the identical state a query-at-a-time
+        caller would have left.
         """
         started = time.perf_counter()
         outcomes = []
         for name in plan.sources:
             outcomes.append(self._analyze_source(
                 sources[name], name, plan.fragments[name],
-                requester, role, subjects,
+                requester, role, subjects, shared,
             ))
         verdict = self._combine(query, outcomes)
         verdict.analysis_ms = (time.perf_counter() - started) * 1000.0
@@ -183,7 +194,7 @@ class PlanAnalyzer:
     # -- per-source abstract interpretation --------------------------------
 
     def _analyze_source(self, remote, name, fragment, requester, role,
-                        subjects):
+                        subjects, shared=None):
         key = self._outcome_key(remote, name, fragment, requester, role,
                                 subjects)
         if key is not None:
@@ -192,7 +203,7 @@ class PlanAnalyzer:
                 return outcome
         try:
             outcome = self._interpret(remote, name, fragment, requester,
-                                      role, subjects)
+                                      role, subjects, shared)
         except AccessDenied:
             raise  # runtime fails fast on RBAC; the gate must too
         except (PrivacyViolation, PathError) as error:
@@ -241,39 +252,27 @@ class PlanAnalyzer:
         return (name, to_piql(fragment), requester, role, tuple(subjects),
                 version, table_rows, overlap_armed)
 
-    def _interpret(self, remote, name, fragment, requester, role, subjects):
-        transform = remote.transformer.transform(fragment)
-
-        purpose = fragment.purpose or "research"
-        decisions = {}
-        for path_repr, column in sorted(transform.column_of_path.items()):
-            decision = evaluate_request(
-                remote.policy_store, name, path_repr, purpose,
-                role=role, subjects=subjects,
-            )
-            if column in decisions:
-                decisions[column] = combine(decisions[column], decision)
-            else:
-                decisions[column] = decision
-
-        labels = taint.label_source_query(
-            name, transform.query, transform.column_of_path, decisions
+    def _interpret(self, remote, name, fragment, requester, role, subjects,
+                   shared=None):
+        key = self._share_key(remote, name, fragment, requester, role,
+                              subjects) if shared is not None else None
+        labels, rewrite, query, view = self._interpret_prefix(
+            remote, name, fragment, requester, role, subjects, shared, key
         )
 
-        # dry_run raises the same AccessDenied / PrivacyViolation the
-        # runtime rewrite would, caught by _analyze_source above.
-        rewrite = remote.rewriter.dry_run(transform.query, decisions,
-                                          requester)
-
-        view = remote.policy_store.view_for(name)
-        features = extract_features(fragment, view)
+        if key is not None:
+            # Features share the prefix key: only requested_loss_budget
+            # reads MAXLOSS, and it is stamped on per query below.
+            features_key = ("static-features",) + key[1:]
+            base = shared.get(features_key)
+            if base is None:
+                base = shared[features_key] = extract_features(
+                    fragment, view
+                )
+            features = features_with_budget(base, fragment.max_loss)
+        else:
+            features = extract_features(fragment, view)
         techniques = remote.clusterer.peek(features)
-
-        query = rewrite.query
-        if remote.consent_predicate is not None:
-            query = query.replace(
-                where=query.where.and_(remote.consent_predicate)
-            )
 
         runtime_checks = self._sequence_defense_checks(
             remote, name, query, techniques
@@ -304,6 +303,91 @@ class PlanAnalyzer:
             name, ANSWERS, loss=estimate.privacy_loss,
             budget=rewrite.loss_budget, labels=labels,
         )
+
+    def _share_key(self, remote, name, fragment, requester, role, subjects):
+        """The batch sharing key for one source interpretation, or None.
+
+        Pins the MAXLOSS-stripped fragment, the principal, and the
+        source's policy version — everything the MAXLOSS-independent
+        prefix (and the feature base) reads.
+        """
+        version = getattr(
+            getattr(remote, "policy_store", None), "version", None
+        )
+        if not isinstance(version, int):
+            return None
+        return ("static", name, piql_without_maxloss(fragment),
+                requester, role, tuple(subjects), version)
+
+    def _interpret_prefix(self, remote, name, fragment, requester, role,
+                          subjects, shared=None, key=None):
+        """The MAXLOSS-independent head of one source interpretation.
+
+        Transform → policy decisions → taint labels → dry-run rewrite →
+        consent fold, none of which reads ``fragment.max_loss``.  With a
+        batch-scoped ``shared`` dict the whole head — including any
+        refusal it raises — is computed once per (source,
+        MAXLOSS-stripped fragment, principal, policy version) and
+        replayed for the batch's MAXLOSS variants.  Refusals replay as
+        the *same* exception object: :meth:`_analyze_source` only reads
+        its type and message, both immutable.
+        """
+        if shared is None:
+            key = None
+        elif key is None:
+            key = self._share_key(remote, name, fragment, requester, role,
+                                  subjects)
+        if key is not None:
+            cached = shared.get(key)
+            if cached is not None:
+                kind, payload = cached
+                if kind == "error":
+                    raise payload
+                return payload
+        try:
+            prefix = self._interpret_head(remote, name, fragment, requester,
+                                          role, subjects)
+        except Exception as error:
+            if key is not None:
+                shared[key] = ("error", error)
+            raise
+        if key is not None:
+            shared[key] = ("ok", prefix)
+        return prefix
+
+    def _interpret_head(self, remote, name, fragment, requester, role,
+                        subjects):
+        transform = remote.transformer.transform(fragment)
+
+        purpose = fragment.purpose or "research"
+        decisions = {}
+        for path_repr, column in sorted(transform.column_of_path.items()):
+            decision = evaluate_request(
+                remote.policy_store, name, path_repr, purpose,
+                role=role, subjects=subjects,
+            )
+            if column in decisions:
+                decisions[column] = combine(decisions[column], decision)
+            else:
+                decisions[column] = decision
+
+        labels = taint.label_source_query(
+            name, transform.query, transform.column_of_path, decisions
+        )
+
+        # dry_run raises the same AccessDenied / PrivacyViolation the
+        # runtime rewrite would, caught by _analyze_source above.
+        rewrite = remote.rewriter.dry_run(transform.query, decisions,
+                                          requester)
+
+        view = remote.policy_store.view_for(name)
+
+        query = rewrite.query
+        if remote.consent_predicate is not None:
+            query = query.replace(
+                where=query.where.and_(remote.consent_predicate)
+            )
+        return labels, rewrite, query, view
 
     def _sequence_defense_checks(self, remote, name, query, techniques):
         """Statically resolve ``RemoteSource._sequence_defenses``.

@@ -6,11 +6,21 @@ stopping when a split would leave a side with fewer than k records.  Each
 final partition is released with its QI values replaced by the partition's
 ranges.  Typically loses far less information than full-domain
 generalization — benchmark A6 quantifies the difference.
+
+The default implementation loads each QI into one float column array and
+recurses over index arrays with boolean masks — split choice, medians,
+and ranges are ndarray reductions, and range endpoints are read back from
+the original Python values (types preserved).  ``REPRO_SCALAR_KERNELS=1``
+selects the original per-record reference; both produce identical
+partitions in identical order.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ReproError
+from repro.kernels import use_scalar_kernels
 
 
 def mondrian_partition(records, quasi_identifiers, k):
@@ -27,7 +37,7 @@ def mondrian_partition(records, quasi_identifiers, k):
         raise ReproError("Mondrian needs at least one quasi-identifier")
     if len(records) < k:
         raise ReproError(f"{len(records)} records cannot be {k}-anonymous")
-    for record in records:
+    for record in records:  # repro-lint: disable=REP012 -- type validation must see each raw value once
         for attribute in quasi_identifiers:
             value = record.get(attribute)
             if not isinstance(value, (int, float)) or isinstance(value, bool):
@@ -35,15 +45,31 @@ def mondrian_partition(records, quasi_identifiers, k):
                     f"Mondrian requires numeric QIs; {attribute!r}={value!r}"
                 )
 
-    # Global ranges for normalization, so one wide attribute does not
-    # dominate the split choice.
-    spans = {}
-    for attribute in quasi_identifiers:
-        values = [r[attribute] for r in records]
-        spans[attribute] = (min(values), max(values))
+    if use_scalar_kernels():
+        # Global ranges for normalization, so one wide attribute does not
+        # dominate the split choice.
+        spans = {}
+        for attribute in quasi_identifiers:
+            values = [r[attribute] for r in records]  # repro-lint: disable=REP012 -- scalar reference path
+            spans[attribute] = (min(values), max(values))
+        partitions = []
+        _split_scalar(records, quasi_identifiers, k, spans, partitions)
+        return partitions
 
+    attributes = sorted(quasi_identifiers)
+    raw = {
+        attribute: [r[attribute] for r in records]  # repro-lint: disable=REP012 -- one column-load pass feeding the ndarray recursion
+        for attribute in attributes
+    }
+    columns = {a: np.asarray(raw[a], dtype=float) for a in attributes}
+    spans = {
+        a: float(columns[a].max() - columns[a].min()) for a in attributes
+    }
     partitions = []
-    _split(records, quasi_identifiers, k, spans, partitions)
+    _split_vector(
+        np.arange(len(records), dtype=np.intp), records, raw, columns,
+        attributes, k, spans, partitions,
+    )
     return partitions
 
 
@@ -51,7 +77,7 @@ def anonymized_records(partitions, quasi_identifiers):
     """Flatten partitions into released records with range-valued QIs."""
     released = []
     for ranges, members in partitions:
-        for record in members:
+        for record in members:  # repro-lint: disable=REP012 -- release materialization: one output dict per record
             out = dict(record)
             for attribute in quasi_identifiers:
                 low, high = ranges[attribute]
@@ -63,28 +89,64 @@ def anonymized_records(partitions, quasi_identifiers):
     return released
 
 
-def _split(records, quasi_identifiers, k, spans, partitions):
+def _split_vector(index, records, raw, columns, attributes, k, spans,
+                  partitions):
+    """The reference recursion over an index array instead of record lists."""
+    best, best_width = None, 0.0
+    for attribute in attributes:
+        values = columns[attribute][index]
+        denominator = spans[attribute]
+        width = (
+            float(values.max() - values.min()) / denominator
+            if denominator else 0.0
+        )
+        if width > best_width:
+            best, best_width = attribute, width
+    if best is not None:
+        values = columns[best][index]
+        median = np.sort(values, kind="stable")[len(values) // 2]
+        for left_mask in (values < median, values <= median):
+            left, right = index[left_mask], index[~left_mask]
+            if len(left) >= k and len(right) >= k:
+                _split_vector(left, records, raw, columns, attributes, k,
+                              spans, partitions)
+                _split_vector(right, records, raw, columns, attributes, k,
+                              spans, partitions)
+                return
+    ranges = {}
+    for attribute in attributes:
+        values = columns[attribute][index]
+        # Read endpoints back from the original values: int QIs must stay
+        # ints in the released ranges, exactly as the scalar min()/max().
+        ranges[attribute] = (
+            raw[attribute][index[int(values.argmin())]],
+            raw[attribute][index[int(values.argmax())]],
+        )
+    partitions.append((ranges, [records[i] for i in index]))  # repro-lint: disable=REP012 -- partition materialization
+
+
+def _split_scalar(records, quasi_identifiers, k, spans, partitions):
     best_attribute = _choose_attribute(records, quasi_identifiers, spans)
     if best_attribute is not None:
-        values = sorted(r[best_attribute] for r in records)
+        values = sorted(r[best_attribute] for r in records)  # repro-lint: disable=REP012 -- scalar reference path
         median = values[len(values) // 2]
-        left = [r for r in records if r[best_attribute] < median]
-        right = [r for r in records if r[best_attribute] >= median]
+        left = [r for r in records if r[best_attribute] < median]  # repro-lint: disable=REP012 -- scalar reference path
+        right = [r for r in records if r[best_attribute] >= median]  # repro-lint: disable=REP012 -- scalar reference path
         if len(left) >= k and len(right) >= k:
-            _split(left, quasi_identifiers, k, spans, partitions)
-            _split(right, quasi_identifiers, k, spans, partitions)
+            _split_scalar(left, quasi_identifiers, k, spans, partitions)
+            _split_scalar(right, quasi_identifiers, k, spans, partitions)
             return
         # Median split failed; try the strict split the other way around.
-        left = [r for r in records if r[best_attribute] <= median]
-        right = [r for r in records if r[best_attribute] > median]
+        left = [r for r in records if r[best_attribute] <= median]  # repro-lint: disable=REP012 -- scalar reference path
+        right = [r for r in records if r[best_attribute] > median]  # repro-lint: disable=REP012 -- scalar reference path
         if len(left) >= k and len(right) >= k:
-            _split(left, quasi_identifiers, k, spans, partitions)
-            _split(right, quasi_identifiers, k, spans, partitions)
+            _split_scalar(left, quasi_identifiers, k, spans, partitions)
+            _split_scalar(right, quasi_identifiers, k, spans, partitions)
             return
     ranges = {
         attribute: (
-            min(r[attribute] for r in records),
-            max(r[attribute] for r in records),
+            min(r[attribute] for r in records),  # repro-lint: disable=REP012 -- scalar reference path
+            max(r[attribute] for r in records),  # repro-lint: disable=REP012 -- scalar reference path
         )
         for attribute in quasi_identifiers
     }
@@ -95,8 +157,8 @@ def _choose_attribute(records, quasi_identifiers, spans):
     """The attribute with the widest normalized range (ties: name order)."""
     best, best_width = None, 0.0
     for attribute in sorted(quasi_identifiers):
-        low = min(r[attribute] for r in records)
-        high = max(r[attribute] for r in records)
+        low = min(r[attribute] for r in records)  # repro-lint: disable=REP012 -- scalar reference path
+        high = max(r[attribute] for r in records)  # repro-lint: disable=REP012 -- scalar reference path
         global_low, global_high = spans[attribute]
         denominator = global_high - global_low
         width = (high - low) / denominator if denominator else 0.0

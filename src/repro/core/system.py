@@ -33,8 +33,20 @@ class PrivateIye:
                  synonyms=None, telemetry=None, dispatch=None,
                  static_check=True, cache=True, events=None,
                  observatory=None, persistence=None,
-                 max_distinct_probes=None):
+                 max_distinct_probes=None, seed=None):
         self.policy_store = policy_store or PolicyStore()
+        # ``seed``: one deployment-wide noise seed.  Every randomized
+        # component (currently the per-source Laplace mechanisms built by
+        # ``add_relational_source(noise_epsilon=...)``) draws from an
+        # independent child of this SeedSequence, so cross-source call
+        # ordering never perturbs any source's stream.  ``None`` keeps
+        # OS-entropy noise.
+        self.seed = seed
+        self._seed_sequence = None
+        if seed is not None:
+            import numpy as np
+
+            self._seed_sequence = np.random.SeedSequence(seed)
         # ``events``: a JSONL path (async sink), True (ring only), or an
         # EventLog to share.  Asking for an event stream implies enabling
         # telemetry — the stream is one of its instruments.
@@ -82,6 +94,21 @@ class PrivateIye:
         """
         return self.engine.telemetry
 
+    def spawn_rng(self):
+        """An independent noise generator from the system seed.
+
+        Seeded systems hand out successive children of the seed's
+        :class:`numpy.random.SeedSequence` — deterministic per spawn
+        order, statistically independent of each other.  Unseeded
+        systems return ``None`` (components fall back to OS entropy via
+        :func:`repro.statdb.laplace.resolve_rng`).
+        """
+        if self._seed_sequence is None:
+            return None
+        import numpy as np
+
+        return np.random.default_rng(self._seed_sequence.spawn(1)[0])
+
     # -- policy management -------------------------------------------------
 
     def load_policies(self, dsl_text, view_source=None):
@@ -93,15 +120,35 @@ class PrivateIye:
     def add_relational_source(self, name, table, rbac=None,
                               consent_predicate=None, hierarchies=None,
                               qi_columns=(), output_mechanism=None,
-                              knowledge=None):
+                              knowledge=None, noise_epsilon=None,
+                              noise_sensitivity=1.0, noise_budget=None):
         """Wrap ``table`` in a privacy-preserving remote source.
 
         The source receives a *replica* of the policy store, mirroring the
         paper's two-level enforcement: the source enforces before data
         leaves; the mediator re-verifies after integration.
+
+        ``noise_epsilon`` is a convenience for the common mechanism:
+        instead of constructing a ``LaplaceMechanism`` by hand, pass the
+        per-query epsilon (plus optional ``noise_sensitivity`` /
+        ``noise_budget``) and the source gets one wired to the system
+        seed — on a seeded system (``PrivateIye(seed=...)``) each
+        source's noise stream is independently derived from that seed
+        and fully reproducible.
         """
         if not isinstance(table, Table):
             raise ReproError("add_relational_source needs a Table")
+        if noise_epsilon is not None:
+            if output_mechanism is not None:
+                raise ReproError(
+                    "pass either output_mechanism or noise_epsilon, not both"
+                )
+            from repro.statdb.laplace import LaplaceMechanism
+
+            output_mechanism = LaplaceMechanism(
+                noise_epsilon, sensitivity=noise_sensitivity,
+                budget=noise_budget, rng=self.spawn_rng(),
+            )
         catalog = Catalog(name)
         catalog.add(table)
         remote = RemoteSource(
@@ -167,6 +214,43 @@ class PrivateIye:
         session.queries_posed += 1
         return self.engine.pose(
             query,
+            requester=requester,
+            role=role or session.role,
+            subjects=subjects or session.subjects,
+            emergency=emergency,
+        )
+
+    def pose_many(self, texts, requester="anonymous", role=None,
+                  subjects=(), emergency=False):
+        """Pose a whole batch of PIQL queries for one principal, in order.
+
+        Returns one :class:`~repro.mediator.batch.PoseOutcome` per
+        query; refusals are captured in their outcome (``outcome.ok``,
+        ``outcome.unwrap()``) instead of aborting the batch, and every
+        query is guarded, charged, and journaled exactly as ``query()``
+        would have — see
+        :meth:`~repro.mediator.engine.MediationEngine.pose_many`.
+        """
+        return list(self.pose_stream(
+            texts, requester=requester, role=role, subjects=subjects,
+            emergency=emergency,
+        ))
+
+    def pose_stream(self, texts, requester="anonymous", role=None,
+                    subjects=(), emergency=False):
+        """Lazy :meth:`pose_many`: yields outcomes as they settle."""
+        session = self.session(requester, role=role)
+
+        def prepared():
+            for text in texts:
+                query = parse_piql(text) if isinstance(text, str) else text
+                if query.purpose is None:
+                    query.purpose = session.default_purpose
+                session.queries_posed += 1
+                yield query
+
+        return self.engine.pose_stream(
+            prepared(),
             requester=requester,
             role=role or session.role,
             subjects=subjects or session.subjects,

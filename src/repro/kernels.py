@@ -1,0 +1,39 @@
+"""Kernel-mode switch: vectorized numpy kernels vs scalar references.
+
+The four hot kernels (inference-bound solver sweeps, k-anonymity
+class counting / lattice scoring, Laplace noise draws, the loss
+fixed-point) each ship two implementations:
+
+* a **vectorized** numpy path — the default, the one production traffic
+  runs; and
+* a **scalar reference** — the original per-row Python, kept as the
+  executable specification.
+
+Setting ``REPRO_SCALAR_KERNELS=1`` in the environment switches every
+kernel back to its scalar reference.  The differential test suites run
+both modes against each other (seeded inputs, tight tolerances), and CI
+runs the smoke benchmarks under both settings, so the fast path can
+never drift from the reference semantics unnoticed.
+
+The flag is read **per call**, not at import time, so a test can flip
+modes with ``monkeypatch.setenv`` without reloading modules.
+"""
+
+from __future__ import annotations
+
+import os
+
+#: Environment variable selecting the scalar reference kernels.
+SCALAR_ENV = "REPRO_SCALAR_KERNELS"
+
+_TRUTHY = {"1", "true", "yes", "on"}
+
+
+def use_scalar_kernels():
+    """True when ``REPRO_SCALAR_KERNELS`` asks for the scalar references."""
+    return os.environ.get(SCALAR_ENV, "").strip().lower() in _TRUTHY
+
+
+def kernel_mode():
+    """``"scalar"`` or ``"vectorized"`` — for benchmarks and ledgers."""
+    return "scalar" if use_scalar_kernels() else "vectorized"

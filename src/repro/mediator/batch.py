@@ -1,0 +1,109 @@
+"""Batch-scoped sharing state for ``pose_many()``.
+
+One :class:`BatchContext` lives for exactly one ``pose_many`` /
+``pose_stream`` call and carries the memoization the batch pipeline is
+allowed to do — and *only* that.  The contract (``docs/performance.md``)
+is the same one the mediation cache lives under: **sharing never skips
+accounting**.  Everything a batch reuses is a pure recomputation —
+transforms, policy decisions, rewrites, executed-and-anonymized result
+documents, integration row sets — while everything stateful or charged
+(sequence-guard checks, history entries, budget charging, cluster
+absorption, audit-journal records, observatory folds, per-query events)
+still runs once per query, in batch order, through the exact same code
+path a looped ``pose()`` would take.
+
+The shared tiers:
+
+* ``static_shared`` — the plan analyzer's per-source interpretation
+  prefix (transform → decisions → taint labels → dry-run rewrite),
+  keyed on everything the prefix reads *except* MAXLOSS (see
+  :meth:`repro.analysis.plancheck.PlanAnalyzer.analyze`);
+* per-source dicts handed to :meth:`repro.source.server.RemoteSource
+  .answer` as ``shared=`` — the source pipeline's MAXLOSS-independent
+  stages for non-aggregate fragments (aggregates always run the full
+  pipeline: their defenses and perturbation are stateful);
+* ``integrate_memo`` — integration output per (mediated-name mapping,
+  aggregate flag, exact response documents); every query gets fresh
+  row dicts so results stay independently mutable.
+
+Sources are duck-typed: a test double whose ``answer`` does not accept
+``shared=`` simply gets called the plain way (checked once per source
+per batch via :func:`inspect.signature`).
+"""
+
+from __future__ import annotations
+
+import inspect
+
+
+class PoseOutcome:
+    """One query's outcome inside a ``pose_many`` batch.
+
+    A refusal mid-batch must not abort the queries behind it — a looped
+    caller would catch and continue — so ``pose_many`` captures each
+    refusal instead of raising.  ``ok`` distinguishes the two shapes;
+    :meth:`unwrap` restores the single-pose contract (return the result
+    or raise the refusal) for callers that want it.
+    """
+
+    __slots__ = ("query", "requester", "result", "error")
+
+    def __init__(self, query, requester, result=None, error=None):
+        self.query = query
+        self.requester = requester
+        self.result = result
+        self.error = error
+
+    @property
+    def ok(self):
+        return self.error is None
+
+    def unwrap(self):
+        """The result, or re-raise the refusal exactly as ``pose()`` would."""
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    def __repr__(self):
+        if self.ok:
+            return f"PoseOutcome(answered, rows={len(self.result.rows)})"
+        return f"PoseOutcome(refused, {type(self.error).__name__})"
+
+
+class BatchContext:
+    """Everything one batch may share between its queries."""
+
+    __slots__ = ("static_shared", "integrate_memo", "retained",
+                 "_source_shared", "_supports_shared")
+
+    def __init__(self):
+        self.static_shared = {}
+        # repro-lint: disable=REP007 -- batch-scoped, not a long-lived
+        # cache: the memo lives exactly as long as one pose_many() call,
+        # is bounded by the batch size, and must not survive into the
+        # next batch (repro.cache epochs would let it).
+        self.integrate_memo = {}
+        # Response documents referenced (by id) in integrate_memo keys:
+        # pinned here so an id can never be recycled mid-batch.
+        self.retained = []
+        self._source_shared = {}
+        self._supports_shared = {}
+
+    def shared_for(self, name, source):
+        """The per-source sharing dict, or ``None`` if unsupported.
+
+        ``None`` means ``source.answer`` does not take ``shared=`` (a
+        duck-typed double) and must be called the plain way.
+        """
+        try:
+            supports = self._supports_shared[name]
+        except KeyError:
+            answer = getattr(source, "answer", None)
+            try:
+                supports = "shared" in inspect.signature(answer).parameters
+            except (TypeError, ValueError):
+                supports = False
+            self._supports_shared[name] = supports
+        if not supports:
+            return None
+        return self._source_shared.setdefault(name, {})

@@ -363,17 +363,28 @@ class FanoutDispatcher:
 
     # -- dispatch ----------------------------------------------------------
 
-    def dispatch(self, source_names, call, enforce=True):
+    def dispatch(self, source_names, call, enforce=True, inline=False):
         """Run ``call(name)`` for every source under the policy.
 
         With ``enforce=False`` the partial-results policy is *not*
         checked here — the caller records the outcomes first (e.g. into
         an explain ledger) and then calls :meth:`enforce_partial` itself,
         so a failed quorum still leaves a fully-populated ledger.
+
+        ``inline=True`` asks to run the in-line state machine in the
+        calling thread even under a concurrent policy.  Honored only
+        when ``timeout_s`` is ``None`` — without deadline preemption
+        the two machines settle every (source, attempt) identically
+        (same breaker transitions, retries, and refusals, in the same
+        deterministic source order), so in-lining is purely a latency
+        optimization: the batch pipeline uses it to skip the per-pose
+        thread-pool spin-up.  With a deadline configured the flag is
+        ignored — the in-line machine cannot preempt a hung source.
         """
         names = list(source_names)
         started = self._clock()
-        if self.policy.mode == "sequential":
+        if self.policy.mode == "sequential" or (
+                inline and self.policy.timeout_s is None):
             outcomes = self._dispatch_sequential(names, call)
         else:
             outcomes = self._dispatch_concurrent(names, call)

@@ -184,6 +184,64 @@ class MediationEngine:
         span and fully accounted for in an explain report retrievable via
         ``telemetry.explain_last()``.
         """
+        return self._pose_wrapped(query, requester, role, subjects,
+                                  emergency, use_warehouse)
+
+    def pose_many(self, queries, requester="anonymous", role=None,
+                  subjects=(), emergency=False, use_warehouse=True):
+        """Answer a whole batch of queries for one principal, in order.
+
+        Returns one :class:`~repro.mediator.batch.PoseOutcome` per query
+        (in input order); a refused query is *captured* in its outcome —
+        exactly as final as the exception ``pose()`` would have raised,
+        and charged identically — instead of aborting the queries behind
+        it.
+
+        Equivalence contract: each query runs the full ``pose()``
+        pipeline — admission (sequence guard, probe bookkeeping, static
+        gate), dispatch, settlement (history entry, journal record,
+        budget accounting, per-query events and explain ledger) — as a
+        strict per-query loop in input order, so guards that read the
+        history observe exactly the prefix a looped caller would have
+        written.  What the batch *shares* is pure recomputation:
+        MAXLOSS-independent analyzer and source-pipeline stages,
+        integration of identical response sets, and the dispatch
+        thread-pool spin-up (in-lined when no deadline is configured).
+        See :mod:`repro.mediator.batch` and ``docs/performance.md``.
+        """
+        return list(self.pose_stream(
+            queries, requester=requester, role=role, subjects=subjects,
+            emergency=emergency, use_warehouse=use_warehouse,
+        ))
+
+    def pose_stream(self, queries, requester="anonymous", role=None,
+                    subjects=(), emergency=False, use_warehouse=True):
+        """Lazy :meth:`pose_many`: yields each outcome as it settles.
+
+        Queries are admitted, charged, and recorded only as the iterator
+        is consumed — abandoning the iterator abandons the unposed tail
+        without side effects.
+        """
+        from repro.mediator.batch import BatchContext, PoseOutcome
+
+        self._ensure_schema()
+        batch = BatchContext()
+        for query in queries:
+            if isinstance(query, str):
+                query = parse_piql(query)
+            try:
+                result = self._pose_wrapped(
+                    query, requester, role, subjects, emergency,
+                    use_warehouse, batch=batch,
+                )
+            except ReproError as error:
+                yield PoseOutcome(query, requester, error=error)
+            else:
+                yield PoseOutcome(query, requester, result=result)
+
+    def _pose_wrapped(self, query, requester, role, subjects, emergency,
+                      use_warehouse, batch=None):
+        """The ``pose()`` body; ``batch`` enables pose_many sharing."""
         self._ensure_schema()
         if isinstance(query, str):
             query = parse_piql(query)
@@ -211,7 +269,7 @@ class MediationEngine:
                 result = self._pose(
                     query, requester, role, subjects, emergency,
                     use_warehouse, report, canonical, fingerprint,
-                    policy_epoch, effects,
+                    policy_epoch, effects, batch,
                 )
             except ReproError as error:
                 report.finish("refused", error=error,
@@ -303,7 +361,7 @@ class MediationEngine:
 
     def _pose(self, query, requester, role, subjects, emergency,
               use_warehouse, report, canonical, fingerprint, policy_epoch,
-              effects):
+              effects, batch=None):
         """The ``pose()`` pipeline body (refusals propagate to the caller).
 
         The mediation cache accelerates this path but never shortens the
@@ -374,7 +432,7 @@ class MediationEngine:
         if self.static_analyzer is not None:
             self._static_gate(query, plan, requester, role, subjects,
                               use_warehouse, report, fingerprint,
-                              cache_info)
+                              cache_info, batch)
 
         if use_warehouse:
             with telemetry.span("mediator.warehouse") as span:
@@ -382,7 +440,8 @@ class MediationEngine:
                     result, stats = self.warehouse.answer(
                         fingerprint,
                         lambda: self._compute(
-                            query, plan, requester, role, subjects, report
+                            query, plan, requester, role, subjects, report,
+                            batch,
                         ),
                         n_sources=len(plan.sources),
                         emergency=emergency,
@@ -403,7 +462,7 @@ class MediationEngine:
             cache_info["answer"] = "hit" if stats.from_cache else "miss"
         else:
             result = self._compute(
-                query, plan, requester, role, subjects, report
+                query, plan, requester, role, subjects, report, batch
             )
         report.set_cache(cache_info)
 
@@ -440,7 +499,8 @@ class MediationEngine:
     # -- internals -----------------------------------------------------------
 
     def _static_gate(self, query, plan, requester, role, subjects,
-                     use_warehouse, report, fingerprint, cache_info):
+                     use_warehouse, report, fingerprint, cache_info,
+                     batch=None):
         """Run the pre-dispatch plan analyzer; raise on a REFUSE verdict.
 
         A ``REFUSE`` is raised with the same exception type — and a
@@ -454,6 +514,7 @@ class MediationEngine:
         """
         telemetry = self.telemetry
         cache = self.cache
+        shared = batch.static_shared if batch is not None else None
         with telemetry.span("mediator.static_check",
                             n_sources=len(plan.sources)) as span:
             if cache is not None:
@@ -462,12 +523,14 @@ class MediationEngine:
                     lambda: self.static_analyzer.analyze(
                         query, plan, self.sources,
                         requester=requester, role=role, subjects=subjects,
+                        shared=shared,
                     ),
                 )
             else:
                 verdict = self.static_analyzer.analyze(
                     query, plan, self.sources,
                     requester=requester, role=role, subjects=subjects,
+                    shared=shared,
                 )
                 cached = False
             span.set(verdict=verdict.verdict, cached=cached)
@@ -502,7 +565,8 @@ class MediationEngine:
                 )
         raise PrivacyViolation(verdict.reason)
 
-    def _compute(self, query, plan, requester, role, subjects, report=None):
+    def _compute(self, query, plan, requester, role, subjects, report=None,
+                 batch=None):
         telemetry = self.telemetry
         if report is None:
             # direct callers (tests, warehouse refresh) skip the ledger
@@ -510,7 +574,16 @@ class MediationEngine:
             report = NOOP_REPORT
 
         def call(source_name):
-            return self.sources[source_name].answer(
+            source = self.sources[source_name]
+            if batch is not None:
+                shared = batch.shared_for(source_name, source)
+                if shared is not None:
+                    return source.answer(
+                        plan.fragments[source_name],
+                        requester=requester, role=role, subjects=subjects,
+                        shared=shared,
+                    )
+            return source.answer(
                 plan.fragments[source_name],
                 requester=requester, role=role, subjects=subjects,
             )
@@ -521,7 +594,8 @@ class MediationEngine:
             mode=dispatcher.policy.describe(), n_sources=len(plan.sources),
         ) as span:
             outcome_set = dispatcher.dispatch(plan.sources, call,
-                                              enforce=False)
+                                              enforce=False,
+                                              inline=batch is not None)
             span.set(answered=len(outcome_set.responses),
                      retries=outcome_set.total_retries,
                      wall_ms=outcome_set.wall_ms)
@@ -553,8 +627,8 @@ class MediationEngine:
             )
 
         with telemetry.span("mediator.integrate", n_sources=len(responses)):
-            rows, per_source_loss, duplicates = self.integrator.integrate(
-                responses, plan, query.is_aggregate
+            rows, per_source_loss, duplicates = self._integrate(
+                responses, plan, query.is_aggregate, batch
             )
         with telemetry.span("mediator.privacy_control"):
             kept_rows, aggregated, notices = self.control.verify(
@@ -575,6 +649,39 @@ class MediationEngine:
             kept_rows, per_source_loss, aggregated, notices, refused,
             duplicates,
         )
+
+    def _integrate(self, responses, plan, is_aggregate, batch=None):
+        """Integrate, with per-batch memoization of identical response sets.
+
+        Integration is a pure function of the exact response documents
+        and the plan's mediated-name mapping — the Bloom-filter dedup is
+        deterministic and ``untag_results`` builds fresh row dicts —
+        so a batch whose MAXLOSS variants produced the *same* documents
+        (shared by :meth:`RemoteSource._answer_batched`) can reuse the
+        integrated rows.  Every query still gets its own row-dict
+        copies, keeping results independently mutable, and the privacy
+        control + MAXLOSS check downstream run per query regardless.
+        """
+        if batch is None:
+            return self.integrator.integrate(responses, plan, is_aggregate)
+        key = (
+            tuple(sorted(plan.mediated_names.items())),
+            is_aggregate,
+            tuple((name, id(responses[name].document))
+                  for name in sorted(responses)),
+        )
+        cached = batch.integrate_memo.get(key)
+        if cached is None:
+            cached = batch.integrate_memo[key] = self.integrator.integrate(
+                responses, plan, is_aggregate
+            )
+            # Pin the documents behind the key's ids for the batch's
+            # lifetime so a recycled id can never alias a dead document.
+            batch.retained.extend(
+                responses[name].document for name in sorted(responses)
+            )
+        rows, per_source_loss, duplicates = cached
+        return [dict(row) for row in rows], dict(per_source_loss), duplicates
 
     def _record_dispatch(self, outcome_set, report, telemetry):
         """Fold fan-out outcomes into the explain ledger and metrics."""

@@ -10,7 +10,10 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ReproError
+from repro.kernels import use_scalar_kernels
 
 
 def compound_loss(losses):
@@ -44,7 +47,55 @@ def budget_fixed_point(per_source_loss, budgets, tolerance=1e-9):
     ``aggregated`` is their compound loss (0.0 when none survive), and
     ``withheld`` lists ``(source, aggregated_at_withholding, budget)``
     tuples in withholding order.
+
+    The default implementation iterates a vectorized convergence mask
+    over ndarray losses/budgets; ``REPRO_SCALAR_KERNELS=1`` selects the
+    scalar reference loop the differential tests pin it against.
     """
+    if use_scalar_kernels() or len(per_source_loss) < 2:
+        return _budget_fixed_point_scalar(per_source_loss, budgets, tolerance)
+
+    names = list(per_source_loss)
+    # Range validation through the scalar reference itself, so an
+    # out-of-range loss raises the byte-identical error (first offender
+    # in name order) from the same function either way.
+    compound_loss(per_source_loss[name] for name in names)
+    losses = np.asarray([per_source_loss[name] for name in names], dtype=float)
+    granted = np.asarray([budgets.get(name, 1.0) for name in names], dtype=float)
+    # Withholding priority is fixed up front — losses never change, so the
+    # "highest (loss, name) violator" order can be precomputed once.
+    priority = sorted(range(len(names)),
+                      key=lambda i: (losses[i], names[i]), reverse=True)
+
+    active = np.ones(len(names), dtype=bool)  # the convergence mask
+    withheld = []
+    while True:
+        aggregated = float(1.0 - np.prod(1.0 - losses[active]))
+        violated = active & (aggregated > granted + tolerance)
+        if not violated.any():
+            break
+        # Withhold the highest-loss violating source first and recheck:
+        # removing one release may bring the aggregate within the
+        # remaining sources' budgets.
+        worst = next(i for i in priority if violated[i])
+        withheld.append((names[worst], aggregated, float(granted[worst])))
+        active[worst] = False
+        if not active.any():
+            break
+    if active.any():
+        aggregated = float(1.0 - np.prod(1.0 - losses[active]))
+    else:
+        aggregated = 0.0
+    participating = {
+        name: per_source_loss[name]
+        for i, name in enumerate(names)
+        if active[i]
+    }
+    return participating, aggregated, withheld
+
+
+def _budget_fixed_point_scalar(per_source_loss, budgets, tolerance):
+    """Scalar reference for :func:`budget_fixed_point` (kept verbatim)."""
     participating = dict(per_source_loss)
     withheld = []
     while True:
@@ -56,9 +107,6 @@ def budget_fixed_point(per_source_loss, budgets, tolerance=1e-9):
         ]
         if not violated:
             break
-        # Withhold the highest-loss violating source first and recheck:
-        # removing one release may bring the aggregate within the
-        # remaining sources' budgets.
         worst = max(violated, key=lambda s: (participating[s], s))
         withheld.append((worst, aggregated, budgets.get(worst, 1.0)))
         del participating[worst]

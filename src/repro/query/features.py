@@ -83,6 +83,18 @@ def extract_features(query, view=None):
     return QueryFeatures(values)
 
 
+def features_with_budget(base, max_loss):
+    """``base`` with only ``requested_loss_budget`` replaced.
+
+    Every other feature is MAXLOSS-independent, so a batch pipeline can
+    extract one base per fragment shape and stamp the per-query budget
+    here instead of re-walking the query's paths per MAXLOSS variant.
+    """
+    values = dict(base.values)
+    values["requested_loss_budget"] = float(max_loss)
+    return QueryFeatures(values)
+
+
 def _is_identifier_path(path):
     from repro.xmlkit.loose import normalize_name
 

@@ -59,6 +59,28 @@ def to_piql(query):
     return " ".join(parts)
 
 
+# MAXLOSS renders strictly last (see ``to_piql``'s parts order) and
+# string literals render quoted, so a bare trailing number can only be
+# the MAXLOSS value — stripping the suffix is exact, no reparse needed.
+_MAXLOSS_SUFFIX = re.compile(r" MAXLOSS [0-9.eE+-]+$")
+
+
+def piql_without_maxloss(query):
+    """Canonical PIQL text with the MAXLOSS clause elided.
+
+    The batch pipeline (:meth:`repro.mediator.engine.MediationEngine
+    .pose_many`) shares MAXLOSS-independent pipeline stages across the
+    queries of one batch; this is the sharing key.  ``to_piql`` omits
+    the clause when ``max_loss == 1.0``; otherwise the clause is
+    stripped from the single render rather than re-rendering a clone —
+    this key is computed per (query, source) on the batch hot path.
+    """
+    text = to_piql(query)
+    if query.max_loss == 1.0:
+        return text
+    return _MAXLOSS_SUFFIX.sub("", text)
+
+
 def parse_piql(text):
     """Parse PIQL text into a :class:`~repro.query.model.PiqlQuery`.
 

@@ -29,7 +29,8 @@ from repro.errors import PrivacyViolation, QueryError, ReproError
 from repro.crypto.keyed_hash import keyed_hash
 from repro.policy.matching import evaluate_request
 from repro.policy.model import DisclosureForm
-from repro.query.features import extract_features
+from repro.query.features import extract_features, features_with_budget
+from repro.query.language import piql_without_maxloss, to_piql
 from repro.query.model import PiqlQuery
 from repro.relational.engine import execute
 from repro.relational.table import Table
@@ -166,19 +167,33 @@ class RemoteSource:
 
     # -- the pipeline --------------------------------------------------------
 
-    def answer(self, piql, requester=None, role=None, subjects=()):
+    def answer(self, piql, requester=None, role=None, subjects=(),
+               shared=None):
         """Answer one PIQL fragment, or raise a privacy/access error.
 
         The whole per-source pipeline runs inside a ``source.answer``
         span (nested under ``mediator.pose`` when the engine posed the
         fragment); each stage of Figure 2(a) gets a child span.
+
+        ``shared`` is a batch-scoped dict (``pose_many``): non-aggregate
+        fragments then run :meth:`_answer_batched`, which reuses the
+        MAXLOSS-independent stages across the batch while keeping every
+        stateful or per-query stage (cluster absorption, the optimizer's
+        budget refusal, the answered/refused counters around this
+        wrapper) exactly as the plain path runs them.  Aggregates always
+        take the full pipeline — their sequence defenses and output
+        perturbation are stateful.
         """
         if not isinstance(piql, PiqlQuery):
             raise QueryError("answer needs a PiqlQuery")
         telemetry = self.telemetry
         with telemetry.span("source.answer", source=self.name) as span:
             try:
-                response = self._answer(piql, requester, role, subjects)
+                if shared is not None and not piql.is_aggregate:
+                    response = self._answer_batched(piql, requester, role,
+                                                    subjects, shared)
+                else:
+                    response = self._answer(piql, requester, role, subjects)
             except (PrivacyViolation, ReproError):
                 self.queries_refused += 1
                 telemetry.metrics.counter(
@@ -264,6 +279,145 @@ class RemoteSource:
                 result, self.name, rewrite.column_forms,
                 estimate.privacy_loss, applied, generalizers,
             )
+        return SourceResponse(
+            document, estimate.privacy_loss, estimate.information_loss,
+            plan, cluster, rewrite, transform.sql,
+        )
+
+    def _answer_batched(self, piql, requester, role, subjects, shared):
+        """:meth:`_answer` with batch-scoped reuse (non-aggregate only).
+
+        Three sharing tiers, all pure recomputation:
+
+        * **prep** — transform, policy decisions, rewrite, consent
+          fold, selectivity: none reads MAXLOSS, so one computation
+          serves every MAXLOSS variant of a fragment (a refusal raised
+          here replays as the same exception object — the dispatcher
+          only reads its type and message);
+        * **features** — one MAXLOSS-free base per prep key; the
+          per-query budget is stamped on afterwards;
+        * **document** — execute → techniques → tagging, keyed by the
+          prep key plus the matched cluster (its technique list is
+          immutable) and the estimate's privacy loss (stamped into the
+          tags).  All three stages are deterministic and pure, so
+          reusing the document is recomputation elision, not semantic
+          change; the integrator never mutates it.
+
+        Per query, unconditionally: cluster *match* (it absorbs the
+        query into the clusterer's state), the loss estimate, and the
+        optimizer's plan-or-refuse — the per-query budget decision.
+        """
+        telemetry = self.telemetry
+        prep_key = ("prep", piql_without_maxloss(piql), requester, role,
+                    tuple(subjects))
+        prep = shared.get(prep_key)
+        if prep is None:
+            try:
+                with telemetry.span("source.transform"):
+                    transform = self.transformer.transform(piql)
+
+                from repro.policy.matching import combine
+
+                purpose = piql.purpose or "research"
+                with telemetry.span("source.policy", purpose=purpose):
+                    decisions = {}
+                    for path_repr, column in sorted(
+                            transform.column_of_path.items()):
+                        decision = evaluate_request(
+                            self.policy_store, self.name, path_repr, purpose,
+                            role=role, subjects=subjects,
+                        )
+                        if column in decisions:
+                            decisions[column] = combine(
+                                decisions[column], decision
+                            )
+                        else:
+                            decisions[column] = decision
+
+                rewrite = self.rewriter.rewrite(
+                    transform.query, decisions, requester
+                )
+
+                query = rewrite.query
+                if self.consent_predicate is not None:
+                    query = query.replace(
+                        where=query.where.and_(self.consent_predicate)
+                    )
+            except (PrivacyViolation, ReproError) as error:
+                shared[prep_key] = ("error", error)
+                raise
+            prep = shared[prep_key] = ("ok", (transform, rewrite, query))
+        kind, payload = prep
+        if kind == "error":
+            raise payload
+        transform, rewrite, query = payload
+
+        # Selectivity is derived from column statistics (row-valued in the
+        # flow analyzer's eyes), so it gets its own nested tier — see the
+        # documents tier below for why mixing it into ``shared`` directly
+        # would smear that label onto the whole batch.
+        selectivities = shared.setdefault("selectivity", {})
+        selectivity = selectivities.get(prep_key)
+        if selectivity is None:
+            selectivity = selectivities[prep_key] = max(
+                0.001, self.statistics.selectivity(query.where)
+            )
+
+        # Only ``requested_loss_budget`` reads MAXLOSS, so the feature
+        # base shares on the prep key and the budget is stamped per
+        # query — the clusterer still sees the exact per-query vector.
+        features_key = ("features", prep_key)
+        base = shared.get(features_key)
+        if base is None:
+            view = self.policy_store.view_for(self.name)
+            base = shared[features_key] = extract_features(piql, view)
+        features = features_with_budget(base, piql.max_loss)
+        with telemetry.span("source.cluster_match"):
+            cluster = self.clusterer.match(features)
+            techniques = cluster.techniques
+
+        with telemetry.span("source.sequence_defenses"):
+            self._sequence_defenses(query, techniques)  # non-aggregate: no-op
+
+        with telemetry.span("source.loss_and_plan") as span:
+            estimate = self.loss_estimator.estimate(
+                rewrite, features, techniques
+            )
+            plan = self.optimizer.plan(
+                rewrite, estimate, techniques, max_loss=piql.max_loss,
+                selectivity=selectivity,
+            )
+            span.set(privacy_loss=estimate.privacy_loss,
+                     selectivity=selectivity, strategy=plan.strategy)
+
+        # Tagged documents are disclosure payloads; they live in their own
+        # nested tier so the prep/features entries beside them stay plain
+        # derived-from-the-query artifacts (the information-flow analyzer
+        # models a dict as one cell — mixing tiers would smear the result
+        # label onto the rewrite every later query reads back).
+        documents = shared.setdefault("documents", {})
+        document_key = ("document", prep_key, id(cluster),
+                        estimate.privacy_loss)
+        cached = documents.get(document_key)
+        if cached is None:
+            with telemetry.span("source.execute"):
+                result = execute(query, self.catalog)
+            with telemetry.span("source.techniques") as span:
+                result, applied = self._apply_techniques(
+                    result, query, techniques
+                )
+                span.set(applied=[t.name for t in applied])
+            with telemetry.span("source.tag_results"):
+                generalizers = {
+                    column: self._generalizer(column)
+                    for column in rewrite.generalized_columns
+                }
+                document = tag_results(
+                    result, self.name, rewrite.column_forms,
+                    estimate.privacy_loss, applied, generalizers,
+                )
+            cached = documents[document_key] = document
+        document = cached
         return SourceResponse(
             document, estimate.privacy_loss, estimate.information_loss,
             plan, cluster, rewrite, transform.sql,

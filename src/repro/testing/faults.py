@@ -162,7 +162,8 @@ class FlakySource:
 
     # -- the intercepted call ----------------------------------------------
 
-    def answer(self, piql, requester=None, role=None, subjects=()):
+    def answer(self, piql, requester=None, role=None, subjects=(),
+               shared=None):
         with self._calls_lock:
             self.calls += 1
         event = self.schedule.take()
@@ -178,6 +179,12 @@ class FlakySource:
             raise PrivacyViolation(f"{self.name}: injected policy refusal")
         if kind in ("delay", "hang"):
             self._sleep(event[1] if len(event) > 1 else 0.05)
+        if shared is not None:
+            # pose_many batch sharing rides through the fault layer
+            return self._inner.answer(
+                piql, requester=requester, role=role, subjects=subjects,
+                shared=shared,
+            )
         return self._inner.answer(
             piql, requester=requester, role=role, subjects=subjects
         )
@@ -195,7 +202,8 @@ POLICY {name} DEFAULT deny {{
 
 
 def build_flaky_system(n_sources, schedule_for=None, rows_per_source=8,
-                       seed=7, dispatch=None, telemetry=None, cache=True):
+                       seed=7, dispatch=None, telemetry=None, cache=True,
+                       noise_epsilon=None):
     """A :class:`PrivateIye` whose every source is a :class:`FlakySource`.
 
     ``schedule_for(name, index)`` returns the :class:`FaultSchedule` for
@@ -208,6 +216,12 @@ def build_flaky_system(n_sources, schedule_for=None, rows_per_source=8,
     ``use_warehouse=False`` at pose time) for an always-recompute
     baseline, or a preconfigured ``MediationCache``.
 
+    ``seed`` drives the table data *and* seeds the system
+    (``PrivateIye(seed=seed)``), so with ``noise_epsilon`` set every
+    source gets a Laplace output mechanism whose noise stream derives
+    deterministically from the one seed — two builds with identical
+    arguments answer aggregates with identical noise.
+
     Returns ``(system, {name: FlakySource})``.
     """
     from repro.core.system import PrivateIye
@@ -215,7 +229,8 @@ def build_flaky_system(n_sources, schedule_for=None, rows_per_source=8,
     from repro.relational.table import Table
     from repro.source.server import RemoteSource
 
-    system = PrivateIye(telemetry=telemetry, dispatch=dispatch, cache=cache)
+    system = PrivateIye(telemetry=telemetry, dispatch=dispatch, cache=cache,
+                        seed=seed)
     rng = random.Random(seed)
     flaky = {}
     for index in range(n_sources):
@@ -230,9 +245,17 @@ def build_flaky_system(n_sources, schedule_for=None, rows_per_source=8,
         table = Table.from_dicts("patients", rows)
         catalog = Catalog(name)
         catalog.add(table)
+        mechanism = None
+        if noise_epsilon is not None:
+            from repro.statdb.laplace import LaplaceMechanism
+
+            mechanism = LaplaceMechanism(
+                noise_epsilon, rng=system.spawn_rng()
+            )
         remote = RemoteSource(
             name, catalog, "patients", system.policy_store.replicate(),
             pseudonym_secret=system.engine.shared_secret,
+            output_mechanism=mechanism,
         )
         schedule = schedule_for(name, index) if schedule_for else None
         wrapped = FlakySource(remote, schedule)

@@ -1,0 +1,47 @@
+"""REP012 fixture: per-row Python loops in a vectorized kernel module.
+
+The expected module name is one of ``KERNEL_MODULES`` — the rule is
+scoped to exactly the modules that carry a vectorized hot path.
+"""
+
+
+def class_sizes(records, quasi_identifiers):
+    sizes = {}
+    for record in records:
+        key = tuple(record.get(attr) for attr in quasi_identifiers)
+        sizes[key] = sizes.get(key, 0) + 1
+    return sizes
+
+
+def ages(records):
+    return [record["age"] for record in records]
+
+
+def spreads(rows):
+    return {max(row) - min(row) for row in rows}
+
+
+def indexed(records):
+    return {i: record for i, record in enumerate(records)}
+
+
+def widest(members):
+    return max(member["age"] for member in members)
+
+
+def reference_sizes(records):
+    counts = []
+    for record in records:  # repro-lint: disable=REP012 -- scalar reference path
+        counts.append(record)
+    return counts
+
+
+def over_columns(columns):
+    return [column.upper() for column in columns]
+
+
+def bounded(limits):
+    for low, high in limits:
+        if low > high:
+            return False
+    return True

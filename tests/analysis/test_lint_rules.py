@@ -98,12 +98,30 @@ class TestTreeInvariants:
         assert module_name_for(package) == "repro"
 
 
+class TestRep012Scoping:
+    """REP012 fires only inside the vectorized kernel modules."""
+
+    SOURCE = "def f(records):\n    return [r for r in records]\n"
+
+    def test_kernel_module_is_flagged(self):
+        findings, _ = lint_source(
+            self.SOURCE, module="repro.anonymity.mondrian"
+        )
+        assert [f.code for f in findings] == ["REP012"]
+
+    def test_non_kernel_module_is_exempt(self):
+        for module in ("repro.mediator.engine", "repro.anonymity.lattice",
+                       "repro.golden.rep012"):
+            findings, _ = lint_source(self.SOURCE, module=module)
+            assert findings == [], module
+
+
 class TestFramework:
     def test_rule_catalog(self):
         codes = [lint_rule.code for lint_rule in all_rules()]
         assert codes == ["REP001", "REP002", "REP003", "REP004",
                          "REP005", "REP006", "REP007", "REP008",
-                         "REP009"]
+                         "REP009", "REP012"]
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ReproError, match="duplicate"):

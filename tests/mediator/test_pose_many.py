@@ -1,0 +1,256 @@
+"""``pose_many`` vs N× ``pose``: the batch pipeline changes nothing.
+
+Two identically-built systems run the identical mixed workload — one
+through a plain ``pose()`` loop, one through ``pose_many`` — and every
+observable output is compared: answers, refusal types and messages,
+audit-journal hash chains (byte-identical under an injected clock),
+per-source counters, cumulative budgets, and the normalized explain
+ledgers.  Sharing inside the batch is recomputation elision only;
+anything that diverges here is a privacy-semantics bug, not a perf bug.
+"""
+
+import json
+
+import pytest
+
+from repro import PrivateIye
+from repro.errors import ReproError
+from repro.mediator.dispatch import DispatchPolicy
+from repro.observatory import Observatory
+from repro.observatory.journal import AuditJournal
+from repro.relational import Table
+from repro.testing.faults import FaultSchedule, build_flaky_system
+
+POLICIES = """
+VIEW clinic_private {
+    PRIVATE //patient/ssn;
+    PRIVATE //patient/hba1c FORM aggregate;
+}
+VIEW lab_private {
+    PRIVATE //patient/ssn;
+    PRIVATE //patient/hba1c FORM aggregate;
+}
+
+POLICY clinic DEFAULT deny {
+    DENY //patient/ssn FOR *;
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.6;
+    ALLOW //patient/city FOR research;
+}
+
+POLICY lab DEFAULT deny {
+    DENY //patient/ssn FOR *;
+    ALLOW //patient/hba1c FOR public-health-research FORM aggregate MAXLOSS 0.6;
+    ALLOW //patient/city FOR research;
+}
+"""
+
+WORKLOAD = [
+    "SELECT //patient/city PURPOSE research MAXLOSS 0.9",
+    "SELECT //patient/city PURPOSE research MAXLOSS 0.8",   # prep reuse
+    "SELECT //patient/city PURPOSE research MAXLOSS 0.9",   # exact repeat
+    ("SELECT AVG(//patient/hba1c) AS mean "
+     "PURPOSE public-health-research MAXLOSS 0.6"),
+    "SELECT AVG(//patient/hba1c) PURPOSE marketing",        # policy refusal
+    "SELECT //patient/ssn PURPOSE research",                # static refusal
+    ("SELECT AVG(//patient/hba1c) AS mean "
+     "PURPOSE public-health-research MAXLOSS 0.6"),         # noise replay
+    "SELECT //patient/city PURPOSE research MAXLOSS 0.7",
+]
+
+
+def ticking_clock():
+    state = {"now": 1_000_000.0}
+
+    def clock():
+        state["now"] += 1.0
+        return state["now"]
+
+    return clock
+
+
+def build_system(seed=23):
+    system = PrivateIye(
+        telemetry=True,
+        observatory=Observatory(journal=AuditJournal(clock=ticking_clock())),
+        dispatch=DispatchPolicy(mode="sequential"),
+        seed=seed,
+    )
+    system.load_policies(
+        POLICIES,
+        view_source={"clinic_private": "clinic", "lab_private": "lab"},
+    )
+    clinic_rows = [
+        {"ssn": f"1-{i:03d}", "hba1c": 60.0 + i % 25,
+         "city": ["pittsburgh", "butler"][i % 2]}
+        for i in range(30)
+    ]
+    lab_rows = [
+        {"ssn": f"2-{i:03d}", "hba1c": 65.0 + i % 20,
+         "city": ["pittsburgh", "erie"][i % 2]}
+        for i in range(20)
+    ]
+    system.add_relational_source(
+        "clinic", Table.from_dicts("patients", clinic_rows),
+        noise_epsilon=0.5,
+    )
+    system.add_relational_source(
+        "lab", Table.from_dicts("patients", lab_rows),
+        noise_epsilon=0.5,
+    )
+    return system
+
+
+def run_looped(system, queries, requester):
+    outcomes = []
+    for text in queries:
+        try:
+            outcomes.append(
+                ("answered", system.query(text, requester=requester))
+            )
+        except ReproError as error:
+            outcomes.append(("refused", error))
+    return outcomes
+
+
+def normalize_timing(value):
+    """Timing fields vary run to run; everything else must not."""
+    if isinstance(value, dict):
+        return {
+            key: (None
+                  if key in ("wall_ms", "duration_ms", "analysis_ms", "ts")
+                  else normalize_timing(item))
+            for key, item in value.items()
+        }
+    if isinstance(value, list):
+        return [normalize_timing(item) for item in value]
+    return value
+
+
+def ledgers(system):
+    return [
+        json.dumps(normalize_timing(report.to_dict()), sort_keys=True)
+        for report in system.telemetry.explain.reports()
+    ]
+
+
+class TestPoseManyEquivalence:
+    @pytest.fixture()
+    def pair(self):
+        looped_system = build_system()
+        batch_system = build_system()
+        looped = run_looped(looped_system, WORKLOAD, "epi")
+        outcomes = batch_system.pose_many(WORKLOAD, requester="epi")
+        return looped_system, batch_system, looped, outcomes
+
+    def test_answers_and_refusals_match(self, pair):
+        _, _, looped, outcomes = pair
+        assert len(outcomes) == len(looped)
+        for (status, loop_value), outcome in zip(looped, outcomes):
+            if status == "answered":
+                assert outcome.ok
+                assert outcome.result.rows == loop_value.rows
+                assert outcome.result.per_source_loss == \
+                    loop_value.per_source_loss
+                assert outcome.result.aggregated_loss == \
+                    loop_value.aggregated_loss
+            else:
+                assert not outcome.ok
+                assert type(outcome.error) is type(loop_value)
+                assert str(outcome.error) == str(loop_value)
+                with pytest.raises(type(loop_value)):
+                    outcome.unwrap()
+
+    def test_journal_hash_chains_are_byte_identical(self, pair):
+        looped_system, batch_system, _, _ = pair
+        looped_journal = looped_system.audit_journal()
+        batch_journal = batch_system.audit_journal()
+        assert looped_journal.verify_chain() == (True, None)
+        assert batch_journal.verify_chain() == (True, None)
+        looped_records = [r.to_dict() for r in looped_journal.records()]
+        batch_records = [r.to_dict() for r in batch_journal.records()]
+        assert batch_records == looped_records  # hashes included
+
+    def test_cumulative_budgets_match(self, pair):
+        looped_system, batch_system, _, _ = pair
+        assert (batch_system.audit_journal().requesters()
+                == looped_system.audit_journal().requesters())
+
+    def test_per_source_counters_match(self, pair):
+        looped_system, batch_system, _, _ = pair
+        for name in ("clinic", "lab"):
+            looped_source = looped_system.engine.sources[name]
+            batch_source = batch_system.engine.sources[name]
+            assert batch_source.queries_answered == \
+                looped_source.queries_answered
+            assert batch_source.queries_refused == \
+                looped_source.queries_refused
+
+    def test_explain_ledgers_are_byte_identical(self, pair):
+        looped_system, batch_system, _, _ = pair
+        assert ledgers(batch_system) == ledgers(looped_system)
+
+
+class TestPoseStream:
+    def test_stream_is_lazy_and_ordered(self):
+        system = build_system()
+        stream = system.pose_stream(WORKLOAD, requester="epi")
+        first = next(stream)
+        assert first.ok
+        assert len(system.audit_journal()) == 1  # only one query ran
+        rest = list(stream)
+        assert len(rest) == len(WORKLOAD) - 1
+        assert len(system.audit_journal()) == len(WORKLOAD)
+
+    def test_session_accounting_counts_each_query(self):
+        system = build_system()
+        system.pose_many(WORKLOAD[:3], requester="epi")
+        assert system.session("epi").queries_posed == 3
+
+
+class TestSeededNoise:
+    def test_same_seed_same_noise_different_seed_different(self):
+        aggregate = WORKLOAD[3]
+        answers = {}
+        for seed in (23, 23, 24):
+            system = build_system(seed=seed)
+            result = system.query(aggregate, requester="epi")
+            answers.setdefault(seed, []).append(result.rows)
+        assert answers[23][0] == answers[23][1]
+        assert answers[24][0] != answers[23][0]
+
+    def test_flaky_harness_threads_the_seed(self):
+        aggregate = ("SELECT AVG(//patient/age) AS mean PURPOSE research "
+                     "MAXLOSS 0.9")
+        rows = []
+        for _ in range(2):
+            system, _ = build_flaky_system(3, seed=11, noise_epsilon=0.5)
+            rows.append(system.query(aggregate, requester="a").rows)
+        assert rows[0] == rows[1]
+
+
+class TestRefusalFinalityInBatch:
+    def test_injected_refusal_is_not_retried_and_batch_continues(self):
+        refusals = FaultSchedule([("refuse",)])
+        system, flaky = build_flaky_system(
+            2,
+            schedule_for=lambda name, index: (
+                refusals if index == 0 else None
+            ),
+        )
+        queries = [
+            "SELECT //patient/age PURPOSE research MAXLOSS 0.9",
+            "SELECT //patient/visits PURPOSE research MAXLOSS 0.9",
+        ]
+        outcomes = system.pose_many(queries, requester="epi")
+        # A per-source refusal excludes that source; the pose itself
+        # still answers from the remaining sources.
+        assert outcomes[0].ok
+        assert sorted(outcomes[0].result.per_source_loss) == ["src01"]
+        assert outcomes[1].ok
+        assert sorted(outcomes[1].result.per_source_loss) == \
+            ["src00", "src01"]
+        # the refused source was called exactly once for the first query:
+        # a refusal is final, batch or not — no retry consumed a second
+        # schedule event.
+        assert flaky["src00"].faults_injected == 1
+        assert flaky["src00"].calls == 2
