@@ -1,0 +1,248 @@
+"""Always-on observatory overhead on the Figure-1 pose workload.
+
+The acceptance cell for the performance-observatory PR: the same
+8-source mediation workload (the Figure 1 healthcare deployment shape,
+real ``RemoteSource`` pipelines, no simulated latency so mediation cost
+dominates) is driven twice —
+
+* **off**: telemetry enabled (spans, events, metrics — the baseline
+  every prior PR already pays), observatory **not** running;
+* **on**: a :class:`~repro.telemetry.obs.PerfObservatory` running the
+  whole time — sampling profiler at ``--hz``, SLO engine ticking on its
+  own thread, flight recorder attached to the event log.
+
+The headline number is the **overhead fraction** ``(on - off) / off``
+over process CPU time, the median over ``--repeats`` matched pairs
+(each pair interleaves best-of-3 off/on drives; see :func:`run_pair`
+and :func:`timed_drive` for why CPU time and why pairs).  The
+observatory's design budget is 5%:
+the profiler folds samples into a bounded table, the recorder listener
+is test-and-return, and the SLO engine reads instruments that already
+exist — none of it adds work to the pose path itself.
+
+Each run also exercises the anomaly path once: a forced flight dump at
+the end writes ``flight-0001.json`` into ``--bundle-dir`` (default
+``benchmarks/results/flight/``), which CI uploads as the sample-bundle
+artifact.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py            # full cell
+    PYTHONPATH=src python benchmarks/bench_obs.py --smoke    # CI gate
+    PYTHONPATH=src python benchmarks/bench_obs.py --json benchmarks/BENCH_obs.json
+
+``--smoke`` runs a smaller pose count and exits non-zero when the
+overhead fraction exceeds ``--max-overhead`` (default 0.05) — the CI
+gate that keeps the observatory honest about measuring itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.telemetry.obs import PerfObservatory
+from repro.testing import build_flaky_system
+
+HERE = Path(__file__).resolve().parent
+
+QUERY = "SELECT //patient/age PURPOSE research MAXLOSS 0.9"
+N_SOURCES = 8
+#: The committed overhead budget: always-on observation may cost at most
+#: this fraction of the bare-telemetry pose workload.
+MAX_OVERHEAD = 0.05
+
+
+def build():
+    """A fresh 8-source Figure-1-shaped deployment with telemetry on."""
+    system, _ = build_flaky_system(N_SOURCES, telemetry=True, seed=42)
+    return system
+
+
+def drive(system, poses):
+    """Pose the workload ``poses`` times; returns wall-clock ms.
+
+    ``use_warehouse=False`` forces full mediation every time (fragment,
+    static-check, fan out, integrate, store) — the path the profiler
+    must attribute and the observatory must not slow down.  Requesters
+    rotate so no single history grows unboundedly.
+    """
+    engine = system.engine
+    started = time.perf_counter()
+    for index in range(poses):
+        engine.pose(QUERY, requester=f"bench-obs-{index % 16}",
+                    use_warehouse=False)
+    return (time.perf_counter() - started) * 1000.0
+
+
+def timed_drive(system, poses):
+    """One measured drive; returns ``(cpu_ms, wall_ms)``.
+
+    The overhead gate runs on **process CPU time**, not wall-clock: CPU
+    time sums over every thread, so it charges the profiler's own
+    sampling work honestly, while staying blind to co-tenant stalls —
+    on this container wall-clock drifts ±15% between identical runs,
+    which would drown a 5% budget.  The collector is forced and then
+    paused so a GC cycle lands in neither mode's account.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        cpu_started = time.process_time()
+        wall_ms = drive(system, poses)
+        cpu_ms = (time.process_time() - cpu_started) * 1000.0
+    finally:
+        gc.enable()
+    return cpu_ms, wall_ms
+
+
+def run_pair(poses, hz, bundle_dir, inner=3):
+    """One matched off/on measurement; returns ``(off_ms, on_ms, info)``.
+
+    Both deployments are built up front and warmed, then the timed
+    drives alternate off/on ``inner`` times each, taking the best of
+    each mode.  Interleaving is the point: this container's wall-clock
+    drifts by ±15% between runs (CPU frequency, co-tenants), which
+    swamps the overhead being measured — alternating modes within one
+    pair exposes both to the same drift, and best-of discards the
+    stalls.
+    """
+    system_off = build()
+    system_on = build()
+    obs = PerfObservatory(system_on.telemetry, hz=hz,
+                          bundle_dir=bundle_dir, slo_interval=0.5)
+    obs.start()
+    try:
+        drive(system_off, 4)  # warm both code paths before timing
+        drive(system_on, 4)
+        off = {"cpu": float("inf"), "wall": float("inf")}
+        on = {"cpu": float("inf"), "wall": float("inf")}
+        # ABBA ordering: a stall spanning consecutive drives lands on
+        # both modes instead of biasing whichever always ran second.
+        for index in range(inner):
+            first, second = ((system_off, system_on) if index % 2 == 0
+                             else (system_on, system_off))
+            for system in (first, second):
+                cpu_ms, wall_ms = timed_drive(system, poses)
+                bucket = off if system is system_off else on
+                bucket["cpu"] = min(bucket["cpu"], cpu_ms)
+                bucket["wall"] = min(bucket["wall"], wall_ms)
+    finally:
+        obs.slo.tick()
+        bundle = obs.recorder.dump(reason="bench-obs", force=True)
+        obs.stop()
+    profile = obs.profiler
+    info = {
+        "samples": profile.sample_count,
+        "overflowed": profile.overflowed,
+        "stage_totals": profile.stage_totals(),
+        "slo": {name: entry["breached"]
+                for name, entry in obs.slo.status().items()},
+        "bundle_spans": len(bundle["spans"]),
+        "bundle_events": len(bundle["events"]),
+    }
+    return off, on, info
+
+
+def run_cell(poses, repeats, hz, bundle_dir):
+    """``repeats`` matched pairs; the headline is the median overhead."""
+    pairs = []
+    info = {}
+    for _ in range(repeats):
+        off, on, info = run_pair(poses, hz, bundle_dir)
+        pairs.append((off, on))
+    ranked = sorted(
+        ((on["cpu"] - off["cpu"]) / off["cpu"], off, on)
+        for off, on in pairs
+    )
+    overheads = [entry[0] for entry in ranked]
+    median, off, on = ranked[len(ranked) // 2]
+    overhead = max(0.0, median)
+    return {
+        "sources": N_SOURCES,
+        "poses": poses,
+        "repeats": repeats,
+        "hz": hz,
+        "off_cpu_ms": round(off["cpu"], 3),
+        "on_cpu_ms": round(on["cpu"], 3),
+        "off_wall_ms": round(off["wall"], 3),
+        "on_wall_ms": round(on["wall"], 3),
+        "pair_overheads": [round(value, 4) for value in overheads],
+        "overhead_fraction": round(overhead, 4),
+        "budget_fraction": MAX_OVERHEAD,
+        "within_budget": overhead <= MAX_OVERHEAD,
+        "observatory": info,
+    }
+
+
+def collect_results(repeats=3, poses=None, hz=50.0, bundle_dir=None):
+    """The acceptance cell as a JSON-serializable dict (for run_all)."""
+    if poses is None:
+        poses = 40 if repeats == 1 else 80
+    if bundle_dir is None:
+        bundle_dir = HERE / "results" / "flight"
+    return run_cell(poses, repeats, hz, str(bundle_dir))
+
+
+def print_table(cell):
+    print("BENCH_OBS always-on observatory overhead "
+          f"({cell['sources']} sources, {cell['poses']} poses, "
+          f"{cell['hz']:g}Hz)")
+    print(f" {'mode':>10} {'cpu':>12} {'wall-clock':>12}")
+    print(f" {'off':>10} {cell['off_cpu_ms']:>10.1f}ms "
+          f"{cell['off_wall_ms']:>10.1f}ms")
+    print(f" {'on':>10} {cell['on_cpu_ms']:>10.1f}ms "
+          f"{cell['on_wall_ms']:>10.1f}ms")
+    pair_pct = ", ".join(f"{value * 100:+.1f}%"
+                         for value in cell["pair_overheads"])
+    print(f" overhead {cell['overhead_fraction'] * 100:.2f}% "
+          f"(budget {cell['budget_fraction'] * 100:.0f}%; "
+          f"pairs {pair_pct})  "
+          f"samples={cell['observatory'].get('samples', 0)}")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI gate: small cell, enforce --max-overhead")
+    parser.add_argument("--poses", type=int, default=None,
+                        help="poses per run (default 80; 40 under --smoke)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of repeats per mode")
+    parser.add_argument("--hz", type=float, default=50.0,
+                        help="profiler sampling rate")
+    parser.add_argument("--max-overhead", type=float, default=MAX_OVERHEAD,
+                        help="gate threshold as a fraction (smoke only)")
+    parser.add_argument("--bundle-dir", type=Path,
+                        default=HERE / "results" / "flight",
+                        help="where the sample flight bundle lands")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the run_all-style JSON artifact")
+    args = parser.parse_args(argv)
+    repeats = args.repeats
+    poses = args.poses
+    if poses is None:
+        poses = 40 if args.smoke else 80
+
+    cell = run_cell(poses, repeats, args.hz, str(args.bundle_dir))
+    print_table(cell)
+    if args.json is not None:
+        payload = {"bench": "obs", "generated_at": time.time(),
+                   "results": cell}
+        args.json.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    if args.smoke and cell["overhead_fraction"] > args.max_overhead:
+        print(f"SMOKE FAIL: overhead {cell['overhead_fraction']:.4f} > "
+              f"budget {args.max_overhead:.4f}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -28,6 +28,11 @@ is gitignored).  A failing bench does not stop the sweep: its error is
 recorded, the remaining benches still run, and the combined
 ``BENCH_summary.json`` (one status row per bench) plus a non-zero exit
 report the failure.  ``--smoke`` forces ``repeats=1`` — the CI setting.
+
+Every sweep also appends one schema-versioned line to the committed
+``benchmarks/BENCH_trajectory.jsonl`` (disable with ``--no-trajectory``):
+the append-only history of when each bench last ran, passed, and how
+long it took — see :func:`append_trajectory`.
 """
 
 from __future__ import annotations
@@ -44,8 +49,37 @@ HERE = Path(__file__).resolve().parent
 
 #: Benches that export ``collect_results()`` — extend as benches adopt it.
 BENCHES = ("cache", "fanout", "figure1", "flow", "kernels",
-           "mediation_modes", "persistence", "sequence_audit",
+           "mediation_modes", "obs", "persistence", "sequence_audit",
            "static_check", "validation")
+
+#: Version of the trajectory-entry shape appended per sweep; bump when
+#: the entry layout changes so downstream tooling can branch on it.
+TRAJECTORY_SCHEMA = 1
+
+
+def append_trajectory(path, summary):
+    """Append one schema-versioned sweep entry to the trajectory log.
+
+    ``BENCH_trajectory.jsonl`` is the committed, append-only history of
+    benchmark sweeps: one JSON line per run with the sweep settings and
+    each bench's status and elapsed time.  It answers "when did bench X
+    start failing / slowing" without archaeology through CI logs; the
+    per-bench artifacts keep the detailed numbers.
+    """
+    entry = {
+        "schema": TRAJECTORY_SCHEMA,
+        "generated_at": summary["generated_at"],
+        "smoke": summary["smoke"],
+        "repeats": summary["repeats"],
+        "benches": {
+            name: {"status": row["status"],
+                   "elapsed_s": row.get("elapsed_s")}
+            for name, row in sorted(summary["benches"].items())
+        },
+    }
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
 
 
 def run_bench(name, repeats, out_dir):
@@ -75,6 +109,11 @@ def main(argv=None):
     parser.add_argument("--out-dir", type=Path,
                         default=HERE / "results",
                         help="directory for the BENCH_<name>.json files")
+    parser.add_argument("--trajectory", type=Path,
+                        default=HERE / "BENCH_trajectory.jsonl",
+                        help="append-only sweep history (JSON lines)")
+    parser.add_argument("--no-trajectory", action="store_true",
+                        help="skip appending to the trajectory log")
     args = parser.parse_args(argv)
     repeats = 1 if args.smoke else args.repeats
 
@@ -113,6 +152,9 @@ def main(argv=None):
     )
     print(f"BENCH_summary: wrote {summary_path} "
           f"({len(names) - failures}/{len(names)} ok)")
+    if not args.no_trajectory:
+        append_trajectory(args.trajectory, summary)
+        print(f"BENCH_trajectory: appended to {args.trajectory}")
     return 1 if failures else 0
 
 

@@ -181,7 +181,7 @@ class Suppressions:
                     UNKNOWN_SUPPRESSION_CODE,
                     f"suppression names unknown rule code {code!r} — it "
                     "suppresses nothing (known codes: per-file REP001-9 "
-                    "and REP012, whole-program REP010-11)",
+                    "and REP012-13, whole-program REP010-11)",
                     path, line,
                 )
 

@@ -41,6 +41,13 @@ previously enforced only by convention and review:
   records/rows/members there is either the pinned scalar reference
   (suppress with the justification) or an accidental de-vectorization
   the benchmarks will pay for (the vectorized-kernels PR's invariant).
+* REP013 — the observatory hot paths in :data:`OBS_HOT_MODULES`
+  (sampling loops, inline event listeners) must not emit spans/events
+  or offer to sinks directly: per-sample emission is unbounded and an
+  emitting listener recurses into the very stream being observed —
+  fold into the bounded aggregation table / bundle ring and emit from
+  rate-limited trigger paths only (the performance-observatory PR's
+  invariant).
 """
 
 from __future__ import annotations
@@ -600,6 +607,92 @@ def check_per_row_loops(context):
                     node,
                 )
                 break
+
+
+# -- REP013: telemetry emission inside observatory hot paths -------------------
+
+#: Modules of :mod:`repro.telemetry.obs` whose inner loops run per
+#: sample or per emitted event — the observatory's own hot paths.  The
+#: rule is scoped to exactly these: elsewhere in the tree a span or an
+#: event is ordinary instrumentation; here it feeds back into the very
+#: stream being observed (event → listener → event …) or allocates per
+#: sample at the sampling rate.
+OBS_HOT_MODULES = {
+    "repro.telemetry.obs.profiler",
+    "repro.telemetry.obs.recorder",
+}
+
+#: Telemetry write calls that are banned in hot contexts: spans and
+#: events allocate and (for events) fan out to sinks/listeners; sink
+#: ``offer`` bypasses the ring entirely.  Metric observations on
+#: pre-resolved instruments (``inc``/``set``/``observe``) stay legal —
+#: they are fixed-size, which is the whole point.
+_OBS_EMISSION_ATTRS = {"emit", "span", "offer"}
+
+#: Function names that run once per sample or once per emitted event.
+#: ``sample_once``/``_run`` are the profiler's sampling loop;
+#: ``_on_*`` are inline event-log listeners (they execute inside every
+#: ``emit()`` call in the process).
+_OBS_HOT_FUNCTIONS = {"sample_once", "_run"}
+
+
+def _is_obs_hot_function(name):
+    """Whether a function name marks an observatory hot path."""
+    return name in _OBS_HOT_FUNCTIONS or name.startswith("_on_")
+
+
+def _emission_calls(body_nodes):
+    """Yield ``.emit``/``.span``/``.offer`` call nodes in ``body_nodes``."""
+    for body_node in body_nodes:
+        for node in ast.walk(body_node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _OBS_EMISSION_ATTRS):
+                yield node
+
+
+@rule("REP013", "span/event emission inside an observatory hot path")
+def check_obs_hot_path_emission(context):
+    """Flag direct telemetry emission in ``repro.telemetry.obs`` loops.
+
+    Two hot contexts: functions that run per sample / per event
+    (:data:`_OBS_HOT_FUNCTIONS` and ``_on_*`` listeners), and ``while``
+    loops anywhere in the hot modules (sampling/drain loops).  Emitting
+    there either recurses into the event log mid-emit or allocates at
+    the sampling rate — route the data through the bounded aggregation
+    table / bundle ring instead, and emit from the triggered (rate-
+    limited) paths only.
+    """
+    if context.module not in OBS_HOT_MODULES:
+        return
+    seen = set()
+    for node in ast.walk(context.tree):
+        if (isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and _is_obs_hot_function(node.name)):
+            for call in _emission_calls(node.body):
+                if id(call) not in seen:
+                    seen.add(id(call))
+                    yield context.finding(
+                        "REP013",
+                        f"direct .{call.func.attr}() inside hot function "
+                        f"{node.name!r} of an observatory module — "
+                        "aggregate into the bounded sampling table or "
+                        "bundle ring and emit from a rate-limited "
+                        "trigger path instead",
+                        call,
+                    )
+        elif isinstance(node, ast.While):
+            for call in _emission_calls(node.body):
+                if id(call) not in seen:
+                    seen.add(id(call))
+                    yield context.finding(
+                        "REP013",
+                        f"direct .{call.func.attr}() inside a while-loop "
+                        "of an observatory module — per-iteration "
+                        "emission is unbounded; fold into the bounded "
+                        "aggregation state instead",
+                        call,
+                    )
 
 
 # -- REP009: undocumented public persistence API -------------------------------

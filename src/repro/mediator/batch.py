@@ -71,12 +71,21 @@ class PoseOutcome:
 
 
 class BatchContext:
-    """Everything one batch may share between its queries."""
+    """Everything one batch may share between its queries.
+
+    The batch also owns one :class:`~repro.telemetry.obs.context.
+    TraceContext` (``trace``): every pose in the batch opens its root
+    span under the same trace id, so a 256-query ``pose_many`` reads as
+    one trace across the dispatcher's worker threads and the WAL writer
+    — sharing an *identifier* is not sharing state, so the accounting
+    contract above is untouched.
+    """
 
     __slots__ = ("static_shared", "integrate_memo", "retained",
-                 "_source_shared", "_supports_shared")
+                 "_source_shared", "_supports_shared", "trace")
 
-    def __init__(self):
+    def __init__(self, trace=None):
+        self.trace = trace
         self.static_shared = {}
         # repro-lint: disable=REP007 -- batch-scoped, not a long-lived
         # cache: the memo lives exactly as long as one pose_many() call,

@@ -52,6 +52,7 @@ from repro.errors import (
     SourceUnavailable,
     TransientSourceError,
 )
+from repro.telemetry.obs.context import TraceContext
 
 #: Exceptions that are final protocol answers — recorded as refusals,
 #: never retried, never counted against the circuit breaker.
@@ -469,7 +470,10 @@ class FanoutDispatcher:
 
     def _dispatch_concurrent(self, names, call):
         tasks = {name: _SourceTask(name, self._clock()) for name in names}
-        parent = self.telemetry.tracer.current()
+        # Capture the full trace context (trace id + parent span), not
+        # just the parent: restoring it on the worker makes the attempt
+        # span carry the pose's trace id across the pool boundary.
+        context = TraceContext.capture(self.telemetry.tracer)
         # Default pool leaves headroom for retries: a hung attempt that
         # blew its deadline keeps occupying a worker until it drains, and
         # its replacement must not queue behind it.
@@ -480,7 +484,7 @@ class FanoutDispatcher:
             max_workers=workers, thread_name_prefix="repro-fanout",
         )
         try:
-            self._run_loop(tasks, call, parent, pool)
+            self._run_loop(tasks, call, context, pool)
         finally:
             # Abandoned (hung) attempts drain on their own threads; do
             # not block the pose() on them.
@@ -491,14 +495,14 @@ class FanoutDispatcher:
         """Stamp the source's wall-clock the moment it settles."""
         task.outcome.wall_ms = (self._clock() - task.started) * 1000.0
 
-    def _run_loop(self, tasks, call, parent, pool):
+    def _run_loop(self, tasks, call, context, pool):
         timeout_s = self.policy.timeout_s
         pending = dict(tasks)  # sources not yet settled
         while pending:
             now = self._clock()
             for task in list(pending.values()):
                 if task.future is None and task.next_eligible <= now:
-                    self._launch_attempt(task, call, parent, pool)
+                    self._launch_attempt(task, call, context, pool)
                     if task.outcome.status != "pending":
                         self._finalize(task)    # breaker failed it fast
                         del pending[task.name]
@@ -533,7 +537,7 @@ class FanoutDispatcher:
                             self._finalize(task)
                             del pending[task.name]
 
-    def _launch_attempt(self, task, call, parent, pool):
+    def _launch_attempt(self, task, call, context, pool):
         breaker = self.breaker(task.name)
         admitted = breaker.acquire()
         if admitted is None:
@@ -544,16 +548,23 @@ class FanoutDispatcher:
         attempt = task.outcome.attempts
         task.attempt_started = self._clock()
         task.future = pool.submit(
-            self._run_attempt, call, task.name, attempt, parent
+            self._run_attempt, call, task.name, attempt, context
         )
 
-    def _run_attempt(self, call, name, attempt, parent):
-        """Worker-thread body: one attempt inside a parented span."""
-        with self.telemetry.tracer.span(
-            "mediator.fanout.attempt", parent=parent,
-            source=name, attempt=attempt,
-        ):
-            return call(name)
+    def _run_attempt(self, call, name, attempt, context):
+        """Worker-thread body: one attempt under the restored context.
+
+        Activating the captured :class:`TraceContext` makes the attempt
+        span both a child of the dispatching pose's span *and* a member
+        of its trace — the id a later WAL append and the profiler's
+        stage attribution agree on.
+        """
+        tracer = self.telemetry.tracer
+        with context.activate(tracer):
+            with tracer.span(
+                "mediator.fanout.attempt", source=name, attempt=attempt,
+            ):
+                return call(name)
 
     def _absorb_result(self, task, future):
         """Fold a completed attempt future into the task's outcome."""

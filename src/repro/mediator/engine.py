@@ -50,6 +50,7 @@ from repro.policy.model import DisclosureForm
 from repro.query.language import parse_piql
 from repro.query.model import PiqlQuery
 from repro.telemetry import resolve_telemetry
+from repro.telemetry.obs.context import TraceContext
 
 
 class MediationEngine:
@@ -225,7 +226,12 @@ class MediationEngine:
         from repro.mediator.batch import BatchContext, PoseOutcome
 
         self._ensure_schema()
-        batch = BatchContext()
+        # One trace id for the whole batch: every pose's root span (and
+        # everything restored from it — fan-out attempts, WAL appends)
+        # carries it, so the batch reads as one trace end to end.
+        batch = BatchContext(
+            trace=TraceContext.ensure(self.telemetry.tracer)
+        )
         for query in queries:
             if isinstance(query, str):
                 query = parse_piql(query)
@@ -264,7 +270,14 @@ class MediationEngine:
         # history entry, for now) as ``_pose`` produces them, so the
         # write-ahead record below carries exactly what was charged.
         effects = {}
-        with telemetry.span("mediator.pose", requester=requester) as span:
+        # Batched poses share the batch's trace id; a lone pose mints
+        # its own (inside Span._push).  The id rides the span stack to
+        # fan-out workers and the WAL record to the writer thread.
+        batch_trace = (batch.trace.trace_id
+                       if batch is not None and batch.trace is not None
+                       else None)
+        with telemetry.span("mediator.pose", trace_id=batch_trace,
+                            requester=requester) as span:
             try:
                 result = self._pose(
                     query, requester, role, subjects, emergency,
@@ -280,7 +293,7 @@ class MediationEngine:
                 ).inc()
                 events.emit(
                     "pose.refused", requester=requester,
-                    fingerprint=fingerprint,
+                    fingerprint=fingerprint, trace_id=span.trace_id,
                     kind=type(error).__name__, reason=str(error),
                 )
                 audit = None
@@ -300,6 +313,7 @@ class MediationEngine:
                         "fingerprint": fingerprint,
                         "status": "refused",
                         "refusal_kind": type(error).__name__,
+                        "trace_id": span.trace_id,
                         "history": effects.get("history"),
                         "journal": (audit.to_dict()
                                     if audit is not None else None),
@@ -323,6 +337,7 @@ class MediationEngine:
                 "requester": requester,
                 "fingerprint": fingerprint,
                 "status": "answered",
+                "trace_id": span.trace_id,
                 "history": effects.get("history"),
                 "journal": record.to_dict() if record is not None else None,
                 "per_source_loss": dict(result.per_source_loss),
@@ -336,6 +351,7 @@ class MediationEngine:
         # (compound_loss outputs; tainted by tuple-return granularity).
         events.emit(
             "pose.answered", requester=requester, fingerprint=fingerprint,
+            trace_id=span.trace_id,
             rows=len(result.rows), aggregated_loss=result.aggregated_loss,
             cumulative_loss=(record.cumulative_loss if record is not None
                              else None),

@@ -38,6 +38,7 @@ from repro.persistence.base import MemoryBackend, PersistenceBackend
 from repro.persistence.snapshot import capture_state
 from repro.persistence.sqlite import SqliteBackend
 from repro.persistence.wal import WalBackend
+from repro.persistence.writer import ThreadedWriter
 
 __all__ = [
     "KIND_EPOCH",
@@ -47,6 +48,7 @@ __all__ = [
     "PersistenceBackend",
     "PersistenceSink",
     "SqliteBackend",
+    "ThreadedWriter",
     "WalBackend",
     "resolve_persistence",
 ]
@@ -113,6 +115,12 @@ class PersistenceSink:
             engine.cache.epochs.subscribe(self.record_epoch)
         if engine.observatory is not None:
             engine.observatory.persistence = self
+        adopt = getattr(self.backend, "adopt_telemetry", None)
+        if adopt is not None:
+            # A ThreadedWriter backend traces its appends; binding hands
+            # it the engine's telemetry so its ``persistence.wal.append``
+            # spans join the poses' traces.
+            adopt(engine.telemetry)
 
     # -- recording (all durable before return) -------------------------------
 

@@ -1,0 +1,195 @@
+"""A dedicated writer thread in front of any persistence backend.
+
+:class:`ThreadedWriter` wraps a :class:`~repro.persistence.base.
+PersistenceBackend` and funnels every append through one long-lived
+writer thread.  The motivation is the sharded-service roadmap item: a
+single owning thread serializes the log without the sink lock being
+held across fsync, and gives the WAL a stable thread identity that
+telemetry can attribute I/O stalls to (``persistence.wal.append`` spans,
+profiler samples on ``repro-wal-writer``).
+
+**The durability contract survives the indirection**: :meth:`append`
+blocks the calling thread until the writer thread has durably appended
+the record (or re-raises the writer's exception), so "when ``append``
+returns, the record is durable" holds exactly as it does for the
+wrapped backend — the write-ahead point does not move, it just executes
+on another thread.
+
+**Trace propagation**: each record carrying a ``trace_id`` (stamped by
+the engine inside the ``mediator.pose`` span) is restored into a
+:class:`~repro.telemetry.obs.context.TraceContext` on the writer
+thread, so the append span joins the *pose's* trace even though it runs
+threads away from it — the serialization boundary the ISSUE's
+process-pool design point is about: the id travels in the record, not
+in a live object.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from repro.errors import PersistenceError
+from repro.persistence.base import PersistenceBackend
+from repro.telemetry import NOOP
+from repro.telemetry.obs.context import TraceContext
+
+#: Sentinel shutting down the writer thread.
+_CLOSE = object()
+
+
+class _Ticket:
+    """One append's rendezvous: the caller waits, the writer resolves."""
+
+    __slots__ = ("record", "done", "result", "error")
+
+    def __init__(self, record):
+        self.record = record
+        self.done = threading.Event()
+        self.result = None
+        self.error = None
+
+    def resolve(self, result=None, error=None):
+        """Writer side: publish the outcome and wake the caller."""
+        self.result = result
+        self.error = error
+        self.done.set()
+
+
+class ThreadedWriter(PersistenceBackend):
+    """Single-writer-thread front for a persistence backend.
+
+    Wrap any backend (``ThreadedWriter(WalBackend(path))``) and pass the
+    result to ``PrivateIye(persistence=...)``; the sink sees a normal
+    backend.  ``telemetry`` may be injected at construction or adopted
+    later via :meth:`adopt_telemetry` (the sink calls it from ``bind``),
+    so the writer traces with the engine's telemetry, not its own.
+    """
+
+    name = "threaded"
+
+    def __init__(self, backend, telemetry=None, max_queue=256):
+        if not isinstance(backend, PersistenceBackend):
+            raise PersistenceError(
+                "ThreadedWriter needs a PersistenceBackend, not "
+                f"{type(backend).__name__}"
+            )
+        self.wal = backend
+        self.telemetry = telemetry if telemetry is not None else NOOP
+        self.name = f"threaded-{backend.name}"
+        self._queue = queue.Queue(maxsize=max_queue)
+        self._closed = False
+        self.appended = 0
+        self._thread = threading.Thread(
+            target=self._drain, name="repro-wal-writer", daemon=True
+        )
+        self._thread.start()
+
+    def adopt_telemetry(self, telemetry):
+        """Trace future appends with ``telemetry`` (engine wiring hook).
+
+        Called by :meth:`PersistenceSink.bind
+        <repro.persistence.PersistenceSink.bind>` so writer spans land
+        in the same tracer as the poses that caused them.  Safe to call
+        while appends are in flight: the writer reads the attribute per
+        record.
+        """
+        self.telemetry = telemetry
+
+    # -- the durable path ----------------------------------------------------
+
+    def append(self, record):
+        """Enqueue for the writer thread; block until durably appended.
+
+        Preserves the write-ahead contract: control does not return to
+        the sink (and therefore the answer is not released) until the
+        wrapped backend's ``append`` has returned on the writer thread.
+        A writer-side failure re-raises here as
+        :class:`~repro.errors.PersistenceError` — a failed pose, never a
+        silently-lost record.
+        """
+        if self._closed:
+            raise PersistenceError("ThreadedWriter is closed")
+        ticket = _Ticket(record)
+        self._queue.put(ticket)
+        ticket.done.wait()
+        if ticket.error is not None:
+            raise ticket.error
+        return ticket.result
+
+    def _drain(self):
+        """Writer-thread loop: restore trace context, append, resolve."""
+        while True:
+            ticket = self._queue.get()
+            if ticket is _CLOSE:
+                return
+            tracer = self.telemetry.tracer
+            context = TraceContext.from_dict(ticket.record)
+            try:
+                with context.activate(tracer):
+                    with tracer.span(
+                        "persistence.wal.append",
+                        kind=ticket.record.get("kind"),
+                        seq=ticket.record.get("seq"),
+                    ):
+                        result = self.wal.append(ticket.record)
+                self.appended += 1
+            except BaseException as error:  # resolved, not swallowed:
+                # the waiting caller re-raises it (REP005's intent).
+                ticket.resolve(error=error)
+            else:
+                ticket.resolve(result=result)
+
+    # -- pass-through backend surface ----------------------------------------
+
+    def load(self):
+        """Delegate to the wrapped backend (see its durability notes)."""
+        return self.wal.load()
+
+    def compact(self, state, through_seq):
+        """Delegate compaction to the wrapped backend.
+
+        Called by the sink under its own lock, from the append path —
+        which on this backend runs in the *calling* thread, after the
+        writer resolved the ticket, so compaction never races the
+        writer on the medium for the record being compacted.
+        """
+        return self.wal.compact(state, through_seq)
+
+    def last_seq(self):
+        """Delegate to the wrapped backend."""
+        return self.wal.last_seq()
+
+    def stats(self):
+        """Wrapped backend's stats plus the writer's own counters."""
+        info = self.wal.stats()
+        info["writer_thread"] = self._thread.name
+        info["writer_appended"] = self.appended
+        return info
+
+    def close(self):
+        """Stop the writer thread, then close the wrapped backend.
+
+        Appends already accepted (ticket enqueued) are drained and made
+        durable before the thread exits; later appends raise.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_CLOSE)
+        self._thread.join(timeout=5.0)
+        # A ticket that raced past the closed check lands behind the
+        # sentinel: fail it loudly rather than leave its caller waiting.
+        while True:
+            try:
+                ticket = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if ticket is not _CLOSE:
+                ticket.resolve(
+                    error=PersistenceError("ThreadedWriter closed")
+                )
+        self.wal.close()
+
+    def __repr__(self):
+        return f"ThreadedWriter({self.wal!r})"

@@ -79,10 +79,32 @@ class EventLog:
         self._seq = 0
         self._clock = clock
         self.sink = sink
+        self._listeners = []
 
     @property
     def enabled(self):
         return True
+
+    def subscribe(self, listener):
+        """Register ``listener(event)``, called synchronously after every
+        emit (outside the ring lock).
+
+        Listeners are for in-process reactions — the flight recorder's
+        anomaly triggers, the persistence epoch bridge — and must be
+        fast and non-raising; a listener exception propagates to the
+        emitter.  Returns ``listener`` so callers can keep the handle
+        for :meth:`unsubscribe`.
+        """
+        with self._lock:
+            self._listeners = [*self._listeners, listener]
+        return listener
+
+    def unsubscribe(self, listener):
+        """Remove a previously subscribed listener (missing is a no-op)."""
+        with self._lock:
+            self._listeners = [
+                entry for entry in self._listeners if entry is not listener
+            ]
 
     def emit(self, name, **attributes):
         """Record one event; returns it."""
@@ -93,6 +115,10 @@ class EventLog:
         sink = self.sink
         if sink is not None:
             sink.offer(event.to_dict())
+        # copy-on-write list: safe to read without the lock, and the
+        # common no-listener case costs one truthiness check.
+        for listener in self._listeners:
+            listener(event)
         return event
 
     # -- reading -----------------------------------------------------------
@@ -247,6 +273,12 @@ class NoopEventLog:
 
     def emit(self, name, **attributes):
         return None
+
+    def subscribe(self, listener):
+        return listener
+
+    def unsubscribe(self, listener):
+        pass
 
     def events(self, name=None, requester=None):
         return []

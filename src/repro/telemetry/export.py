@@ -52,6 +52,11 @@ def chrome_trace(roots, pid=1, tid=1):
             if span.start is None:
                 continue
             end = span.end if span.end is not None else span.start
+            args = _json_safe(span.attributes)
+            if getattr(span, "trace_id", None) is not None:
+                # cross-thread correlation key: spans of one pose share
+                # it even when they render in different lanes
+                args["trace_id"] = span.trace_id
             trace_events.append({
                 "name": span.name,
                 "ph": "X",
@@ -60,7 +65,7 @@ def chrome_trace(roots, pid=1, tid=1):
                 "dur": max(0.0, (end - span.start) * 1e6),
                 "pid": pid,
                 "tid": tid,
-                "args": _json_safe(span.attributes),
+                "args": args,
             })
     trace_events.sort(key=lambda e: e["ts"])
     return {"traceEvents": trace_events, "displayTimeUnit": "ms"}

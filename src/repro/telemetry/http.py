@@ -13,6 +13,16 @@ one :class:`~repro.telemetry.Telemetry` instance (pass the system's —
 * ``GET /healthz`` — liveness JSON (always ``{"status": "ok"}`` while the
   server thread runs).
 
+With a :class:`~repro.telemetry.obs.PerfObservatory` attached
+(``TelemetryServer(telemetry, obs=observatory)``), three more routes:
+
+* ``GET /profile`` — the sampling profiler's collapsed stacks as plain
+  text (``?limit=`` bounds the stack count);
+* ``GET /slo``     — the SLO engine's burn-rate status as JSON;
+* ``GET /flight``  — the newest flight-recorder bundle as JSON (404
+  until one has been dumped; ``POST``-free by design — dumps are
+  triggered by anomalies or the CLI, never by a scrape).
+
 The server binds an ephemeral port by default (``port=0``) and runs on a
 daemon thread; it holds no state of its own, so scraping is always safe —
 every response is rendered from a snapshot taken under the instrument
@@ -77,9 +87,43 @@ class _Handler(BaseHTTPRequestHandler):
                 "telemetry_enabled": telemetry.enabled,
                 "events_retained": len(telemetry.events),
             }))
+        elif route in ("/profile", "/slo", "/flight"):
+            self._send_obs(route, parsed)
         else:
             self._send(404, "application/json",
                        json.dumps({"error": f"unknown path {route!r}"}))
+
+    def _send_obs(self, route, parsed):
+        """Serve the observatory routes (404 when no obs is attached)."""
+        obs = getattr(self.server, "obs", None)
+        if obs is None:
+            self._send(404, "application/json", json.dumps(
+                {"error": "no performance observatory attached"}
+            ))
+            return
+        if route == "/profile":
+            params = parse_qs(parsed.query)
+            try:
+                limit = int(params.get("limit", ["100"])[0])
+            except ValueError:
+                self._send(400, "application/json", json.dumps(
+                    {"error": "limit must be an integer"}
+                ))
+                return
+            self._send(200, "text/plain; charset=utf-8",
+                       obs.profiler.collapsed(limit=limit) + "\n")
+        elif route == "/slo":
+            self._send(200, "application/json",
+                       json.dumps(obs.slo.status(), sort_keys=True))
+        else:  # /flight
+            bundle = obs.recorder.last()
+            if bundle is None:
+                self._send(404, "application/json", json.dumps(
+                    {"error": "no flight bundle recorded yet"}
+                ))
+            else:
+                self._send(200, "application/json",
+                           json.dumps(bundle, sort_keys=True))
 
     def _send(self, status, content_type, body):
         payload = body.encode("utf-8")
@@ -101,16 +145,23 @@ class _Server(ThreadingHTTPServer):
     daemon_threads = True
     allow_reuse_address = True
 
-    def __init__(self, address, telemetry):
+    def __init__(self, address, telemetry, obs=None):
         super().__init__(address, _Handler)
         self.telemetry = telemetry
+        self.obs = obs
 
 
 class TelemetryServer:
-    """Lifecycle wrapper: bind, serve on a daemon thread, close."""
+    """Lifecycle wrapper: bind, serve on a daemon thread, close.
 
-    def __init__(self, telemetry, host="127.0.0.1", port=0):
+    ``obs`` optionally attaches a :class:`~repro.telemetry.obs.
+    PerfObservatory`, enabling the ``/profile``, ``/slo``, and
+    ``/flight`` routes.
+    """
+
+    def __init__(self, telemetry, host="127.0.0.1", port=0, obs=None):
         self.telemetry = telemetry
+        self.obs = obs
         self._address = (host, port)
         self._server = None
         self._thread = None
@@ -131,7 +182,7 @@ class TelemetryServer:
         """Bind and serve; returns the bound ``(host, port)``."""
         if self._server is not None:
             raise ReproError("server already started")
-        self._server = _Server(self._address, self.telemetry)
+        self._server = _Server(self._address, self.telemetry, obs=self.obs)
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-telemetry-http", daemon=True,

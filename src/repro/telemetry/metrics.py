@@ -95,9 +95,29 @@ class Histogram:
             self.count += 1
             self.total += value
 
-    def _window(self):
+    def _snapshot_state(self):
+        """Atomic ``(window, count, total)`` copy; O(n) under the lock.
+
+        Sorting happens *outside* the lock so concurrent ``observe``
+        calls block only for the list copy — exporters and percentile
+        readers never stall the record path on an O(n log n) sort.
+        """
         with self._lock:
-            return sorted(self._values)
+            return list(self._values), self.count, self.total
+
+    def _window(self):
+        values, _, _ = self._snapshot_state()
+        values.sort()
+        return values
+
+    def window(self):
+        """Sorted copy of the current observation window.
+
+        Public for readers that need the raw distribution rather than
+        fixed percentiles — the SLO engine's latency objectives count
+        the fraction of observations beyond a threshold.
+        """
+        return self._window()
 
     def percentile(self, q):
         """The ``q``-th percentile (0..100) of the windowed observations.
@@ -122,15 +142,18 @@ class Histogram:
 
         ``count`` and ``sum`` are lifetime accumulators (what a
         Prometheus summary exports); the remaining statistics cover the
-        sliding window.
+        sliding window.  All fields come from one atomic state copy, so
+        the summary is internally consistent even under concurrent
+        writers (p50 <= p95 <= p99 always holds for the copied window).
         """
-        ordered = self._window()
+        ordered, count, total = self._snapshot_state()
+        ordered.sort()
         if not ordered:
             return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,
                     "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {
-            "count": self.count,
-            "sum": self.total,
+            "count": count,
+            "sum": total,
             "mean": sum(ordered) / len(ordered),
             "min": ordered[0],
             "max": ordered[-1],
@@ -169,13 +192,21 @@ class MetricsRegistry:
         return instrument
 
     def snapshot(self):
-        """Plain-dict view of every instrument (JSON-serializable)."""
+        """Plain-dict view of every instrument (JSON-serializable).
+
+        Instrument references are copied under the registry lock, then
+        read outside it — a snapshot never holds the lock across the
+        per-histogram summary work, so exporters cannot stall writers
+        registering new instruments.
+        """
+        with self._lock:
+            counters = sorted(self._counters.items())
+            gauges = sorted(self._gauges.items())
+            histograms = sorted(self._histograms.items())
         return {
-            "counters": {n: c.value for n, c in sorted(self._counters.items())},
-            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
-            "histograms": {
-                n: h.summary() for n, h in sorted(self._histograms.items())
-            },
+            "counters": {n: c.value for n, c in counters},
+            "gauges": {n: g.value for n, g in gauges},
+            "histograms": {n: h.summary() for n, h in histograms},
         }
 
     def reset(self):
@@ -205,6 +236,9 @@ class _NoopInstrument:
 
     def percentile(self, q):
         return 0.0
+
+    def window(self):
+        return []
 
     def summary(self):
         return {"count": 0, "sum": 0.0, "mean": 0.0, "min": 0.0,

@@ -1,0 +1,7 @@
+"""``python -m repro.telemetry.obs`` dispatches to the observatory CLI."""
+
+import sys
+
+from repro.telemetry.obs.cli import main
+
+sys.exit(main())

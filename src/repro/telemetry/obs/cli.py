@@ -1,0 +1,163 @@
+"""``python -m repro.telemetry.obs`` — the observatory's operator CLI.
+
+Four subcommands, all runnable against a built-in demo deployment (an
+8-source mediation system driven through real ``pose()`` calls) so an
+operator can see each surface without wiring anything:
+
+* ``profile`` — sample the demo workload and print collapsed stacks
+  (``--chrome PATH`` additionally writes a Chrome-trace file);
+* ``slo``     — evaluate the stock objectives against the workload and
+  print the burn-rate table;
+* ``dump``    — force a flight-recorder bundle and print where it went;
+* ``report``  — one JSON roll-up of profiler + SLO + recorder state.
+
+Against a live process, prefer the HTTP surface (``/profile``, ``/slo``,
+``/flight`` on the PR 7 telemetry server) — this CLI is for local
+inspection and smoke-testing the observatory itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.telemetry.obs import PerfObservatory
+
+
+def _build_demo(n_sources=8, seconds=1.0):
+    """A telemetry-enabled demo system plus a pose-loop driver.
+
+    Deferred import: ``repro.testing`` sits above the telemetry layer
+    (REP004), so the CLI pulls it in only when a demo run is requested.
+    """
+    from repro.testing import build_flaky_system
+
+    system, _ = build_flaky_system(n_sources, telemetry=True, seed=42)
+
+    def drive(observatory):
+        deadline = time.perf_counter() + seconds
+        poses = 0
+        while time.perf_counter() < deadline:
+            system.engine.pose(
+                "SELECT //patient/age PURPOSE research MAXLOSS 0.9",
+                requester="obs-demo",
+            )
+            poses += 1
+            observatory.slo.tick()
+        return poses
+
+    return system, drive
+
+
+def _run_demo(args):
+    """Spin up the observatory over the demo system; returns both."""
+    system, drive = _build_demo(seconds=args.seconds)
+    observatory = PerfObservatory(
+        system.telemetry, hz=args.hz, bundle_dir=args.bundle_dir,
+    ).start()
+    try:
+        poses = drive(observatory)
+    finally:
+        observatory.stop()
+    return system, observatory, poses
+
+
+def cmd_profile(args):
+    """Run the demo under the profiler; print collapsed stacks."""
+    _, observatory, poses = _run_demo(args)
+    profiler = observatory.profiler
+    print(f"# {poses} poses, {profiler.sample_count} samples "
+          f"at {profiler.hz:g} hz")
+    print("# stage totals:")
+    for stage, count in profiler.stage_totals().items():
+        print(f"#   {stage:40s} {count}")
+    print(profiler.collapsed(limit=args.limit))
+    if args.chrome:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(profiler.chrome_trace(), handle)
+        print(f"# chrome trace written to {args.chrome}")
+    return 0
+
+
+def cmd_slo(args):
+    """Run the demo; print the burn-rate table."""
+    _, observatory, poses = _run_demo(args)
+    print(f"# {poses} poses")
+    header = f"{'objective':24s} {'kind':10s} {'burn':>10s}  breached"
+    print(header)
+    print("-" * len(header))
+    for name, entry in observatory.slo.status().items():
+        print(f"{name:24s} {entry['kind']:10s} "
+              f"{entry['burn_instant']:10.3f}  {entry['breached']}")
+    return 0
+
+
+def cmd_dump(args):
+    """Run the demo; force one flight bundle; print its location."""
+    _, observatory, _ = _run_demo(args)
+    bundle = observatory.recorder.dump(reason="cli", force=True)
+    path = None
+    if args.bundle_dir:
+        path = f"{args.bundle_dir}/flight-{bundle['seq']:04d}.json"
+    print(json.dumps({
+        "seq": bundle["seq"],
+        "reason": bundle["reason"],
+        "spans": len(bundle["spans"]),
+        "events": len(bundle["events"]),
+        "path": path,
+    }, indent=2))
+    return 0
+
+
+def cmd_report(args):
+    """Run the demo; print the full observatory status as JSON."""
+    _, observatory, poses = _run_demo(args)
+    status = observatory.status()
+    status["poses"] = poses
+    print(json.dumps(status, indent=2, sort_keys=True))
+    return 0
+
+
+def build_parser():
+    """The argparse tree (exposed for the CLI tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.obs",
+        description="Performance-observatory CLI: profile, SLOs, "
+                    "flight-recorder bundles.",
+    )
+    parser.add_argument("--seconds", type=float, default=1.0,
+                        help="demo workload duration (default 1s)")
+    parser.add_argument("--hz", type=float, default=50.0,
+                        help="profiler sampling rate (default 50)")
+    parser.add_argument("--bundle-dir", default=None,
+                        help="directory for flight-recorder bundles")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    profile = sub.add_parser("profile", help="collapsed-stack profile")
+    profile.add_argument("--limit", type=int, default=30,
+                         help="max collapsed stacks to print")
+    profile.add_argument("--chrome", default=None,
+                         help="also write a Chrome-trace JSON file")
+    profile.set_defaults(func=cmd_profile)
+
+    slo = sub.add_parser("slo", help="burn-rate table")
+    slo.set_defaults(func=cmd_slo)
+
+    dump = sub.add_parser("dump", help="force a flight bundle")
+    dump.set_defaults(func=cmd_dump)
+
+    report = sub.add_parser("report", help="full status JSON")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv=None):
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,219 @@
+"""Sampling stack profiler — "where did the last minute of CPU go".
+
+A background daemon thread wakes at a configurable rate, snapshots every
+thread's Python stack via ``sys._current_frames()``, and folds each
+sample into a bounded aggregation table keyed by *(mediation stage,
+collapsed stack)*.  The stage comes from the tracer's cross-thread view
+of open spans (:meth:`Tracer.active_stages`), so a sample taken while a
+worker runs ``mediator.fanout.attempt`` is attributed to that stage even
+though the profiler never instruments the mediator.
+
+Design rules (enforced by lint rule REP013):
+
+* the sampling loop allocates **bounded** state only — the table is
+  capped at ``max_stacks`` distinct stacks (overflow folds into one
+  bucket) and ``max_depth`` frames per stack;
+* the loop never emits spans or events and never offers to a sink — its
+  only telemetry writes are metric observations (``obs.profiler.*``),
+  which are fixed-size instruments.  Anomalies are *read* out of the
+  table by the flight recorder, not pushed per sample.
+
+Exports: collapsed-stack text (``stage;frame;frame count`` — the
+flamegraph.pl / speedscope interchange format) and a Chrome-trace dict.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from repro.errors import ReproError
+
+#: Stage label for threads with no open span at sample time.
+UNTRACKED = "(untracked)"
+#: Pseudo-stack recorded once the aggregation table is full.
+OVERFLOW_KEY = ("(overflow)", ())
+
+
+class StackProfiler:
+    """Always-on sampling profiler with per-stage attribution.
+
+    ``telemetry`` supplies the tracer (stage attribution) and metrics
+    registry (self-measurement); ``hz`` is the target sampling rate.
+    ``start()``/``stop()`` are idempotent; the thread is a daemon, so a
+    forgotten profiler never blocks interpreter exit.
+    """
+
+    def __init__(self, telemetry, hz=50, max_stacks=512, max_depth=24):
+        if hz <= 0:
+            raise ReproError("hz must be > 0")
+        self.telemetry = telemetry
+        self.hz = float(hz)
+        self.max_stacks = int(max_stacks)
+        self.max_depth = int(max_depth)
+        self._samples = {}  # (stage, stack tuple) -> count
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+        self.sample_count = 0
+        self.overflowed = 0
+        # fixed instruments, resolved once: the sampling loop must not
+        # touch the registry dict per sample.
+        metrics = telemetry.metrics
+        self._sample_ms = metrics.histogram("obs.profiler.sample_ms")
+        self._samples_total = metrics.counter("obs.profiler.samples")
+        self._overflow_total = metrics.counter("obs.profiler.overflow")
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def running(self):
+        """True while the sampling thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self):
+        """Start the sampling thread (no-op if already running)."""
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-obs-profiler", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout=2.0):
+        """Stop sampling and join the thread (no-op if not running)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            if thread is None:
+                return
+            self._stop.set()
+        # join outside the lock: the sampler takes it per sample
+        thread.join(timeout=timeout)
+
+    # -- sampling loop (REP013 hot path) -------------------------------------
+
+    def _run(self):
+        period = 1.0 / self.hz
+        while not self._stop.wait(period):
+            self.sample_once()
+
+    def sample_once(self):
+        """Take one sample of every thread; callable directly in tests."""
+        started = time.perf_counter()
+        tracer = self.telemetry.tracer
+        stages = tracer.active_stages()
+        own = threading.get_ident()
+        # the observatory's own housekeeping threads (SLO ticker, this
+        # sampler) would otherwise dominate idle profiles with their
+        # wait loops — self-observation is noise, not signal.
+        skip = {
+            thread.ident for thread in threading.enumerate()
+            if thread.name.startswith("repro-obs-")
+        }
+        # sys._current_frames is a point-in-time dict copy; frames keep
+        # running while we walk them, which for a sampling profiler is
+        # exactly the accepted imprecision.
+        frames = sys._current_frames()
+        with self._lock:
+            for ident, frame in frames.items():
+                if ident == own or ident in skip:
+                    continue
+                stage_info = stages.get(ident)
+                stage = stage_info[0] if stage_info else UNTRACKED
+                key = (stage, self._collapse(frame))
+                if key not in self._samples and (
+                        len(self._samples) >= self.max_stacks):
+                    key = OVERFLOW_KEY
+                    self.overflowed += 1
+                    self._overflow_total.inc()
+                self._samples[key] = self._samples.get(key, 0) + 1
+            self.sample_count += 1
+        self._samples_total.inc()
+        self._sample_ms.observe((time.perf_counter() - started) * 1000.0)
+
+    def _collapse(self, frame):
+        """Bounded ``(frame_label, ...)`` tuple, outermost first."""
+        stack = []
+        while frame is not None and len(stack) < self.max_depth:
+            code = frame.f_code
+            module = code.co_filename.rsplit("/", 1)[-1]
+            stack.append(f"{module}:{code.co_name}")
+            frame = frame.f_back
+        stack.reverse()
+        return tuple(stack)
+
+    # -- reading -------------------------------------------------------------
+
+    def snapshot(self, reset=False):
+        """Copy of the aggregation table: ``{(stage, stack): count}``."""
+        with self._lock:
+            samples = dict(self._samples)
+            if reset:
+                self._samples.clear()
+                self.sample_count = 0
+        return samples
+
+    def stage_totals(self):
+        """Samples per mediation stage, highest first."""
+        totals = {}
+        for (stage, _), count in self.snapshot().items():
+            totals[stage] = totals.get(stage, 0) + count
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    def collapsed(self, limit=None):
+        """Collapsed-stack text: ``stage;frame;frame count`` per line.
+
+        The flamegraph interchange format — feed it to flamegraph.pl or
+        speedscope.  Heaviest stacks first; ``limit`` truncates.
+        """
+        rows = sorted(self.snapshot().items(), key=lambda kv: -kv[1])
+        if limit is not None:
+            rows = rows[:limit]
+        return "\n".join(
+            ";".join([stage, *stack]) + f" {count}"
+            for (stage, stack), count in rows
+        )
+
+    def chrome_trace(self):
+        """The profile as a Chrome-trace dict (one lane per stage).
+
+        Each aggregated stack becomes a complete ("X") event whose
+        duration is ``count / hz`` — a statistical reconstruction laid
+        end to end per stage, loadable in ``chrome://tracing`` or
+        Perfetto next to the span trace.
+        """
+        events = []
+        period_us = 1_000_000.0 / self.hz
+        cursors = {}
+        tids = {}
+        for (stage, stack), count in sorted(
+                self.snapshot().items(), key=lambda kv: -kv[1]):
+            tid = tids.setdefault(stage, len(tids) + 1)
+            start = cursors.get(stage, 0.0)
+            duration = count * period_us
+            cursors[stage] = start + duration
+            events.append({
+                "name": stack[-1] if stack else stage,
+                "cat": "profile",
+                "ph": "X",
+                "ts": start,
+                "dur": duration,
+                "pid": 1,
+                "tid": tid,
+                "args": {"stage": stage, "samples": count,
+                         "stack": ";".join(stack)},
+            })
+        return {"traceEvents": events,
+                "displayTimeUnit": "ms",
+                "metadata": {"hz": self.hz,
+                             "samples": self.sample_count,
+                             "overflowed": self.overflowed}}
+
+    def __repr__(self):
+        return (f"StackProfiler(hz={self.hz}, running={self.running}, "
+                f"samples={self.sample_count})")

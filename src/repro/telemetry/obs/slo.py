@@ -1,0 +1,351 @@
+"""Declarative SLOs with multi-window burn-rate evaluation.
+
+An :class:`Objective` binds a service-level target to instruments that
+already exist in the metrics registry — no new instrumentation in the
+measured path.  Three kinds cover the mediator's guarantees:
+
+* :class:`LatencyObjective` — "``mediator.pose_ms`` p99 < 50ms": the
+  fraction of windowed observations under the threshold must stay at or
+  above ``objective`` (e.g. 0.99).
+* :class:`ErrorRateObjective` — "fan-out unavailability < 0.1%": a
+  *bad* counter against a *total* counter, evaluated on per-tick deltas.
+* :class:`ExactObjective` — "refusal-correctness = 100%": a counter
+  that must never move (guard violations, journal chain breaks).  Any
+  increment is an instant burn.
+
+Each :meth:`SloEngine.tick` computes an instantaneous **burn rate** per
+objective — error rate divided by error budget (``1 - objective``), the
+SRE convention where burn 1.0 consumes the budget exactly at the rate it
+refills — and folds it into two sliding windows.  A breach fires only
+when *both* the short and the long window exceed ``burn_factor``: the
+short window makes alerts fast, the long window makes them ignore
+single-tick blips.  Breaches emit ``slo.breach`` events and invoke
+registered callbacks (the flight recorder dumps on them); recovery emits
+``slo.recovered``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import ReproError
+
+#: Burn value reported when the budget is consumed by an exact-objective
+#: violation (division of any error by a zero budget).
+BURN_CEILING = 1e9
+
+
+class Objective:
+    """Base class: name + target + window/burn bookkeeping."""
+
+    kind = "objective"
+
+    def __init__(self, name, objective):
+        if not 0.0 <= objective <= 1.0:
+            raise ReproError("objective must be within [0, 1]")
+        self.name = name
+        self.objective = float(objective)
+
+    @property
+    def budget(self):
+        """The error budget: the tolerated bad fraction."""
+        return 1.0 - self.objective
+
+    def instantaneous_burn(self, metrics):
+        """Burn rate for this instant; subclasses implement."""
+        raise NotImplementedError
+
+    def describe(self):
+        """Static JSON-serializable description of the objective."""
+        return {"name": self.name, "kind": self.kind,
+                "objective": self.objective}
+
+    def _divide(self, bad_fraction):
+        """``bad_fraction / budget`` with the zero-budget ceiling."""
+        if bad_fraction <= 0.0:
+            return 0.0
+        if self.budget <= 0.0:
+            return BURN_CEILING
+        return bad_fraction / self.budget
+
+
+class LatencyObjective(Objective):
+    """``objective`` of windowed observations must beat ``threshold_ms``."""
+
+    kind = "latency"
+
+    def __init__(self, name, histogram, threshold_ms, objective=0.99):
+        super().__init__(name, objective)
+        self.histogram = histogram
+        self.threshold_ms = float(threshold_ms)
+
+    def instantaneous_burn(self, metrics):
+        """Bad fraction = share of the current window over threshold."""
+        window = metrics.histogram(self.histogram).window()
+        if not window:
+            return 0.0
+        slow = sum(1 for value in window if value > self.threshold_ms)
+        return self._divide(slow / len(window))
+
+    def describe(self):
+        info = super().describe()
+        info.update(histogram=self.histogram,
+                    threshold_ms=self.threshold_ms)
+        return info
+
+
+class ErrorRateObjective(Objective):
+    """Bad-counter rate against total-counter rate, on tick deltas."""
+
+    kind = "error_rate"
+
+    def __init__(self, name, bad, total, objective=0.999):
+        super().__init__(name, objective)
+        self.bad = bad
+        self.total = total
+        self._last = None  # (bad_value, total_value) at previous tick
+
+    def instantaneous_burn(self, metrics):
+        """Bad fraction over the delta since the previous tick."""
+        bad = metrics.counter(self.bad).value
+        total = metrics.counter(self.total).value
+        last, self._last = self._last, (bad, total)
+        if last is None:
+            return 0.0
+        bad_delta = bad - last[0]
+        total_delta = total - last[1]
+        if total_delta <= 0:
+            return 0.0
+        return self._divide(bad_delta / total_delta)
+
+    def describe(self):
+        info = super().describe()
+        info.update(bad=self.bad, total=self.total)
+        return info
+
+
+class ExactObjective(Objective):
+    """A counter that must stay frozen (100% objectives).
+
+    Models invariants like "every refusal decision is correct" where the
+    error budget is zero by definition: any increment of ``counter``
+    since the previous tick burns at :data:`BURN_CEILING`.
+    """
+
+    kind = "exact"
+
+    def __init__(self, name, counter):
+        super().__init__(name, objective=1.0)
+        self.counter = counter
+        self._last = None
+
+    def instantaneous_burn(self, metrics):
+        """Ceiling burn on any counter movement since the last tick."""
+        value = metrics.counter(self.counter).value
+        last, self._last = self._last, value
+        if last is None or value <= last:
+            return 0.0
+        return BURN_CEILING
+
+    def describe(self):
+        info = super().describe()
+        info.update(counter=self.counter)
+        return info
+
+
+class SloEngine:
+    """Evaluates objectives on a cadence; emits breach/recovery events.
+
+    ``tick()`` is the unit of evaluation — call it manually (tests, CLI)
+    or let ``start(interval)`` run it on a daemon thread.  ``clock`` is
+    injectable so window arithmetic is deterministic under test.
+    """
+
+    def __init__(self, telemetry, objectives=(), short_window=60.0,
+                 long_window=600.0, burn_factor=1.0, clock=time.monotonic):
+        if short_window <= 0 or long_window < short_window:
+            raise ReproError(
+                "windows must satisfy 0 < short_window <= long_window"
+            )
+        self.telemetry = telemetry
+        self.objectives = list(objectives)
+        self.short_window = float(short_window)
+        self.long_window = float(long_window)
+        self.burn_factor = float(burn_factor)
+        self._clock = clock
+        # per-objective deque of (ts, instantaneous burn); bounded by
+        # long_window at tick time, hard-capped against clock abuse.
+        self._history = {}
+        self._breached = {}
+        self._callbacks = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+
+    # -- configuration -------------------------------------------------------
+
+    def add(self, objective):
+        """Register one objective; returns it for chaining."""
+        with self._lock:
+            self.objectives.append(objective)
+        return objective
+
+    def on_breach(self, callback):
+        """Register ``callback(objective_name, status_dict)`` to run on
+        each breach transition (the flight recorder's dump hook)."""
+        with self._lock:
+            self._callbacks.append(callback)
+        return callback
+
+    # -- evaluation ----------------------------------------------------------
+
+    def tick(self):
+        """Evaluate every objective once; returns the status dict."""
+        now = self._clock()
+        metrics = self.telemetry.metrics
+        status = {}
+        transitions = []
+        with self._lock:
+            for objective in self.objectives:
+                burn = objective.instantaneous_burn(metrics)
+                history = self._history.setdefault(
+                    objective.name, deque(maxlen=4096)
+                )
+                history.append((now, burn))
+                while history and history[0][0] < now - self.long_window:
+                    history.popleft()
+                short = self._window_burn(history, now, self.short_window)
+                long_ = self._window_burn(history, now, self.long_window)
+                breached = (short > self.burn_factor
+                            and long_ > self.burn_factor)
+                entry = {
+                    "kind": objective.kind,
+                    "objective": objective.objective,
+                    "burn_instant": burn,
+                    "burn_short": short,
+                    "burn_long": long_,
+                    "breached": breached,
+                }
+                status[objective.name] = entry
+                was = self._breached.get(objective.name, False)
+                if breached and not was:
+                    self._breached[objective.name] = True
+                    transitions.append((objective.name, entry, "breach"))
+                elif was and not breached:
+                    self._breached[objective.name] = False
+                    transitions.append((objective.name, entry, "recovered"))
+            for name, entry in status.items():
+                metrics.gauge(f"obs.slo.burn_short.{name}").set(
+                    entry["burn_short"]
+                )
+        # events + callbacks run outside the engine lock: a callback
+        # (flight-recorder dump) may read engine status re-entrantly.
+        for name, entry, kind in transitions:
+            self._announce(name, entry, kind)
+        return status
+
+    def _announce(self, name, entry, kind):
+        """Emit the slo.* event and fire breach callbacks."""
+        self.telemetry.events.emit(
+            f"slo.{kind}", slo=name, kind=entry["kind"],
+            burn_short=round(entry["burn_short"], 4),
+            burn_long=round(entry["burn_long"], 4),
+        )
+        if kind == "breach":
+            for callback in list(self._callbacks):
+                callback(name, entry)
+
+    @staticmethod
+    def _window_burn(history, now, window):
+        """Mean burn over ``(now - window, now]`` (0.0 when empty)."""
+        values = [burn for ts, burn in history if ts > now - window]
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    # -- reading -------------------------------------------------------------
+
+    def status(self):
+        """Last-tick burn state per objective (no evaluation)."""
+        with self._lock:
+            out = {}
+            for objective in self.objectives:
+                history = self._history.get(objective.name)
+                latest = history[-1] if history else None
+                out[objective.name] = {
+                    **objective.describe(),
+                    "burn_instant": latest[1] if latest else 0.0,
+                    "breached": self._breached.get(objective.name, False),
+                }
+            return out
+
+    # -- background ticker ---------------------------------------------------
+
+    @property
+    def running(self):
+        """True while the ticker thread is alive."""
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self, interval=5.0):
+        """Run ``tick()`` every ``interval`` s on a daemon thread."""
+
+        def _loop():
+            while not self._stop.wait(interval):
+                self.tick()
+
+        with self._lock:
+            if self._thread is not None and self._thread.is_alive():
+                return self
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=_loop, name="repro-obs-slo", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, timeout=2.0):
+        """Stop the ticker thread (no-op if not running)."""
+        with self._lock:
+            thread = self._thread
+            self._thread = None
+            if thread is None:
+                return
+            self._stop.set()
+        # join outside the lock: tick() takes it every interval
+        thread.join(timeout=timeout)
+
+    def __repr__(self):
+        return (f"SloEngine({len(self.objectives)} objectives, "
+                f"running={self.running})")
+
+
+def default_objectives():
+    """The mediator's stock SLOs, bound to PR 1/2 instrument names.
+
+    * ``pose-latency`` — 99% of poses under 50ms (the paper's static
+      refusal at ~0.7ms and warm cache hits keep this honest);
+    * ``fanout-availability`` — <5% of answered poses see an
+      unavailable source after retries;
+    * ``sink-delivery`` — <1% of observatory events dropped by the
+      JSONL sink's backpressure;
+    * ``refusal-correctness`` — the sequence guard's violation counter
+      never moves outside a refusal (exact objective over
+      ``obs.invariant.refusal_violations``, wired by the flight
+      recorder's invariant checks).
+    """
+    return [
+        LatencyObjective("pose-latency", "mediator.pose_ms",
+                         threshold_ms=50.0, objective=0.99),
+        ErrorRateObjective("fanout-availability",
+                           bad="mediator.fanout.unavailable",
+                           total="mediator.queries_answered",
+                           objective=0.95),
+        ErrorRateObjective("sink-delivery",
+                           bad="obs.events.dropped",
+                           total="obs.events.emitted",
+                           objective=0.99),
+        ExactObjective("refusal-correctness",
+                       counter="obs.invariant.refusal_violations"),
+    ]

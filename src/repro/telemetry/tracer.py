@@ -17,9 +17,24 @@ Timing uses ``time.perf_counter`` and is reported in milliseconds.
 
 from __future__ import annotations
 
+import contextlib
+import itertools
+import os
 import threading
 import time
 from collections import deque
+
+_TRACE_COUNTER = itertools.count(1)
+
+
+def new_trace_id():
+    """A fresh process-unique trace id (``t-<pid>-<counter>``).
+
+    Ids are plain strings so they serialize through WAL records and —
+    by design — across a future process-pool boundary.  ``count.__next__``
+    is atomic under the GIL, so no lock is needed.
+    """
+    return f"t-{os.getpid():x}-{next(_TRACE_COUNTER):08x}"
 
 
 class Span:
@@ -39,9 +54,10 @@ class Span:
     """
 
     __slots__ = ("name", "attributes", "children", "start", "end",
-                 "_tracer", "parent")
+                 "_tracer", "parent", "trace_id")
 
-    def __init__(self, name, tracer, attributes=None, parent=None):
+    def __init__(self, name, tracer, attributes=None, parent=None,
+                 trace_id=None):
         self.name = name
         self.attributes = dict(attributes) if attributes else {}
         self.children = []
@@ -49,6 +65,7 @@ class Span:
         self.end = None
         self._tracer = tracer
         self.parent = parent
+        self.trace_id = trace_id
 
     def set(self, **attributes):
         """Attach attributes to the span; returns the span for chaining."""
@@ -79,6 +96,7 @@ class Span:
         """Nested plain-dict form (JSON-serializable)."""
         return {
             "name": self.name,
+            "trace_id": self.trace_id,
             "duration_ms": self.duration_ms,
             "attributes": dict(self.attributes),
             "children": [child.to_dict() for child in self.children],
@@ -101,33 +119,91 @@ class Tracer:
         self._local = threading.local()
         self._finished = deque(maxlen=max_roots)
         self._lock = threading.Lock()
+        # thread ident -> that thread's open-span stack (the list object
+        # itself; only its owning thread mutates it).  The sampling
+        # profiler reads these cross-thread to attribute stack samples to
+        # mediation stages — see ``active_stages``.
+        self._thread_stacks = {}
 
     # -- span lifecycle ----------------------------------------------------
 
-    def span(self, name, parent=None, **attributes):
+    def span(self, name, parent=None, trace_id=None, **attributes):
         """Create a span; enter it (``with``) to start the clock.
 
         ``parent`` explicitly parents the span under an open span from
         *another* thread (see :class:`Span`); it is ignored when this
-        thread already has an open span to nest under.
+        thread already has an open span to nest under.  ``trace_id``
+        pins the span to an existing trace; left ``None`` it inherits
+        from the enclosing span, the explicit parent, or the ambient
+        context installed by :meth:`activate` — and a root span with no
+        inheritance source mints a fresh id.
         """
-        return Span(name, self, attributes, parent=parent)
+        return Span(name, self, attributes, parent=parent, trace_id=trace_id)
 
     def current(self):
         """The innermost open span on this thread (or None)."""
         stack = getattr(self._local, "stack", None)
         return stack[-1] if stack else None
 
+    def current_trace_id(self):
+        """The trace id in effect on this thread (or None).
+
+        Resolution order: innermost open span, then the ambient context
+        installed by :meth:`activate`.
+        """
+        stack = getattr(self._local, "stack", None)
+        if stack:
+            return stack[-1].trace_id
+        ambient = getattr(self._local, "ambient", None)
+        return ambient[0] if ambient else None
+
+    @contextlib.contextmanager
+    def activate(self, trace_id=None, parent=None):
+        """Install an ambient trace context on *this* thread.
+
+        Root spans opened while the context is active inherit
+        ``trace_id`` (minted fresh when ``None``) and — when ``parent``
+        is given — attach under that cross-thread parent span exactly as
+        if it had been passed to :meth:`span` explicitly.  Contexts nest;
+        the previous ambient context is restored on exit.  This is how a
+        captured :class:`~repro.telemetry.obs.context.TraceContext` is
+        restored on executor workers and the WAL writer thread.
+        """
+        if trace_id is None:
+            trace_id = new_trace_id()
+        previous = getattr(self._local, "ambient", None)
+        self._local.ambient = (trace_id, parent)
+        try:
+            yield trace_id
+        finally:
+            self._local.ambient = previous
+
     def _push(self, span):
         stack = getattr(self._local, "stack", None)
         if stack is None:
             stack = self._local.stack = []
+            with self._lock:
+                self._thread_stacks[threading.get_ident()] = stack
         if stack:
-            stack[-1].children.append(span)
-        elif span.parent is not None:
-            # CPython list.append is atomic, so cross-thread children
-            # attach safely even while the parent is still open.
-            span.parent.children.append(span)
+            parent = stack[-1]
+            parent.children.append(span)
+            if span.trace_id is None:
+                span.trace_id = parent.trace_id
+        else:
+            if span.parent is None:
+                ambient = getattr(self._local, "ambient", None)
+                if ambient is not None:
+                    if span.trace_id is None:
+                        span.trace_id = ambient[0]
+                    span.parent = ambient[1]
+            if span.parent is not None:
+                # CPython list.append is atomic, so cross-thread children
+                # attach safely even while the parent is still open.
+                span.parent.children.append(span)
+                if span.trace_id is None:
+                    span.trace_id = span.parent.trace_id
+            if span.trace_id is None:
+                span.trace_id = new_trace_id()
         stack.append(span)
 
     def _pop(self, span):
@@ -138,6 +214,31 @@ class Tracer:
         if not stack and span.parent is None:
             with self._lock:
                 self._finished.append(span)
+
+    def active_stages(self):
+        """``{thread_ident: (stage_name, trace_id)}`` for open spans.
+
+        A cross-thread snapshot of the innermost open span per thread,
+        used by the sampling profiler to attribute stack samples to
+        mediation lifecycle stages.  Reading a list another thread
+        appends to is safe under the GIL; a momentarily torn read costs
+        one mis-attributed sample, never a crash.
+        """
+        with self._lock:
+            items = list(self._thread_stacks.items())
+        stages = {}
+        dead = []
+        for ident, stack in items:
+            if stack:
+                top = stack[-1]
+                stages[ident] = (top.name, top.trace_id)
+            elif not any(t.ident == ident for t in threading.enumerate()):
+                dead.append(ident)
+        if dead:
+            with self._lock:
+                for ident in dead:
+                    self._thread_stacks.pop(ident, None)
+        return stages
 
     # -- inspection --------------------------------------------------------
 
@@ -177,11 +278,13 @@ class NoopSpan:
         return False
 
     def to_dict(self):
-        return {"name": "<noop>", "duration_ms": 0.0,
+        return {"name": "<noop>", "trace_id": None, "duration_ms": 0.0,
                 "attributes": {}, "children": []}
 
 
 NOOP_SPAN = NoopSpan()
+NoopSpan.trace_id = None
+NoopSpan.parent = None
 
 
 class NoopTracer:
@@ -189,11 +292,20 @@ class NoopTracer:
 
     __slots__ = ()
 
-    def span(self, name, parent=None, **attributes):
+    def span(self, name, parent=None, trace_id=None, **attributes):
         return NOOP_SPAN
 
     def current(self):
         return None
+
+    def current_trace_id(self):
+        return None
+
+    def activate(self, trace_id=None, parent=None):
+        return contextlib.nullcontext(trace_id)
+
+    def active_stages(self):
+        return {}
 
     @property
     def finished(self):

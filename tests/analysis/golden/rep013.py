@@ -1,0 +1,47 @@
+"""REP013 fixture: telemetry emission inside observatory hot paths.
+
+The expected module name is one of ``OBS_HOT_MODULES`` — the rule is
+scoped to the profiler/recorder modules whose hot functions run once
+per sample or once per emitted event.
+"""
+
+
+def sample_once(self):
+    stages = self.telemetry.tracer.active_stages()
+    self.telemetry.events.emit("obs.sample", stages=len(stages))
+    self._samples_total.inc()
+    return stages
+
+
+def _on_event(self, event):
+    with self.telemetry.tracer.span("obs.listener", name=event.name):
+        return event.name
+
+
+def _run(self):
+    while not self._stop.wait(self.period):
+        self.sink.offer(self.sample_once())
+
+
+def dump(self, reason="manual"):
+    bundle = self.assemble(reason)
+    self.telemetry.events.emit("obs.flight_recorder.dump",
+                               seq=bundle["seq"])
+    return bundle
+
+
+def _on_signal(self, signum, frame):
+    self.dump(reason="signal", force=True)
+
+
+def snapshot_totals(self):
+    totals = {}
+    while self.pending:
+        stage, count = self.pending.pop()
+        totals[stage] = totals.get(stage, 0) + count
+        self.counter.inc()
+    return totals
+
+
+def _on_breach(self, name, entry):
+    self.telemetry.events.emit("slo.echo", slo=name)  # repro-lint: disable=REP013 -- pinned legacy path exercised by the suppression test

@@ -116,12 +116,39 @@ class TestRep012Scoping:
             assert findings == [], module
 
 
+class TestRep013Scoping:
+    """REP013 fires only inside the observatory hot modules."""
+
+    SOURCE = ("def _on_event(self, event):\n"
+              "    self.telemetry.events.emit('echo', name=event.name)\n")
+
+    def test_obs_hot_module_is_flagged(self):
+        findings, _ = lint_source(
+            self.SOURCE, module="repro.telemetry.obs.recorder"
+        )
+        assert [f.code for f in findings] == ["REP013"]
+
+    def test_other_modules_are_exempt(self):
+        for module in ("repro.telemetry.obs.slo", "repro.mediator.engine",
+                       "repro.golden.rep013"):
+            findings, _ = lint_source(self.SOURCE, module=module)
+            assert findings == [], module
+
+    def test_cold_paths_in_hot_modules_are_exempt(self):
+        source = ("def dump(self, reason):\n"
+                  "    self.telemetry.events.emit('dumped', reason=reason)\n")
+        findings, _ = lint_source(
+            source, module="repro.telemetry.obs.profiler"
+        )
+        assert findings == []
+
+
 class TestFramework:
     def test_rule_catalog(self):
         codes = [lint_rule.code for lint_rule in all_rules()]
         assert codes == ["REP001", "REP002", "REP003", "REP004",
                          "REP005", "REP006", "REP007", "REP008",
-                         "REP009", "REP012"]
+                         "REP009", "REP012", "REP013"]
 
     def test_duplicate_registration_rejected(self):
         with pytest.raises(ReproError, match="duplicate"):

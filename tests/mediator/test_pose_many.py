@@ -113,11 +113,12 @@ def run_looped(system, queries, requester):
 
 
 def normalize_timing(value):
-    """Timing fields vary run to run; everything else must not."""
+    """Timing fields (and trace ids) vary run to run; nothing else may."""
     if isinstance(value, dict):
         return {
             key: (None
-                  if key in ("wall_ms", "duration_ms", "analysis_ms", "ts")
+                  if key in ("wall_ms", "duration_ms", "analysis_ms", "ts",
+                             "trace_id")
                   else normalize_timing(item))
             for key, item in value.items()
         }

@@ -1,0 +1,156 @@
+"""Acceptance: one trace id spans a pose across every thread it touches.
+
+The performance-observatory contract — a single ``pose()`` produces one
+``trace_id`` that is visible on:
+
+* the ``mediator.pose`` root span (the posing thread);
+* every ``mediator.fanout.attempt`` span, which the concurrent
+  dispatcher runs on pool worker threads;
+* the persisted pose record, and from there the
+  ``persistence.wal.append`` span opened on the WAL writer thread
+  (a different thread in a conceptually different process — only the
+  serializable :class:`TraceContext` crosses, never a live span).
+"""
+
+import threading
+
+from repro import PrivateIye
+from repro.persistence import MemoryBackend, ThreadedWriter
+from repro.relational import Table
+
+POLICIES = """
+VIEW clinic_private { PRIVATE //patient/ssn; }
+VIEW lab_private { PRIVATE //patient/ssn; }
+
+POLICY clinic DEFAULT deny {
+    ALLOW //patient/city FOR research;
+}
+POLICY lab DEFAULT deny {
+    ALLOW //patient/city FOR research;
+}
+"""
+
+QUERY = "SELECT //patient/city PURPOSE research MAXLOSS 0.9"
+
+
+class ThreadRecordingBackend(MemoryBackend):
+    """MemoryBackend that records which thread ran each append."""
+
+    def __init__(self):
+        super().__init__()
+        self.append_threads = []
+
+    def append(self, record):
+        self.append_threads.append(threading.current_thread().name)
+        return super().append(record)
+
+
+def build_system(backend):
+    system = PrivateIye(telemetry=True, persistence=backend)
+    system.load_policies(
+        POLICIES,
+        view_source={"clinic_private": "clinic", "lab_private": "lab"},
+    )
+    for name in ("clinic", "lab"):
+        rows = [{"ssn": f"{name}-{i}", "city": "pittsburgh"}
+                for i in range(6)]
+        system.add_relational_source(
+            name, Table.from_dicts("patients", rows)
+        )
+    return system
+
+
+def spans_named(roots, name):
+    found = []
+    for root in roots:
+        for span in root.walk():
+            if span.name == name:
+                found.append(span)
+    return found
+
+
+class TestOneTraceIdAcrossThreads:
+    def test_pose_fanout_and_wal_share_one_trace_id(self):
+        backend = ThreadRecordingBackend()
+        writer = ThreadedWriter(backend)
+        system = build_system(writer)
+        try:
+            result = system.engine.pose(QUERY, requester="epi")
+            assert result.rows
+            finished = system.telemetry.tracer.finished
+            poses = spans_named(finished, "mediator.pose")
+            assert len(poses) == 1
+            trace_id = poses[0].trace_id
+            assert trace_id is not None
+
+            # every fan-out attempt (run on dispatcher worker threads)
+            # carries the pose's id — one per source here.
+            attempts = spans_named(finished, "mediator.fanout.attempt")
+            assert len(attempts) == 2
+            assert {span.trace_id for span in attempts} == {trace_id}
+
+            # the durable record carries the id across the thread gap...
+            _, records = writer.load()
+            pose_records = [r for r in records if r.get("kind") == "pose"]
+            assert pose_records
+            assert {r["trace_id"] for r in pose_records} == {trace_id}
+
+            # ...and the WAL writer thread (not the posing thread!)
+            # reconstructed a span under the same id from the record.
+            assert set(backend.append_threads) == {"repro-wal-writer"}
+            wal_spans = [
+                span
+                for span in spans_named(finished, "persistence.wal.append")
+                if span.attributes.get("kind") == "pose"
+            ]
+            assert wal_spans
+            assert {span.trace_id for span in wal_spans} == {trace_id}
+            # non-pose records (epoch bumps) mint their own ids instead
+            # of riding an unrelated pose's trace.
+            other = [
+                span
+                for span in spans_named(finished, "persistence.wal.append")
+                if span.attributes.get("kind") != "pose"
+            ]
+            assert all(span.trace_id != trace_id for span in other)
+        finally:
+            writer.close()
+
+    def test_two_poses_get_two_trace_ids(self):
+        backend = ThreadRecordingBackend()
+        writer = ThreadedWriter(backend)
+        system = build_system(writer)
+        try:
+            system.engine.pose(QUERY, requester="epi")
+            system.engine.pose(QUERY, requester="epi2")
+            finished = system.telemetry.tracer.finished
+            ids = {span.trace_id
+                   for span in spans_named(finished, "mediator.pose")}
+            assert len(ids) == 2
+            _, records = writer.load()
+            record_ids = {r["trace_id"] for r in records
+                          if r.get("kind") == "pose"}
+            assert record_ids == ids
+        finally:
+            writer.close()
+
+    def test_refused_pose_record_is_traced_too(self):
+        backend = ThreadRecordingBackend()
+        writer = ThreadedWriter(backend)
+        system = build_system(writer)
+        try:
+            from repro.errors import ReproError
+
+            try:
+                system.engine.pose(
+                    "SELECT //patient/ssn PURPOSE research", requester="snoop"
+                )
+            except ReproError:
+                pass
+            _, records = writer.load()
+            refused = [r for r in records if r.get("outcome") == "refused"
+                       or r.get("kind") == "refusal"]
+            if refused:  # refusal records are persisted with their trace
+                assert all(r.get("trace_id") for r in refused)
+        finally:
+            writer.close()

@@ -1,0 +1,176 @@
+"""ThreadedWriter: durability through the thread gap, errors, shutdown."""
+
+import threading
+
+import pytest
+
+from repro.errors import PersistenceError
+from repro.persistence import MemoryBackend, ThreadedWriter
+from repro.telemetry import Telemetry
+
+
+class FailingBackend(MemoryBackend):
+    """MemoryBackend whose appends fail on demand."""
+
+    def __init__(self):
+        super().__init__()
+        self.fail = False
+
+    def append(self, record):
+        if self.fail:
+            raise PersistenceError("disk full")
+        return super().append(record)
+
+
+class ClosableBackend(MemoryBackend):
+    def __init__(self):
+        super().__init__()
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+class TestDurability:
+    def test_append_is_durable_when_it_returns(self):
+        backend = MemoryBackend()
+        writer = ThreadedWriter(backend)
+        try:
+            seq = writer.append({"seq": 1, "kind": "pose"})
+            assert seq == 1
+            # no sleeping, no flushing: the contract is that the record
+            # is already on the wrapped backend's medium.
+            _, records = backend.load()
+            assert [r["seq"] for r in records] == [1]
+        finally:
+            writer.close()
+
+    def test_appends_run_on_the_writer_thread(self):
+        backend = MemoryBackend()
+        seen = []
+        original = backend.append
+
+        def spy(record):
+            seen.append(threading.current_thread().name)
+            return original(record)
+
+        backend.append = spy
+        writer = ThreadedWriter(backend)
+        try:
+            writer.append({"seq": 1, "kind": "pose"})
+        finally:
+            writer.close()
+        assert seen == ["repro-wal-writer"]
+
+    def test_order_is_preserved(self):
+        backend = MemoryBackend()
+        writer = ThreadedWriter(backend)
+        try:
+            for seq in range(1, 21):
+                writer.append({"seq": seq})
+            _, records = writer.load()
+            assert [r["seq"] for r in records] == list(range(1, 21))
+        finally:
+            writer.close()
+
+    def test_concurrent_appenders_all_land(self):
+        backend = MemoryBackend()
+        writer = ThreadedWriter(backend)
+        errors = []
+
+        def worker(base):
+            try:
+                for offset in range(10):
+                    writer.append({"seq": base + offset})
+            except Exception as error:  # pragma: no cover - fail loudly
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(100 * i,))
+                   for i in range(1, 5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        try:
+            assert not errors
+            _, records = writer.load()
+            assert len(records) == 40
+        finally:
+            writer.close()
+
+
+class TestErrors:
+    def test_writer_side_failure_reraises_in_the_caller(self):
+        backend = FailingBackend()
+        writer = ThreadedWriter(backend)
+        try:
+            backend.fail = True
+            with pytest.raises(PersistenceError, match="disk full"):
+                writer.append({"seq": 1})
+            # the writer thread survived the failure
+            backend.fail = False
+            assert writer.append({"seq": 2}) == 2
+        finally:
+            writer.close()
+
+    def test_rejects_non_backend(self):
+        with pytest.raises(PersistenceError):
+            ThreadedWriter(object())
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_closes_the_backend(self):
+        backend = ClosableBackend()
+        writer = ThreadedWriter(backend)
+        writer.append({"seq": 1})
+        writer.close()
+        writer.close()
+        assert backend.closed
+
+    def test_append_after_close_raises(self):
+        writer = ThreadedWriter(MemoryBackend())
+        writer.close()
+        with pytest.raises(PersistenceError):
+            writer.append({"seq": 1})
+
+    def test_delegated_surface(self):
+        backend = MemoryBackend()
+        writer = ThreadedWriter(backend)
+        try:
+            assert writer.name == "threaded-memory"
+            writer.append({"seq": 1, "kind": "pose"})
+            writer.compact({"folded": True}, 1)
+            assert writer.last_seq() == 1
+            stats = writer.stats()
+            assert stats["writer_thread"] == "repro-wal-writer"
+            assert stats["writer_appended"] == 1
+        finally:
+            writer.close()
+
+
+class TestTracing:
+    def test_append_span_joins_the_records_trace(self):
+        telemetry = Telemetry(enabled=True)
+        writer = ThreadedWriter(MemoryBackend(), telemetry=telemetry)
+        try:
+            writer.append({"seq": 1, "kind": "pose",
+                           "trace_id": "t-posed"})
+        finally:
+            writer.close()
+        roots = telemetry.tracer.finished
+        spans = [s for s in roots if s.name == "persistence.wal.append"]
+        assert len(spans) == 1
+        assert spans[0].trace_id == "t-posed"
+        assert spans[0].attributes["kind"] == "pose"
+        assert spans[0].attributes["seq"] == 1
+
+    def test_adopt_telemetry_switches_tracers(self):
+        writer = ThreadedWriter(MemoryBackend())
+        telemetry = Telemetry(enabled=True)
+        try:
+            writer.adopt_telemetry(telemetry)
+            writer.append({"seq": 1, "kind": "pose", "trace_id": "t-x"})
+        finally:
+            writer.close()
+        assert any(span.name == "persistence.wal.append"
+                   for span in telemetry.tracer.finished)

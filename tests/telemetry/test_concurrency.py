@@ -166,3 +166,141 @@ class TestTracerUnderContention:
         assert names.count("source.answer") == THREADS
         assert telemetry.metrics.counter("answered").value == THREADS
         assert [span.name for span in pose.children] == ["mediator.fanout"]
+
+
+class TestShortLockHolds:
+    """The S2 lock discipline: snapshots copy under the lock, render outside.
+
+    ``Histogram.summary()`` takes one internally-consistent snapshot
+    (values, count, total copied together); ``window()`` copies then
+    sorts outside the lock; ``MetricsRegistry.snapshot()`` copies the
+    instrument lists under the registry lock and renders without it.
+    These tests hammer every one of those readers against writers and
+    assert both safety (no RuntimeError) and consistency (no torn
+    count/total pairs).
+    """
+
+    def test_summary_is_internally_consistent_under_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            histogram = registry.histogram("hot")
+            while not stop.is_set():
+                summary = histogram.summary()
+                # every observation is 1.0, so a consistent snapshot
+                # always satisfies total == count exactly.
+                if summary["count"] and (summary["sum"]
+                                         != float(summary["count"])):
+                    torn.append(summary)
+                    return
+
+        def worker(index):
+            histogram = registry.histogram("hot")
+            for _ in range(5000):
+                histogram.observe(1.0)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            hammer(worker)
+        finally:
+            stop.set()
+            reader_thread.join()
+        assert torn == []
+
+    def test_window_reads_race_safely_with_writes(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            histogram = registry.histogram("hot")
+            while not stop.is_set():
+                try:
+                    window = histogram.window()
+                    # sorted copy, never the live deque
+                    assert window == sorted(window)
+                except RuntimeError as error:
+                    errors.append(error)
+                    return
+
+        def worker(index):
+            histogram = registry.histogram("hot")
+            for i in range(4000):
+                histogram.observe(float(i % 97))
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            hammer(worker)
+        finally:
+            stop.set()
+            reader_thread.join()
+        assert errors == []
+
+    def test_registry_snapshot_races_with_instrument_creation(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    snapshot = registry.snapshot()
+                    assert set(snapshot) >= {"counters", "gauges",
+                                             "histograms"}
+                except RuntimeError as error:  # dict changed during iter
+                    errors.append(error)
+                    return
+
+        def worker(index):
+            for i in range(300):
+                registry.counter(f"c-{index}-{i}").inc()
+                registry.gauge(f"g-{index}-{i}").set(float(i))
+                registry.histogram(f"h-{index}-{i}").observe(float(i))
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        try:
+            hammer(worker)
+        finally:
+            stop.set()
+            reader_thread.join()
+        assert errors == []
+
+    def test_event_listeners_race_with_emitters(self):
+        from repro.telemetry.events import EventLog
+
+        log = EventLog()
+        stop = threading.Event()
+        received = []
+        errors = []
+
+        def listener(event):
+            received.append(event.name)
+
+        def churner():
+            # subscribe/unsubscribe churn while emits are in flight:
+            # copy-on-write must keep every emit's iteration stable.
+            while not stop.is_set():
+                try:
+                    log.subscribe(listener)
+                    log.unsubscribe(listener)
+                except RuntimeError as error:
+                    errors.append(error)
+                    return
+
+        def worker(index):
+            for i in range(2000):
+                log.emit(f"event-{index}", i=i)
+
+        churn_thread = threading.Thread(target=churner)
+        churn_thread.start()
+        try:
+            hammer(worker)
+        finally:
+            stop.set()
+            churn_thread.join()
+        assert errors == []

@@ -151,3 +151,86 @@ class TestEventsJsonl:
         # dicts (e.g. re-read from a file) encode identically
         assert events_jsonl([record]) == text
         assert events_jsonl([]) == ""
+
+
+class TestObservatorySeriesRoundTrip:
+    """S3: profiler and SLO series survive both exporters intact."""
+
+    def make_observed_telemetry(self):
+        from repro.telemetry import Telemetry
+        from repro.telemetry.obs.profiler import StackProfiler
+        from repro.telemetry.obs.slo import ExactObjective, SloEngine
+
+        telemetry = Telemetry(enabled=True)
+        profiler = StackProfiler(telemetry)
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with telemetry.tracer.span("mediator.pose"):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        try:
+            profiler.sample_once()
+            profiler.sample_once()
+        finally:
+            release.set()
+            thread.join()
+        engine = SloEngine(telemetry,
+                           [ExactObjective("exact", "violations")])
+        engine.tick()
+        return telemetry, profiler
+
+    def test_prometheus_exposes_profiler_and_slo_series(self):
+        telemetry, _ = self.make_observed_telemetry()
+        text = prometheus_text(telemetry.metrics.snapshot())
+        lines = text.splitlines()
+        assert "# TYPE repro_obs_profiler_samples_total counter" in lines
+        assert "repro_obs_profiler_samples_total 2" in lines
+        assert "# TYPE repro_obs_slo_burn_short_exact gauge" in lines
+        assert "# TYPE repro_obs_profiler_sample_ms summary" in lines
+        # and every emitted line still satisfies the exposition grammar
+        sample = re.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*"
+            r'(\{quantile="0\.\d+"\})?'
+            r" -?\d+(\.\d+([eE][+-]?\d+)?)?$"
+        )
+        for line in lines:
+            if not line.startswith("#") and line:
+                assert sample.match(line), line
+
+    def test_profiler_chrome_trace_json_round_trip(self):
+        _, profiler = self.make_observed_telemetry()
+        document = json.loads(json.dumps(profiler.chrome_trace()))
+        assert document["metadata"]["samples"] == 2
+        stages = {event["args"]["stage"]
+                  for event in document["traceEvents"]}
+        assert "mediator.pose" in stages
+        # durations reconstruct the sampling budget: count / hz
+        for event in document["traceEvents"]:
+            samples = event["args"]["samples"]
+            assert event["dur"] == samples * (1_000_000.0 / 50.0)
+
+    def test_span_chrome_trace_carries_trace_ids(self):
+        from repro.telemetry import Telemetry
+
+        telemetry = Telemetry(enabled=True)
+        with telemetry.span("mediator.pose") as span:
+            with telemetry.span("mediator.fanout"):
+                pass
+        document = json.loads(
+            json.dumps(chrome_trace(telemetry.tracer.finished))
+        )
+        args = [event["args"] for event in document["traceEvents"]]
+        assert all(entry["trace_id"] == span.trace_id for entry in args)
+
+    def test_spans_without_trace_ids_export_cleanly(self):
+        root = FakeSpan("legacy", 1.0, 2.0)
+        document = chrome_trace([root])
+        assert "trace_id" not in document["traceEvents"][0]["args"]

@@ -1,0 +1,158 @@
+"""PerfObservatory composition, its CLI, and the HTTP obs routes."""
+
+import json
+
+import pytest
+
+from repro.telemetry import Telemetry
+from repro.telemetry.http import TelemetryServer
+from repro.telemetry.obs import PerfObservatory
+from repro.telemetry.obs.cli import build_parser, main
+
+
+class TestPerfObservatory:
+    def test_start_stop_composition(self):
+        telemetry = Telemetry(enabled=True)
+        observatory = PerfObservatory(telemetry, hz=200,
+                                      slo_interval=60.0)
+        assert not observatory.running
+        observatory.start()
+        try:
+            assert observatory.running
+            assert observatory.profiler.running
+            assert observatory.slo.running
+        finally:
+            observatory.stop()
+        assert not observatory.running
+
+    def test_stock_objectives_by_default(self):
+        telemetry = Telemetry(enabled=True)
+        observatory = PerfObservatory(telemetry)
+        names = {objective.name
+                 for objective in observatory.slo.objectives}
+        assert "pose-latency" in names
+
+    def test_status_rolls_up_all_three(self):
+        telemetry = Telemetry(enabled=True)
+        observatory = PerfObservatory(telemetry, slo_interval=60.0)
+        observatory.start()
+        try:
+            observatory.slo.tick()
+            status = observatory.status()
+        finally:
+            observatory.stop()
+        assert status["running"]
+        assert "profiler" in status
+        assert "slo" in status
+        assert "recorder" in status
+
+    def test_recorder_attached_while_running(self):
+        telemetry = Telemetry(enabled=True)
+        observatory = PerfObservatory(telemetry, slo_interval=60.0)
+        observatory.start()
+        try:
+            telemetry.emit("dispatch.breaker_transition",
+                           source="lab", state="open")
+            assert observatory.recorder.last() is not None
+        finally:
+            observatory.stop()
+
+
+class TestHttpRoutes:
+    @pytest.fixture()
+    def served(self):
+        telemetry = Telemetry(enabled=True)
+        observatory = PerfObservatory(telemetry, slo_interval=60.0)
+        observatory.slo.tick()
+        with TelemetryServer(telemetry, obs=observatory) as server:
+            yield telemetry, observatory, server
+
+    def fetch(self, server, path):
+        from urllib.request import urlopen
+        from urllib.error import HTTPError
+
+        try:
+            with urlopen(server.url + path) as response:
+                return response.status, response.read().decode("utf-8")
+        except HTTPError as error:
+            return error.code, error.read().decode("utf-8")
+
+    def test_slo_route(self, served):
+        _, _, server = served
+        status, body = self.fetch(server, "/slo")
+        assert status == 200
+        assert "pose-latency" in json.loads(body)
+
+    def test_profile_route(self, served):
+        telemetry, observatory, server = served
+        with telemetry.tracer.span("busy"):
+            pass
+        status, body = self.fetch(server, "/profile?limit=5")
+        assert status == 200  # empty profile is still a valid page
+
+    def test_profile_route_validates_limit(self, served):
+        _, _, server = served
+        status, _ = self.fetch(server, "/profile?limit=nope")
+        assert status == 400
+
+    def test_flight_route_404_until_a_dump(self, served):
+        _, observatory, server = served
+        status, _ = self.fetch(server, "/flight")
+        assert status == 404
+        observatory.recorder.dump(reason="test", force=True)
+        status, body = self.fetch(server, "/flight")
+        assert status == 200
+        assert json.loads(body)["reason"] == "test"
+
+    def test_routes_404_without_an_observatory(self):
+        telemetry = Telemetry(enabled=True)
+        with TelemetryServer(telemetry) as server:
+            for path in ("/profile", "/slo", "/flight"):
+                status, _ = self.fetch(server, path)
+                assert status == 404
+
+
+class TestCli:
+    def run(self, capsys, *argv):
+        code = main(["--seconds", "0.3", *argv])
+        return code, capsys.readouterr().out
+
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_profile_prints_stage_totals(self, capsys):
+        code, out = self.run(capsys, "profile", "--limit", "5")
+        assert code == 0
+        assert "# stage totals:" in out
+        assert "samples" in out
+
+    def test_profile_writes_chrome_trace(self, capsys, tmp_path):
+        chrome = tmp_path / "trace.json"
+        code, _ = self.run(capsys, "--hz", "200",
+                           "profile", "--chrome", str(chrome))
+        assert code == 0
+        document = json.loads(chrome.read_text())
+        assert "traceEvents" in document
+
+    def test_slo_prints_burn_table(self, capsys):
+        code, out = self.run(capsys, "slo")
+        assert code == 0
+        assert "pose-latency" in out
+        assert "burn" in out
+
+    def test_dump_writes_a_bundle(self, capsys, tmp_path):
+        code, out = self.run(capsys, "--bundle-dir", str(tmp_path),
+                             "dump")
+        assert code == 0
+        summary = json.loads(out)
+        assert summary["reason"] == "cli"
+        bundle_path = tmp_path / f"flight-{summary['seq']:04d}.json"
+        assert bundle_path.exists()
+
+    def test_report_is_json(self, capsys):
+        code, out = self.run(capsys, "report")
+        assert code == 0
+        status = json.loads(out)
+        assert status["poses"] >= 1
+        assert "slo" in status

@@ -1,0 +1,188 @@
+"""Sampling profiler: attribution, bounds, exports, lifecycle."""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import Telemetry
+from repro.telemetry.obs.profiler import OVERFLOW_KEY, UNTRACKED, StackProfiler
+
+
+def make_profiler(**kwargs):
+    telemetry = Telemetry(enabled=True)
+    return StackProfiler(telemetry, **kwargs), telemetry
+
+
+def sampled_worker(telemetry, profiler, span_name, samples=3):
+    """Run a worker inside ``span_name`` and sample it from this thread."""
+    entered = threading.Event()
+    release = threading.Event()
+
+    def worker():
+        with telemetry.tracer.span(span_name):
+            entered.set()
+            release.wait(timeout=5.0)
+
+    thread = threading.Thread(target=worker)
+    thread.start()
+    assert entered.wait(timeout=5.0)
+    try:
+        for _ in range(samples):
+            profiler.sample_once()
+    finally:
+        release.set()
+        thread.join()
+
+
+class TestSampling:
+    def test_rejects_nonpositive_hz(self):
+        with pytest.raises(ReproError):
+            make_profiler(hz=0)
+
+    def test_attributes_samples_to_the_open_stage(self):
+        profiler, telemetry = make_profiler()
+        sampled_worker(telemetry, profiler, "mediator.pose", samples=4)
+        totals = profiler.stage_totals()
+        assert totals.get("mediator.pose", 0) >= 4
+
+    def test_threads_without_spans_are_untracked(self):
+        profiler, telemetry = make_profiler()
+        release = threading.Event()
+        thread = threading.Thread(target=release.wait, args=(5.0,))
+        thread.start()
+        try:
+            profiler.sample_once()
+        finally:
+            release.set()
+            thread.join()
+        assert UNTRACKED in profiler.stage_totals()
+
+    def test_own_thread_is_never_sampled(self):
+        profiler, _ = make_profiler()
+        profiler.sample_once()
+        # only this (sampling) thread exists, and it skips itself — the
+        # pytest main thread IS the sampler here.
+        for (stage, stack) in profiler.snapshot():
+            assert "sample_once" not in ";".join(stack)
+
+    def test_table_is_bounded_with_overflow_bucket(self):
+        profiler, telemetry = make_profiler(max_stacks=1)
+        sampled_worker(telemetry, profiler, "stage.a")
+        sampled_worker(telemetry, profiler, "stage.b")
+        snapshot = profiler.snapshot()
+        assert len(snapshot) <= 2  # one real key + the overflow bucket
+        assert OVERFLOW_KEY in snapshot
+        assert profiler.overflowed > 0
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["counters"]["obs.profiler.overflow"] > 0
+
+    def test_stack_depth_is_bounded(self):
+        profiler, telemetry = make_profiler(max_depth=3)
+
+        def deep(n):
+            if n == 0:
+                profiler_thread = threading.Thread(
+                    target=profiler.sample_once
+                )
+                profiler_thread.start()
+                profiler_thread.join()
+                return
+            deep(n - 1)
+
+        with telemetry.tracer.span("deep"):
+            deep(20)
+        for (_, stack) in profiler.snapshot():
+            assert len(stack) <= 3
+
+    def test_snapshot_reset_clears_the_table(self):
+        profiler, telemetry = make_profiler()
+        sampled_worker(telemetry, profiler, "stage.a")
+        assert profiler.snapshot(reset=True)
+        assert profiler.snapshot() == {}
+        assert profiler.sample_count == 0
+
+    def test_self_measurement_instruments(self):
+        profiler, telemetry = make_profiler()
+        profiler.sample_once()
+        metrics = telemetry.metrics.snapshot()
+        assert metrics["counters"]["obs.profiler.samples"] == 1
+        assert metrics["histograms"]["obs.profiler.sample_ms"]["count"] == 1
+
+
+class TestExports:
+    def test_collapsed_stack_format(self):
+        profiler, telemetry = make_profiler()
+        sampled_worker(telemetry, profiler, "mediator.pose")
+        text = profiler.collapsed()
+        assert text
+        for line in text.splitlines():
+            head, _, count = line.rpartition(" ")
+            assert int(count) >= 1
+            assert ";" in head
+
+    def test_collapsed_limit_truncates(self):
+        profiler, telemetry = make_profiler()
+        sampled_worker(telemetry, profiler, "stage.a")
+        sampled_worker(telemetry, profiler, "stage.b")
+        limited = profiler.collapsed(limit=1)
+        assert len(limited.splitlines()) == 1
+
+    def test_chrome_trace_schema(self):
+        profiler, telemetry = make_profiler()
+        sampled_worker(telemetry, profiler, "mediator.pose", samples=2)
+        document = profiler.chrome_trace()
+        assert document["metadata"]["hz"] == profiler.hz
+        assert document["metadata"]["samples"] == profiler.sample_count
+        assert document["traceEvents"]
+        for event in document["traceEvents"]:
+            assert event["ph"] == "X"
+            assert event["dur"] > 0
+            assert "stage" in event["args"]
+
+    def test_chrome_trace_lanes_are_per_stage(self):
+        profiler, telemetry = make_profiler()
+        sampled_worker(telemetry, profiler, "stage.a")
+        sampled_worker(telemetry, profiler, "stage.b")
+        events = profiler.chrome_trace()["traceEvents"]
+        tids = {event["args"]["stage"]: event["tid"] for event in events}
+        assert len(set(tids.values())) == len(tids)
+
+
+class TestLifecycle:
+    def test_start_stop_idempotent(self):
+        profiler, _ = make_profiler(hz=200)
+        assert not profiler.running
+        profiler.start()
+        profiler.start()
+        assert profiler.running
+        profiler.stop()
+        profiler.stop()
+        assert not profiler.running
+
+    def test_background_thread_takes_samples(self):
+        profiler, telemetry = make_profiler(hz=500)
+        release = threading.Event()
+        with telemetry.tracer.span("busy"):
+            profiler.start()
+            try:
+                release.wait(timeout=0.2)
+            finally:
+                profiler.stop()
+        assert profiler.sample_count > 0
+
+    def test_observatory_threads_are_skipped(self):
+        profiler, telemetry = make_profiler(hz=500)
+        decoy_release = threading.Event()
+        decoy = threading.Thread(
+            target=decoy_release.wait, args=(5.0,),
+            name="repro-obs-decoy",
+        )
+        decoy.start()
+        try:
+            profiler.sample_once()
+        finally:
+            decoy_release.set()
+            decoy.join()
+        for (_, stack) in profiler.snapshot():
+            assert all("decoy" not in frame for frame in stack)

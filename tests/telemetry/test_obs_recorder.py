@@ -1,0 +1,192 @@
+"""Flight recorder: triggers, bundle shape, redaction, bounds."""
+
+import json
+
+from repro.telemetry import Telemetry
+from repro.telemetry.obs.profiler import StackProfiler
+from repro.telemetry.obs.recorder import BUNDLE_VERSION, FlightRecorder
+from repro.telemetry.obs.slo import ExactObjective, SloEngine
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_recorder(**kwargs):
+    telemetry = Telemetry(enabled=True)
+    clock = FakeClock()
+    recorder = FlightRecorder(telemetry, clock=clock, **kwargs)
+    return recorder, telemetry, clock
+
+
+class TestDump:
+    def test_bundle_shape(self):
+        recorder, telemetry, _ = make_recorder()
+        with telemetry.tracer.span("mediator.pose", requester="r1"):
+            pass
+        telemetry.emit("pose.answered", requester="r1")
+        bundle = recorder.dump(reason="manual")
+        assert bundle["version"] == BUNDLE_VERSION
+        assert bundle["seq"] == 1
+        assert bundle["reason"] == "manual"
+        assert [span["name"] for span in bundle["spans"]] == [
+            "mediator.pose"
+        ]
+        assert any(event["name"] == "pose.answered"
+                   for event in bundle["events"])
+        assert "counters" in bundle["metrics"]
+        json.dumps(bundle)  # the whole bundle must serialize
+
+    def test_spans_carry_trace_ids(self):
+        recorder, telemetry, _ = make_recorder()
+        with telemetry.tracer.span("mediator.pose") as span:
+            pass
+        bundle = recorder.dump()
+        assert bundle["spans"][0]["trace_id"] == span.trace_id
+
+    def test_redaction_scrubs_free_text(self):
+        recorder, telemetry, _ = make_recorder()
+        telemetry.emit("pose.refused",
+                       reason="loss 0.91 exceeds MAXLOSS 0.6 for ssn 123")
+        with telemetry.tracer.span("mediator.pose",
+                                   error="budget 42 exhausted"):
+            pass
+        bundle = recorder.dump(reason="probe run 77")
+        assert "77" not in bundle["reason"]
+        event = next(e for e in bundle["events"]
+                     if e["name"] == "pose.refused")
+        assert "123" not in event["attributes"]["reason"]
+        assert "42" not in bundle["spans"][0]["attributes"]["error"]
+
+    def test_auto_dumps_are_rate_limited(self):
+        recorder, _, clock = make_recorder(min_interval_s=5.0)
+        assert recorder.dump(reason="auto") is not None
+        assert recorder.dump(reason="auto") is None
+        assert recorder.suppressed == 1
+        assert recorder.dump(reason="manual", force=True) is not None
+        clock.advance(10.0)
+        assert recorder.dump(reason="auto") is not None
+
+    def test_ring_is_bounded(self):
+        recorder, _, clock = make_recorder(max_bundles=3)
+        for index in range(6):
+            recorder.dump(reason=f"r{index}", force=True)
+        bundles = recorder.bundles
+        assert len(bundles) == 3
+        assert [bundle["seq"] for bundle in bundles] == [4, 5, 6]
+        assert recorder.last()["seq"] == 6
+
+    def test_bundle_written_to_disk(self, tmp_path):
+        recorder, _, _ = make_recorder(bundle_dir=tmp_path)
+        bundle = recorder.dump(reason="manual")
+        path = tmp_path / f"flight-{bundle['seq']:04d}.json"
+        assert json.loads(path.read_text())["reason"] == "manual"
+
+    def test_dump_announces_itself_without_recursion(self):
+        recorder, telemetry, _ = make_recorder()
+        recorder.attach()
+        try:
+            bundle = recorder.dump(reason="manual")
+        finally:
+            recorder.detach()
+        assert recorder.dumps == 1  # the dump event did not re-trigger
+        names = [event.name for event in telemetry.events.tail(10)]
+        assert "obs.flight_recorder.dump" in names
+        # and the bundle itself predates its own announcement
+        assert all(event["name"] != "obs.flight_recorder.dump"
+                   for event in bundle["events"])
+
+
+class TestTriggers:
+    def test_breaker_open_triggers_a_dump(self):
+        recorder, telemetry, _ = make_recorder()
+        recorder.attach()
+        try:
+            telemetry.emit("dispatch.breaker_transition",
+                           source="lab", state="open")
+        finally:
+            recorder.detach()
+        assert recorder.last()["reason"] == "breaker-open:lab"
+
+    def test_other_breaker_states_do_not_trigger(self):
+        recorder, telemetry, _ = make_recorder()
+        recorder.attach()
+        try:
+            telemetry.emit("dispatch.breaker_transition",
+                           source="lab", state="half-open")
+            telemetry.emit("dispatch.breaker_transition",
+                           source="lab", state="closed")
+        finally:
+            recorder.detach()
+        assert recorder.last() is None
+
+    def test_detach_stops_triggering(self):
+        recorder, telemetry, _ = make_recorder()
+        recorder.attach()
+        recorder.detach()
+        telemetry.emit("dispatch.breaker_transition",
+                       source="lab", state="open")
+        assert recorder.last() is None
+
+    def test_slo_breach_triggers_a_dump(self):
+        telemetry = Telemetry(enabled=True)
+        slo = SloEngine(telemetry, [ExactObjective("exact", "violations")],
+                        clock=FakeClock())
+        recorder = FlightRecorder(telemetry, slo=slo, clock=FakeClock())
+        recorder.attach()
+        try:
+            slo.tick()
+            telemetry.metrics.counter("violations").inc()
+            slo.tick()
+        finally:
+            recorder.detach()
+        bundle = recorder.last()
+        assert bundle["reason"] == "slo-breach:exact"
+        assert bundle["slo"]["exact"]["breached"]
+
+    def test_attach_is_idempotent(self):
+        recorder, telemetry, _ = make_recorder()
+        recorder.attach()
+        recorder.attach()
+        try:
+            telemetry.emit("dispatch.breaker_transition",
+                           source="lab", state="open")
+        finally:
+            recorder.detach()
+        assert recorder.dumps == 1
+
+
+class TestProfileSection:
+    def test_bundle_embeds_the_heaviest_stacks(self):
+        telemetry = Telemetry(enabled=True)
+        profiler = StackProfiler(telemetry)
+        import threading
+
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with telemetry.tracer.span("mediator.pose"):
+                entered.set()
+                release.wait(timeout=5.0)
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        assert entered.wait(timeout=5.0)
+        try:
+            profiler.sample_once()
+        finally:
+            release.set()
+            thread.join()
+        recorder = FlightRecorder(telemetry, profiler=profiler,
+                                  clock=FakeClock())
+        bundle = recorder.dump()
+        assert "mediator.pose" in bundle["profile"]["stage_totals"]
+        assert bundle["profile"]["collapsed"]

@@ -1,0 +1,201 @@
+"""SLO engine: objective math, multi-window burn, breach lifecycle."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.telemetry import Telemetry
+from repro.telemetry.obs.slo import (
+    BURN_CEILING,
+    ErrorRateObjective,
+    ExactObjective,
+    LatencyObjective,
+    SloEngine,
+    default_objectives,
+)
+
+
+class FakeClock:
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_engine(*objectives, **kwargs):
+    telemetry = Telemetry(enabled=True)
+    clock = FakeClock()
+    kwargs.setdefault("short_window", 10.0)
+    kwargs.setdefault("long_window", 60.0)
+    engine = SloEngine(telemetry, objectives, clock=clock, **kwargs)
+    return engine, telemetry, clock
+
+
+class TestObjectives:
+    def test_objective_bounds_validated(self):
+        with pytest.raises(ReproError):
+            LatencyObjective("x", "h", threshold_ms=1.0, objective=1.5)
+
+    def test_latency_burn_is_bad_fraction_over_budget(self):
+        engine, telemetry, _ = make_engine()
+        histogram = telemetry.metrics.histogram("pose_ms")
+        for value in (10.0, 10.0, 10.0, 90.0):  # 25% over threshold
+            histogram.observe(value)
+        objective = LatencyObjective("lat", "pose_ms",
+                                     threshold_ms=50.0, objective=0.9)
+        burn = objective.instantaneous_burn(telemetry.metrics)
+        assert burn == pytest.approx(0.25 / 0.1)
+
+    def test_latency_with_no_observations_is_zero(self):
+        engine, telemetry, _ = make_engine()
+        objective = LatencyObjective("lat", "pose_ms", threshold_ms=50.0)
+        assert objective.instantaneous_burn(telemetry.metrics) == 0.0
+
+    def test_error_rate_uses_tick_deltas(self):
+        engine, telemetry, _ = make_engine()
+        bad = telemetry.metrics.counter("bad")
+        total = telemetry.metrics.counter("total")
+        objective = ErrorRateObjective("err", "bad", "total",
+                                       objective=0.9)
+        # first look only establishes the baseline
+        assert objective.instantaneous_burn(telemetry.metrics) == 0.0
+        total.inc(10)
+        bad.inc(2)
+        burn = objective.instantaneous_burn(telemetry.metrics)
+        assert burn == pytest.approx(0.2 / 0.1)
+        # no movement since the last tick → no burn
+        assert objective.instantaneous_burn(telemetry.metrics) == 0.0
+
+    def test_exact_objective_burns_at_the_ceiling(self):
+        engine, telemetry, _ = make_engine()
+        counter = telemetry.metrics.counter("violations")
+        objective = ExactObjective("exact", "violations")
+        assert objective.instantaneous_burn(telemetry.metrics) == 0.0
+        counter.inc()
+        assert objective.instantaneous_burn(
+            telemetry.metrics
+        ) == BURN_CEILING
+
+    def test_describe_is_json_shaped(self):
+        objective = LatencyObjective("lat", "pose_ms", threshold_ms=5.0)
+        info = objective.describe()
+        assert info["name"] == "lat"
+        assert info["kind"] == "latency"
+        assert info["threshold_ms"] == 5.0
+
+
+class TestEngine:
+    def test_window_ordering_validated(self):
+        telemetry = Telemetry(enabled=True)
+        with pytest.raises(ReproError):
+            SloEngine(telemetry, short_window=60.0, long_window=10.0)
+
+    def test_breach_needs_both_windows(self):
+        engine, telemetry, clock = make_engine(
+            ExactObjective("exact", "violations"),
+            short_window=10.0, long_window=60.0,
+        )
+        counter = telemetry.metrics.counter("violations")
+        engine.tick()  # baseline
+        clock.advance(1.0)
+        counter.inc()
+        status = engine.tick()
+        # one hot tick: the short window is instantly hot, and with no
+        # older history the long window mean is the same sample — breach.
+        assert status["exact"]["breached"]
+        names = [event.name for event in telemetry.events.tail(50)]
+        assert "slo.breach" in names
+
+    def test_long_window_of_calm_suppresses_a_blip(self):
+        engine, telemetry, clock = make_engine(
+            ErrorRateObjective("err", "bad", "total", objective=0.98),
+            short_window=10.0, long_window=60.0,
+        )
+        bad = telemetry.metrics.counter("bad")
+        total = telemetry.metrics.counter("total")
+        # 50s of calm history: traffic flows, nothing fails
+        for _ in range(50):
+            total.inc(10)
+            engine.tick()
+            clock.advance(1.0)
+        bad.inc(1)  # one fully-bad tick: burn 1.0 / 0.02 = 50
+        total.inc(1)
+        status = engine.tick()
+        # short window is hot but the long-window mean stays dilute
+        assert status["err"]["burn_short"] > engine.burn_factor
+        assert status["err"]["burn_long"] < engine.burn_factor
+        assert not status["err"]["breached"]
+
+    def test_recovery_event_after_breach(self):
+        engine, telemetry, clock = make_engine(
+            ExactObjective("exact", "violations"),
+            short_window=5.0, long_window=10.0,
+        )
+        counter = telemetry.metrics.counter("violations")
+        engine.tick()
+        clock.advance(1.0)
+        counter.inc()
+        assert engine.tick()["exact"]["breached"]
+        # burn history ages out of both windows
+        for _ in range(15):
+            clock.advance(1.0)
+            engine.tick()
+        assert not engine.status()["exact"]["breached"]
+        names = [event.name for event in telemetry.events.tail(100)]
+        assert "slo.recovered" in names
+
+    def test_on_breach_callback_fires_once_per_transition(self):
+        engine, telemetry, clock = make_engine(
+            ExactObjective("exact", "violations"),
+        )
+        calls = []
+        engine.on_breach(lambda name, entry: calls.append(name))
+        counter = telemetry.metrics.counter("violations")
+        engine.tick()
+        clock.advance(1.0)
+        counter.inc()
+        engine.tick()
+        clock.advance(1.0)
+        counter.inc()
+        engine.tick()  # still breached: no second transition
+        assert calls == ["exact"]
+
+    def test_burn_gauges_are_exported(self):
+        engine, telemetry, clock = make_engine(
+            ExactObjective("exact", "violations"),
+        )
+        engine.tick()
+        gauges = telemetry.metrics.snapshot()["gauges"]
+        assert "obs.slo.burn_short.exact" in gauges
+
+    def test_add_and_status(self):
+        engine, telemetry, _ = make_engine()
+        engine.add(LatencyObjective("lat", "pose_ms", threshold_ms=5.0))
+        engine.tick()
+        status = engine.status()
+        assert set(status) == {"lat"}
+        assert status["lat"]["kind"] == "latency"
+
+    def test_ticker_thread_lifecycle(self):
+        engine, _, _ = make_engine()
+        engine.start(interval=60.0)
+        engine.start(interval=60.0)
+        assert engine.running
+        engine.stop()
+        assert not engine.running
+
+
+class TestDefaultObjectives:
+    def test_cover_the_mediators_guarantees(self):
+        names = {objective.name for objective in default_objectives()}
+        assert names == {"pose-latency", "fanout-availability",
+                        "sink-delivery", "refusal-correctness"}
+
+    def test_tick_cleanly_on_a_fresh_system(self):
+        telemetry = Telemetry(enabled=True)
+        engine = SloEngine(telemetry, default_objectives())
+        status = engine.tick()
+        assert not any(entry["breached"] for entry in status.values())
